@@ -1,0 +1,126 @@
+//! Ablations E8–E10: design decisions the paper discusses in prose.
+//!
+//! * E8 (§2.1) — thin vs thick wrappers;
+//! * E9 (§4.2) — `Sensitivity`: materialised vs re-evaluated responses;
+//! * E10 (§4.2) — per-message transactions and engine-level costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dais_bench::workload::populate_items;
+use dais_core::{AbstractName, ConfigurationDocument, Sensitivity};
+use dais_dair::{RelationalService, RelationalServiceOptions, SqlClient};
+use dais_soap::Bus;
+use dais_sql::Database;
+use std::sync::Arc;
+
+fn bench_wrappers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_wrappers");
+    group.sample_size(30);
+    for (label, thick) in [("thin", false), ("thick", true)] {
+        let bus = Bus::new();
+        let db = Database::new("e8");
+        populate_items(&db, 200, 16);
+        let options = if thick {
+            let rewriter: dais_core::service::QueryRewriter =
+                Arc::new(|lang: &str, expr: &str| (lang.to_string(), format!("{expr} AND 1 = 1")));
+            RelationalServiceOptions { query_rewriter: Some(rewriter), ..Default::default() }
+        } else {
+            Default::default()
+        };
+        let svc = RelationalService::launch(&bus, "bus://e8", db, options);
+        let client = SqlClient::new(bus, "bus://e8");
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                client
+                    .execute(&svc.db_resource, "SELECT * FROM item WHERE category = 3", &[])
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sensitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_sensitivity");
+    group.sample_size(20);
+    for rows in [100usize, 5000] {
+        let bus = Bus::new();
+        let db = Database::new("e9");
+        populate_items(&db, rows, 16);
+        let svc = RelationalService::launch(&bus, "bus://e9", db, Default::default());
+        let client = SqlClient::new(bus, "bus://e9");
+        for (label, s) in
+            [("insensitive", Sensitivity::Insensitive), ("sensitive", Sensitivity::Sensitive)]
+        {
+            let config = ConfigurationDocument { sensitivity: Some(s), ..Default::default() };
+            let epr = client
+                .execute_factory(
+                    &svc.db_resource,
+                    "SELECT category, AVG(price) FROM item GROUP BY category",
+                    &[],
+                    None,
+                    Some(&config),
+                )
+                .unwrap();
+            let name = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
+            group.bench_with_input(BenchmarkId::new(label, rows), &rows, |b, _| {
+                b.iter(|| client.get_sql_rowset(&name, 1).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_transactions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_transactions");
+    group.sample_size(30);
+
+    // Per-message auto-commit vs explicit batched transactions at the
+    // engine level — what TransactionInitiation trades off.
+    let setup = || {
+        let db = Database::new("e10");
+        db.execute("CREATE TABLE t (k INTEGER, v VARCHAR)", &[]).unwrap();
+        db
+    };
+    group.bench_function("autocommit_100_inserts", |b| {
+        b.iter_with_setup(setup, |db| {
+            for i in 0..100 {
+                db.execute(
+                    "INSERT INTO t VALUES (?, 'x')",
+                    &[dais_sql::Value::Int(i)],
+                )
+                .unwrap();
+            }
+            db
+        });
+    });
+    group.bench_function("transaction_100_inserts", |b| {
+        b.iter_with_setup(setup, |db| {
+            let mut session = db.connect();
+            session.execute("BEGIN", &[]).unwrap();
+            for i in 0..100 {
+                session
+                    .execute("INSERT INTO t VALUES (?, 'x')", &[dais_sql::Value::Int(i)])
+                    .unwrap();
+            }
+            session.execute("COMMIT", &[]).unwrap();
+            db
+        });
+    });
+    group.bench_function("rollback_100_inserts", |b| {
+        b.iter_with_setup(setup, |db| {
+            let mut session = db.connect();
+            session.execute("BEGIN", &[]).unwrap();
+            for i in 0..100 {
+                session
+                    .execute("INSERT INTO t VALUES (?, 'x')", &[dais_sql::Value::Int(i)])
+                    .unwrap();
+            }
+            session.execute("ROLLBACK", &[]).unwrap();
+            db
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wrappers, bench_sensitivity, bench_transactions);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E1 / Figure 1: direct vs indirect access latency across result sizes.
+//!
+//! Direct access pays for marshalling the rows on every call; the
+//! indirect factory call is (nearly) size-independent. The crossover in
+//! *consumer-1 cost* appears as soon as results outgrow an EPR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dais_bench::workload::populate_items;
+use dais_dair::{RelationalService, SqlClient};
+use dais_soap::Bus;
+use dais_sql::Database;
+
+fn setup(rows: usize) -> (Bus, SqlClient, dais_core::AbstractName) {
+    let bus = Bus::new();
+    let db = Database::new("fig1");
+    populate_items(&db, rows, 32);
+    let svc = RelationalService::launch(&bus, "bus://fig1", db, Default::default());
+    (bus.clone(), SqlClient::new(bus, "bus://fig1"), svc.db_resource)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_access_patterns");
+    group.sample_size(20);
+    for rows in [10usize, 100, 1000] {
+        let (_bus, client, name) = setup(rows);
+        group.bench_with_input(BenchmarkId::new("direct", rows), &rows, |b, _| {
+            b.iter(|| client.execute(&name, "SELECT * FROM item", &[]).unwrap());
+        });
+        let (bus2, client2, name2) = setup(rows);
+        group.bench_with_input(BenchmarkId::new("indirect_factory", rows), &rows, |b, _| {
+            b.iter(|| {
+                let epr = client2
+                    .execute_factory(&name2, "SELECT * FROM item", &[], None, None)
+                    .unwrap();
+                // Destroy to keep the registry bounded across iterations.
+                let derived = dais_core::AbstractName::new(
+                    epr.resource_abstract_name().unwrap(),
+                )
+                .unwrap();
+                client2.core().destroy(&derived).unwrap();
+            });
+        });
+        drop(bus2);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E4 / Figure 4: property document costs — whole-document retrieval vs
+//! WSRF fine-grained access, and XPath queries over the document.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dais_dair::{RelationalService, RelationalServiceOptions, SqlClient};
+use dais_soap::Bus;
+use dais_sql::Database;
+use dais_wsrf::{LifetimeRegistry, ManualClock};
+use std::sync::Arc;
+
+fn service_with_tables(tables: usize) -> (Bus, SqlClient, dais_core::AbstractName) {
+    let bus = Bus::new();
+    let db = Database::new("fig4");
+    for t in 0..tables {
+        db.execute(
+            &format!("CREATE TABLE t{t} (id INTEGER PRIMARY KEY, a VARCHAR, b DOUBLE)"),
+            &[],
+        )
+        .unwrap();
+    }
+    let svc = RelationalService::launch(
+        &bus,
+        "bus://fig4",
+        db,
+        RelationalServiceOptions {
+            wsrf: Some(Arc::new(LifetimeRegistry::new(ManualClock::new()))),
+            ..Default::default()
+        },
+    );
+    (bus.clone(), SqlClient::new(bus, "bus://fig4"), svc.db_resource)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_properties");
+    group.sample_size(20);
+    for tables in [1usize, 25] {
+        let (_bus, client, name) = service_with_tables(tables);
+        group.bench_with_input(BenchmarkId::new("whole_document", tables), &tables, |b, _| {
+            b.iter(|| client.core().get_property_document_xml(&name).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("single_property", tables), &tables, |b, _| {
+            b.iter(|| client.core().get_resource_property(&name, "wsdai:Readable").unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("xpath_query", tables), &tables, |b, _| {
+            b.iter(|| {
+                client
+                    .core()
+                    .query_resource_properties(&name, "count(//wsdair:CIMDescription)")
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! E5 / Figure 5: the three-consumer relational pipeline vs repeated
+//! direct access, and GetTuples page-size sensitivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dais_bench::workload::populate_items;
+use dais_core::AbstractName;
+use dais_dair::{RelationalService, SqlClient};
+use dais_soap::Bus;
+use dais_sql::Database;
+
+fn name_of(epr: &dais_soap::Epr) -> AbstractName {
+    AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_pipeline");
+    group.sample_size(10);
+
+    // One consumer needing 1000 rows: direct vs full pipeline.
+    let bus = Bus::new();
+    let db = Database::new("fig5");
+    populate_items(&db, 1000, 24);
+    let svc = RelationalService::launch(&bus, "bus://fig5", db, Default::default());
+    let client = SqlClient::new(bus.clone(), "bus://fig5");
+
+    group.bench_function("direct_1000_rows", |b| {
+        b.iter(|| client.execute(&svc.db_resource, "SELECT * FROM item", &[]).unwrap());
+    });
+
+    group.bench_function("pipeline_1000_rows", |b| {
+        b.iter(|| {
+            let epr = client
+                .execute_factory(&svc.db_resource, "SELECT * FROM item", &[], None, None)
+                .unwrap();
+            let response = name_of(&epr);
+            let rowset_epr = client.rowset_factory(&response, None, None).unwrap();
+            let rowset = name_of(&rowset_epr);
+            let mut got = 0;
+            loop {
+                let page = client.get_tuples(&rowset, got, 250).unwrap();
+                if page.row_count() == 0 {
+                    break;
+                }
+                got += page.row_count();
+            }
+            client.core().destroy(&rowset).unwrap();
+            client.core().destroy(&response).unwrap();
+            got
+        });
+    });
+
+    // GetTuples page-size sweep over a fixed rowset resource.
+    let epr = client
+        .execute_factory(&svc.db_resource, "SELECT * FROM item", &[], None, None)
+        .unwrap();
+    let response = name_of(&epr);
+    let rowset_epr = client.rowset_factory(&response, None, None).unwrap();
+    let rowset = name_of(&rowset_epr);
+    for page in [10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("get_tuples_page", page), &page, |b, &page| {
+            b.iter(|| {
+                let mut got = 0;
+                loop {
+                    let p = client.get_tuples(&rowset, got, page).unwrap();
+                    if p.row_count() == 0 {
+                        break;
+                    }
+                    got += p.row_count();
+                }
+                got
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! E6 / Figure 6: per-operation round-trip cost across the interface
+//! inventory (core, relational and XML realisations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dais_bench::workload::{populate_books, populate_items};
+use dais_core::AbstractName;
+use dais_dair::{RelationalService, SqlClient};
+use dais_daix::{XmlClient, XmlService, XmlServiceOptions};
+use dais_soap::Bus;
+use dais_sql::Database;
+use dais_xmldb::XmlDatabase;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_operations");
+    group.sample_size(30);
+
+    // Relational side.
+    let bus = Bus::new();
+    let db = Database::new("fig6");
+    populate_items(&db, 100, 16);
+    let svc = RelationalService::launch(&bus, "bus://fig6", db, Default::default());
+    let client = SqlClient::new(bus.clone(), "bus://fig6");
+    let epr = client
+        .execute_factory(&svc.db_resource, "SELECT id FROM item", &[], None, None)
+        .unwrap();
+    let response = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
+    let rowset_epr = client.rowset_factory(&response, None, None).unwrap();
+    let rowset = AbstractName::new(rowset_epr.resource_abstract_name().unwrap()).unwrap();
+
+    group.bench_function("core/GetDataResourcePropertyDocument", |b| {
+        b.iter(|| client.core().get_property_document_xml(&svc.db_resource).unwrap());
+    });
+    group.bench_function("core/GetResourceList", |b| {
+        b.iter(|| client.core().get_resource_list().unwrap());
+    });
+    group.bench_function("dair/SQLExecute_point_query", |b| {
+        b.iter(|| client.execute(&svc.db_resource, "SELECT * FROM item WHERE id = 7", &[]).unwrap());
+    });
+    group.bench_function("dair/GetSQLRowset", |b| {
+        b.iter(|| client.get_sql_rowset(&response, 1).unwrap());
+    });
+    group.bench_function("dair/GetTuples_10", |b| {
+        b.iter(|| client.get_tuples(&rowset, 0, 10).unwrap());
+    });
+    group.bench_function("dair/GetSQLCommunicationArea", |b| {
+        b.iter(|| client.get_sql_communication_area(&response).unwrap());
+    });
+
+    // XML side.
+    let store = XmlDatabase::new("fig6x");
+    populate_books(&store, "books", 100);
+    let xsvc = XmlService::launch(&bus, "bus://fig6x", store.clone(), XmlServiceOptions::default());
+    // Register the populated collection as its own resource.
+    let coll = xsvc.names.mint("collection");
+    xsvc.ctx.add_resource(Arc::new(dais_daix::XmlCollectionResource::new(
+        coll.clone(),
+        store,
+        "books",
+    )));
+    let xclient = XmlClient::new(bus, "bus://fig6x");
+
+    group.bench_function("daix/XPathExecute", |b| {
+        b.iter(|| xclient.xpath(&coll, "/book[price > 60]/title").unwrap());
+    });
+    group.bench_function("daix/XQueryExecute", |b| {
+        b.iter(|| {
+            xclient
+                .xquery(&coll, "for $b in /book where $b/year > 2010 return $b/title")
+                .unwrap()
+        });
+    });
+    group.bench_function("daix/GetDocuments_one", |b| {
+        b.iter(|| xclient.get_documents(&coll, &["book5"]).unwrap());
+    });
+    group.bench_function("daix/GetCollectionPropertyDocument", |b| {
+        b.iter(|| xclient.get_collection_property_document(&coll).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! E7 / Figure 7: cost of the WSRF layering — core operations with and
+//! without the layer, soft-state bookkeeping, and the sweeper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dais_bench::workload::populate_items;
+use dais_core::AbstractName;
+use dais_dair::{RelationalService, RelationalServiceOptions, SqlClient};
+use dais_soap::Bus;
+use dais_sql::Database;
+use dais_wsrf::{LifetimeRegistry, ManualClock};
+use std::sync::Arc;
+
+fn launch(wsrf: bool) -> (Bus, SqlClient, AbstractName) {
+    let bus = Bus::new();
+    let db = Database::new("fig7");
+    populate_items(&db, 100, 16);
+    let options = if wsrf {
+        RelationalServiceOptions {
+            wsrf: Some(Arc::new(LifetimeRegistry::new(ManualClock::new()))),
+            ..Default::default()
+        }
+    } else {
+        Default::default()
+    };
+    let svc = RelationalService::launch(&bus, "bus://fig7", db, options);
+    (bus.clone(), SqlClient::new(bus, "bus://fig7"), svc.db_resource)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_wsrf");
+    group.sample_size(30);
+
+    // Same core operation, both deployments: the additive-layer claim.
+    for (label, wsrf) in [("plain", false), ("wsrf", true)] {
+        let (_bus, client, name) = launch(wsrf);
+        group.bench_with_input(
+            BenchmarkId::new("sql_execute", label),
+            &wsrf,
+            |b, _| {
+                b.iter(|| {
+                    client.execute(&name, "SELECT * FROM item WHERE id < 10", &[]).unwrap()
+                });
+            },
+        );
+    }
+
+    // WSRF-only operations.
+    let (_bus, client, name) = launch(true);
+    group.bench_function("get_resource_property", |b| {
+        b.iter(|| client.core().get_resource_property(&name, "wsdai:Readable").unwrap());
+    });
+    group.bench_function("set_termination_time", |b| {
+        b.iter(|| client.core().set_termination_time(&name, Some(1_000_000)).unwrap());
+    });
+
+    // Sweep cost as leased population grows.
+    for n in [100usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("sweep", n), &n, |b, &n| {
+            b.iter_with_setup(
+                || {
+                    let clock = ManualClock::new();
+                    let lifetime = LifetimeRegistry::new(clock.clone());
+                    for i in 0..n {
+                        lifetime.register(format!("urn:r:{i}"));
+                        lifetime.set_termination_in(&format!("urn:r:{i}"), Some(10)).unwrap();
+                    }
+                    clock.advance(100);
+                    lifetime
+                },
+                |lifetime| {
+                    let swept = lifetime.sweep();
+                    assert_eq!(swept.len(), n);
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

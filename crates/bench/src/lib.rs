@@ -1,0 +1,14 @@
+//! # dais-bench
+//!
+//! Workload generators and measurement helpers for the paper-figure
+//! experiments (see `DESIGN.md` §3 for the experiment index E1–E10 and
+//! `EXPERIMENTS.md` for recorded results).
+//!
+//! Everything here is deterministic: workloads are generated from seeded
+//! RNGs so experiment output is reproducible run-to-run.
+
+pub mod harness;
+pub mod workload;
+
+pub use harness::{measure, Measurement};
+pub use workload::{populate_books, populate_items, seeded_rng};

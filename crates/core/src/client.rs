@@ -1,0 +1,254 @@
+//! Consumer-side typed client for the WS-DAI core operations.
+
+use crate::messages::{self, actions};
+use crate::name::AbstractName;
+use crate::properties::CoreProperties;
+use dais_soap::addressing::Epr;
+use dais_soap::bus::Bus;
+use dais_soap::client::{CallError, ServiceClient};
+use dais_xml::{ns, XmlElement};
+
+/// A consumer of a DAIS data service ("an application that exploits a
+/// data service to access a data resource", §3).
+#[derive(Clone)]
+pub struct CoreClient {
+    inner: ServiceClient,
+}
+
+impl CoreClient {
+    /// Bind to a service address on the bus.
+    pub fn new(bus: Bus, address: impl Into<String>) -> CoreClient {
+        CoreClient { inner: ServiceClient::new(bus, address) }
+    }
+
+    /// Bind through an EPR obtained from a factory or `Resolve`.
+    pub fn from_epr(bus: Bus, epr: Epr) -> CoreClient {
+        CoreClient { inner: ServiceClient::from_epr(bus, epr) }
+    }
+
+    /// The raw SOAP client (realisations layer their own calls over it).
+    pub fn soap(&self) -> &ServiceClient {
+        &self.inner
+    }
+
+    /// `GetDataResourcePropertyDocument`: the whole property document.
+    pub fn get_property_document(&self, resource: &AbstractName) -> Result<CoreProperties, CallError> {
+        let response = self.inner.request(
+            actions::GET_DATA_RESOURCE_PROPERTY_DOCUMENT,
+            messages::request("GetDataResourcePropertyDocumentRequest", resource),
+        )?;
+        let doc = response
+            .child(ns::WSDAI, "PropertyDocument")
+            .ok_or_else(|| CallError::UnexpectedResponse("no PropertyDocument in response".into()))?;
+        CoreProperties::from_xml(doc).map_err(CallError::UnexpectedResponse)
+    }
+
+    /// The raw property document XML (realisations read extension
+    /// properties out of it).
+    pub fn get_property_document_xml(&self, resource: &AbstractName) -> Result<XmlElement, CallError> {
+        let response = self.inner.request(
+            actions::GET_DATA_RESOURCE_PROPERTY_DOCUMENT,
+            messages::request("GetDataResourcePropertyDocumentRequest", resource),
+        )?;
+        response
+            .child(ns::WSDAI, "PropertyDocument")
+            .cloned()
+            .ok_or_else(|| CallError::UnexpectedResponse("no PropertyDocument in response".into()))
+    }
+
+    /// `DestroyDataResource`.
+    pub fn destroy(&self, resource: &AbstractName) -> Result<(), CallError> {
+        self.inner
+            .request(
+                actions::DESTROY_DATA_RESOURCE,
+                messages::request("DestroyDataResourceRequest", resource),
+            )
+            .map(|_| ())
+    }
+
+    /// `GenericQuery` in one of the advertised languages.
+    pub fn generic_query(
+        &self,
+        resource: &AbstractName,
+        language: &str,
+        expression: &str,
+    ) -> Result<Vec<XmlElement>, CallError> {
+        let response = self.inner.request(
+            actions::GENERIC_QUERY,
+            messages::generic_query_request(resource, language, expression),
+        )?;
+        Ok(response.elements().cloned().collect())
+    }
+
+    /// `GetResourceList` (CoreResourceList).
+    pub fn get_resource_list(&self) -> Result<Vec<AbstractName>, CallError> {
+        let response = self.inner.request(
+            actions::GET_RESOURCE_LIST,
+            XmlElement::new(ns::WSDAI, "wsdai", "GetResourceListRequest"),
+        )?;
+        response
+            .children_named(ns::WSDAI, "DataResourceAbstractName")
+            .map(|e| {
+                AbstractName::new(e.text()).map_err(|err| CallError::UnexpectedResponse(err.to_string()))
+            })
+            .collect()
+    }
+
+    /// `Resolve` (CoreResourceList): abstract name → EPR.
+    pub fn resolve(&self, resource: &AbstractName) -> Result<Epr, CallError> {
+        let response = self
+            .inner
+            .request(actions::RESOLVE, messages::request("ResolveRequest", resource))?;
+        let addr = response
+            .child(ns::WSDAI, "DataResourceAddress")
+            .ok_or_else(|| CallError::UnexpectedResponse("no DataResourceAddress".into()))?;
+        Epr::from_xml(addr).ok_or_else(|| CallError::UnexpectedResponse("malformed EPR".into()))
+    }
+
+    // -- WSRF-layer calls (only meaningful against WSRF-enabled services) --
+
+    /// WSRF `GetResourceProperty` by lexical QName (`wsdai:Readable`).
+    pub fn get_resource_property(
+        &self,
+        resource: &AbstractName,
+        lexical_qname: &str,
+    ) -> Result<Vec<XmlElement>, CallError> {
+        let mut req = messages::request("GetResourcePropertyRequest", resource);
+        req.push(XmlElement::new(ns::WSRF_RP, "wsrf-rp", "ResourceProperty").with_text(lexical_qname));
+        let response = self.inner.request(dais_wsrf::actions::GET_RESOURCE_PROPERTY, req)?;
+        Ok(response.elements().cloned().collect())
+    }
+
+    /// WSRF `QueryResourceProperties` with an XPath expression.
+    pub fn query_resource_properties(
+        &self,
+        resource: &AbstractName,
+        xpath: &str,
+    ) -> Result<XmlElement, CallError> {
+        let mut req = messages::request("QueryResourcePropertiesRequest", resource);
+        req.push(XmlElement::new(ns::WSRF_RP, "wsrf-rp", "QueryExpression").with_text(xpath));
+        self.inner.request(dais_wsrf::actions::QUERY_RESOURCE_PROPERTIES, req)
+    }
+
+    /// WSRF `SetTerminationTime` with a lifetime duration in clock
+    /// milliseconds (`None` clears scheduled termination).
+    pub fn set_termination_time(
+        &self,
+        resource: &AbstractName,
+        duration_millis: Option<u64>,
+    ) -> Result<Option<u64>, CallError> {
+        let mut req = messages::request("SetTerminationTime", resource);
+        match duration_millis {
+            Some(d) => req.push(
+                XmlElement::new(ns::WSRF_RL, "wsrf-rl", "RequestedLifetimeDuration")
+                    .with_text(d.to_string()),
+            ),
+            None => {
+                let mut t = XmlElement::new(ns::WSRF_RL, "wsrf-rl", "RequestedTerminationTime");
+                t.set_attr("nil", "true");
+                req.push(t);
+            }
+        }
+        let response = self.inner.request(dais_wsrf::actions::SET_TERMINATION_TIME, req)?;
+        let new_time = response.child(ns::WSRF_RL, "NewTerminationTime").and_then(|e| {
+            if e.attribute("nil") == Some("true") {
+                None
+            } else {
+                e.text().trim().parse::<u64>().ok()
+            }
+        });
+        Ok(new_time)
+    }
+
+    /// WSRF `Destroy` (ImmediateResourceTermination).
+    pub fn wsrf_destroy(&self, resource: &AbstractName) -> Result<(), CallError> {
+        self.inner
+            .request(dais_wsrf::actions::DESTROY, messages::request("Destroy", resource))
+            .map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::ResourceManagementKind;
+    use crate::registry::ResourceRegistry;
+    use crate::resource::StaticResource;
+    use crate::service::{register_core_ops, register_wsrf_ops, ServiceContext};
+    use dais_soap::service::SoapDispatcher;
+    use dais_wsrf::{LifetimeRegistry, ManualClock};
+    use std::sync::Arc;
+
+    fn setup() -> (Bus, CoreClient, AbstractName, Arc<ManualClock>) {
+        let bus = Bus::new();
+        let clock = ManualClock::new();
+        let ctx = ServiceContext::with_wsrf(
+            "bus://svc",
+            ResourceRegistry::new(),
+            Arc::new(LifetimeRegistry::new(clock.clone())),
+        );
+        let mut d = SoapDispatcher::new();
+        register_core_ops(&mut d, ctx.clone());
+        register_wsrf_ops(&mut d, ctx.clone());
+        bus.register("bus://svc", Arc::new(d));
+
+        let name = AbstractName::new("urn:dais:svc:db:0").unwrap();
+        let props = CoreProperties::new(name.clone(), ResourceManagementKind::ExternallyManaged);
+        ctx.add_resource(Arc::new(StaticResource::new(
+            props,
+            vec![XmlElement::new_local("row").with_text("1")],
+        )));
+        (bus.clone(), CoreClient::new(bus, "bus://svc"), name, clock)
+    }
+
+    #[test]
+    fn typed_property_document() {
+        let (_, client, name, _) = setup();
+        let props = client.get_property_document(&name).unwrap();
+        assert_eq!(props.abstract_name, name);
+        assert!(props.readable);
+    }
+
+    #[test]
+    fn typed_generic_query() {
+        let (_, client, name, _) = setup();
+        let rows = client.generic_query(&name, "urn:echo", "").unwrap();
+        assert_eq!(rows.len(), 1);
+        let err = client.generic_query(&name, "urn:nope", "").unwrap_err();
+        assert_eq!(err.dais_fault(), Some(dais_soap::fault::DaisFault::InvalidLanguage));
+    }
+
+    #[test]
+    fn list_resolve_and_epr_binding() {
+        let (bus, client, name, _) = setup();
+        assert_eq!(client.get_resource_list().unwrap(), vec![name.clone()]);
+        let epr = client.resolve(&name).unwrap();
+        assert_eq!(epr.resource_abstract_name().as_deref(), Some(name.as_str()));
+        // A client bound through the EPR works identically.
+        let via_epr = CoreClient::from_epr(bus, epr);
+        let props = via_epr.get_property_document(&name).unwrap();
+        assert_eq!(props.abstract_name, name);
+    }
+
+    #[test]
+    fn wsrf_property_and_lifetime_calls() {
+        let (_, client, name, clock) = setup();
+        let vals = client.get_resource_property(&name, "wsdai:ConcurrentAccess").unwrap();
+        assert_eq!(vals[0].text(), "true");
+        let result = client.query_resource_properties(&name, "//wsdai:Readable").unwrap();
+        assert_eq!(result.elements().count(), 1);
+
+        let t = client.set_termination_time(&name, Some(500)).unwrap();
+        assert_eq!(t, Some(500));
+        clock.advance(501);
+        assert!(client.get_property_document(&name).is_err());
+    }
+
+    #[test]
+    fn destroy_roundtrip() {
+        let (_, client, name, _) = setup();
+        client.destroy(&name).unwrap();
+        assert!(client.get_property_document(&name).is_err());
+        assert!(client.destroy(&name).is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Abstract names: unique, persistent URIs identifying data resources.
+//!
+//! The paper (§3): "A data resource must always have an identifier, an
+//! abstract name, which is unique and persistent. … for now DAIS uses a
+//! URI to represent data resource's abstract names."
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A data resource's abstract name — an opaque URI.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AbstractName(String);
+
+impl AbstractName {
+    /// Wrap an existing URI. Leading/trailing whitespace is rejected:
+    /// abstract names travel in XML text content and must round-trip.
+    pub fn new(uri: impl Into<String>) -> Result<AbstractName, InvalidName> {
+        let uri = uri.into();
+        if uri.is_empty() || uri.trim() != uri || !uri.contains(':') {
+            return Err(InvalidName(uri));
+        }
+        Ok(AbstractName(uri))
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for AbstractName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The error for a string that cannot be an abstract name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidName(pub String);
+
+impl fmt::Display for InvalidName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "'{}' is not a valid abstract name (must be a non-empty URI)", self.0)
+    }
+}
+
+impl std::error::Error for InvalidName {}
+
+/// Mints unique abstract names within a naming authority (usually the
+/// data service). Deterministic — a process-local counter — so tests and
+/// experiments are reproducible.
+#[derive(Debug)]
+pub struct NameGenerator {
+    authority: String,
+    counter: AtomicU64,
+}
+
+impl NameGenerator {
+    /// `authority` scopes the generated URIs, e.g. a service name.
+    pub fn new(authority: impl Into<String>) -> NameGenerator {
+        NameGenerator { authority: authority.into(), counter: AtomicU64::new(0) }
+    }
+
+    /// Mint the next name: `urn:dais:<authority>:<kind>:<n>`.
+    pub fn mint(&self, kind: &str) -> AbstractName {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        AbstractName(format!("urn:dais:{}:{}:{}", self.authority, kind, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_names() {
+        assert!(AbstractName::new("urn:dais:x").is_ok());
+        assert!(AbstractName::new("http://example.org/r1").is_ok());
+        assert!(AbstractName::new("").is_err());
+        assert!(AbstractName::new(" urn:x").is_err());
+        assert!(AbstractName::new("no-scheme").is_err());
+    }
+
+    #[test]
+    fn generator_mints_unique_names() {
+        let g = NameGenerator::new("svc1");
+        let a = g.mint("response");
+        let b = g.mint("response");
+        assert_ne!(a, b);
+        assert!(a.as_str().starts_with("urn:dais:svc1:response:"));
+    }
+
+    #[test]
+    fn generator_is_thread_safe() {
+        let g = std::sync::Arc::new(NameGenerator::new("svc"));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let g = g.clone();
+                std::thread::spawn(move || (0..100).map(|_| g.mint("r")).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut all: Vec<AbstractName> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let before = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), before);
+    }
+}

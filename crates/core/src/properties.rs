@@ -1,0 +1,592 @@
+//! The WS-DAI core property document (paper §4.2, Figure 4).
+
+use crate::name::AbstractName;
+use dais_xml::{ns, QName, XmlElement};
+
+/// Whether the resource's lifetime is controlled by the service (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceManagementKind {
+    ExternallyManaged,
+    ServiceManaged,
+}
+
+impl ResourceManagementKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ResourceManagementKind::ExternallyManaged => "ExternallyManaged",
+            ResourceManagementKind::ServiceManaged => "ServiceManaged",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ExternallyManaged" => Some(Self::ExternallyManaged),
+            "ServiceManaged" => Some(Self::ServiceManaged),
+            _ => None,
+        }
+    }
+}
+
+/// Transactional behaviour on message arrival (§4.2: "there is no
+/// transactional support, an atomic transaction is initiated on the
+/// arrival of each message or the message corresponds to a transactional
+/// context which is under the control of the consumer").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransactionInitiation {
+    NotSupported,
+    #[default]
+    TransactionalPerMessage,
+    TransactionalFromContext,
+}
+
+impl TransactionInitiation {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TransactionInitiation::NotSupported => "NotSupported",
+            TransactionInitiation::TransactionalPerMessage => "TransactionalPerMessage",
+            TransactionInitiation::TransactionalFromContext => "TransactionalFromContext",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "NotSupported" => Some(Self::NotSupported),
+            "TransactionalPerMessage" => Some(Self::TransactionalPerMessage),
+            "TransactionalFromContext" => Some(Self::TransactionalFromContext),
+            _ => None,
+        }
+    }
+}
+
+/// Isolation of concurrent transactions (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransactionIsolation {
+    NotSupported,
+    #[default]
+    ReadUncommitted,
+    ReadCommitted,
+    RepeatableRead,
+    Serializable,
+}
+
+impl TransactionIsolation {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TransactionIsolation::NotSupported => "NotSupported",
+            TransactionIsolation::ReadUncommitted => "ReadUncommitted",
+            TransactionIsolation::ReadCommitted => "ReadCommitted",
+            TransactionIsolation::RepeatableRead => "RepeatableRead",
+            TransactionIsolation::Serializable => "Serializable",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "NotSupported" => Some(Self::NotSupported),
+            "ReadUncommitted" => Some(Self::ReadUncommitted),
+            "ReadCommitted" => Some(Self::ReadCommitted),
+            "RepeatableRead" => Some(Self::RepeatableRead),
+            "Serializable" => Some(Self::Serializable),
+            _ => None,
+        }
+    }
+}
+
+/// Whether derived data reflects later changes to its parent (§4.2:
+/// "whether changes in the parent data resource will be reflected in the
+/// derived data or not").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sensitivity {
+    /// A materialised copy: parent changes are not visible.
+    #[default]
+    Insensitive,
+    /// View-like: re-evaluated against the parent on access.
+    Sensitive,
+}
+
+impl Sensitivity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Sensitivity::Insensitive => "Insensitive",
+            Sensitivity::Sensitive => "Sensitive",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "Insensitive" => Some(Self::Insensitive),
+            "Sensitive" => Some(Self::Sensitive),
+            _ => None,
+        }
+    }
+}
+
+/// One `DatasetMap` entry: for a given request message, the data format
+/// URI the service can return (§4.2: "there will be one of these elements
+/// for each possible supported return type").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetMap {
+    /// The request message this mapping applies to (e.g. `SQLExecuteRequest`).
+    pub message: QName,
+    /// The format URI (e.g. the WebRowSet namespace).
+    pub dataset_format: String,
+}
+
+/// One `ConfigurationMap` entry: for a factory message, the port type of
+/// the data service that will serve the derived resource, plus the default
+/// configurable property values (§4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigurationMap {
+    pub message: QName,
+    pub port_type: QName,
+    pub defaults: ConfigurationDocument,
+}
+
+/// The configurable property values a consumer may set when creating a
+/// derived resource through the indirect access pattern (§4.2).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConfigurationDocument {
+    pub description: Option<String>,
+    pub readable: Option<bool>,
+    pub writeable: Option<bool>,
+    pub transaction_initiation: Option<TransactionInitiation>,
+    pub transaction_isolation: Option<TransactionIsolation>,
+    pub sensitivity: Option<Sensitivity>,
+}
+
+impl ConfigurationDocument {
+    /// Overlay `other` on `self`: fields set in `other` win.
+    pub fn overridden_by(&self, other: &ConfigurationDocument) -> ConfigurationDocument {
+        ConfigurationDocument {
+            description: other.description.clone().or_else(|| self.description.clone()),
+            readable: other.readable.or(self.readable),
+            writeable: other.writeable.or(self.writeable),
+            transaction_initiation: other.transaction_initiation.or(self.transaction_initiation),
+            transaction_isolation: other.transaction_isolation.or(self.transaction_isolation),
+            sensitivity: other.sensitivity.or(self.sensitivity),
+        }
+    }
+
+    /// Serialise as a `wsdai:ConfigurationDocument` element.
+    pub fn to_xml(&self) -> XmlElement {
+        let mut el = XmlElement::new(ns::WSDAI, "wsdai", "ConfigurationDocument");
+        if let Some(d) = &self.description {
+            el.push(XmlElement::new(ns::WSDAI, "wsdai", "DataResourceDescription").with_text(d));
+        }
+        if let Some(r) = self.readable {
+            el.push(XmlElement::new(ns::WSDAI, "wsdai", "Readable").with_text(r.to_string()));
+        }
+        if let Some(w) = self.writeable {
+            el.push(XmlElement::new(ns::WSDAI, "wsdai", "Writeable").with_text(w.to_string()));
+        }
+        if let Some(t) = self.transaction_initiation {
+            el.push(XmlElement::new(ns::WSDAI, "wsdai", "TransactionInitiation").with_text(t.as_str()));
+        }
+        if let Some(t) = self.transaction_isolation {
+            el.push(XmlElement::new(ns::WSDAI, "wsdai", "TransactionIsolation").with_text(t.as_str()));
+        }
+        if let Some(s) = self.sensitivity {
+            el.push(XmlElement::new(ns::WSDAI, "wsdai", "Sensitivity").with_text(s.as_str()));
+        }
+        el
+    }
+
+    /// Parse from XML; unknown enum values yield `Err` (the
+    /// `InvalidConfigurationDocument` fault at the service boundary).
+    pub fn from_xml(el: &XmlElement) -> Result<ConfigurationDocument, String> {
+        let mut doc = ConfigurationDocument::default();
+        doc.description = el.child_text(ns::WSDAI, "DataResourceDescription");
+        if let Some(t) = el.child_text(ns::WSDAI, "Readable") {
+            doc.readable = Some(t.trim().parse().map_err(|_| format!("bad Readable value '{t}'"))?);
+        }
+        if let Some(t) = el.child_text(ns::WSDAI, "Writeable") {
+            doc.writeable = Some(t.trim().parse().map_err(|_| format!("bad Writeable value '{t}'"))?);
+        }
+        if let Some(t) = el.child_text(ns::WSDAI, "TransactionInitiation") {
+            doc.transaction_initiation = Some(
+                TransactionInitiation::parse(t.trim())
+                    .ok_or_else(|| format!("bad TransactionInitiation value '{t}'"))?,
+            );
+        }
+        if let Some(t) = el.child_text(ns::WSDAI, "TransactionIsolation") {
+            doc.transaction_isolation = Some(
+                TransactionIsolation::parse(t.trim())
+                    .ok_or_else(|| format!("bad TransactionIsolation value '{t}'"))?,
+            );
+        }
+        if let Some(t) = el.child_text(ns::WSDAI, "Sensitivity") {
+            doc.sensitivity =
+                Some(Sensitivity::parse(t.trim()).ok_or_else(|| format!("bad Sensitivity value '{t}'"))?);
+        }
+        Ok(doc)
+    }
+}
+
+/// The complete set of WS-DAI core properties for one resource.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreProperties {
+    // -- static properties --
+    pub abstract_name: AbstractName,
+    pub parent: Option<AbstractName>,
+    pub management: ResourceManagementKind,
+    pub concurrent_access: bool,
+    pub dataset_maps: Vec<DatasetMap>,
+    pub configuration_maps: Vec<ConfigurationMap>,
+    pub generic_query_languages: Vec<String>,
+    // -- configurable properties --
+    pub description: String,
+    pub readable: bool,
+    pub writeable: bool,
+    pub transaction_initiation: TransactionInitiation,
+    pub transaction_isolation: TransactionIsolation,
+    pub sensitivity: Sensitivity,
+}
+
+impl CoreProperties {
+    /// Sensible defaults for a fresh resource.
+    pub fn new(abstract_name: AbstractName, management: ResourceManagementKind) -> CoreProperties {
+        CoreProperties {
+            abstract_name,
+            parent: None,
+            management,
+            concurrent_access: true,
+            dataset_maps: Vec::new(),
+            configuration_maps: Vec::new(),
+            generic_query_languages: Vec::new(),
+            description: String::new(),
+            readable: true,
+            writeable: false,
+            transaction_initiation: TransactionInitiation::default(),
+            transaction_isolation: TransactionIsolation::default(),
+            sensitivity: Sensitivity::default(),
+        }
+    }
+
+    /// Apply a configuration document to the configurable properties.
+    pub fn apply_configuration(&mut self, config: &ConfigurationDocument) {
+        if let Some(d) = &config.description {
+            self.description = d.clone();
+        }
+        if let Some(r) = config.readable {
+            self.readable = r;
+        }
+        if let Some(w) = config.writeable {
+            self.writeable = w;
+        }
+        if let Some(t) = config.transaction_initiation {
+            self.transaction_initiation = t;
+        }
+        if let Some(t) = config.transaction_isolation {
+            self.transaction_isolation = t;
+        }
+        if let Some(s) = config.sensitivity {
+            self.sensitivity = s;
+        }
+    }
+
+    /// Does the `DatasetMap` advertise `format` for `message`?
+    pub fn supports_format(&self, message: &QName, format: &str) -> bool {
+        self.dataset_maps.iter().any(|m| &m.message == message && m.dataset_format == format)
+    }
+
+    /// Serialise the property document: a `wsdai:PropertyDocument` whose
+    /// children are the individual properties (ready for WSRF layering).
+    pub fn to_xml(&self) -> XmlElement {
+        let mut doc = XmlElement::new(ns::WSDAI, "wsdai", "PropertyDocument");
+        doc.push(
+            XmlElement::new(ns::WSDAI, "wsdai", "DataResourceAbstractName")
+                .with_text(self.abstract_name.as_str()),
+        );
+        let parent = XmlElement::new(ns::WSDAI, "wsdai", "ParentDataResource");
+        doc.push(match &self.parent {
+            Some(p) => parent.with_text(p.as_str()),
+            None => parent,
+        });
+        doc.push(
+            XmlElement::new(ns::WSDAI, "wsdai", "DataResourceManagement")
+                .with_text(self.management.as_str()),
+        );
+        doc.push(
+            XmlElement::new(ns::WSDAI, "wsdai", "ConcurrentAccess")
+                .with_text(self.concurrent_access.to_string()),
+        );
+        for m in &self.dataset_maps {
+            doc.push(
+                XmlElement::new(ns::WSDAI, "wsdai", "DatasetMap")
+                    .with_child(
+                        XmlElement::new(ns::WSDAI, "wsdai", "MessageName").with_text(m.message.lexical()),
+                    )
+                    .with_child(
+                        XmlElement::new(ns::WSDAI, "wsdai", "DatasetFormatURI")
+                            .with_text(&m.dataset_format),
+                    ),
+            );
+        }
+        for m in &self.configuration_maps {
+            doc.push(
+                XmlElement::new(ns::WSDAI, "wsdai", "ConfigurationMap")
+                    .with_child(
+                        XmlElement::new(ns::WSDAI, "wsdai", "MessageName").with_text(m.message.lexical()),
+                    )
+                    .with_child(
+                        XmlElement::new(ns::WSDAI, "wsdai", "PortTypeQName")
+                            .with_text(m.port_type.lexical()),
+                    )
+                    .with_child(m.defaults.to_xml()),
+            );
+        }
+        for l in &self.generic_query_languages {
+            doc.push(XmlElement::new(ns::WSDAI, "wsdai", "GenericQueryLanguage").with_text(l));
+        }
+        doc.push(
+            XmlElement::new(ns::WSDAI, "wsdai", "DataResourceDescription").with_text(&self.description),
+        );
+        doc.push(XmlElement::new(ns::WSDAI, "wsdai", "Readable").with_text(self.readable.to_string()));
+        doc.push(XmlElement::new(ns::WSDAI, "wsdai", "Writeable").with_text(self.writeable.to_string()));
+        doc.push(
+            XmlElement::new(ns::WSDAI, "wsdai", "TransactionInitiation")
+                .with_text(self.transaction_initiation.as_str()),
+        );
+        doc.push(
+            XmlElement::new(ns::WSDAI, "wsdai", "TransactionIsolation")
+                .with_text(self.transaction_isolation.as_str()),
+        );
+        doc.push(XmlElement::new(ns::WSDAI, "wsdai", "Sensitivity").with_text(self.sensitivity.as_str()));
+        doc
+    }
+
+    /// Parse a property document back into the typed form.
+    pub fn from_xml(doc: &XmlElement) -> Result<CoreProperties, String> {
+        let name_text = doc
+            .child_text(ns::WSDAI, "DataResourceAbstractName")
+            .ok_or("missing DataResourceAbstractName")?;
+        let abstract_name = AbstractName::new(name_text).map_err(|e| e.to_string())?;
+        let parent = match doc.child_text(ns::WSDAI, "ParentDataResource") {
+            Some(t) if !t.is_empty() => Some(AbstractName::new(t).map_err(|e| e.to_string())?),
+            _ => None,
+        };
+        let management = doc
+            .child_text(ns::WSDAI, "DataResourceManagement")
+            .and_then(|t| ResourceManagementKind::parse(t.trim()))
+            .ok_or("missing or invalid DataResourceManagement")?;
+        let mut props = CoreProperties::new(abstract_name, management);
+        props.parent = parent;
+        props.concurrent_access = doc
+            .child_text(ns::WSDAI, "ConcurrentAccess")
+            .and_then(|t| t.trim().parse().ok())
+            .unwrap_or(true);
+        for m in doc.children_named(ns::WSDAI, "DatasetMap") {
+            props.dataset_maps.push(DatasetMap {
+                message: parse_lexical_qname(
+                    &m.child_text(ns::WSDAI, "MessageName").unwrap_or_default(),
+                ),
+                dataset_format: m.child_text(ns::WSDAI, "DatasetFormatURI").unwrap_or_default(),
+            });
+        }
+        for m in doc.children_named(ns::WSDAI, "ConfigurationMap") {
+            props.configuration_maps.push(ConfigurationMap {
+                message: parse_lexical_qname(
+                    &m.child_text(ns::WSDAI, "MessageName").unwrap_or_default(),
+                ),
+                port_type: parse_lexical_qname(
+                    &m.child_text(ns::WSDAI, "PortTypeQName").unwrap_or_default(),
+                ),
+                defaults: m
+                    .child(ns::WSDAI, "ConfigurationDocument")
+                    .map(ConfigurationDocument::from_xml)
+                    .transpose()?
+                    .unwrap_or_default(),
+            });
+        }
+        props.generic_query_languages = doc
+            .children_named(ns::WSDAI, "GenericQueryLanguage")
+            .map(|e| e.text())
+            .collect();
+        props.description = doc.child_text(ns::WSDAI, "DataResourceDescription").unwrap_or_default();
+        props.readable =
+            doc.child_text(ns::WSDAI, "Readable").and_then(|t| t.trim().parse().ok()).unwrap_or(true);
+        props.writeable = doc
+            .child_text(ns::WSDAI, "Writeable")
+            .and_then(|t| t.trim().parse().ok())
+            .unwrap_or(false);
+        if let Some(t) = doc.child_text(ns::WSDAI, "TransactionInitiation") {
+            props.transaction_initiation =
+                TransactionInitiation::parse(t.trim()).ok_or("invalid TransactionInitiation")?;
+        }
+        if let Some(t) = doc.child_text(ns::WSDAI, "TransactionIsolation") {
+            props.transaction_isolation =
+                TransactionIsolation::parse(t.trim()).ok_or("invalid TransactionIsolation")?;
+        }
+        if let Some(t) = doc.child_text(ns::WSDAI, "Sensitivity") {
+            props.sensitivity = Sensitivity::parse(t.trim()).ok_or("invalid Sensitivity")?;
+        }
+        Ok(props)
+    }
+}
+
+/// Parse a `prefix:local` lexical QName; the prefix is preserved but the
+/// namespace is resolved by well-known prefixes (wsdai/wsdair/wsdaix).
+/// Message and port-type names in property documents use these canonical
+/// prefixes throughout this implementation.
+fn parse_lexical_qname(lexical: &str) -> QName {
+    match lexical.split_once(':') {
+        Some((p, l)) => {
+            let namespace = match p {
+                "wsdai" => ns::WSDAI,
+                "wsdair" => ns::WSDAIR,
+                "wsdaix" => ns::WSDAIX,
+                _ => "",
+            };
+            QName::new(namespace, p, l)
+        }
+        None => QName::local(lexical),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CoreProperties {
+        let mut p = CoreProperties::new(
+            AbstractName::new("urn:dais:svc:db:0").unwrap(),
+            ResourceManagementKind::ExternallyManaged,
+        );
+        p.parent = Some(AbstractName::new("urn:dais:svc:parent:0").unwrap());
+        p.generic_query_languages = vec!["urn:sql:92".to_string()];
+        p.dataset_maps.push(DatasetMap {
+            message: QName::new(ns::WSDAIR, "wsdair", "SQLExecuteRequest"),
+            dataset_format: ns::ROWSET.to_string(),
+        });
+        p.configuration_maps.push(ConfigurationMap {
+            message: QName::new(ns::WSDAIR, "wsdair", "SQLExecuteFactoryRequest"),
+            port_type: QName::new(ns::WSDAIR, "wsdair", "SQLResponseAccessPT"),
+            defaults: ConfigurationDocument {
+                readable: Some(true),
+                writeable: Some(false),
+                sensitivity: Some(Sensitivity::Insensitive),
+                ..Default::default()
+            },
+        });
+        p.description = "orders database".into();
+        p
+    }
+
+    #[test]
+    fn property_document_roundtrip() {
+        let p = sample();
+        let doc = p.to_xml();
+        let rt = CoreProperties::from_xml(&doc).unwrap();
+        assert_eq!(rt, p);
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let p = sample();
+        let text = dais_xml::to_string(&p.to_xml());
+        let rt = CoreProperties::from_xml(&dais_xml::parse(&text).unwrap()).unwrap();
+        assert_eq!(rt, p);
+    }
+
+    #[test]
+    fn document_contains_all_core_properties() {
+        let doc = sample().to_xml();
+        for local in [
+            "DataResourceAbstractName",
+            "ParentDataResource",
+            "DataResourceManagement",
+            "ConcurrentAccess",
+            "DatasetMap",
+            "ConfigurationMap",
+            "GenericQueryLanguage",
+            "DataResourceDescription",
+            "Readable",
+            "Writeable",
+            "TransactionInitiation",
+            "TransactionIsolation",
+            "Sensitivity",
+        ] {
+            assert!(doc.child(ns::WSDAI, local).is_some(), "missing property {local}");
+        }
+    }
+
+    #[test]
+    fn configuration_document_roundtrip() {
+        let c = ConfigurationDocument {
+            description: Some("derived".into()),
+            readable: Some(true),
+            writeable: Some(false),
+            transaction_initiation: Some(TransactionInitiation::NotSupported),
+            transaction_isolation: Some(TransactionIsolation::ReadUncommitted),
+            sensitivity: Some(Sensitivity::Sensitive),
+        };
+        let rt = ConfigurationDocument::from_xml(&c.to_xml()).unwrap();
+        assert_eq!(rt, c);
+        // Empty config is valid and empty.
+        let empty = ConfigurationDocument::default();
+        assert_eq!(ConfigurationDocument::from_xml(&empty.to_xml()).unwrap(), empty);
+    }
+
+    #[test]
+    fn configuration_document_rejects_bad_values() {
+        let el = XmlElement::new(ns::WSDAI, "wsdai", "ConfigurationDocument")
+            .with_child(XmlElement::new(ns::WSDAI, "wsdai", "Readable").with_text("maybe"));
+        assert!(ConfigurationDocument::from_xml(&el).is_err());
+        let el = XmlElement::new(ns::WSDAI, "wsdai", "ConfigurationDocument")
+            .with_child(XmlElement::new(ns::WSDAI, "wsdai", "Sensitivity").with_text("Psychic"));
+        assert!(ConfigurationDocument::from_xml(&el).is_err());
+    }
+
+    #[test]
+    fn overlay_semantics() {
+        let base = ConfigurationDocument {
+            readable: Some(true),
+            writeable: Some(false),
+            sensitivity: Some(Sensitivity::Insensitive),
+            ..Default::default()
+        };
+        let request = ConfigurationDocument {
+            writeable: Some(true),
+            description: Some("mine".into()),
+            ..Default::default()
+        };
+        let merged = base.overridden_by(&request);
+        assert_eq!(merged.readable, Some(true)); // from base
+        assert_eq!(merged.writeable, Some(true)); // overridden
+        assert_eq!(merged.description.as_deref(), Some("mine"));
+        assert_eq!(merged.sensitivity, Some(Sensitivity::Insensitive));
+    }
+
+    #[test]
+    fn apply_configuration_sets_only_present_fields() {
+        let mut p = sample();
+        p.apply_configuration(&ConfigurationDocument {
+            writeable: Some(true),
+            ..Default::default()
+        });
+        assert!(p.writeable);
+        assert!(p.readable); // untouched
+        assert_eq!(p.description, "orders database"); // untouched
+    }
+
+    #[test]
+    fn supports_format_consults_dataset_map() {
+        let p = sample();
+        let msg = QName::new(ns::WSDAIR, "wsdair", "SQLExecuteRequest");
+        assert!(p.supports_format(&msg, ns::ROWSET));
+        assert!(!p.supports_format(&msg, "urn:csv"));
+        assert!(!p.supports_format(&QName::local("Other"), ns::ROWSET));
+    }
+
+    #[test]
+    fn enum_parsing() {
+        assert_eq!(TransactionIsolation::parse("Serializable"), Some(TransactionIsolation::Serializable));
+        assert_eq!(TransactionIsolation::parse("nope"), None);
+        assert_eq!(Sensitivity::parse("Sensitive"), Some(Sensitivity::Sensitive));
+        assert_eq!(
+            TransactionInitiation::parse("TransactionalPerMessage"),
+            Some(TransactionInitiation::TransactionalPerMessage)
+        );
+        assert_eq!(ResourceManagementKind::parse("ServiceManaged"), Some(ResourceManagementKind::ServiceManaged));
+    }
+}

@@ -1,0 +1,106 @@
+//! The data service's resource registry.
+//!
+//! "A data service may represent zero or more data resources" (§3). The
+//! registry maps abstract names to resources and backs the optional
+//! CoreResourceList interface (`GetResourceList` / `Resolve`).
+
+use crate::name::AbstractName;
+use crate::resource::DataResource;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A shared, thread-safe name → resource map.
+#[derive(Clone, Default)]
+pub struct ResourceRegistry {
+    inner: Arc<RwLock<BTreeMap<AbstractName, Arc<dyn DataResource>>>>,
+}
+
+impl ResourceRegistry {
+    pub fn new() -> ResourceRegistry {
+        ResourceRegistry::default()
+    }
+
+    /// Register a resource under its abstract name. Returns `false` if a
+    /// resource with that name was already present (and leaves it).
+    pub fn register(&self, resource: Arc<dyn DataResource>) -> bool {
+        let name = resource.abstract_name().clone();
+        let mut map = self.inner.write();
+        if map.contains_key(&name) {
+            return false;
+        }
+        map.insert(name, resource);
+        true
+    }
+
+    /// Look up by abstract name.
+    pub fn get(&self, name: &AbstractName) -> Option<Arc<dyn DataResource>> {
+        self.inner.read().get(name).cloned()
+    }
+
+    /// Look up by abstract name in string form.
+    pub fn get_str(&self, name: &str) -> Option<Arc<dyn DataResource>> {
+        let name = AbstractName::new(name).ok()?;
+        self.get(&name)
+    }
+
+    /// Remove (destroy the service–resource relationship). Returns the
+    /// removed resource so callers can finalise service-managed data.
+    pub fn remove(&self, name: &AbstractName) -> Option<Arc<dyn DataResource>> {
+        self.inner.write().remove(name)
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<AbstractName> {
+        self.inner.read().keys().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::{CoreProperties, ResourceManagementKind};
+    use crate::resource::StaticResource;
+
+    fn resource(name: &str) -> Arc<dyn DataResource> {
+        Arc::new(StaticResource::new(
+            CoreProperties::new(
+                AbstractName::new(name).unwrap(),
+                ResourceManagementKind::ServiceManaged,
+            ),
+            vec![],
+        ))
+    }
+
+    #[test]
+    fn register_resolve_remove() {
+        let reg = ResourceRegistry::new();
+        assert!(reg.register(resource("urn:a")));
+        assert!(reg.register(resource("urn:b")));
+        assert!(!reg.register(resource("urn:a"))); // duplicate
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get_str("urn:a").is_some());
+        assert!(reg.get_str("urn:zzz").is_none());
+        assert!(reg.get_str("not a uri").is_none());
+        let removed = reg.remove(&AbstractName::new("urn:a").unwrap());
+        assert!(removed.is_some());
+        assert!(reg.get_str("urn:a").is_none());
+        assert_eq!(reg.names(), vec![AbstractName::new("urn:b").unwrap()]);
+    }
+
+    #[test]
+    fn shared_between_clones() {
+        let reg = ResourceRegistry::new();
+        let reg2 = reg.clone();
+        reg.register(resource("urn:x"));
+        assert!(reg2.get_str("urn:x").is_some());
+    }
+}

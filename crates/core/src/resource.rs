@@ -1,0 +1,125 @@
+//! The data resource abstraction (paper §3).
+
+use crate::name::AbstractName;
+use crate::properties::CoreProperties;
+use dais_soap::fault::{DaisFault, Fault};
+use dais_xml::XmlElement;
+use std::any::Any;
+
+pub use crate::properties::ResourceManagementKind as ResourceManagement;
+
+/// Anything a data service can represent: "any entity that can act as a
+/// source or sink of data". Realisations implement this for their
+/// resource kinds (relational databases, SQL responses, rowsets, XML
+/// collections, query sequences…).
+pub trait DataResource: Send + Sync {
+    /// The unique, persistent abstract name.
+    fn abstract_name(&self) -> &AbstractName;
+
+    /// The WS-DAI core properties (a snapshot).
+    fn core_properties(&self) -> CoreProperties;
+
+    /// The full property document: the core properties plus any
+    /// realisation-specific extension properties.
+    fn property_document(&self) -> XmlElement {
+        self.core_properties().to_xml()
+    }
+
+    /// Service the model-independent `GenericQuery` operation. The
+    /// default rejects every language; realisations override for the
+    /// languages they advertise in `GenericQueryLanguage`.
+    fn generic_query(&self, language: &str, _expression: &str) -> Result<Vec<XmlElement>, Fault> {
+        Err(Fault::dais(
+            DaisFault::InvalidLanguage,
+            format!("query language '{language}' is not supported by this resource"),
+        ))
+    }
+
+    /// Downcast hook so realisations can recover their concrete types
+    /// from the shared registry.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// A trivial in-memory resource used by tests and the thin examples: it
+/// stores a property set and a fixed payload served via `GenericQuery`
+/// with the pseudo-language `urn:echo`.
+pub struct StaticResource {
+    properties: CoreProperties,
+    payload: Vec<XmlElement>,
+}
+
+impl StaticResource {
+    pub fn new(mut properties: CoreProperties, payload: Vec<XmlElement>) -> StaticResource {
+        if !properties.generic_query_languages.iter().any(|l| l == "urn:echo") {
+            properties.generic_query_languages.push("urn:echo".to_string());
+        }
+        StaticResource { properties, payload }
+    }
+}
+
+impl DataResource for StaticResource {
+    fn abstract_name(&self) -> &AbstractName {
+        &self.properties.abstract_name
+    }
+
+    fn core_properties(&self) -> CoreProperties {
+        self.properties.clone()
+    }
+
+    fn generic_query(&self, language: &str, _expression: &str) -> Result<Vec<XmlElement>, Fault> {
+        if language == "urn:echo" {
+            Ok(self.payload.clone())
+        } else {
+            Err(Fault::dais(
+                DaisFault::InvalidLanguage,
+                format!("query language '{language}' is not supported by this resource"),
+            ))
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::ResourceManagementKind;
+
+    fn make() -> StaticResource {
+        let props = CoreProperties::new(
+            AbstractName::new("urn:dais:t:r:0").unwrap(),
+            ResourceManagementKind::ServiceManaged,
+        );
+        StaticResource::new(props, vec![XmlElement::new_local("data").with_text("42")])
+    }
+
+    #[test]
+    fn serves_echo_queries() {
+        let r = make();
+        let out = r.generic_query("urn:echo", "").unwrap();
+        assert_eq!(out[0].text(), "42");
+        let err = r.generic_query("urn:sql:92", "SELECT 1").unwrap_err();
+        assert!(err.is(DaisFault::InvalidLanguage));
+    }
+
+    #[test]
+    fn advertises_echo_language() {
+        let r = make();
+        assert!(r.core_properties().generic_query_languages.contains(&"urn:echo".to_string()));
+    }
+
+    #[test]
+    fn property_document_defaults_to_core() {
+        let r = make();
+        let doc = r.property_document();
+        assert!(doc.name.is(dais_xml::ns::WSDAI, "PropertyDocument"));
+    }
+
+    #[test]
+    fn downcasting_works() {
+        let r: Box<dyn DataResource> = Box::new(make());
+        assert!(r.as_any().downcast_ref::<StaticResource>().is_some());
+    }
+}

@@ -1,0 +1,350 @@
+//! Service-side registration of the WS-DAIF interfaces, plus an
+//! assembled single-address file data service.
+
+use crate::actions;
+use crate::base64;
+use crate::resources::{DirectoryResource, FileSetResource};
+use crate::store::FileStore;
+use crate::WSDAIF_NS;
+use dais_core::factory::{factory_response, mint_resource_epr, DerivedResourceConfig};
+use dais_core::{
+    register_core_ops, register_wsrf_ops, NameGenerator, ResourceRegistry, ServiceContext,
+};
+use dais_soap::bus::Bus;
+use dais_soap::envelope::Envelope;
+use dais_soap::fault::{DaisFault, Fault};
+use dais_soap::service::SoapDispatcher;
+use dais_wsrf::LifetimeRegistry;
+use dais_xml::{QName, XmlElement};
+use std::sync::Arc;
+
+fn payload(request: &Envelope) -> Result<&XmlElement, Fault> {
+    request.payload().ok_or_else(|| Fault::client("request has an empty SOAP body"))
+}
+
+fn respond(element: XmlElement) -> Result<Envelope, Fault> {
+    Ok(Envelope::with_body(element))
+}
+
+fn as_directory(resource: &Arc<dyn dais_core::DataResource>) -> Result<&DirectoryResource, Fault> {
+    resource.as_any().downcast_ref::<DirectoryResource>().ok_or_else(|| {
+        Fault::dais(DaisFault::InvalidResourceName, "resource is not a file directory")
+    })
+}
+
+fn as_file_set(resource: &Arc<dyn dais_core::DataResource>) -> Result<&FileSetResource, Fault> {
+    resource.as_any().downcast_ref::<FileSetResource>().ok_or_else(|| {
+        Fault::dais(DaisFault::InvalidResourceName, "resource is not a file set")
+    })
+}
+
+fn path_of(body: &XmlElement) -> Result<String, Fault> {
+    body.child_text(WSDAIF_NS, "Path").ok_or_else(|| Fault::client("missing wsdaif:Path"))
+}
+
+/// Register the **FileAccess** interface.
+pub fn register_file_access(dispatcher: &mut SoapDispatcher, ctx: Arc<ServiceContext>) {
+    let c = ctx.clone();
+    dispatcher.register(actions::READ_FILE, move |req: &Envelope| {
+        let body = payload(req)?;
+        let resource = c.resolve_resource(body)?;
+        let dir = as_directory(&resource)?;
+        if !resource.core_properties().readable {
+            return Err(Fault::dais(DaisFault::NotAuthorized, "resource is not readable"));
+        }
+        let path = path_of(body)?;
+        if !dir.in_scope(&path) {
+            return Err(Fault::dais(DaisFault::NotAuthorized, "path is outside this resource's scope"));
+        }
+        let contents = dir
+            .store()
+            .read(&path)
+            .map_err(|e| Fault::dais(DaisFault::InvalidExpression, e.to_string()))?;
+        respond(
+            XmlElement::new(WSDAIF_NS, "wsdaif", "ReadFileResponse")
+                .with_child(XmlElement::new(WSDAIF_NS, "wsdaif", "Path").with_text(path))
+                .with_child(
+                    XmlElement::new(WSDAIF_NS, "wsdaif", "Contents")
+                        .with_text(base64::encode(&contents)),
+                ),
+        )
+    });
+
+    let c = ctx.clone();
+    dispatcher.register(actions::WRITE_FILE, move |req: &Envelope| {
+        let body = payload(req)?;
+        let resource = c.resolve_resource(body)?;
+        let dir = as_directory(&resource)?;
+        if !resource.core_properties().writeable {
+            return Err(Fault::dais(DaisFault::NotAuthorized, "resource is not writeable"));
+        }
+        let path = path_of(body)?;
+        if !dir.in_scope(&path) {
+            return Err(Fault::dais(DaisFault::NotAuthorized, "path is outside this resource's scope"));
+        }
+        let contents = body
+            .child_text(WSDAIF_NS, "Contents")
+            .ok_or_else(|| Fault::client("missing wsdaif:Contents"))?;
+        let bytes = base64::decode(&contents)
+            .map_err(|e| Fault::dais(DaisFault::InvalidExpression, e))?;
+        let size = dir
+            .store()
+            .write(&path, bytes)
+            .map_err(|e| Fault::dais(DaisFault::InvalidExpression, e.to_string()))?;
+        respond(
+            XmlElement::new(WSDAIF_NS, "wsdaif", "WriteFileResponse")
+                .with_child(XmlElement::new(WSDAIF_NS, "wsdaif", "Size").with_text(size.to_string())),
+        )
+    });
+
+    let c = ctx.clone();
+    dispatcher.register(actions::DELETE_FILE, move |req: &Envelope| {
+        let body = payload(req)?;
+        let resource = c.resolve_resource(body)?;
+        let dir = as_directory(&resource)?;
+        if !resource.core_properties().writeable {
+            return Err(Fault::dais(DaisFault::NotAuthorized, "resource is not writeable"));
+        }
+        let path = path_of(body)?;
+        dir.store()
+            .delete(&path)
+            .map_err(|e| Fault::dais(DaisFault::InvalidExpression, e.to_string()))?;
+        respond(XmlElement::new(WSDAIF_NS, "wsdaif", "DeleteFileResponse"))
+    });
+
+    let c = ctx.clone();
+    dispatcher.register(actions::LIST_FILES, move |req: &Envelope| {
+        let body = payload(req)?;
+        let resource = c.resolve_resource(body)?;
+        let dir = as_directory(&resource)?;
+        let pattern = body.child_text(WSDAIF_NS, "Pattern").unwrap_or_default();
+        let mut response = XmlElement::new(WSDAIF_NS, "wsdaif", "ListFilesResponse");
+        for (path, size) in dir.select(&pattern) {
+            response.push(
+                XmlElement::new(WSDAIF_NS, "wsdaif", "File")
+                    .with_attr("size", size.to_string())
+                    .with_text(path),
+            );
+        }
+        respond(response)
+    });
+
+    let c = ctx;
+    dispatcher.register(actions::GET_FILE_PROPERTY_DOCUMENT, move |req: &Envelope| {
+        let body = payload(req)?;
+        let resource = c.resolve_resource(body)?;
+        as_directory(&resource)?;
+        let mut response = XmlElement::new(WSDAIF_NS, "wsdaif", "GetFilePropertyDocumentResponse");
+        response.push(resource.property_document());
+        respond(response)
+    });
+}
+
+/// Register the **FileFactory** + **FileSetAccess** interfaces.
+pub fn register_file_factory(
+    dispatcher: &mut SoapDispatcher,
+    ctx: Arc<ServiceContext>,
+    target: Arc<ServiceContext>,
+    names: Arc<NameGenerator>,
+) {
+    let c = ctx.clone();
+    dispatcher.register(actions::FILE_SELECT_FACTORY, move |req: &Envelope| {
+        let body = payload(req)?;
+        let resource = c.resolve_resource(body)?;
+        let dir = as_directory(&resource)?;
+        let props = resource.core_properties();
+        let config = DerivedResourceConfig::from_request(body)?;
+        let message = QName::new(WSDAIF_NS, "wsdaif", "FileSelectFactoryRequest");
+        let (_port, effective) = config.resolve_against(&props.configuration_maps, &message)?;
+        let pattern = body.child_text(WSDAIF_NS, "Pattern").unwrap_or_default();
+        let members = dir.select(&pattern);
+
+        let name = names.mint("file-set");
+        let derived = config.derived_properties(name.clone(), &effective);
+        target.add_resource(Arc::new(FileSetResource::new(derived, members)));
+        let epr = mint_resource_epr(&target.address, &name);
+        respond(factory_response("FileSelectFactoryResponse", WSDAIF_NS, "wsdaif", &epr))
+    });
+
+    let c = ctx;
+    dispatcher.register(actions::GET_FILE_SET_MEMBERS, move |req: &Envelope| {
+        let body = payload(req)?;
+        let resource = c.resolve_resource(body)?;
+        let set = as_file_set(&resource)?;
+        let start = body
+            .child_text(WSDAIF_NS, "StartPosition")
+            .and_then(|t| t.trim().parse().ok())
+            .unwrap_or(0usize);
+        let count = body
+            .child_text(WSDAIF_NS, "Count")
+            .and_then(|t| t.trim().parse().ok())
+            .unwrap_or(usize::MAX);
+        let mut response = XmlElement::new(WSDAIF_NS, "wsdaif", "GetFileSetMembersResponse");
+        for (path, size) in set.members(start, count) {
+            response.push(
+                XmlElement::new(WSDAIF_NS, "wsdaif", "File")
+                    .with_attr("size", size.to_string())
+                    .with_text(path.clone()),
+            );
+        }
+        respond(response)
+    });
+}
+
+/// Options for assembling a file data service.
+#[derive(Default)]
+pub struct FileServiceOptions {
+    pub wsrf: Option<Arc<LifetimeRegistry>>,
+}
+
+/// A fully-assembled single-address WS-DAIF data service.
+pub struct FileService {
+    pub ctx: Arc<ServiceContext>,
+    pub names: Arc<NameGenerator>,
+    /// The abstract name of the root directory resource.
+    pub root: dais_core::AbstractName,
+}
+
+impl FileService {
+    pub fn launch(bus: &Bus, address: &str, store: FileStore, options: FileServiceOptions) -> FileService {
+        let ctx = Arc::new(ServiceContext {
+            address: address.to_string(),
+            registry: ResourceRegistry::new(),
+            lifetime: options.wsrf,
+            query_rewriter: None,
+        });
+        let names = Arc::new(NameGenerator::new(
+            address.trim_start_matches("bus://").replace('/', "-"),
+        ));
+        let mut dispatcher = SoapDispatcher::new();
+        register_core_ops(&mut dispatcher, ctx.clone());
+        if ctx.lifetime.is_some() {
+            register_wsrf_ops(&mut dispatcher, ctx.clone());
+        }
+        register_file_access(&mut dispatcher, ctx.clone());
+        register_file_factory(&mut dispatcher, ctx.clone(), ctx.clone(), names.clone());
+        bus.register(address, Arc::new(dispatcher));
+
+        let root = names.mint("directory");
+        ctx.add_resource(Arc::new(DirectoryResource::new(root.clone(), store, "")));
+        FileService { ctx, names, root }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dais_core::messages as core_messages;
+    use dais_core::AbstractName;
+    use dais_soap::client::ServiceClient;
+
+    fn setup() -> (Bus, ServiceClient, AbstractName) {
+        let bus = Bus::new();
+        let store = FileStore::new();
+        store.write("data/a.csv", b"1,2,3".to_vec()).unwrap();
+        store.write("data/b.csv", b"4,5".to_vec()).unwrap();
+        store.write("readme.txt", b"hello".to_vec()).unwrap();
+        let svc = FileService::launch(&bus, "bus://files", store, FileServiceOptions::default());
+        (bus.clone(), ServiceClient::new(bus, "bus://files"), svc.root)
+    }
+
+    fn req(name: &AbstractName, local: &str) -> XmlElement {
+        core_messages::request(local, name)
+    }
+
+    #[test]
+    fn read_write_delete_over_the_wire() {
+        let (_, client, root) = setup();
+        // Write.
+        let body = req(&root, "WriteFileRequest")
+            .with_child(XmlElement::new(WSDAIF_NS, "wsdaif", "Path").with_text("new/file.bin"))
+            .with_child(
+                XmlElement::new(WSDAIF_NS, "wsdaif", "Contents")
+                    .with_text(base64::encode(&[0, 1, 2, 255])),
+            );
+        let resp = client.request(actions::WRITE_FILE, body).unwrap();
+        assert_eq!(resp.child_text(WSDAIF_NS, "Size").as_deref(), Some("4"));
+        // Read back.
+        let body = req(&root, "ReadFileRequest")
+            .with_child(XmlElement::new(WSDAIF_NS, "wsdaif", "Path").with_text("new/file.bin"));
+        let resp = client.request(actions::READ_FILE, body).unwrap();
+        let bytes = base64::decode(&resp.child_text(WSDAIF_NS, "Contents").unwrap()).unwrap();
+        assert_eq!(bytes, vec![0, 1, 2, 255]);
+        // Delete.
+        let body = req(&root, "DeleteFileRequest")
+            .with_child(XmlElement::new(WSDAIF_NS, "wsdaif", "Path").with_text("new/file.bin"));
+        client.request(actions::DELETE_FILE, body).unwrap();
+        let body = req(&root, "ReadFileRequest")
+            .with_child(XmlElement::new(WSDAIF_NS, "wsdaif", "Path").with_text("new/file.bin"));
+        assert!(client.request(actions::READ_FILE, body).is_err());
+    }
+
+    #[test]
+    fn list_with_patterns() {
+        let (_, client, root) = setup();
+        let body = req(&root, "ListFilesRequest")
+            .with_child(XmlElement::new(WSDAIF_NS, "wsdaif", "Pattern").with_text("data/*.csv"));
+        let resp = client.request(actions::LIST_FILES, body).unwrap();
+        let files: Vec<String> =
+            resp.children_named(WSDAIF_NS, "File").map(|f| f.text()).collect();
+        assert_eq!(files, vec!["data/a.csv", "data/b.csv"]);
+        assert_eq!(
+            resp.children_named(WSDAIF_NS, "File").next().unwrap().attribute("size"),
+            Some("5")
+        );
+    }
+
+    #[test]
+    fn property_document() {
+        let (_, client, root) = setup();
+        let resp = client
+            .request(actions::GET_FILE_PROPERTY_DOCUMENT, req(&root, "GetFilePropertyDocumentRequest"))
+            .unwrap();
+        let doc = resp.child(dais_xml::ns::WSDAI, "PropertyDocument").unwrap();
+        assert_eq!(doc.child_text(WSDAIF_NS, "NumberOfFiles").as_deref(), Some("3"));
+        assert_eq!(doc.child_text(WSDAIF_NS, "TotalBytes").as_deref(), Some("13")); // 5+3+5
+    }
+
+    #[test]
+    fn file_set_factory_and_paging() {
+        let (_, client, root) = setup();
+        let body = req(&root, "FileSelectFactoryRequest")
+            .with_child(XmlElement::new(WSDAIF_NS, "wsdaif", "Pattern").with_text("data/*"));
+        let resp = client.request(actions::FILE_SELECT_FACTORY, body).unwrap();
+        let epr = dais_core::factory::parse_factory_response(&resp).unwrap();
+        let set_name = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
+
+        let body = req(&set_name, "GetFileSetMembersRequest")
+            .with_child(XmlElement::new(WSDAIF_NS, "wsdaif", "StartPosition").with_text("1"))
+            .with_child(XmlElement::new(WSDAIF_NS, "wsdaif", "Count").with_text("5"));
+        let resp = client.request(actions::GET_FILE_SET_MEMBERS, body).unwrap();
+        let files: Vec<String> =
+            resp.children_named(WSDAIF_NS, "File").map(|f| f.text()).collect();
+        assert_eq!(files, vec!["data/b.csv"]);
+    }
+
+    #[test]
+    fn bad_paths_and_encodings_fault() {
+        let (_, client, root) = setup();
+        let body = req(&root, "WriteFileRequest")
+            .with_child(XmlElement::new(WSDAIF_NS, "wsdaif", "Path").with_text("../escape"))
+            .with_child(XmlElement::new(WSDAIF_NS, "wsdaif", "Contents").with_text("QQ=="));
+        assert!(client.request(actions::WRITE_FILE, body).is_err());
+
+        let body = req(&root, "WriteFileRequest")
+            .with_child(XmlElement::new(WSDAIF_NS, "wsdaif", "Path").with_text("ok.bin"))
+            .with_child(XmlElement::new(WSDAIF_NS, "wsdaif", "Contents").with_text("!!notbase64"));
+        assert!(client.request(actions::WRITE_FILE, body).is_err());
+    }
+
+    #[test]
+    fn core_operations_work_on_file_resources() {
+        let (bus, _, root) = setup();
+        let core = dais_core::CoreClient::new(bus, "bus://files");
+        let props = core.get_property_document(&root).unwrap();
+        assert!(props.writeable);
+        assert_eq!(core.get_resource_list().unwrap(), vec![root.clone()]);
+        let epr = core.resolve(&root).unwrap();
+        assert_eq!(epr.address, "bus://files");
+    }
+}

@@ -1,0 +1,385 @@
+//! Consumer-side typed client for WS-DAIR services.
+
+use crate::messages::{self, actions, SqlResponseData};
+use dais_core::{AbstractName, CoreClient};
+use dais_soap::addressing::Epr;
+use dais_soap::bus::Bus;
+use dais_soap::client::CallError;
+use dais_sql::{Rowset, SqlCommunicationArea, Value};
+use dais_xml::{ns, XmlElement};
+
+/// A typed consumer of WS-DAIR services. Wraps [`CoreClient`] (all the
+/// WS-DAI core operations remain available through [`SqlClient::core`]).
+#[derive(Clone)]
+pub struct SqlClient {
+    core: CoreClient,
+}
+
+impl SqlClient {
+    pub fn new(bus: Bus, address: impl Into<String>) -> SqlClient {
+        SqlClient { core: CoreClient::new(bus, address) }
+    }
+
+    /// Bind through an EPR from a factory response.
+    pub fn from_epr(bus: Bus, epr: Epr) -> SqlClient {
+        SqlClient { core: CoreClient::from_epr(bus, epr) }
+    }
+
+    /// The WS-DAI core operations.
+    pub fn core(&self) -> &CoreClient {
+        &self.core
+    }
+
+    /// `SQLExecute` — the direct access pattern (Figure 2).
+    pub fn execute(
+        &self,
+        resource: &AbstractName,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<SqlResponseData, CallError> {
+        let req = messages::sql_execute_request(resource, ns::ROWSET, sql, params);
+        let response = self.core.soap().request(actions::SQL_EXECUTE, req)?;
+        let inner = response
+            .child(ns::WSDAIR, "SQLResponse")
+            .ok_or_else(|| CallError::UnexpectedResponse("no SQLResponse in response".into()))?;
+        SqlResponseData::from_xml(inner).map_err(CallError::Fault)
+    }
+
+    /// `SQLExecute` requesting a specific dataset format URI.
+    pub fn execute_with_format(
+        &self,
+        resource: &AbstractName,
+        format_uri: &str,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<SqlResponseData, CallError> {
+        let req = messages::sql_execute_request(resource, format_uri, sql, params);
+        let response = self.core.soap().request(actions::SQL_EXECUTE, req)?;
+        let inner = response
+            .child(ns::WSDAIR, "SQLResponse")
+            .ok_or_else(|| CallError::UnexpectedResponse("no SQLResponse in response".into()))?;
+        SqlResponseData::from_xml(inner).map_err(CallError::Fault)
+    }
+
+    /// `GetSQLPropertyDocument`.
+    pub fn get_sql_property_document(&self, resource: &AbstractName) -> Result<XmlElement, CallError> {
+        let req = dais_core::messages::request("GetSQLPropertyDocumentRequest", resource);
+        let response = self.core.soap().request(actions::GET_SQL_PROPERTY_DOCUMENT, req)?;
+        response
+            .child(ns::WSDAI, "PropertyDocument")
+            .cloned()
+            .ok_or_else(|| CallError::UnexpectedResponse("no PropertyDocument".into()))
+    }
+
+    /// `SQLExecuteFactory` — the indirect access pattern (Figure 3).
+    /// Returns the EPR of the derived SQL response resource.
+    pub fn execute_factory(
+        &self,
+        resource: &AbstractName,
+        sql: &str,
+        params: &[Value],
+        port_type: Option<&str>,
+        configuration: Option<&dais_core::ConfigurationDocument>,
+    ) -> Result<Epr, CallError> {
+        let mut req = messages::sql_execute_request(resource, ns::ROWSET, sql, params);
+        // Rename the wrapper to the factory request message.
+        req.name = dais_xml::QName::new(ns::WSDAIR, "wsdair", "SQLExecuteFactoryRequest");
+        if let Some(p) = port_type {
+            req.push(XmlElement::new(ns::WSDAI, "wsdai", "PortTypeQName").with_text(p));
+        }
+        if let Some(c) = configuration {
+            req.push(c.to_xml());
+        }
+        let response = self.core.soap().request(actions::SQL_EXECUTE_FACTORY, req)?;
+        dais_core::factory::parse_factory_response(&response).map_err(CallError::Fault)
+    }
+
+    /// `GetSQLRowset` on a response resource (1-based index).
+    pub fn get_sql_rowset(&self, resource: &AbstractName, index: usize) -> Result<Rowset, CallError> {
+        let mut req = dais_core::messages::request("GetSQLRowsetRequest", resource);
+        req.push(XmlElement::new(ns::WSDAIR, "wsdair", "Index").with_text(index.to_string()));
+        let response = self.core.soap().request(actions::GET_SQL_ROWSET, req)?;
+        let rowset = response
+            .child(ns::WSDAIR, "SQLRowset")
+            .and_then(|r| r.child(ns::ROWSET, "webRowSet"))
+            .ok_or_else(|| CallError::UnexpectedResponse("no SQLRowset".into()))?;
+        Rowset::from_xml(rowset).map_err(|e| CallError::UnexpectedResponse(e.to_string()))
+    }
+
+    /// `GetSQLUpdateCount` on a response resource.
+    pub fn get_sql_update_count(&self, resource: &AbstractName, index: usize) -> Result<u64, CallError> {
+        let mut req = dais_core::messages::request("GetSQLUpdateCountRequest", resource);
+        req.push(XmlElement::new(ns::WSDAIR, "wsdair", "Index").with_text(index.to_string()));
+        let response = self.core.soap().request(actions::GET_SQL_UPDATE_COUNT, req)?;
+        response
+            .child_text(ns::WSDAIR, "SQLUpdateCount")
+            .and_then(|t| t.trim().parse().ok())
+            .ok_or_else(|| CallError::UnexpectedResponse("no SQLUpdateCount".into()))
+    }
+
+    /// `GetSQLCommunicationArea` on a response resource.
+    pub fn get_sql_communication_area(
+        &self,
+        resource: &AbstractName,
+    ) -> Result<SqlCommunicationArea, CallError> {
+        let req = dais_core::messages::request("GetSQLCommunicationAreaRequest", resource);
+        let response = self.core.soap().request(actions::GET_SQL_COMMUNICATION_AREA, req)?;
+        response
+            .child(ns::WSDAIR, "SQLCommunicationArea")
+            .and_then(SqlCommunicationArea::from_xml)
+            .ok_or_else(|| CallError::UnexpectedResponse("no SQLCommunicationArea".into()))
+    }
+
+    /// `GetSQLResponsePropertyDocument`.
+    pub fn get_response_property_document(
+        &self,
+        resource: &AbstractName,
+    ) -> Result<XmlElement, CallError> {
+        let req = dais_core::messages::request("GetSQLResponsePropertyDocumentRequest", resource);
+        let response = self.core.soap().request(actions::GET_SQL_RESPONSE_PROPERTY_DOCUMENT, req)?;
+        response
+            .child(ns::WSDAI, "PropertyDocument")
+            .cloned()
+            .ok_or_else(|| CallError::UnexpectedResponse("no PropertyDocument".into()))
+    }
+
+    /// `SQLRowsetFactory` on a response resource: derive a rowset
+    /// resource (optionally capped to `count` rows) and return its EPR.
+    pub fn rowset_factory(
+        &self,
+        resource: &AbstractName,
+        count: Option<usize>,
+        port_type: Option<&str>,
+    ) -> Result<Epr, CallError> {
+        let mut req = dais_core::messages::request("SQLRowsetFactoryRequest", resource);
+        if let Some(p) = port_type {
+            req.push(XmlElement::new(ns::WSDAI, "wsdai", "PortTypeQName").with_text(p));
+        }
+        if let Some(n) = count {
+            req.push(XmlElement::new(ns::WSDAIR, "wsdair", "Count").with_text(n.to_string()));
+        }
+        let response = self.core.soap().request(actions::SQL_ROWSET_FACTORY, req)?;
+        dais_core::factory::parse_factory_response(&response).map_err(CallError::Fault)
+    }
+
+    /// `GetTuples` on a rowset resource (Figure 5): a page of rows.
+    pub fn get_tuples(
+        &self,
+        resource: &AbstractName,
+        start: usize,
+        count: usize,
+    ) -> Result<Rowset, CallError> {
+        let req = messages::get_tuples_request(resource, start, count);
+        let response = self.core.soap().request(actions::GET_TUPLES, req)?;
+        let data = response
+            .child(ns::WSDAIR, "SQLResponse")
+            .ok_or_else(|| CallError::UnexpectedResponse("no SQLResponse".into()))?;
+        let data = SqlResponseData::from_xml(data).map_err(CallError::Fault)?;
+        data.rowsets
+            .into_iter()
+            .next()
+            .ok_or_else(|| CallError::UnexpectedResponse("GetTuples returned no rowset".into()))
+    }
+
+    /// `GetRowsetPropertyDocument`.
+    pub fn get_rowset_property_document(
+        &self,
+        resource: &AbstractName,
+    ) -> Result<XmlElement, CallError> {
+        let req = dais_core::messages::request("GetRowsetPropertyDocumentRequest", resource);
+        let response = self.core.soap().request(actions::GET_ROWSET_PROPERTY_DOCUMENT, req)?;
+        response
+            .child(ns::WSDAI, "PropertyDocument")
+            .cloned()
+            .ok_or_else(|| CallError::UnexpectedResponse("no PropertyDocument".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{RelationalService, RelationalServiceOptions};
+    use dais_core::{ConfigurationDocument, Sensitivity};
+    use dais_sql::Database;
+
+    fn setup() -> (Bus, SqlClient, AbstractName) {
+        let bus = Bus::new();
+        let db = Database::new("orders");
+        db.execute_script(
+            "CREATE TABLE item (id INTEGER PRIMARY KEY, name VARCHAR NOT NULL, price DOUBLE);
+             INSERT INTO item VALUES (1, 'anvil', 10.0), (2, 'rope', 2.5), (3, 'rocket', 99.0);",
+        )
+        .unwrap();
+        let svc =
+            RelationalService::launch(&bus, "bus://orders", db, RelationalServiceOptions::default());
+        let client = SqlClient::new(bus.clone(), "bus://orders");
+        (bus, client, svc.db_resource)
+    }
+
+    #[test]
+    fn direct_access_query() {
+        let (_, client, db) = setup();
+        let data = client.execute(&db, "SELECT name FROM item WHERE price > ? ORDER BY id", &[Value::Double(5.0)]).unwrap();
+        let rowset = data.rowset().unwrap();
+        assert_eq!(rowset.row_count(), 2);
+        assert_eq!(rowset.rows[0][0], Value::Str("anvil".into()));
+        assert_eq!(data.communication_area.sqlstate, "00000");
+    }
+
+    #[test]
+    fn direct_access_update_and_comm_area() {
+        let (_, client, db) = setup();
+        let data = client.execute(&db, "UPDATE item SET price = price + 1 WHERE id < 3", &[]).unwrap();
+        assert_eq!(data.update_count(), Some(2));
+        let data = client.execute(&db, "DELETE FROM item WHERE id = 99", &[]).unwrap();
+        assert_eq!(data.update_count(), Some(0));
+        assert_eq!(data.communication_area.sqlstate, "02000");
+    }
+
+    #[test]
+    fn sql_errors_become_invalid_expression_faults() {
+        let (_, client, db) = setup();
+        let err = client.execute(&db, "SELECT * FROM missing", &[]).unwrap_err();
+        assert_eq!(err.dais_fault(), Some(dais_soap::fault::DaisFault::InvalidExpression));
+        match err {
+            CallError::Fault(f) => assert!(f.reason.contains("42P01"), "{}", f.reason),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dataset_format_validated() {
+        let (_, client, db) = setup();
+        let err = client
+            .execute_with_format(&db, "urn:not-a-format", "SELECT 1", &[])
+            .unwrap_err();
+        assert_eq!(err.dais_fault(), Some(dais_soap::fault::DaisFault::InvalidDatasetFormat));
+    }
+
+    #[test]
+    fn indirect_access_pipeline() {
+        let (bus, client, db) = setup();
+        // Consumer 1: create the response resource.
+        let epr = client
+            .execute_factory(&db, "SELECT * FROM item ORDER BY id", &[], None, None)
+            .unwrap();
+        let response_name = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
+
+        // Consumer 2 (via the EPR): inspect and derive a rowset.
+        let c2 = SqlClient::from_epr(bus.clone(), epr);
+        let rowset = c2.get_sql_rowset(&response_name, 1).unwrap();
+        assert_eq!(rowset.row_count(), 3);
+        let comm = c2.get_sql_communication_area(&response_name).unwrap();
+        assert!(comm.is_success());
+        let props = c2.get_response_property_document(&response_name).unwrap();
+        assert_eq!(props.child_text(ns::WSDAIR, "NumberOfSQLRowsets").as_deref(), Some("1"));
+
+        let rowset_epr = c2.rowset_factory(&response_name, Some(2), None).unwrap();
+        let rowset_name = AbstractName::new(rowset_epr.resource_abstract_name().unwrap()).unwrap();
+
+        // Consumer 3: page tuples out of the rowset resource.
+        let c3 = SqlClient::from_epr(bus, rowset_epr);
+        let page = c3.get_tuples(&rowset_name, 0, 1).unwrap();
+        assert_eq!(page.row_count(), 1);
+        let page = c3.get_tuples(&rowset_name, 1, 10).unwrap();
+        assert_eq!(page.row_count(), 1); // capped at 2 rows by Count
+        let doc = c3.get_rowset_property_document(&rowset_name).unwrap();
+        assert_eq!(doc.child_text(ns::WSDAIR, "NumberOfRows").as_deref(), Some("2"));
+    }
+
+    #[test]
+    fn factory_rejects_dml() {
+        let (_, client, db) = setup();
+        let err = client
+            .execute_factory(&db, "DELETE FROM item", &[], None, None)
+            .unwrap_err();
+        assert_eq!(err.dais_fault(), Some(dais_soap::fault::DaisFault::InvalidExpression));
+    }
+
+    #[test]
+    fn factory_port_type_validation() {
+        let (_, client, db) = setup();
+        // The advertised port type works.
+        client
+            .execute_factory(&db, "SELECT 1", &[], Some("wsdair:SQLResponseAccessPT"), None)
+            .unwrap();
+        // An unknown one faults.
+        let err = client
+            .execute_factory(&db, "SELECT 1", &[], Some("wsdair:Bogus"), None)
+            .unwrap_err();
+        assert_eq!(err.dais_fault(), Some(dais_soap::fault::DaisFault::InvalidPortType));
+    }
+
+    #[test]
+    fn sensitive_vs_insensitive_derived_resources() {
+        let (_, client, db) = setup();
+        let sensitive_config = ConfigurationDocument {
+            sensitivity: Some(Sensitivity::Sensitive),
+            ..Default::default()
+        };
+        let epr_sensitive = client
+            .execute_factory(&db, "SELECT COUNT(*) FROM item", &[], None, Some(&sensitive_config))
+            .unwrap();
+        let epr_snapshot = client
+            .execute_factory(&db, "SELECT COUNT(*) FROM item", &[], None, None)
+            .unwrap();
+        let n_sensitive = AbstractName::new(epr_sensitive.resource_abstract_name().unwrap()).unwrap();
+        let n_snapshot = AbstractName::new(epr_snapshot.resource_abstract_name().unwrap()).unwrap();
+
+        client.execute(&db, "DELETE FROM item WHERE id = 1", &[]).unwrap();
+
+        let sensitive = client.get_sql_rowset(&n_sensitive, 1).unwrap();
+        let snapshot = client.get_sql_rowset(&n_snapshot, 1).unwrap();
+        assert_eq!(sensitive.rows[0][0], Value::Int(2)); // re-evaluated
+        assert_eq!(snapshot.rows[0][0], Value::Int(3)); // materialised
+    }
+
+    #[test]
+    fn derived_resources_listed_and_destroyable() {
+        let (_, client, db) = setup();
+        let epr = client.execute_factory(&db, "SELECT 1", &[], None, None).unwrap();
+        let name = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
+        let list = client.core().get_resource_list().unwrap();
+        assert!(list.contains(&name));
+        assert!(list.contains(&db));
+        // Derived resources are service managed.
+        let props = client.core().get_property_document(&name).unwrap();
+        assert_eq!(
+            props.management,
+            dais_core::properties::ResourceManagementKind::ServiceManaged
+        );
+        assert_eq!(props.parent.as_ref(), Some(&db));
+        // Destroy severs the relationship.
+        client.core().destroy(&name).unwrap();
+        assert!(client.get_sql_rowset(&name, 1).is_err());
+    }
+
+    #[test]
+    fn response_item_and_missing_indexes() {
+        let (_, client, db) = setup();
+        let epr = client.execute_factory(&db, "SELECT 1", &[], None, None).unwrap();
+        let name = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
+        // Wrong rowset index.
+        assert!(client.get_sql_rowset(&name, 2).is_err());
+        // No update counts on a query response.
+        assert!(client.get_sql_update_count(&name, 1).is_err());
+    }
+
+    #[test]
+    fn wrong_resource_kind_faults() {
+        let (_, client, db) = setup();
+        // GetTuples against the database resource (not a rowset).
+        let err = client.get_tuples(&db, 0, 10).unwrap_err();
+        assert_eq!(err.dais_fault(), Some(dais_soap::fault::DaisFault::InvalidResourceName));
+    }
+
+    #[test]
+    fn writes_accepted_when_writeable() {
+        let (_, client, db) = setup();
+        // The default database resource advertises Writeable=true, so DML
+        // passes and the insert is visible to subsequent queries.
+        client.execute(&db, "INSERT INTO item VALUES (10, 'new', 1.0)", &[]).unwrap();
+        let data = client.execute(&db, "SELECT COUNT(*) FROM item", &[]).unwrap();
+        assert_eq!(data.rowset().unwrap().rows[0][0], Value::Int(4));
+    }
+}

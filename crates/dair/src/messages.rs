@@ -1,0 +1,371 @@
+//! WS-DAIR message forms: requests, the `SQLResponse` structure, and
+//! SOAP action URIs.
+
+use dais_core::messages as core_messages;
+use dais_core::AbstractName;
+use dais_soap::fault::{DaisFault, Fault};
+use dais_sql::{Rowset, SqlCommunicationArea, SqlType, Value};
+use dais_xml::{ns, XmlElement};
+
+/// SOAP action URIs for the WS-DAIR operations (Figure 6).
+pub mod actions {
+    const BASE: &str = "http://www.ggf.org/namespaces/2005/12/WS-DAIR";
+
+    pub const SQL_EXECUTE: &str =
+        "http://www.ggf.org/namespaces/2005/12/WS-DAIR/SQLExecute";
+    pub const GET_SQL_PROPERTY_DOCUMENT: &str =
+        "http://www.ggf.org/namespaces/2005/12/WS-DAIR/GetSQLPropertyDocument";
+    pub const SQL_EXECUTE_FACTORY: &str =
+        "http://www.ggf.org/namespaces/2005/12/WS-DAIR/SQLExecuteFactory";
+    pub const GET_SQL_RESPONSE_PROPERTY_DOCUMENT: &str =
+        "http://www.ggf.org/namespaces/2005/12/WS-DAIR/GetSQLResponsePropertyDocument";
+    pub const GET_SQL_ROWSET: &str =
+        "http://www.ggf.org/namespaces/2005/12/WS-DAIR/GetSQLRowset";
+    pub const GET_SQL_UPDATE_COUNT: &str =
+        "http://www.ggf.org/namespaces/2005/12/WS-DAIR/GetSQLUpdateCount";
+    pub const GET_SQL_RETURN_VALUE: &str =
+        "http://www.ggf.org/namespaces/2005/12/WS-DAIR/GetSQLReturnValue";
+    pub const GET_SQL_OUTPUT_PARAMETER: &str =
+        "http://www.ggf.org/namespaces/2005/12/WS-DAIR/GetSQLOutputParameter";
+    pub const GET_SQL_COMMUNICATION_AREA: &str =
+        "http://www.ggf.org/namespaces/2005/12/WS-DAIR/GetSQLCommunicationArea";
+    pub const GET_SQL_RESPONSE_ITEM: &str =
+        "http://www.ggf.org/namespaces/2005/12/WS-DAIR/GetSQLResponseItem";
+    pub const SQL_ROWSET_FACTORY: &str =
+        "http://www.ggf.org/namespaces/2005/12/WS-DAIR/SQLRowsetFactory";
+    pub const GET_TUPLES: &str = "http://www.ggf.org/namespaces/2005/12/WS-DAIR/GetTuples";
+    pub const GET_ROWSET_PROPERTY_DOCUMENT: &str =
+        "http://www.ggf.org/namespaces/2005/12/WS-DAIR/GetRowsetPropertyDocument";
+
+    /// All WS-DAIR actions (the Figure 6 inventory), for conformance tests.
+    pub const ALL: &[&str] = &[
+        SQL_EXECUTE,
+        GET_SQL_PROPERTY_DOCUMENT,
+        SQL_EXECUTE_FACTORY,
+        GET_SQL_RESPONSE_PROPERTY_DOCUMENT,
+        GET_SQL_ROWSET,
+        GET_SQL_UPDATE_COUNT,
+        GET_SQL_RETURN_VALUE,
+        GET_SQL_OUTPUT_PARAMETER,
+        GET_SQL_COMMUNICATION_AREA,
+        GET_SQL_RESPONSE_ITEM,
+        SQL_ROWSET_FACTORY,
+        GET_TUPLES,
+        GET_ROWSET_PROPERTY_DOCUMENT,
+    ];
+
+    /// The namespace all the actions live under.
+    pub fn base() -> &'static str {
+        BASE
+    }
+}
+
+/// Build an `SQLExecuteRequest` (Figure 2): abstract name, requested
+/// dataset format, the SQL expression and optional positional parameters.
+pub fn sql_execute_request(
+    resource: &AbstractName,
+    format_uri: &str,
+    sql: &str,
+    params: &[Value],
+) -> XmlElement {
+    let mut req = core_messages::request("SQLExecuteRequest", resource);
+    req.push(XmlElement::new(ns::WSDAI, "wsdai", "DataFormatURI").with_text(format_uri));
+    let mut expr = XmlElement::new(ns::WSDAIR, "wsdair", "SQLExpression").with_text(sql);
+    for (i, p) in params.iter().enumerate() {
+        expr.push(render_parameter(i, p));
+    }
+    req.push(expr);
+    req
+}
+
+fn render_parameter(index: usize, value: &Value) -> XmlElement {
+    let mut el = XmlElement::new(ns::WSDAIR, "wsdair", "SQLParameter")
+        .with_attr("index", (index + 1).to_string());
+    match value {
+        Value::Null => el.set_attr("null", "true"),
+        v => {
+            el.set_attr("type", v.sql_type().map(|t| t.name()).unwrap_or("VARCHAR"));
+            let text = v.to_display_string();
+            // Values with leading/trailing whitespace travel as an
+            // attribute: attributes survive whitespace-stripping parsers.
+            if text.trim() != text || text.is_empty() {
+                el.set_attr("value", text);
+            } else {
+                el.push_text(text);
+            }
+        }
+    }
+    el
+}
+
+/// Parse `(sql, params)` out of an `SQLExecuteRequest`-shaped body.
+pub fn parse_sql_expression(body: &XmlElement) -> Result<(String, Vec<Value>), Fault> {
+    let expr = body
+        .child(ns::WSDAIR, "SQLExpression")
+        .ok_or_else(|| Fault::dais(DaisFault::InvalidExpression, "missing wsdair:SQLExpression"))?;
+    // The statement text is the element's own text, excluding parameters.
+    let sql: String = expr
+        .children
+        .iter()
+        .filter_map(|c| c.as_text())
+        .collect::<Vec<_>>()
+        .join("");
+    let mut params: Vec<(usize, Value)> = Vec::new();
+    for p in expr.children_named(ns::WSDAIR, "SQLParameter") {
+        let index: usize = p
+            .attribute("index")
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| Fault::dais(DaisFault::InvalidExpression, "SQLParameter missing index"))?;
+        if index == 0 {
+            return Err(Fault::dais(DaisFault::InvalidExpression, "SQLParameter indexes are 1-based"));
+        }
+        let value = if p.attribute("null") == Some("true") {
+            Value::Null
+        } else {
+            let ty = p
+                .attribute("type")
+                .and_then(SqlType::parse)
+                .ok_or_else(|| Fault::dais(DaisFault::InvalidExpression, "SQLParameter missing type"))?;
+            let text = match p.attribute("value") {
+                Some(v) => v.to_string(),
+                None => p.text(),
+            };
+            Value::parse_typed(&text, ty)
+                .map_err(|e| Fault::dais(DaisFault::InvalidExpression, e.to_string()))?
+        };
+        params.push((index - 1, value));
+    }
+    params.sort_by_key(|(i, _)| *i);
+    for (expected, (actual, _)) in params.iter().enumerate() {
+        if expected != *actual {
+            return Err(Fault::dais(
+                DaisFault::InvalidExpression,
+                "SQLParameter indexes must be contiguous from 1",
+            ));
+        }
+    }
+    Ok((sql.trim().to_string(), params.into_iter().map(|(_, v)| v).collect()))
+}
+
+/// The payload of an SQL response: what a statement produced. This is the
+/// state held by SQL response resources and embedded in `SQLExecuteResponse`
+/// messages (Figure 2's "information from the SQL communication area").
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SqlResponseData {
+    pub rowsets: Vec<Rowset>,
+    pub update_counts: Vec<u64>,
+    /// Return value of a procedure call (unused by the embedded engine,
+    /// present for interface completeness).
+    pub return_value: Option<Value>,
+    /// Output parameters of a procedure call (ditto).
+    pub output_parameters: Vec<(String, Value)>,
+    pub communication_area: SqlCommunicationArea,
+}
+
+impl SqlResponseData {
+    /// Build from a statement outcome.
+    pub fn from_result(result: &dais_sql::StatementResult) -> SqlResponseData {
+        let mut data = SqlResponseData {
+            communication_area: result.communication_area(),
+            ..Default::default()
+        };
+        match result {
+            dais_sql::StatementResult::Query(r) => data.rowsets.push(r.clone()),
+            dais_sql::StatementResult::Update(n) => data.update_counts.push(*n),
+            dais_sql::StatementResult::Command(_) => {}
+        }
+        data
+    }
+
+    /// Serialise as a `wsdair:SQLResponse` element.
+    pub fn to_xml(&self) -> XmlElement {
+        let mut el = XmlElement::new(ns::WSDAIR, "wsdair", "SQLResponse");
+        for r in &self.rowsets {
+            el.push(XmlElement::new(ns::WSDAIR, "wsdair", "SQLRowset").with_child(r.to_xml()));
+        }
+        for n in &self.update_counts {
+            el.push(XmlElement::new(ns::WSDAIR, "wsdair", "SQLUpdateCount").with_text(n.to_string()));
+        }
+        if let Some(v) = &self.return_value {
+            el.push(
+                XmlElement::new(ns::WSDAIR, "wsdair", "SQLReturnValue").with_text(v.to_display_string()),
+            );
+        }
+        for (name, v) in &self.output_parameters {
+            el.push(
+                XmlElement::new(ns::WSDAIR, "wsdair", "SQLOutputParameter")
+                    .with_attr("name", name)
+                    .with_text(v.to_display_string()),
+            );
+        }
+        el.push(self.communication_area.to_xml());
+        el
+    }
+
+    /// Parse back from the message form.
+    pub fn from_xml(el: &XmlElement) -> Result<SqlResponseData, Fault> {
+        if !el.name.is(ns::WSDAIR, "SQLResponse") {
+            return Err(Fault::client(format!("expected wsdair:SQLResponse, found {}", el.name)));
+        }
+        let mut data = SqlResponseData::default();
+        for rs in el.children_named(ns::WSDAIR, "SQLRowset") {
+            let inner = rs
+                .child(ns::ROWSET, "webRowSet")
+                .ok_or_else(|| Fault::client("SQLRowset carries no webRowSet"))?;
+            data.rowsets.push(
+                Rowset::from_xml(inner).map_err(|e| Fault::client(e.to_string()))?,
+            );
+        }
+        for n in el.children_named(ns::WSDAIR, "SQLUpdateCount") {
+            data.update_counts.push(n.text().trim().parse().unwrap_or(0));
+        }
+        if let Some(rv) = el.child(ns::WSDAIR, "SQLReturnValue") {
+            data.return_value = Some(Value::Str(rv.text()));
+        }
+        for p in el.children_named(ns::WSDAIR, "SQLOutputParameter") {
+            data.output_parameters
+                .push((p.attribute("name").unwrap_or_default().to_string(), Value::Str(p.text())));
+        }
+        data.communication_area = el
+            .child(ns::WSDAIR, "SQLCommunicationArea")
+            .and_then(SqlCommunicationArea::from_xml)
+            .unwrap_or_default();
+        Ok(data)
+    }
+
+    /// The first rowset, if any.
+    pub fn rowset(&self) -> Option<&Rowset> {
+        self.rowsets.first()
+    }
+
+    /// The first update count, if any.
+    pub fn update_count(&self) -> Option<u64> {
+        self.update_counts.first().copied()
+    }
+}
+
+/// Build a `GetTuplesRequest` (Figure 5): a rowset page by position.
+pub fn get_tuples_request(resource: &AbstractName, start: usize, count: usize) -> XmlElement {
+    core_messages::request("GetTuplesRequest", resource)
+        .with_child(XmlElement::new(ns::WSDAIR, "wsdair", "StartPosition").with_text(start.to_string()))
+        .with_child(XmlElement::new(ns::WSDAIR, "wsdair", "Count").with_text(count.to_string()))
+}
+
+/// Parse `(start, count)` from a `GetTuplesRequest`.
+pub fn parse_get_tuples(body: &XmlElement) -> Result<(usize, usize), Fault> {
+    let start = body
+        .child_text(ns::WSDAIR, "StartPosition")
+        .and_then(|t| t.trim().parse().ok())
+        .ok_or_else(|| Fault::client("GetTuples missing StartPosition"))?;
+    let count = body
+        .child_text(ns::WSDAIR, "Count")
+        .and_then(|t| t.trim().parse().ok())
+        .ok_or_else(|| Fault::client("GetTuples missing Count"))?;
+    Ok((start, count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dais_sql::RowsetColumn;
+
+    fn name() -> AbstractName {
+        AbstractName::new("urn:dais:svc:db:0").unwrap()
+    }
+
+    #[test]
+    fn execute_request_roundtrip() {
+        let req = sql_execute_request(
+            &name(),
+            ns::ROWSET,
+            "SELECT * FROM t WHERE id = ? AND tag = ?",
+            &[Value::Int(5), Value::Str("x".into())],
+        );
+        let (sql, params) = parse_sql_expression(&req).unwrap();
+        assert_eq!(sql, "SELECT * FROM t WHERE id = ? AND tag = ?");
+        assert_eq!(params, vec![Value::Int(5), Value::Str("x".into())]);
+        assert_eq!(
+            dais_core::messages::extract_format_uri(&req).as_deref(),
+            Some(ns::ROWSET)
+        );
+    }
+
+    #[test]
+    fn null_parameters() {
+        let req = sql_execute_request(&name(), ns::ROWSET, "SELECT ?", &[Value::Null]);
+        let (_, params) = parse_sql_expression(&req).unwrap();
+        assert_eq!(params, vec![Value::Null]);
+    }
+
+    #[test]
+    fn whitespace_edged_parameters_survive_the_wire() {
+        // Whitespace-only and whitespace-edged strings travel as
+        // attributes so the protocol parser's text stripping cannot
+        // corrupt them.
+        for s in [" ", "  padded  ", "", "\t"] {
+            let req =
+                sql_execute_request(&name(), ns::ROWSET, "SELECT ?", &[Value::Str(s.into())]);
+            let text = dais_xml::to_string(&req);
+            let parsed = dais_xml::parse(&text).unwrap();
+            let (_, params) = parse_sql_expression(&parsed).unwrap();
+            assert_eq!(params, vec![Value::Str(s.into())], "{s:?}");
+        }
+    }
+
+    #[test]
+    fn parameter_validation() {
+        // Missing expression.
+        let body = dais_core::messages::request("SQLExecuteRequest", &name());
+        assert!(parse_sql_expression(&body).is_err());
+        // Bad index.
+        let mut expr = XmlElement::new(ns::WSDAIR, "wsdair", "SQLExpression").with_text("SELECT ?");
+        expr.push(
+            XmlElement::new(ns::WSDAIR, "wsdair", "SQLParameter")
+                .with_attr("index", "3")
+                .with_attr("type", "INTEGER")
+                .with_text("1"),
+        );
+        let body = dais_core::messages::request("SQLExecuteRequest", &name()).with_child(expr);
+        assert!(parse_sql_expression(&body).is_err());
+    }
+
+    #[test]
+    fn response_data_roundtrip() {
+        let mut rowset = Rowset::new(vec![RowsetColumn { name: "n".into(), ty: SqlType::Integer }]);
+        rowset.rows.push(vec![Value::Int(1)]);
+        rowset.rows.push(vec![Value::Int(2)]);
+        let data = SqlResponseData {
+            rowsets: vec![rowset],
+            update_counts: vec![3],
+            return_value: None,
+            output_parameters: vec![],
+            communication_area: SqlCommunicationArea::with_update_count(3),
+        };
+        let rt = SqlResponseData::from_xml(&data.to_xml()).unwrap();
+        assert_eq!(rt, data);
+        assert_eq!(rt.rowset().unwrap().row_count(), 2);
+        assert_eq!(rt.update_count(), Some(3));
+    }
+
+    #[test]
+    fn response_from_statement_results() {
+        let db = dais_sql::Database::new("t");
+        db.execute("CREATE TABLE t (x INTEGER)", &[]).unwrap();
+        let r = db.execute("INSERT INTO t VALUES (1), (2)", &[]).unwrap();
+        let data = SqlResponseData::from_result(&r);
+        assert_eq!(data.update_counts, vec![2]);
+        assert!(data.rowsets.is_empty());
+        let r = db.execute("SELECT * FROM t", &[]).unwrap();
+        let data = SqlResponseData::from_result(&r);
+        assert_eq!(data.rowsets.len(), 1);
+        assert_eq!(data.communication_area.sqlstate, "00000");
+    }
+
+    #[test]
+    fn get_tuples_roundtrip() {
+        let req = get_tuples_request(&name(), 10, 25);
+        assert_eq!(parse_get_tuples(&req).unwrap(), (10, 25));
+        let bad = dais_core::messages::request("GetTuplesRequest", &name());
+        assert!(parse_get_tuples(&bad).is_err());
+    }
+}

@@ -1,0 +1,394 @@
+//! The three relational resource kinds of the Figure 5 pipeline:
+//! the database itself, derived SQL responses, and derived rowsets.
+
+use crate::messages::SqlResponseData;
+use dais_core::properties::ResourceManagementKind;
+use dais_core::{
+    AbstractName, ConfigurationDocument, ConfigurationMap, CoreProperties, DataResource, DatasetMap,
+    Sensitivity,
+};
+use dais_soap::fault::{DaisFault, Fault};
+use dais_sql::{Database, Rowset, SqlErrorKind, Value};
+use dais_xml::{ns, QName, XmlElement};
+use std::any::Any;
+
+/// The generic-query language URI advertised for SQL.
+pub const SQL_LANGUAGE_URI: &str = "http://www.sql.org/sql-92";
+
+/// Map an engine error to the DAIS fault taxonomy.
+pub fn sql_fault(e: dais_sql::SqlError) -> Fault {
+    let kind = match e.kind {
+        SqlErrorKind::InsufficientPrivilege => DaisFault::NotAuthorized,
+        _ => DaisFault::InvalidExpression,
+    };
+    Fault::dais(kind, format!("[SQLSTATE {}] {}", e.sqlstate(), e.message))
+}
+
+/// An externally managed relational data resource: a wrapper around a
+/// `dais_sql::Database` (paper §2.1: DAIS services are "web service
+/// wrappers for databases").
+pub struct SqlDataResource {
+    properties: CoreProperties,
+    db: Database,
+}
+
+impl SqlDataResource {
+    /// Wrap a database under the given abstract name, advertising the
+    /// WebRowSet dataset format and the factory configuration maps.
+    pub fn new(name: AbstractName, db: Database) -> SqlDataResource {
+        let mut properties = CoreProperties::new(name, ResourceManagementKind::ExternallyManaged);
+        properties.description = format!("relational database '{}'", db.name());
+        properties.writeable = true;
+        properties.generic_query_languages.push(SQL_LANGUAGE_URI.to_string());
+        properties.dataset_maps.push(DatasetMap {
+            message: QName::new(ns::WSDAIR, "wsdair", "SQLExecuteRequest"),
+            dataset_format: ns::ROWSET.to_string(),
+        });
+        properties.configuration_maps.push(ConfigurationMap {
+            message: QName::new(ns::WSDAIR, "wsdair", "SQLExecuteFactoryRequest"),
+            port_type: QName::new(ns::WSDAIR, "wsdair", "SQLResponseAccessPT"),
+            defaults: ConfigurationDocument {
+                readable: Some(true),
+                writeable: Some(false),
+                sensitivity: Some(Sensitivity::Insensitive),
+                ..Default::default()
+            },
+        });
+        SqlDataResource { properties, db }
+    }
+
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Execute a statement against the wrapped database.
+    pub fn execute(&self, sql: &str, params: &[Value]) -> Result<SqlResponseData, Fault> {
+        let result = self.db.execute(sql, params).map_err(sql_fault)?;
+        Ok(SqlResponseData::from_result(&result))
+    }
+
+    /// Is the statement a read (query) or a write?
+    pub fn is_read_only_statement(sql: &str) -> bool {
+        matches!(
+            dais_sql::parser::parse_statement(sql),
+            Ok(dais_sql::ast::Stmt::Select(_))
+        )
+    }
+}
+
+impl DataResource for SqlDataResource {
+    fn abstract_name(&self) -> &AbstractName {
+        &self.properties.abstract_name
+    }
+
+    fn core_properties(&self) -> CoreProperties {
+        self.properties.clone()
+    }
+
+    fn property_document(&self) -> XmlElement {
+        let mut doc = self.properties.to_xml();
+        // The WS-DAIR extension group (Figure 4): CIM metadata.
+        let mut cim = XmlElement::new(ns::WSDAIR, "wsdair", "CIMDescription");
+        cim.push(dais_cim::cim_description(&self.db));
+        doc.push(cim);
+        doc.push(
+            XmlElement::new(ns::WSDAIR, "wsdair", "NumberOfTables")
+                .with_text(self.db.table_names().len().to_string()),
+        );
+        doc
+    }
+
+    fn generic_query(&self, language: &str, expression: &str) -> Result<Vec<XmlElement>, Fault> {
+        if language != SQL_LANGUAGE_URI {
+            return Err(Fault::dais(
+                DaisFault::InvalidLanguage,
+                format!("language '{language}' is not supported; use {SQL_LANGUAGE_URI}"),
+            ));
+        }
+        let data = self.execute(expression, &[])?;
+        Ok(vec![data.to_xml()])
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// How a derived SQL response resource is backed — the `Sensitivity`
+/// semantics of §4.2.
+enum ResponseBacking {
+    /// `Insensitive`: materialised once at creation.
+    Materialised(SqlResponseData),
+    /// `Sensitive`: re-evaluated against the parent database on access,
+    /// so parent changes are reflected.
+    Sensitive { db: Database, sql: String, params: Vec<Value> },
+}
+
+/// A service-managed SQL response resource created by `SQLExecuteFactory`.
+pub struct SqlResponseResource {
+    properties: CoreProperties,
+    backing: ResponseBacking,
+}
+
+impl SqlResponseResource {
+    /// Create the resource. The backing follows `properties.sensitivity`.
+    pub fn create(
+        properties: CoreProperties,
+        db: &Database,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<SqlResponseResource, Fault> {
+        let mut properties = properties;
+        properties.configuration_maps.push(ConfigurationMap {
+            message: QName::new(ns::WSDAIR, "wsdair", "SQLRowsetFactoryRequest"),
+            port_type: QName::new(ns::WSDAIR, "wsdair", "SQLRowsetAccessPT"),
+            defaults: ConfigurationDocument {
+                readable: Some(true),
+                writeable: Some(false),
+                sensitivity: Some(Sensitivity::Insensitive),
+                ..Default::default()
+            },
+        });
+        let backing = match properties.sensitivity {
+            Sensitivity::Insensitive => {
+                let result = db.execute(sql, params).map_err(sql_fault)?;
+                ResponseBacking::Materialised(SqlResponseData::from_result(&result))
+            }
+            Sensitivity::Sensitive => {
+                // Validate eagerly so a bad statement faults at factory time.
+                db.execute(sql, params).map_err(sql_fault)?;
+                ResponseBacking::Sensitive {
+                    db: db.clone(),
+                    sql: sql.to_string(),
+                    params: params.to_vec(),
+                }
+            }
+        };
+        Ok(SqlResponseResource { properties, backing })
+    }
+
+    /// The current response data (re-evaluated when sensitive).
+    pub fn response(&self) -> Result<SqlResponseData, Fault> {
+        match &self.backing {
+            ResponseBacking::Materialised(data) => Ok(data.clone()),
+            ResponseBacking::Sensitive { db, sql, params } => {
+                let result = db.execute(sql, params).map_err(sql_fault)?;
+                Ok(SqlResponseData::from_result(&result))
+            }
+        }
+    }
+}
+
+impl DataResource for SqlResponseResource {
+    fn abstract_name(&self) -> &AbstractName {
+        &self.properties.abstract_name
+    }
+
+    fn core_properties(&self) -> CoreProperties {
+        self.properties.clone()
+    }
+
+    fn property_document(&self) -> XmlElement {
+        let mut doc = self.properties.to_xml();
+        if let Ok(data) = self.response() {
+            doc.push(
+                XmlElement::new(ns::WSDAIR, "wsdair", "NumberOfSQLRowsets")
+                    .with_text(data.rowsets.len().to_string()),
+            );
+            doc.push(
+                XmlElement::new(ns::WSDAIR, "wsdair", "NumberOfSQLUpdateCounts")
+                    .with_text(data.update_counts.len().to_string()),
+            );
+            doc.push(
+                XmlElement::new(ns::WSDAIR, "wsdair", "NumberOfSQLReturnValues")
+                    .with_text(data.return_value.iter().count().to_string()),
+            );
+            doc.push(
+                XmlElement::new(ns::WSDAIR, "wsdair", "NumberOfSQLOutputParameters")
+                    .with_text(data.output_parameters.len().to_string()),
+            );
+        }
+        doc
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// A service-managed rowset resource created by `SQLRowsetFactory`,
+/// accessed page-by-page through `GetTuples` (Figure 5).
+pub struct RowsetResource {
+    properties: CoreProperties,
+    rowset: Rowset,
+}
+
+impl RowsetResource {
+    pub fn new(properties: CoreProperties, rowset: Rowset) -> RowsetResource {
+        RowsetResource { properties, rowset }
+    }
+
+    pub fn rowset(&self) -> &Rowset {
+        &self.rowset
+    }
+
+    /// A page of tuples.
+    pub fn tuples(&self, start: usize, count: usize) -> Rowset {
+        self.rowset.slice(start, count)
+    }
+}
+
+impl DataResource for RowsetResource {
+    fn abstract_name(&self) -> &AbstractName {
+        &self.properties.abstract_name
+    }
+
+    fn core_properties(&self) -> CoreProperties {
+        self.properties.clone()
+    }
+
+    fn property_document(&self) -> XmlElement {
+        let mut doc = self.properties.to_xml();
+        doc.push(
+            XmlElement::new(ns::WSDAIR, "wsdair", "NumberOfRows")
+                .with_text(self.rowset.row_count().to_string()),
+        );
+        let mut meta = XmlElement::new(ns::WSDAIR, "wsdair", "RowSchema");
+        for c in &self.rowset.columns {
+            meta.push(
+                XmlElement::new(ns::WSDAIR, "wsdair", "Column")
+                    .with_attr("name", &c.name)
+                    .with_attr("type", c.ty.name()),
+            );
+        }
+        doc.push(meta);
+        doc
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let db = Database::new("test");
+        db.execute_script(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR);
+             INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c');",
+        )
+        .unwrap();
+        db
+    }
+
+    fn name(s: &str) -> AbstractName {
+        AbstractName::new(s).unwrap()
+    }
+
+    #[test]
+    fn sql_resource_executes() {
+        let r = SqlDataResource::new(name("urn:dais:s:db:0"), db());
+        let data = r.execute("SELECT * FROM t ORDER BY id", &[]).unwrap();
+        assert_eq!(data.rowset().unwrap().row_count(), 3);
+        let data = r.execute("UPDATE t SET v = 'x' WHERE id > ?", &[Value::Int(1)]).unwrap();
+        assert_eq!(data.update_count(), Some(2));
+        let err = r.execute("SELECT nope FROM t", &[]).unwrap_err();
+        assert!(err.is(DaisFault::InvalidExpression));
+        assert!(err.reason.contains("SQLSTATE 42703"));
+    }
+
+    #[test]
+    fn sql_resource_property_document_has_cim() {
+        let r = SqlDataResource::new(name("urn:dais:s:db:0"), db());
+        let doc = r.property_document();
+        let cim = doc.child(ns::WSDAIR, "CIMDescription").unwrap();
+        assert!(cim.child(ns::CIM, "CIM_Database").is_some());
+        assert_eq!(doc.child_text(ns::WSDAIR, "NumberOfTables").as_deref(), Some("1"));
+        // Core properties still present.
+        assert!(doc.child(ns::WSDAI, "DataResourceAbstractName").is_some());
+    }
+
+    #[test]
+    fn generic_query_sql_language() {
+        let r = SqlDataResource::new(name("urn:dais:s:db:0"), db());
+        let out = r.generic_query(SQL_LANGUAGE_URI, "SELECT COUNT(*) FROM t").unwrap();
+        let resp = SqlResponseData::from_xml(&out[0]).unwrap();
+        assert_eq!(resp.rowset().unwrap().rows[0][0], Value::Int(3));
+        assert!(r.generic_query("urn:xquery", "x").unwrap_err().is(DaisFault::InvalidLanguage));
+    }
+
+    #[test]
+    fn read_only_detection() {
+        assert!(SqlDataResource::is_read_only_statement("SELECT 1"));
+        assert!(!SqlDataResource::is_read_only_statement("DELETE FROM t"));
+        assert!(!SqlDataResource::is_read_only_statement("CREATE TABLE x (a INT)"));
+        assert!(!SqlDataResource::is_read_only_statement("not sql at all"));
+    }
+
+    #[test]
+    fn insensitive_response_is_a_snapshot() {
+        let database = db();
+        let mut props = CoreProperties::new(name("urn:dais:s:resp:0"), ResourceManagementKind::ServiceManaged);
+        props.sensitivity = Sensitivity::Insensitive;
+        let resp =
+            SqlResponseResource::create(props, &database, "SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(resp.response().unwrap().rowset().unwrap().rows[0][0], Value::Int(3));
+        database.execute("DELETE FROM t WHERE id = 1", &[]).unwrap();
+        // Still 3 — materialised.
+        assert_eq!(resp.response().unwrap().rowset().unwrap().rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn sensitive_response_reflects_parent_changes() {
+        let database = db();
+        let mut props = CoreProperties::new(name("urn:dais:s:resp:1"), ResourceManagementKind::ServiceManaged);
+        props.sensitivity = Sensitivity::Sensitive;
+        let resp =
+            SqlResponseResource::create(props, &database, "SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(resp.response().unwrap().rowset().unwrap().rows[0][0], Value::Int(3));
+        database.execute("DELETE FROM t WHERE id = 1", &[]).unwrap();
+        // Re-evaluated — sees the delete.
+        assert_eq!(resp.response().unwrap().rowset().unwrap().rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn factory_validates_statements_eagerly() {
+        let database = db();
+        let props = CoreProperties::new(name("urn:dais:s:resp:2"), ResourceManagementKind::ServiceManaged);
+        assert!(SqlResponseResource::create(props, &database, "SELEKT", &[]).is_err());
+    }
+
+    #[test]
+    fn response_property_document_counts() {
+        let database = db();
+        let props = CoreProperties::new(name("urn:dais:s:resp:3"), ResourceManagementKind::ServiceManaged);
+        let resp = SqlResponseResource::create(props, &database, "SELECT * FROM t", &[]).unwrap();
+        let doc = resp.property_document();
+        assert_eq!(doc.child_text(ns::WSDAIR, "NumberOfSQLRowsets").as_deref(), Some("1"));
+        assert_eq!(doc.child_text(ns::WSDAIR, "NumberOfSQLUpdateCounts").as_deref(), Some("0"));
+        // Response resources advertise the rowset-factory configuration map.
+        assert!(resp
+            .core_properties()
+            .configuration_maps
+            .iter()
+            .any(|m| m.message.local == "SQLRowsetFactoryRequest"));
+    }
+
+    #[test]
+    fn rowset_resource_pages() {
+        let database = db();
+        let result = database.execute("SELECT * FROM t ORDER BY id", &[]).unwrap();
+        let rowset = result.rowset().unwrap().clone();
+        let props = CoreProperties::new(name("urn:dais:s:rs:0"), ResourceManagementKind::ServiceManaged);
+        let r = RowsetResource::new(props, rowset);
+        assert_eq!(r.tuples(0, 2).row_count(), 2);
+        assert_eq!(r.tuples(2, 2).row_count(), 1);
+        assert_eq!(r.tuples(5, 2).row_count(), 0);
+        let doc = r.property_document();
+        assert_eq!(doc.child_text(ns::WSDAIR, "NumberOfRows").as_deref(), Some("3"));
+        assert_eq!(doc.child(ns::WSDAIR, "RowSchema").unwrap().elements().count(), 2);
+    }
+}

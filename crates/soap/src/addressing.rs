@@ -1,0 +1,129 @@
+//! WS-Addressing: endpoint references and message-addressing headers.
+//!
+//! The DAIS indirect access pattern hands consumers an End Point Reference
+//! (EPR) whose reference parameters carry the derived data resource's
+//! abstract name (paper §3, Figure 3). This module implements the EPR
+//! structure and the header blocks used on every bus message.
+
+use dais_xml::{ns, XmlElement};
+
+/// A WS-Addressing End Point Reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Epr {
+    /// The service address (a logical URL routed by the [`crate::Bus`]).
+    pub address: String,
+    /// Opaque reference parameters echoed into the header of every message
+    /// sent via this EPR. DAIS places the resource abstract name here.
+    pub reference_parameters: Vec<XmlElement>,
+}
+
+impl Epr {
+    /// An EPR with no reference parameters.
+    pub fn new(address: impl Into<String>) -> Self {
+        Epr { address: address.into(), reference_parameters: Vec::new() }
+    }
+
+    /// An EPR carrying a DAIS data resource abstract name reference
+    /// parameter, as mandated for indirect access responses.
+    pub fn for_resource(address: impl Into<String>, abstract_name: &str) -> Self {
+        Epr {
+            address: address.into(),
+            reference_parameters: vec![XmlElement::new(ns::WSDAI, "wsdai", "DataResourceAbstractName")
+                .with_text(abstract_name)],
+        }
+    }
+
+    /// Extract the DAIS abstract name reference parameter, if present.
+    pub fn resource_abstract_name(&self) -> Option<String> {
+        self.reference_parameters
+            .iter()
+            .find(|e| e.name.is(ns::WSDAI, "DataResourceAbstractName"))
+            .map(|e| e.text())
+    }
+
+    /// Serialise under the given element name (e.g. `wsdai:DataResourceAddress`).
+    pub fn to_xml_named(&self, wrapper: XmlElement) -> XmlElement {
+        let mut out = wrapper;
+        out.push(XmlElement::new(ns::WSA, "wsa", "Address").with_text(&self.address));
+        if !self.reference_parameters.is_empty() {
+            let mut params = XmlElement::new(ns::WSA, "wsa", "ReferenceParameters");
+            for p in &self.reference_parameters {
+                params.push(p.clone());
+            }
+            out.push(params);
+        }
+        out
+    }
+
+    /// Serialise as a `wsa:EndpointReference` element.
+    pub fn to_xml(&self) -> XmlElement {
+        self.to_xml_named(XmlElement::new(ns::WSA, "wsa", "EndpointReference"))
+    }
+
+    /// Parse from any element with `wsa:Address` / `wsa:ReferenceParameters`
+    /// children.
+    pub fn from_xml(element: &XmlElement) -> Option<Epr> {
+        let address = element.child_text(ns::WSA, "Address")?;
+        let reference_parameters = element
+            .child(ns::WSA, "ReferenceParameters")
+            .map(|p| p.elements().cloned().collect())
+            .unwrap_or_default();
+        Some(Epr { address, reference_parameters })
+    }
+}
+
+/// Build the WS-Addressing header blocks for a message sent to `to` with
+/// the given SOAP action, echoing EPR reference parameters as headers (per
+/// WS-Addressing §2.2: each reference parameter becomes a header block).
+pub fn message_headers(to: &str, action: &str, reference_parameters: &[XmlElement]) -> Vec<XmlElement> {
+    let mut headers = vec![
+        XmlElement::new(ns::WSA, "wsa", "To").with_text(to),
+        XmlElement::new(ns::WSA, "wsa", "Action").with_text(action),
+    ];
+    headers.extend(reference_parameters.iter().cloned());
+    headers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epr_roundtrip() {
+        let epr = Epr::for_resource("bus://svc2", "urn:dais:resource:42");
+        let rt = Epr::from_xml(&epr.to_xml()).unwrap();
+        assert_eq!(rt, epr);
+        assert_eq!(rt.resource_abstract_name().as_deref(), Some("urn:dais:resource:42"));
+    }
+
+    #[test]
+    fn plain_epr_has_no_reference_parameters() {
+        let epr = Epr::new("bus://svc");
+        let xml = epr.to_xml();
+        assert!(xml.child(ns::WSA, "ReferenceParameters").is_none());
+        assert_eq!(Epr::from_xml(&xml).unwrap(), epr);
+    }
+
+    #[test]
+    fn from_xml_requires_address() {
+        assert!(Epr::from_xml(&XmlElement::new_local("x")).is_none());
+    }
+
+    #[test]
+    fn headers_include_reference_parameters() {
+        let epr = Epr::for_resource("bus://svc", "urn:r");
+        let headers = message_headers(&epr.address, "urn:act", &epr.reference_parameters);
+        assert_eq!(headers.len(), 3);
+        assert!(headers[0].name.is(ns::WSA, "To"));
+        assert!(headers[1].name.is(ns::WSA, "Action"));
+        assert!(headers[2].name.is(ns::WSDAI, "DataResourceAbstractName"));
+    }
+
+    #[test]
+    fn custom_wrapper_name() {
+        let epr = Epr::new("bus://x");
+        let xml = epr.to_xml_named(XmlElement::new(ns::WSDAI, "wsdai", "DataResourceAddress"));
+        assert!(xml.name.is(ns::WSDAI, "DataResourceAddress"));
+        assert_eq!(Epr::from_xml(&xml).unwrap(), epr);
+    }
+}

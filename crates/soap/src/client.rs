@@ -1,0 +1,150 @@
+//! Consumer-side helper: address a service (optionally via an EPR with
+//! reference parameters) and exchange request/response payloads.
+
+use crate::addressing::{message_headers, Epr};
+use crate::bus::{Bus, BusError};
+use crate::envelope::Envelope;
+use crate::fault::Fault;
+use dais_xml::XmlElement;
+
+/// Errors a consumer can observe: transport failures or SOAP faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallError {
+    Transport(BusError),
+    Fault(Fault),
+    /// The response parsed but did not contain the expected payload.
+    UnexpectedResponse(String),
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::Transport(e) => write!(f, "transport error: {e}"),
+            CallError::Fault(fault) => write!(f, "{fault}"),
+            CallError::UnexpectedResponse(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+impl From<BusError> for CallError {
+    fn from(e: BusError) -> Self {
+        CallError::Transport(e)
+    }
+}
+
+impl From<Fault> for CallError {
+    fn from(f: Fault) -> Self {
+        CallError::Fault(f)
+    }
+}
+
+impl CallError {
+    /// The DAIS fault classification, if this is a classified fault.
+    pub fn dais_fault(&self) -> Option<crate::fault::DaisFault> {
+        match self {
+            CallError::Fault(f) => f.dais,
+            _ => None,
+        }
+    }
+}
+
+/// A client bound to one endpoint (by address or EPR).
+#[derive(Clone)]
+pub struct ServiceClient {
+    bus: Bus,
+    epr: Epr,
+}
+
+impl ServiceClient {
+    /// Bind to a bare address.
+    pub fn new(bus: Bus, address: impl Into<String>) -> Self {
+        ServiceClient { bus, epr: Epr::new(address) }
+    }
+
+    /// Bind to an EPR (indirect access: reference parameters will be
+    /// echoed as headers on every request).
+    pub fn from_epr(bus: Bus, epr: Epr) -> Self {
+        ServiceClient { bus, epr }
+    }
+
+    /// The bound EPR.
+    pub fn epr(&self) -> &Epr {
+        &self.epr
+    }
+
+    /// The underlying bus (for chaining clients off returned EPRs).
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// Send `payload` with the given SOAP action and return the response
+    /// payload element.
+    pub fn request(&self, action: &str, payload: XmlElement) -> Result<XmlElement, CallError> {
+        let mut env = Envelope::with_body(payload);
+        for h in message_headers(&self.epr.address, action, &self.epr.reference_parameters) {
+            env.add_header(h);
+        }
+        let response = self.bus.call(&self.epr.address, action, &env)??;
+        response
+            .payload()
+            .cloned()
+            .ok_or_else(|| CallError::UnexpectedResponse("empty response body".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::SoapDispatcher;
+    use dais_xml::ns;
+    use std::sync::Arc;
+
+    #[test]
+    fn client_attaches_addressing_headers() {
+        let bus = Bus::new();
+        let mut d = SoapDispatcher::new();
+        d.register("urn:probe", |req: &Envelope| {
+            // Echo back what headers we saw.
+            let mut out = XmlElement::new_local("seen");
+            if req.header_block(ns::WSA, "To").is_some() {
+                out.set_attr("to", "1");
+            }
+            if req.header_block(ns::WSA, "Action").is_some() {
+                out.set_attr("action", "1");
+            }
+            if req.header_block(ns::WSDAI, "DataResourceAbstractName").is_some() {
+                out.set_attr("refparam", "1");
+            }
+            Ok(Envelope::with_body(out))
+        });
+        bus.register("bus://svc", Arc::new(d));
+
+        let client = ServiceClient::from_epr(bus, Epr::for_resource("bus://svc", "urn:r1"));
+        let resp = client.request("urn:probe", XmlElement::new_local("q")).unwrap();
+        assert_eq!(resp.attribute("to"), Some("1"));
+        assert_eq!(resp.attribute("action"), Some("1"));
+        assert_eq!(resp.attribute("refparam"), Some("1"));
+    }
+
+    #[test]
+    fn faults_surface_as_call_errors() {
+        let bus = Bus::new();
+        let mut d = SoapDispatcher::new();
+        d.register("urn:f", |_: &Envelope| {
+            Err(Fault::dais(crate::fault::DaisFault::InvalidResourceName, "nope"))
+        });
+        bus.register("bus://svc", Arc::new(d));
+        let client = ServiceClient::new(bus, "bus://svc");
+        let err = client.request("urn:f", XmlElement::new_local("q")).unwrap_err();
+        assert_eq!(err.dais_fault(), Some(crate::fault::DaisFault::InvalidResourceName));
+    }
+
+    #[test]
+    fn transport_error_for_missing_service() {
+        let client = ServiceClient::new(Bus::new(), "bus://ghost");
+        let err = client.request("urn:x", XmlElement::new_local("q")).unwrap_err();
+        assert!(matches!(err, CallError::Transport(BusError::NoSuchEndpoint(_))));
+    }
+}

@@ -1,0 +1,175 @@
+//! The SOAP envelope model.
+
+use dais_xml::{ns, parse, to_string, XmlElement, XmlError};
+
+/// A SOAP envelope: optional header blocks and exactly one body payload.
+///
+/// DAIS direct/indirect request messages are single-element body payloads;
+/// WS-Addressing blocks (To, Action, MessageID, reference parameters)
+/// travel in the header.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Envelope {
+    pub header: Vec<XmlElement>,
+    pub body: Vec<XmlElement>,
+}
+
+impl Envelope {
+    /// An envelope with a single body payload and no headers.
+    pub fn with_body(payload: XmlElement) -> Self {
+        Envelope { header: Vec::new(), body: vec![payload] }
+    }
+
+    /// Add a header block.
+    pub fn add_header(&mut self, block: XmlElement) {
+        self.header.push(block);
+    }
+
+    /// Builder form of [`Envelope::add_header`].
+    pub fn with_header(mut self, block: XmlElement) -> Self {
+        self.header.push(block);
+        self
+    }
+
+    /// The first (usually only) body element.
+    pub fn payload(&self) -> Option<&XmlElement> {
+        self.body.first()
+    }
+
+    /// First header block with the given expanded name.
+    pub fn header_block(&self, namespace: &str, local: &str) -> Option<&XmlElement> {
+        self.header.iter().find(|h| h.name.is(namespace, local))
+    }
+
+    /// Serialise to the wire form.
+    pub fn to_xml(&self) -> XmlElement {
+        let mut env = XmlElement::new(ns::SOAP_ENV, "soap", "Envelope");
+        if !self.header.is_empty() {
+            let mut header = XmlElement::new(ns::SOAP_ENV, "soap", "Header");
+            for h in &self.header {
+                header.push(h.clone());
+            }
+            env.push(header);
+        }
+        let mut body = XmlElement::new(ns::SOAP_ENV, "soap", "Body");
+        for b in &self.body {
+            body.push(b.clone());
+        }
+        env.push(body);
+        env
+    }
+
+    /// Serialise to bytes (what the bus transports).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        to_string(&self.to_xml()).into_bytes()
+    }
+
+    /// Parse an envelope from a wire element.
+    pub fn from_xml(root: &XmlElement) -> Result<Envelope, EnvelopeError> {
+        if !root.name.is(ns::SOAP_ENV, "Envelope") {
+            return Err(EnvelopeError::new(format!(
+                "expected soap:Envelope, found {}",
+                root.name
+            )));
+        }
+        let header = root
+            .child(ns::SOAP_ENV, "Header")
+            .map(|h| h.elements().cloned().collect())
+            .unwrap_or_default();
+        let body_el = root
+            .child(ns::SOAP_ENV, "Body")
+            .ok_or_else(|| EnvelopeError::new("envelope has no soap:Body"))?;
+        let body = body_el.elements().cloned().collect();
+        Ok(Envelope { header, body })
+    }
+
+    /// Parse from bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Envelope, EnvelopeError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|e| EnvelopeError::new(format!("envelope is not UTF-8: {e}")))?;
+        let root = parse(text).map_err(EnvelopeError::from)?;
+        Envelope::from_xml(&root)
+    }
+}
+
+/// A malformed-envelope error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvelopeError {
+    pub message: String,
+}
+
+impl EnvelopeError {
+    fn new(message: impl Into<String>) -> Self {
+        EnvelopeError { message: message.into() }
+    }
+}
+
+impl From<XmlError> for EnvelopeError {
+    fn from(e: XmlError) -> Self {
+        EnvelopeError { message: e.to_string() }
+    }
+}
+
+impl std::fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SOAP envelope error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EnvelopeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload() -> XmlElement {
+        XmlElement::new(ns::WSDAI, "wsdai", "GetDataResourcePropertyDocumentRequest").with_child(
+            XmlElement::new(ns::WSDAI, "wsdai", "DataResourceAbstractName").with_text("urn:r1"),
+        )
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let env = Envelope::with_body(payload())
+            .with_header(XmlElement::new(ns::WSA, "wsa", "Action").with_text("urn:op"));
+        let rt = Envelope::from_bytes(&env.to_bytes()).unwrap();
+        assert_eq!(rt, env);
+    }
+
+    #[test]
+    fn headerless_envelope_omits_header_element() {
+        let env = Envelope::with_body(payload());
+        let xml = to_string(&env.to_xml());
+        assert!(!xml.contains("Header"));
+        assert_eq!(Envelope::from_bytes(&env.to_bytes()).unwrap(), env);
+    }
+
+    #[test]
+    fn header_block_lookup() {
+        let env = Envelope::with_body(payload())
+            .with_header(XmlElement::new(ns::WSA, "wsa", "To").with_text("urn:svc"));
+        assert_eq!(env.header_block(ns::WSA, "To").unwrap().text(), "urn:svc");
+        assert!(env.header_block(ns::WSA, "Action").is_none());
+    }
+
+    #[test]
+    fn missing_body_is_error() {
+        let xml = format!("<soap:Envelope xmlns:soap='{}'/>", ns::SOAP_ENV);
+        assert!(Envelope::from_bytes(xml.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn wrong_root_is_error() {
+        assert!(Envelope::from_bytes(b"<NotAnEnvelope/>").is_err());
+    }
+
+    #[test]
+    fn malformed_xml_is_error() {
+        assert!(Envelope::from_bytes(b"<soap:Envelope").is_err());
+    }
+
+    #[test]
+    fn payload_accessor() {
+        let env = Envelope::with_body(payload());
+        assert!(env.payload().unwrap().name.is(ns::WSDAI, "GetDataResourcePropertyDocumentRequest"));
+    }
+}

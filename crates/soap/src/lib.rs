@@ -1,0 +1,31 @@
+//! # dais-soap
+//!
+//! SOAP 1.1-style messaging for the DAIS stack: envelope model, faults,
+//! WS-Addressing endpoint references, a service trait, and an in-process
+//! message bus that plays the role of the HTTP transport.
+//!
+//! ## Substitution note (see DESIGN.md)
+//!
+//! The DAIS specifications assume a conventional SOAP-over-HTTP stack.
+//! Rust's SOAP/WSDL ecosystem is immature, so this crate implements the
+//! envelope layer directly and replaces TCP with an in-process [`Bus`].
+//! Crucially the bus does **not** hand object references between client
+//! and service: every message is serialised to XML bytes, routed, and
+//! re-parsed at the receiving side. All marshalling costs and
+//! message-structure bugs are therefore still exercised, and the bus
+//! meters bytes in both directions ([`BusStats`]) which the paper-figure
+//! experiments use to quantify data movement.
+
+pub mod addressing;
+pub mod bus;
+pub mod client;
+pub mod envelope;
+pub mod fault;
+pub mod service;
+
+pub use addressing::Epr;
+pub use bus::{Bus, BusStats, Endpoint};
+pub use client::ServiceClient;
+pub use envelope::Envelope;
+pub use fault::{Fault, FaultCode};
+pub use service::{SoapDispatcher, SoapService};

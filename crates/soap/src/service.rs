@@ -1,0 +1,111 @@
+//! The service side: a trait for SOAP endpoints and an action dispatcher.
+
+use crate::envelope::Envelope;
+use crate::fault::Fault;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A SOAP endpoint. Implementations receive the parsed envelope and the
+/// SOAP action and either return a response envelope or a fault (which the
+/// bus renders as a fault envelope).
+pub trait SoapService: Send + Sync {
+    fn handle(&self, action: &str, request: &Envelope) -> Result<Envelope, Fault>;
+
+    /// The SOAP actions this endpoint understands (used by conformance
+    /// tests and the Figure-6 operation inventory experiment).
+    fn actions(&self) -> Vec<String> {
+        Vec::new()
+    }
+}
+
+/// Type of a boxed operation handler.
+pub type Handler = Arc<dyn Fn(&Envelope) -> Result<Envelope, Fault> + Send + Sync>;
+
+/// A dispatcher mapping SOAP actions to handlers. DAIS services are
+/// assembled by registering each interface's operations onto one of these
+/// ("the proposed interfaces may be used in isolation or in conjunction
+/// with others", paper §4.3).
+#[derive(Default, Clone)]
+pub struct SoapDispatcher {
+    handlers: HashMap<String, Handler>,
+}
+
+impl SoapDispatcher {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a handler for an action. Later registrations replace
+    /// earlier ones (used by the thick-wrapper experiment to intercept).
+    pub fn register<F>(&mut self, action: impl Into<String>, handler: F)
+    where
+        F: Fn(&Envelope) -> Result<Envelope, Fault> + Send + Sync + 'static,
+    {
+        self.handlers.insert(action.into(), Arc::new(handler));
+    }
+
+    /// Does this dispatcher know the action?
+    pub fn supports(&self, action: &str) -> bool {
+        self.handlers.contains_key(action)
+    }
+
+    /// All registered actions, sorted for stable output.
+    pub fn actions(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.handlers.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl SoapService for SoapDispatcher {
+    fn handle(&self, action: &str, request: &Envelope) -> Result<Envelope, Fault> {
+        match self.handlers.get(action) {
+            Some(h) => h(request),
+            None => Err(Fault::client(format!("unknown SOAP action '{action}'"))),
+        }
+    }
+
+    fn actions(&self) -> Vec<String> {
+        SoapDispatcher::actions(self)
+    }
+}
+
+impl std::fmt::Debug for SoapDispatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SoapDispatcher").field("actions", &self.actions()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dais_xml::XmlElement;
+
+    #[test]
+    fn dispatches_by_action() {
+        let mut d = SoapDispatcher::new();
+        d.register("urn:echo", |req| Ok(req.clone()));
+        let env = Envelope::with_body(XmlElement::new_local("m"));
+        assert_eq!(d.handle("urn:echo", &env).unwrap(), env);
+        assert!(d.handle("urn:nope", &env).is_err());
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let mut d = SoapDispatcher::new();
+        d.register("a", |_| Ok(Envelope::with_body(XmlElement::new_local("one"))));
+        d.register("a", |_| Ok(Envelope::with_body(XmlElement::new_local("two"))));
+        let out = d.handle("a", &Envelope::default()).unwrap();
+        assert_eq!(out.payload().unwrap().name.local, "two");
+        assert_eq!(d.actions().len(), 1);
+    }
+
+    #[test]
+    fn actions_sorted() {
+        let mut d = SoapDispatcher::new();
+        d.register("b", |_| Ok(Envelope::default()));
+        d.register("a", |_| Ok(Envelope::default()));
+        assert_eq!(d.actions(), vec!["a", "b"]);
+        assert!(d.supports("a"));
+    }
+}

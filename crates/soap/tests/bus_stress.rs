@@ -1,0 +1,117 @@
+//! Transport-level stress: the bus under concurrent registration,
+//! unregistration and traffic, plus statistics coherence.
+
+use dais_soap::bus::Bus;
+use dais_soap::envelope::Envelope;
+use dais_soap::fault::Fault;
+use dais_soap::service::SoapDispatcher;
+use dais_xml::XmlElement;
+use std::sync::Arc;
+
+fn echo_dispatcher() -> Arc<SoapDispatcher> {
+    let mut d = SoapDispatcher::new();
+    d.register("urn:echo", |req: &Envelope| Ok(req.clone()));
+    d.register("urn:fail", |_: &Envelope| Err(Fault::server("nope")));
+    Arc::new(d)
+}
+
+#[test]
+fn stats_are_exact_under_concurrency() {
+    let bus = Bus::new();
+    bus.register("bus://s", echo_dispatcher());
+    let threads = 8;
+    let per_thread = 50;
+    let handles: Vec<_> = (0..threads)
+        .map(|i| {
+            let bus = bus.clone();
+            std::thread::spawn(move || {
+                for j in 0..per_thread {
+                    let action = if (i + j) % 5 == 0 { "urn:fail" } else { "urn:echo" };
+                    let env = Envelope::with_body(
+                        XmlElement::new_local("m").with_text(format!("{i}:{j}")),
+                    );
+                    let _ = bus.call("bus://s", action, &env).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let s = bus.stats();
+    assert_eq!(s.messages, (threads * per_thread) as u64);
+    let expected_faults =
+        (0..threads).flat_map(|i| (0..per_thread).map(move |j| (i + j) % 5 == 0)).filter(|x| *x).count();
+    assert_eq!(s.faults, expected_faults as u64);
+    assert_eq!(bus.endpoint_stats("bus://s").messages, s.messages);
+}
+
+#[test]
+fn register_unregister_race_is_safe() {
+    let bus = Bus::new();
+    bus.register("bus://flap", echo_dispatcher());
+    let flapper = {
+        let bus = bus.clone();
+        std::thread::spawn(move || {
+            for _ in 0..100 {
+                bus.unregister("bus://flap");
+                bus.register("bus://flap", echo_dispatcher());
+            }
+        })
+    };
+    let caller = {
+        let bus = bus.clone();
+        std::thread::spawn(move || {
+            let mut ok = 0;
+            let mut gone = 0;
+            for _ in 0..200 {
+                match bus.call(
+                    "bus://flap",
+                    "urn:echo",
+                    &Envelope::with_body(XmlElement::new_local("x")),
+                ) {
+                    Ok(Ok(_)) => ok += 1,
+                    Ok(Err(_)) => panic!("echo cannot fault"),
+                    Err(_) => gone += 1, // transiently unregistered: fine
+                }
+            }
+            (ok, gone)
+        })
+    };
+    flapper.join().unwrap();
+    let (ok, gone) = caller.join().unwrap();
+    assert_eq!(ok + gone, 200);
+    assert!(ok > 0, "some calls must get through");
+}
+
+#[test]
+fn many_endpoints() {
+    let bus = Bus::new();
+    for i in 0..200 {
+        bus.register(format!("bus://svc{i}"), echo_dispatcher());
+    }
+    assert_eq!(bus.addresses().len(), 200);
+    for i in (0..200).step_by(17) {
+        let out = bus
+            .call(
+                &format!("bus://svc{i}"),
+                "urn:echo",
+                &Envelope::with_body(XmlElement::new_local("ping")),
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(out.payload().unwrap().name.local, "ping");
+    }
+}
+
+#[test]
+fn large_payloads_roundtrip() {
+    let bus = Bus::new();
+    bus.register("bus://big", echo_dispatcher());
+    let mut body = XmlElement::new_local("blob");
+    body.push_text("y".repeat(2_000_000));
+    let env = Envelope::with_body(body);
+    let out = bus.call("bus://big", "urn:echo", &env).unwrap().unwrap();
+    assert_eq!(out.payload().unwrap().text().len(), 2_000_000);
+    assert!(bus.stats().request_bytes >= 2_000_000);
+}

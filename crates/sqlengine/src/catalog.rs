@@ -1,0 +1,109 @@
+//! Table metadata: schemas, constraints and indexes.
+//!
+//! The catalog is the source of the relational metadata that WS-DAIR
+//! exposes through the `CIMDescription` property (paper §4.2): table
+//! names, column names/types/nullability, primary keys, unique
+//! constraints, foreign keys and indexes.
+
+use crate::ast::Expr;
+use crate::value::{SqlType, Value};
+
+/// Metadata for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMeta {
+    pub name: String,
+    pub ty: SqlType,
+    pub not_null: bool,
+    pub unique: bool,
+    /// Pre-evaluated DEFAULT value (defaults must be constant expressions).
+    pub default: Option<Value>,
+    /// Foreign key: `(referenced_table, referenced_column)`.
+    pub references: Option<(String, String)>,
+}
+
+/// Metadata for a secondary index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexMeta {
+    pub name: String,
+    /// Ordinal of the indexed column.
+    pub column: usize,
+    pub unique: bool,
+}
+
+/// The schema of one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<ColumnMeta>,
+    /// Ordinals of the primary key columns (empty = no primary key).
+    pub primary_key: Vec<usize>,
+    /// Table-level CHECK constraint expressions.
+    pub checks: Vec<Expr>,
+    pub indexes: Vec<IndexMeta>,
+}
+
+impl TableSchema {
+    /// Find a column ordinal by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Is the column ordinal part of the primary key?
+    pub fn is_pk_column(&self, ordinal: usize) -> bool {
+        self.primary_key.contains(&ordinal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema {
+            name: "t".into(),
+            columns: vec![
+                ColumnMeta {
+                    name: "Id".into(),
+                    ty: SqlType::Integer,
+                    not_null: true,
+                    unique: false,
+                    default: None,
+                    references: None,
+                },
+                ColumnMeta {
+                    name: "name".into(),
+                    ty: SqlType::Varchar,
+                    not_null: false,
+                    unique: true,
+                    default: Some(Value::Str("anon".into())),
+                    references: None,
+                },
+            ],
+            primary_key: vec![0],
+            checks: Vec::new(),
+            indexes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.column_index("id"), Some(0));
+        assert_eq!(s.column_index("ID"), Some(0));
+        assert_eq!(s.column_index("NAME"), Some(1));
+        assert_eq!(s.column_index("zzz"), None);
+    }
+
+    #[test]
+    fn pk_membership() {
+        let s = schema();
+        assert!(s.is_pk_column(0));
+        assert!(!s.is_pk_column(1));
+        assert_eq!(s.column_names(), vec!["Id", "name"]);
+    }
+}

@@ -1,0 +1,1199 @@
+//! Statement execution: SELECT pipelines and DML/DDL with undo logging.
+//!
+//! Queries run as a materialising operator pipeline
+//! (scan → join → filter → aggregate → having → project → distinct →
+//! sort → limit); each stage consumes and produces row vectors. DML
+//! appends inverse operations to an undo log so the session layer can
+//! provide statement- and transaction-level atomicity.
+
+use crate::ast::*;
+use crate::catalog::{ColumnMeta, IndexMeta, TableSchema};
+use crate::error::{SqlError, SqlErrorKind};
+use crate::expr::{eval, EvalContext, ExecColumn, ExecSchema};
+use crate::rowset::{Rowset, RowsetColumn};
+use crate::storage::{RowId, Storage, Table};
+use crate::value::{GroupKey, SqlType, Value};
+use std::collections::HashMap;
+
+/// One inverse operation, applied in reverse order on rollback.
+#[derive(Debug, Clone)]
+pub enum UndoEntry {
+    Insert { table: String, rowid: RowId },
+    Delete { table: String, rowid: RowId, row: Vec<Value> },
+    Update { table: String, rowid: RowId, old_row: Vec<Value> },
+    CreateTable { name: String },
+    DropTable { table: Box<Table> },
+    CreateIndex { table: String, index: String },
+}
+
+/// Undo a list of entries against storage (most recent first).
+pub fn apply_undo(storage: &mut Storage, entries: Vec<UndoEntry>) {
+    for entry in entries.into_iter().rev() {
+        match entry {
+            UndoEntry::Insert { table, rowid } => {
+                if let Ok(t) = storage.table_mut(&table) {
+                    t.delete(rowid);
+                }
+            }
+            UndoEntry::Delete { table, rowid, row } => {
+                if let Ok(t) = storage.table_mut(&table) {
+                    t.reinsert(rowid, row);
+                }
+            }
+            UndoEntry::Update { table, rowid, old_row } => {
+                if let Ok(t) = storage.table_mut(&table) {
+                    // Direct reinstatement: remove then reinsert keeps
+                    // indexes coherent without re-running checks.
+                    t.delete(rowid);
+                    t.reinsert(rowid, old_row);
+                }
+            }
+            UndoEntry::CreateTable { name } => {
+                storage.remove_table(&name);
+            }
+            UndoEntry::DropTable { table } => {
+                let _ = storage.add_table(*table);
+            }
+            UndoEntry::CreateIndex { table, index } => {
+                if let Ok(t) = storage.table_mut(&table) {
+                    t.drop_index(&index);
+                }
+            }
+        }
+    }
+}
+
+// ===========================================================================
+// SELECT
+// ===========================================================================
+
+/// Run a SELECT (possibly a UNION chain) and materialise the result.
+pub fn run_select(select: &Select, storage: &Storage, params: &[Value]) -> Result<Rowset, SqlError> {
+    if select.unions.is_empty() {
+        return run_single_select(select, storage, params);
+    }
+    // Head select, stripped of the chain-level clauses.
+    let mut head = select.clone();
+    head.unions = Vec::new();
+    head.order_by = Vec::new();
+    head.limit = None;
+    head.offset = None;
+    let mut result = run_single_select(&head, storage, params)?;
+
+    // Plain UNION anywhere in the chain deduplicates the whole result
+    // (matching the common left-associative SQL reading for homogeneous
+    // chains; mixed ALL/DISTINCT chains resolve to DISTINCT).
+    let mut dedup = false;
+    for arm in &select.unions {
+        let arm_result = run_single_select(&arm.select, storage, params)?;
+        if arm_result.columns.len() != result.columns.len() {
+            return Err(SqlError::syntax(format!(
+                "UNION arms have different column counts ({} vs {})",
+                result.columns.len(),
+                arm_result.columns.len()
+            )));
+        }
+        result.rows.extend(arm_result.rows);
+        if !arm.all {
+            dedup = true;
+        }
+    }
+    if dedup {
+        let mut seen: HashMap<Vec<GroupKey>, ()> = HashMap::new();
+        result.rows.retain(|row| {
+            let key: Vec<GroupKey> = row.iter().map(Value::group_key).collect();
+            seen.insert(key, ()).is_none()
+        });
+    }
+
+    // ORDER BY over a union may only reference output columns (by name
+    // or 1-based ordinal) — there is no single source row to fall back to.
+    if !select.order_by.is_empty() {
+        let mut key_ordinals = Vec::with_capacity(select.order_by.len());
+        for item in &select.order_by {
+            let ordinal = match &item.expr {
+                Expr::Literal(Value::Int(n)) => {
+                    let i = *n as usize;
+                    if i < 1 || i > result.columns.len() {
+                        return Err(SqlError::syntax(format!(
+                            "ORDER BY position {n} is out of range"
+                        )));
+                    }
+                    i - 1
+                }
+                Expr::Column { qualifier: None, name } => {
+                    result.column_index(name).ok_or_else(|| {
+                        SqlError::new(
+                            SqlErrorKind::NotSupported,
+                            format!(
+                                "ORDER BY in UNION queries must reference an output column; '{name}' is not one"
+                            ),
+                        )
+                    })?
+                }
+                _ => {
+                    return Err(SqlError::new(
+                        SqlErrorKind::NotSupported,
+                        "ORDER BY in UNION queries must reference output columns by name or ordinal",
+                    ))
+                }
+            };
+            key_ordinals.push(ordinal);
+        }
+        result.rows.sort_by(|a, b| {
+            for (&ordinal, item) in key_ordinals.iter().zip(&select.order_by) {
+                let ord = a[ordinal].total_cmp(&b[ordinal]);
+                let ord = if item.ascending { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    let offset = select.offset.unwrap_or(0) as usize;
+    let limit = select.limit.map(|l| l as usize).unwrap_or(usize::MAX);
+    result.rows = result.rows.into_iter().skip(offset).take(limit).collect();
+    Ok(result)
+}
+
+/// Run one core select (no UNION arms).
+fn run_single_select(select: &Select, storage: &Storage, params: &[Value]) -> Result<Rowset, SqlError> {
+    // 1. Source: FROM + joins (or a single empty row for FROM-less SELECT).
+    let (mut schema, mut rows, mut source_types) = match &select.from {
+        None => (ExecSchema::default(), vec![Vec::new()], Vec::new()),
+        Some(table_ref) => scan_table(storage, table_ref)?,
+    };
+    for join in &select.joins {
+        let (right_schema, right_rows, right_types) = scan_table(storage, &join.table)?;
+        let joined_schema = schema.join(&right_schema);
+        let mut out: Vec<Vec<Value>> = Vec::new();
+        match join.kind {
+            JoinKind::Cross => {
+                for l in &rows {
+                    for r in &right_rows {
+                        let mut combined = l.clone();
+                        combined.extend(r.iter().cloned());
+                        out.push(combined);
+                    }
+                }
+            }
+            JoinKind::Inner | JoinKind::Left => {
+                let on = join.on.as_ref().expect("parser guarantees ON for inner/left joins");
+                for l in &rows {
+                    let mut matched = false;
+                    for r in &right_rows {
+                        let mut combined = l.clone();
+                        combined.extend(r.iter().cloned());
+                        let ctx = EvalContext::new(&joined_schema, &combined, params);
+                        if matches!(eval(on, &ctx)?, Value::Bool(true)) {
+                            matched = true;
+                            out.push(combined);
+                        }
+                    }
+                    if !matched && join.kind == JoinKind::Left {
+                        let mut combined = l.clone();
+                        combined.extend(std::iter::repeat(Value::Null).take(right_schema.columns.len()));
+                        out.push(combined);
+                    }
+                }
+            }
+        }
+        schema = joined_schema;
+        rows = out;
+        source_types.extend(right_types);
+    }
+
+    // 2. WHERE.
+    if let Some(predicate) = &select.where_clause {
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            let ctx = EvalContext::new(&schema, &row, params);
+            if matches!(eval(predicate, &ctx)?, Value::Bool(true)) {
+                kept.push(row);
+            }
+        }
+        rows = kept;
+    }
+
+    // 3. Expand wildcards into concrete projection expressions.
+    let mut projections: Vec<(Expr, String)> = Vec::new();
+    for item in &select.items {
+        match item {
+            SelectItem::Wildcard => {
+                if select.from.is_none() {
+                    return Err(SqlError::syntax("SELECT * requires a FROM clause"));
+                }
+                for c in &schema.columns {
+                    projections.push((
+                        Expr::Column { qualifier: c.qualifier.clone(), name: c.name.clone() },
+                        c.name.clone(),
+                    ));
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let mut any = false;
+                for c in &schema.columns {
+                    if c.qualifier.as_deref().is_some_and(|cq| cq.eq_ignore_ascii_case(q)) {
+                        any = true;
+                        projections.push((
+                            Expr::Column { qualifier: c.qualifier.clone(), name: c.name.clone() },
+                            c.name.clone(),
+                        ));
+                    }
+                }
+                if !any {
+                    return Err(SqlError::new(
+                        SqlErrorKind::UndefinedTable,
+                        format!("unknown table qualifier '{q}' in {q}.*"),
+                    ));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| default_name(expr, projections.len()));
+                projections.push((expr.clone(), name));
+            }
+        }
+    }
+
+    // 4. Aggregation if needed.
+    let has_aggregates = projections.iter().any(|(e, _)| e.contains_aggregate())
+        || select.having.as_ref().is_some_and(Expr::contains_aggregate)
+        || select.order_by.iter().any(|o| o.expr.contains_aggregate());
+    let mut order_exprs: Vec<Expr> = select.order_by.iter().map(|o| o.expr.clone()).collect();
+    let mut having = select.having.clone();
+    if has_aggregates || !select.group_by.is_empty() {
+        let agg = aggregate(
+            &schema,
+            &rows,
+            params,
+            &select.group_by,
+            &mut projections,
+            &mut having,
+            &mut order_exprs,
+        )?;
+        schema = agg.0;
+        rows = agg.1;
+        // Source types no longer meaningful after aggregation.
+        source_types = vec![None; schema.columns.len()];
+    }
+
+    // 5. HAVING (after aggregation; without aggregation it is just a
+    //    second filter, which we allow for convenience).
+    if let Some(h) = &having {
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            let ctx = EvalContext::new(&schema, &row, params);
+            match eval(h, &ctx) {
+                Ok(Value::Bool(true)) => kept.push(row),
+                Ok(_) => {}
+                Err(e) => return Err(regroup_error(e, has_aggregates)),
+            }
+        }
+        rows = kept;
+    }
+
+    // 6. Projection. Keep source rows for ORDER BY expressions that
+    //    reference non-projected columns.
+    let mut projected: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rows.len());
+    for row in rows {
+        let ctx = EvalContext::new(&schema, &row, params);
+        let mut out = Vec::with_capacity(projections.len());
+        for (expr, _) in &projections {
+            match eval(expr, &ctx) {
+                Ok(v) => out.push(v),
+                Err(e) => return Err(regroup_error(e, has_aggregates)),
+            }
+        }
+        projected.push((out, row));
+    }
+
+    // 7. DISTINCT.
+    if select.distinct {
+        let mut seen: HashMap<Vec<GroupKey>, ()> = HashMap::new();
+        projected.retain(|(out, _)| {
+            let key: Vec<GroupKey> = out.iter().map(Value::group_key).collect();
+            seen.insert(key, ()).is_none()
+        });
+    }
+
+    // 8. ORDER BY.
+    if !order_exprs.is_empty() {
+        let output_names: Vec<String> = projections.iter().map(|(_, n)| n.clone()).collect();
+        let mut keyed: Vec<(Vec<Value>, (Vec<Value>, Vec<Value>))> = Vec::with_capacity(projected.len());
+        for (out, src) in projected {
+            let mut keys = Vec::with_capacity(order_exprs.len());
+            for expr in &order_exprs {
+                keys.push(order_key(expr, &out, &src, &schema, &output_names, params)?);
+            }
+            keyed.push((keys, (out, src)));
+        }
+        keyed.sort_by(|(a, _), (b, _)| {
+            for (i, item) in select.order_by.iter().enumerate() {
+                let ord = a[i].total_cmp(&b[i]);
+                let ord = if item.ascending { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        projected = keyed.into_iter().map(|(_, p)| p).collect();
+    }
+
+    // 9. OFFSET / LIMIT.
+    let offset = select.offset.unwrap_or(0) as usize;
+    let limit = select.limit.map(|l| l as usize).unwrap_or(usize::MAX);
+    let final_rows: Vec<Vec<Value>> =
+        projected.into_iter().skip(offset).take(limit).map(|(out, _)| out).collect();
+
+    // 10. Column typing: prefer declared source type for plain column
+    //     projections, else infer from the data.
+    let mut columns = Vec::with_capacity(projections.len());
+    for (i, (expr, name)) in projections.iter().enumerate() {
+        let declared = match expr {
+            Expr::Column { qualifier, name } => schema
+                .resolve(qualifier.as_deref(), name)
+                .ok()
+                .and_then(|ix| source_types.get(ix).copied().flatten()),
+            _ => None,
+        };
+        let inferred = final_rows.iter().find_map(|r| r[i].sql_type());
+        columns.push(RowsetColumn { name: name.clone(), ty: declared.or(inferred).unwrap_or(SqlType::Varchar) });
+    }
+
+    Ok(Rowset { columns, rows: final_rows })
+}
+
+fn regroup_error(e: SqlError, aggregated: bool) -> SqlError {
+    if aggregated && e.kind == SqlErrorKind::UndefinedColumn {
+        SqlError::new(
+            SqlErrorKind::Grouping,
+            format!("{} (columns referenced outside aggregates must appear in GROUP BY)", e.message),
+        )
+    } else {
+        e
+    }
+}
+
+fn default_name(expr: &Expr, ordinal: usize) -> String {
+    match expr {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Function { name, .. } => name.clone(),
+        _ => format!("column{}", ordinal + 1),
+    }
+}
+
+fn scan_table(
+    storage: &Storage,
+    table_ref: &TableRef,
+) -> Result<(ExecSchema, Vec<Vec<Value>>, Vec<Option<SqlType>>), SqlError> {
+    let table = storage.table(&table_ref.name)?;
+    let binding = table_ref.binding_name().to_string();
+    let schema = ExecSchema::new(
+        table
+            .schema
+            .columns
+            .iter()
+            .map(|c| ExecColumn { qualifier: Some(binding.clone()), name: c.name.clone() })
+            .collect(),
+    );
+    let types = table.schema.columns.iter().map(|c| Some(c.ty)).collect();
+    let rows = table.scan().map(|(_, r)| r.clone()).collect();
+    Ok((schema, rows, types))
+}
+
+fn order_key(
+    expr: &Expr,
+    projected: &[Value],
+    source: &[Value],
+    source_schema: &ExecSchema,
+    output_names: &[String],
+    params: &[Value],
+) -> Result<Value, SqlError> {
+    // ORDER BY <ordinal>.
+    if let Expr::Literal(Value::Int(n)) = expr {
+        let i = *n as usize;
+        if i >= 1 && i <= projected.len() {
+            return Ok(projected[i - 1].clone());
+        }
+        return Err(SqlError::syntax(format!("ORDER BY position {n} is out of range")));
+    }
+    // ORDER BY <output name / alias>.
+    if let Expr::Column { qualifier: None, name } = expr {
+        if let Some(i) = output_names.iter().position(|n| n.eq_ignore_ascii_case(name)) {
+            return Ok(projected[i].clone());
+        }
+    }
+    // Fall back to the pre-projection row.
+    let ctx = EvalContext::new(source_schema, source, params);
+    eval(expr, &ctx)
+}
+
+// -- aggregation -------------------------------------------------------------
+
+/// An aggregate accumulator.
+#[derive(Debug, Clone)]
+enum Acc {
+    CountStar(u64),
+    Count { n: u64, distinct: Option<std::collections::HashSet<GroupKey>> },
+    Sum { total: Option<Value>, distinct: Option<std::collections::HashSet<GroupKey>> },
+    Avg { sum: f64, n: u64, distinct: Option<std::collections::HashSet<GroupKey>> },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl Acc {
+    fn new(name: &str, distinct: bool, star: bool) -> Result<Acc, SqlError> {
+        if star {
+            return Ok(Acc::CountStar(0));
+        }
+        let d = || if distinct { Some(std::collections::HashSet::new()) } else { None };
+        Ok(match name {
+            "COUNT" => Acc::Count { n: 0, distinct: d() },
+            "SUM" => Acc::Sum { total: None, distinct: d() },
+            "AVG" => Acc::Avg { sum: 0.0, n: 0, distinct: d() },
+            "MIN" => Acc::Min(None),
+            "MAX" => Acc::Max(None),
+            other => {
+                return Err(SqlError::new(
+                    SqlErrorKind::UndefinedFunction,
+                    format!("unknown aggregate {other}()"),
+                ))
+            }
+        })
+    }
+
+    fn update(&mut self, value: Option<&Value>) -> Result<(), SqlError> {
+        match self {
+            Acc::CountStar(n) => *n += 1,
+            Acc::Count { n, distinct } => {
+                if let Some(v) = value.filter(|v| !v.is_null()) {
+                    if let Some(seen) = distinct {
+                        if !seen.insert(v.group_key()) {
+                            return Ok(());
+                        }
+                    }
+                    *n += 1;
+                }
+            }
+            Acc::Sum { total, distinct } => {
+                if let Some(v) = value.filter(|v| !v.is_null()) {
+                    if let Some(seen) = distinct {
+                        if !seen.insert(v.group_key()) {
+                            return Ok(());
+                        }
+                    }
+                    let x = v.as_f64().ok_or_else(|| {
+                        SqlError::new(SqlErrorKind::InvalidCast, format!("SUM over non-numeric value {v}"))
+                    })?;
+                    // Integer sums wrap, matching the engine's integer
+                    // arithmetic semantics elsewhere.
+                    *total = Some(match total {
+                        None => v.clone(),
+                        Some(Value::Int(a)) => match v {
+                            Value::Int(b) => Value::Int(a.wrapping_add(*b)),
+                            _ => Value::Double(*a as f64 + x),
+                        },
+                        Some(t) => Value::Double(t.as_f64().unwrap_or(0.0) + x),
+                    });
+                }
+            }
+            Acc::Avg { sum, n, distinct } => {
+                if let Some(v) = value.filter(|v| !v.is_null()) {
+                    if let Some(seen) = distinct {
+                        if !seen.insert(v.group_key()) {
+                            return Ok(());
+                        }
+                    }
+                    let x = v.as_f64().ok_or_else(|| {
+                        SqlError::new(SqlErrorKind::InvalidCast, format!("AVG over non-numeric value {v}"))
+                    })?;
+                    *sum += x;
+                    *n += 1;
+                }
+            }
+            Acc::Min(best) => {
+                if let Some(v) = value.filter(|v| !v.is_null()) {
+                    let better = match best {
+                        None => true,
+                        Some(b) => v.sql_cmp(b) == Some(std::cmp::Ordering::Less),
+                    };
+                    if better {
+                        *best = Some(v.clone());
+                    }
+                }
+            }
+            Acc::Max(best) => {
+                if let Some(v) = value.filter(|v| !v.is_null()) {
+                    let better = match best {
+                        None => true,
+                        Some(b) => v.sql_cmp(b) == Some(std::cmp::Ordering::Greater),
+                    };
+                    if better {
+                        *best = Some(v.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Acc::CountStar(n) => Value::Int(n as i64),
+            Acc::Count { n, .. } => Value::Int(n as i64),
+            Acc::Sum { total, .. } => total.unwrap_or(Value::Null),
+            Acc::Avg { sum, n, .. } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(sum / n as f64)
+                }
+            }
+            Acc::Min(v) | Acc::Max(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Rewrite an expression, replacing group expressions and aggregate calls
+/// with references to the synthetic aggregate-output columns.
+fn rewrite_for_aggregate(expr: &Expr, group_by: &[Expr], aggs: &[Expr]) -> Expr {
+    for (i, g) in group_by.iter().enumerate() {
+        if expr == g {
+            return Expr::Column { qualifier: None, name: format!("__group{i}") };
+        }
+    }
+    for (j, a) in aggs.iter().enumerate() {
+        if expr == a {
+            return Expr::Column { qualifier: None, name: format!("__agg{j}") };
+        }
+    }
+    // Recurse structurally.
+    match expr {
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(rewrite_for_aggregate(expr, group_by, aggs)),
+        },
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(rewrite_for_aggregate(lhs, group_by, aggs)),
+            rhs: Box::new(rewrite_for_aggregate(rhs, group_by, aggs)),
+        },
+        Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(rewrite_for_aggregate(expr, group_by, aggs)),
+            pattern: Box::new(rewrite_for_aggregate(pattern, group_by, aggs)),
+            negated: *negated,
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(rewrite_for_aggregate(expr, group_by, aggs)),
+            list: list.iter().map(|e| rewrite_for_aggregate(e, group_by, aggs)).collect(),
+            negated: *negated,
+        },
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(rewrite_for_aggregate(expr, group_by, aggs)),
+            low: Box::new(rewrite_for_aggregate(low, group_by, aggs)),
+            high: Box::new(rewrite_for_aggregate(high, group_by, aggs)),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(rewrite_for_aggregate(expr, group_by, aggs)),
+            negated: *negated,
+        },
+        Expr::Case { operand, branches, else_value } => Expr::Case {
+            operand: operand.as_ref().map(|o| Box::new(rewrite_for_aggregate(o, group_by, aggs))),
+            branches: branches
+                .iter()
+                .map(|(w, t)| {
+                    (rewrite_for_aggregate(w, group_by, aggs), rewrite_for_aggregate(t, group_by, aggs))
+                })
+                .collect(),
+            else_value: else_value.as_ref().map(|e| Box::new(rewrite_for_aggregate(e, group_by, aggs))),
+        },
+        Expr::Function { name, args, distinct, star } => Expr::Function {
+            name: name.clone(),
+            args: args.iter().map(|a| rewrite_for_aggregate(a, group_by, aggs)).collect(),
+            distinct: *distinct,
+            star: *star,
+        },
+        _ => expr.clone(),
+    }
+}
+
+fn collect_aggregate_calls(expr: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::Function { name, star, .. } = expr {
+        if *star || is_aggregate_name(name) {
+            if !out.contains(expr) {
+                out.push(expr.clone());
+            }
+            return; // nested aggregates are not allowed / not descended
+        }
+    }
+    for c in expr.children() {
+        collect_aggregate_calls(c, out);
+    }
+}
+
+type AggregateOutput = (ExecSchema, Vec<Vec<Value>>);
+
+/// Build aggregate output rows and rewrite downstream expressions to
+/// reference them.
+#[allow(clippy::too_many_arguments)]
+fn aggregate(
+    schema: &ExecSchema,
+    rows: &[Vec<Value>],
+    params: &[Value],
+    group_by: &[Expr],
+    projections: &mut Vec<(Expr, String)>,
+    having: &mut Option<Expr>,
+    order_exprs: &mut [Expr],
+) -> Result<AggregateOutput, SqlError> {
+    // Collect distinct aggregate calls across all consuming clauses.
+    let mut aggs: Vec<Expr> = Vec::new();
+    for (e, _) in projections.iter() {
+        collect_aggregate_calls(e, &mut aggs);
+    }
+    if let Some(h) = having.as_ref() {
+        collect_aggregate_calls(h, &mut aggs);
+    }
+    for e in order_exprs.iter() {
+        collect_aggregate_calls(e, &mut aggs);
+    }
+
+    // Group rows.
+    struct Group {
+        reprs: Vec<Value>,
+        accs: Vec<Acc>,
+    }
+    let mut groups: Vec<Group> = Vec::new();
+    let mut index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+    let make_accs = |aggs: &[Expr]| -> Result<Vec<Acc>, SqlError> {
+        aggs.iter()
+            .map(|a| match a {
+                Expr::Function { name, distinct, star, .. } => Acc::new(name, *distinct, *star),
+                _ => unreachable!("aggregate list holds function calls only"),
+            })
+            .collect()
+    };
+
+    for row in rows {
+        let ctx = EvalContext::new(schema, row, params);
+        let mut key = Vec::with_capacity(group_by.len());
+        let mut reprs = Vec::with_capacity(group_by.len());
+        for g in group_by {
+            let v = eval(g, &ctx)?;
+            key.push(v.group_key());
+            reprs.push(v);
+        }
+        let gi = match index.get(&key) {
+            Some(&i) => i,
+            None => {
+                groups.push(Group { reprs, accs: make_accs(&aggs)? });
+                index.insert(key, groups.len() - 1);
+                groups.len() - 1
+            }
+        };
+        for (acc, call) in groups[gi].accs.iter_mut().zip(&aggs) {
+            match call {
+                Expr::Function { args, star, .. } => {
+                    if *star {
+                        acc.update(None)?;
+                    } else {
+                        let arg = args.first().ok_or_else(|| {
+                            SqlError::new(
+                                SqlErrorKind::UndefinedFunction,
+                                "aggregate requires an argument",
+                            )
+                        })?;
+                        let v = eval(arg, &ctx)?;
+                        acc.update(Some(&v))?;
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    // A global aggregate over zero rows still yields one group.
+    if groups.is_empty() && group_by.is_empty() {
+        groups.push(Group { reprs: Vec::new(), accs: make_accs(&aggs)? });
+    }
+
+    // Synthetic output schema.
+    let mut out_schema = ExecSchema::default();
+    for i in 0..group_by.len() {
+        out_schema.columns.push(ExecColumn { qualifier: None, name: format!("__group{i}") });
+    }
+    for j in 0..aggs.len() {
+        out_schema.columns.push(ExecColumn { qualifier: None, name: format!("__agg{j}") });
+    }
+
+    let mut out_rows = Vec::with_capacity(groups.len());
+    for g in groups {
+        let mut row = g.reprs;
+        for acc in g.accs {
+            row.push(acc.finish());
+        }
+        out_rows.push(row);
+    }
+
+    // Rewrite downstream expressions.
+    for (e, _) in projections.iter_mut() {
+        *e = rewrite_for_aggregate(e, group_by, &aggs);
+    }
+    if let Some(h) = having.as_mut() {
+        *h = rewrite_for_aggregate(h, group_by, &aggs);
+    }
+    for e in order_exprs.iter_mut() {
+        *e = rewrite_for_aggregate(e, group_by, &aggs);
+    }
+
+    Ok((out_schema, out_rows))
+}
+
+// ===========================================================================
+// DML
+// ===========================================================================
+
+/// Execute INSERT; returns the number of rows inserted.
+pub fn run_insert(
+    insert: &Insert,
+    storage: &mut Storage,
+    params: &[Value],
+    undo: &mut Vec<UndoEntry>,
+) -> Result<u64, SqlError> {
+    let schema = storage.table(&insert.table)?.schema.clone();
+
+    // Resolve the target column list to ordinals.
+    let target_ordinals: Vec<usize> = if insert.columns.is_empty() {
+        (0..schema.columns.len()).collect()
+    } else {
+        insert
+            .columns
+            .iter()
+            .map(|c| {
+                schema.column_index(c).ok_or_else(|| {
+                    SqlError::new(
+                        SqlErrorKind::UndefinedColumn,
+                        format!("no column {c} in table {}", schema.name),
+                    )
+                })
+            })
+            .collect::<Result<_, _>>()?
+    };
+
+    // Produce the source rows.
+    let source_rows: Vec<Vec<Value>> = match &insert.source {
+        InsertSource::Values(rows) => {
+            let empty = ExecSchema::default();
+            let mut out = Vec::with_capacity(rows.len());
+            for exprs in rows {
+                let ctx = EvalContext::new(&empty, &[], params);
+                let row: Vec<Value> = exprs.iter().map(|e| eval(e, &ctx)).collect::<Result<_, _>>()?;
+                out.push(row);
+            }
+            out
+        }
+        InsertSource::Query(q) => run_select(q, storage, params)?.rows,
+    };
+
+    let mut inserted = 0u64;
+    for source in source_rows {
+        if source.len() != target_ordinals.len() {
+            return Err(SqlError::syntax(format!(
+                "INSERT row has {} values but {} column(s) were targeted",
+                source.len(),
+                target_ordinals.len()
+            )));
+        }
+        // Assemble the full row with defaults.
+        let mut row: Vec<Value> = schema
+            .columns
+            .iter()
+            .map(|c| c.default.clone().unwrap_or(Value::Null))
+            .collect();
+        for (value, &ordinal) in source.into_iter().zip(&target_ordinals) {
+            row[ordinal] = value;
+        }
+        let row = finalize_row(&schema, row, storage)?;
+        let rowid = storage.table_mut(&insert.table)?.insert(row)?;
+        undo.push(UndoEntry::Insert { table: insert.table.clone(), rowid });
+        inserted += 1;
+    }
+    Ok(inserted)
+}
+
+/// Coerce values, enforce NOT NULL, CHECK and foreign keys.
+fn finalize_row(schema: &TableSchema, row: Vec<Value>, storage: &Storage) -> Result<Vec<Value>, SqlError> {
+    let mut out = Vec::with_capacity(row.len());
+    for (value, column) in row.into_iter().zip(&schema.columns) {
+        let v = value.coerce_to(column.ty).map_err(|e| {
+            SqlError::new(e.kind, format!("column {}.{}: {}", schema.name, column.name, e.message))
+        })?;
+        if v.is_null() && column.not_null {
+            return Err(SqlError::new(
+                SqlErrorKind::NotNullViolation,
+                format!("column {}.{} may not be NULL", schema.name, column.name),
+            ));
+        }
+        out.push(v);
+    }
+    // CHECK constraints: pass unless the predicate is definitely false.
+    if !schema.checks.is_empty() {
+        let exec_schema = ExecSchema::new(
+            schema
+                .columns
+                .iter()
+                .map(|c| ExecColumn { qualifier: Some(schema.name.clone()), name: c.name.clone() })
+                .collect(),
+        );
+        let ctx = EvalContext::new(&exec_schema, &out, &[]);
+        for check in &schema.checks {
+            if matches!(eval(check, &ctx)?, Value::Bool(false)) {
+                return Err(SqlError::new(
+                    SqlErrorKind::CheckViolation,
+                    format!("CHECK constraint violated on table {}", schema.name),
+                ));
+            }
+        }
+    }
+    // Foreign keys.
+    for (value, column) in out.iter().zip(&schema.columns) {
+        if let Some((ftable, fcolumn)) = &column.references {
+            if !value.is_null() {
+                let referenced = storage.table(ftable)?;
+                let ordinal = referenced.schema.column_index(fcolumn).ok_or_else(|| {
+                    SqlError::new(
+                        SqlErrorKind::UndefinedColumn,
+                        format!("foreign key references unknown column {ftable}.{fcolumn}"),
+                    )
+                })?;
+                if !referenced.contains_value(ordinal, value) {
+                    return Err(SqlError::new(
+                        SqlErrorKind::ForeignKeyViolation,
+                        format!(
+                            "value {value} for {}.{} has no match in {ftable}.{fcolumn}",
+                            schema.name, column.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Execute UPDATE; returns the number of rows changed.
+pub fn run_update(
+    update: &Update,
+    storage: &mut Storage,
+    params: &[Value],
+    undo: &mut Vec<UndoEntry>,
+) -> Result<u64, SqlError> {
+    let schema = storage.table(&update.table)?.schema.clone();
+    let exec_schema = ExecSchema::new(
+        schema
+            .columns
+            .iter()
+            .map(|c| ExecColumn { qualifier: Some(schema.name.clone()), name: c.name.clone() })
+            .collect(),
+    );
+    let assignments: Vec<(usize, &Expr)> = update
+        .assignments
+        .iter()
+        .map(|(name, e)| {
+            schema
+                .column_index(name)
+                .map(|i| (i, e))
+                .ok_or_else(|| {
+                    SqlError::new(
+                        SqlErrorKind::UndefinedColumn,
+                        format!("no column {name} in table {}", schema.name),
+                    )
+                })
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Materialise the victim set first (stable against our own writes).
+    let victims: Vec<(RowId, Vec<Value>)> = {
+        let table = storage.table(&update.table)?;
+        let mut v = Vec::new();
+        for (rowid, row) in table.scan() {
+            let keep = match &update.where_clause {
+                None => true,
+                Some(w) => {
+                    let ctx = EvalContext::new(&exec_schema, row, params);
+                    matches!(eval(w, &ctx)?, Value::Bool(true))
+                }
+            };
+            if keep {
+                v.push((rowid, row.clone()));
+            }
+        }
+        v
+    };
+
+    let mut changed = 0u64;
+    for (rowid, old_row) in victims {
+        let ctx = EvalContext::new(&exec_schema, &old_row, params);
+        let mut new_row = old_row.clone();
+        for (ordinal, e) in &assignments {
+            new_row[*ordinal] = eval(e, &ctx)?;
+        }
+        let new_row = finalize_row(&schema, new_row, storage)?;
+        let old = storage.table_mut(&update.table)?.update(rowid, new_row)?;
+        undo.push(UndoEntry::Update { table: update.table.clone(), rowid, old_row: old });
+        changed += 1;
+    }
+    Ok(changed)
+}
+
+/// Execute DELETE; returns the number of rows removed. Referential
+/// integrity is enforced after removal: if any remaining row still
+/// references a deleted key the statement fails (and the caller rolls the
+/// statement back through the undo log).
+pub fn run_delete(
+    delete: &Delete,
+    storage: &mut Storage,
+    params: &[Value],
+    undo: &mut Vec<UndoEntry>,
+) -> Result<u64, SqlError> {
+    let schema = storage.table(&delete.table)?.schema.clone();
+    let exec_schema = ExecSchema::new(
+        schema
+            .columns
+            .iter()
+            .map(|c| ExecColumn { qualifier: Some(schema.name.clone()), name: c.name.clone() })
+            .collect(),
+    );
+    let victims: Vec<RowId> = {
+        let table = storage.table(&delete.table)?;
+        let mut v = Vec::new();
+        for (rowid, row) in table.scan() {
+            let keep = match &delete.where_clause {
+                None => true,
+                Some(w) => {
+                    let ctx = EvalContext::new(&exec_schema, row, params);
+                    matches!(eval(w, &ctx)?, Value::Bool(true))
+                }
+            };
+            if keep {
+                v.push(rowid);
+            }
+        }
+        v
+    };
+
+    let mut deleted_rows: Vec<Vec<Value>> = Vec::with_capacity(victims.len());
+    for rowid in &victims {
+        if let Some(row) = storage.table_mut(&delete.table)?.delete(*rowid) {
+            undo.push(UndoEntry::Delete { table: delete.table.clone(), rowid: *rowid, row: row.clone() });
+            deleted_rows.push(row);
+        }
+    }
+
+    // Post-hoc referential check: any surviving row referencing a deleted
+    // key that no longer exists fails the statement.
+    let referencing: Vec<(String, usize, String, usize)> = storage
+        .tables()
+        .flat_map(|t| {
+            t.schema.columns.iter().enumerate().filter_map(|(i, c)| {
+                c.references.as_ref().and_then(|(ftable, fcolumn)| {
+                    if ftable.eq_ignore_ascii_case(&schema.name) {
+                        schema
+                            .column_index(fcolumn)
+                            .map(|fo| (t.schema.name.clone(), i, ftable.clone(), fo))
+                    } else {
+                        None
+                    }
+                })
+            })
+        })
+        .collect();
+    for (child, child_ordinal, _parent, parent_ordinal) in referencing {
+        let parent = storage.table(&schema.name)?;
+        let child_table = storage.table(&child)?;
+        for row in &deleted_rows {
+            let key = &row[parent_ordinal];
+            if key.is_null() {
+                continue;
+            }
+            // If the key is gone from the parent but still referenced.
+            if !parent.contains_value(parent_ordinal, key)
+                && child_table.contains_value(child_ordinal, key)
+            {
+                return Err(SqlError::new(
+                    SqlErrorKind::ForeignKeyViolation,
+                    format!(
+                        "cannot delete from {}: rows in {child} still reference value {key}",
+                        schema.name
+                    ),
+                ));
+            }
+        }
+    }
+
+    Ok(deleted_rows.len() as u64)
+}
+
+// ===========================================================================
+// DDL
+// ===========================================================================
+
+/// Execute CREATE TABLE. Returns `true` if a table was created (`false`
+/// for a no-op IF NOT EXISTS).
+pub fn run_create_table(
+    create: &CreateTable,
+    storage: &mut Storage,
+    undo: &mut Vec<UndoEntry>,
+) -> Result<bool, SqlError> {
+    if storage.has_table(&create.name) {
+        if create.if_not_exists {
+            return Ok(false);
+        }
+        return Err(SqlError::new(
+            SqlErrorKind::DuplicateTable,
+            format!("table {} already exists", create.name),
+        ));
+    }
+    if create.columns.is_empty() {
+        return Err(SqlError::syntax("a table must have at least one column"));
+    }
+
+    // Primary key: column-level markers or one table-level constraint.
+    let mut pk: Vec<usize> = Vec::new();
+    for (i, c) in create.columns.iter().enumerate() {
+        if c.primary_key {
+            pk.push(i);
+        }
+    }
+    if !create.primary_key.is_empty() {
+        if !pk.is_empty() {
+            return Err(SqlError::syntax("duplicate PRIMARY KEY specification"));
+        }
+        for name in &create.primary_key {
+            let i = create
+                .columns
+                .iter()
+                .position(|c| c.name.eq_ignore_ascii_case(name))
+                .ok_or_else(|| {
+                    SqlError::new(
+                        SqlErrorKind::UndefinedColumn,
+                        format!("PRIMARY KEY names unknown column {name}"),
+                    )
+                })?;
+            pk.push(i);
+        }
+    }
+
+    // Evaluate DEFAULT expressions (must be constant).
+    let empty = ExecSchema::default();
+    let mut columns = Vec::with_capacity(create.columns.len());
+    for (i, c) in create.columns.iter().enumerate() {
+        let default = match &c.default {
+            None => None,
+            Some(e) => {
+                let ctx = EvalContext::new(&empty, &[], &[]);
+                let v = eval(e, &ctx)
+                    .map_err(|e| SqlError::syntax(format!("DEFAULT must be constant: {}", e.message)))?;
+                Some(v.coerce_to(c.ty)?)
+            }
+        };
+        // Validate FK target exists now (catching typos at DDL time).
+        if let Some((ftable, fcolumn)) = &c.references {
+            let referenced = storage.table(ftable).map_err(|_| {
+                SqlError::new(
+                    SqlErrorKind::UndefinedTable,
+                    format!("foreign key references unknown table {ftable}"),
+                )
+            })?;
+            if referenced.schema.column_index(fcolumn).is_none() {
+                return Err(SqlError::new(
+                    SqlErrorKind::UndefinedColumn,
+                    format!("foreign key references unknown column {ftable}.{fcolumn}"),
+                ));
+            }
+        }
+        columns.push(ColumnMeta {
+            name: c.name.clone(),
+            ty: c.ty,
+            not_null: c.not_null || pk.contains(&i),
+            unique: c.unique,
+            default,
+            references: c.references.clone(),
+        });
+    }
+
+    let schema = TableSchema {
+        name: create.name.clone(),
+        columns,
+        primary_key: pk,
+        checks: create.checks.clone(),
+        indexes: Vec::new(),
+    };
+    storage.add_table(Table::new(schema))?;
+    undo.push(UndoEntry::CreateTable { name: create.name.clone() });
+    Ok(true)
+}
+
+/// Execute DROP TABLE. Returns `true` if a table was dropped.
+pub fn run_drop_table(
+    name: &str,
+    if_exists: bool,
+    storage: &mut Storage,
+    undo: &mut Vec<UndoEntry>,
+) -> Result<bool, SqlError> {
+    if !storage.has_table(name) {
+        if if_exists {
+            return Ok(false);
+        }
+        return Err(SqlError::new(SqlErrorKind::UndefinedTable, format!("no such table: {name}")));
+    }
+    // Refuse to drop a table other tables reference.
+    for t in storage.tables() {
+        if t.schema.name.eq_ignore_ascii_case(name) {
+            continue;
+        }
+        for c in &t.schema.columns {
+            if let Some((ftable, _)) = &c.references {
+                if ftable.eq_ignore_ascii_case(name) {
+                    return Err(SqlError::new(
+                        SqlErrorKind::ForeignKeyViolation,
+                        format!("cannot drop {name}: referenced by {}.{}", t.schema.name, c.name),
+                    ));
+                }
+            }
+        }
+    }
+    let table = storage.remove_table(name).expect("existence checked");
+    undo.push(UndoEntry::DropTable { table: Box::new(table) });
+    Ok(true)
+}
+
+/// Execute CREATE INDEX.
+pub fn run_create_index(
+    name: &str,
+    table_name: &str,
+    column: &str,
+    unique: bool,
+    storage: &mut Storage,
+    undo: &mut Vec<UndoEntry>,
+) -> Result<(), SqlError> {
+    let table = storage.table_mut(table_name)?;
+    let ordinal = table.schema.column_index(column).ok_or_else(|| {
+        SqlError::new(
+            SqlErrorKind::UndefinedColumn,
+            format!("no column {column} in table {table_name}"),
+        )
+    })?;
+    if table.schema.indexes.iter().any(|i| i.name.eq_ignore_ascii_case(name)) {
+        return Err(SqlError::new(
+            SqlErrorKind::DuplicateTable,
+            format!("index {name} already exists on {table_name}"),
+        ));
+    }
+    table.create_index(IndexMeta { name: name.to_string(), column: ordinal, unique })?;
+    undo.push(UndoEntry::CreateIndex { table: table_name.to_string(), index: name.to_string() });
+    Ok(())
+}

@@ -1,0 +1,230 @@
+//! Materialised result sets and their WebRowSet-style XML encoding.
+//!
+//! WS-DAIR responses carry relational data as XML rowsets; the format
+//! implemented here follows the shape of Sun's WebRowSet schema (the
+//! format named in the paper's Figure 5 scenario: "create another data
+//! resource which uses a web row set format").
+
+use crate::error::{SqlError, SqlErrorKind};
+use crate::value::{SqlType, Value};
+use dais_xml::{ns, XmlElement};
+
+/// A column of a result set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowsetColumn {
+    pub name: String,
+    pub ty: SqlType,
+}
+
+/// A fully materialised result set.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Rowset {
+    pub columns: Vec<RowsetColumn>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Rowset {
+    pub fn new(columns: Vec<RowsetColumn>) -> Self {
+        Rowset { columns, rows: Vec::new() }
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// A sub-range of rows (used by the WS-DAIR `GetTuples` operation).
+    pub fn slice(&self, start: usize, count: usize) -> Rowset {
+        let end = (start + count).min(self.rows.len());
+        let rows = if start >= self.rows.len() { Vec::new() } else { self.rows[start..end].to_vec() };
+        Rowset { columns: self.columns.clone(), rows }
+    }
+
+    /// Encode as WebRowSet-style XML.
+    pub fn to_xml(&self) -> XmlElement {
+        let mut root = XmlElement::new(ns::ROWSET, "wrs", "webRowSet");
+        let mut metadata = XmlElement::new(ns::ROWSET, "wrs", "metadata");
+        metadata.push(
+            XmlElement::new(ns::ROWSET, "wrs", "column-count").with_text(self.columns.len().to_string()),
+        );
+        for (i, c) in self.columns.iter().enumerate() {
+            metadata.push(
+                XmlElement::new(ns::ROWSET, "wrs", "column-definition")
+                    .with_child(
+                        XmlElement::new(ns::ROWSET, "wrs", "column-index").with_text((i + 1).to_string()),
+                    )
+                    .with_child(XmlElement::new(ns::ROWSET, "wrs", "column-name").with_text(&c.name))
+                    .with_child(XmlElement::new(ns::ROWSET, "wrs", "column-type").with_text(c.ty.name())),
+            );
+        }
+        root.push(metadata);
+        let mut data = XmlElement::new(ns::ROWSET, "wrs", "data");
+        for row in &self.rows {
+            let mut current = XmlElement::new(ns::ROWSET, "wrs", "currentRow");
+            for value in row {
+                if value.is_null() {
+                    current.push(XmlElement::new(ns::ROWSET, "wrs", "columnValue").with_attr("null", "true"));
+                } else {
+                    let text = value.to_display_string();
+                    // Values with leading/trailing whitespace (or that are
+                    // entirely whitespace) travel as an attribute, which
+                    // survives whitespace-stripping protocol parsers.
+                    if text.trim() != text || text.is_empty() {
+                        current.push(
+                            XmlElement::new(ns::ROWSET, "wrs", "columnValue").with_attr("value", text),
+                        );
+                    } else {
+                        current.push(
+                            XmlElement::new(ns::ROWSET, "wrs", "columnValue").with_text(text),
+                        );
+                    }
+                }
+            }
+            data.push(current);
+        }
+        root.push(data);
+        root
+    }
+
+    /// Decode a WebRowSet XML document.
+    pub fn from_xml(root: &XmlElement) -> Result<Rowset, SqlError> {
+        if !root.name.is(ns::ROWSET, "webRowSet") {
+            return Err(SqlError::new(
+                SqlErrorKind::InvalidCast,
+                format!("expected wrs:webRowSet, found {}", root.name),
+            ));
+        }
+        let metadata = root
+            .child(ns::ROWSET, "metadata")
+            .ok_or_else(|| SqlError::new(SqlErrorKind::InvalidCast, "webRowSet missing metadata"))?;
+        let mut columns = Vec::new();
+        for def in metadata.children_named(ns::ROWSET, "column-definition") {
+            let name = def
+                .child_text(ns::ROWSET, "column-name")
+                .ok_or_else(|| SqlError::new(SqlErrorKind::InvalidCast, "column without a name"))?;
+            let ty_name = def.child_text(ns::ROWSET, "column-type").unwrap_or_default();
+            let ty = SqlType::parse(&ty_name).ok_or_else(|| {
+                SqlError::new(SqlErrorKind::InvalidCast, format!("unknown column type '{ty_name}'"))
+            })?;
+            columns.push(RowsetColumn { name, ty });
+        }
+        let mut rowset = Rowset::new(columns);
+        if let Some(data) = root.child(ns::ROWSET, "data") {
+            for row_el in data.children_named(ns::ROWSET, "currentRow") {
+                let mut row = Vec::with_capacity(rowset.columns.len());
+                for (i, cell) in row_el.children_named(ns::ROWSET, "columnValue").enumerate() {
+                    let column = rowset.columns.get(i).ok_or_else(|| {
+                        SqlError::new(SqlErrorKind::InvalidCast, "row wider than metadata")
+                    })?;
+                    if cell.attribute("null") == Some("true") {
+                        row.push(Value::Null);
+                    } else if let Some(v) = cell.attribute("value") {
+                        row.push(Value::parse_typed(v, column.ty)?);
+                    } else {
+                        row.push(Value::parse_typed(&cell.text(), column.ty)?);
+                    }
+                }
+                if row.len() != rowset.columns.len() {
+                    return Err(SqlError::new(
+                        SqlErrorKind::InvalidCast,
+                        "row narrower than metadata",
+                    ));
+                }
+                rowset.rows.push(row);
+            }
+        }
+        Ok(rowset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Rowset {
+        let mut rs = Rowset::new(vec![
+            RowsetColumn { name: "id".into(), ty: SqlType::Integer },
+            RowsetColumn { name: "name".into(), ty: SqlType::Varchar },
+            RowsetColumn { name: "price".into(), ty: SqlType::Double },
+            RowsetColumn { name: "active".into(), ty: SqlType::Boolean },
+        ]);
+        rs.rows.push(vec![
+            Value::Int(1),
+            Value::Str("widget <&>".into()),
+            Value::Double(2.5),
+            Value::Bool(true),
+        ]);
+        rs.rows.push(vec![Value::Int(2), Value::Null, Value::Double(4.0), Value::Bool(false)]);
+        rs
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let rs = sample();
+        let xml = rs.to_xml();
+        let rt = Rowset::from_xml(&xml).unwrap();
+        assert_eq!(rt, rs);
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let rs = sample();
+        let text = dais_xml::to_string(&rs.to_xml());
+        let parsed = dais_xml::parse(&text).unwrap();
+        assert_eq!(Rowset::from_xml(&parsed).unwrap(), rs);
+    }
+
+    #[test]
+    fn nulls_marked_explicitly() {
+        let xml = sample().to_xml();
+        let text = dais_xml::to_string(&xml);
+        assert!(text.contains("null=\"true\""));
+    }
+
+    #[test]
+    fn slice_for_paging() {
+        let mut rs = Rowset::new(vec![RowsetColumn { name: "n".into(), ty: SqlType::Integer }]);
+        for i in 0..10 {
+            rs.rows.push(vec![Value::Int(i)]);
+        }
+        let page = rs.slice(3, 4);
+        assert_eq!(page.row_count(), 4);
+        assert_eq!(page.rows[0][0], Value::Int(3));
+        assert_eq!(rs.slice(8, 5).row_count(), 2);
+        assert_eq!(rs.slice(20, 5).row_count(), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Rowset::from_xml(&XmlElement::new_local("x")).is_err());
+        // Row wider than metadata.
+        let mut xml = sample().to_xml();
+        // Append an extra cell to the first row.
+        let data = xml.children.iter_mut().find_map(|c| match c {
+            dais_xml::XmlNode::Element(e) if e.name.local == "data" => Some(e),
+            _ => None,
+        });
+        if let Some(data) = data {
+            if let Some(dais_xml::XmlNode::Element(row)) = data.children.first_mut() {
+                row.push(XmlElement::new(ns::ROWSET, "wrs", "columnValue").with_text("extra"));
+            }
+        }
+        assert!(Rowset::from_xml(&xml).is_err());
+    }
+
+    #[test]
+    fn column_index_lookup() {
+        let rs = sample();
+        assert_eq!(rs.column_index("PRICE"), Some(2));
+        assert_eq!(rs.column_index("none"), None);
+    }
+
+    #[test]
+    fn empty_rowset_roundtrip() {
+        let rs = Rowset::new(vec![]);
+        assert_eq!(Rowset::from_xml(&rs.to_xml()).unwrap(), rs);
+    }
+}

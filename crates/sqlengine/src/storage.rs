@@ -1,0 +1,482 @@
+//! In-memory heap tables with primary-key and secondary index maintenance.
+
+use crate::catalog::{IndexMeta, TableSchema};
+use crate::error::{SqlError, SqlErrorKind};
+use crate::value::{GroupKey, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// A stored row id. Monotonic per table; row ids are stable across updates
+/// and reused only when a transaction rollback reinstates a deleted row.
+pub type RowId = u64;
+
+/// One table: schema, rows and index structures.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub schema: TableSchema,
+    rows: BTreeMap<RowId, Vec<Value>>,
+    next_rowid: RowId,
+    /// Primary key index (composite keys supported). Absent if no PK.
+    pk_index: HashMap<Vec<GroupKey>, RowId>,
+    /// Unique single-column indexes: ordinal → value-key → rowid.
+    /// NULLs are not indexed (SQL: NULLs never conflict).
+    unique_indexes: HashMap<usize, HashMap<GroupKey, RowId>>,
+    /// Non-unique secondary indexes: ordinal → value-key → rowids.
+    secondary_indexes: HashMap<usize, HashMap<GroupKey, Vec<RowId>>>,
+}
+
+impl Table {
+    pub fn new(schema: TableSchema) -> Table {
+        let mut unique_indexes = HashMap::new();
+        let mut secondary_indexes = HashMap::new();
+        for (i, c) in schema.columns.iter().enumerate() {
+            if c.unique && !schema.primary_key.contains(&i) {
+                unique_indexes.insert(i, HashMap::new());
+            }
+        }
+        for idx in &schema.indexes {
+            if idx.unique {
+                unique_indexes.entry(idx.column).or_default();
+            } else {
+                secondary_indexes.entry(idx.column).or_default();
+            }
+        }
+        Table {
+            schema,
+            rows: BTreeMap::new(),
+            next_rowid: 1,
+            pk_index: HashMap::new(),
+            unique_indexes,
+            secondary_indexes,
+        }
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Iterate rows in insertion (rowid) order.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Vec<Value>)> {
+        self.rows.iter().map(|(k, v)| (*k, v))
+    }
+
+    pub fn get(&self, rowid: RowId) -> Option<&Vec<Value>> {
+        self.rows.get(&rowid)
+    }
+
+    /// Fast path: look up by full primary key.
+    pub fn get_by_pk(&self, key: &[Value]) -> Option<(RowId, &Vec<Value>)> {
+        let gk: Vec<GroupKey> = key.iter().map(Value::group_key).collect();
+        let rowid = *self.pk_index.get(&gk)?;
+        self.rows.get(&rowid).map(|r| (rowid, r))
+    }
+
+    /// Look up rowids through a secondary or unique index on `ordinal`.
+    /// Returns `None` when no index exists on that column.
+    pub fn index_lookup(&self, ordinal: usize, value: &Value) -> Option<Vec<RowId>> {
+        if value.is_null() {
+            return Some(Vec::new()); // indexed NULLs are unreachable by equality
+        }
+        let key = value.group_key();
+        if self.schema.primary_key == [ordinal] {
+            return Some(self.pk_index.get(&vec![key]).copied().into_iter().collect());
+        }
+        if let Some(m) = self.unique_indexes.get(&ordinal) {
+            return Some(m.get(&key).copied().into_iter().collect());
+        }
+        if let Some(m) = self.secondary_indexes.get(&ordinal) {
+            return Some(m.get(&key).cloned().unwrap_or_default());
+        }
+        None
+    }
+
+    /// True when equality lookups on `ordinal` can use an index.
+    pub fn has_index_on(&self, ordinal: usize) -> bool {
+        self.schema.primary_key == [ordinal]
+            || self.unique_indexes.contains_key(&ordinal)
+            || self.secondary_indexes.contains_key(&ordinal)
+    }
+
+    /// Does any row hold `value` in column `ordinal`? (FK existence check.)
+    pub fn contains_value(&self, ordinal: usize, value: &Value) -> bool {
+        if value.is_null() {
+            return false;
+        }
+        if let Some(ids) = self.index_lookup(ordinal, value) {
+            return !ids.is_empty();
+        }
+        self.rows.values().any(|r| r[ordinal] == *value)
+    }
+
+    fn pk_key(&self, row: &[Value]) -> Option<Vec<GroupKey>> {
+        if self.schema.primary_key.is_empty() {
+            return None;
+        }
+        Some(self.schema.primary_key.iter().map(|&i| row[i].group_key()).collect())
+    }
+
+    /// Validate uniqueness of `row` against existing rows, ignoring
+    /// `except` (used when updating a row in place).
+    fn check_unique(&self, row: &[Value], except: Option<RowId>) -> Result<(), SqlError> {
+        if let Some(key) = self.pk_key(row) {
+            if self.schema.primary_key.iter().any(|&i| row[i].is_null()) {
+                return Err(SqlError::new(
+                    SqlErrorKind::NotNullViolation,
+                    format!("primary key of table {} cannot be NULL", self.schema.name),
+                ));
+            }
+            if let Some(&existing) = self.pk_index.get(&key) {
+                if Some(existing) != except {
+                    return Err(SqlError::new(
+                        SqlErrorKind::UniqueViolation,
+                        format!("duplicate primary key in table {}", self.schema.name),
+                    ));
+                }
+            }
+        }
+        for (&ordinal, index) in &self.unique_indexes {
+            if row[ordinal].is_null() {
+                continue;
+            }
+            if let Some(&existing) = index.get(&row[ordinal].group_key()) {
+                if Some(existing) != except {
+                    return Err(SqlError::new(
+                        SqlErrorKind::UniqueViolation,
+                        format!(
+                            "duplicate value for unique column {}.{}",
+                            self.schema.name, self.schema.columns[ordinal].name
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn index_insert(&mut self, rowid: RowId, row: &[Value]) {
+        if let Some(key) = self.pk_key(row) {
+            self.pk_index.insert(key, rowid);
+        }
+        for (&ordinal, index) in &mut self.unique_indexes {
+            if !row[ordinal].is_null() {
+                index.insert(row[ordinal].group_key(), rowid);
+            }
+        }
+        for (&ordinal, index) in &mut self.secondary_indexes {
+            if !row[ordinal].is_null() {
+                index.entry(row[ordinal].group_key()).or_default().push(rowid);
+            }
+        }
+    }
+
+    fn index_remove(&mut self, rowid: RowId, row: &[Value]) {
+        if let Some(key) = self.pk_key(row) {
+            self.pk_index.remove(&key);
+        }
+        for (&ordinal, index) in &mut self.unique_indexes {
+            if !row[ordinal].is_null() {
+                index.remove(&row[ordinal].group_key());
+            }
+        }
+        for (&ordinal, index) in &mut self.secondary_indexes {
+            if !row[ordinal].is_null() {
+                if let Some(ids) = index.get_mut(&row[ordinal].group_key()) {
+                    ids.retain(|&id| id != rowid);
+                }
+            }
+        }
+    }
+
+    /// Insert a fully-typed row (constraint checks for uniqueness happen
+    /// here; NOT NULL / CHECK / FK are the executor's responsibility).
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<RowId, SqlError> {
+        debug_assert_eq!(row.len(), self.schema.columns.len());
+        self.check_unique(&row, None)?;
+        let rowid = self.next_rowid;
+        self.next_rowid += 1;
+        self.index_insert(rowid, &row);
+        self.rows.insert(rowid, row);
+        Ok(rowid)
+    }
+
+    /// Reinstate a previously deleted row at its old id (rollback path).
+    pub fn reinsert(&mut self, rowid: RowId, row: Vec<Value>) {
+        self.index_insert(rowid, &row);
+        self.rows.insert(rowid, row);
+        self.next_rowid = self.next_rowid.max(rowid + 1);
+    }
+
+    /// Delete a row, returning its values.
+    pub fn delete(&mut self, rowid: RowId) -> Option<Vec<Value>> {
+        let row = self.rows.remove(&rowid)?;
+        self.index_remove(rowid, &row);
+        Some(row)
+    }
+
+    /// Replace a row in place, returning the old values.
+    pub fn update(&mut self, rowid: RowId, new_row: Vec<Value>) -> Result<Vec<Value>, SqlError> {
+        debug_assert_eq!(new_row.len(), self.schema.columns.len());
+        if !self.rows.contains_key(&rowid) {
+            return Err(SqlError::new(SqlErrorKind::InvalidParameter, "no such row"));
+        }
+        self.check_unique(&new_row, Some(rowid))?;
+        let old = self.rows.get(&rowid).cloned().expect("checked above");
+        self.index_remove(rowid, &old);
+        self.index_insert(rowid, &new_row);
+        self.rows.insert(rowid, new_row);
+        Ok(old)
+    }
+
+    /// Remove an index by name (rollback of CREATE INDEX). Unique
+    /// constraints declared in the schema itself are untouched.
+    pub fn drop_index(&mut self, name: &str) {
+        if let Some(pos) = self.schema.indexes.iter().position(|i| i.name.eq_ignore_ascii_case(name)) {
+            let meta = self.schema.indexes.remove(pos);
+            // Only drop the runtime structure if no remaining index or
+            // schema-level unique constraint still needs it.
+            let still_unique = self.schema.columns.get(meta.column).is_some_and(|c| c.unique)
+                || self.schema.indexes.iter().any(|i| i.column == meta.column && i.unique);
+            let still_secondary =
+                self.schema.indexes.iter().any(|i| i.column == meta.column && !i.unique);
+            if meta.unique && !still_unique {
+                self.unique_indexes.remove(&meta.column);
+            }
+            if !meta.unique && !still_secondary {
+                self.secondary_indexes.remove(&meta.column);
+            }
+        }
+    }
+
+    /// Add a secondary index over existing data.
+    pub fn create_index(&mut self, meta: IndexMeta) -> Result<(), SqlError> {
+        if meta.unique {
+            let mut index: HashMap<GroupKey, RowId> = HashMap::new();
+            for (rowid, row) in &self.rows {
+                if row[meta.column].is_null() {
+                    continue;
+                }
+                if index.insert(row[meta.column].group_key(), *rowid).is_some() {
+                    return Err(SqlError::new(
+                        SqlErrorKind::UniqueViolation,
+                        format!(
+                            "cannot create unique index {}: duplicate values exist",
+                            meta.name
+                        ),
+                    ));
+                }
+            }
+            self.unique_indexes.insert(meta.column, index);
+        } else {
+            let mut index: HashMap<GroupKey, Vec<RowId>> = HashMap::new();
+            for (rowid, row) in &self.rows {
+                if !row[meta.column].is_null() {
+                    index.entry(row[meta.column].group_key()).or_default().push(*rowid);
+                }
+            }
+            self.secondary_indexes.insert(meta.column, index);
+        }
+        self.schema.indexes.push(meta);
+        Ok(())
+    }
+}
+
+/// All tables of one database, keyed by lower-cased name.
+#[derive(Debug, Default, Clone)]
+pub struct Storage {
+    tables: HashMap<String, Table>,
+}
+
+impl Storage {
+    pub fn new() -> Storage {
+        Storage::default()
+    }
+
+    pub fn table(&self, name: &str) -> Result<&Table, SqlError> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| SqlError::new(SqlErrorKind::UndefinedTable, format!("no such table: {name}")))
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, SqlError> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| SqlError::new(SqlErrorKind::UndefinedTable, format!("no such table: {name}")))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    pub fn add_table(&mut self, table: Table) -> Result<(), SqlError> {
+        let key = table.schema.name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(SqlError::new(
+                SqlErrorKind::DuplicateTable,
+                format!("table {} already exists", table.schema.name),
+            ));
+        }
+        self.tables.insert(key, table);
+        Ok(())
+    }
+
+    pub fn remove_table(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(&name.to_ascii_lowercase())
+    }
+
+    /// Table names, sorted (stable metadata output).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.values().map(|t| t.schema.name.clone()).collect();
+        v.sort();
+        v
+    }
+
+    /// All tables (for FK reverse checks and metadata export).
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ColumnMeta;
+    use crate::value::SqlType;
+
+    fn schema() -> TableSchema {
+        TableSchema {
+            name: "t".into(),
+            columns: vec![
+                ColumnMeta { name: "id".into(), ty: SqlType::Integer, not_null: true, unique: false, default: None, references: None },
+                ColumnMeta { name: "email".into(), ty: SqlType::Varchar, not_null: false, unique: true, default: None, references: None },
+            ],
+            primary_key: vec![0],
+            checks: Vec::new(),
+            indexes: Vec::new(),
+        }
+    }
+
+    fn row(id: i64, email: Option<&str>) -> Vec<Value> {
+        vec![Value::Int(id), email.map(|e| Value::Str(e.into())).unwrap_or(Value::Null)]
+    }
+
+    #[test]
+    fn insert_scan_get() {
+        let mut t = Table::new(schema());
+        let r1 = t.insert(row(1, Some("a@x"))).unwrap();
+        let r2 = t.insert(row(2, Some("b@x"))).unwrap();
+        assert_ne!(r1, r2);
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.get(r1).unwrap()[0], Value::Int(1));
+        let ids: Vec<RowId> = t.scan().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![r1, r2]);
+    }
+
+    #[test]
+    fn pk_uniqueness_enforced() {
+        let mut t = Table::new(schema());
+        t.insert(row(1, None)).unwrap();
+        let err = t.insert(row(1, None)).unwrap_err();
+        assert_eq!(err.kind, SqlErrorKind::UniqueViolation);
+        let err = t.insert(vec![Value::Null, Value::Null]).unwrap_err();
+        assert_eq!(err.kind, SqlErrorKind::NotNullViolation);
+    }
+
+    #[test]
+    fn unique_column_allows_multiple_nulls() {
+        let mut t = Table::new(schema());
+        t.insert(row(1, None)).unwrap();
+        t.insert(row(2, None)).unwrap();
+        t.insert(row(3, Some("x@x"))).unwrap();
+        let err = t.insert(row(4, Some("x@x"))).unwrap_err();
+        assert_eq!(err.kind, SqlErrorKind::UniqueViolation);
+    }
+
+    #[test]
+    fn pk_lookup() {
+        let mut t = Table::new(schema());
+        t.insert(row(7, None)).unwrap();
+        let (rid, r) = t.get_by_pk(&[Value::Int(7)]).unwrap();
+        assert_eq!(r[0], Value::Int(7));
+        assert!(t.get_by_pk(&[Value::Int(8)]).is_none());
+        t.delete(rid).unwrap();
+        assert!(t.get_by_pk(&[Value::Int(7)]).is_none());
+    }
+
+    #[test]
+    fn update_maintains_indexes() {
+        let mut t = Table::new(schema());
+        let rid = t.insert(row(1, Some("old@x"))).unwrap();
+        t.insert(row(2, Some("other@x"))).unwrap();
+        let old = t.update(rid, row(1, Some("new@x"))).unwrap();
+        assert_eq!(old[1], Value::Str("old@x".into()));
+        // old email is free again
+        t.insert(row(3, Some("old@x"))).unwrap();
+        // but the new one conflicts
+        assert!(t.insert(row(4, Some("new@x"))).is_err());
+        // updating into an existing unique value fails
+        let rid2 = t.get_by_pk(&[Value::Int(2)]).unwrap().0;
+        assert!(t.update(rid2, row(2, Some("new@x"))).is_err());
+        // updating a row to keep its own value is fine
+        t.update(rid, row(1, Some("new@x"))).unwrap();
+    }
+
+    #[test]
+    fn delete_and_reinsert_roundtrip() {
+        let mut t = Table::new(schema());
+        let rid = t.insert(row(1, Some("a@x"))).unwrap();
+        let removed = t.delete(rid).unwrap();
+        assert_eq!(t.row_count(), 0);
+        t.reinsert(rid, removed);
+        assert_eq!(t.row_count(), 1);
+        assert!(t.get_by_pk(&[Value::Int(1)]).is_some());
+        assert!(t.delete(999).is_none());
+    }
+
+    #[test]
+    fn secondary_index_lookup() {
+        let mut s2 = schema();
+        s2.columns[1].unique = false; // duplicates expected below
+        let mut t = Table::new(s2);
+        for i in 0..10 {
+            t.insert(row(i, Some(&format!("u{}@x", i % 3)))).unwrap();
+        }
+        t.create_index(IndexMeta { name: "i_email".into(), column: 1, unique: false }).unwrap();
+        assert!(t.has_index_on(1));
+        let hits = t.index_lookup(1, &Value::Str("u0@x".into())).unwrap();
+        assert_eq!(hits.len(), 4); // 0,3,6,9
+        assert_eq!(t.index_lookup(1, &Value::Str("nope".into())).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn unique_index_creation_detects_duplicates() {
+        let mut s2 = schema();
+        s2.columns[1].unique = false;
+        let mut t = Table::new(s2);
+        t.insert(row(1, Some("dup@x"))).unwrap();
+        t.insert(row(2, Some("dup@x"))).unwrap();
+        let err = t
+            .create_index(IndexMeta { name: "u_email".into(), column: 1, unique: true })
+            .unwrap_err();
+        assert_eq!(err.kind, SqlErrorKind::UniqueViolation);
+    }
+
+    #[test]
+    fn storage_table_management() {
+        let mut s = Storage::new();
+        s.add_table(Table::new(schema())).unwrap();
+        assert!(s.has_table("T")); // case-insensitive
+        assert!(s.table("t").is_ok());
+        assert!(s.add_table(Table::new(schema())).is_err());
+        assert_eq!(s.table_names(), vec!["t"]);
+        assert!(s.remove_table("t").is_some());
+        assert!(s.table("t").is_err());
+    }
+
+    #[test]
+    fn contains_value_for_fk_checks() {
+        let mut t = Table::new(schema());
+        t.insert(row(5, None)).unwrap();
+        assert!(t.contains_value(0, &Value::Int(5)));
+        assert!(!t.contains_value(0, &Value::Int(6)));
+        assert!(!t.contains_value(0, &Value::Null));
+    }
+}

@@ -1,0 +1,286 @@
+//! SQL values and types.
+
+use crate::error::{SqlError, SqlErrorKind};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The column types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqlType {
+    Boolean,
+    Integer,
+    Double,
+    Varchar,
+}
+
+impl SqlType {
+    /// SQL name of the type (as used in DDL and metadata documents).
+    pub fn name(self) -> &'static str {
+        match self {
+            SqlType::Boolean => "BOOLEAN",
+            SqlType::Integer => "INTEGER",
+            SqlType::Double => "DOUBLE",
+            SqlType::Varchar => "VARCHAR",
+        }
+    }
+
+    /// Parse a DDL type name (with common synonyms).
+    pub fn parse(name: &str) -> Option<SqlType> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "BOOLEAN" | "BOOL" => SqlType::Boolean,
+            "INTEGER" | "INT" | "BIGINT" | "SMALLINT" => SqlType::Integer,
+            "DOUBLE" | "FLOAT" | "REAL" | "DECIMAL" | "NUMERIC" => SqlType::Double,
+            "VARCHAR" | "CHAR" | "TEXT" | "STRING" | "CHARACTER" => SqlType::Varchar,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for SqlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A runtime SQL value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Double(f64),
+    Str(String),
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The type of a non-null value.
+    pub fn sql_type(&self) -> Option<SqlType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(SqlType::Boolean),
+            Value::Int(_) => Some(SqlType::Integer),
+            Value::Double(_) => Some(SqlType::Double),
+            Value::Str(_) => Some(SqlType::Varchar),
+        }
+    }
+
+    /// Coerce for storage into a column of type `ty`. Integer widens to
+    /// double; everything else must match exactly (strict typing keeps the
+    /// engine predictable under property testing).
+    pub fn coerce_to(self, ty: SqlType) -> Result<Value, SqlError> {
+        match (self, ty) {
+            (Value::Null, _) => Ok(Value::Null),
+            (Value::Int(i), SqlType::Double) => Ok(Value::Double(i as f64)),
+            (v, t) if v.sql_type() == Some(t) => Ok(v),
+            (v, t) => Err(SqlError::new(
+                SqlErrorKind::InvalidCast,
+                format!("cannot store {} value into {} column", v.type_name(), t),
+            )),
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "NULL",
+            Value::Bool(_) => "BOOLEAN",
+            Value::Int(_) => "INTEGER",
+            Value::Double(_) => "DOUBLE",
+            Value::Str(_) => "VARCHAR",
+        }
+    }
+
+    /// Numeric view, for arithmetic. `None` for non-numeric values.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison: `None` when either side is NULL (three-valued
+    /// logic) or the types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// Total ordering for ORDER BY / DISTINCT / grouping: NULL sorts first,
+    /// then booleans, numbers, strings. Unlike [`Value::sql_cmp`] this is
+    /// total, so it can drive sorting.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Double(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) if rank(a) == 2 && rank(b) == 2 => {
+                let x = a.as_f64().unwrap_or(f64::NAN);
+                let y = b.as_f64().unwrap_or(f64::NAN);
+                x.total_cmp(&y)
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Grouping/DISTINCT equality key: NULLs group together, and `1` and
+    /// `1.0` are the same key.
+    pub fn group_key(&self) -> GroupKey {
+        match self {
+            Value::Null => GroupKey::Null,
+            Value::Bool(b) => GroupKey::Bool(*b),
+            Value::Int(i) => GroupKey::Num((*i as f64).to_bits()),
+            Value::Double(d) => GroupKey::Num(if *d == 0.0 { 0.0f64.to_bits() } else { d.to_bits() }),
+            Value::Str(s) => GroupKey::Str(s.clone()),
+        }
+    }
+
+    /// Render as SQL literal text (for display and WebRowSet encoding).
+    pub fn to_display_string(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Double(d) => {
+                if d.fract() == 0.0 && d.abs() < 1e15 {
+                    format!("{:.1}", d)
+                } else {
+                    format!("{d}")
+                }
+            }
+            Value::Str(s) => s.clone(),
+        }
+    }
+
+    /// Parse a value of a known type from its display text (WebRowSet
+    /// decoding).
+    pub fn parse_typed(text: &str, ty: SqlType) -> Result<Value, SqlError> {
+        let bad = || SqlError::new(SqlErrorKind::InvalidCast, format!("'{text}' is not a valid {ty}"));
+        Ok(match ty {
+            SqlType::Boolean => match text.to_ascii_uppercase().as_str() {
+                "TRUE" | "T" | "1" => Value::Bool(true),
+                "FALSE" | "F" | "0" => Value::Bool(false),
+                _ => return Err(bad()),
+            },
+            SqlType::Integer => Value::Int(text.parse().map_err(|_| bad())?),
+            SqlType::Double => Value::Double(text.parse().map_err(|_| bad())?),
+            SqlType::Varchar => Value::Str(text.to_string()),
+        })
+    }
+}
+
+/// Hashable key for grouping and duplicate elimination.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GroupKey {
+    Null,
+    Bool(bool),
+    Num(u64),
+    Str(String),
+}
+
+/// Equality for tests and materialised comparisons: numeric values compare
+/// across Int/Double; NULL equals NULL (this is *not* SQL semantics, which
+/// live in [`Value::sql_cmp`] — it is structural equality for rowsets).
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_display_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_parsing_and_names() {
+        assert_eq!(SqlType::parse("int"), Some(SqlType::Integer));
+        assert_eq!(SqlType::parse("VARCHAR"), Some(SqlType::Varchar));
+        assert_eq!(SqlType::parse("real"), Some(SqlType::Double));
+        assert_eq!(SqlType::parse("bogus"), None);
+        assert_eq!(SqlType::Integer.name(), "INTEGER");
+    }
+
+    #[test]
+    fn coercion_rules() {
+        assert_eq!(Value::Int(3).coerce_to(SqlType::Double).unwrap(), Value::Double(3.0));
+        assert!(Value::Str("x".into()).coerce_to(SqlType::Integer).is_err());
+        assert!(Value::Double(1.5).coerce_to(SqlType::Integer).is_err());
+        assert_eq!(Value::Null.coerce_to(SqlType::Integer).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn sql_cmp_three_valued() {
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Double(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Str("a".into()).sql_cmp(&Value::Str("b".into())), Some(Ordering::Less));
+        assert_eq!(Value::Str("a".into()).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn total_order_nulls_first() {
+        let mut vals = vec![Value::Int(2), Value::Null, Value::Int(1)];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Int(1));
+    }
+
+    #[test]
+    fn group_keys_unify_numerics() {
+        assert_eq!(Value::Int(1).group_key(), Value::Double(1.0).group_key());
+        assert_eq!(Value::Double(0.0).group_key(), Value::Double(-0.0).group_key());
+        assert_ne!(Value::Int(1).group_key(), Value::Str("1".into()).group_key());
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for (v, t) in [
+            (Value::Int(42), SqlType::Integer),
+            (Value::Double(2.5), SqlType::Double),
+            (Value::Bool(true), SqlType::Boolean),
+            (Value::Str("hi".into()), SqlType::Varchar),
+        ] {
+            let text = v.to_display_string();
+            assert_eq!(Value::parse_typed(&text, t).unwrap(), v);
+        }
+        assert!(Value::parse_typed("xyz", SqlType::Integer).is_err());
+    }
+
+    #[test]
+    fn double_display_keeps_decimal_point() {
+        assert_eq!(Value::Double(3.0).to_display_string(), "3.0");
+        assert_eq!(Value::Double(3.25).to_display_string(), "3.25");
+    }
+}

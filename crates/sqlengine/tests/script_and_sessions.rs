@@ -1,0 +1,99 @@
+//! Session and script-level behaviours: statement splitting, session
+//! isolation visibility (the READ UNCOMMITTED honesty), and prepared
+//! statement reuse through `execute_stmt`.
+
+use dais_sql::db::split_statements;
+use dais_sql::parser::parse_statement;
+use dais_sql::{Database, Value};
+
+#[test]
+fn split_statements_handles_strings_and_whitespace() {
+    let script = "INSERT INTO t VALUES ('a;b');\n  SELECT 1 ;;\nSELECT 2";
+    let parts = split_statements(script);
+    assert_eq!(parts.len(), 3);
+    assert_eq!(parts[0], "INSERT INTO t VALUES ('a;b')");
+    assert_eq!(parts[1], "SELECT 1");
+    assert_eq!(parts[2], "SELECT 2");
+    assert!(split_statements("   ").is_empty());
+}
+
+#[test]
+fn execute_script_stops_at_first_error() {
+    let db = Database::new("s");
+    let err = db
+        .execute_script(
+            "CREATE TABLE t (a INTEGER);
+             INSERT INTO t VALUES (1);
+             THIS IS NOT SQL;
+             INSERT INTO t VALUES (2);",
+        )
+        .unwrap_err();
+    assert_eq!(err.sqlstate(), "42601");
+    // Statements before the error applied; after did not.
+    let r = db.execute("SELECT COUNT(*) FROM t", &[]).unwrap();
+    assert_eq!(r.rowset().unwrap().rows[0][0], Value::Int(1));
+}
+
+#[test]
+fn uncommitted_writes_visible_to_other_sessions() {
+    // The engine documents READ UNCOMMITTED: a write inside an open
+    // transaction is visible to other sessions until rolled back. The
+    // DAIS layer advertises exactly this through TransactionIsolation.
+    let db = Database::new("s");
+    db.execute("CREATE TABLE t (a INTEGER)", &[]).unwrap();
+    let mut writer = db.connect();
+    writer.execute("BEGIN", &[]).unwrap();
+    writer.execute("INSERT INTO t VALUES (1)", &[]).unwrap();
+
+    let reader = db.connect();
+    drop(reader); // readers need no session state for autocommit reads
+    let seen = db.execute("SELECT COUNT(*) FROM t", &[]).unwrap();
+    assert_eq!(seen.rowset().unwrap().rows[0][0], Value::Int(1), "dirty read expected");
+
+    writer.execute("ROLLBACK", &[]).unwrap();
+    let seen = db.execute("SELECT COUNT(*) FROM t", &[]).unwrap();
+    assert_eq!(seen.rowset().unwrap().rows[0][0], Value::Int(0));
+}
+
+#[test]
+fn parsed_statements_are_reusable() {
+    let db = Database::new("s");
+    db.execute("CREATE TABLE t (a INTEGER)", &[]).unwrap();
+    let insert = parse_statement("INSERT INTO t VALUES (?)").unwrap();
+    let mut session = db.connect();
+    for i in 0..10 {
+        session.execute_stmt(&insert, &[Value::Int(i)]).unwrap();
+    }
+    let select = parse_statement("SELECT COUNT(*) FROM t WHERE a >= ?").unwrap();
+    let r = session.execute_stmt(&select, &[Value::Int(5)]).unwrap();
+    assert_eq!(r.rowset().unwrap().rows[0][0], Value::Int(5));
+    // Missing parameter still errors per execution.
+    assert!(session.execute_stmt(&select, &[]).is_err());
+}
+
+#[test]
+fn two_sessions_interleave_transactions() {
+    let db = Database::new("s");
+    db.execute("CREATE TABLE t (a INTEGER)", &[]).unwrap();
+    let mut s1 = db.connect();
+    let mut s2 = db.connect();
+    s1.execute("BEGIN", &[]).unwrap();
+    s2.execute("BEGIN", &[]).unwrap();
+    s1.execute("INSERT INTO t VALUES (1)", &[]).unwrap();
+    s2.execute("INSERT INTO t VALUES (2)", &[]).unwrap();
+    s1.execute("COMMIT", &[]).unwrap();
+    s2.execute("ROLLBACK", &[]).unwrap();
+    let r = db.execute("SELECT a FROM t ORDER BY a", &[]).unwrap();
+    assert_eq!(r.rowset().unwrap().rows, vec![vec![Value::Int(1)]]);
+}
+
+#[test]
+fn in_transaction_flag() {
+    let db = Database::new("s");
+    let mut s = db.connect();
+    assert!(!s.in_transaction());
+    s.execute("BEGIN", &[]).unwrap();
+    assert!(s.in_transaction());
+    s.execute("COMMIT", &[]).unwrap();
+    assert!(!s.in_transaction());
+}

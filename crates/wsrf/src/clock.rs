@@ -1,0 +1,95 @@
+//! Time abstraction for soft-state lifetime management.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic millisecond clock. Lifetime bookkeeping uses logical
+/// milliseconds so tests and benchmarks can drive expiry deterministically
+/// with a [`ManualClock`].
+pub trait Clock: Send + Sync {
+    /// Milliseconds since an arbitrary epoch (monotonic).
+    fn now_millis(&self) -> u64;
+}
+
+/// The real clock: milliseconds since construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    start: Instant,
+}
+
+impl SystemClock {
+    pub fn new() -> Self {
+        SystemClock { start: Instant::now() }
+    }
+
+    /// Convenience: an `Arc<dyn Clock>` of a fresh system clock.
+    pub fn shared() -> Arc<dyn Clock> {
+        Arc::new(SystemClock::new())
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_millis(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+}
+
+/// A hand-cranked clock for deterministic tests.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    pub fn new() -> Arc<ManualClock> {
+        Arc::new(ManualClock::default())
+    }
+
+    /// Advance time by `millis`.
+    pub fn advance(&self, millis: u64) {
+        self.now.fetch_add(millis, Ordering::SeqCst);
+    }
+
+    /// Jump to an absolute time (must move forward).
+    pub fn set(&self, millis: u64) {
+        self.now.fetch_max(millis, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_millis(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_advances() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_millis(), 0);
+        c.advance(100);
+        assert_eq!(c.now_millis(), 100);
+        c.set(50); // cannot move backwards
+        assert_eq!(c.now_millis(), 100);
+        c.set(500);
+        assert_eq!(c.now_millis(), 500);
+    }
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now_millis();
+        let b = c.now_millis();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,43 @@
+//! # dais-wsrf
+//!
+//! The Web Services Resource Framework pieces DAIS layers over (paper §5,
+//! Figure 7): **WS-ResourceProperties** (fine-grained access to a
+//! resource's property document) and **WS-ResourceLifetime** (immediate
+//! destruction and scheduled, soft-state termination).
+//!
+//! DAIS deliberately works with or without WSRF: without it a consumer
+//! can only fetch the *whole* property document and must destroy
+//! resources explicitly; with it, individual properties become
+//! addressable and resources can carry termination times. This crate
+//! supplies the WSRF half; `dais-core` wires it onto data services.
+//!
+//! Time is abstracted behind [`Clock`] so soft-state expiry is
+//! deterministic in tests and experiments.
+
+pub mod clock;
+pub mod lifetime;
+pub mod properties;
+
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use lifetime::{LifetimeError, LifetimeRegistry};
+pub use properties::{
+    delete_property, get_property, insert_property, query_properties, update_property,
+    PropertyError,
+};
+
+/// SOAP action URIs for the WSRF operations, as registered on a
+/// WSRF-enabled data service.
+pub mod actions {
+    pub const GET_RESOURCE_PROPERTY: &str =
+        "http://docs.oasis-open.org/wsrf/rpw-2/GetResourceProperty";
+    pub const GET_MULTIPLE_RESOURCE_PROPERTIES: &str =
+        "http://docs.oasis-open.org/wsrf/rpw-2/GetMultipleResourceProperties";
+    pub const QUERY_RESOURCE_PROPERTIES: &str =
+        "http://docs.oasis-open.org/wsrf/rpw-2/QueryResourceProperties";
+    pub const SET_RESOURCE_PROPERTIES: &str =
+        "http://docs.oasis-open.org/wsrf/rpw-2/SetResourceProperties";
+    pub const DESTROY: &str =
+        "http://docs.oasis-open.org/wsrf/rlw-2/ImmediateResourceTermination/Destroy";
+    pub const SET_TERMINATION_TIME: &str =
+        "http://docs.oasis-open.org/wsrf/rlw-2/ScheduledResourceTermination/SetTerminationTime";
+}

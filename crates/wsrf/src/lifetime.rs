@@ -1,0 +1,245 @@
+//! WS-ResourceLifetime: immediate and scheduled resource termination.
+//!
+//! The paper (§5) contrasts the two lifetime models: *without* WSRF "the
+//! consumer has to send a destroy operation to the data service or the
+//! data resource will be accessible for as long as the data service is
+//! there"; *with* WSRF, soft-state lifetime management lets consumers set
+//! a termination time after which the resource is reclaimed.
+
+use crate::clock::Clock;
+use dais_xml::{ns, XmlElement};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Lifetime-management errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LifetimeError {
+    UnknownResource(String),
+}
+
+impl std::fmt::Display for LifetimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LifetimeError::UnknownResource(r) => write!(f, "unknown resource: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for LifetimeError {}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Absolute termination time in clock milliseconds; `None` = no
+    /// scheduled termination (lives until explicit destroy).
+    termination_at: Option<u64>,
+}
+
+/// Tracks termination times for a set of resources (keyed by abstract
+/// name) against a [`Clock`].
+pub struct LifetimeRegistry {
+    clock: Arc<dyn Clock>,
+    entries: RwLock<HashMap<String, Entry>>,
+}
+
+impl LifetimeRegistry {
+    pub fn new(clock: Arc<dyn Clock>) -> LifetimeRegistry {
+        LifetimeRegistry { clock, entries: RwLock::new(HashMap::new()) }
+    }
+
+    /// Start tracking a resource with no scheduled termination.
+    pub fn register(&self, name: impl Into<String>) {
+        self.entries.write().insert(name.into(), Entry { termination_at: None });
+    }
+
+    /// Stop tracking (explicit destroy).
+    pub fn destroy(&self, name: &str) -> Result<(), LifetimeError> {
+        self.entries
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| LifetimeError::UnknownResource(name.to_string()))
+    }
+
+    /// Is the resource tracked and unexpired?
+    pub fn is_alive(&self, name: &str) -> bool {
+        let now = self.clock.now_millis();
+        self.entries
+            .read()
+            .get(name)
+            .map(|e| e.termination_at.map(|t| t > now).unwrap_or(true))
+            .unwrap_or(false)
+    }
+
+    /// Set (or clear, with `None`) the termination time, expressed as a
+    /// duration from now. Returns the absolute termination time.
+    pub fn set_termination_in(
+        &self,
+        name: &str,
+        millis_from_now: Option<u64>,
+    ) -> Result<Option<u64>, LifetimeError> {
+        let mut entries = self.entries.write();
+        let entry = entries
+            .get_mut(name)
+            .ok_or_else(|| LifetimeError::UnknownResource(name.to_string()))?;
+        entry.termination_at = millis_from_now.map(|d| self.clock.now_millis() + d);
+        Ok(entry.termination_at)
+    }
+
+    /// Current termination time of a resource.
+    pub fn termination_time(&self, name: &str) -> Result<Option<u64>, LifetimeError> {
+        self.entries
+            .read()
+            .get(name)
+            .map(|e| e.termination_at)
+            .ok_or_else(|| LifetimeError::UnknownResource(name.to_string()))
+    }
+
+    /// Remove and return every expired resource (the sweeper).
+    pub fn sweep(&self) -> Vec<String> {
+        let now = self.clock.now_millis();
+        let mut entries = self.entries.write();
+        let expired: Vec<String> = entries
+            .iter()
+            .filter(|(_, e)| e.termination_at.map(|t| t <= now).unwrap_or(false))
+            .map(|(n, _)| n.clone())
+            .collect();
+        for n in &expired {
+            entries.remove(n);
+        }
+        expired
+    }
+
+    /// Number of tracked (not-yet-swept) resources.
+    pub fn tracked(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Current clock reading (for message timestamps).
+    pub fn now(&self) -> u64 {
+        self.clock.now_millis()
+    }
+}
+
+/// Build a `SetTerminationTime` response element.
+pub fn set_termination_time_response(new_time: Option<u64>, now: u64) -> XmlElement {
+    let mut el = XmlElement::new(ns::WSRF_RL, "wsrf-rl", "SetTerminationTimeResponse");
+    match new_time {
+        Some(t) => {
+            el.push(XmlElement::new(ns::WSRF_RL, "wsrf-rl", "NewTerminationTime").with_text(t.to_string()))
+        }
+        None => el.push(
+            XmlElement::new(ns::WSRF_RL, "wsrf-rl", "NewTerminationTime").with_attr("nil", "true"),
+        ),
+    }
+    el.push(XmlElement::new(ns::WSRF_RL, "wsrf-rl", "CurrentTime").with_text(now.to_string()));
+    el
+}
+
+/// Parse the requested termination duration from a `SetTerminationTime`
+/// request: a `RequestedLifetimeDuration` in milliseconds, or a nil
+/// `RequestedTerminationTime` meaning "no scheduled termination".
+pub fn parse_set_termination_time(request: &XmlElement) -> Option<Option<u64>> {
+    if let Some(d) = request.child(ns::WSRF_RL, "RequestedLifetimeDuration") {
+        return d.text().trim().parse::<u64>().ok().map(Some);
+    }
+    if let Some(t) = request.child(ns::WSRF_RL, "RequestedTerminationTime") {
+        if t.attribute("nil") == Some("true") {
+            return Some(None);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn registry() -> (Arc<ManualClock>, LifetimeRegistry) {
+        let clock = ManualClock::new();
+        let reg = LifetimeRegistry::new(clock.clone());
+        (clock, reg)
+    }
+
+    #[test]
+    fn explicit_destroy() {
+        let (_, reg) = registry();
+        reg.register("urn:r1");
+        assert!(reg.is_alive("urn:r1"));
+        reg.destroy("urn:r1").unwrap();
+        assert!(!reg.is_alive("urn:r1"));
+        assert_eq!(reg.destroy("urn:r1"), Err(LifetimeError::UnknownResource("urn:r1".into())));
+    }
+
+    #[test]
+    fn soft_state_expiry() {
+        let (clock, reg) = registry();
+        reg.register("urn:r1");
+        reg.register("urn:r2");
+        reg.set_termination_in("urn:r1", Some(1000)).unwrap();
+        assert!(reg.is_alive("urn:r1"));
+        clock.advance(999);
+        assert!(reg.is_alive("urn:r1"));
+        clock.advance(1);
+        assert!(!reg.is_alive("urn:r1"));
+        // r2 has no scheduled termination and lives on.
+        assert!(reg.is_alive("urn:r2"));
+        let swept = reg.sweep();
+        assert_eq!(swept, vec!["urn:r1"]);
+        assert_eq!(reg.tracked(), 1);
+        assert!(reg.sweep().is_empty());
+    }
+
+    #[test]
+    fn lease_renewal_extends_life() {
+        let (clock, reg) = registry();
+        reg.register("urn:r1");
+        reg.set_termination_in("urn:r1", Some(100)).unwrap();
+        clock.advance(90);
+        reg.set_termination_in("urn:r1", Some(100)).unwrap(); // renew
+        clock.advance(90);
+        assert!(reg.is_alive("urn:r1"));
+        clock.advance(20);
+        assert!(!reg.is_alive("urn:r1"));
+    }
+
+    #[test]
+    fn clearing_termination_makes_permanent() {
+        let (clock, reg) = registry();
+        reg.register("urn:r1");
+        reg.set_termination_in("urn:r1", Some(10)).unwrap();
+        reg.set_termination_in("urn:r1", None).unwrap();
+        clock.advance(1_000_000);
+        assert!(reg.is_alive("urn:r1"));
+        assert_eq!(reg.termination_time("urn:r1").unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_resource_errors() {
+        let (_, reg) = registry();
+        assert!(reg.set_termination_in("urn:x", Some(1)).is_err());
+        assert!(reg.termination_time("urn:x").is_err());
+        assert!(!reg.is_alive("urn:x"));
+    }
+
+    #[test]
+    fn message_forms_roundtrip() {
+        let req = XmlElement::new(ns::WSRF_RL, "wsrf-rl", "SetTerminationTime").with_child(
+            XmlElement::new(ns::WSRF_RL, "wsrf-rl", "RequestedLifetimeDuration").with_text("5000"),
+        );
+        assert_eq!(parse_set_termination_time(&req), Some(Some(5000)));
+
+        let mut nil_child = XmlElement::new(ns::WSRF_RL, "wsrf-rl", "RequestedTerminationTime");
+        nil_child.set_attr("nil", "true");
+        let req = XmlElement::new(ns::WSRF_RL, "wsrf-rl", "SetTerminationTime").with_child(nil_child);
+        assert_eq!(parse_set_termination_time(&req), Some(None));
+
+        let bad = XmlElement::new(ns::WSRF_RL, "wsrf-rl", "SetTerminationTime");
+        assert_eq!(parse_set_termination_time(&bad), None);
+
+        let resp = set_termination_time_response(Some(1234), 1000);
+        assert_eq!(resp.child_text(ns::WSRF_RL, "NewTerminationTime").as_deref(), Some("1234"));
+        assert_eq!(resp.child_text(ns::WSRF_RL, "CurrentTime").as_deref(), Some("1000"));
+    }
+}

@@ -1,0 +1,208 @@
+//! WS-ResourceProperties: fine-grained access to a property document.
+//!
+//! A resource's property document is an XML element whose children are
+//! the individual resource properties (the WS-DAI core properties plus
+//! realisation extensions — Figure 4 of the paper). Without WSRF a
+//! consumer retrieves the whole document; these operations provide the
+//! per-property granularity the paper attributes to the WSRF layering
+//! (§5): get one property, get several, query with XPath, and mutate
+//! (insert / update / delete).
+
+use dais_xml::{QName, XPathContext, XPathExpr, XPathValue, XmlElement};
+
+/// Property-operation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropertyError {
+    /// The named property does not exist in the document.
+    UnknownProperty(String),
+    /// The XPath query failed to parse or evaluate.
+    Query(String),
+}
+
+impl std::fmt::Display for PropertyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PropertyError::UnknownProperty(p) => write!(f, "unknown resource property: {p}"),
+            PropertyError::Query(m) => write!(f, "property query error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PropertyError {}
+
+/// `GetResourceProperty`: all instances of the property named `name`.
+/// An empty result means the property is absent (which WSRF treats as a
+/// fault for undefined property *names*; callers decide what names are
+/// defined).
+pub fn get_property(document: &XmlElement, name: &QName) -> Vec<XmlElement> {
+    document.elements().filter(|e| &e.name == name).cloned().collect()
+}
+
+/// `GetMultipleResourceProperties`.
+pub fn get_multiple_properties(document: &XmlElement, names: &[QName]) -> Vec<XmlElement> {
+    let mut out = Vec::new();
+    for n in names {
+        out.extend(get_property(document, n));
+    }
+    out
+}
+
+/// `QueryResourceProperties` with an XPath 1.0 expression evaluated
+/// against the property document.
+pub fn query_properties(
+    document: &XmlElement,
+    xpath: &str,
+    ctx: &XPathContext,
+) -> Result<XPathValue, PropertyError> {
+    let expr = XPathExpr::parse(xpath).map_err(|e| PropertyError::Query(e.to_string()))?;
+    expr.evaluate_with(document, ctx).map_err(|e| PropertyError::Query(e.to_string()))
+}
+
+/// `SetResourceProperties/Insert`: append a new property element.
+pub fn insert_property(document: &mut XmlElement, property: XmlElement) {
+    document.push(property);
+}
+
+/// `SetResourceProperties/Update`: replace all instances of the property
+/// with the given elements (which must all bear that name).
+pub fn update_property(
+    document: &mut XmlElement,
+    name: &QName,
+    replacements: Vec<XmlElement>,
+) -> Result<(), PropertyError> {
+    if !document.elements().any(|e| &e.name == name) {
+        return Err(PropertyError::UnknownProperty(name.to_string()));
+    }
+    // Remove existing instances, remembering where the first one sat so
+    // replacements keep the document position.
+    let mut first_index = None;
+    let mut i = 0;
+    document.children.retain(|c| {
+        let keep = match c {
+            dais_xml::XmlNode::Element(e) if &e.name == name => {
+                if first_index.is_none() {
+                    first_index = Some(i);
+                }
+                false
+            }
+            _ => true,
+        };
+        if keep {
+            i += 1;
+        }
+        keep
+    });
+    let at = first_index.unwrap_or(document.children.len());
+    for (offset, r) in replacements.into_iter().enumerate() {
+        document.children.insert(at + offset, dais_xml::XmlNode::Element(r));
+    }
+    Ok(())
+}
+
+/// `SetResourceProperties/Delete`: remove all instances of a property.
+pub fn delete_property(document: &mut XmlElement, name: &QName) -> Result<(), PropertyError> {
+    if !document.elements().any(|e| &e.name == name) {
+        return Err(PropertyError::UnknownProperty(name.to_string()));
+    }
+    document.children.retain(|c| match c {
+        dais_xml::XmlNode::Element(e) => &e.name != name,
+        _ => true,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dais_xml::ns;
+
+    fn doc() -> XmlElement {
+        XmlElement::new(ns::WSDAI, "wsdai", "PropertyDocument")
+            .with_child(XmlElement::new(ns::WSDAI, "wsdai", "Readable").with_text("true"))
+            .with_child(XmlElement::new(ns::WSDAI, "wsdai", "Writeable").with_text("false"))
+            .with_child(
+                XmlElement::new(ns::WSDAI, "wsdai", "DatasetMap").with_attr("uri", "urn:rowset"),
+            )
+            .with_child(
+                XmlElement::new(ns::WSDAI, "wsdai", "DatasetMap").with_attr("uri", "urn:csv"),
+            )
+    }
+
+    fn q(local: &str) -> QName {
+        QName::new(ns::WSDAI, "wsdai", local)
+    }
+
+    #[test]
+    fn get_single_property() {
+        let d = doc();
+        let r = get_property(&d, &q("Readable"));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].text(), "true");
+        assert!(get_property(&d, &q("Missing")).is_empty());
+    }
+
+    #[test]
+    fn get_repeated_property() {
+        let d = doc();
+        let maps = get_property(&d, &q("DatasetMap"));
+        assert_eq!(maps.len(), 2);
+    }
+
+    #[test]
+    fn get_multiple() {
+        let d = doc();
+        let r = get_multiple_properties(&d, &[q("Readable"), q("Writeable")]);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn query_with_xpath() {
+        let d = doc();
+        let ctx = XPathContext::new().with_namespace("dai", ns::WSDAI);
+        let v = query_properties(&d, "count(//dai:DatasetMap)", &ctx).unwrap();
+        assert_eq!(v.to_number(), 2.0);
+        let v = query_properties(&d, "//dai:Readable = 'true'", &ctx).unwrap();
+        assert!(v.to_bool());
+        assert!(query_properties(&d, "///", &ctx).is_err());
+    }
+
+    #[test]
+    fn insert_update_delete() {
+        let mut d = doc();
+        insert_property(&mut d, XmlElement::new(ns::WSDAI, "wsdai", "Sensitivity").with_text("Insensitive"));
+        assert_eq!(get_property(&d, &q("Sensitivity")).len(), 1);
+
+        update_property(
+            &mut d,
+            &q("Writeable"),
+            vec![XmlElement::new(ns::WSDAI, "wsdai", "Writeable").with_text("true")],
+        )
+        .unwrap();
+        assert_eq!(get_property(&d, &q("Writeable"))[0].text(), "true");
+        // Position preserved: Writeable still second.
+        assert_eq!(d.elements().nth(1).unwrap().name.local, "Writeable");
+
+        delete_property(&mut d, &q("DatasetMap")).unwrap();
+        assert!(get_property(&d, &q("DatasetMap")).is_empty());
+
+        assert_eq!(
+            update_property(&mut d, &q("Nope"), vec![]),
+            Err(PropertyError::UnknownProperty(format!("{{{}}}Nope", ns::WSDAI)))
+        );
+        assert!(delete_property(&mut d, &q("Nope")).is_err());
+    }
+
+    #[test]
+    fn update_replaces_all_instances() {
+        let mut d = doc();
+        update_property(
+            &mut d,
+            &q("DatasetMap"),
+            vec![XmlElement::new(ns::WSDAI, "wsdai", "DatasetMap").with_attr("uri", "urn:only")],
+        )
+        .unwrap();
+        let maps = get_property(&d, &q("DatasetMap"));
+        assert_eq!(maps.len(), 1);
+        assert_eq!(maps[0].attribute("uri"), Some("urn:only"));
+    }
+}

@@ -1,0 +1,766 @@
+//! An XQuery FLWOR subset.
+//!
+//! Supports the query shape WS-DAIX's `XQueryExecute` needs:
+//!
+//! ```text
+//! for $x in <path>            -- bind $x to each selected node
+//! (let $y := <expr>)*         -- scalar bindings per iteration
+//! (where <expr>)?             -- filter
+//! (order by <expr> [descending])?
+//! return <result>             -- an expression or an element constructor
+//! ```
+//!
+//! plus bare XPath expressions (a query without FLWOR keywords).
+//!
+//! Element constructors support `{expr}` interpolation in content and
+//! attribute values (`{{`/`}}` escape literal braces). Within `where`,
+//! `order by`, `let` and `return` expressions, `$x` (the `for` variable)
+//! denotes the bound node: `$x/price` selects its `price` children.
+//! `let` variables hold scalars (a node-set value is coerced to the
+//! string-value of its first node).
+//!
+//! Not supported (documented limitations): nested/multiple `for` clauses,
+//! joins across variables, user-defined functions, and the XQuery type
+//! system. These go beyond what the DAIS use cases in the paper require.
+
+use crate::store::XmlDbError;
+use dais_xml::xpath::{XPathNode, XPathValue};
+use dais_xml::{XPathContext, XPathExpr, XmlElement, XmlNode};
+
+/// One item of a query result sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XQueryItem {
+    Element(XmlElement),
+    /// An atomic value (attribute value, text node or computed scalar).
+    Value(String),
+}
+
+impl XQueryItem {
+    /// Render the item as an element (values are wrapped in `<value>`),
+    /// which is how sequence resources serve items over WS-DAIX.
+    pub fn to_element(&self) -> XmlElement {
+        match self {
+            XQueryItem::Element(e) => e.clone(),
+            XQueryItem::Value(v) => XmlElement::new_local("value").with_text(v),
+        }
+    }
+
+    /// The string value of the item.
+    pub fn string_value(&self) -> String {
+        match self {
+            XQueryItem::Element(e) => e.text(),
+            XQueryItem::Value(v) => v.clone(),
+        }
+    }
+}
+
+/// A parsed query, reusable across documents.
+#[derive(Debug, Clone)]
+pub struct XQuery {
+    kind: QueryKind,
+    source: String,
+}
+
+#[derive(Debug, Clone)]
+enum QueryKind {
+    Bare(XPathExpr),
+    Flwor(Flwor),
+}
+
+#[derive(Debug, Clone)]
+struct Flwor {
+    var: String,
+    source: XPathExpr,
+    lets: Vec<(String, String)>, // (name, expression source with $var intact)
+    where_expr: Option<String>,
+    order_by: Option<(String, bool)>, // (expression, ascending)
+    ret: Return,
+}
+
+#[derive(Debug, Clone)]
+enum Return {
+    Expr(String),
+    Constructor(Constructor),
+}
+
+#[derive(Debug, Clone)]
+struct Constructor {
+    name: String,
+    attributes: Vec<(String, Template)>,
+    content: Vec<ConstructorNode>,
+}
+
+#[derive(Debug, Clone)]
+enum ConstructorNode {
+    Text(String),
+    Hole(String),
+    Child(Constructor),
+}
+
+/// A text template with `{expr}` holes.
+#[derive(Debug, Clone)]
+struct Template {
+    parts: Vec<ConstructorNode>, // Text and Hole only
+}
+
+impl XQuery {
+    /// Parse a query.
+    pub fn parse(source: &str) -> Result<XQuery, XmlDbError> {
+        let trimmed = source.trim();
+        if trimmed.starts_with("for ") || trimmed.starts_with("for\t") || trimmed.starts_with("for\n")
+        {
+            Ok(XQuery { kind: QueryKind::Flwor(parse_flwor(trimmed)?), source: source.to_string() })
+        } else {
+            let expr = XPathExpr::parse(trimmed).map_err(|e| XmlDbError::Query(e.to_string()))?;
+            Ok(XQuery { kind: QueryKind::Bare(expr), source: source.to_string() })
+        }
+    }
+
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Execute against one document.
+    pub fn execute(&self, doc: &XmlElement) -> Result<Vec<XQueryItem>, XmlDbError> {
+        self.execute_with(doc, &XPathContext::default())
+    }
+
+    /// Execute with namespace bindings.
+    pub fn execute_with(
+        &self,
+        doc: &XmlElement,
+        ctx: &XPathContext,
+    ) -> Result<Vec<XQueryItem>, XmlDbError> {
+        match &self.kind {
+            QueryKind::Bare(expr) => {
+                let v = expr.evaluate_with(doc, ctx).map_err(|e| XmlDbError::Query(e.to_string()))?;
+                Ok(value_to_items(v))
+            }
+            QueryKind::Flwor(f) => execute_flwor(f, doc, ctx),
+        }
+    }
+}
+
+fn value_to_items(v: XPathValue) -> Vec<XQueryItem> {
+    match v {
+        XPathValue::NodeSet(nodes) => nodes
+            .into_iter()
+            .filter_map(|n| match n {
+                XPathNode::Element(e) | XPathNode::Root(e) => Some(XQueryItem::Element(e)),
+                XPathNode::Attribute { value, .. } => Some(XQueryItem::Value(value)),
+                XPathNode::Text(t) => Some(XQueryItem::Value(t)),
+                XPathNode::Comment(_) => None,
+            })
+            .collect(),
+        other => vec![XQueryItem::Value(other.to_xpath_string())],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Scan an expression from `src[pos..]` until one of `stops` appears as a
+/// standalone word at depth 0 outside quotes. Returns (expr, next_pos).
+fn scan_until<'s>(src: &str, pos: usize, stops: &[&'s str]) -> (String, usize, Option<&'s str>) {
+    let bytes = src.as_bytes();
+    let mut i = pos;
+    let mut depth = 0i32;
+    let mut quote: Option<u8> = None;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if let Some(q) = quote {
+            if b == q {
+                quote = None;
+            }
+            i += 1;
+            continue;
+        }
+        match b {
+            b'\'' | b'"' => {
+                quote = Some(b);
+                i += 1;
+            }
+            // Note: '<' and '>' are comparison operators in clause
+            // expressions, not nesting — constructors only occur in the
+            // final return clause, which is never scanned by this function.
+            b'(' | b'[' | b'{' => {
+                depth += 1;
+                i += 1;
+            }
+            b')' | b']' | b'}' => {
+                depth -= 1;
+                i += 1;
+            }
+            _ if depth == 0 && (b.is_ascii_alphabetic()) && is_word_start(bytes, i) => {
+                // Candidate keyword.
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_alphabetic() {
+                    j += 1;
+                }
+                let word = &src[i..j];
+                if stops.contains(&word) {
+                    return (src[pos..i].trim().to_string(), j, Some(stop_word(stops, word)));
+                }
+                i = j;
+            }
+            _ => i += 1,
+        }
+    }
+    (src[pos..].trim().to_string(), src.len(), None)
+}
+
+fn stop_word<'a>(stops: &[&'a str], word: &str) -> &'a str {
+    stops.iter().find(|s| **s == word).copied().expect("word checked against stops")
+}
+
+fn is_word_start(bytes: &[u8], i: usize) -> bool {
+    i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_' || bytes[i - 1] == b'$'
+        || bytes[i - 1] == b':' || bytes[i - 1] == b'-' || bytes[i - 1] == b'@' || bytes[i - 1] == b'/')
+}
+
+fn parse_var(src: &str) -> Result<(String, &str), XmlDbError> {
+    let s = src.trim_start();
+    let Some(rest) = s.strip_prefix('$') else {
+        return Err(XmlDbError::Query(format!("expected a $variable, found '{s}'")));
+    };
+    let end = rest.find(|c: char| !(c.is_alphanumeric() || c == '_' || c == '-')).unwrap_or(rest.len());
+    if end == 0 {
+        return Err(XmlDbError::Query("empty variable name".into()));
+    }
+    Ok((rest[..end].to_string(), &rest[end..]))
+}
+
+fn parse_flwor(src: &str) -> Result<Flwor, XmlDbError> {
+    let after_for = src.strip_prefix("for").expect("caller checked");
+    let (var, rest) = parse_var(after_for)?;
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("in") else {
+        return Err(XmlDbError::Query("expected 'in' after for-variable".into()));
+    };
+
+    // Scan the source path, then clauses.
+    let base = src.len() - rest.len();
+    let stops = ["let", "where", "order", "return"];
+    let (source_text, mut pos, mut stop) = scan_until(src, base, &stops);
+    if source_text.is_empty() {
+        return Err(XmlDbError::Query("missing path after 'in'".into()));
+    }
+    let source = XPathExpr::parse(&source_text).map_err(|e| XmlDbError::Query(e.to_string()))?;
+
+    let mut lets = Vec::new();
+    let mut where_expr = None;
+    let mut order_by = None;
+    loop {
+        match stop {
+            None => return Err(XmlDbError::Query("FLWOR query missing 'return'".into())),
+            Some("let") => {
+                let (name, rest) = parse_var(&src[pos..])?;
+                let rest_trim = rest.trim_start();
+                let Some(rest_trim) = rest_trim.strip_prefix(":=") else {
+                    return Err(XmlDbError::Query("expected ':=' in let clause".into()));
+                };
+                let start = src.len() - rest_trim.len();
+                let (expr, next, s) = scan_until(src, start, &stops);
+                lets.push((name, expr));
+                pos = next;
+                stop = s;
+            }
+            Some("where") => {
+                let (expr, next, s) = scan_until(src, pos, &["order", "return"]);
+                where_expr = Some(expr);
+                pos = next;
+                stop = s;
+            }
+            Some("order") => {
+                let rest = src[pos..].trim_start();
+                let Some(rest) = rest.strip_prefix("by") else {
+                    return Err(XmlDbError::Query("expected 'by' after 'order'".into()));
+                };
+                let start = src.len() - rest.len();
+                let (expr, next, s) = scan_until(src, start, &["ascending", "descending", "return"]);
+                let (ascending, pos2, stop2) = match s {
+                    Some("descending") => {
+                        let (_, n, s2) = scan_until(src, next, &["return"]);
+                        (false, n, s2)
+                    }
+                    Some("ascending") => {
+                        let (_, n, s2) = scan_until(src, next, &["return"]);
+                        (true, n, s2)
+                    }
+                    other => (true, next, other),
+                };
+                order_by = Some((expr, ascending));
+                pos = pos2;
+                stop = stop2;
+            }
+            Some("return") => {
+                let ret_src = src[pos..].trim();
+                if ret_src.is_empty() {
+                    return Err(XmlDbError::Query("empty return clause".into()));
+                }
+                let ret = if ret_src.starts_with('<') {
+                    let (c, rest) = parse_constructor(ret_src)?;
+                    if !rest.trim().is_empty() {
+                        return Err(XmlDbError::Query(format!(
+                            "unexpected content after constructor: '{}'",
+                            rest.trim()
+                        )));
+                    }
+                    Return::Constructor(c)
+                } else {
+                    Return::Expr(ret_src.to_string())
+                };
+                return Ok(Flwor { var, source, lets, where_expr, order_by, ret });
+            }
+            Some(other) => return Err(XmlDbError::Query(format!("unexpected clause '{other}'"))),
+        }
+    }
+}
+
+/// Parse an element constructor, returning it and the remaining input.
+fn parse_constructor(src: &str) -> Result<(Constructor, &str), XmlDbError> {
+    let err = |m: &str| XmlDbError::Query(format!("constructor: {m}"));
+    let s = src.strip_prefix('<').ok_or_else(|| err("expected '<'"))?;
+    let name_end = s
+        .find(|c: char| c.is_whitespace() || c == '>' || c == '/')
+        .ok_or_else(|| err("unterminated start tag"))?;
+    let name = s[..name_end].to_string();
+    if name.is_empty() {
+        return Err(err("empty element name"));
+    }
+    let mut rest = &s[name_end..];
+
+    // Attributes.
+    let mut attributes = Vec::new();
+    loop {
+        rest = rest.trim_start();
+        if let Some(r) = rest.strip_prefix("/>") {
+            return Ok((Constructor { name, attributes, content: Vec::new() }, r));
+        }
+        if let Some(r) = rest.strip_prefix('>') {
+            rest = r;
+            break;
+        }
+        let eq = rest.find('=').ok_or_else(|| err("malformed attribute"))?;
+        let attr_name = rest[..eq].trim().to_string();
+        rest = rest[eq + 1..].trim_start();
+        let quote = rest.chars().next().filter(|c| *c == '"' || *c == '\'').ok_or_else(|| err("unquoted attribute value"))?;
+        let after = &rest[1..];
+        let close = after.find(quote).ok_or_else(|| err("unterminated attribute value"))?;
+        let raw_value = &after[..close];
+        attributes.push((attr_name, parse_template(raw_value)?));
+        rest = &after[close + 1..];
+    }
+
+    // Content until matching close tag.
+    let mut content = Vec::new();
+    let close_tag = format!("</{name}>");
+    loop {
+        if rest.starts_with(&close_tag) {
+            let after = &rest[close_tag.len()..];
+            return Ok((Constructor { name, attributes, content }, after));
+        }
+        if rest.is_empty() {
+            return Err(err(&format!("missing {close_tag}")));
+        }
+        if rest.starts_with("{{") {
+            content.push(ConstructorNode::Text("{".into()));
+            rest = &rest[2..];
+        } else if rest.starts_with("}}") {
+            content.push(ConstructorNode::Text("}".into()));
+            rest = &rest[2..];
+        } else if let Some(r) = rest.strip_prefix('{') {
+            let close = find_brace_close(r).ok_or_else(|| err("unterminated { expression"))?;
+            content.push(ConstructorNode::Hole(r[..close].trim().to_string()));
+            rest = &r[close + 1..];
+        } else if rest.starts_with('<') {
+            let (child, r) = parse_constructor(rest)?;
+            content.push(ConstructorNode::Child(child));
+            rest = r;
+        } else {
+            // Text run until a special character.
+            let end = rest.find(['<', '{', '}']).unwrap_or(rest.len());
+            content.push(ConstructorNode::Text(rest[..end].to_string()));
+            rest = &rest[end..];
+            if rest.starts_with('}') && !rest.starts_with("}}") {
+                return Err(err("stray '}' in content"));
+            }
+        }
+    }
+}
+
+fn find_brace_close(s: &str) -> Option<usize> {
+    let mut depth = 0;
+    let mut quote: Option<char> = None;
+    for (i, c) in s.char_indices() {
+        match (quote, c) {
+            (Some(q), c) if c == q => quote = None,
+            (Some(_), _) => {}
+            (None, '\'') | (None, '"') => quote = Some(c),
+            (None, '{') => depth += 1,
+            (None, '}') => {
+                if depth == 0 {
+                    return Some(i);
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_template(raw: &str) -> Result<Template, XmlDbError> {
+    let mut parts = Vec::new();
+    let mut rest = raw;
+    while !rest.is_empty() {
+        if rest.starts_with("{{") {
+            parts.push(ConstructorNode::Text("{".into()));
+            rest = &rest[2..];
+        } else if rest.starts_with("}}") {
+            parts.push(ConstructorNode::Text("}".into()));
+            rest = &rest[2..];
+        } else if let Some(r) = rest.strip_prefix('{') {
+            let close = find_brace_close(r)
+                .ok_or_else(|| XmlDbError::Query("unterminated { expression in attribute".into()))?;
+            parts.push(ConstructorNode::Hole(r[..close].trim().to_string()));
+            rest = &r[close + 1..];
+        } else {
+            let end = rest.find(['{', '}']).unwrap_or(rest.len());
+            parts.push(ConstructorNode::Text(rest[..end].to_string()));
+            rest = &rest[end..];
+        }
+    }
+    Ok(Template { parts })
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+/// Replace `$name` with `.` in an expression (exact-name matches only).
+fn substitute_var(expr: &str, name: &str) -> String {
+    let needle = format!("${name}");
+    let mut out = String::with_capacity(expr.len());
+    let mut rest = expr;
+    while let Some(i) = rest.find(&needle) {
+        let after = &rest[i + needle.len()..];
+        let boundary = after
+            .chars()
+            .next()
+            .map(|c| !(c.is_alphanumeric() || c == '_' || c == '-'))
+            .unwrap_or(true);
+        out.push_str(&rest[..i]);
+        if boundary {
+            out.push('.');
+            rest = after;
+        } else {
+            out.push_str(&needle);
+            rest = after;
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Evaluate an expression in the scope of the for-binding: `$var` becomes
+/// `.` and the bound element is the context node. `let` variables are
+/// already in `ctx`.
+fn eval_in_binding(
+    expr_src: &str,
+    var: &str,
+    binding: &XmlElement,
+    ctx: &XPathContext,
+) -> Result<XPathValue, XmlDbError> {
+    let substituted = substitute_var(expr_src, var);
+    let expr = XPathExpr::parse(&substituted).map_err(|e| XmlDbError::Query(e.to_string()))?;
+    expr.evaluate_element_context(binding, ctx).map_err(|e| XmlDbError::Query(e.to_string()))
+}
+
+fn execute_flwor(
+    f: &Flwor,
+    doc: &XmlElement,
+    base_ctx: &XPathContext,
+) -> Result<Vec<XQueryItem>, XmlDbError> {
+    // Bind $var to each selected element.
+    let bindings = match f.source.evaluate_with(doc, base_ctx).map_err(|e| XmlDbError::Query(e.to_string()))? {
+        XPathValue::NodeSet(nodes) => nodes
+            .into_iter()
+            .filter_map(|n| match n {
+                XPathNode::Element(e) | XPathNode::Root(e) => Some(e),
+                _ => None,
+            })
+            .collect::<Vec<_>>(),
+        _ => return Err(XmlDbError::Query("for-clause path must select elements".into())),
+    };
+
+    struct Candidate {
+        binding: XmlElement,
+        ctx: XPathContext,
+        order_key: Option<XPathValue>,
+    }
+
+    let mut candidates = Vec::new();
+    for binding in bindings {
+        // Evaluate let clauses into scalar variables.
+        let mut ctx = base_ctx.clone();
+        for (name, expr_src) in &f.lets {
+            let v = eval_in_binding(expr_src, &f.var, &binding, &ctx)?;
+            let scalar = match v {
+                XPathValue::NodeSet(nodes) => {
+                    XPathValue::String(nodes.first().map(|n| n.string_value()).unwrap_or_default())
+                }
+                other => other,
+            };
+            ctx.bind_variable(name.clone(), scalar);
+        }
+        // Where.
+        if let Some(w) = &f.where_expr {
+            if !eval_in_binding(w, &f.var, &binding, &ctx)?.to_bool() {
+                continue;
+            }
+        }
+        // Order key.
+        let order_key = match &f.order_by {
+            Some((expr, _)) => Some(eval_in_binding(expr, &f.var, &binding, &ctx)?),
+            None => None,
+        };
+        candidates.push(Candidate { binding, ctx, order_key });
+    }
+
+    if let Some((_, ascending)) = &f.order_by {
+        candidates.sort_by(|a, b| {
+            let (ka, kb) = (a.order_key.as_ref().unwrap(), b.order_key.as_ref().unwrap());
+            let (na, nb) = (ka.to_number(), kb.to_number());
+            let ord = if !na.is_nan() && !nb.is_nan() {
+                na.partial_cmp(&nb).unwrap_or(std::cmp::Ordering::Equal)
+            } else {
+                ka.to_xpath_string().cmp(&kb.to_xpath_string())
+            };
+            if *ascending {
+                ord
+            } else {
+                ord.reverse()
+            }
+        });
+    }
+
+    // Return.
+    let mut out = Vec::new();
+    for c in candidates {
+        match &f.ret {
+            Return::Expr(src) => {
+                let v = eval_in_binding(src, &f.var, &c.binding, &c.ctx)?;
+                out.extend(value_to_items(v));
+            }
+            Return::Constructor(cons) => {
+                out.push(XQueryItem::Element(build_constructor(cons, &f.var, &c.binding, &c.ctx)?));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn build_constructor(
+    cons: &Constructor,
+    var: &str,
+    binding: &XmlElement,
+    ctx: &XPathContext,
+) -> Result<XmlElement, XmlDbError> {
+    let mut element = XmlElement::new_local(&cons.name);
+    for (name, template) in &cons.attributes {
+        let mut value = String::new();
+        for part in &template.parts {
+            match part {
+                ConstructorNode::Text(t) => value.push_str(t),
+                ConstructorNode::Hole(expr) => {
+                    value.push_str(&eval_in_binding(expr, var, binding, ctx)?.to_xpath_string())
+                }
+                ConstructorNode::Child(_) => unreachable!("templates hold no children"),
+            }
+        }
+        element.set_attr(name.clone(), value);
+    }
+    for node in &cons.content {
+        match node {
+            ConstructorNode::Text(t) => {
+                if !t.trim().is_empty() {
+                    element.children.push(XmlNode::Text(t.clone()));
+                }
+            }
+            ConstructorNode::Child(c) => {
+                element.push(build_constructor(c, var, binding, ctx)?);
+            }
+            ConstructorNode::Hole(expr) => {
+                match eval_in_binding(expr, var, binding, ctx)? {
+                    XPathValue::NodeSet(nodes) => {
+                        for n in nodes {
+                            match n {
+                                XPathNode::Element(e) | XPathNode::Root(e) => element.push(e),
+                                XPathNode::Attribute { value, .. } => {
+                                    element.children.push(XmlNode::Text(value))
+                                }
+                                XPathNode::Text(t) => element.children.push(XmlNode::Text(t)),
+                                XPathNode::Comment(_) => {}
+                            }
+                        }
+                    }
+                    other => element.children.push(XmlNode::Text(other.to_xpath_string())),
+                }
+            }
+        }
+    }
+    Ok(element)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dais_xml::parse;
+
+    fn doc() -> XmlElement {
+        parse(
+            "<catalog>\
+               <book><title>TP</title><price>50</price></book>\
+               <book><title>DDIA</title><price>40</price></book>\
+               <book><title>OSTEP</title><price>0</price></book>\
+             </catalog>",
+        )
+        .unwrap()
+    }
+
+    fn run(q: &str) -> Vec<XQueryItem> {
+        XQuery::parse(q).unwrap().execute(&doc()).unwrap()
+    }
+
+    #[test]
+    fn bare_xpath_query() {
+        let items = run("//book/title");
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].string_value(), "TP");
+    }
+
+    #[test]
+    fn simple_flwor() {
+        let items = run("for $b in //book return $b/title");
+        assert_eq!(items.len(), 3);
+        assert!(matches!(&items[0], XQueryItem::Element(e) if e.name.local == "title"));
+    }
+
+    #[test]
+    fn where_clause() {
+        let items = run("for $b in //book where $b/price > 30 return $b/title");
+        assert_eq!(items.len(), 2);
+    }
+
+    #[test]
+    fn order_by() {
+        let items = run("for $b in //book order by $b/price return $b/title");
+        let titles: Vec<String> = items.iter().map(XQueryItem::string_value).collect();
+        assert_eq!(titles, vec!["OSTEP", "DDIA", "TP"]);
+        let items = run("for $b in //book order by $b/price descending return $b/title");
+        assert_eq!(items[0].string_value(), "TP");
+    }
+
+    #[test]
+    fn order_by_string_key() {
+        let items = run("for $b in //book order by $b/title return $b/price");
+        let prices: Vec<String> = items.iter().map(XQueryItem::string_value).collect();
+        assert_eq!(prices, vec!["40", "0", "50"]); // DDIA, OSTEP, TP
+    }
+
+    #[test]
+    fn let_clause() {
+        let items = run(
+            "for $b in //book let $p := $b/price where $p >= 40 return $b/title",
+        );
+        assert_eq!(items.len(), 2);
+    }
+
+    #[test]
+    fn constructor_return() {
+        let items = run(
+            "for $b in //book where $b/price > 30 \
+             return <item cost=\"{$b/price}\"><name>{$b/title/text()}</name></item>",
+        );
+        assert_eq!(items.len(), 2);
+        let XQueryItem::Element(e) = &items[0] else { panic!() };
+        assert_eq!(e.name.local, "item");
+        assert_eq!(e.attribute("cost"), Some("50"));
+        assert_eq!(e.child_text("", "name").as_deref(), Some("TP"));
+    }
+
+    #[test]
+    fn constructor_with_node_interpolation() {
+        let items = run("for $b in //book[price=50] return <wrap>{$b/title}</wrap>");
+        let XQueryItem::Element(e) = &items[0] else { panic!() };
+        assert!(e.child("", "title").is_some());
+    }
+
+    #[test]
+    fn constructor_static_content_and_escapes() {
+        let items = run("for $b in //book[price=50] return <r a=\"x{{y}}\">lit {{n}}</r>");
+        let XQueryItem::Element(e) = &items[0] else { panic!() };
+        assert_eq!(e.attribute("a"), Some("x{y}"));
+        assert_eq!(e.text(), "lit {n}");
+    }
+
+    #[test]
+    fn nested_constructors() {
+        let items = run("for $b in //book[price=40] return <a><b><c>{$b/title/text()}</c></b></a>");
+        let XQueryItem::Element(e) = &items[0] else { panic!() };
+        assert_eq!(
+            e.child("", "b").unwrap().child("", "c").unwrap().text(),
+            "DDIA"
+        );
+    }
+
+    #[test]
+    fn scalar_return_expressions() {
+        let items = run("for $b in //book return count($b/title)");
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].string_value(), "1");
+    }
+
+    #[test]
+    fn empty_result_ok() {
+        assert!(run("for $b in //missing return $b").is_empty());
+        assert!(run("for $b in //book where $b/price > 1000 return $b").is_empty());
+    }
+
+    #[test]
+    fn variable_name_boundaries() {
+        // $b vs $bk must not be confused.
+        let q = "for $b in //book where $b/price > 30 return $b/title";
+        assert_eq!(substitute_var(q, "bk"), q);
+        assert!(substitute_var(q, "b").contains("./price"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(XQuery::parse("for $b //book return $b").is_err()); // missing in
+        assert!(XQuery::parse("for $b in //book").is_err()); // missing return
+        assert!(XQuery::parse("for $b in //book return <a>{$b").is_err()); // bad constructor
+        assert!(XQuery::parse("for in //book return 1").is_err()); // missing var
+        assert!(XQuery::parse("///").is_err()); // bad bare xpath
+    }
+
+    #[test]
+    fn keywords_inside_strings_not_clauses() {
+        // 'return' inside a string literal must not terminate the where
+        // clause scan.
+        let items = run(
+            "for $b in //book where $b/title != 'return' return $b/title",
+        );
+        assert_eq!(items.len(), 3);
+    }
+
+    #[test]
+    fn item_to_element_wraps_values() {
+        let item = XQueryItem::Value("42".into());
+        let e = item.to_element();
+        assert_eq!(e.name.local, "value");
+        assert_eq!(e.text(), "42");
+    }
+}

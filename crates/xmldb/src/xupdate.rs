@@ -1,0 +1,340 @@
+//! XUpdate: declarative XML document modification.
+//!
+//! Implements the XUpdate operation set used by the WS-DAIX
+//! `XUpdateExecute` operation: `insert-before`, `insert-after`, `append`,
+//! `update`, `remove` and `rename`, targeted by XPath `select`
+//! expressions, in the classic `http://www.xmldb.org/xupdate` namespace.
+//!
+//! Operations are applied in document order of the modifications element;
+//! each operation re-selects against the *current* state of the document,
+//! per the XUpdate working draft.
+
+use crate::store::XmlDbError;
+use dais_xml::xpath::{NodePath, PathStep};
+use dais_xml::{XPathContext, XPathExpr, XmlElement, XmlNode};
+
+/// The XUpdate namespace.
+pub const XUPDATE_NS: &str = "http://www.xmldb.org/xupdate";
+
+/// Apply a `xupdate:modifications` document to `doc`. Returns the number
+/// of nodes modified across all operations.
+pub fn apply_xupdate(
+    doc: &mut XmlElement,
+    modifications: &XmlElement,
+    ctx: &XPathContext,
+) -> Result<usize, XmlDbError> {
+    if !modifications.name.is(XUPDATE_NS, "modifications") {
+        return Err(XmlDbError::Query(format!(
+            "expected xupdate:modifications, found {}",
+            modifications.name
+        )));
+    }
+    let mut touched = 0;
+    for op in modifications.elements() {
+        if op.name.namespace != XUPDATE_NS {
+            return Err(XmlDbError::Query(format!("unexpected element {}", op.name)));
+        }
+        let select = op
+            .attribute("select")
+            .ok_or_else(|| XmlDbError::Query(format!("{} missing select attribute", op.name)))?;
+        let expr = XPathExpr::parse(select).map_err(|e| XmlDbError::Query(e.to_string()))?;
+        let mut paths = expr.select_paths(doc, ctx).map_err(|e| XmlDbError::Query(e.to_string()))?;
+        // Apply from the last node backwards so sibling indices stay valid
+        // when inserting/removing within one operation.
+        paths.reverse();
+        for path in &paths {
+            apply_one(doc, &op.name.local, op, path)?;
+            touched += 1;
+        }
+    }
+    Ok(touched)
+}
+
+fn apply_one(
+    doc: &mut XmlElement,
+    operation: &str,
+    op: &XmlElement,
+    path: &NodePath,
+) -> Result<(), XmlDbError> {
+    match operation {
+        "insert-before" | "insert-after" => {
+            let (parent_path, last) = split_parent(path, operation)?;
+            let PathStep::Child(index) = last else {
+                return Err(XmlDbError::Query(format!("{operation} cannot target an attribute")));
+            };
+            let parent = navigate_mut(doc, parent_path)?;
+            let at = if operation == "insert-before" { index } else { index + 1 };
+            if at > parent.children.len() {
+                return Err(XmlDbError::Query("selected node vanished during update".into()));
+            }
+            for (offset, content) in content_nodes(op).into_iter().enumerate() {
+                parent.children.insert(at + offset, content);
+            }
+            Ok(())
+        }
+        "append" => {
+            let target = navigate_mut(doc, path)?;
+            target.children.extend(content_nodes(op));
+            Ok(())
+        }
+        "update" => {
+            match path.last() {
+                Some(PathStep::Attribute(_)) => {
+                    let (parent_path, last) = split_parent(path, operation)?;
+                    let PathStep::Attribute(index) = last else { unreachable!() };
+                    let parent = navigate_mut(doc, parent_path)?;
+                    let attr = parent
+                        .attributes
+                        .get_mut(index)
+                        .ok_or_else(|| XmlDbError::Query("attribute vanished during update".into()))?;
+                    attr.value = op.text();
+                    Ok(())
+                }
+                _ => {
+                    // Element (or document element): replace content.
+                    let target = navigate_mut(doc, path)?;
+                    let content = content_nodes(op);
+                    target.children = if content.is_empty() {
+                        vec![XmlNode::Text(op.text())]
+                    } else {
+                        content
+                    };
+                    Ok(())
+                }
+            }
+        }
+        "remove" => {
+            if path.is_empty() {
+                return Err(XmlDbError::Query("cannot remove the document element".into()));
+            }
+            let (parent_path, last) = split_parent(path, operation)?;
+            let parent = navigate_mut(doc, parent_path)?;
+            match last {
+                PathStep::Child(i) => {
+                    if i < parent.children.len() {
+                        parent.children.remove(i);
+                    }
+                }
+                PathStep::Attribute(i) => {
+                    if i < parent.attributes.len() {
+                        parent.attributes.remove(i);
+                    }
+                }
+            }
+            Ok(())
+        }
+        "rename" => {
+            let new_name = op.text();
+            let new_name = new_name.trim();
+            if new_name.is_empty() {
+                return Err(XmlDbError::Query("rename requires a new name".into()));
+            }
+            match path.last() {
+                Some(PathStep::Attribute(_)) => {
+                    let (parent_path, last) = split_parent(path, operation)?;
+                    let PathStep::Attribute(index) = last else { unreachable!() };
+                    let parent = navigate_mut(doc, parent_path)?;
+                    let attr = parent
+                        .attributes
+                        .get_mut(index)
+                        .ok_or_else(|| XmlDbError::Query("attribute vanished during update".into()))?;
+                    attr.name.local = new_name.to_string();
+                    Ok(())
+                }
+                _ => {
+                    let target = navigate_mut(doc, path)?;
+                    target.name.local = new_name.to_string();
+                    Ok(())
+                }
+            }
+        }
+        other => Err(XmlDbError::Query(format!("unknown XUpdate operation '{other}'"))),
+    }
+}
+
+fn split_parent<'a>(path: &'a NodePath, operation: &str) -> Result<(&'a [PathStep], PathStep), XmlDbError> {
+    match path.split_last() {
+        Some((last, parent)) => Ok((parent, *last)),
+        None => Err(XmlDbError::Query(format!("{operation} cannot target the document element"))),
+    }
+}
+
+/// Navigate a structural path to a mutable element. Intermediate steps and
+/// an element-final step are required.
+fn navigate_mut<'a>(doc: &'a mut XmlElement, path: &[PathStep]) -> Result<&'a mut XmlElement, XmlDbError> {
+    let mut current = doc;
+    for step in path {
+        match step {
+            PathStep::Child(i) => {
+                let node = current
+                    .children
+                    .get_mut(*i)
+                    .ok_or_else(|| XmlDbError::Query("path step out of range".into()))?;
+                match node {
+                    XmlNode::Element(e) => current = e,
+                    _ => return Err(XmlDbError::Query("path step selects a non-element".into())),
+                }
+            }
+            PathStep::Attribute(_) => {
+                return Err(XmlDbError::Query("cannot navigate through an attribute".into()))
+            }
+        }
+    }
+    Ok(current)
+}
+
+/// The content nodes of an operation element (its element and text
+/// children, cloned).
+fn content_nodes(op: &XmlElement) -> Vec<XmlNode> {
+    op.children
+        .iter()
+        .filter(|c| !matches!(c, XmlNode::Comment(_)))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dais_xml::{parse, to_string};
+
+    fn doc() -> XmlElement {
+        parse("<book year='2001'><title>Old</title><author>A</author><author>B</author></book>")
+            .unwrap()
+    }
+
+    fn mods(body: &str) -> XmlElement {
+        parse(&format!(
+            "<xu:modifications xmlns:xu='{XUPDATE_NS}'>{body}</xu:modifications>"
+        ))
+        .unwrap()
+    }
+
+    fn apply(doc: &mut XmlElement, body: &str) -> usize {
+        apply_xupdate(doc, &mods(body), &XPathContext::default()).unwrap()
+    }
+
+    #[test]
+    fn update_element_text() {
+        let mut d = doc();
+        let n = apply(&mut d, "<xu:update select='/book/title'>New</xu:update>");
+        assert_eq!(n, 1);
+        assert_eq!(d.child_text("", "title").as_deref(), Some("New"));
+    }
+
+    #[test]
+    fn update_attribute() {
+        let mut d = doc();
+        apply(&mut d, "<xu:update select='/book/@year'>2024</xu:update>");
+        assert_eq!(d.attribute("year"), Some("2024"));
+    }
+
+    #[test]
+    fn update_with_element_content() {
+        let mut d = doc();
+        apply(&mut d, "<xu:update select='/book/title'><b>Bold</b></xu:update>");
+        let title = d.child("", "title").unwrap();
+        assert!(title.child("", "b").is_some());
+    }
+
+    #[test]
+    fn remove_elements() {
+        let mut d = doc();
+        let n = apply(&mut d, "<xu:remove select='/book/author'/>");
+        assert_eq!(n, 2);
+        assert_eq!(d.children_named("", "author").count(), 0);
+        assert!(d.child("", "title").is_some());
+    }
+
+    #[test]
+    fn remove_attribute() {
+        let mut d = doc();
+        apply(&mut d, "<xu:remove select='/book/@year'/>");
+        assert_eq!(d.attribute("year"), None);
+    }
+
+    #[test]
+    fn insert_before_and_after() {
+        let mut d = doc();
+        apply(&mut d, "<xu:insert-before select='/book/title'><isbn>X</isbn></xu:insert-before>");
+        assert_eq!(d.elements().next().unwrap().name.local, "isbn");
+        apply(&mut d, "<xu:insert-after select='/book/title'><subtitle>S</subtitle></xu:insert-after>");
+        let names: Vec<&str> = d.elements().map(|e| e.name.local.as_str()).collect();
+        assert_eq!(names, vec!["isbn", "title", "subtitle", "author", "author"]);
+    }
+
+    #[test]
+    fn insert_before_each_match_keeps_positions() {
+        let mut d = doc();
+        let n = apply(&mut d, "<xu:insert-before select='/book/author'><sep/></xu:insert-before>");
+        assert_eq!(n, 2);
+        let names: Vec<&str> = d.elements().map(|e| e.name.local.as_str()).collect();
+        assert_eq!(names, vec!["title", "sep", "author", "sep", "author"]);
+    }
+
+    #[test]
+    fn append_children() {
+        let mut d = doc();
+        apply(&mut d, "<xu:append select='/book'><price>10</price></xu:append>");
+        assert_eq!(d.child_text("", "price").as_deref(), Some("10"));
+    }
+
+    #[test]
+    fn rename_element_and_attribute() {
+        let mut d = doc();
+        apply(&mut d, "<xu:rename select='/book/author'>writer</xu:rename>");
+        assert_eq!(d.children_named("", "writer").count(), 2);
+        apply(&mut d, "<xu:rename select='/book/@year'>published</xu:rename>");
+        assert_eq!(d.attribute("published"), Some("2001"));
+        assert_eq!(d.attribute("year"), None);
+    }
+
+    #[test]
+    fn sequential_operations_see_prior_effects() {
+        let mut d = doc();
+        let n = apply(
+            &mut d,
+            "<xu:append select='/book'><tag>t1</tag></xu:append>\
+             <xu:update select='/book/tag'>t2</xu:update>",
+        );
+        assert_eq!(n, 2);
+        assert_eq!(d.child_text("", "tag").as_deref(), Some("t2"));
+    }
+
+    #[test]
+    fn no_matches_is_zero_not_error() {
+        let mut d = doc();
+        let n = apply(&mut d, "<xu:remove select='/book/missing'/>");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn errors() {
+        let mut d = doc();
+        // wrong root element
+        let bad = parse("<not-mods/>").unwrap();
+        assert!(apply_xupdate(&mut d, &bad, &XPathContext::default()).is_err());
+        // missing select
+        let m = mods("<xu:remove/>");
+        assert!(apply_xupdate(&mut d, &m, &XPathContext::default()).is_err());
+        // unknown operation
+        let m = mods("<xu:explode select='/book'/>");
+        assert!(apply_xupdate(&mut d, &m, &XPathContext::default()).is_err());
+        // removing the document element
+        let m = mods("<xu:remove select='/book'/>");
+        assert!(apply_xupdate(&mut d, &m, &XPathContext::default()).is_err());
+        // bad xpath
+        let m = mods("<xu:remove select='///'/>");
+        assert!(apply_xupdate(&mut d, &m, &XPathContext::default()).is_err());
+    }
+
+    #[test]
+    fn namespaced_selects_use_context() {
+        let mut d = parse("<r xmlns:a='urn:a'><a:x>1</a:x></r>").unwrap();
+        let ctx = XPathContext::new().with_namespace("p", "urn:a");
+        let m = mods("<xu:update select='//p:x'>2</xu:update>");
+        let n = apply_xupdate(&mut d, &m, &ctx).unwrap();
+        assert_eq!(n, 1);
+        assert!(to_string(&d).contains('2'));
+    }
+}

@@ -1,0 +1,125 @@
+//! Qualified names and namespace declarations.
+
+use std::fmt;
+
+/// An expanded XML qualified name.
+///
+/// Equality and hashing consider only the `(namespace, local)` pair — the
+/// prefix is a serialisation hint, exactly as in the XML namespaces
+/// recommendation. An empty `namespace` means "no namespace".
+#[derive(Debug, Clone, Default)]
+pub struct QName {
+    /// Namespace URI; empty string when the name is in no namespace.
+    pub namespace: String,
+    /// Local part of the name.
+    pub local: String,
+    /// Preferred prefix for serialisation; empty means default/none.
+    pub prefix: String,
+}
+
+impl QName {
+    /// A name in no namespace.
+    pub fn local(local: impl Into<String>) -> Self {
+        QName { namespace: String::new(), local: local.into(), prefix: String::new() }
+    }
+
+    /// A namespaced name with a preferred serialisation prefix.
+    pub fn new(namespace: impl Into<String>, prefix: impl Into<String>, local: impl Into<String>) -> Self {
+        QName { namespace: namespace.into(), local: local.into(), prefix: prefix.into() }
+    }
+
+    /// True when this name matches the given `(namespace, local)` pair.
+    pub fn is(&self, namespace: &str, local: &str) -> bool {
+        self.namespace == namespace && self.local == local
+    }
+
+    /// The lexical `prefix:local` form (or bare local part).
+    pub fn lexical(&self) -> String {
+        if self.prefix.is_empty() {
+            self.local.clone()
+        } else {
+            format!("{}:{}", self.prefix, self.local)
+        }
+    }
+}
+
+impl PartialEq for QName {
+    fn eq(&self, other: &Self) -> bool {
+        self.namespace == other.namespace && self.local == other.local
+    }
+}
+
+impl Eq for QName {}
+
+impl std::hash::Hash for QName {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.namespace.hash(state);
+        self.local.hash(state);
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.namespace.is_empty() {
+            write!(f, "{}", self.local)
+        } else {
+            write!(f, "{{{}}}{}", self.namespace, self.local)
+        }
+    }
+}
+
+/// Validate an XML NCName (no-colon name). Used by parser and builders to
+/// reject names that could not round-trip through serialisation.
+pub fn is_ncname(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_ignores_prefix() {
+        let a = QName::new("urn:x", "p", "name");
+        let b = QName::new("urn:x", "q", "name");
+        assert_eq!(a, b);
+        let c = QName::new("urn:y", "p", "name");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lexical_form() {
+        assert_eq!(QName::local("foo").lexical(), "foo");
+        assert_eq!(QName::new("urn:x", "p", "foo").lexical(), "p:foo");
+    }
+
+    #[test]
+    fn display_expanded_form() {
+        assert_eq!(QName::new("urn:x", "p", "foo").to_string(), "{urn:x}foo");
+        assert_eq!(QName::local("foo").to_string(), "foo");
+    }
+
+    #[test]
+    fn ncname_validation() {
+        assert!(is_ncname("abc"));
+        assert!(is_ncname("_a-b.c1"));
+        assert!(!is_ncname("1abc"));
+        assert!(!is_ncname(""));
+        assert!(!is_ncname("a:b"));
+        assert!(!is_ncname("a b"));
+    }
+
+    #[test]
+    fn hash_matches_equality() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(QName::new("urn:x", "p", "n"));
+        assert!(set.contains(&QName::new("urn:x", "other", "n")));
+        assert!(!set.contains(&QName::local("n")));
+    }
+}

@@ -1,0 +1,568 @@
+//! A namespace-aware recursive-descent XML parser.
+//!
+//! The parser resolves namespace prefixes to URIs as it goes, so the
+//! resulting tree carries expanded [`QName`]s and no longer depends on the
+//! particular prefixes used on the wire. Namespace *declarations* are not
+//! kept in the tree; the serialiser re-derives them (see [`crate::writer`]).
+
+use crate::name::QName;
+use crate::node::{Attribute, XmlElement, XmlNode};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An XML well-formedness or namespace error, with 1-based position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    pub message: String,
+    pub line: usize,
+    pub column: usize,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parse a document, dropping whitespace-only text nodes that sit between
+/// elements (the right default for protocol messages).
+pub fn parse(input: &str) -> Result<XmlElement, XmlError> {
+    Parser::new(input, true).parse_document()
+}
+
+/// Parse a document preserving all character data exactly.
+pub fn parse_preserving(input: &str) -> Result<XmlElement, XmlError> {
+    Parser::new(input, false).parse_document()
+}
+
+/// Maximum element nesting depth. DAIS protocol messages are shallow;
+/// the cap turns stack-exhaustion attacks from hostile documents into
+/// clean parse errors (the parser, XPath arena and serialiser all recurse
+/// over element depth).
+pub const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+    strip_ws: bool,
+    depth: usize,
+}
+
+/// Namespace scope: a stack of prefix→URI maps.
+struct NsScope {
+    stack: Vec<HashMap<String, String>>,
+}
+
+impl NsScope {
+    fn new() -> Self {
+        let mut base = HashMap::new();
+        // The xml prefix is implicitly bound per the namespaces rec.
+        base.insert("xml".to_string(), "http://www.w3.org/XML/1998/namespace".to_string());
+        base.insert(String::new(), String::new()); // default namespace: none
+        NsScope { stack: vec![base] }
+    }
+
+    fn push(&mut self) {
+        self.stack.push(HashMap::new());
+    }
+
+    fn pop(&mut self) {
+        self.stack.pop();
+    }
+
+    fn declare(&mut self, prefix: &str, uri: &str) {
+        self.stack.last_mut().expect("scope").insert(prefix.to_string(), uri.to_string());
+    }
+
+    fn resolve(&self, prefix: &str) -> Option<&str> {
+        self.stack.iter().rev().find_map(|m| m.get(prefix)).map(String::as_str)
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str, strip_ws: bool) -> Self {
+        Parser { bytes: input.as_bytes(), pos: 0, line: 1, col: 1, strip_ws, depth: 0 }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, XmlError> {
+        Err(XmlError { message: msg.into(), line: self.line, column: self.col })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), XmlError> {
+        if self.peek() == Some(b) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<XmlElement, XmlError> {
+        self.skip_prolog()?;
+        let mut scope = NsScope::new();
+        let root = self.parse_element(&mut scope)?;
+        // Trailing misc: whitespace and comments only.
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.parse_comment()?;
+            } else {
+                break;
+            }
+        }
+        if self.pos != self.bytes.len() {
+            return self.err("content after document element");
+        }
+        Ok(root)
+    }
+
+    fn skip_prolog(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?xml") {
+                // XML declaration: scan to ?>
+                while !self.starts_with("?>") {
+                    if self.bump().is_none() {
+                        return self.err("unterminated XML declaration");
+                    }
+                }
+                self.bump_n(2);
+            } else if self.starts_with("<!--") {
+                self.parse_comment()?;
+            } else if self.starts_with("<!DOCTYPE") {
+                return self.err("DOCTYPE is not supported");
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Parse a name token (possibly prefixed).
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let c = b as char;
+            let ok = if self.pos == start {
+                c.is_ascii_alphabetic() || c == '_' || b >= 0x80
+            } else {
+                c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':') || b >= 0x80
+            };
+            if ok {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn split_name(&self, raw: &str) -> Result<(String, String), XmlError> {
+        match raw.split_once(':') {
+            None => Ok((String::new(), raw.to_string())),
+            Some((p, l)) if !p.is_empty() && !l.is_empty() && !l.contains(':') => {
+                Ok((p.to_string(), l.to_string()))
+            }
+            _ => Err(XmlError {
+                message: format!("malformed qualified name '{raw}'"),
+                line: self.line,
+                column: self.col,
+            }),
+        }
+    }
+
+    fn parse_element(&mut self, scope: &mut NsScope) -> Result<XmlElement, XmlError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return self.err(format!("element nesting exceeds the maximum depth of {MAX_DEPTH}"));
+        }
+        let result = self.parse_element_inner(scope);
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_element_inner(&mut self, scope: &mut NsScope) -> Result<XmlElement, XmlError> {
+        self.expect(b'<')?;
+        let raw_name = self.parse_name()?;
+        scope.push();
+
+        // First pass: collect raw attributes, registering xmlns decls.
+        let mut raw_attrs: Vec<(String, String)> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') | Some(b'/') => break,
+                Some(_) => {
+                    let an = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect(b'=')?;
+                    self.skip_ws();
+                    let av = self.parse_attr_value()?;
+                    if an == "xmlns" {
+                        scope.declare("", &av);
+                    } else if let Some(p) = an.strip_prefix("xmlns:") {
+                        if p.is_empty() {
+                            return self.err("empty namespace prefix declaration");
+                        }
+                        if av.is_empty() {
+                            return self.err("cannot bind a prefix to the empty namespace");
+                        }
+                        scope.declare(p, &av);
+                    } else {
+                        if raw_attrs.iter().any(|(n, _)| n == &an) {
+                            return self.err(format!("duplicate attribute '{an}'"));
+                        }
+                        raw_attrs.push((an, av));
+                    }
+                }
+                None => return self.err("unexpected end of input in tag"),
+            }
+        }
+
+        // Resolve element name.
+        let (prefix, local) = self.split_name(&raw_name)?;
+        let namespace = match scope.resolve(&prefix) {
+            Some(u) => u.to_string(),
+            None => return self.err(format!("undeclared namespace prefix '{prefix}'")),
+        };
+        let mut element = XmlElement {
+            name: QName { namespace, local, prefix },
+            attributes: Vec::with_capacity(raw_attrs.len()),
+            children: Vec::new(),
+        };
+
+        // Resolve attribute names (unprefixed attrs are in no namespace).
+        for (an, av) in raw_attrs {
+            let (prefix, local) = self.split_name(&an)?;
+            let namespace = if prefix.is_empty() {
+                String::new()
+            } else {
+                match scope.resolve(&prefix) {
+                    Some(u) => u.to_string(),
+                    None => return self.err(format!("undeclared namespace prefix '{prefix}'")),
+                }
+            };
+            element.attributes.push(Attribute { name: QName { namespace, local, prefix }, value: av });
+        }
+
+        // Empty element?
+        if self.peek() == Some(b'/') {
+            self.bump();
+            self.expect(b'>')?;
+            scope.pop();
+            return Ok(element);
+        }
+        self.expect(b'>')?;
+
+        // Content.
+        loop {
+            if self.starts_with("</") {
+                self.bump_n(2);
+                let close = self.parse_name()?;
+                if close != raw_name {
+                    return self.err(format!("mismatched close tag </{close}> for <{raw_name}>"));
+                }
+                self.skip_ws();
+                self.expect(b'>')?;
+                scope.pop();
+                self.coalesce_text(&mut element);
+                return Ok(element);
+            } else if self.starts_with("<!--") {
+                let c = self.parse_comment()?;
+                element.children.push(XmlNode::Comment(c));
+            } else if self.starts_with("<![CDATA[") {
+                self.bump_n(9);
+                let start = self.pos;
+                while !self.starts_with("]]>") {
+                    if self.bump().is_none() {
+                        return self.err("unterminated CDATA section");
+                    }
+                }
+                let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                self.bump_n(3);
+                element.children.push(XmlNode::CData(text));
+            } else if self.peek() == Some(b'<') {
+                let child = self.parse_element(scope)?;
+                element.children.push(XmlNode::Element(child));
+            } else if self.peek().is_none() {
+                return self.err(format!("unexpected end of input inside <{raw_name}>"));
+            } else {
+                let text = self.parse_text()?;
+                if !(self.strip_ws && text.trim().is_empty()) {
+                    element.children.push(XmlNode::Text(text));
+                }
+            }
+        }
+    }
+
+    /// Merge adjacent text nodes produced by entity splitting.
+    fn coalesce_text(&self, element: &mut XmlElement) {
+        let mut out: Vec<XmlNode> = Vec::with_capacity(element.children.len());
+        for node in element.children.drain(..) {
+            match (&mut out.last_mut(), node) {
+                (Some(XmlNode::Text(prev)), XmlNode::Text(next)) => prev.push_str(&next),
+                (_, node) => out.push(node),
+            }
+        }
+        element.children = out;
+    }
+
+    fn parse_comment(&mut self) -> Result<String, XmlError> {
+        self.bump_n(4); // <!--
+        let start = self.pos;
+        while !self.starts_with("-->") {
+            if self.bump().is_none() {
+                return self.err("unterminated comment");
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.bump_n(3);
+        Ok(text)
+    }
+
+    fn parse_text(&mut self) -> Result<String, XmlError> {
+        let mut out = String::new();
+        while let Some(b) = self.peek() {
+            match b {
+                b'<' => break,
+                b'&' => out.push(self.parse_entity()?),
+                _ => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'<' || b == b'&' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    out.push_str(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.bump();
+                q
+            }
+            _ => return self.err("expected quoted attribute value"),
+        };
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b) if b == quote => {
+                    self.bump();
+                    return Ok(out);
+                }
+                Some(b'&') => out.push(self.parse_entity()?),
+                Some(b'<') => return self.err("'<' is not allowed in attribute values"),
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == quote || b == b'&' || b == b'<' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    out.push_str(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
+                }
+                None => return self.err("unterminated attribute value"),
+            }
+        }
+    }
+
+    fn parse_entity(&mut self) -> Result<char, XmlError> {
+        self.expect(b'&')?;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b';' {
+                break;
+            }
+            if self.pos - start > 10 {
+                return self.err("unterminated entity reference");
+            }
+            self.bump();
+        }
+        let name = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.expect(b';')?;
+        match name.as_str() {
+            "amp" => Ok('&'),
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "quot" => Ok('"'),
+            "apos" => Ok('\''),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                u32::from_str_radix(&name[2..], 16)
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or(())
+                    .or_else(|_| self.err(format!("invalid character reference &{name};")))
+            }
+            _ if name.starts_with('#') => name[1..]
+                .parse::<u32>()
+                .ok()
+                .and_then(char::from_u32)
+                .ok_or(())
+                .or_else(|_| self.err(format!("invalid character reference &{name};"))),
+            _ => self.err(format!("unknown entity &{name};")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::XmlNode;
+
+    #[test]
+    fn parses_simple_document() {
+        let e = parse("<r><a>1</a><b/></r>").unwrap();
+        assert_eq!(e.name.local, "r");
+        assert_eq!(e.elements().count(), 2);
+        assert_eq!(e.child("", "a").unwrap().text(), "1");
+    }
+
+    #[test]
+    fn resolves_namespaces() {
+        let e = parse(
+            "<p:r xmlns:p='urn:a' xmlns='urn:d'><c/><p:c/></p:r>",
+        )
+        .unwrap();
+        assert!(e.name.is("urn:a", "r"));
+        assert!(e.child("urn:d", "c").is_some());
+        assert!(e.child("urn:a", "c").is_some());
+    }
+
+    #[test]
+    fn default_namespace_does_not_apply_to_attributes() {
+        let e = parse("<r xmlns='urn:d' a='1'/>").unwrap();
+        assert_eq!(e.attribute("a"), Some("1"));
+        assert!(e.attribute_ns("urn:d", "a").is_none());
+    }
+
+    #[test]
+    fn namespace_scoping_and_shadowing() {
+        let e = parse("<r xmlns:p='urn:1'><c xmlns:p='urn:2'><p:x/></c><p:y/></r>").unwrap();
+        let c = e.child("", "c").unwrap();
+        assert!(c.child("urn:2", "x").is_some());
+        assert!(e.child("urn:1", "y").is_some());
+    }
+
+    #[test]
+    fn undeclared_prefix_is_an_error() {
+        assert!(parse("<p:r/>").is_err());
+        assert!(parse("<r p:a='1'/>").is_err());
+    }
+
+    #[test]
+    fn entities_decode() {
+        let e = parse("<r a='&lt;&amp;&quot;'>x &gt; y &#65;&#x42;</r>").unwrap();
+        assert_eq!(e.attribute("a"), Some("<&\""));
+        assert_eq!(e.text(), "x > y AB");
+    }
+
+    #[test]
+    fn unknown_entity_is_error() {
+        assert!(parse("<r>&nbsp;</r>").is_err());
+    }
+
+    #[test]
+    fn cdata_sections() {
+        let e = parse_preserving("<r><![CDATA[<not & parsed>]]></r>").unwrap();
+        assert_eq!(e.text(), "<not & parsed>");
+        assert!(matches!(e.children[0], XmlNode::CData(_)));
+    }
+
+    #[test]
+    fn comments_preserved() {
+        let e = parse("<r><!-- hi --><a/></r>").unwrap();
+        assert!(matches!(e.children[0], XmlNode::Comment(_)));
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn duplicate_attribute_error() {
+        assert!(parse("<r a='1' a='2'/>").is_err());
+    }
+
+    #[test]
+    fn whitespace_stripping_modes() {
+        let src = "<r>\n  <a>x</a>\n</r>";
+        assert_eq!(parse(src).unwrap().children.len(), 1);
+        assert_eq!(parse_preserving(src).unwrap().children.len(), 3);
+    }
+
+    #[test]
+    fn prolog_and_trailing_misc() {
+        let e = parse("<?xml version='1.0'?>\n<!-- head --><r/><!-- tail -->\n").unwrap();
+        assert_eq!(e.name.local, "r");
+    }
+
+    #[test]
+    fn content_after_root_is_error() {
+        assert!(parse("<r/><r/>").is_err());
+    }
+
+    #[test]
+    fn doctype_rejected() {
+        assert!(parse("<!DOCTYPE r><r/>").is_err());
+    }
+
+    #[test]
+    fn error_positions_are_tracked() {
+        let err = parse("<r>\n  <bad").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn text_coalesced_across_entities() {
+        let e = parse("<r>a&amp;b</r>").unwrap();
+        assert_eq!(e.children.len(), 1);
+        assert_eq!(e.text(), "a&b");
+    }
+}

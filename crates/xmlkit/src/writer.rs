@@ -1,0 +1,327 @@
+//! XML serialisation.
+//!
+//! The tree model carries expanded names only, so the serialiser derives
+//! the namespace declarations: walking the tree it keeps the in-scope
+//! `prefix → uri` map and emits an `xmlns`/`xmlns:p` declaration at the
+//! first element where a binding is needed. Prefixes come from each
+//! [`QName`]'s preferred prefix; clashes (same prefix bound to a different
+//! URI in scope) are resolved by generating `ns1`, `ns2`, ….
+
+use crate::name::QName;
+use crate::node::{XmlElement, XmlNode};
+
+/// Serialise compactly (no added whitespace).
+pub fn to_string(element: &XmlElement) -> String {
+    let mut w = Writer { out: String::new(), indent: None };
+    let mut scope = vec![(String::new(), String::new())];
+    w.write_element(element, &mut scope, 0);
+    w.out
+}
+
+/// Serialise with two-space indentation, for human consumption.
+pub fn to_pretty_string(element: &XmlElement) -> String {
+    let mut w = Writer { out: String::new(), indent: Some(2) };
+    let mut scope = vec![(String::new(), String::new())];
+    w.write_element(element, &mut scope, 0);
+    w.out.push('\n');
+    w.out
+}
+
+struct Writer {
+    out: String,
+    indent: Option<usize>,
+}
+
+/// Scope is a stack of (prefix, uri) bindings; later entries shadow earlier.
+type Scope = Vec<(String, String)>;
+
+fn lookup<'a>(scope: &'a Scope, prefix: &str) -> Option<&'a str> {
+    scope.iter().rev().find(|(p, _)| p == prefix).map(|(_, u)| u.as_str())
+}
+
+impl Writer {
+    fn write_element(&mut self, element: &XmlElement, scope: &mut Scope, depth: usize) {
+        let scope_mark = scope.len();
+        let mut decls: Vec<(String, String)> = Vec::new();
+
+        // Resolve element prefix.
+        let elem_prefix = self.assign_prefix(&element.name, false, scope, &mut decls);
+        // Resolve attribute prefixes (attributes may not use the default ns).
+        let attr_prefixes: Vec<String> = element
+            .attributes
+            .iter()
+            .map(|a| self.assign_prefix(&a.name, true, scope, &mut decls))
+            .collect();
+
+        self.write_indent(depth);
+        self.out.push('<');
+        self.push_name(&elem_prefix, &element.name.local);
+        for (prefix, uri) in &decls {
+            if prefix.is_empty() {
+                self.out.push_str(" xmlns=\"");
+            } else {
+                self.out.push_str(" xmlns:");
+                self.out.push_str(prefix);
+                self.out.push_str("=\"");
+            }
+            escape_into(uri, true, &mut self.out);
+            self.out.push('"');
+        }
+        for (attr, prefix) in element.attributes.iter().zip(&attr_prefixes) {
+            self.out.push(' ');
+            self.push_name(prefix, &attr.name.local);
+            self.out.push_str("=\"");
+            escape_into(&attr.value, true, &mut self.out);
+            self.out.push('"');
+        }
+
+        if element.children.is_empty() {
+            self.out.push_str("/>");
+            self.newline();
+            scope.truncate(scope_mark);
+            return;
+        }
+        self.out.push('>');
+
+        let text_only = element.children.iter().all(|c| !matches!(c, XmlNode::Element(_)));
+        if !text_only {
+            self.newline();
+        }
+        for child in &element.children {
+            match child {
+                XmlNode::Element(e) => self.write_element(e, scope, depth + 1),
+                XmlNode::Text(t) => {
+                    if !text_only {
+                        self.write_indent(depth + 1);
+                    }
+                    escape_into(t, false, &mut self.out);
+                    if !text_only {
+                        self.newline();
+                    }
+                }
+                XmlNode::CData(t) => {
+                    if !text_only {
+                        self.write_indent(depth + 1);
+                    }
+                    self.out.push_str("<![CDATA[");
+                    self.out.push_str(t);
+                    self.out.push_str("]]>");
+                    if !text_only {
+                        self.newline();
+                    }
+                }
+                XmlNode::Comment(t) => {
+                    self.write_indent(depth + 1);
+                    self.out.push_str("<!--");
+                    self.out.push_str(t);
+                    self.out.push_str("-->");
+                    self.newline();
+                }
+            }
+        }
+        if !text_only {
+            self.write_indent(depth);
+        }
+        self.out.push_str("</");
+        self.push_name(&elem_prefix, &element.name.local);
+        self.out.push('>');
+        self.newline();
+        scope.truncate(scope_mark);
+    }
+
+    /// Choose a prefix for `name`, adding a declaration if necessary, and
+    /// return the prefix to serialise with.
+    fn assign_prefix(
+        &mut self,
+        name: &QName,
+        is_attribute: bool,
+        scope: &mut Scope,
+        decls: &mut Vec<(String, String)>,
+    ) -> String {
+        if name.namespace.is_empty() {
+            // No namespace. For elements the default namespace must not be
+            // bound to a URI in scope; if it is, that only happens when a
+            // parent declared one — re-declare the empty default.
+            if !is_attribute {
+                if let Some(uri) = lookup(scope, "") {
+                    if !uri.is_empty() {
+                        scope.push((String::new(), String::new()));
+                        decls.push((String::new(), String::new()));
+                    }
+                }
+            }
+            return String::new();
+        }
+
+        // Attributes cannot use the default (empty) prefix for a namespace.
+        let preferred = if name.prefix.is_empty() && is_attribute {
+            "ns".to_string()
+        } else {
+            name.prefix.clone()
+        };
+
+        // Already bound to the right URI?
+        if lookup(scope, &preferred) == Some(name.namespace.as_str())
+            && !(is_attribute && preferred.is_empty())
+        {
+            return preferred;
+        }
+        // Is some other prefix already bound to this URI?
+        if let Some((p, _)) = scope
+            .iter()
+            .rev()
+            .find(|(p, u)| u == &name.namespace && !(is_attribute && p.is_empty()))
+        {
+            // Make sure that binding is not shadowed.
+            if lookup(scope, p) == Some(name.namespace.as_str()) {
+                return p.clone();
+            }
+        }
+        // Need a new declaration; avoid clobbering an in-scope binding of
+        // the preferred prefix to a different URI.
+        let mut prefix = preferred;
+        if !prefix.is_empty() && lookup(scope, &prefix).is_some() {
+            let mut n = 1;
+            let base = if prefix.is_empty() { "ns".to_string() } else { prefix.clone() };
+            while lookup(scope, &prefix).is_some() {
+                prefix = format!("{base}{n}");
+                n += 1;
+            }
+        }
+        scope.push((prefix.clone(), name.namespace.clone()));
+        decls.push((prefix.clone(), name.namespace.clone()));
+        prefix
+    }
+
+    fn push_name(&mut self, prefix: &str, local: &str) {
+        if !prefix.is_empty() {
+            self.out.push_str(prefix);
+            self.out.push(':');
+        }
+        self.out.push_str(local);
+    }
+
+    fn write_indent(&mut self, depth: usize) {
+        if let Some(n) = self.indent {
+            for _ in 0..depth * n {
+                self.out.push(' ');
+            }
+        }
+    }
+
+    fn newline(&mut self) {
+        if self.indent.is_some() {
+            self.out.push('\n');
+        }
+    }
+}
+
+/// Escape text for element content or attribute values.
+fn escape_into(s: &str, in_attribute: bool, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if in_attribute => out.push_str("&quot;"),
+            '\n' | '\t' if in_attribute => {
+                out.push_str(&format!("&#{};", c as u32));
+            }
+            _ => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::XmlElement;
+
+    fn roundtrip(e: &XmlElement) -> XmlElement {
+        parse(&to_string(e)).unwrap()
+    }
+
+    #[test]
+    fn simple_roundtrip() {
+        let e = XmlElement::new_local("r")
+            .with_attr("a", "v<&\"")
+            .with_child(XmlElement::new_local("c").with_text("x & y < z"));
+        assert_eq!(roundtrip(&e), e);
+    }
+
+    #[test]
+    fn namespaced_roundtrip() {
+        let e = XmlElement::new("urn:a", "p", "r")
+            .with_child(XmlElement::new("urn:b", "q", "c").with_text("t"))
+            .with_child(XmlElement::new("urn:a", "p", "d"));
+        let rt = roundtrip(&e);
+        assert_eq!(rt, e);
+        // The second urn:a child should not trigger a new declaration.
+        let s = to_string(&e);
+        assert_eq!(s.matches("xmlns:p=").count(), 1);
+    }
+
+    #[test]
+    fn default_namespace_emitted() {
+        let e = XmlElement::new("urn:a", "", "r");
+        let s = to_string(&e);
+        assert!(s.contains("xmlns=\"urn:a\""), "{s}");
+        assert_eq!(roundtrip(&e), e);
+    }
+
+    #[test]
+    fn no_namespace_child_inside_default_ns_parent() {
+        let e = XmlElement::new("urn:a", "", "r").with_child(XmlElement::new_local("c"));
+        let rt = roundtrip(&e);
+        assert_eq!(rt, e, "{}", to_string(&e));
+    }
+
+    #[test]
+    fn prefix_clash_renames() {
+        // Same preferred prefix bound to two URIs in nested scopes.
+        let e = XmlElement::new("urn:a", "p", "r")
+            .with_child(XmlElement::new("urn:b", "p", "c"));
+        let rt = roundtrip(&e);
+        assert_eq!(rt, e, "{}", to_string(&e));
+    }
+
+    #[test]
+    fn namespaced_attributes() {
+        let mut e = XmlElement::new_local("r");
+        e.set_attr_ns(crate::QName::new("urn:a", "p", "attr"), "v");
+        let rt = roundtrip(&e);
+        assert_eq!(rt.attribute_ns("urn:a", "attr"), Some("v"));
+    }
+
+    #[test]
+    fn attribute_in_ns_with_empty_prefix_gets_generated_prefix() {
+        let mut e = XmlElement::new_local("r");
+        e.set_attr_ns(crate::QName::new("urn:a", "", "attr"), "v");
+        let rt = roundtrip(&e);
+        assert_eq!(rt.attribute_ns("urn:a", "attr"), Some("v"));
+    }
+
+    #[test]
+    fn pretty_print_is_reparseable() {
+        let e = XmlElement::new_local("r")
+            .with_child(XmlElement::new_local("a").with_text("1"))
+            .with_child(XmlElement::new_local("b"));
+        let pretty = to_pretty_string(&e);
+        assert!(pretty.contains('\n'));
+        assert_eq!(parse(&pretty).unwrap(), e);
+    }
+
+    #[test]
+    fn cdata_roundtrip() {
+        let e = crate::parse_preserving("<r><![CDATA[a<b]]></r>").unwrap();
+        let s = to_string(&e);
+        assert!(s.contains("<![CDATA[a<b]]>"));
+        assert_eq!(crate::parse_preserving(&s).unwrap(), e);
+    }
+
+    #[test]
+    fn empty_element_uses_self_closing_form() {
+        assert_eq!(to_string(&XmlElement::new_local("r")), "<r/>");
+    }
+}

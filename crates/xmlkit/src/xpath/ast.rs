@@ -1,0 +1,108 @@
+//! XPath abstract syntax.
+
+/// An XPath axis (the supported subset of the thirteen XPath 1.0 axes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    Child,
+    Descendant,
+    DescendantOrSelf,
+    SelfAxis,
+    Parent,
+    Ancestor,
+    AncestorOrSelf,
+    Attribute,
+    FollowingSibling,
+    PrecedingSibling,
+}
+
+impl Axis {
+    /// Parse an axis name as it appears before `::`.
+    pub fn from_name(name: &str) -> Option<Axis> {
+        Some(match name {
+            "child" => Axis::Child,
+            "descendant" => Axis::Descendant,
+            "descendant-or-self" => Axis::DescendantOrSelf,
+            "self" => Axis::SelfAxis,
+            "parent" => Axis::Parent,
+            "ancestor" => Axis::Ancestor,
+            "ancestor-or-self" => Axis::AncestorOrSelf,
+            "attribute" => Axis::Attribute,
+            "following-sibling" => Axis::FollowingSibling,
+            "preceding-sibling" => Axis::PrecedingSibling,
+            _ => return None,
+        })
+    }
+
+    /// True for axes that walk in reverse document order (affects the
+    /// meaning of positional predicates).
+    pub fn is_reverse(self) -> bool {
+        matches!(self, Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling)
+    }
+}
+
+/// A node test within a step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeTest {
+    /// `name` or `prefix:name`; prefix resolved via the evaluation context.
+    Name { prefix: Option<String>, local: String },
+    /// `prefix:*`
+    NamespaceWildcard { prefix: String },
+    /// `*`
+    AnyName,
+    /// `node()`
+    AnyNode,
+    /// `text()`
+    Text,
+    /// `comment()`
+    Comment,
+}
+
+/// One location step: `axis::test[pred]*`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    pub axis: Axis,
+    pub test: NodeTest,
+    pub predicates: Vec<Expr>,
+}
+
+/// A location path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Absolute paths start at the document root.
+    pub absolute: bool,
+    pub steps: Vec<Step>,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Union,
+}
+
+/// An XPath expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Path(Path),
+    /// A primary expression filtered by predicates and optionally followed
+    /// by a relative path, e.g. `(//a)[1]/b`.
+    Filter { primary: Box<Expr>, predicates: Vec<Expr>, path: Option<Path> },
+    Literal(String),
+    Number(f64),
+    Variable(String),
+    Call { name: String, args: Vec<Expr> },
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Negate(Box<Expr>),
+}

@@ -1,0 +1,1185 @@
+//! XPath evaluation over an [`XmlElement`] tree.
+//!
+//! Evaluation builds a transient arena index over the borrowed document so
+//! that parent navigation, document order and node identity are available
+//! without mutating the value-typed tree. Arena node ids are assigned in
+//! document order (pre-order, attributes immediately after their element),
+//! so merging node-sets is a sort-and-dedup over ids.
+
+use super::ast::{Axis, BinOp, Expr, NodeTest, Path, Step};
+use super::XPathError;
+use crate::name::QName;
+use crate::node::{XmlElement, XmlNode};
+use std::collections::HashMap;
+
+/// The result of evaluating an XPath expression: one of the four XPath 1.0
+/// value types. Node-set members are cloned out of the document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XPathValue {
+    NodeSet(Vec<XPathNode>),
+    Boolean(bool),
+    Number(f64),
+    String(String),
+}
+
+/// A node selected by an expression, detached from the source document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XPathNode {
+    /// The virtual document root (carrying a clone of the root element).
+    Root(XmlElement),
+    Element(XmlElement),
+    Attribute { name: QName, value: String },
+    Text(String),
+    Comment(String),
+}
+
+impl XPathNode {
+    /// The XPath string-value of the node.
+    pub fn string_value(&self) -> String {
+        match self {
+            XPathNode::Root(e) | XPathNode::Element(e) => e.text(),
+            XPathNode::Attribute { value, .. } => value.clone(),
+            XPathNode::Text(t) | XPathNode::Comment(t) => t.clone(),
+        }
+    }
+}
+
+impl XPathValue {
+    /// XPath `boolean()` coercion.
+    pub fn to_bool(&self) -> bool {
+        match self {
+            XPathValue::NodeSet(n) => !n.is_empty(),
+            XPathValue::Boolean(b) => *b,
+            XPathValue::Number(n) => *n != 0.0 && !n.is_nan(),
+            XPathValue::String(s) => !s.is_empty(),
+        }
+    }
+
+    /// XPath `number()` coercion.
+    pub fn to_number(&self) -> f64 {
+        match self {
+            XPathValue::NodeSet(_) | XPathValue::String(_) => str_to_number(&self.to_xpath_string()),
+            XPathValue::Boolean(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            XPathValue::Number(n) => *n,
+        }
+    }
+
+    /// XPath `string()` coercion (first node's string-value for node-sets).
+    pub fn to_xpath_string(&self) -> String {
+        match self {
+            XPathValue::NodeSet(n) => n.first().map(XPathNode::string_value).unwrap_or_default(),
+            XPathValue::Boolean(b) => b.to_string(),
+            XPathValue::Number(n) => number_to_string(*n),
+            XPathValue::String(s) => s.clone(),
+        }
+    }
+}
+
+/// Evaluation context: namespace bindings for prefixed name tests and
+/// scalar variable values.
+#[derive(Debug, Clone, Default)]
+pub struct XPathContext {
+    namespaces: HashMap<String, String>,
+    variables: HashMap<String, XPathValue>,
+}
+
+impl XPathContext {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind `prefix` to a namespace URI for name tests.
+    pub fn bind_namespace(&mut self, prefix: impl Into<String>, uri: impl Into<String>) {
+        self.namespaces.insert(prefix.into(), uri.into());
+    }
+
+    /// Bind a scalar variable. Node-set variables are intentionally not
+    /// supported (see module docs of [`super`]).
+    pub fn bind_variable(&mut self, name: impl Into<String>, value: XPathValue) {
+        self.variables.insert(name.into(), value);
+    }
+
+    pub fn with_namespace(mut self, prefix: impl Into<String>, uri: impl Into<String>) -> Self {
+        self.bind_namespace(prefix, uri);
+        self
+    }
+
+    pub fn with_variable(mut self, name: impl Into<String>, value: XPathValue) -> Self {
+        self.bind_variable(name, value);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+enum Kind<'a> {
+    Root,
+    Element(&'a XmlElement),
+    Text(&'a str),
+    Comment(&'a str),
+    Attribute(&'a crate::node::Attribute),
+}
+
+/// One step in a structural path from the document element to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathStep {
+    /// Index into `XmlElement::children`.
+    Child(usize),
+    /// Index into `XmlElement::attributes`.
+    Attribute(usize),
+}
+
+/// A structural address of a node: child/attribute indices starting from
+/// the document element (an empty path is the document element itself).
+/// Used by XUpdate to mutate the nodes an expression selected.
+pub type NodePath = Vec<PathStep>;
+
+struct Entry<'a> {
+    kind: Kind<'a>,
+    parent: Option<usize>,
+    children: Vec<usize>,
+    attributes: Vec<usize>,
+    /// Structural path from the document element; `None` for the virtual
+    /// root node.
+    path: Option<NodePath>,
+}
+
+struct Arena<'a> {
+    entries: Vec<Entry<'a>>,
+}
+
+impl<'a> Arena<'a> {
+    fn build(root: &'a XmlElement) -> Arena<'a> {
+        let mut arena = Arena { entries: Vec::with_capacity(root.node_count() + 1) };
+        arena.entries.push(Entry {
+            kind: Kind::Root,
+            parent: None,
+            children: Vec::new(),
+            attributes: Vec::new(),
+            path: None,
+        });
+        let id = arena.add_element(root, 0, Vec::new());
+        arena.entries[0].children.push(id);
+        arena
+    }
+
+    fn add_element(&mut self, element: &'a XmlElement, parent: usize, path: NodePath) -> usize {
+        let id = self.entries.len();
+        self.entries.push(Entry {
+            kind: Kind::Element(element),
+            parent: Some(parent),
+            children: Vec::new(),
+            attributes: Vec::new(),
+            path: Some(path.clone()),
+        });
+        for (j, attr) in element.attributes.iter().enumerate() {
+            let aid = self.entries.len();
+            let mut apath = path.clone();
+            apath.push(PathStep::Attribute(j));
+            self.entries.push(Entry {
+                kind: Kind::Attribute(attr),
+                parent: Some(id),
+                children: Vec::new(),
+                attributes: Vec::new(),
+                path: Some(apath),
+            });
+            self.entries[id].attributes.push(aid);
+        }
+        for (i, child) in element.children.iter().enumerate() {
+            let mut cpath = path.clone();
+            cpath.push(PathStep::Child(i));
+            let cid = match child {
+                XmlNode::Element(e) => self.add_element(e, id, cpath),
+                XmlNode::Text(t) | XmlNode::CData(t) => {
+                    let cid = self.entries.len();
+                    self.entries.push(Entry {
+                        kind: Kind::Text(t),
+                        parent: Some(id),
+                        children: Vec::new(),
+                        attributes: Vec::new(),
+                        path: Some(cpath),
+                    });
+                    cid
+                }
+                XmlNode::Comment(t) => {
+                    let cid = self.entries.len();
+                    self.entries.push(Entry {
+                        kind: Kind::Comment(t),
+                        parent: Some(id),
+                        children: Vec::new(),
+                        attributes: Vec::new(),
+                        path: Some(cpath),
+                    });
+                    cid
+                }
+            };
+            self.entries[id].children.push(cid);
+        }
+        id
+    }
+
+    fn string_value(&self, id: usize) -> String {
+        match self.entries[id].kind {
+            Kind::Root => self
+                .entries[id]
+                .children
+                .iter()
+                .map(|&c| self.string_value(c))
+                .collect(),
+            Kind::Element(e) => e.text(),
+            Kind::Text(t) | Kind::Comment(t) => t.to_string(),
+            Kind::Attribute(a) => a.value.clone(),
+        }
+    }
+
+    fn detach(&self, id: usize) -> XPathNode {
+        match self.entries[id].kind {
+            Kind::Root => {
+                let root = self.entries[0]
+                    .children
+                    .first()
+                    .and_then(|&c| match self.entries[c].kind {
+                        Kind::Element(e) => Some(e.clone()),
+                        _ => None,
+                    })
+                    .unwrap_or_default();
+                XPathNode::Root(root)
+            }
+            Kind::Element(e) => XPathNode::Element(e.clone()),
+            Kind::Text(t) => XPathNode::Text(t.to_string()),
+            Kind::Comment(t) => XPathNode::Comment(t.to_string()),
+            Kind::Attribute(a) => XPathNode::Attribute { name: a.name.clone(), value: a.value.clone() },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+/// Internal value: node-sets as arena ids.
+#[derive(Debug, Clone)]
+enum V {
+    Nodes(Vec<usize>),
+    Bool(bool),
+    Num(f64),
+    Str(String),
+}
+
+pub(super) fn evaluate(
+    expr: &Expr,
+    root: &XmlElement,
+    context: &XPathContext,
+) -> Result<XPathValue, XPathError> {
+    evaluate_from(expr, root, context, false)
+}
+
+/// Evaluate with the document *element* (rather than the virtual root) as
+/// the context node — the mode the XQuery layer uses for `$var/path`
+/// expressions, where the bound element itself is the context.
+pub(super) fn evaluate_element_context(
+    expr: &Expr,
+    root: &XmlElement,
+    context: &XPathContext,
+) -> Result<XPathValue, XPathError> {
+    evaluate_from(expr, root, context, true)
+}
+
+fn evaluate_from(
+    expr: &Expr,
+    root: &XmlElement,
+    context: &XPathContext,
+    element_context: bool,
+) -> Result<XPathValue, XPathError> {
+    let arena = Arena::build(root);
+    let ev = Evaluator { arena: &arena, ctx: context };
+    let start = if element_context { 1 } else { 0 };
+    let v = ev.eval(expr, start, 1, 1)?;
+    Ok(match v {
+        V::Nodes(ids) => XPathValue::NodeSet(ids.iter().map(|&id| arena.detach(id)).collect()),
+        V::Bool(b) => XPathValue::Boolean(b),
+        V::Num(n) => XPathValue::Number(n),
+        V::Str(s) => XPathValue::String(s),
+    })
+}
+
+/// Evaluate a node-set expression to the structural paths of the selected
+/// nodes (document order). Non-node results yield an error; the virtual
+/// root maps to the empty path.
+pub(super) fn evaluate_paths(
+    expr: &Expr,
+    root: &XmlElement,
+    context: &XPathContext,
+) -> Result<Vec<NodePath>, XPathError> {
+    let arena = Arena::build(root);
+    let ev = Evaluator { arena: &arena, ctx: context };
+    match ev.eval(expr, 0, 1, 1)? {
+        V::Nodes(ids) => Ok(ids
+            .iter()
+            .map(|&id| arena.entries[id].path.clone().unwrap_or_default())
+            .collect()),
+        _ => Err(XPathError::new("expression does not select nodes")),
+    }
+}
+
+struct Evaluator<'a, 'c> {
+    arena: &'a Arena<'a>,
+    ctx: &'c XPathContext,
+}
+
+impl<'a, 'c> Evaluator<'a, 'c> {
+    fn eval(&self, expr: &Expr, node: usize, pos: usize, size: usize) -> Result<V, XPathError> {
+        match expr {
+            Expr::Literal(s) => Ok(V::Str(s.clone())),
+            Expr::Number(n) => Ok(V::Num(*n)),
+            Expr::Variable(name) => match self.ctx.variables.get(name) {
+                Some(XPathValue::Boolean(b)) => Ok(V::Bool(*b)),
+                Some(XPathValue::Number(n)) => Ok(V::Num(*n)),
+                Some(XPathValue::String(s)) => Ok(V::Str(s.clone())),
+                Some(XPathValue::NodeSet(_)) => Err(XPathError::new(format!(
+                    "variable ${name} holds a node-set; only scalar variables are supported"
+                ))),
+                None => Err(XPathError::new(format!("undefined variable ${name}"))),
+            },
+            Expr::Path(path) => Ok(V::Nodes(self.eval_path(path, node)?)),
+            Expr::Filter { primary, predicates, path } => {
+                let base = self.eval(primary, node, pos, size)?;
+                let V::Nodes(mut ids) = base else {
+                    return Err(XPathError::new("predicates require a node-set operand"));
+                };
+                for pred in predicates {
+                    ids = self.filter(&ids, pred, false)?;
+                }
+                if let Some(p) = path {
+                    let mut out = Vec::new();
+                    for id in ids {
+                        out.extend(self.eval_path_from(&p.steps, id)?);
+                    }
+                    out.sort_unstable();
+                    out.dedup();
+                    ids = out;
+                }
+                Ok(V::Nodes(ids))
+            }
+            Expr::Negate(inner) => {
+                let v = self.eval(inner, node, pos, size)?;
+                Ok(V::Num(-self.num(v)))
+            }
+            Expr::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs, node, pos, size),
+            Expr::Call { name, args } => self.eval_call(name, args, node, pos, size),
+        }
+    }
+
+    fn eval_binary(
+        &self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        node: usize,
+        pos: usize,
+        size: usize,
+    ) -> Result<V, XPathError> {
+        match op {
+            BinOp::Or => {
+                let l = self.eval(lhs, node, pos, size)?;
+                if self.boolean(&l) {
+                    return Ok(V::Bool(true));
+                }
+                let r = self.eval(rhs, node, pos, size)?;
+                Ok(V::Bool(self.boolean(&r)))
+            }
+            BinOp::And => {
+                let l = self.eval(lhs, node, pos, size)?;
+                if !self.boolean(&l) {
+                    return Ok(V::Bool(false));
+                }
+                let r = self.eval(rhs, node, pos, size)?;
+                Ok(V::Bool(self.boolean(&r)))
+            }
+            BinOp::Union => {
+                let l = self.eval(lhs, node, pos, size)?;
+                let r = self.eval(rhs, node, pos, size)?;
+                match (l, r) {
+                    (V::Nodes(mut a), V::Nodes(b)) => {
+                        a.extend(b);
+                        a.sort_unstable();
+                        a.dedup();
+                        Ok(V::Nodes(a))
+                    }
+                    _ => Err(XPathError::new("'|' requires node-set operands")),
+                }
+            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                let l = self.num(self.eval(lhs, node, pos, size)?);
+                let r = self.num(self.eval(rhs, node, pos, size)?);
+                Ok(V::Num(match op {
+                    BinOp::Add => l + r,
+                    BinOp::Sub => l - r,
+                    BinOp::Mul => l * r,
+                    BinOp::Div => l / r,
+                    BinOp::Mod => l % r,
+                    _ => unreachable!(),
+                }))
+            }
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                let l = self.eval(lhs, node, pos, size)?;
+                let r = self.eval(rhs, node, pos, size)?;
+                Ok(V::Bool(self.compare(op, &l, &r)))
+            }
+        }
+    }
+
+    /// Comparison with XPath node-set existence semantics.
+    fn compare(&self, op: BinOp, l: &V, r: &V) -> bool {
+        use BinOp::*;
+        match (l, r) {
+            (V::Nodes(a), V::Nodes(b)) => a.iter().any(|&x| {
+                let xs = self.arena.string_value(x);
+                b.iter().any(|&y| {
+                    let ys = self.arena.string_value(y);
+                    match op {
+                        Eq => xs == ys,
+                        Ne => xs != ys,
+                        _ => cmp_num(op, str_to_number(&xs), str_to_number(&ys)),
+                    }
+                })
+            }),
+            (V::Nodes(a), other) | (other, V::Nodes(a)) => {
+                // Orient so the node-set is on the left for relational ops.
+                let flipped = matches!(l, V::Nodes(_)) == false;
+                a.iter().any(|&x| {
+                    let xs = self.arena.string_value(x);
+                    match (op, other) {
+                        (Eq, V::Bool(b)) => !a.is_empty() == *b,
+                        (Ne, V::Bool(b)) => !a.is_empty() != *b,
+                        (Eq, V::Num(n)) => str_to_number(&xs) == *n,
+                        (Ne, V::Num(n)) => str_to_number(&xs) != *n,
+                        (Eq, V::Str(s)) => &xs == s,
+                        (Ne, V::Str(s)) => &xs != s,
+                        (_, v) => {
+                            let n = match v {
+                                V::Num(n) => *n,
+                                V::Str(s) => str_to_number(s),
+                                V::Bool(b) => {
+                                    if *b {
+                                        1.0
+                                    } else {
+                                        0.0
+                                    }
+                                }
+                                V::Nodes(_) => unreachable!(),
+                            };
+                            let x = str_to_number(&xs);
+                            if flipped {
+                                cmp_num(op, n, x)
+                            } else {
+                                cmp_num(op, x, n)
+                            }
+                        }
+                    }
+                })
+            }
+            _ => match op {
+                Eq | Ne => {
+                    let eq = match (l, r) {
+                        (V::Bool(_), _) | (_, V::Bool(_)) => self.boolean(l) == self.boolean(r),
+                        (V::Num(_), _) | (_, V::Num(_)) => self.num(l.clone()) == self.num(r.clone()),
+                        _ => self.string(l.clone()) == self.string(r.clone()),
+                    };
+                    if op == Eq {
+                        eq
+                    } else {
+                        !eq
+                    }
+                }
+                _ => cmp_num(op, self.num(l.clone()), self.num(r.clone())),
+            },
+        }
+    }
+
+    // -- paths --------------------------------------------------------------
+
+    fn eval_path(&self, path: &Path, context_node: usize) -> Result<Vec<usize>, XPathError> {
+        let start = if path.absolute { 0 } else { context_node };
+        self.eval_path_from(&path.steps, start)
+    }
+
+    fn eval_path_from(&self, steps: &[Step], start: usize) -> Result<Vec<usize>, XPathError> {
+        let mut current = vec![start];
+        for step in steps {
+            let mut next: Vec<usize> = Vec::new();
+            for &node in &current {
+                let mut candidates = self.axis_nodes(step.axis, node);
+                candidates.retain(|&c| self.matches_test(&step.test, step.axis, c));
+                let reverse = step.axis.is_reverse();
+                let mut selected = candidates;
+                for pred in &step.predicates {
+                    selected = self.filter(&selected, pred, reverse)?;
+                }
+                next.extend(selected);
+            }
+            next.sort_unstable();
+            next.dedup();
+            current = next;
+        }
+        Ok(current)
+    }
+
+    /// Apply one predicate to a candidate list (in axis order).
+    fn filter(&self, nodes: &[usize], pred: &Expr, reverse: bool) -> Result<Vec<usize>, XPathError> {
+        let size = nodes.len();
+        let mut out = Vec::with_capacity(size);
+        // Axis order for positional predicates: reverse axes count from the end.
+        let order: Vec<usize> = if reverse {
+            let mut v: Vec<usize> = nodes.to_vec();
+            v.sort_unstable_by(|a, b| b.cmp(a));
+            v
+        } else {
+            nodes.to_vec()
+        };
+        for (i, &node) in order.iter().enumerate() {
+            let v = self.eval(pred, node, i + 1, size)?;
+            let keep = match v {
+                // A numeric predicate selects by position.
+                V::Num(n) => (i + 1) as f64 == n,
+                other => self.boolean(&other),
+            };
+            if keep {
+                out.push(node);
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn axis_nodes(&self, axis: Axis, node: usize) -> Vec<usize> {
+        let entry = &self.arena.entries[node];
+        match axis {
+            Axis::Child => entry.children.clone(),
+            Axis::Attribute => entry.attributes.clone(),
+            Axis::SelfAxis => vec![node],
+            Axis::Parent => entry.parent.into_iter().collect(),
+            Axis::Ancestor => {
+                let mut out = Vec::new();
+                let mut cur = entry.parent;
+                while let Some(p) = cur {
+                    out.push(p);
+                    cur = self.arena.entries[p].parent;
+                }
+                out
+            }
+            Axis::AncestorOrSelf => {
+                let mut out = vec![node];
+                out.extend(self.axis_nodes(Axis::Ancestor, node));
+                out
+            }
+            Axis::Descendant => {
+                let mut out = Vec::new();
+                self.collect_descendants(node, &mut out);
+                out
+            }
+            Axis::DescendantOrSelf => {
+                let mut out = vec![node];
+                self.collect_descendants(node, &mut out);
+                out
+            }
+            Axis::FollowingSibling | Axis::PrecedingSibling => {
+                let Some(parent) = entry.parent else { return Vec::new() };
+                let siblings = &self.arena.entries[parent].children;
+                let Some(idx) = siblings.iter().position(|&s| s == node) else {
+                    return Vec::new(); // attributes have no siblings
+                };
+                if axis == Axis::FollowingSibling {
+                    siblings[idx + 1..].to_vec()
+                } else {
+                    siblings[..idx].to_vec()
+                }
+            }
+        }
+    }
+
+    fn collect_descendants(&self, node: usize, out: &mut Vec<usize>) {
+        for &c in &self.arena.entries[node].children {
+            out.push(c);
+            self.collect_descendants(c, out);
+        }
+    }
+
+    fn matches_test(&self, test: &NodeTest, axis: Axis, node: usize) -> bool {
+        let kind = self.arena.entries[node].kind;
+        let name: Option<&QName> = match kind {
+            Kind::Element(e) => Some(&e.name),
+            Kind::Attribute(a) => Some(&a.name),
+            _ => None,
+        };
+        match test {
+            NodeTest::AnyNode => true,
+            NodeTest::Text => matches!(kind, Kind::Text(_)),
+            NodeTest::Comment => matches!(kind, Kind::Comment(_)),
+            NodeTest::AnyName => {
+                // The principal node type: attributes on the attribute
+                // axis, elements elsewhere.
+                if axis == Axis::Attribute {
+                    matches!(kind, Kind::Attribute(_))
+                } else {
+                    matches!(kind, Kind::Element(_))
+                }
+            }
+            NodeTest::NamespaceWildcard { prefix } => {
+                let Some(name) = name else { return false };
+                let principal_ok = if axis == Axis::Attribute {
+                    matches!(kind, Kind::Attribute(_))
+                } else {
+                    matches!(kind, Kind::Element(_))
+                };
+                principal_ok
+                    && self.ctx.namespaces.get(prefix).map(String::as_str) == Some(name.namespace.as_str())
+            }
+            NodeTest::Name { prefix, local } => {
+                let Some(name) = name else { return false };
+                let principal_ok = if axis == Axis::Attribute {
+                    matches!(kind, Kind::Attribute(_))
+                } else {
+                    matches!(kind, Kind::Element(_))
+                };
+                if !principal_ok || &name.local != local {
+                    return false;
+                }
+                match prefix {
+                    None => name.namespace.is_empty(),
+                    Some(p) => {
+                        self.ctx.namespaces.get(p).map(String::as_str) == Some(name.namespace.as_str())
+                    }
+                }
+            }
+        }
+    }
+
+    // -- functions ------------------------------------------------------------
+
+    fn eval_call(
+        &self,
+        name: &str,
+        args: &[Expr],
+        node: usize,
+        pos: usize,
+        size: usize,
+    ) -> Result<V, XPathError> {
+        let arity = |n: usize| -> Result<(), XPathError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(XPathError::new(format!("{name}() expects {n} argument(s), got {}", args.len())))
+            }
+        };
+        let eval_arg = |i: usize| self.eval(&args[i], node, pos, size);
+
+        match name {
+            "last" => {
+                arity(0)?;
+                Ok(V::Num(size as f64))
+            }
+            "position" => {
+                arity(0)?;
+                Ok(V::Num(pos as f64))
+            }
+            "count" => {
+                arity(1)?;
+                match eval_arg(0)? {
+                    V::Nodes(n) => Ok(V::Num(n.len() as f64)),
+                    _ => Err(XPathError::new("count() requires a node-set")),
+                }
+            }
+            "name" | "local-name" | "namespace-uri" => {
+                let target = if args.is_empty() {
+                    Some(node)
+                } else {
+                    arity(1)?;
+                    match eval_arg(0)? {
+                        V::Nodes(n) => n.first().copied(),
+                        _ => return Err(XPathError::new(format!("{name}() requires a node-set"))),
+                    }
+                };
+                let qname: Option<QName> = target.and_then(|t| match self.arena.entries[t].kind {
+                    Kind::Element(e) => Some(e.name.clone()),
+                    Kind::Attribute(a) => Some(a.name.clone()),
+                    _ => None,
+                });
+                Ok(V::Str(match (name, qname) {
+                    (_, None) => String::new(),
+                    ("name", Some(q)) => q.lexical(),
+                    ("local-name", Some(q)) => q.local,
+                    ("namespace-uri", Some(q)) => q.namespace,
+                    _ => unreachable!(),
+                }))
+            }
+            "string" => {
+                if args.is_empty() {
+                    Ok(V::Str(self.arena.string_value(node)))
+                } else {
+                    arity(1)?;
+                    Ok(V::Str(self.string(eval_arg(0)?)))
+                }
+            }
+            "concat" => {
+                if args.len() < 2 {
+                    return Err(XPathError::new("concat() expects at least 2 arguments"));
+                }
+                let mut out = String::new();
+                for i in 0..args.len() {
+                    out.push_str(&self.string(eval_arg(i)?));
+                }
+                Ok(V::Str(out))
+            }
+            "starts-with" => {
+                arity(2)?;
+                let a = self.string(eval_arg(0)?);
+                let b = self.string(eval_arg(1)?);
+                Ok(V::Bool(a.starts_with(&b)))
+            }
+            "contains" => {
+                arity(2)?;
+                let a = self.string(eval_arg(0)?);
+                let b = self.string(eval_arg(1)?);
+                Ok(V::Bool(a.contains(&b)))
+            }
+            "substring-before" => {
+                arity(2)?;
+                let a = self.string(eval_arg(0)?);
+                let b = self.string(eval_arg(1)?);
+                Ok(V::Str(a.split_once(&b).map(|(x, _)| x.to_string()).unwrap_or_default()))
+            }
+            "substring-after" => {
+                arity(2)?;
+                let a = self.string(eval_arg(0)?);
+                let b = self.string(eval_arg(1)?);
+                Ok(V::Str(a.split_once(&b).map(|(_, y)| y.to_string()).unwrap_or_default()))
+            }
+            "substring" => {
+                if args.len() != 2 && args.len() != 3 {
+                    return Err(XPathError::new("substring() expects 2 or 3 arguments"));
+                }
+                let s: Vec<char> = self.string(eval_arg(0)?).chars().collect();
+                let start = self.num(eval_arg(1)?);
+                let len = if args.len() == 3 { self.num(eval_arg(2)?) } else { f64::INFINITY };
+                // XPath rounds and uses 1-based positions.
+                let begin = round_half_up(start);
+                let end = if len.is_infinite() { f64::INFINITY } else { begin + round_half_up(len) };
+                let mut out = String::new();
+                for (i, c) in s.iter().enumerate() {
+                    let p = (i + 1) as f64;
+                    if p >= begin && p < end {
+                        out.push(*c);
+                    }
+                }
+                Ok(V::Str(out))
+            }
+            "string-length" => {
+                let s = if args.is_empty() {
+                    self.arena.string_value(node)
+                } else {
+                    arity(1)?;
+                    self.string(eval_arg(0)?)
+                };
+                Ok(V::Num(s.chars().count() as f64))
+            }
+            "normalize-space" => {
+                let s = if args.is_empty() {
+                    self.arena.string_value(node)
+                } else {
+                    arity(1)?;
+                    self.string(eval_arg(0)?)
+                };
+                Ok(V::Str(s.split_whitespace().collect::<Vec<_>>().join(" ")))
+            }
+            "translate" => {
+                arity(3)?;
+                let s = self.string(eval_arg(0)?);
+                let from: Vec<char> = self.string(eval_arg(1)?).chars().collect();
+                let to: Vec<char> = self.string(eval_arg(2)?).chars().collect();
+                let mut out = String::new();
+                for c in s.chars() {
+                    match from.iter().position(|&f| f == c) {
+                        Some(i) => {
+                            if let Some(&r) = to.get(i) {
+                                out.push(r);
+                            } // else: dropped
+                        }
+                        None => out.push(c),
+                    }
+                }
+                Ok(V::Str(out))
+            }
+            "boolean" => {
+                arity(1)?;
+                let v = eval_arg(0)?;
+                Ok(V::Bool(self.boolean(&v)))
+            }
+            "not" => {
+                arity(1)?;
+                let v = eval_arg(0)?;
+                Ok(V::Bool(!self.boolean(&v)))
+            }
+            "true" => {
+                arity(0)?;
+                Ok(V::Bool(true))
+            }
+            "false" => {
+                arity(0)?;
+                Ok(V::Bool(false))
+            }
+            "number" => {
+                if args.is_empty() {
+                    Ok(V::Num(str_to_number(&self.arena.string_value(node))))
+                } else {
+                    arity(1)?;
+                    Ok(V::Num(self.num(eval_arg(0)?)))
+                }
+            }
+            "sum" => {
+                arity(1)?;
+                match eval_arg(0)? {
+                    V::Nodes(n) => Ok(V::Num(
+                        n.iter().map(|&id| str_to_number(&self.arena.string_value(id))).sum(),
+                    )),
+                    _ => Err(XPathError::new("sum() requires a node-set")),
+                }
+            }
+            "floor" => {
+                arity(1)?;
+                Ok(V::Num(self.num(eval_arg(0)?).floor()))
+            }
+            "ceiling" => {
+                arity(1)?;
+                Ok(V::Num(self.num(eval_arg(0)?).ceil()))
+            }
+            "round" => {
+                arity(1)?;
+                Ok(V::Num(round_half_up(self.num(eval_arg(0)?))))
+            }
+            other => Err(XPathError::new(format!("unknown function {other}()"))),
+        }
+    }
+
+    // -- coercions over internal values --------------------------------------
+
+    fn boolean(&self, v: &V) -> bool {
+        match v {
+            V::Nodes(n) => !n.is_empty(),
+            V::Bool(b) => *b,
+            V::Num(n) => *n != 0.0 && !n.is_nan(),
+            V::Str(s) => !s.is_empty(),
+        }
+    }
+
+    fn num(&self, v: V) -> f64 {
+        match v {
+            V::Nodes(_) => str_to_number(&self.string(v)),
+            V::Bool(b) => {
+                if b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            V::Num(n) => n,
+            V::Str(s) => str_to_number(&s),
+        }
+    }
+
+    fn string(&self, v: V) -> String {
+        match v {
+            V::Nodes(n) => n.first().map(|&id| self.arena.string_value(id)).unwrap_or_default(),
+            V::Bool(b) => b.to_string(),
+            V::Num(n) => number_to_string(n),
+            V::Str(s) => s,
+        }
+    }
+}
+
+fn cmp_num(op: BinOp, l: f64, r: f64) -> bool {
+    match op {
+        BinOp::Lt => l < r,
+        BinOp::Le => l <= r,
+        BinOp::Gt => l > r,
+        BinOp::Ge => l >= r,
+        BinOp::Eq => l == r,
+        BinOp::Ne => l != r,
+        _ => false,
+    }
+}
+
+/// XPath `number()` from string: trimmed decimal or NaN.
+pub(crate) fn str_to_number(s: &str) -> f64 {
+    let t = s.trim();
+    if t.is_empty() {
+        return f64::NAN;
+    }
+    t.parse::<f64>().unwrap_or(f64::NAN)
+}
+
+/// XPath number-to-string: integers without a decimal point.
+pub(crate) fn number_to_string(n: f64) -> String {
+    if n.is_nan() {
+        "NaN".to_string()
+    } else if n.is_infinite() {
+        if n > 0.0 { "Infinity".to_string() } else { "-Infinity".to_string() }
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// XPath round(): half rounds towards positive infinity.
+fn round_half_up(n: f64) -> f64 {
+    (n + 0.5).floor()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{XPathContext, XPathExpr, XPathValue};
+    use crate::parse;
+    use crate::XmlElement;
+
+    fn doc() -> XmlElement {
+        parse(
+            "<library>\
+               <book id='1' genre='db'><title>TP</title><price>50</price></book>\
+               <book id='2' genre='db'><title>DDIA</title><price>40</price></book>\
+               <book id='3' genre='os'><title>OSTEP</title><price>0</price></book>\
+               <meta><count>3</count></meta>\
+             </library>",
+        )
+        .unwrap()
+    }
+
+    fn eval(expr: &str) -> XPathValue {
+        XPathExpr::parse(expr).unwrap().evaluate(&doc()).unwrap()
+    }
+
+    fn count(expr: &str) -> usize {
+        match eval(expr) {
+            XPathValue::NodeSet(n) => n.len(),
+            other => panic!("expected node-set, got {other:?}"),
+        }
+    }
+
+    fn num(expr: &str) -> f64 {
+        eval(expr).to_number()
+    }
+
+    fn s(expr: &str) -> String {
+        eval(expr).to_xpath_string()
+    }
+
+    fn b(expr: &str) -> bool {
+        eval(expr).to_bool()
+    }
+
+    #[test]
+    fn basic_selection() {
+        assert_eq!(count("/library/book"), 3);
+        assert_eq!(count("//book"), 3);
+        assert_eq!(count("//title"), 3);
+        assert_eq!(count("/library/meta"), 1);
+        assert_eq!(count("/nothing"), 0);
+    }
+
+    #[test]
+    fn attribute_axis() {
+        assert_eq!(count("//book/@id"), 3);
+        assert_eq!(s("/library/book[1]/@id"), "1");
+        assert_eq!(count("//book[@genre='db']"), 2);
+    }
+
+    #[test]
+    fn positional_predicates() {
+        assert_eq!(s("/library/book[1]/title"), "TP");
+        assert_eq!(s("/library/book[last()]/title"), "OSTEP");
+        assert_eq!(s("/library/book[position()=2]/title"), "DDIA");
+    }
+
+    #[test]
+    fn value_predicates() {
+        assert_eq!(count("//book[price > 30]"), 2);
+        assert_eq!(s("//book[price=40]/title"), "DDIA");
+        assert_eq!(count("//book[title='TP' or title='OSTEP']"), 2);
+        assert_eq!(count("//book[@genre='db' and price < 45]"), 1);
+    }
+
+    #[test]
+    fn arithmetic_and_functions() {
+        assert_eq!(num("sum(//price)"), 90.0);
+        assert_eq!(num("count(//book) * 2 + 1"), 7.0);
+        assert_eq!(num("10 div 4"), 2.5);
+        assert_eq!(num("10 mod 4"), 2.0);
+        assert_eq!(num("-(3)"), -3.0);
+        assert_eq!(num("floor(2.7)"), 2.0);
+        assert_eq!(num("ceiling(2.1)"), 3.0);
+        assert_eq!(num("round(2.5)"), 3.0);
+        assert_eq!(num("round(-2.5)"), -2.0);
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(s("concat('a', 'b', 'c')"), "abc");
+        assert!(b("starts-with('hello', 'he')"));
+        assert!(b("contains(//book[1]/title, 'T')"));
+        assert_eq!(s("substring('12345', 2, 3)"), "234");
+        assert_eq!(s("substring('12345', 0)"), "12345");
+        assert_eq!(num("string-length('abcd')"), 4.0);
+        assert_eq!(s("normalize-space('  a   b ')"), "a b");
+        assert_eq!(s("translate('bar', 'abc', 'ABC')"), "BAr");
+        assert_eq!(s("translate('-abc-', '-', '')"), "abc");
+        assert_eq!(s("substring-before('a=b', '=')"), "a");
+        assert_eq!(s("substring-after('a=b', '=')"), "b");
+    }
+
+    #[test]
+    fn name_functions() {
+        assert_eq!(s("name(/library)"), "library");
+        assert_eq!(s("local-name(//book[1])"), "book");
+    }
+
+    #[test]
+    fn parent_and_ancestor_axes() {
+        assert_eq!(count("//title/.."), 3);
+        assert_eq!(s("//price[.='40']/../title"), "DDIA");
+        assert_eq!(count("//title/ancestor::library"), 1);
+        assert_eq!(count("//title/ancestor-or-self::*"), 7); // 3 titles + 3 books + library
+    }
+
+    #[test]
+    fn sibling_axes() {
+        assert_eq!(count("/library/book[1]/following-sibling::book"), 2);
+        assert_eq!(count("/library/book[3]/preceding-sibling::book"), 2);
+        // Positional predicate on a reverse axis counts backwards.
+        assert_eq!(
+            s("/library/book[3]/preceding-sibling::book[1]/title"),
+            "DDIA"
+        );
+    }
+
+    #[test]
+    fn text_nodes() {
+        assert_eq!(count("//title/text()"), 3);
+        match eval("//title[1]/text()") {
+            XPathValue::NodeSet(n) => assert_eq!(n[0].string_value(), "TP"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_and_filter() {
+        assert_eq!(count("//title | //price"), 6);
+        assert_eq!(count("(//book)[1]"), 1);
+        assert_eq!(s("(//book)[2]/title"), "DDIA");
+        assert_eq!(s("(//book)[price=50]/title"), "TP");
+    }
+
+    #[test]
+    fn node_set_comparisons() {
+        // Existence semantics: true if any node matches.
+        assert!(b("//price = 40"));
+        assert!(b("//price != 40")); // other prices differ
+        assert!(!b("//price = 39"));
+        assert!(b("//book/@id = '2'"));
+    }
+
+    #[test]
+    fn boolean_functions() {
+        assert!(b("not(//book[price=1000])"));
+        assert!(b("boolean(//book)"));
+        assert!(b("true()"));
+        assert!(!b("false()"));
+    }
+
+    #[test]
+    fn number_string_conversions() {
+        assert_eq!(s("string(12)"), "12");
+        assert_eq!(s("string(12.5)"), "12.5");
+        assert_eq!(s("string(1 div 0)"), "Infinity");
+        assert_eq!(s("string(0 div 0)"), "NaN");
+        assert!(num("number('abc')").is_nan());
+        assert_eq!(num("number(' 42 ')"), 42.0);
+        assert_eq!(num("number(//meta/count)"), 3.0);
+    }
+
+    #[test]
+    fn namespace_name_tests() {
+        let doc = parse("<r xmlns:a='urn:a'><a:x>1</a:x><x>2</x></r>").unwrap();
+        let expr = XPathExpr::parse("//p:x").unwrap();
+        let ctx = XPathContext::new().with_namespace("p", "urn:a");
+        match expr.evaluate_with(&doc, &ctx).unwrap() {
+            XPathValue::NodeSet(n) => {
+                assert_eq!(n.len(), 1);
+                assert_eq!(n[0].string_value(), "1");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Unprefixed test matches only the no-namespace element.
+        let expr = XPathExpr::parse("//x").unwrap();
+        match expr.evaluate_with(&doc, &ctx).unwrap() {
+            XPathValue::NodeSet(n) => {
+                assert_eq!(n.len(), 1);
+                assert_eq!(n[0].string_value(), "2");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Namespace wildcard.
+        let expr = XPathExpr::parse("count(//p:*)").unwrap();
+        assert_eq!(expr.evaluate_with(&doc, &ctx).unwrap().to_number(), 1.0);
+    }
+
+    #[test]
+    fn variables() {
+        let doc = doc();
+        let expr = XPathExpr::parse("//book[price > $min]").unwrap();
+        let ctx = XPathContext::new().with_variable("min", XPathValue::Number(45.0));
+        match expr.evaluate_with(&doc, &ctx).unwrap() {
+            XPathValue::NodeSet(n) => assert_eq!(n.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        assert!(XPathExpr::parse("$missing").unwrap().evaluate(&doc).is_err());
+    }
+
+    #[test]
+    fn select_elements_helper() {
+        let books = XPathExpr::parse("//book").unwrap().select_elements(&doc()).unwrap();
+        assert_eq!(books.len(), 3);
+        assert_eq!(books[0].attribute("id"), Some("1"));
+    }
+
+    #[test]
+    fn descendant_axis_explicit() {
+        assert_eq!(count("/library/descendant::price"), 3);
+        assert_eq!(count("self::node()"), 1);
+    }
+
+    #[test]
+    fn document_order_of_results() {
+        match eval("//book/@id") {
+            XPathValue::NodeSet(n) => {
+                let vals: Vec<String> = n.iter().map(|x| x.string_value()).collect();
+                assert_eq!(vals, vec!["1", "2", "3"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wildcard_star() {
+        assert_eq!(count("/library/*"), 4);
+        assert_eq!(count("//book/*"), 6);
+    }
+}

@@ -1,0 +1,273 @@
+//! XPath tokenizer.
+
+use super::XPathError;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A name token (axis names, node-test names, function names,
+    /// operator keywords — disambiguated by the parser).
+    Name(String),
+    Literal(String),
+    Number(f64),
+    Variable(String),
+    Slash,
+    DoubleSlash,
+    Dot,
+    DotDot,
+    At,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Comma,
+    Pipe,
+    Star,
+    Plus,
+    Minus,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    ColonColon,
+    Colon,
+}
+
+pub fn tokenize(input: &str) -> Result<Vec<Token>, XPathError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => pos += 1,
+            b'/' => {
+                if bytes.get(pos + 1) == Some(&b'/') {
+                    out.push(Token::DoubleSlash);
+                    pos += 2;
+                } else {
+                    out.push(Token::Slash);
+                    pos += 1;
+                }
+            }
+            b'.' => {
+                if bytes.get(pos + 1) == Some(&b'.') {
+                    out.push(Token::DotDot);
+                    pos += 2;
+                } else if bytes.get(pos + 1).is_some_and(u8::is_ascii_digit) {
+                    let (n, next) = lex_number(bytes, pos)?;
+                    out.push(Token::Number(n));
+                    pos = next;
+                } else {
+                    out.push(Token::Dot);
+                    pos += 1;
+                }
+            }
+            b'@' => {
+                out.push(Token::At);
+                pos += 1;
+            }
+            b'[' => {
+                out.push(Token::LBracket);
+                pos += 1;
+            }
+            b']' => {
+                out.push(Token::RBracket);
+                pos += 1;
+            }
+            b'(' => {
+                out.push(Token::LParen);
+                pos += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                pos += 1;
+            }
+            b',' => {
+                out.push(Token::Comma);
+                pos += 1;
+            }
+            b'|' => {
+                out.push(Token::Pipe);
+                pos += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                pos += 1;
+            }
+            b'+' => {
+                out.push(Token::Plus);
+                pos += 1;
+            }
+            b'-' => {
+                out.push(Token::Minus);
+                pos += 1;
+            }
+            b'=' => {
+                out.push(Token::Eq);
+                pos += 1;
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(Token::Ne);
+                    pos += 2;
+                } else {
+                    return Err(XPathError::new("'!' must be followed by '='"));
+                }
+            }
+            b'<' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    pos += 2;
+                } else {
+                    out.push(Token::Lt);
+                    pos += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    pos += 2;
+                } else {
+                    out.push(Token::Gt);
+                    pos += 1;
+                }
+            }
+            b':' => {
+                if bytes.get(pos + 1) == Some(&b':') {
+                    out.push(Token::ColonColon);
+                    pos += 2;
+                } else {
+                    out.push(Token::Colon);
+                    pos += 1;
+                }
+            }
+            b'\'' | b'"' => {
+                let quote = b;
+                let start = pos + 1;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != quote {
+                    end += 1;
+                }
+                if end == bytes.len() {
+                    return Err(XPathError::new("unterminated string literal"));
+                }
+                out.push(Token::Literal(
+                    String::from_utf8_lossy(&bytes[start..end]).into_owned(),
+                ));
+                pos = end + 1;
+            }
+            b'$' => {
+                pos += 1;
+                let start = pos;
+                while pos < bytes.len() && is_name_char(bytes[pos]) {
+                    pos += 1;
+                }
+                if pos == start {
+                    return Err(XPathError::new("expected variable name after '$'"));
+                }
+                out.push(Token::Variable(
+                    String::from_utf8_lossy(&bytes[start..pos]).into_owned(),
+                ));
+            }
+            b'0'..=b'9' => {
+                let (n, next) = lex_number(bytes, pos)?;
+                out.push(Token::Number(n));
+                pos = next;
+            }
+            _ if is_name_start(b) => {
+                let start = pos;
+                while pos < bytes.len() && is_name_char(bytes[pos]) {
+                    pos += 1;
+                }
+                out.push(Token::Name(String::from_utf8_lossy(&bytes[start..pos]).into_owned()));
+            }
+            other => {
+                return Err(XPathError::new(format!(
+                    "unexpected character '{}' in XPath expression",
+                    other as char
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.') || b >= 0x80
+}
+
+fn lex_number(bytes: &[u8], start: usize) -> Result<(f64, usize), XPathError> {
+    let mut pos = start;
+    while pos < bytes.len() && (bytes[pos].is_ascii_digit() || bytes[pos] == b'.') {
+        pos += 1;
+    }
+    let text = String::from_utf8_lossy(&bytes[start..pos]);
+    text.parse::<f64>()
+        .map(|n| (n, pos))
+        .map_err(|_| XPathError::new(format!("invalid number '{text}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_paths() {
+        let t = tokenize("/a//b[@id='x']").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Slash,
+                Token::Name("a".into()),
+                Token::DoubleSlash,
+                Token::Name("b".into()),
+                Token::LBracket,
+                Token::At,
+                Token::Name("id".into()),
+                Token::Eq,
+                Token::Literal("x".into()),
+                Token::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_numbers_and_operators() {
+        let t = tokenize("1.5 + .5 >= 2").unwrap();
+        assert_eq!(
+            t,
+            vec![Token::Number(1.5), Token::Plus, Token::Number(0.5), Token::Ge, Token::Number(2.0)]
+        );
+    }
+
+    #[test]
+    fn tokenizes_axes_and_variables() {
+        let t = tokenize("child::p:n | $v").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Name("child".into()),
+                Token::ColonColon,
+                Token::Name("p".into()),
+                Token::Colon,
+                Token::Name("n".into()),
+                Token::Pipe,
+                Token::Variable("v".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("#").is_err());
+        assert!(tokenize("$").is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! An XPath 1.0 subset engine.
+//!
+//! Supports the portions of XPath 1.0 used by DAIS services:
+//!
+//! * location paths over the `child`, `descendant`, `descendant-or-self`,
+//!   `self`, `parent`, `ancestor`, `ancestor-or-self`, `attribute`,
+//!   `following-sibling` and `preceding-sibling` axes, including all
+//!   abbreviated forms (`//`, `.`, `..`, `@`);
+//! * node tests: qualified/wildcard name tests, `node()`, `text()`,
+//!   `comment()`;
+//! * predicates with positional semantics;
+//! * the full expression grammar: `or`/`and`, (in)equality and relational
+//!   comparisons with node-set semantics, arithmetic (`+ - * div mod`,
+//!   unary minus), union (`|`), filter expressions and parentheses;
+//! * the core function library;
+//! * scalar variable references (`$name`) — node-set variables are the
+//!   business of the XQuery layer, which re-roots relative paths instead.
+//!
+//! Name tests follow the XPath 1.0 rule: an unprefixed name matches names
+//! in *no* namespace; prefixed names are resolved against the
+//! [`XPathContext`] namespace bindings (as WSRF `QueryResourceProperties`
+//! does with the query element's in-scope namespaces).
+//!
+//! ```
+//! use dais_xml::{parse, XPathExpr, XPathValue};
+//!
+//! let doc = parse("<inv><item price='3'/><item price='4'/></inv>").unwrap();
+//! let expr = XPathExpr::parse("sum(/inv/item/@price)").unwrap();
+//! match expr.evaluate(&doc).unwrap() {
+//!     XPathValue::Number(n) => assert_eq!(n, 7.0),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! ```
+
+mod ast;
+mod eval;
+mod lexer;
+mod parser;
+
+pub use ast::Expr;
+pub use eval::{NodePath, PathStep, XPathContext, XPathNode, XPathValue};
+
+use std::fmt;
+
+/// A parsed, reusable XPath expression.
+#[derive(Debug, Clone)]
+pub struct XPathExpr {
+    pub(crate) ast: ast::Expr,
+    source: String,
+}
+
+/// A parse- or evaluation-time XPath error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathError {
+    pub message: String,
+}
+
+impl XPathError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        XPathError { message: message.into() }
+    }
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath error: {}", self.message)
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+impl XPathExpr {
+    /// Parse an expression. The resulting value can be evaluated any
+    /// number of times against different documents.
+    pub fn parse(source: &str) -> Result<Self, XPathError> {
+        let tokens = lexer::tokenize(source)?;
+        let ast = parser::parse_tokens(&tokens)?;
+        Ok(XPathExpr { ast, source: source.to_string() })
+    }
+
+    /// The original expression text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Evaluate against a document rooted at `root`, with an empty context.
+    /// The context node is the (virtual) document root, so both `/doc/x`
+    /// and `doc/x` address into the tree.
+    pub fn evaluate(&self, root: &crate::XmlElement) -> Result<XPathValue, XPathError> {
+        self.evaluate_with(root, &XPathContext::default())
+    }
+
+    /// Evaluate with namespace bindings and scalar variables.
+    pub fn evaluate_with(
+        &self,
+        root: &crate::XmlElement,
+        context: &XPathContext,
+    ) -> Result<XPathValue, XPathError> {
+        eval::evaluate(&self.ast, root, context)
+    }
+
+    /// Evaluate with the document element itself as the context node
+    /// (instead of the virtual root). `title` then means "child `title`
+    /// of this element" — the mode used for XQuery `$var/path` steps.
+    pub fn evaluate_element_context(
+        &self,
+        element: &crate::XmlElement,
+        context: &XPathContext,
+    ) -> Result<XPathValue, XPathError> {
+        eval::evaluate_element_context(&self.ast, element, context)
+    }
+
+    /// Evaluate to the structural paths of the selected nodes (document
+    /// order). This is the mutation hook used by XUpdate: paths remain
+    /// valid addresses into the unmodified document.
+    pub fn select_paths(
+        &self,
+        root: &crate::XmlElement,
+        context: &XPathContext,
+    ) -> Result<Vec<NodePath>, XPathError> {
+        eval::evaluate_paths(&self.ast, root, context)
+    }
+
+    /// Convenience: evaluate and return matching elements (ignoring any
+    /// non-element results), cloned out of the document.
+    pub fn select_elements(&self, root: &crate::XmlElement) -> Result<Vec<crate::XmlElement>, XPathError> {
+        match self.evaluate(root)? {
+            XPathValue::NodeSet(nodes) => Ok(nodes
+                .into_iter()
+                .filter_map(|n| match n {
+                    XPathNode::Element(e) | XPathNode::Root(e) => Some(e),
+                    _ => None,
+                })
+                .collect()),
+            _ => Ok(Vec::new()),
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Parser robustness: pathological and adversarial inputs must produce
+//! errors, never panics or hangs — these documents arrive from the
+//! network in a DAIS deployment.
+
+use dais_xml::{parse, parse_preserving, to_string, XmlElement};
+
+#[test]
+fn deeply_nested_documents() {
+    // Documents up to the depth cap parse and round-trip.
+    let nest = |depth: usize| {
+        let mut src = String::new();
+        for _ in 0..depth {
+            src.push_str("<d>");
+        }
+        src.push('x');
+        for _ in 0..depth {
+            src.push_str("</d>");
+        }
+        src
+    };
+    let doc = parse(&nest(dais_xml::parser::MAX_DEPTH)).unwrap();
+    assert_eq!(doc.text(), "x");
+    assert_eq!(parse(&to_string(&doc)).unwrap(), doc);
+    // Beyond the cap: a clean error, not a stack overflow (hostile
+    // documents must not crash a data service).
+    let err = parse(&nest(dais_xml::parser::MAX_DEPTH + 1)).unwrap_err();
+    assert!(err.message.contains("depth"), "{err}");
+    let err = parse(&nest(100_000)).unwrap_err();
+    assert!(err.message.contains("depth"), "{err}");
+}
+
+#[test]
+fn wide_documents() {
+    let mut root = XmlElement::new_local("r");
+    for i in 0..10_000 {
+        root.push(XmlElement::new_local("c").with_attr("i", i.to_string()));
+    }
+    let wire = to_string(&root);
+    let back = parse(&wire).unwrap();
+    assert_eq!(back.elements().count(), 10_000);
+}
+
+#[test]
+fn truncated_inputs_error_cleanly() {
+    let full = "<root attr='value'><child>text &amp; more</child><!-- c --><![CDATA[x]]></root>";
+    // Every prefix of a valid document either parses (rare) or errors —
+    // never panics.
+    for cut in 0..full.len() {
+        let _ = parse(&full[..cut]);
+    }
+    // The full document parses.
+    parse(full).unwrap();
+}
+
+#[test]
+fn malformed_structures() {
+    for bad in [
+        "<a><b></a></b>",            // interleaved close
+        "<a",                        // unterminated tag
+        "<a /",                      // broken self-close
+        "<a></a",                    // unterminated close
+        "<a x=1/>",                  // unquoted attribute
+        "<a x></a>",                 // attribute without value
+        "< a/>",                     // space before name
+        "<a>&unknown;</a>",          // undefined entity
+        "<a>&#xZZ;</a>",             // bad char ref
+        "<a>&#1114112;</a>",         // out-of-range char ref
+        "<1a/>",                     // name starts with digit
+        "text<a/>",                  // leading text at top level
+        "<a/><b/>",                  // two roots
+        "<!DOCTYPE a><a/>",          // doctype unsupported
+        "<a xmlns:p=''><p:b/></a>",  // empty prefix binding
+        "<a><![CDATA[x]]</a>",       // unterminated cdata
+        "<a><!-- x --</a>",          // unterminated comment
+    ] {
+        assert!(parse(bad).is_err(), "should reject: {bad}");
+    }
+}
+
+#[test]
+fn entity_bombs_are_not_possible() {
+    // Our subset has no internal entity definitions, so the classic
+    // billion-laughs input is simply a parse error (no DOCTYPE).
+    let bomb = r#"<!DOCTYPE lolz [<!ENTITY lol "lol">]><lolz>&lol;</lolz>"#;
+    assert!(parse(bomb).is_err());
+}
+
+#[test]
+fn huge_text_nodes() {
+    let payload = "x".repeat(1_000_000);
+    let src = format!("<r>{payload}</r>");
+    let doc = parse_preserving(&src).unwrap();
+    assert_eq!(doc.text().len(), 1_000_000);
+}
+
+#[test]
+fn attribute_value_edge_cases() {
+    let doc = parse("<r a='' b='  spaced  ' c='&#9;tab' d=\"q'uote\"/>").unwrap();
+    assert_eq!(doc.attribute("a"), Some(""));
+    assert_eq!(doc.attribute("b"), Some("  spaced  "));
+    assert_eq!(doc.attribute("c"), Some("\ttab"));
+    assert_eq!(doc.attribute("d"), Some("q'uote"));
+    // And they all survive re-serialisation.
+    let rt = parse(&to_string(&doc)).unwrap();
+    assert_eq!(rt, doc);
+}
+
+#[test]
+fn mixed_content_preserved() {
+    let src = "<p>one <b>two</b> three <i>four</i> five</p>";
+    let doc = parse_preserving(src).unwrap();
+    assert_eq!(doc.text(), "one two three four five");
+    assert_eq!(doc.children.len(), 5);
+    let rt = parse_preserving(&to_string(&doc)).unwrap();
+    assert_eq!(rt, doc);
+}
+
+#[test]
+fn unicode_content() {
+    let src = "<r attr='日本語'>причал 🚀 ñcafé</r>";
+    let doc = parse_preserving(src).unwrap();
+    assert_eq!(doc.attribute("attr"), Some("日本語"));
+    assert_eq!(doc.text(), "причал 🚀 ñcafé");
+    assert_eq!(parse_preserving(&to_string(&doc)).unwrap(), doc);
+}
+
+#[test]
+fn xpath_on_pathological_documents_is_safe() {
+    // Long sibling chains with predicates that backtrack.
+    let mut root = XmlElement::new_local("r");
+    for i in 0..2000 {
+        root.push(XmlElement::new_local("x").with_attr("i", i.to_string()));
+    }
+    let expr = dais_xml::XPathExpr::parse("//x[@i = '1999']").unwrap();
+    let hits = expr.select_elements(&root).unwrap();
+    assert_eq!(hits.len(), 1);
+    // A miss over the same fan-out.
+    let expr = dais_xml::XPathExpr::parse("//x[@i = 'nope']/following-sibling::x").unwrap();
+    assert!(expr.select_elements(&root).unwrap().is_empty());
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the XML toolkit: escaping laws, XPath
+//! coercion laws and engine consistency across equivalent expressions.
+
+use dais_xml::{parse, parse_preserving, to_string, XPathExpr, XPathValue, XmlElement};
+use proptest::prelude::*;
+
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,30}").unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Attribute and text escaping is lossless for printable ASCII
+    /// (quotes, angle brackets, ampersands and all).
+    #[test]
+    fn escaping_roundtrip(attr in arb_text(), text in arb_text()) {
+        let mut e = XmlElement::new_local("r");
+        e.set_attr("a", &attr);
+        e.push_text(&text);
+        let wire = to_string(&e);
+        let back = parse_preserving(&wire).unwrap();
+        prop_assert_eq!(back.attribute("a"), Some(attr.as_str()));
+        prop_assert_eq!(back.text(), text);
+    }
+
+    /// XPath numeric coercion laws: string(number(n)) == displayed n for
+    /// integers; boolean() of a non-zero number is true.
+    #[test]
+    fn numeric_coercions(n in -100000i64..100000) {
+        let doc = parse(&format!("<r><v>{n}</v></r>")).unwrap();
+        let as_number = XPathExpr::parse("number(/r/v)").unwrap().evaluate(&doc).unwrap();
+        prop_assert_eq!(as_number.to_number() as i64, n);
+        let as_string = XPathExpr::parse("string(number(/r/v))").unwrap().evaluate(&doc).unwrap();
+        prop_assert_eq!(as_string.to_xpath_string(), n.to_string());
+        let truthy = XPathExpr::parse("boolean(/r/v != 0) = boolean(number(/r/v))")
+            .unwrap().evaluate(&doc).unwrap();
+        if n != 0 {
+            prop_assert!(truthy.to_bool());
+        }
+    }
+
+    /// count(//x) equals the number of x elements we built.
+    #[test]
+    fn count_matches_construction(n in 0usize..30) {
+        let mut root = XmlElement::new_local("root");
+        for i in 0..n {
+            root.push(XmlElement::new_local("x").with_text(i.to_string()));
+        }
+        let v = XPathExpr::parse("count(//x)").unwrap().evaluate(&root).unwrap();
+        prop_assert_eq!(v.to_number() as usize, n);
+        // Equivalent formulations agree.
+        let v2 = XPathExpr::parse("count(/root/x)").unwrap().evaluate(&root).unwrap();
+        let v3 = XPathExpr::parse("count(root/x)").unwrap().evaluate(&root).unwrap();
+        prop_assert_eq!(v.to_number(), v2.to_number());
+        prop_assert_eq!(v.to_number(), v3.to_number());
+    }
+
+    /// Positional predicates slice like ranges: /r/x[position() <= k]
+    /// returns min(k, n) nodes, and x[i] is the i-th built node.
+    #[test]
+    fn positional_predicates(n in 1usize..20, k in 1usize..25) {
+        let mut root = XmlElement::new_local("r");
+        for i in 0..n {
+            root.push(XmlElement::new_local("x").with_text(i.to_string()));
+        }
+        let expr = XPathExpr::parse(&format!("/r/x[position() <= {k}]")).unwrap();
+        match expr.evaluate(&root).unwrap() {
+            XPathValue::NodeSet(nodes) => prop_assert_eq!(nodes.len(), k.min(n)),
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+        let i = (k - 1) % n + 1;
+        let expr = XPathExpr::parse(&format!("string(/r/x[{i}])")).unwrap();
+        prop_assert_eq!(
+            expr.evaluate(&root).unwrap().to_xpath_string(),
+            (i - 1).to_string()
+        );
+    }
+
+    /// Union is commutative and idempotent in cardinality.
+    #[test]
+    fn union_laws(a in 0usize..6, b in 0usize..6) {
+        let mut root = XmlElement::new_local("r");
+        for _ in 0..a {
+            root.push(XmlElement::new_local("p"));
+        }
+        for _ in 0..b {
+            root.push(XmlElement::new_local("q"));
+        }
+        let n = |src: &str| -> usize {
+            match XPathExpr::parse(src).unwrap().evaluate(&root).unwrap() {
+                XPathValue::NodeSet(nodes) => nodes.len(),
+                _ => usize::MAX,
+            }
+        };
+        prop_assert_eq!(n("//p | //q"), a + b);
+        prop_assert_eq!(n("//q | //p"), a + b);
+        prop_assert_eq!(n("//p | //p"), a); // dedup
+    }
+
+    /// The filter `[last()]` selects exactly the final sibling.
+    #[test]
+    fn last_selects_final(n in 1usize..15) {
+        let mut root = XmlElement::new_local("r");
+        for i in 0..n {
+            root.push(XmlElement::new_local("x").with_attr("i", i.to_string()));
+        }
+        let v = XPathExpr::parse("string(/r/x[last()]/@i)").unwrap().evaluate(&root).unwrap();
+        prop_assert_eq!(v.to_xpath_string(), (n - 1).to_string());
+    }
+
+    /// Arithmetic in XPath agrees with Rust arithmetic on small ints.
+    #[test]
+    fn arithmetic_agrees(a in -50i64..50, b in 1i64..50) {
+        let doc = XmlElement::new_local("r");
+        let eval = |src: &str| -> f64 {
+            XPathExpr::parse(src).unwrap().evaluate(&doc).unwrap().to_number()
+        };
+        prop_assert_eq!(eval(&format!("{a} + {b}")), (a + b) as f64);
+        prop_assert_eq!(eval(&format!("{a} * {b}")), (a * b) as f64);
+        prop_assert_eq!(eval(&format!("{a} div {b}")), a as f64 / b as f64);
+        prop_assert_eq!(eval(&format!("{a} mod {b}")), (a % b) as f64);
+        prop_assert_eq!(eval(&format!("{a} < {b}")) != 0.0, a < b);
+    }
+}
+
+/// String-value of an element concatenates descendant text in document
+/// order — verified against a hand construction.
+#[test]
+fn string_value_document_order() {
+    let doc = parse("<r>a<b>b<c>c</c>d</b>e</r>").unwrap();
+    let v = XPathExpr::parse("string(/r)").unwrap().evaluate(&doc).unwrap();
+    assert_eq!(v.to_xpath_string(), "abcde");
+}

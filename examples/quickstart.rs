@@ -1,0 +1,78 @@
+//! Quickstart: stand up a relational DAIS data service and use both
+//! access patterns from the paper.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dais::prelude::*;
+
+fn main() {
+    // The bus plays the role of the SOAP/HTTP network; every call below
+    // crosses it as serialised XML envelopes.
+    let bus = Bus::new();
+
+    // An embedded relational database — the substrate a DAIS service wraps.
+    let db = Database::new("shop");
+    db.execute_script(
+        "CREATE TABLE product (
+             id INTEGER PRIMARY KEY,
+             name VARCHAR NOT NULL,
+             price DOUBLE NOT NULL,
+             CHECK (price >= 0)
+         );
+         INSERT INTO product VALUES
+             (1, 'anvil', 100.0),
+             (2, 'rope', 12.5),
+             (3, 'rocket skates', 299.0);",
+    )
+    .expect("schema");
+
+    // Launch the data service: WS-DAI core + all five WS-DAIR interfaces.
+    let service = RelationalService::launch(&bus, "bus://shop", db, Default::default());
+    println!("service up at bus://shop, resource {}", service.db_resource);
+
+    let client = SqlClient::new(bus.clone(), "bus://shop");
+
+    // -- Property document (paper §4.2) ---------------------------------
+    let props = client.core().get_property_document(&service.db_resource).unwrap();
+    println!(
+        "\nproperty document: management={:?} readable={} writeable={} languages={:?}",
+        props.management, props.readable, props.writeable, props.generic_query_languages
+    );
+
+    // -- Direct access (paper Figure 2) ----------------------------------
+    let data = client
+        .execute(
+            &service.db_resource,
+            "SELECT name, price FROM product WHERE price > ? ORDER BY price DESC",
+            &[Value::Double(50.0)],
+        )
+        .unwrap();
+    println!("\ndirect access: SQLSTATE={}", data.communication_area.sqlstate);
+    for row in &data.rowset().unwrap().rows {
+        println!("  {} — {}", row[0], row[1]);
+    }
+
+    // -- Writes travel the same path --------------------------------------
+    let update = client
+        .execute(&service.db_resource, "UPDATE product SET price = price * 0.9", &[])
+        .unwrap();
+    println!("\nsale! {} rows discounted", update.update_count().unwrap());
+
+    // -- Indirect access (paper Figure 3) ---------------------------------
+    // The factory runs the query at the service and hands back an EPR to a
+    // derived, service-managed response resource; no rows cross the wire.
+    let epr = client
+        .execute_factory(&service.db_resource, "SELECT * FROM product ORDER BY id", &[], None, None)
+        .unwrap();
+    let response_name = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
+    println!("\nindirect access: derived resource {response_name}");
+
+    // A second consumer (perhaps handed the EPR by the first) pulls the data.
+    let consumer2 = SqlClient::from_epr(bus, epr);
+    let rowset = consumer2.get_sql_rowset(&response_name, 1).unwrap();
+    println!("consumer 2 pulled {} rows via the EPR", rowset.row_count());
+
+    // Service-managed resources are destroyed explicitly (no WSRF here).
+    consumer2.core().destroy(&response_name).unwrap();
+    println!("derived resource destroyed; service keeps the database itself");
+}

@@ -1,0 +1,122 @@
+//! The Figure 7 layering: the same DAIS service with and without WSRF.
+//!
+//! Without WSRF a consumer can only fetch whole property documents and
+//! must destroy derived resources explicitly. With WSRF the consumer gets
+//! fine-grained property access (`GetResourceProperty`,
+//! `QueryResourceProperties`) and soft-state lifetime management
+//! (`SetTerminationTime` + the sweeper). The paper describes this as an
+//! upgrade path: "start off with a non-WSRF solution and then … exploit
+//! the additional capabilities provided by WSRF" (§5).
+//!
+//! Run with: `cargo run --example wsrf_lifetime`
+
+use dais::prelude::*;
+use dais::wsrf::LifetimeRegistry;
+use std::sync::Arc;
+
+fn seeded_db(name: &str) -> Database {
+    let db = Database::new(name);
+    db.execute_script(
+        "CREATE TABLE sensor (id INTEGER PRIMARY KEY, reading DOUBLE);
+         INSERT INTO sensor VALUES (1, 20.5), (2, 21.0), (3, 19.8);",
+    )
+    .unwrap();
+    db
+}
+
+fn main() {
+    let bus = Bus::new();
+
+    // ---- Plain (non-WSRF) deployment -------------------------------------
+    let plain =
+        RelationalService::launch(&bus, "bus://plain", seeded_db("plain"), Default::default());
+    let client = SqlClient::new(bus.clone(), "bus://plain");
+
+    // Whole-document retrieval is all you get.
+    let doc = client.core().get_property_document_xml(&plain.db_resource).unwrap();
+    println!(
+        "non-WSRF service: whole property document only ({} properties, {} serialized bytes)",
+        doc.elements().count(),
+        dais::xml::to_string(&doc).len(),
+    );
+    // Fine-grained access is simply not an operation here.
+    let err = client
+        .core()
+        .get_resource_property(&plain.db_resource, "wsdai:Readable")
+        .unwrap_err();
+    println!("GetResourceProperty on the plain service: {err}");
+
+    // Lifetime is explicit-destroy only.
+    let epr = client
+        .execute_factory(&plain.db_resource, "SELECT * FROM sensor", &[], None, None)
+        .unwrap();
+    let derived = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
+    let err = client.core().set_termination_time(&derived, Some(1000)).unwrap_err();
+    println!("SetTerminationTime on the plain service: {err}");
+    client.core().destroy(&derived).unwrap();
+    println!("…so the consumer destroys the derived resource explicitly\n");
+
+    // ---- WSRF deployment ---------------------------------------------------
+    // A manual clock makes the soft-state demo deterministic.
+    let clock = ManualClock::new();
+    let lifetime = Arc::new(LifetimeRegistry::new(clock.clone()));
+    let wsrf_service = RelationalService::launch(
+        &bus,
+        "bus://wsrf",
+        seeded_db("wsrf"),
+        RelationalServiceOptions { wsrf: Some(lifetime), ..Default::default() },
+    );
+    let client = SqlClient::new(bus.clone(), "bus://wsrf");
+
+    // Fine-grained property access.
+    let readable = client
+        .core()
+        .get_resource_property(&wsrf_service.db_resource, "wsdai:Readable")
+        .unwrap();
+    println!(
+        "WSRF service: GetResourceProperty(wsdai:Readable) → {} ({} bytes on the wire instead of the whole document)",
+        readable[0].text(),
+        dais::xml::to_string(&readable[0]).len(),
+    );
+    let count = client
+        .core()
+        .query_resource_properties(
+            &wsrf_service.db_resource,
+            "count(//wsdai:GenericQueryLanguage)",
+        )
+        .unwrap();
+    println!("QueryResourceProperties(count of query languages) → {}", count.text());
+
+    // Soft-state lifetime: a derived resource with a lease.
+    let epr = client
+        .execute_factory(&wsrf_service.db_resource, "SELECT * FROM sensor", &[], None, None)
+        .unwrap();
+    let derived = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
+    let lease = client.core().set_termination_time(&derived, Some(5_000)).unwrap();
+    println!("\nderived resource {derived} leased until t={}ms", lease.unwrap());
+
+    clock.advance(3_000);
+    client.get_sql_rowset(&derived, 1).unwrap();
+    println!("t=3000ms: still alive, rows retrieved");
+
+    // Renew the lease, drift past the original deadline, still alive.
+    client.core().set_termination_time(&derived, Some(5_000)).unwrap();
+    clock.advance(4_000);
+    client.get_sql_rowset(&derived, 1).unwrap();
+    println!("t=7000ms: lease was renewed at t=3000ms, so still alive");
+
+    // Let it lapse: the resource is reaped on next access.
+    clock.advance(5_000);
+    let err = client.get_sql_rowset(&derived, 1).unwrap_err();
+    println!("t=12000ms: {err}");
+
+    // The sweeper does the same housekeeping proactively.
+    let epr = client
+        .execute_factory(&wsrf_service.db_resource, "SELECT 1", &[], None, None)
+        .unwrap();
+    let short_lived = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
+    client.core().set_termination_time(&short_lived, Some(100)).unwrap();
+    clock.advance(200);
+    let swept = wsrf_service.ctx.sweep_expired();
+    println!("sweeper reaped {swept:?}");
+}

@@ -1,0 +1,148 @@
+//! A whole-fabric concurrency test: relational, XML and file services on
+//! one bus, hammered by concurrent consumers of every kind. Exercises the
+//! `ConcurrentAccess=true` promise across realisations and the bus's
+//! thread-safety under mixed load.
+
+use dais::prelude::*;
+use dais::xml::parse;
+
+#[test]
+fn mixed_fabric_under_concurrency() {
+    let bus = Bus::new();
+
+    // Relational service.
+    let db = Database::new("fabric");
+    db.execute("CREATE TABLE hits (worker INTEGER, n INTEGER)", &[]).unwrap();
+    let rel = RelationalService::launch(&bus, "bus://rel", db, Default::default());
+
+    // XML service.
+    let xml = XmlService::launch(&bus, "bus://xml", XmlDatabase::new("fabric"), Default::default());
+
+    // File service.
+    let files = FileService::launch(&bus, "bus://files", FileStore::new(), Default::default());
+
+    let workers = 9;
+    let iterations = 20;
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let bus = bus.clone();
+            let rel_name = rel.db_resource.clone();
+            let xml_name = xml.root_collection.clone();
+            let files_name = files.root.clone();
+            std::thread::spawn(move || {
+                match w % 3 {
+                    0 => {
+                        // Relational consumer: insert then aggregate.
+                        let c = SqlClient::new(bus, "bus://rel");
+                        for i in 0..iterations {
+                            c.execute(
+                                &rel_name,
+                                "INSERT INTO hits VALUES (?, ?)",
+                                &[Value::Int(w as i64), Value::Int(i as i64)],
+                            )
+                            .unwrap();
+                        }
+                        let data = c
+                            .execute(&rel_name, "SELECT COUNT(*) FROM hits WHERE worker = ?", &[Value::Int(w as i64)])
+                            .unwrap();
+                        assert_eq!(data.rowset().unwrap().rows[0][0], Value::Int(iterations as i64));
+                    }
+                    1 => {
+                        // XML consumer: documents + queries.
+                        let c = XmlClient::new(bus, "bus://xml");
+                        for i in 0..iterations {
+                            c.add_documents(
+                                &xml_name,
+                                &[(
+                                    format!("w{w}_{i}"),
+                                    parse(&format!("<e worker='{w}'><n>{i}</n></e>")).unwrap(),
+                                )],
+                            )
+                            .unwrap();
+                        }
+                        let hits =
+                            c.xpath(&xml_name, &format!("/e[@worker = {w}]")).unwrap();
+                        assert_eq!(hits.len(), iterations);
+                    }
+                    _ => {
+                        // File consumer: write + list through the wire.
+                        let c = dais::soap::ServiceClient::new(bus, "bus://files");
+                        for i in 0..iterations {
+                            let body = dais::core::messages::request("WriteFileRequest", &files_name)
+                                .with_child(
+                                    dais::xml::XmlElement::new(dais::daif::WSDAIF_NS, "wsdaif", "Path")
+                                        .with_text(format!("w{w}/f{i}.bin")),
+                                )
+                                .with_child(
+                                    dais::xml::XmlElement::new(
+                                        dais::daif::WSDAIF_NS,
+                                        "wsdaif",
+                                        "Contents",
+                                    )
+                                    .with_text(dais::daif::base64::encode(&[w as u8, i as u8])),
+                                );
+                            c.request(dais::daif::actions::WRITE_FILE, body).unwrap();
+                        }
+                        let body = dais::core::messages::request("ListFilesRequest", &files_name)
+                            .with_child(
+                                dais::xml::XmlElement::new(dais::daif::WSDAIF_NS, "wsdaif", "Pattern")
+                                    .with_text(format!("w{w}/*")),
+                            );
+                        let resp = c.request(dais::daif::actions::LIST_FILES, body).unwrap();
+                        assert_eq!(
+                            resp.children_named(dais::daif::WSDAIF_NS, "File").count(),
+                            iterations
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Fabric-wide invariants.
+    let c = SqlClient::new(bus.clone(), "bus://rel");
+    let total = c.execute(&rel.db_resource, "SELECT COUNT(*) FROM hits", &[]).unwrap();
+    assert_eq!(total.rowset().unwrap().rows[0][0], Value::Int(3 * iterations as i64));
+    let xc = XmlClient::new(bus.clone(), "bus://xml");
+    assert_eq!(xc.get_documents(&xml.root_collection, &[]).unwrap().len(), 3 * iterations);
+    let stats = bus.stats();
+    assert_eq!(stats.faults, 0, "no faults under the mixed workload");
+    assert!(stats.messages >= (workers * iterations) as u64);
+}
+
+#[test]
+fn concurrent_derivation_and_destruction() {
+    // Factories and destroys racing on one service must never corrupt the
+    // registry or leak resources.
+    let bus = Bus::new();
+    let db = Database::new("race");
+    db.execute("CREATE TABLE t (a INTEGER)", &[]).unwrap();
+    db.execute("INSERT INTO t VALUES (1), (2), (3)", &[]).unwrap();
+    let svc = RelationalService::launch(&bus, "bus://race", db, Default::default());
+
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let bus = bus.clone();
+            let name = svc.db_resource.clone();
+            std::thread::spawn(move || {
+                let c = SqlClient::new(bus, "bus://race");
+                for _ in 0..15 {
+                    let epr = c.execute_factory(&name, "SELECT * FROM t", &[], None, None).unwrap();
+                    let derived =
+                        AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
+                    let rowset = c.get_sql_rowset(&derived, 1).unwrap();
+                    assert_eq!(rowset.row_count(), 3);
+                    c.core().destroy(&derived).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Only the database resource remains.
+    assert_eq!(svc.ctx.registry.len(), 1);
+}

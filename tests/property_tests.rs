@@ -1,0 +1,258 @@
+//! Cross-crate property-based tests (proptest) on the stack's key
+//! invariants: wire-format round-trips, SQL engine behaviour against a
+//! reference model, and name uniqueness.
+
+use dais::prelude::*;
+use dais::sql::{Rowset, RowsetColumn, SqlType};
+use dais::xml::{parse, to_string, XmlElement};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// XML-safe text (the parser rejects raw control characters by design of
+/// the subset; escaping covers the rest).
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~&<>\"'a-zA-Z0-9]{0,24}").unwrap()
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z][a-zA-Z0-9_.-]{0,8}").unwrap()
+}
+
+/// Arbitrary namespaced XML trees of bounded depth.
+fn arb_element() -> impl Strategy<Value = XmlElement> {
+    let leaf = (arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..3), arb_text())
+        .prop_map(|(name, attrs, text)| {
+            let mut e = XmlElement::new_local(name);
+            for (an, av) in attrs {
+                // Attribute names must be unique per element.
+                if e.attribute(&an).is_none() {
+                    e.set_attr(an, av);
+                }
+            }
+            if !text.is_empty() {
+                e.push_text(text);
+            }
+            e
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (arb_name(), proptest::collection::vec(inner, 0..4)).prop_map(|(name, children)| {
+            let mut e = XmlElement::new_local(name);
+            for c in children {
+                e.push(c);
+            }
+            e
+        })
+    })
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite doubles; the display format does not round-trip NaN/inf
+        // (and SQL forbids them as literals anyway).
+        (-1e12f64..1e12).prop_map(Value::Double),
+        arb_text().prop_map(Value::Str),
+    ]
+}
+
+fn type_of(v: &Value) -> SqlType {
+    v.sql_type().unwrap_or(SqlType::Varchar)
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// parse(write(tree)) == tree for arbitrary trees. The preserving
+    /// parser is the exact inverse of the writer; the protocol-default
+    /// parser additionally drops whitespace-only text, which `normalized`
+    /// accounts for.
+    #[test]
+    fn xml_roundtrip(e in arb_element()) {
+        let text = to_string(&e);
+        let exact = dais::xml::parse_preserving(&text).unwrap();
+        prop_assert_eq!(&exact, &e);
+        let stripped = parse(&text).unwrap();
+        prop_assert_eq!(stripped.normalized(), exact.normalized());
+    }
+
+    /// SOAP envelopes survive the bus's serialise/parse cycle untouched.
+    #[test]
+    fn envelope_roundtrip(body in arb_element()) {
+        // Strip whitespace-only text (the parser's protocol default).
+        let body = body.normalized();
+        let env = dais::soap::Envelope::with_body(body);
+        let rt = dais::soap::Envelope::from_bytes(&env.to_bytes()).unwrap();
+        prop_assert_eq!(rt, env);
+    }
+
+    /// WebRowSet encoding round-trips arbitrary typed tables.
+    #[test]
+    fn rowset_roundtrip(
+        rows in proptest::collection::vec(
+            (arb_value(), arb_value(), arb_text()), 0..12
+        )
+    ) {
+        // Columns take their types from the first row's non-null values;
+        // coerce every row to those types for a well-typed rowset.
+        let col_types = [
+            rows.first().map(|(a, _, _)| type_of(a)).unwrap_or(SqlType::Integer),
+            rows.first().map(|(_, b, _)| type_of(b)).unwrap_or(SqlType::Double),
+            SqlType::Varchar,
+        ];
+        let mut rs = Rowset::new(vec![
+            RowsetColumn { name: "a".into(), ty: col_types[0] },
+            RowsetColumn { name: "b".into(), ty: col_types[1] },
+            RowsetColumn { name: "c".into(), ty: SqlType::Varchar },
+        ]);
+        for (a, b, c) in rows {
+            let a = a.coerce_to(col_types[0]).unwrap_or(Value::Null);
+            let b = b.coerce_to(col_types[1]).unwrap_or(Value::Null);
+            rs.rows.push(vec![a, b, Value::Str(c)]);
+        }
+        let text = to_string(&rs.to_xml());
+        let rt = Rowset::from_xml(&parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(rt.columns, rs.columns);
+        prop_assert_eq!(rt.rows.len(), rs.rows.len());
+        for (x, y) in rt.rows.iter().zip(&rs.rows) {
+            // Doubles go through decimal text; compare displayed forms.
+            for (xv, yv) in x.iter().zip(y) {
+                prop_assert_eq!(xv.to_display_string(), yv.to_display_string());
+            }
+        }
+    }
+
+    /// INSERT-then-SELECT returns exactly what went in (engine vs model).
+    #[test]
+    fn sql_insert_select_agrees_with_model(
+        values in proptest::collection::vec((any::<i64>(), arb_text()), 1..20)
+    ) {
+        let db = Database::new("prop");
+        db.execute("CREATE TABLE t (k INTEGER, v VARCHAR)", &[]).unwrap();
+        let mut model: Vec<(i64, String)> = Vec::new();
+        for (i, (k, v)) in values.into_iter().enumerate() {
+            db.execute(
+                "INSERT INTO t VALUES (?, ?)",
+                &[Value::Int(k), Value::Str(v.clone())],
+            ).unwrap();
+            model.push((k, v));
+            // Every prefix stays consistent.
+            if i % 5 == 0 {
+                let got = db.execute("SELECT k, v FROM t", &[]).unwrap();
+                prop_assert_eq!(got.rowset().unwrap().row_count(), model.len());
+            }
+        }
+        let got = db.execute("SELECT COUNT(*), SUM(k) FROM t", &[]).unwrap();
+        let rows = &got.rowset().unwrap().rows;
+        prop_assert_eq!(&rows[0][0], &Value::Int(model.len() as i64));
+        let model_sum: i64 = model.iter().map(|(k, _)| *k).fold(0, i64::wrapping_add);
+        prop_assert_eq!(&rows[0][1], &Value::Int(model_sum));
+    }
+
+    /// WHERE filtering agrees with a reference filter.
+    #[test]
+    fn sql_where_agrees_with_model(
+        keys in proptest::collection::vec(-1000i64..1000, 1..40),
+        threshold in -1000i64..1000,
+    ) {
+        let db = Database::new("prop");
+        db.execute("CREATE TABLE t (k INTEGER)", &[]).unwrap();
+        for k in &keys {
+            db.execute("INSERT INTO t VALUES (?)", &[Value::Int(*k)]).unwrap();
+        }
+        let got = db
+            .execute("SELECT COUNT(*) FROM t WHERE k > ?", &[Value::Int(threshold)])
+            .unwrap();
+        let expected = keys.iter().filter(|k| **k > threshold).count() as i64;
+        prop_assert_eq!(&got.rowset().unwrap().rows[0][0], &Value::Int(expected));
+    }
+
+    /// ORDER BY sorts like the standard library.
+    #[test]
+    fn sql_order_by_agrees_with_model(keys in proptest::collection::vec(any::<i32>(), 0..30)) {
+        let db = Database::new("prop");
+        db.execute("CREATE TABLE t (k INTEGER)", &[]).unwrap();
+        for k in &keys {
+            db.execute("INSERT INTO t VALUES (?)", &[Value::Int(*k as i64)]).unwrap();
+        }
+        let got = db.execute("SELECT k FROM t ORDER BY k", &[]).unwrap();
+        let got_keys: Vec<i64> = got
+            .rowset().unwrap()
+            .rows
+            .iter()
+            .map(|r| match r[0] { Value::Int(i) => i, ref other => panic!("{other:?}") })
+            .collect();
+        let mut expected: Vec<i64> = keys.iter().map(|k| *k as i64).collect();
+        expected.sort();
+        prop_assert_eq!(got_keys, expected);
+    }
+
+    /// Transactions: rollback restores the exact pre-transaction state.
+    #[test]
+    fn rollback_restores_state(
+        initial in proptest::collection::vec(any::<i32>(), 1..15),
+        changes in proptest::collection::vec(any::<i32>(), 1..15),
+    ) {
+        let db = Database::new("prop");
+        db.execute("CREATE TABLE t (k INTEGER)", &[]).unwrap();
+        for k in &initial {
+            db.execute("INSERT INTO t VALUES (?)", &[Value::Int(*k as i64)]).unwrap();
+        }
+        let before = db.execute("SELECT k FROM t ORDER BY k", &[]).unwrap();
+
+        let mut session = db.connect();
+        session.execute("BEGIN", &[]).unwrap();
+        for k in &changes {
+            session.execute("INSERT INTO t VALUES (?)", &[Value::Int(*k as i64)]).unwrap();
+        }
+        session.execute("DELETE FROM t WHERE k % 2 = 0", &[]).unwrap();
+        session.execute("ROLLBACK", &[]).unwrap();
+
+        let after = db.execute("SELECT k FROM t ORDER BY k", &[]).unwrap();
+        prop_assert_eq!(after.rowset().unwrap().rows.clone(), before.rowset().unwrap().rows.clone());
+    }
+
+    /// The DAIS message body round-trips arbitrary SQL parameter vectors.
+    #[test]
+    fn sql_parameters_roundtrip_the_wire(params in proptest::collection::vec(arb_value(), 0..8)) {
+        let name = AbstractName::new("urn:dais:p:db:0").unwrap();
+        let req = dais::dair::messages::sql_execute_request(
+            &name, dais::xml::ns::ROWSET, "SELECT 1", &params,
+        );
+        // Through text, like the bus does.
+        let text = to_string(&req);
+        let parsed = parse(&text).unwrap();
+        let (sql, got) = dais::dair::messages::parse_sql_expression(&parsed).unwrap();
+        prop_assert_eq!(sql, "SELECT 1");
+        prop_assert_eq!(got.len(), params.len());
+        for (x, y) in got.iter().zip(&params) {
+            prop_assert_eq!(x.to_display_string(), y.to_display_string());
+        }
+    }
+}
+
+/// Abstract names from concurrent generators never collide (plain test —
+/// determinism is the property).
+#[test]
+fn abstract_names_unique_across_threads() {
+    let gen = std::sync::Arc::new(dais::core::NameGenerator::new("uniq"));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let gen = gen.clone();
+            std::thread::spawn(move || (0..250).map(|_| gen.mint("r")).collect::<Vec<_>>())
+        })
+        .collect();
+    let mut all: Vec<_> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+    let n = all.len();
+    all.sort();
+    all.dedup();
+    assert_eq!(all.len(), n);
+}

@@ -1,0 +1,178 @@
+//! End-to-end coverage of the WS-DAIX realisation beyond the unit tests:
+//! WSRF-layered XML services, indirect sequences with soft state, and the
+//! shared message framing across realisations ("DAIS as a whole has a
+//! coherent framework", §4.1).
+
+use dais::prelude::*;
+use dais::soap::fault::DaisFault;
+use dais::wsrf::LifetimeRegistry;
+use dais::xml::{ns, parse};
+use std::sync::Arc;
+
+fn corpus() -> Vec<(String, dais::xml::XmlElement)> {
+    (0..20)
+        .map(|i| {
+            (
+                format!("d{i}"),
+                parse(&format!(
+                    "<record id='{i}'><group>{}</group><score>{}</score></record>",
+                    i % 4,
+                    i * 10
+                ))
+                .unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn wsrf_layered_xml_service() {
+    let bus = Bus::new();
+    let clock = ManualClock::new();
+    let svc = XmlService::launch(
+        &bus,
+        "bus://xw",
+        XmlDatabase::new("xw"),
+        XmlServiceOptions { wsrf: Some(Arc::new(LifetimeRegistry::new(clock.clone()))) },
+    );
+    let client = XmlClient::new(bus.clone(), "bus://xw");
+    client.add_documents(&svc.root_collection, &corpus()).unwrap();
+
+    // Fine-grained property access works on XML resources too.
+    let props = client
+        .core()
+        .get_resource_property(&svc.root_collection, "wsdaix:NumberOfDocuments")
+        .unwrap();
+    assert_eq!(props[0].text(), "20");
+
+    // Derived sequences participate in soft-state lifetime.
+    let epr = client.xpath_factory(&svc.root_collection, "/record[score > 100]").unwrap();
+    let seq = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
+    client.core().set_termination_time(&seq, Some(500)).unwrap();
+    assert_eq!(client.get_items(&seq, 0, 100).unwrap().len(), 9); // ids 11..19
+    clock.advance(501);
+    let err = client.get_items(&seq, 0, 1).unwrap_err();
+    assert_eq!(err.dais_fault(), Some(DaisFault::DataResourceUnavailable));
+    // The root collection (no lease) lives on.
+    assert_eq!(client.get_documents(&svc.root_collection, &[]).unwrap().len(), 20);
+}
+
+#[test]
+fn xquery_and_xpath_agree_on_filters() {
+    let bus = Bus::new();
+    let svc = XmlService::launch(&bus, "bus://xa", XmlDatabase::new("xa"), Default::default());
+    let client = XmlClient::new(bus, "bus://xa");
+    client.add_documents(&svc.root_collection, &corpus()).unwrap();
+
+    let via_xpath = client.xpath(&svc.root_collection, "/record[group = 2]").unwrap();
+    let via_xquery = client
+        .xquery(&svc.root_collection, "for $r in /record where $r/group = 2 return $r")
+        .unwrap();
+    assert_eq!(via_xpath.len(), 5);
+    assert_eq!(via_xpath.len(), via_xquery.len());
+    let ids_a: Vec<_> = via_xpath.iter().map(|r| r.attribute("id").unwrap().to_string()).collect();
+    let ids_b: Vec<_> = via_xquery.iter().map(|r| r.attribute("id").unwrap().to_string()).collect();
+    assert_eq!(ids_a, ids_b);
+}
+
+#[test]
+fn xupdate_then_query_consistency() {
+    let bus = Bus::new();
+    let svc = XmlService::launch(&bus, "bus://xu", XmlDatabase::new("xu"), Default::default());
+    let client = XmlClient::new(bus, "bus://xu");
+    client.add_documents(&svc.root_collection, &corpus()).unwrap();
+
+    // Rename group → cohort across every document, then query by the new name.
+    let mods = parse(
+        "<xu:modifications xmlns:xu='http://www.xmldb.org/xupdate'>\
+           <xu:rename select='/record/group'>cohort</xu:rename>\
+         </xu:modifications>",
+    )
+    .unwrap();
+    let touched = client.xupdate(&svc.root_collection, mods).unwrap();
+    assert_eq!(touched, 20);
+    assert_eq!(client.xpath(&svc.root_collection, "/record/group").unwrap().len(), 0);
+    assert_eq!(client.xpath(&svc.root_collection, "/record/cohort").unwrap().len(), 20);
+}
+
+#[test]
+fn generic_query_is_uniform_across_realisations() {
+    // The same CoreDataAccess::GenericQuery operation serves SQL on
+    // relational resources and XPath/XQuery on XML resources — one
+    // framework, realisation-specific languages (§4.1).
+    let bus = Bus::new();
+    let db = Database::new("g");
+    db.execute_script("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1), (2);").unwrap();
+    let rel = RelationalService::launch(&bus, "bus://grel", db, Default::default());
+    let xsvc = XmlService::launch(&bus, "bus://gxml", XmlDatabase::new("g"), Default::default());
+    let xclient = XmlClient::new(bus.clone(), "bus://gxml");
+    xclient
+        .add_documents(&xsvc.root_collection, &[("d".into(), parse("<r><a>1</a></r>").unwrap())])
+        .unwrap();
+
+    let core_rel = dais::core::CoreClient::new(bus.clone(), "bus://grel");
+    let core_xml = dais::core::CoreClient::new(bus.clone(), "bus://gxml");
+
+    // Each resource advertises its languages...
+    let rel_langs = core_rel.get_property_document(&rel.db_resource).unwrap().generic_query_languages;
+    let xml_langs =
+        core_xml.get_property_document(&xsvc.root_collection).unwrap().generic_query_languages;
+    assert!(rel_langs.contains(&dais::dair::resources::SQL_LANGUAGE_URI.to_string()));
+    assert!(xml_langs.contains(&dais::daix::languages::XPATH.to_string()));
+
+    // ...and serves them through the same operation.
+    let rows = core_rel
+        .generic_query(&rel.db_resource, &rel_langs[0], "SELECT COUNT(*) FROM t")
+        .unwrap();
+    assert!(!rows.is_empty());
+    let nodes = core_xml
+        .generic_query(&xsvc.root_collection, dais::daix::languages::XPATH, "/r/a")
+        .unwrap();
+    assert_eq!(nodes[0].text(), "1");
+
+    // Wrong language, same fault, both realisations.
+    let e1 = core_rel.generic_query(&rel.db_resource, "urn:nope", "x").unwrap_err();
+    let e2 = core_xml.generic_query(&xsvc.root_collection, "urn:nope", "x").unwrap_err();
+    assert_eq!(e1.dais_fault(), Some(DaisFault::InvalidLanguage));
+    assert_eq!(e2.dais_fault(), Some(DaisFault::InvalidLanguage));
+}
+
+#[test]
+fn daif_realisation_follows_the_family_pattern() {
+    // The files realisation (the paper's §6 future work) exposes the same
+    // core operations, factory pattern and property-document shape.
+    let bus = Bus::new();
+    let store = dais::daif::FileStore::new();
+    for i in 0..6 {
+        store.write(&format!("logs/day{i}.log"), vec![b'x'; 100 * (i + 1)]).unwrap();
+    }
+    let svc = dais::daif::FileService::launch(&bus, "bus://flog", store, Default::default());
+    let core = dais::core::CoreClient::new(bus.clone(), "bus://flog");
+
+    // Core property document with WS-DAIF extensions.
+    let doc = core.get_property_document_xml(&svc.root).unwrap();
+    assert!(doc.child(ns::WSDAI, "DataResourceAbstractName").is_some());
+    assert_eq!(doc.child_text(dais::daif::WSDAIF_NS, "NumberOfFiles").as_deref(), Some("6"));
+
+    // Indirect access: select → EPR → paged members.
+    let client = dais::soap::ServiceClient::new(bus, "bus://flog");
+    let body = dais::core::messages::request("FileSelectFactoryRequest", &svc.root).with_child(
+        dais::xml::XmlElement::new(dais::daif::WSDAIF_NS, "wsdaif", "Pattern").with_text("logs/*"),
+    );
+    let resp = client.request(dais::daif::actions::FILE_SELECT_FACTORY, body).unwrap();
+    let epr = dais::core::factory::parse_factory_response(&resp).unwrap();
+    let set = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
+    // It is a service-managed derived resource with a parent, like every
+    // other realisation's factory output.
+    let props = core.get_property_document(&set).unwrap();
+    assert_eq!(props.parent.as_ref(), Some(&svc.root));
+    assert_eq!(props.management, dais::core::properties::ResourceManagementKind::ServiceManaged);
+    // And it pages.
+    let body = dais::core::messages::request("GetFileSetMembersRequest", &set)
+        .with_child(
+            dais::xml::XmlElement::new(dais::daif::WSDAIF_NS, "wsdaif", "StartPosition").with_text("4"),
+        )
+        .with_child(dais::xml::XmlElement::new(dais::daif::WSDAIF_NS, "wsdaif", "Count").with_text("10"));
+    let resp = client.request(dais::daif::actions::GET_FILE_SET_MEMBERS, body).unwrap();
+    assert_eq!(resp.children_named(dais::daif::WSDAIF_NS, "File").count(), 2);
+}
