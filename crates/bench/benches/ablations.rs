@@ -4,7 +4,8 @@
 //! * E9 (§4.2) — `Sensitivity`: materialised vs re-evaluated responses;
 //! * E10 (§4.2) — per-message transactions and engine-level costs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dais_bench::crit::{BenchmarkId, Criterion};
+use dais_bench::{criterion_group, criterion_main};
 use dais_bench::workload::populate_items;
 use dais_core::{AbstractName, ConfigurationDocument, Sensitivity};
 use dais_dair::{RelationalService, RelationalServiceOptions, SqlClient};

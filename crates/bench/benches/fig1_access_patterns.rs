@@ -4,7 +4,8 @@
 //! indirect factory call is (nearly) size-independent. The crossover in
 //! *consumer-1 cost* appears as soon as results outgrow an EPR.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dais_bench::crit::{BenchmarkId, Criterion};
+use dais_bench::{criterion_group, criterion_main};
 use dais_bench::workload::populate_items;
 use dais_dair::{RelationalService, SqlClient};
 use dais_soap::Bus;

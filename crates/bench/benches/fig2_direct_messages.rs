@@ -2,7 +2,8 @@
 //! request building, full round trip, and the WebRowSet marshalling that
 //! dominates large responses.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dais_bench::crit::{BenchmarkId, Criterion};
+use dais_bench::{criterion_group, criterion_main};
 use dais_bench::workload::populate_items;
 use dais_dair::{messages, RelationalService, SqlClient};
 use dais_soap::Bus;

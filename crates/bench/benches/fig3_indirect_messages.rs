@@ -2,7 +2,8 @@
 //! round trip across result sizes (size-independent when Insensitive-lazy
 //! evaluation is not required), EPR minting, and Resolve().
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dais_bench::crit::{BenchmarkId, Criterion};
+use dais_bench::{criterion_group, criterion_main};
 use dais_bench::workload::populate_items;
 use dais_core::factory::mint_resource_epr;
 use dais_core::AbstractName;

@@ -1,7 +1,8 @@
 //! E4 / Figure 4: property document costs — whole-document retrieval vs
 //! WSRF fine-grained access, and XPath queries over the document.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dais_bench::crit::{BenchmarkId, Criterion};
+use dais_bench::{criterion_group, criterion_main};
 use dais_dair::{RelationalService, RelationalServiceOptions, SqlClient};
 use dais_soap::Bus;
 use dais_sql::Database;

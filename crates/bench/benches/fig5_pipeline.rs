@@ -1,7 +1,8 @@
 //! E5 / Figure 5: the three-consumer relational pipeline vs repeated
 //! direct access, and GetTuples page-size sensitivity.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dais_bench::crit::{BenchmarkId, Criterion};
+use dais_bench::{criterion_group, criterion_main};
 use dais_bench::workload::populate_items;
 use dais_core::AbstractName;
 use dais_dair::{RelationalService, SqlClient};

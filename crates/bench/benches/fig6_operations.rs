@@ -1,7 +1,8 @@
 //! E6 / Figure 6: per-operation round-trip cost across the interface
 //! inventory (core, relational and XML realisations).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dais_bench::crit::Criterion;
+use dais_bench::{criterion_group, criterion_main};
 use dais_bench::workload::{populate_books, populate_items};
 use dais_core::AbstractName;
 use dais_dair::{RelationalService, SqlClient};

@@ -1,7 +1,8 @@
 //! E7 / Figure 7: cost of the WSRF layering — core operations with and
 //! without the layer, soft-state bookkeeping, and the sweeper.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dais_bench::crit::{BenchmarkId, Criterion};
+use dais_bench::{criterion_group, criterion_main};
 use dais_bench::workload::populate_items;
 use dais_core::AbstractName;
 use dais_dair::{RelationalService, RelationalServiceOptions, SqlClient};

@@ -1,0 +1,164 @@
+//! A minimal, API-compatible stand-in for the slice of `criterion` the
+//! paper-figure benches use (the real crate is unavailable offline).
+//!
+//! It implements `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId` and `Bencher::iter`
+//! with straightforward wall-clock sampling: each sample times one call of
+//! the `iter` closure, and the per-group report prints min/mean over the
+//! samples. Good enough to keep the bench targets compiling, running and
+//! honest about relative cost; not a statistics engine.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level driver handed to each bench function by [`criterion_group!`].
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name}");
+        BenchmarkGroup { _criterion: self, name, sample_size: 10 }
+    }
+}
+
+/// A named benchmark id, optionally parameterised (`name/param`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        // One warm-up sample, discarded.
+        f(&mut b);
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        b.report(&self.name, &id.label);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Times the closure passed to [`Bencher::iter`] once per sample.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        black_box(f());
+        self.samples.push(start.elapsed());
+    }
+
+    fn report(&self, group: &str, label: &str) {
+        if self.samples.is_empty() {
+            println!("  {group}/{label}: no samples (closure never called iter)");
+            return;
+        }
+        let min = self.samples.iter().min().unwrap();
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        println!(
+            "  {group}/{label}: mean {:>10.2?}  min {:>10.2?}  ({} samples)",
+            mean,
+            min,
+            self.samples.len()
+        );
+    }
+}
+
+/// Expands to a function running each bench with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            $(
+                let mut c = $crate::crit::Criterion::default();
+                $target(&mut c);
+            )+
+        }
+    };
+}
+
+/// Expands to `main`, invoking each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_requested_samples() {
+        let mut calls = 0usize;
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.bench_function("counting", |b| b.iter(|| calls += 1));
+        group.finish();
+        // 5 samples + 1 warm-up.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn benchmark_id_formats_parameter() {
+        let id = BenchmarkId::new("direct", 100);
+        assert_eq!(id.label, "direct/100");
+    }
+}

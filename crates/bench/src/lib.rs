@@ -7,6 +7,7 @@
 //! Everything here is deterministic: workloads are generated from seeded
 //! RNGs so experiment output is reproducible run-to-run.
 
+pub mod crit;
 pub mod harness;
 pub mod workload;
 

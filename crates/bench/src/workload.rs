@@ -2,12 +2,11 @@
 
 use dais_sql::{Database, Value};
 use dais_xmldb::XmlDatabase;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dais_util::SplitMix64;
 
 /// A seeded RNG for reproducible workloads.
-pub fn seeded_rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn seeded_rng(seed: u64) -> SplitMix64 {
+    SplitMix64::new(seed)
 }
 
 /// Create and populate an `item` table with `rows` rows. Each row has an
@@ -29,10 +28,10 @@ pub fn populate_items(db: &Database, rows: usize, payload_width: usize) {
     // Insert in batches to keep statement parse cost out of the data load.
     let mut pending: Vec<String> = Vec::new();
     for i in 0..rows {
-        let category = rng.gen_range(0..10);
-        let price = (rng.gen_range(0..100_000) as f64) / 100.0;
+        let category = rng.gen_range(0, 10);
+        let price = (rng.gen_range(0, 100_000) as f64) / 100.0;
         let payload: String = (0..payload_width)
-            .map(|_| char::from(b'a' + rng.gen_range(0..26u8)))
+            .map(|_| char::from(b'a' + rng.gen_range(0, 26) as u8))
             .collect();
         pending.push(format!("({i}, {category}, {price}, '{payload}')"));
         if pending.len() == 256 {
@@ -55,11 +54,11 @@ pub fn populate_books(db: &XmlDatabase, collection: &str, n: usize) {
     }
     let mut rng = seeded_rng(7);
     for i in 0..n {
-        let year = 1990 + rng.gen_range(0..35);
-        let price = rng.gen_range(5..120);
-        let abstract_len = rng.gen_range(10..60);
+        let year = 1990 + rng.gen_range(0, 35);
+        let price = rng.gen_range(5, 120);
+        let abstract_len = rng.gen_range(10, 60);
         let abstract_text: String =
-            (0..abstract_len).map(|_| char::from(b'a' + rng.gen_range(0..26u8))).collect();
+            (0..abstract_len).map(|_| char::from(b'a' + rng.gen_range(0, 26) as u8)).collect();
         let doc = format!(
             "<book id='{i}'>\
                <title>Book {i}</title>\

@@ -6,7 +6,7 @@
 
 use crate::name::AbstractName;
 use crate::resource::DataResource;
-use parking_lot::RwLock;
+use dais_util::sync::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 

@@ -1,7 +1,7 @@
 //! The in-memory file store: a flat namespace of `/`-separated paths,
 //! standing in for a grid file system.
 
-use parking_lot::RwLock;
+use dais_util::sync::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 

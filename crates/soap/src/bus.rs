@@ -14,7 +14,7 @@
 use crate::envelope::Envelope;
 use crate::fault::Fault;
 use crate::service::SoapService;
-use parking_lot::RwLock;
+use dais_util::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

@@ -8,7 +8,7 @@ use crate::rowset::Rowset;
 use crate::sqlcomm::SqlCommunicationArea;
 use crate::storage::Storage;
 use crate::value::Value;
-use parking_lot::RwLock;
+use dais_util::sync::RwLock;
 use std::sync::Arc;
 
 /// The result of executing one statement.

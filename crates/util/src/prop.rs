@@ -1,0 +1,131 @@
+//! A miniature property-testing harness.
+//!
+//! Stands in for `proptest` (unavailable offline): a property is a
+//! closure over a [`Gen`]; [`run_cases`] drives it through `n` seeded
+//! cases. Each case derives its own seed from the master seed, and a
+//! failing case reports that seed so the exact inputs can be replayed
+//! with `Gen::from_seed`. No shrinking — failures print the replay seed
+//! instead, and generators are kept small enough that raw cases are
+//! readable.
+
+use crate::rng::{mix2, SplitMix64};
+
+/// A source of arbitrary values for one property case.
+pub struct Gen {
+    rng: SplitMix64,
+}
+
+impl Gen {
+    /// The generator for a specific case seed (replay entry point).
+    pub fn from_seed(seed: u64) -> Gen {
+        Gen { rng: SplitMix64::new(seed) }
+    }
+
+    /// Direct access to the underlying RNG.
+    pub fn rng(&mut self) -> &mut SplitMix64 {
+        &mut self.rng
+    }
+
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.gen_range(lo, hi)
+    }
+
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo as u64, hi as u64) as usize
+    }
+
+    pub fn i64_any(&mut self) -> i64 {
+        self.rng.next_u64() as i64
+    }
+
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.rng.next_f64() * (hi - lo)
+    }
+
+    pub fn bool_any(&mut self) -> bool {
+        self.rng.gen_bool(0.5)
+    }
+
+    pub fn byte(&mut self) -> u8 {
+        self.rng.next_u64() as u8
+    }
+
+    /// A `Vec` of `len` in `[min, max]` filled by `f`.
+    pub fn vec_of<T>(&mut self, min: usize, max: usize, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let len = self.usize_in(min, max + 1);
+        (0..len).map(|_| f(self)).collect()
+    }
+
+    /// One element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, choices: &'a [T]) -> &'a T {
+        &choices[self.usize_in(0, choices.len())]
+    }
+
+    /// A string of `len` in `[min, max]` drawn from `alphabet`'s chars.
+    pub fn string_from(&mut self, alphabet: &str, min: usize, max: usize) -> String {
+        let chars: Vec<char> = alphabet.chars().collect();
+        let len = self.usize_in(min, max + 1);
+        (0..len).map(|_| *self.pick(&chars)).collect()
+    }
+}
+
+/// Run `cases` seeded instances of `property`. A panic inside the
+/// property is re-raised annotated with the case index and replay seed.
+pub fn run_cases(name: &str, cases: u32, master_seed: u64, mut property: impl FnMut(&mut Gen)) {
+    for i in 0..cases {
+        let case_seed = mix2(master_seed, i as u64);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g = Gen::from_seed(case_seed);
+            property(&mut g);
+        }));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic>".into());
+            panic!(
+                "property '{name}' failed at case {i}/{cases} \
+                 (replay with Gen::from_seed({case_seed:#x})): {msg}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_reproducible() {
+        let mut first: Vec<u64> = Vec::new();
+        run_cases("collect", 5, 99, |g| first.push(g.u64_in(0, 1000)));
+        let mut second: Vec<u64> = Vec::new();
+        run_cases("collect", 5, 99, |g| second.push(g.u64_in(0, 1000)));
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 5);
+    }
+
+    #[test]
+    fn failure_reports_replay_seed() {
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_cases("always-fails", 3, 1, |_| panic!("boom"));
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("always-fails"), "{msg}");
+        assert!(msg.contains("replay with"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn generators_stay_in_bounds() {
+        run_cases("bounds", 50, 7, |g| {
+            let s = g.string_from("abc", 2, 5);
+            assert!((2..=5).contains(&s.len()));
+            assert!(s.chars().all(|c| "abc".contains(c)));
+            let v = g.vec_of(0, 3, |g| g.bool_any());
+            assert!(v.len() <= 3);
+        });
+    }
+}

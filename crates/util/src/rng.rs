@@ -1,0 +1,121 @@
+//! A tiny deterministic PRNG.
+//!
+//! SplitMix64 (Steele, Lea & Flood) — 64 bits of state, full-period,
+//! passes BigCrush, and trivially seedable. Not cryptographic; used for
+//! workload generation, chaos fault injection and retry jitter, where the
+//! requirement is *reproducibility from a seed*, not unpredictability.
+
+/// SplitMix64 generator state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+/// One SplitMix64 output step as a pure function: finalises `state` after
+/// the golden-gamma increment. Usable as a stateless hash for
+/// deterministic per-key decisions (e.g. jitter for attempt `k`).
+pub fn mix(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Combine two words into one hash value (order-sensitive).
+pub fn mix2(a: u64, b: u64) -> u64 {
+    mix(mix(a) ^ b)
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in the half-open range `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+        // Lemire-style rejection-free reduction is overkill here; modulo
+        // bias is negligible for the span sizes the stack draws.
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.next_f64() < p
+        }
+    }
+
+    /// Derive an independent generator (for giving each thread/component
+    /// its own stream from one master seed).
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(5, 15);
+            assert!((5..15).contains(&v));
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_edges_and_rough_frequency() {
+        let mut r = SplitMix64::new(9);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+
+    #[test]
+    fn mix_matches_stepping() {
+        let mut r = SplitMix64::new(100);
+        assert_eq!(r.next_u64(), mix(100));
+    }
+
+    #[test]
+    fn split_streams_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = a.split();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

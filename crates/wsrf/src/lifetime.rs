@@ -8,7 +8,7 @@
 
 use crate::clock::Clock;
 use dais_xml::{ns, XmlElement};
-use parking_lot::RwLock;
+use dais_util::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 

@@ -1,7 +1,7 @@
 //! The collection tree and the thread-safe database façade.
 
 use dais_xml::{parse, XPathContext, XPathExpr, XPathValue, XmlElement};
-use parking_lot::RwLock;
+use dais_util::sync::RwLock;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;

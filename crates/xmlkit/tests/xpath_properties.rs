@@ -1,85 +1,101 @@
 //! Property-based tests of the XML toolkit: escaping laws, XPath
 //! coercion laws and engine consistency across equivalent expressions.
+//!
+//! Driven by the in-repo mini property harness (`dais_util::prop`);
+//! failing cases print a replay seed.
 
+use dais_util::prop::run_cases;
 use dais_xml::{parse, parse_preserving, to_string, XPathExpr, XPathValue, XmlElement};
-use proptest::prelude::*;
 
-fn arb_text() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[ -~]{0,30}").unwrap()
-}
+/// Printable ASCII, the space through tilde range (proptest's old
+/// `[ -~]{0,30}` strategy).
+const PRINTABLE: &str = " !\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~";
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Attribute and text escaping is lossless for printable ASCII
-    /// (quotes, angle brackets, ampersands and all).
-    #[test]
-    fn escaping_roundtrip(attr in arb_text(), text in arb_text()) {
+/// Attribute and text escaping is lossless for printable ASCII
+/// (quotes, angle brackets, ampersands and all).
+#[test]
+fn escaping_roundtrip() {
+    run_cases("escaping_roundtrip", 96, 0xE5C, |g| {
+        let attr = g.string_from(PRINTABLE, 0, 30);
+        let text = g.string_from(PRINTABLE, 0, 30);
         let mut e = XmlElement::new_local("r");
         e.set_attr("a", &attr);
         e.push_text(&text);
         let wire = to_string(&e);
         let back = parse_preserving(&wire).unwrap();
-        prop_assert_eq!(back.attribute("a"), Some(attr.as_str()));
-        prop_assert_eq!(back.text(), text);
-    }
+        assert_eq!(back.attribute("a"), Some(attr.as_str()));
+        assert_eq!(back.text(), text);
+    });
+}
 
-    /// XPath numeric coercion laws: string(number(n)) == displayed n for
-    /// integers; boolean() of a non-zero number is true.
-    #[test]
-    fn numeric_coercions(n in -100000i64..100000) {
+/// XPath numeric coercion laws: string(number(n)) == displayed n for
+/// integers; boolean() of a non-zero number is true.
+#[test]
+fn numeric_coercions() {
+    run_cases("numeric_coercions", 96, 0x41C, |g| {
+        let n = g.u64_in(0, 200_000) as i64 - 100_000;
         let doc = parse(&format!("<r><v>{n}</v></r>")).unwrap();
         let as_number = XPathExpr::parse("number(/r/v)").unwrap().evaluate(&doc).unwrap();
-        prop_assert_eq!(as_number.to_number() as i64, n);
+        assert_eq!(as_number.to_number() as i64, n);
         let as_string = XPathExpr::parse("string(number(/r/v))").unwrap().evaluate(&doc).unwrap();
-        prop_assert_eq!(as_string.to_xpath_string(), n.to_string());
+        assert_eq!(as_string.to_xpath_string(), n.to_string());
         let truthy = XPathExpr::parse("boolean(/r/v != 0) = boolean(number(/r/v))")
-            .unwrap().evaluate(&doc).unwrap();
+            .unwrap()
+            .evaluate(&doc)
+            .unwrap();
         if n != 0 {
-            prop_assert!(truthy.to_bool());
+            assert!(truthy.to_bool());
         }
-    }
+    });
+}
 
-    /// count(//x) equals the number of x elements we built.
-    #[test]
-    fn count_matches_construction(n in 0usize..30) {
+/// count(//x) equals the number of x elements we built.
+#[test]
+fn count_matches_construction() {
+    run_cases("count_matches_construction", 96, 0xC07, |g| {
+        let n = g.usize_in(0, 30);
         let mut root = XmlElement::new_local("root");
         for i in 0..n {
             root.push(XmlElement::new_local("x").with_text(i.to_string()));
         }
         let v = XPathExpr::parse("count(//x)").unwrap().evaluate(&root).unwrap();
-        prop_assert_eq!(v.to_number() as usize, n);
+        assert_eq!(v.to_number() as usize, n);
         // Equivalent formulations agree.
         let v2 = XPathExpr::parse("count(/root/x)").unwrap().evaluate(&root).unwrap();
         let v3 = XPathExpr::parse("count(root/x)").unwrap().evaluate(&root).unwrap();
-        prop_assert_eq!(v.to_number(), v2.to_number());
-        prop_assert_eq!(v.to_number(), v3.to_number());
-    }
+        assert_eq!(v.to_number(), v2.to_number());
+        assert_eq!(v.to_number(), v3.to_number());
+    });
+}
 
-    /// Positional predicates slice like ranges: /r/x[position() <= k]
-    /// returns min(k, n) nodes, and x[i] is the i-th built node.
-    #[test]
-    fn positional_predicates(n in 1usize..20, k in 1usize..25) {
+/// Positional predicates slice like ranges: /r/x[position() <= k]
+/// returns min(k, n) nodes, and x[i] is the i-th built node.
+#[test]
+fn positional_predicates() {
+    run_cases("positional_predicates", 96, 0x905, |g| {
+        let n = g.usize_in(1, 20);
+        let k = g.usize_in(1, 25);
         let mut root = XmlElement::new_local("r");
         for i in 0..n {
             root.push(XmlElement::new_local("x").with_text(i.to_string()));
         }
         let expr = XPathExpr::parse(&format!("/r/x[position() <= {k}]")).unwrap();
         match expr.evaluate(&root).unwrap() {
-            XPathValue::NodeSet(nodes) => prop_assert_eq!(nodes.len(), k.min(n)),
-            other => prop_assert!(false, "unexpected {:?}", other),
+            XPathValue::NodeSet(nodes) => assert_eq!(nodes.len(), k.min(n)),
+            other => panic!("unexpected {other:?}"),
         }
         let i = (k - 1) % n + 1;
         let expr = XPathExpr::parse(&format!("string(/r/x[{i}])")).unwrap();
-        prop_assert_eq!(
-            expr.evaluate(&root).unwrap().to_xpath_string(),
-            (i - 1).to_string()
-        );
-    }
+        assert_eq!(expr.evaluate(&root).unwrap().to_xpath_string(), (i - 1).to_string());
+    });
+}
 
-    /// Union is commutative and idempotent in cardinality.
-    #[test]
-    fn union_laws(a in 0usize..6, b in 0usize..6) {
+/// Union is commutative and idempotent in cardinality.
+#[test]
+fn union_laws() {
+    run_cases("union_laws", 96, 0x111, |g| {
+        let a = g.usize_in(0, 6);
+        let b = g.usize_in(0, 6);
         let mut root = XmlElement::new_local("r");
         for _ in 0..a {
             root.push(XmlElement::new_local("p"));
@@ -93,35 +109,42 @@ proptest! {
                 _ => usize::MAX,
             }
         };
-        prop_assert_eq!(n("//p | //q"), a + b);
-        prop_assert_eq!(n("//q | //p"), a + b);
-        prop_assert_eq!(n("//p | //p"), a); // dedup
-    }
+        assert_eq!(n("//p | //q"), a + b);
+        assert_eq!(n("//q | //p"), a + b);
+        assert_eq!(n("//p | //p"), a); // dedup
+    });
+}
 
-    /// The filter `[last()]` selects exactly the final sibling.
-    #[test]
-    fn last_selects_final(n in 1usize..15) {
+/// The filter `[last()]` selects exactly the final sibling.
+#[test]
+fn last_selects_final() {
+    run_cases("last_selects_final", 96, 0x1A5, |g| {
+        let n = g.usize_in(1, 15);
         let mut root = XmlElement::new_local("r");
         for i in 0..n {
             root.push(XmlElement::new_local("x").with_attr("i", i.to_string()));
         }
         let v = XPathExpr::parse("string(/r/x[last()]/@i)").unwrap().evaluate(&root).unwrap();
-        prop_assert_eq!(v.to_xpath_string(), (n - 1).to_string());
-    }
+        assert_eq!(v.to_xpath_string(), (n - 1).to_string());
+    });
+}
 
-    /// Arithmetic in XPath agrees with Rust arithmetic on small ints.
-    #[test]
-    fn arithmetic_agrees(a in -50i64..50, b in 1i64..50) {
+/// Arithmetic in XPath agrees with Rust arithmetic on small ints.
+#[test]
+fn arithmetic_agrees() {
+    run_cases("arithmetic_agrees", 96, 0xA17, |g| {
+        let a = g.u64_in(0, 100) as i64 - 50;
+        let b = g.u64_in(1, 50) as i64;
         let doc = XmlElement::new_local("r");
         let eval = |src: &str| -> f64 {
             XPathExpr::parse(src).unwrap().evaluate(&doc).unwrap().to_number()
         };
-        prop_assert_eq!(eval(&format!("{a} + {b}")), (a + b) as f64);
-        prop_assert_eq!(eval(&format!("{a} * {b}")), (a * b) as f64);
-        prop_assert_eq!(eval(&format!("{a} div {b}")), a as f64 / b as f64);
-        prop_assert_eq!(eval(&format!("{a} mod {b}")), (a % b) as f64);
-        prop_assert_eq!(eval(&format!("{a} < {b}")) != 0.0, a < b);
-    }
+        assert_eq!(eval(&format!("{a} + {b}")), (a + b) as f64);
+        assert_eq!(eval(&format!("{a} * {b}")), (a * b) as f64);
+        assert_eq!(eval(&format!("{a} div {b}")), a as f64 / b as f64);
+        assert_eq!(eval(&format!("{a} mod {b}")), (a % b) as f64);
+        assert_eq!(eval(&format!("{a} < {b}")) != 0.0, a < b);
+    });
 }
 
 /// String-value of an element concatenates descendant text in document

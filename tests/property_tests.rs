@@ -1,63 +1,74 @@
-//! Cross-crate property-based tests (proptest) on the stack's key
-//! invariants: wire-format round-trips, SQL engine behaviour against a
-//! reference model, and name uniqueness.
+//! Cross-crate property-based tests on the stack's key invariants: wire
+//! format round-trips, SQL engine behaviour against a reference model,
+//! and name uniqueness.
+//!
+//! Driven by the in-repo mini property harness (`dais_util::prop`);
+//! failing cases print a replay seed.
 
 use dais::prelude::*;
 use dais::sql::{Rowset, RowsetColumn, SqlType};
 use dais::xml::{parse, to_string, XmlElement};
-use proptest::prelude::*;
+use dais_util::prop::{run_cases, Gen};
 
 // ---------------------------------------------------------------------------
 // Generators
 // ---------------------------------------------------------------------------
 
+/// Printable ASCII incl. the XML metacharacters — escaping must cover it.
+const TEXT_ALPHABET: &str = " &<>\"'abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789.,:;!?#$%()*+-/=@[]^_{}|~";
+const NAME_HEAD: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+const NAME_TAIL: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.-";
+
 /// XML-safe text (the parser rejects raw control characters by design of
 /// the subset; escaping covers the rest).
-fn arb_text() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[ -~&<>\"'a-zA-Z0-9]{0,24}").unwrap()
+fn arb_text(g: &mut Gen) -> String {
+    g.string_from(TEXT_ALPHABET, 0, 24)
 }
 
-fn arb_name() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[a-zA-Z][a-zA-Z0-9_.-]{0,8}").unwrap()
+fn arb_name(g: &mut Gen) -> String {
+    let mut s = g.string_from(NAME_HEAD, 1, 1);
+    s.push_str(&g.string_from(NAME_TAIL, 0, 8));
+    s
 }
 
 /// Arbitrary namespaced XML trees of bounded depth.
-fn arb_element() -> impl Strategy<Value = XmlElement> {
-    let leaf = (arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..3), arb_text())
-        .prop_map(|(name, attrs, text)| {
-            let mut e = XmlElement::new_local(name);
-            for (an, av) in attrs {
-                // Attribute names must be unique per element.
-                if e.attribute(&an).is_none() {
-                    e.set_attr(an, av);
-                }
-            }
-            if !text.is_empty() {
-                e.push_text(text);
-            }
-            e
-        });
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        (arb_name(), proptest::collection::vec(inner, 0..4)).prop_map(|(name, children)| {
-            let mut e = XmlElement::new_local(name);
-            for c in children {
-                e.push(c);
-            }
-            e
-        })
-    })
+fn arb_element(g: &mut Gen) -> XmlElement {
+    arb_element_depth(g, 3)
 }
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
+fn arb_element_depth(g: &mut Gen, depth: usize) -> XmlElement {
+    let mut e = XmlElement::new_local(arb_name(g));
+    for _ in 0..g.usize_in(0, 3) {
+        let an = arb_name(g);
+        // Attribute names must be unique per element.
+        if e.attribute(&an).is_none() {
+            e.set_attr(an, arb_text(g));
+        }
+    }
+    if depth == 0 || g.bool_any() {
+        // Leaf: optional text content.
+        let text = arb_text(g);
+        if !text.is_empty() {
+            e.push_text(text);
+        }
+    } else {
+        for _ in 0..g.usize_in(0, 4) {
+            e.push(arb_element_depth(g, depth - 1));
+        }
+    }
+    e
+}
+
+fn arb_value(g: &mut Gen) -> Value {
+    match g.usize_in(0, 5) {
+        0 => Value::Null,
+        1 => Value::Bool(g.bool_any()),
+        2 => Value::Int(g.i64_any()),
         // Finite doubles; the display format does not round-trip NaN/inf
         // (and SQL forbids them as literals anyway).
-        (-1e12f64..1e12).prop_map(Value::Double),
-        arb_text().prop_map(Value::Str),
-    ]
+        3 => Value::Double(g.f64_in(-1e12, 1e12)),
+        _ => Value::Str(arb_text(g)),
+    }
 }
 
 fn type_of(v: &Value) -> SqlType {
@@ -68,39 +79,39 @@ fn type_of(v: &Value) -> SqlType {
 // Properties
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// parse(write(tree)) == tree for arbitrary trees. The preserving
-    /// parser is the exact inverse of the writer; the protocol-default
-    /// parser additionally drops whitespace-only text, which `normalized`
-    /// accounts for.
-    #[test]
-    fn xml_roundtrip(e in arb_element()) {
+/// parse(write(tree)) == tree for arbitrary trees. The preserving
+/// parser is the exact inverse of the writer; the protocol-default
+/// parser additionally drops whitespace-only text, which `normalized`
+/// accounts for.
+#[test]
+fn xml_roundtrip() {
+    run_cases("xml_roundtrip", 64, 0x304A, |g| {
+        let e = arb_element(g);
         let text = to_string(&e);
         let exact = dais::xml::parse_preserving(&text).unwrap();
-        prop_assert_eq!(&exact, &e);
+        assert_eq!(&exact, &e);
         let stripped = parse(&text).unwrap();
-        prop_assert_eq!(stripped.normalized(), exact.normalized());
-    }
+        assert_eq!(stripped.normalized(), exact.normalized());
+    });
+}
 
-    /// SOAP envelopes survive the bus's serialise/parse cycle untouched.
-    #[test]
-    fn envelope_roundtrip(body in arb_element()) {
+/// SOAP envelopes survive the bus's serialise/parse cycle untouched.
+#[test]
+fn envelope_roundtrip() {
+    run_cases("envelope_roundtrip", 64, 0xE2F, |g| {
         // Strip whitespace-only text (the parser's protocol default).
-        let body = body.normalized();
+        let body = arb_element(g).normalized();
         let env = dais::soap::Envelope::with_body(body);
         let rt = dais::soap::Envelope::from_bytes(&env.to_bytes()).unwrap();
-        prop_assert_eq!(rt, env);
-    }
+        assert_eq!(rt, env);
+    });
+}
 
-    /// WebRowSet encoding round-trips arbitrary typed tables.
-    #[test]
-    fn rowset_roundtrip(
-        rows in proptest::collection::vec(
-            (arb_value(), arb_value(), arb_text()), 0..12
-        )
-    ) {
+/// WebRowSet encoding round-trips arbitrary typed tables.
+#[test]
+fn rowset_roundtrip() {
+    run_cases("rowset_roundtrip", 64, 0x5E7, |g| {
+        let rows = g.vec_of(0, 11, |g| (arb_value(g), arb_value(g), arb_text(g)));
         // Columns take their types from the first row's non-null values;
         // coerce every row to those types for a well-typed rowset.
         let col_types = [
@@ -120,64 +131,66 @@ proptest! {
         }
         let text = to_string(&rs.to_xml());
         let rt = Rowset::from_xml(&parse(&text).unwrap()).unwrap();
-        prop_assert_eq!(rt.columns, rs.columns);
-        prop_assert_eq!(rt.rows.len(), rs.rows.len());
+        assert_eq!(rt.columns, rs.columns);
+        assert_eq!(rt.rows.len(), rs.rows.len());
         for (x, y) in rt.rows.iter().zip(&rs.rows) {
             // Doubles go through decimal text; compare displayed forms.
             for (xv, yv) in x.iter().zip(y) {
-                prop_assert_eq!(xv.to_display_string(), yv.to_display_string());
+                assert_eq!(xv.to_display_string(), yv.to_display_string());
             }
         }
-    }
+    });
+}
 
-    /// INSERT-then-SELECT returns exactly what went in (engine vs model).
-    #[test]
-    fn sql_insert_select_agrees_with_model(
-        values in proptest::collection::vec((any::<i64>(), arb_text()), 1..20)
-    ) {
+/// INSERT-then-SELECT returns exactly what went in (engine vs model).
+#[test]
+fn sql_insert_select_agrees_with_model() {
+    run_cases("sql_insert_select_agrees_with_model", 64, 0x1235, |g| {
+        let values = g.vec_of(1, 19, |g| (g.i64_any(), arb_text(g)));
         let db = Database::new("prop");
         db.execute("CREATE TABLE t (k INTEGER, v VARCHAR)", &[]).unwrap();
         let mut model: Vec<(i64, String)> = Vec::new();
         for (i, (k, v)) in values.into_iter().enumerate() {
-            db.execute(
-                "INSERT INTO t VALUES (?, ?)",
-                &[Value::Int(k), Value::Str(v.clone())],
-            ).unwrap();
+            db.execute("INSERT INTO t VALUES (?, ?)", &[Value::Int(k), Value::Str(v.clone())])
+                .unwrap();
             model.push((k, v));
             // Every prefix stays consistent.
             if i % 5 == 0 {
                 let got = db.execute("SELECT k, v FROM t", &[]).unwrap();
-                prop_assert_eq!(got.rowset().unwrap().row_count(), model.len());
+                assert_eq!(got.rowset().unwrap().row_count(), model.len());
             }
         }
         let got = db.execute("SELECT COUNT(*), SUM(k) FROM t", &[]).unwrap();
         let rows = &got.rowset().unwrap().rows;
-        prop_assert_eq!(&rows[0][0], &Value::Int(model.len() as i64));
+        assert_eq!(&rows[0][0], &Value::Int(model.len() as i64));
         let model_sum: i64 = model.iter().map(|(k, _)| *k).fold(0, i64::wrapping_add);
-        prop_assert_eq!(&rows[0][1], &Value::Int(model_sum));
-    }
+        assert_eq!(&rows[0][1], &Value::Int(model_sum));
+    });
+}
 
-    /// WHERE filtering agrees with a reference filter.
-    #[test]
-    fn sql_where_agrees_with_model(
-        keys in proptest::collection::vec(-1000i64..1000, 1..40),
-        threshold in -1000i64..1000,
-    ) {
+/// WHERE filtering agrees with a reference filter.
+#[test]
+fn sql_where_agrees_with_model() {
+    run_cases("sql_where_agrees_with_model", 64, 0x3E3, |g| {
+        let keys = g.vec_of(1, 39, |g| g.u64_in(0, 2000) as i64 - 1000);
+        let threshold = g.u64_in(0, 2000) as i64 - 1000;
         let db = Database::new("prop");
         db.execute("CREATE TABLE t (k INTEGER)", &[]).unwrap();
         for k in &keys {
             db.execute("INSERT INTO t VALUES (?)", &[Value::Int(*k)]).unwrap();
         }
-        let got = db
-            .execute("SELECT COUNT(*) FROM t WHERE k > ?", &[Value::Int(threshold)])
-            .unwrap();
+        let got =
+            db.execute("SELECT COUNT(*) FROM t WHERE k > ?", &[Value::Int(threshold)]).unwrap();
         let expected = keys.iter().filter(|k| **k > threshold).count() as i64;
-        prop_assert_eq!(&got.rowset().unwrap().rows[0][0], &Value::Int(expected));
-    }
+        assert_eq!(&got.rowset().unwrap().rows[0][0], &Value::Int(expected));
+    });
+}
 
-    /// ORDER BY sorts like the standard library.
-    #[test]
-    fn sql_order_by_agrees_with_model(keys in proptest::collection::vec(any::<i32>(), 0..30)) {
+/// ORDER BY sorts like the standard library.
+#[test]
+fn sql_order_by_agrees_with_model() {
+    run_cases("sql_order_by_agrees_with_model", 64, 0x0B5, |g| {
+        let keys = g.vec_of(0, 29, |g| g.i64_any() as i32);
         let db = Database::new("prop");
         db.execute("CREATE TABLE t (k INTEGER)", &[]).unwrap();
         for k in &keys {
@@ -185,22 +198,27 @@ proptest! {
         }
         let got = db.execute("SELECT k FROM t ORDER BY k", &[]).unwrap();
         let got_keys: Vec<i64> = got
-            .rowset().unwrap()
+            .rowset()
+            .unwrap()
             .rows
             .iter()
-            .map(|r| match r[0] { Value::Int(i) => i, ref other => panic!("{other:?}") })
+            .map(|r| match r[0] {
+                Value::Int(i) => i,
+                ref other => panic!("{other:?}"),
+            })
             .collect();
         let mut expected: Vec<i64> = keys.iter().map(|k| *k as i64).collect();
         expected.sort();
-        prop_assert_eq!(got_keys, expected);
-    }
+        assert_eq!(got_keys, expected);
+    });
+}
 
-    /// Transactions: rollback restores the exact pre-transaction state.
-    #[test]
-    fn rollback_restores_state(
-        initial in proptest::collection::vec(any::<i32>(), 1..15),
-        changes in proptest::collection::vec(any::<i32>(), 1..15),
-    ) {
+/// Transactions: rollback restores the exact pre-transaction state.
+#[test]
+fn rollback_restores_state() {
+    run_cases("rollback_restores_state", 64, 0x2B11, |g| {
+        let initial = g.vec_of(1, 14, |g| g.i64_any() as i32);
+        let changes = g.vec_of(1, 14, |g| g.i64_any() as i32);
         let db = Database::new("prop");
         db.execute("CREATE TABLE t (k INTEGER)", &[]).unwrap();
         for k in &initial {
@@ -217,26 +235,32 @@ proptest! {
         session.execute("ROLLBACK", &[]).unwrap();
 
         let after = db.execute("SELECT k FROM t ORDER BY k", &[]).unwrap();
-        prop_assert_eq!(after.rowset().unwrap().rows.clone(), before.rowset().unwrap().rows.clone());
-    }
+        assert_eq!(after.rowset().unwrap().rows.clone(), before.rowset().unwrap().rows.clone());
+    });
+}
 
-    /// The DAIS message body round-trips arbitrary SQL parameter vectors.
-    #[test]
-    fn sql_parameters_roundtrip_the_wire(params in proptest::collection::vec(arb_value(), 0..8)) {
+/// The DAIS message body round-trips arbitrary SQL parameter vectors.
+#[test]
+fn sql_parameters_roundtrip_the_wire() {
+    run_cases("sql_parameters_roundtrip_the_wire", 64, 0x50AF, |g| {
+        let params = g.vec_of(0, 7, arb_value);
         let name = AbstractName::new("urn:dais:p:db:0").unwrap();
         let req = dais::dair::messages::sql_execute_request(
-            &name, dais::xml::ns::ROWSET, "SELECT 1", &params,
+            &name,
+            dais::xml::ns::ROWSET,
+            "SELECT 1",
+            &params,
         );
         // Through text, like the bus does.
         let text = to_string(&req);
         let parsed = parse(&text).unwrap();
         let (sql, got) = dais::dair::messages::parse_sql_expression(&parsed).unwrap();
-        prop_assert_eq!(sql, "SELECT 1");
-        prop_assert_eq!(got.len(), params.len());
+        assert_eq!(sql, "SELECT 1");
+        assert_eq!(got.len(), params.len());
         for (x, y) in got.iter().zip(&params) {
-            prop_assert_eq!(x.to_display_string(), y.to_display_string());
+            assert_eq!(x.to_display_string(), y.to_display_string());
         }
-    }
+    });
 }
 
 /// Abstract names from concurrent generators never collide (plain test —
