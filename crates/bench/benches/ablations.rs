@@ -5,8 +5,8 @@
 //! * E10 (§4.2) — per-message transactions and engine-level costs.
 
 use dais_bench::crit::{BenchmarkId, Criterion};
-use dais_bench::{criterion_group, criterion_main};
 use dais_bench::workload::populate_items;
+use dais_bench::{criterion_group, criterion_main};
 use dais_core::{AbstractName, ConfigurationDocument, Sensitivity};
 use dais_dair::{RelationalService, RelationalServiceOptions, SqlClient};
 use dais_soap::Bus;
@@ -85,11 +85,7 @@ fn bench_transactions(c: &mut Criterion) {
     group.bench_function("autocommit_100_inserts", |b| {
         b.iter_with_setup(setup, |db| {
             for i in 0..100 {
-                db.execute(
-                    "INSERT INTO t VALUES (?, 'x')",
-                    &[dais_sql::Value::Int(i)],
-                )
-                .unwrap();
+                db.execute("INSERT INTO t VALUES (?, 'x')", &[dais_sql::Value::Int(i)]).unwrap();
             }
             db
         });

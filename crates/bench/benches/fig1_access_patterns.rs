@@ -5,8 +5,8 @@
 //! *consumer-1 cost* appears as soon as results outgrow an EPR.
 
 use dais_bench::crit::{BenchmarkId, Criterion};
-use dais_bench::{criterion_group, criterion_main};
 use dais_bench::workload::populate_items;
+use dais_bench::{criterion_group, criterion_main};
 use dais_dair::{RelationalService, SqlClient};
 use dais_soap::Bus;
 use dais_sql::Database;
@@ -30,14 +30,11 @@ fn bench(c: &mut Criterion) {
         let (bus2, client2, name2) = setup(rows);
         group.bench_with_input(BenchmarkId::new("indirect_factory", rows), &rows, |b, _| {
             b.iter(|| {
-                let epr = client2
-                    .execute_factory(&name2, "SELECT * FROM item", &[], None, None)
-                    .unwrap();
+                let epr =
+                    client2.execute_factory(&name2, "SELECT * FROM item", &[], None, None).unwrap();
                 // Destroy to keep the registry bounded across iterations.
-                let derived = dais_core::AbstractName::new(
-                    epr.resource_abstract_name().unwrap(),
-                )
-                .unwrap();
+                let derived =
+                    dais_core::AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
                 client2.core().destroy(&derived).unwrap();
             });
         });

@@ -3,8 +3,8 @@
 //! dominates large responses.
 
 use dais_bench::crit::{BenchmarkId, Criterion};
-use dais_bench::{criterion_group, criterion_main};
 use dais_bench::workload::populate_items;
+use dais_bench::{criterion_group, criterion_main};
 use dais_dair::{messages, RelationalService, SqlClient};
 use dais_soap::Bus;
 use dais_sql::{Database, Value};
@@ -32,12 +32,7 @@ fn bench(c: &mut Criterion) {
     for rows in [10usize, 100, 1000] {
         let db = Database::new("fig2");
         populate_items(&db, rows, 32);
-        let rowset = db
-            .execute("SELECT * FROM item", &[])
-            .unwrap()
-            .rowset()
-            .unwrap()
-            .clone();
+        let rowset = db.execute("SELECT * FROM item", &[]).unwrap().rowset().unwrap().clone();
         let wire = to_string(&rowset.to_xml());
         group.bench_with_input(BenchmarkId::new("parse_webrowset", rows), &rows, |b, _| {
             b.iter(|| {

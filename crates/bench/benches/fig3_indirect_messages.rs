@@ -3,8 +3,8 @@
 //! evaluation is not required), EPR minting, and Resolve().
 
 use dais_bench::crit::{BenchmarkId, Criterion};
-use dais_bench::{criterion_group, criterion_main};
 use dais_bench::workload::populate_items;
+use dais_bench::{criterion_group, criterion_main};
 use dais_core::factory::mint_resource_epr;
 use dais_core::AbstractName;
 use dais_dair::{RelationalService, SqlClient};
@@ -36,10 +36,15 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("factory_roundtrip", rows), &rows, |b, _| {
             b.iter(|| {
                 let epr = client
-                    .execute_factory(&svc.db_resource, "SELECT id FROM item LIMIT 1", &[], None, None)
+                    .execute_factory(
+                        &svc.db_resource,
+                        "SELECT id FROM item LIMIT 1",
+                        &[],
+                        None,
+                        None,
+                    )
                     .unwrap();
-                let derived =
-                    AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
+                let derived = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
                 client.core().destroy(&derived).unwrap();
             });
         });

@@ -2,8 +2,8 @@
 //! direct access, and GetTuples page-size sensitivity.
 
 use dais_bench::crit::{BenchmarkId, Criterion};
-use dais_bench::{criterion_group, criterion_main};
 use dais_bench::workload::populate_items;
+use dais_bench::{criterion_group, criterion_main};
 use dais_core::AbstractName;
 use dais_dair::{RelationalService, SqlClient};
 use dais_soap::Bus;
@@ -51,9 +51,8 @@ fn bench(c: &mut Criterion) {
     });
 
     // GetTuples page-size sweep over a fixed rowset resource.
-    let epr = client
-        .execute_factory(&svc.db_resource, "SELECT * FROM item", &[], None, None)
-        .unwrap();
+    let epr =
+        client.execute_factory(&svc.db_resource, "SELECT * FROM item", &[], None, None).unwrap();
     let response = name_of(&epr);
     let rowset_epr = client.rowset_factory(&response, None, None).unwrap();
     let rowset = name_of(&rowset_epr);

@@ -2,8 +2,8 @@
 //! inventory (core, relational and XML realisations).
 
 use dais_bench::crit::Criterion;
-use dais_bench::{criterion_group, criterion_main};
 use dais_bench::workload::{populate_books, populate_items};
+use dais_bench::{criterion_group, criterion_main};
 use dais_core::AbstractName;
 use dais_dair::{RelationalService, SqlClient};
 use dais_daix::{XmlClient, XmlService, XmlServiceOptions};
@@ -22,9 +22,8 @@ fn bench(c: &mut Criterion) {
     populate_items(&db, 100, 16);
     let svc = RelationalService::launch(&bus, "bus://fig6", db, Default::default());
     let client = SqlClient::new(bus.clone(), "bus://fig6");
-    let epr = client
-        .execute_factory(&svc.db_resource, "SELECT id FROM item", &[], None, None)
-        .unwrap();
+    let epr =
+        client.execute_factory(&svc.db_resource, "SELECT id FROM item", &[], None, None).unwrap();
     let response = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
     let rowset_epr = client.rowset_factory(&response, None, None).unwrap();
     let rowset = AbstractName::new(rowset_epr.resource_abstract_name().unwrap()).unwrap();
@@ -36,7 +35,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| client.core().get_resource_list().unwrap());
     });
     group.bench_function("dair/SQLExecute_point_query", |b| {
-        b.iter(|| client.execute(&svc.db_resource, "SELECT * FROM item WHERE id = 7", &[]).unwrap());
+        b.iter(|| {
+            client.execute(&svc.db_resource, "SELECT * FROM item WHERE id = 7", &[]).unwrap()
+        });
     });
     group.bench_function("dair/GetSQLRowset", |b| {
         b.iter(|| client.get_sql_rowset(&response, 1).unwrap());
@@ -66,9 +67,7 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("daix/XQueryExecute", |b| {
         b.iter(|| {
-            xclient
-                .xquery(&coll, "for $b in /book where $b/year > 2010 return $b/title")
-                .unwrap()
+            xclient.xquery(&coll, "for $b in /book where $b/year > 2010 return $b/title").unwrap()
         });
     });
     group.bench_function("daix/GetDocuments_one", |b| {

@@ -2,8 +2,8 @@
 //! without the layer, soft-state bookkeeping, and the sweeper.
 
 use dais_bench::crit::{BenchmarkId, Criterion};
-use dais_bench::{criterion_group, criterion_main};
 use dais_bench::workload::populate_items;
+use dais_bench::{criterion_group, criterion_main};
 use dais_core::AbstractName;
 use dais_dair::{RelationalService, RelationalServiceOptions, SqlClient};
 use dais_soap::Bus;
@@ -34,15 +34,9 @@ fn bench(c: &mut Criterion) {
     // Same core operation, both deployments: the additive-layer claim.
     for (label, wsrf) in [("plain", false), ("wsrf", true)] {
         let (_bus, client, name) = launch(wsrf);
-        group.bench_with_input(
-            BenchmarkId::new("sql_execute", label),
-            &wsrf,
-            |b, _| {
-                b.iter(|| {
-                    client.execute(&name, "SELECT * FROM item WHERE id < 10", &[]).unwrap()
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sql_execute", label), &wsrf, |b, _| {
+            b.iter(|| client.execute(&name, "SELECT * FROM item WHERE id < 10", &[]).unwrap());
+        });
     }
 
     // WSRF-only operations.

@@ -100,6 +100,18 @@ impl Bencher {
         self.samples.push(start.elapsed());
     }
 
+    /// Like `iter`, but with untimed per-sample setup.
+    pub fn iter_with_setup<I, T>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut f: impl FnMut(I) -> T,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(f(input));
+        self.samples.push(start.elapsed());
+    }
+
     fn report(&self, group: &str, label: &str) {
         if self.samples.is_empty() {
             println!("  {group}/{label}: no samples (closure never called iter)");

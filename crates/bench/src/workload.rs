@@ -1,8 +1,8 @@
 //! Deterministic workload generators.
 
 use dais_sql::{Database, Value};
-use dais_xmldb::XmlDatabase;
 use dais_util::SplitMix64;
+use dais_xmldb::XmlDatabase;
 
 /// A seeded RNG for reproducible workloads.
 pub fn seeded_rng(seed: u64) -> SplitMix64 {
@@ -30,9 +30,8 @@ pub fn populate_items(db: &Database, rows: usize, payload_width: usize) {
     for i in 0..rows {
         let category = rng.gen_range(0, 10);
         let price = (rng.gen_range(0, 100_000) as f64) / 100.0;
-        let payload: String = (0..payload_width)
-            .map(|_| char::from(b'a' + rng.gen_range(0, 26) as u8))
-            .collect();
+        let payload: String =
+            (0..payload_width).map(|_| char::from(b'a' + rng.gen_range(0, 26) as u8)).collect();
         pending.push(format!("({i}, {category}, {price}, '{payload}')"));
         if pending.len() == 256 {
             db.execute(&format!("INSERT INTO item VALUES {}", pending.join(", ")), &[])
@@ -120,10 +119,7 @@ mod tests {
         let db = Database::new("s");
         populate_items(&db, 2000, 8);
         let half = db
-            .execute(
-                "SELECT COUNT(*) FROM item WHERE category < ?",
-                &[category_threshold(0.5)],
-            )
+            .execute("SELECT COUNT(*) FROM item WHERE category < ?", &[category_threshold(0.5)])
             .unwrap();
         let n = match half.rowset().unwrap().rows[0][0] {
             Value::Int(n) => n,

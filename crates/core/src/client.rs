@@ -6,7 +6,23 @@ use crate::properties::CoreProperties;
 use dais_soap::addressing::Epr;
 use dais_soap::bus::Bus;
 use dais_soap::client::{CallError, ServiceClient};
+use dais_soap::retry::{IdempotencySet, RetryConfig, RetryPolicy};
 use dais_xml::{ns, XmlElement};
+
+/// The WS-DAI core operations a consumer may safely re-send: reads and
+/// resolves only. `DestroyDataResource`, WSRF `Destroy` and
+/// `SetTerminationTime` mutate service state and are excluded.
+pub fn idempotent_actions() -> IdempotencySet {
+    IdempotencySet::new([
+        actions::GET_DATA_RESOURCE_PROPERTY_DOCUMENT,
+        actions::GENERIC_QUERY,
+        actions::GET_RESOURCE_LIST,
+        actions::RESOLVE,
+        dais_wsrf::actions::GET_RESOURCE_PROPERTY,
+        dais_wsrf::actions::GET_MULTIPLE_RESOURCE_PROPERTIES,
+        dais_wsrf::actions::QUERY_RESOURCE_PROPERTIES,
+    ])
+}
 
 /// A consumer of a DAIS data service ("an application that exploits a
 /// data service to access a data resource", §3).
@@ -31,21 +47,41 @@ impl CoreClient {
         &self.inner
     }
 
+    /// Layer retry over this client for the core read operations
+    /// ([`idempotent_actions`]). Destructive operations are never
+    /// re-sent.
+    pub fn with_retry(self, policy: RetryPolicy) -> CoreClient {
+        self.with_retry_config(RetryConfig::new(policy, idempotent_actions()))
+    }
+
+    /// Layer retry with a caller-assembled configuration (custom
+    /// idempotency set or sleep function).
+    pub fn with_retry_config(mut self, config: RetryConfig) -> CoreClient {
+        self.inner = self.inner.with_retry(config);
+        self
+    }
+
     /// `GetDataResourcePropertyDocument`: the whole property document.
-    pub fn get_property_document(&self, resource: &AbstractName) -> Result<CoreProperties, CallError> {
+    pub fn get_property_document(
+        &self,
+        resource: &AbstractName,
+    ) -> Result<CoreProperties, CallError> {
         let response = self.inner.request(
             actions::GET_DATA_RESOURCE_PROPERTY_DOCUMENT,
             messages::request("GetDataResourcePropertyDocumentRequest", resource),
         )?;
-        let doc = response
-            .child(ns::WSDAI, "PropertyDocument")
-            .ok_or_else(|| CallError::UnexpectedResponse("no PropertyDocument in response".into()))?;
+        let doc = response.child(ns::WSDAI, "PropertyDocument").ok_or_else(|| {
+            CallError::UnexpectedResponse("no PropertyDocument in response".into())
+        })?;
         CoreProperties::from_xml(doc).map_err(CallError::UnexpectedResponse)
     }
 
     /// The raw property document XML (realisations read extension
     /// properties out of it).
-    pub fn get_property_document_xml(&self, resource: &AbstractName) -> Result<XmlElement, CallError> {
+    pub fn get_property_document_xml(
+        &self,
+        resource: &AbstractName,
+    ) -> Result<XmlElement, CallError> {
         let response = self.inner.request(
             actions::GET_DATA_RESOURCE_PROPERTY_DOCUMENT,
             messages::request("GetDataResourcePropertyDocumentRequest", resource),
@@ -89,16 +125,16 @@ impl CoreClient {
         response
             .children_named(ns::WSDAI, "DataResourceAbstractName")
             .map(|e| {
-                AbstractName::new(e.text()).map_err(|err| CallError::UnexpectedResponse(err.to_string()))
+                AbstractName::new(e.text())
+                    .map_err(|err| CallError::UnexpectedResponse(err.to_string()))
             })
             .collect()
     }
 
     /// `Resolve` (CoreResourceList): abstract name → EPR.
     pub fn resolve(&self, resource: &AbstractName) -> Result<Epr, CallError> {
-        let response = self
-            .inner
-            .request(actions::RESOLVE, messages::request("ResolveRequest", resource))?;
+        let response =
+            self.inner.request(actions::RESOLVE, messages::request("ResolveRequest", resource))?;
         let addr = response
             .child(ns::WSDAI, "DataResourceAddress")
             .ok_or_else(|| CallError::UnexpectedResponse("no DataResourceAddress".into()))?;
@@ -114,7 +150,9 @@ impl CoreClient {
         lexical_qname: &str,
     ) -> Result<Vec<XmlElement>, CallError> {
         let mut req = messages::request("GetResourcePropertyRequest", resource);
-        req.push(XmlElement::new(ns::WSRF_RP, "wsrf-rp", "ResourceProperty").with_text(lexical_qname));
+        req.push(
+            XmlElement::new(ns::WSRF_RP, "wsrf-rp", "ResourceProperty").with_text(lexical_qname),
+        );
         let response = self.inner.request(dais_wsrf::actions::GET_RESOURCE_PROPERTY, req)?;
         Ok(response.elements().cloned().collect())
     }

@@ -88,7 +88,12 @@ pub fn mint_resource_epr(service_address: &str, name: &AbstractName) -> Epr {
 
 /// Build the standard factory response: the EPR wrapped as
 /// `wsdai:DataResourceAddress` inside a named response element.
-pub fn factory_response(response_name: &str, namespace: &str, prefix: &str, epr: &Epr) -> XmlElement {
+pub fn factory_response(
+    response_name: &str,
+    namespace: &str,
+    prefix: &str,
+    epr: &Epr,
+) -> XmlElement {
     let mut response = XmlElement::new(namespace, prefix, response_name);
     response.push(epr.to_xml_named(XmlElement::new(ns::WSDAI, "wsdai", "DataResourceAddress")));
     response
@@ -137,8 +142,9 @@ mod tests {
 
     #[test]
     fn parses_factory_request() {
-        let config = DerivedResourceConfig::from_request(&request_body(Some("wsdair:SQLResponseAccessPT")))
-            .unwrap();
+        let config =
+            DerivedResourceConfig::from_request(&request_body(Some("wsdair:SQLResponseAccessPT")))
+                .unwrap();
         assert_eq!(config.parent.as_str(), "urn:dais:svc:db:0");
         assert_eq!(config.requested_port_type.as_deref(), Some("wsdair:SQLResponseAccessPT"));
         assert_eq!(config.configuration.description.as_deref(), Some("derived"));
@@ -148,7 +154,10 @@ mod tests {
     fn resolves_port_type_and_defaults() {
         let config = DerivedResourceConfig::from_request(&request_body(None)).unwrap();
         let (port, effective) = config
-            .resolve_against(&[map()], &QName::new(ns::WSDAIR, "wsdair", "SQLExecuteFactoryRequest"))
+            .resolve_against(
+                &[map()],
+                &QName::new(ns::WSDAIR, "wsdair", "SQLExecuteFactoryRequest"),
+            )
             .unwrap();
         assert_eq!(port.lexical(), "wsdair:SQLResponseAccessPT");
         // Defaults from the map, overrides from the request.
@@ -160,9 +169,13 @@ mod tests {
     #[test]
     fn wrong_port_type_faults() {
         let config =
-            DerivedResourceConfig::from_request(&request_body(Some("wsdair:SomethingElse"))).unwrap();
+            DerivedResourceConfig::from_request(&request_body(Some("wsdair:SomethingElse")))
+                .unwrap();
         let err = config
-            .resolve_against(&[map()], &QName::new(ns::WSDAIR, "wsdair", "SQLExecuteFactoryRequest"))
+            .resolve_against(
+                &[map()],
+                &QName::new(ns::WSDAIR, "wsdair", "SQLExecuteFactoryRequest"),
+            )
             .unwrap_err();
         assert!(err.is(DaisFault::InvalidPortType));
     }
@@ -171,7 +184,10 @@ mod tests {
     fn unknown_message_faults() {
         let config = DerivedResourceConfig::from_request(&request_body(None)).unwrap();
         let err = config
-            .resolve_against(&[map()], &QName::new(ns::WSDAIX, "wsdaix", "XPathExecuteFactoryRequest"))
+            .resolve_against(
+                &[map()],
+                &QName::new(ns::WSDAIX, "wsdaix", "XPathExecuteFactoryRequest"),
+            )
             .unwrap_err();
         assert!(err.is(DaisFault::InvalidPortType));
     }
@@ -194,12 +210,13 @@ mod tests {
     fn derived_properties_are_service_managed_and_parented() {
         let config = DerivedResourceConfig::from_request(&request_body(None)).unwrap();
         let (_, effective) = config
-            .resolve_against(&[map()], &QName::new(ns::WSDAIR, "wsdair", "SQLExecuteFactoryRequest"))
+            .resolve_against(
+                &[map()],
+                &QName::new(ns::WSDAIR, "wsdair", "SQLExecuteFactoryRequest"),
+            )
             .unwrap();
-        let props = config.derived_properties(
-            AbstractName::new("urn:dais:svc:response:7").unwrap(),
-            &effective,
-        );
+        let props = config
+            .derived_properties(AbstractName::new("urn:dais:svc:response:7").unwrap(), &effective);
         assert_eq!(props.management, crate::properties::ResourceManagementKind::ServiceManaged);
         assert_eq!(props.parent.as_ref().unwrap().as_str(), "urn:dais:svc:db:0");
         assert_eq!(props.description, "derived");

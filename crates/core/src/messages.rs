@@ -25,21 +25,20 @@ pub mod actions {
 /// Build a request element carrying the mandatory abstract name.
 pub fn request(local: &str, resource: &AbstractName) -> XmlElement {
     XmlElement::new(ns::WSDAI, "wsdai", local).with_child(
-        XmlElement::new(ns::WSDAI, "wsdai", "DataResourceAbstractName").with_text(resource.as_str()),
+        XmlElement::new(ns::WSDAI, "wsdai", "DataResourceAbstractName")
+            .with_text(resource.as_str()),
     )
 }
 
 /// Extract the mandatory abstract name from a request body, faulting with
 /// `InvalidResourceName` when absent or malformed.
 pub fn extract_resource_name(body: &XmlElement) -> Result<AbstractName, Fault> {
-    let text = body
-        .child_text(ns::WSDAI, "DataResourceAbstractName")
-        .ok_or_else(|| {
-            Fault::dais(
-                DaisFault::InvalidResourceName,
-                "request body carries no wsdai:DataResourceAbstractName",
-            )
-        })?;
+    let text = body.child_text(ns::WSDAI, "DataResourceAbstractName").ok_or_else(|| {
+        Fault::dais(
+            DaisFault::InvalidResourceName,
+            "request body carries no wsdai:DataResourceAbstractName",
+        )
+    })?;
     AbstractName::new(text.trim().to_string())
         .map_err(|e| Fault::dais(DaisFault::InvalidResourceName, e.to_string()))
 }

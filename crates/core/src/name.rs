@@ -98,7 +98,8 @@ mod tests {
                 std::thread::spawn(move || (0..100).map(|_| g.mint("r")).collect::<Vec<_>>())
             })
             .collect();
-        let mut all: Vec<AbstractName> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<AbstractName> =
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
         let before = all.len();
         all.sort();
         all.dedup();

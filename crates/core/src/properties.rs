@@ -180,10 +180,14 @@ impl ConfigurationDocument {
             el.push(XmlElement::new(ns::WSDAI, "wsdai", "Writeable").with_text(w.to_string()));
         }
         if let Some(t) = self.transaction_initiation {
-            el.push(XmlElement::new(ns::WSDAI, "wsdai", "TransactionInitiation").with_text(t.as_str()));
+            el.push(
+                XmlElement::new(ns::WSDAI, "wsdai", "TransactionInitiation").with_text(t.as_str()),
+            );
         }
         if let Some(t) = self.transaction_isolation {
-            el.push(XmlElement::new(ns::WSDAI, "wsdai", "TransactionIsolation").with_text(t.as_str()));
+            el.push(
+                XmlElement::new(ns::WSDAI, "wsdai", "TransactionIsolation").with_text(t.as_str()),
+            );
         }
         if let Some(s) = self.sensitivity {
             el.push(XmlElement::new(ns::WSDAI, "wsdai", "Sensitivity").with_text(s.as_str()));
@@ -194,13 +198,16 @@ impl ConfigurationDocument {
     /// Parse from XML; unknown enum values yield `Err` (the
     /// `InvalidConfigurationDocument` fault at the service boundary).
     pub fn from_xml(el: &XmlElement) -> Result<ConfigurationDocument, String> {
-        let mut doc = ConfigurationDocument::default();
-        doc.description = el.child_text(ns::WSDAI, "DataResourceDescription");
+        let mut doc = ConfigurationDocument {
+            description: el.child_text(ns::WSDAI, "DataResourceDescription"),
+            ..Default::default()
+        };
         if let Some(t) = el.child_text(ns::WSDAI, "Readable") {
             doc.readable = Some(t.trim().parse().map_err(|_| format!("bad Readable value '{t}'"))?);
         }
         if let Some(t) = el.child_text(ns::WSDAI, "Writeable") {
-            doc.writeable = Some(t.trim().parse().map_err(|_| format!("bad Writeable value '{t}'"))?);
+            doc.writeable =
+                Some(t.trim().parse().map_err(|_| format!("bad Writeable value '{t}'"))?);
         }
         if let Some(t) = el.child_text(ns::WSDAI, "TransactionInitiation") {
             doc.transaction_initiation = Some(
@@ -215,8 +222,10 @@ impl ConfigurationDocument {
             );
         }
         if let Some(t) = el.child_text(ns::WSDAI, "Sensitivity") {
-            doc.sensitivity =
-                Some(Sensitivity::parse(t.trim()).ok_or_else(|| format!("bad Sensitivity value '{t}'"))?);
+            doc.sensitivity = Some(
+                Sensitivity::parse(t.trim())
+                    .ok_or_else(|| format!("bad Sensitivity value '{t}'"))?,
+            );
         }
         Ok(doc)
     }
@@ -314,7 +323,8 @@ impl CoreProperties {
             doc.push(
                 XmlElement::new(ns::WSDAI, "wsdai", "DatasetMap")
                     .with_child(
-                        XmlElement::new(ns::WSDAI, "wsdai", "MessageName").with_text(m.message.lexical()),
+                        XmlElement::new(ns::WSDAI, "wsdai", "MessageName")
+                            .with_text(m.message.lexical()),
                     )
                     .with_child(
                         XmlElement::new(ns::WSDAI, "wsdai", "DatasetFormatURI")
@@ -326,7 +336,8 @@ impl CoreProperties {
             doc.push(
                 XmlElement::new(ns::WSDAI, "wsdai", "ConfigurationMap")
                     .with_child(
-                        XmlElement::new(ns::WSDAI, "wsdai", "MessageName").with_text(m.message.lexical()),
+                        XmlElement::new(ns::WSDAI, "wsdai", "MessageName")
+                            .with_text(m.message.lexical()),
                     )
                     .with_child(
                         XmlElement::new(ns::WSDAI, "wsdai", "PortTypeQName")
@@ -339,10 +350,15 @@ impl CoreProperties {
             doc.push(XmlElement::new(ns::WSDAI, "wsdai", "GenericQueryLanguage").with_text(l));
         }
         doc.push(
-            XmlElement::new(ns::WSDAI, "wsdai", "DataResourceDescription").with_text(&self.description),
+            XmlElement::new(ns::WSDAI, "wsdai", "DataResourceDescription")
+                .with_text(&self.description),
         );
-        doc.push(XmlElement::new(ns::WSDAI, "wsdai", "Readable").with_text(self.readable.to_string()));
-        doc.push(XmlElement::new(ns::WSDAI, "wsdai", "Writeable").with_text(self.writeable.to_string()));
+        doc.push(
+            XmlElement::new(ns::WSDAI, "wsdai", "Readable").with_text(self.readable.to_string()),
+        );
+        doc.push(
+            XmlElement::new(ns::WSDAI, "wsdai", "Writeable").with_text(self.writeable.to_string()),
+        );
         doc.push(
             XmlElement::new(ns::WSDAI, "wsdai", "TransactionInitiation")
                 .with_text(self.transaction_initiation.as_str()),
@@ -351,7 +367,9 @@ impl CoreProperties {
             XmlElement::new(ns::WSDAI, "wsdai", "TransactionIsolation")
                 .with_text(self.transaction_isolation.as_str()),
         );
-        doc.push(XmlElement::new(ns::WSDAI, "wsdai", "Sensitivity").with_text(self.sensitivity.as_str()));
+        doc.push(
+            XmlElement::new(ns::WSDAI, "wsdai", "Sensitivity").with_text(self.sensitivity.as_str()),
+        );
         doc
     }
 
@@ -398,13 +416,14 @@ impl CoreProperties {
                     .unwrap_or_default(),
             });
         }
-        props.generic_query_languages = doc
-            .children_named(ns::WSDAI, "GenericQueryLanguage")
-            .map(|e| e.text())
-            .collect();
-        props.description = doc.child_text(ns::WSDAI, "DataResourceDescription").unwrap_or_default();
-        props.readable =
-            doc.child_text(ns::WSDAI, "Readable").and_then(|t| t.trim().parse().ok()).unwrap_or(true);
+        props.generic_query_languages =
+            doc.children_named(ns::WSDAI, "GenericQueryLanguage").map(|e| e.text()).collect();
+        props.description =
+            doc.child_text(ns::WSDAI, "DataResourceDescription").unwrap_or_default();
+        props.readable = doc
+            .child_text(ns::WSDAI, "Readable")
+            .and_then(|t| t.trim().parse().ok())
+            .unwrap_or(true);
         props.writeable = doc
             .child_text(ns::WSDAI, "Writeable")
             .and_then(|t| t.trim().parse().ok())
@@ -580,13 +599,19 @@ mod tests {
 
     #[test]
     fn enum_parsing() {
-        assert_eq!(TransactionIsolation::parse("Serializable"), Some(TransactionIsolation::Serializable));
+        assert_eq!(
+            TransactionIsolation::parse("Serializable"),
+            Some(TransactionIsolation::Serializable)
+        );
         assert_eq!(TransactionIsolation::parse("nope"), None);
         assert_eq!(Sensitivity::parse("Sensitive"), Some(Sensitivity::Sensitive));
         assert_eq!(
             TransactionInitiation::parse("TransactionalPerMessage"),
             Some(TransactionInitiation::TransactionalPerMessage)
         );
-        assert_eq!(ResourceManagementKind::parse("ServiceManaged"), Some(ResourceManagementKind::ServiceManaged));
+        assert_eq!(
+            ResourceManagementKind::parse("ServiceManaged"),
+            Some(ResourceManagementKind::ServiceManaged)
+        );
     }
 }

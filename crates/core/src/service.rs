@@ -71,7 +71,8 @@ impl ServiceContext {
     pub fn resolve_by_name(&self, name: &AbstractName) -> Result<Arc<dyn DataResource>, Fault> {
         if let Some(lifetime) = &self.lifetime {
             // Expired soft-state resources are unavailable and reaped.
-            if lifetime.termination_time(name.as_str()).is_ok() && !lifetime.is_alive(name.as_str()) {
+            if lifetime.termination_time(name.as_str()).is_ok() && !lifetime.is_alive(name.as_str())
+            {
                 let _ = lifetime.destroy(name.as_str());
                 self.registry.remove(name);
                 return Err(Fault::dais(
@@ -178,7 +179,8 @@ pub fn register_core_ops(dispatcher: &mut SoapDispatcher, ctx: Arc<ServiceContex
         let mut response = XmlElement::new(ns::WSDAI, "wsdai", "GetResourceListResponse");
         for name in c.registry.names() {
             response.push(
-                XmlElement::new(ns::WSDAI, "wsdai", "DataResourceAbstractName").with_text(name.as_str()),
+                XmlElement::new(ns::WSDAI, "wsdai", "DataResourceAbstractName")
+                    .with_text(name.as_str()),
             );
         }
         respond(response)
@@ -269,7 +271,8 @@ pub fn register_wsrf_ops(dispatcher: &mut SoapDispatcher, ctx: Arc<ServiceContex
         let document = resource.property_document();
         let value = wsrf_props::query_properties(&document, &query, &property_query_context())
             .map_err(|e| Fault::dais(DaisFault::InvalidExpression, e.to_string()))?;
-        let mut response = XmlElement::new(ns::WSRF_RP, "wsrf-rp", "QueryResourcePropertiesResponse");
+        let mut response =
+            XmlElement::new(ns::WSRF_RP, "wsrf-rp", "QueryResourcePropertiesResponse");
         match value {
             XPathValue::NodeSet(nodes) => {
                 for n in nodes {
@@ -379,7 +382,10 @@ mod tests {
             doc.child_text(ns::WSDAI, "DataResourceAbstractName").as_deref(),
             Some("urn:dais:svc:db:0")
         );
-        assert_eq!(doc.child_text(ns::WSDAI, "DataResourceDescription").as_deref(), Some("test resource"));
+        assert_eq!(
+            doc.child_text(ns::WSDAI, "DataResourceDescription").as_deref(),
+            Some("test resource")
+        );
     }
 
     #[test]
@@ -413,9 +419,8 @@ mod tests {
             "GetDataResourcePropertyDocumentRequest",
             &AbstractName::new("urn:dais:svc:db:999").unwrap(),
         );
-        let err = client(&bus)
-            .request(actions::GET_DATA_RESOURCE_PROPERTY_DOCUMENT, req)
-            .unwrap_err();
+        let err =
+            client(&bus).request(actions::GET_DATA_RESOURCE_PROPERTY_DOCUMENT, req).unwrap_err();
         assert_eq!(err.dais_fault(), Some(DaisFault::InvalidResourceName));
     }
 
@@ -423,12 +428,13 @@ mod tests {
     fn resource_list_and_resolve() {
         let (bus, _, _) = make_service(false);
         let resp = client(&bus)
-            .request(actions::GET_RESOURCE_LIST, XmlElement::new(ns::WSDAI, "wsdai", "GetResourceListRequest"))
+            .request(
+                actions::GET_RESOURCE_LIST,
+                XmlElement::new(ns::WSDAI, "wsdai", "GetResourceListRequest"),
+            )
             .unwrap();
-        let names: Vec<String> = resp
-            .children_named(ns::WSDAI, "DataResourceAbstractName")
-            .map(|e| e.text())
-            .collect();
+        let names: Vec<String> =
+            resp.children_named(ns::WSDAI, "DataResourceAbstractName").map(|e| e.text()).collect();
         assert_eq!(names, vec!["urn:dais:svc:db:0"]);
 
         let resp = client(&bus).request(actions::RESOLVE, name_req("ResolveRequest")).unwrap();
@@ -456,14 +462,16 @@ mod tests {
     fn wsrf_fine_grained_property_access() {
         let (bus, _, _) = make_service(true);
         let mut req = name_req("GetResourcePropertyRequest");
-        req.push(XmlElement::new(ns::WSRF_RP, "wsrf-rp", "ResourceProperty").with_text("wsdai:Readable"));
-        let resp = client(&bus)
-            .request(dais_wsrf::actions::GET_RESOURCE_PROPERTY, req)
-            .unwrap();
+        req.push(
+            XmlElement::new(ns::WSRF_RP, "wsrf-rp", "ResourceProperty").with_text("wsdai:Readable"),
+        );
+        let resp = client(&bus).request(dais_wsrf::actions::GET_RESOURCE_PROPERTY, req).unwrap();
         assert_eq!(resp.child_text(ns::WSDAI, "Readable").as_deref(), Some("true"));
         // Unknown property name.
         let mut req = name_req("GetResourcePropertyRequest");
-        req.push(XmlElement::new(ns::WSRF_RP, "wsrf-rp", "ResourceProperty").with_text("wsdai:Bogus"));
+        req.push(
+            XmlElement::new(ns::WSRF_RP, "wsrf-rp", "ResourceProperty").with_text("wsdai:Bogus"),
+        );
         assert!(client(&bus).request(dais_wsrf::actions::GET_RESOURCE_PROPERTY, req).is_err());
     }
 
@@ -471,8 +479,13 @@ mod tests {
     fn wsrf_multiple_and_query() {
         let (bus, _, _) = make_service(true);
         let mut req = name_req("GetMultipleResourcePropertiesRequest");
-        req.push(XmlElement::new(ns::WSRF_RP, "wsrf-rp", "ResourceProperty").with_text("wsdai:Readable"));
-        req.push(XmlElement::new(ns::WSRF_RP, "wsrf-rp", "ResourceProperty").with_text("wsdai:Writeable"));
+        req.push(
+            XmlElement::new(ns::WSRF_RP, "wsrf-rp", "ResourceProperty").with_text("wsdai:Readable"),
+        );
+        req.push(
+            XmlElement::new(ns::WSRF_RP, "wsrf-rp", "ResourceProperty")
+                .with_text("wsdai:Writeable"),
+        );
         let resp = client(&bus)
             .request(dais_wsrf::actions::GET_MULTIPLE_RESOURCE_PROPERTIES, req)
             .unwrap();
@@ -483,9 +496,8 @@ mod tests {
             XmlElement::new(ns::WSRF_RP, "wsrf-rp", "QueryExpression")
                 .with_text("count(//wsdai:GenericQueryLanguage)"),
         );
-        let resp = client(&bus)
-            .request(dais_wsrf::actions::QUERY_RESOURCE_PROPERTIES, req)
-            .unwrap();
+        let resp =
+            client(&bus).request(dais_wsrf::actions::QUERY_RESOURCE_PROPERTIES, req).unwrap();
         assert_eq!(resp.text(), "1");
     }
 
@@ -523,11 +535,7 @@ mod tests {
     #[test]
     fn sweeper_reaps_expired_resources() {
         let (_, ctx, clock) = make_service(true);
-        ctx.lifetime
-            .as_ref()
-            .unwrap()
-            .set_termination_in("urn:dais:svc:db:0", Some(10))
-            .unwrap();
+        ctx.lifetime.as_ref().unwrap().set_termination_in("urn:dais:svc:db:0", Some(10)).unwrap();
         clock.advance(11);
         let swept = ctx.sweep_expired();
         assert_eq!(swept, vec!["urn:dais:svc:db:0"]);
@@ -538,9 +546,7 @@ mod tests {
     #[test]
     fn wsrf_destroy_via_lifetime_port() {
         let (bus, ctx, _) = make_service(true);
-        client(&bus)
-            .request(dais_wsrf::actions::DESTROY, name_req("Destroy"))
-            .unwrap();
+        client(&bus).request(dais_wsrf::actions::DESTROY, name_req("Destroy")).unwrap();
         assert!(ctx.registry.is_empty());
     }
 
@@ -555,9 +561,8 @@ mod tests {
             query_rewriter: None,
         };
         // The thick wrapper swaps the expression for a canned one.
-        ctx.query_rewriter = Some(Arc::new(|lang: &str, _expr: &str| {
-            (lang.to_string(), "rewritten".to_string())
-        }));
+        ctx.query_rewriter =
+            Some(Arc::new(|lang: &str, _expr: &str| (lang.to_string(), "rewritten".to_string())));
         let ctx = Arc::new(ctx);
         let mut d = SoapDispatcher::new();
         register_core_ops(&mut d, ctx.clone());
@@ -591,7 +596,8 @@ mod tests {
             "urn:echo",
             "original",
         );
-        let resp = ServiceClient::new(bus, "bus://svc").request(actions::GENERIC_QUERY, req).unwrap();
+        let resp =
+            ServiceClient::new(bus, "bus://svc").request(actions::GENERIC_QUERY, req).unwrap();
         assert_eq!(resp.child("", "expr").unwrap().text(), "rewritten");
     }
 
@@ -605,13 +611,14 @@ mod tests {
         let a = client(&bus_plain)
             .request(actions::GET_DATA_RESOURCE_PROPERTY_DOCUMENT, req.clone())
             .unwrap();
-        let b = client(&bus_wsrf)
-            .request(actions::GET_DATA_RESOURCE_PROPERTY_DOCUMENT, req)
-            .unwrap();
+        let b =
+            client(&bus_wsrf).request(actions::GET_DATA_RESOURCE_PROPERTY_DOCUMENT, req).unwrap();
         assert_eq!(a, b);
         // But the WSRF op only exists on the WSRF service.
         let mut preq = name_req("GetResourcePropertyRequest");
-        preq.push(XmlElement::new(ns::WSRF_RP, "wsrf-rp", "ResourceProperty").with_text("wsdai:Readable"));
+        preq.push(
+            XmlElement::new(ns::WSRF_RP, "wsrf-rp", "ResourceProperty").with_text("wsdai:Readable"),
+        );
         assert!(client(&bus_plain)
             .request(dais_wsrf::actions::GET_RESOURCE_PROPERTY, preq)
             .is_err());

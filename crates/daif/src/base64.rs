@@ -33,13 +33,13 @@ pub fn decode(text: &str) -> Result<Vec<u8>, String> {
         }
     }
     let cleaned: Vec<u8> = text.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
-    if cleaned.len() % 4 != 0 {
+    if !cleaned.len().is_multiple_of(4) {
         return Err("base64 length must be a multiple of 4".into());
     }
     let mut out = Vec::with_capacity(cleaned.len() / 4 * 3);
     for chunk in cleaned.chunks(4) {
         let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
-        if pad > 2 || chunk[..4 - pad].iter().any(|&c| c == b'=') {
+        if pad > 2 || chunk[..4 - pad].contains(&b'=') {
             return Err("malformed base64 padding".into());
         }
         let mut n = 0u32;

@@ -25,10 +25,12 @@
 //! other substrates stand in for DBMSs (see DESIGN.md).
 
 pub mod base64;
+pub mod client;
 pub mod resources;
 pub mod service;
 pub mod store;
 
+pub use client::FileClient;
 pub use resources::{DirectoryResource, FileSetResource};
 pub use service::{FileService, FileServiceOptions};
 pub use store::{FileStore, FileStoreError};

@@ -5,7 +5,8 @@ use crate::store::FileStore;
 use crate::WSDAIF_NS;
 use dais_core::properties::ResourceManagementKind;
 use dais_core::{
-    AbstractName, ConfigurationDocument, ConfigurationMap, CoreProperties, DataResource, Sensitivity,
+    AbstractName, ConfigurationDocument, ConfigurationMap, CoreProperties, DataResource,
+    Sensitivity,
 };
 use dais_xml::{QName, XmlElement};
 use std::any::Any;
@@ -19,7 +20,11 @@ pub struct DirectoryResource {
 }
 
 impl DirectoryResource {
-    pub fn new(name: AbstractName, store: FileStore, scope: impl Into<String>) -> DirectoryResource {
+    pub fn new(
+        name: AbstractName,
+        store: FileStore,
+        scope: impl Into<String>,
+    ) -> DirectoryResource {
         let scope = scope.into();
         let mut properties = CoreProperties::new(name, ResourceManagementKind::ExternallyManaged);
         properties.description = if scope.is_empty() {
@@ -52,11 +57,7 @@ impl DirectoryResource {
 
     /// Files visible through this resource matching `pattern`.
     pub fn select(&self, pattern: &str) -> Vec<(String, usize)> {
-        self.store
-            .select(pattern)
-            .into_iter()
-            .filter(|(p, _)| self.in_scope(p))
-            .collect()
+        self.store.select(pattern).into_iter().filter(|(p, _)| self.in_scope(p)).collect()
     }
 }
 
@@ -73,7 +74,8 @@ impl DataResource for DirectoryResource {
         let mut doc = self.properties.to_xml();
         let files = self.select("");
         doc.push(
-            XmlElement::new(WSDAIF_NS, "wsdaif", "NumberOfFiles").with_text(files.len().to_string()),
+            XmlElement::new(WSDAIF_NS, "wsdaif", "NumberOfFiles")
+                .with_text(files.len().to_string()),
         );
         doc.push(
             XmlElement::new(WSDAIF_NS, "wsdaif", "TotalBytes")
@@ -155,8 +157,7 @@ mod tests {
 
     #[test]
     fn scoped_selection() {
-        let root =
-            DirectoryResource::new(AbstractName::new("urn:f:root").unwrap(), store(), "");
+        let root = DirectoryResource::new(AbstractName::new("urn:f:root").unwrap(), store(), "");
         assert_eq!(root.select("").len(), 3);
         let data =
             DirectoryResource::new(AbstractName::new("urn:f:data").unwrap(), store(), "data");

@@ -33,9 +33,10 @@ fn as_directory(resource: &Arc<dyn dais_core::DataResource>) -> Result<&Director
 }
 
 fn as_file_set(resource: &Arc<dyn dais_core::DataResource>) -> Result<&FileSetResource, Fault> {
-    resource.as_any().downcast_ref::<FileSetResource>().ok_or_else(|| {
-        Fault::dais(DaisFault::InvalidResourceName, "resource is not a file set")
-    })
+    resource
+        .as_any()
+        .downcast_ref::<FileSetResource>()
+        .ok_or_else(|| Fault::dais(DaisFault::InvalidResourceName, "resource is not a file set"))
 }
 
 fn path_of(body: &XmlElement) -> Result<String, Fault> {
@@ -54,7 +55,10 @@ pub fn register_file_access(dispatcher: &mut SoapDispatcher, ctx: Arc<ServiceCon
         }
         let path = path_of(body)?;
         if !dir.in_scope(&path) {
-            return Err(Fault::dais(DaisFault::NotAuthorized, "path is outside this resource's scope"));
+            return Err(Fault::dais(
+                DaisFault::NotAuthorized,
+                "path is outside this resource's scope",
+            ));
         }
         let contents = dir
             .store()
@@ -80,20 +84,24 @@ pub fn register_file_access(dispatcher: &mut SoapDispatcher, ctx: Arc<ServiceCon
         }
         let path = path_of(body)?;
         if !dir.in_scope(&path) {
-            return Err(Fault::dais(DaisFault::NotAuthorized, "path is outside this resource's scope"));
+            return Err(Fault::dais(
+                DaisFault::NotAuthorized,
+                "path is outside this resource's scope",
+            ));
         }
         let contents = body
             .child_text(WSDAIF_NS, "Contents")
             .ok_or_else(|| Fault::client("missing wsdaif:Contents"))?;
-        let bytes = base64::decode(&contents)
-            .map_err(|e| Fault::dais(DaisFault::InvalidExpression, e))?;
+        let bytes =
+            base64::decode(&contents).map_err(|e| Fault::dais(DaisFault::InvalidExpression, e))?;
         let size = dir
             .store()
             .write(&path, bytes)
             .map_err(|e| Fault::dais(DaisFault::InvalidExpression, e.to_string()))?;
         respond(
-            XmlElement::new(WSDAIF_NS, "wsdaif", "WriteFileResponse")
-                .with_child(XmlElement::new(WSDAIF_NS, "wsdaif", "Size").with_text(size.to_string())),
+            XmlElement::new(WSDAIF_NS, "wsdaif", "WriteFileResponse").with_child(
+                XmlElement::new(WSDAIF_NS, "wsdaif", "Size").with_text(size.to_string()),
+            ),
         )
     });
 
@@ -206,16 +214,20 @@ pub struct FileService {
 }
 
 impl FileService {
-    pub fn launch(bus: &Bus, address: &str, store: FileStore, options: FileServiceOptions) -> FileService {
+    pub fn launch(
+        bus: &Bus,
+        address: &str,
+        store: FileStore,
+        options: FileServiceOptions,
+    ) -> FileService {
         let ctx = Arc::new(ServiceContext {
             address: address.to_string(),
             registry: ResourceRegistry::new(),
             lifetime: options.wsrf,
             query_rewriter: None,
         });
-        let names = Arc::new(NameGenerator::new(
-            address.trim_start_matches("bus://").replace('/', "-"),
-        ));
+        let names =
+            Arc::new(NameGenerator::new(address.trim_start_matches("bus://").replace('/', "-")));
         let mut dispatcher = SoapDispatcher::new();
         register_core_ops(&mut dispatcher, ctx.clone());
         if ctx.lifetime.is_some() {
@@ -285,8 +297,7 @@ mod tests {
         let body = req(&root, "ListFilesRequest")
             .with_child(XmlElement::new(WSDAIF_NS, "wsdaif", "Pattern").with_text("data/*.csv"));
         let resp = client.request(actions::LIST_FILES, body).unwrap();
-        let files: Vec<String> =
-            resp.children_named(WSDAIF_NS, "File").map(|f| f.text()).collect();
+        let files: Vec<String> = resp.children_named(WSDAIF_NS, "File").map(|f| f.text()).collect();
         assert_eq!(files, vec!["data/a.csv", "data/b.csv"]);
         assert_eq!(
             resp.children_named(WSDAIF_NS, "File").next().unwrap().attribute("size"),
@@ -298,11 +309,15 @@ mod tests {
     fn property_document() {
         let (_, client, root) = setup();
         let resp = client
-            .request(actions::GET_FILE_PROPERTY_DOCUMENT, req(&root, "GetFilePropertyDocumentRequest"))
+            .request(
+                actions::GET_FILE_PROPERTY_DOCUMENT,
+                req(&root, "GetFilePropertyDocumentRequest"),
+            )
             .unwrap();
         let doc = resp.child(dais_xml::ns::WSDAI, "PropertyDocument").unwrap();
         assert_eq!(doc.child_text(WSDAIF_NS, "NumberOfFiles").as_deref(), Some("3"));
-        assert_eq!(doc.child_text(WSDAIF_NS, "TotalBytes").as_deref(), Some("13")); // 5+3+5
+        assert_eq!(doc.child_text(WSDAIF_NS, "TotalBytes").as_deref(), Some("13"));
+        // 5+3+5
     }
 
     #[test]
@@ -318,8 +333,7 @@ mod tests {
             .with_child(XmlElement::new(WSDAIF_NS, "wsdaif", "StartPosition").with_text("1"))
             .with_child(XmlElement::new(WSDAIF_NS, "wsdaif", "Count").with_text("5"));
         let resp = client.request(actions::GET_FILE_SET_MEMBERS, body).unwrap();
-        let files: Vec<String> =
-            resp.children_named(WSDAIF_NS, "File").map(|f| f.text()).collect();
+        let files: Vec<String> = resp.children_named(WSDAIF_NS, "File").map(|f| f.text()).collect();
         assert_eq!(files, vec!["data/b.csv"]);
     }
 

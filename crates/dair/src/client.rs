@@ -5,8 +5,42 @@ use dais_core::{AbstractName, CoreClient};
 use dais_soap::addressing::Epr;
 use dais_soap::bus::Bus;
 use dais_soap::client::CallError;
+use dais_soap::retry::{IdempotencySet, RetryConfig, RetryPolicy};
 use dais_sql::{Rowset, SqlCommunicationArea, Value};
 use dais_xml::{ns, XmlElement};
+
+/// WS-DAIR operations a consumer may safely re-send: property and
+/// response-resource reads, plus the core read set. `SQLExecute` is
+/// deliberately absent — whether it re-sends safely depends on the
+/// statement it carries, which [`SqlClient::execute`] decides per call.
+/// Factories mint new derived resources and are never retried.
+pub fn idempotent_actions() -> IdempotencySet {
+    IdempotencySet::new([
+        dais_core::messages::actions::GET_DATA_RESOURCE_PROPERTY_DOCUMENT,
+        dais_core::messages::actions::GENERIC_QUERY,
+        dais_core::messages::actions::GET_RESOURCE_LIST,
+        dais_core::messages::actions::RESOLVE,
+        dais_wsrf::actions::GET_RESOURCE_PROPERTY,
+        dais_wsrf::actions::GET_MULTIPLE_RESOURCE_PROPERTIES,
+        dais_wsrf::actions::QUERY_RESOURCE_PROPERTIES,
+        actions::GET_SQL_PROPERTY_DOCUMENT,
+        actions::GET_SQL_RESPONSE_PROPERTY_DOCUMENT,
+        actions::GET_SQL_ROWSET,
+        actions::GET_SQL_UPDATE_COUNT,
+        actions::GET_SQL_RETURN_VALUE,
+        actions::GET_SQL_OUTPUT_PARAMETER,
+        actions::GET_SQL_COMMUNICATION_AREA,
+        actions::GET_SQL_RESPONSE_ITEM,
+        actions::GET_TUPLES,
+        actions::GET_ROWSET_PROPERTY_DOCUMENT,
+    ])
+}
+
+/// True when a statement only reads — the one class of `SQLExecute`
+/// payload that re-sends safely after an ambiguous failure.
+fn statement_is_read_only(sql: &str) -> bool {
+    matches!(sql.split_whitespace().next().map(str::to_ascii_uppercase).as_deref(), Some("SELECT"))
+}
 
 /// A typed consumer of WS-DAIR services. Wraps [`CoreClient`] (all the
 /// WS-DAI core operations remain available through [`SqlClient::core`]).
@@ -25,6 +59,19 @@ impl SqlClient {
         SqlClient { core: CoreClient::from_epr(bus, epr) }
     }
 
+    /// Layer retry over this client for the WS-DAIR read operations
+    /// ([`idempotent_actions`]); `SQLExecute` retries only when the
+    /// statement is a SELECT.
+    pub fn with_retry(self, policy: RetryPolicy) -> SqlClient {
+        self.with_retry_config(RetryConfig::new(policy, idempotent_actions()))
+    }
+
+    /// Layer retry with a caller-assembled configuration.
+    pub fn with_retry_config(mut self, config: RetryConfig) -> SqlClient {
+        self.core = self.core.with_retry_config(config);
+        self
+    }
+
     /// The WS-DAI core operations.
     pub fn core(&self) -> &CoreClient {
         &self.core
@@ -37,12 +84,7 @@ impl SqlClient {
         sql: &str,
         params: &[Value],
     ) -> Result<SqlResponseData, CallError> {
-        let req = messages::sql_execute_request(resource, ns::ROWSET, sql, params);
-        let response = self.core.soap().request(actions::SQL_EXECUTE, req)?;
-        let inner = response
-            .child(ns::WSDAIR, "SQLResponse")
-            .ok_or_else(|| CallError::UnexpectedResponse("no SQLResponse in response".into()))?;
-        SqlResponseData::from_xml(inner).map_err(CallError::Fault)
+        self.execute_with_format(resource, ns::ROWSET, sql, params)
     }
 
     /// `SQLExecute` requesting a specific dataset format URI.
@@ -54,7 +96,11 @@ impl SqlClient {
         params: &[Value],
     ) -> Result<SqlResponseData, CallError> {
         let req = messages::sql_execute_request(resource, format_uri, sql, params);
-        let response = self.core.soap().request(actions::SQL_EXECUTE, req)?;
+        let response = self.core.soap().request_with_idempotency(
+            actions::SQL_EXECUTE,
+            req,
+            statement_is_read_only(sql),
+        )?;
         let inner = response
             .child(ns::WSDAIR, "SQLResponse")
             .ok_or_else(|| CallError::UnexpectedResponse("no SQLResponse in response".into()))?;
@@ -62,7 +108,10 @@ impl SqlClient {
     }
 
     /// `GetSQLPropertyDocument`.
-    pub fn get_sql_property_document(&self, resource: &AbstractName) -> Result<XmlElement, CallError> {
+    pub fn get_sql_property_document(
+        &self,
+        resource: &AbstractName,
+    ) -> Result<XmlElement, CallError> {
         let req = dais_core::messages::request("GetSQLPropertyDocumentRequest", resource);
         let response = self.core.soap().request(actions::GET_SQL_PROPERTY_DOCUMENT, req)?;
         response
@@ -95,7 +144,11 @@ impl SqlClient {
     }
 
     /// `GetSQLRowset` on a response resource (1-based index).
-    pub fn get_sql_rowset(&self, resource: &AbstractName, index: usize) -> Result<Rowset, CallError> {
+    pub fn get_sql_rowset(
+        &self,
+        resource: &AbstractName,
+        index: usize,
+    ) -> Result<Rowset, CallError> {
         let mut req = dais_core::messages::request("GetSQLRowsetRequest", resource);
         req.push(XmlElement::new(ns::WSDAIR, "wsdair", "Index").with_text(index.to_string()));
         let response = self.core.soap().request(actions::GET_SQL_ROWSET, req)?;
@@ -107,7 +160,11 @@ impl SqlClient {
     }
 
     /// `GetSQLUpdateCount` on a response resource.
-    pub fn get_sql_update_count(&self, resource: &AbstractName, index: usize) -> Result<u64, CallError> {
+    pub fn get_sql_update_count(
+        &self,
+        resource: &AbstractName,
+        index: usize,
+    ) -> Result<u64, CallError> {
         let mut req = dais_core::messages::request("GetSQLUpdateCountRequest", resource);
         req.push(XmlElement::new(ns::WSDAIR, "wsdair", "Index").with_text(index.to_string()));
         let response = self.core.soap().request(actions::GET_SQL_UPDATE_COUNT, req)?;
@@ -136,7 +193,8 @@ impl SqlClient {
         resource: &AbstractName,
     ) -> Result<XmlElement, CallError> {
         let req = dais_core::messages::request("GetSQLResponsePropertyDocumentRequest", resource);
-        let response = self.core.soap().request(actions::GET_SQL_RESPONSE_PROPERTY_DOCUMENT, req)?;
+        let response =
+            self.core.soap().request(actions::GET_SQL_RESPONSE_PROPERTY_DOCUMENT, req)?;
         response
             .child(ns::WSDAI, "PropertyDocument")
             .cloned()
@@ -210,8 +268,12 @@ mod tests {
              INSERT INTO item VALUES (1, 'anvil', 10.0), (2, 'rope', 2.5), (3, 'rocket', 99.0);",
         )
         .unwrap();
-        let svc =
-            RelationalService::launch(&bus, "bus://orders", db, RelationalServiceOptions::default());
+        let svc = RelationalService::launch(
+            &bus,
+            "bus://orders",
+            db,
+            RelationalServiceOptions::default(),
+        );
         let client = SqlClient::new(bus.clone(), "bus://orders");
         (bus, client, svc.db_resource)
     }
@@ -219,7 +281,13 @@ mod tests {
     #[test]
     fn direct_access_query() {
         let (_, client, db) = setup();
-        let data = client.execute(&db, "SELECT name FROM item WHERE price > ? ORDER BY id", &[Value::Double(5.0)]).unwrap();
+        let data = client
+            .execute(
+                &db,
+                "SELECT name FROM item WHERE price > ? ORDER BY id",
+                &[Value::Double(5.0)],
+            )
+            .unwrap();
         let rowset = data.rowset().unwrap();
         assert_eq!(rowset.row_count(), 2);
         assert_eq!(rowset.rows[0][0], Value::Str("anvil".into()));
@@ -229,7 +297,8 @@ mod tests {
     #[test]
     fn direct_access_update_and_comm_area() {
         let (_, client, db) = setup();
-        let data = client.execute(&db, "UPDATE item SET price = price + 1 WHERE id < 3", &[]).unwrap();
+        let data =
+            client.execute(&db, "UPDATE item SET price = price + 1 WHERE id < 3", &[]).unwrap();
         assert_eq!(data.update_count(), Some(2));
         let data = client.execute(&db, "DELETE FROM item WHERE id = 99", &[]).unwrap();
         assert_eq!(data.update_count(), Some(0));
@@ -250,9 +319,7 @@ mod tests {
     #[test]
     fn dataset_format_validated() {
         let (_, client, db) = setup();
-        let err = client
-            .execute_with_format(&db, "urn:not-a-format", "SELECT 1", &[])
-            .unwrap_err();
+        let err = client.execute_with_format(&db, "urn:not-a-format", "SELECT 1", &[]).unwrap_err();
         assert_eq!(err.dais_fault(), Some(dais_soap::fault::DaisFault::InvalidDatasetFormat));
     }
 
@@ -260,9 +327,8 @@ mod tests {
     fn indirect_access_pipeline() {
         let (bus, client, db) = setup();
         // Consumer 1: create the response resource.
-        let epr = client
-            .execute_factory(&db, "SELECT * FROM item ORDER BY id", &[], None, None)
-            .unwrap();
+        let epr =
+            client.execute_factory(&db, "SELECT * FROM item ORDER BY id", &[], None, None).unwrap();
         let response_name = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
 
         // Consumer 2 (via the EPR): inspect and derive a rowset.
@@ -290,9 +356,7 @@ mod tests {
     #[test]
     fn factory_rejects_dml() {
         let (_, client, db) = setup();
-        let err = client
-            .execute_factory(&db, "DELETE FROM item", &[], None, None)
-            .unwrap_err();
+        let err = client.execute_factory(&db, "DELETE FROM item", &[], None, None).unwrap_err();
         assert_eq!(err.dais_fault(), Some(dais_soap::fault::DaisFault::InvalidExpression));
     }
 
@@ -304,9 +368,8 @@ mod tests {
             .execute_factory(&db, "SELECT 1", &[], Some("wsdair:SQLResponseAccessPT"), None)
             .unwrap();
         // An unknown one faults.
-        let err = client
-            .execute_factory(&db, "SELECT 1", &[], Some("wsdair:Bogus"), None)
-            .unwrap_err();
+        let err =
+            client.execute_factory(&db, "SELECT 1", &[], Some("wsdair:Bogus"), None).unwrap_err();
         assert_eq!(err.dais_fault(), Some(dais_soap::fault::DaisFault::InvalidPortType));
     }
 
@@ -320,10 +383,10 @@ mod tests {
         let epr_sensitive = client
             .execute_factory(&db, "SELECT COUNT(*) FROM item", &[], None, Some(&sensitive_config))
             .unwrap();
-        let epr_snapshot = client
-            .execute_factory(&db, "SELECT COUNT(*) FROM item", &[], None, None)
-            .unwrap();
-        let n_sensitive = AbstractName::new(epr_sensitive.resource_abstract_name().unwrap()).unwrap();
+        let epr_snapshot =
+            client.execute_factory(&db, "SELECT COUNT(*) FROM item", &[], None, None).unwrap();
+        let n_sensitive =
+            AbstractName::new(epr_sensitive.resource_abstract_name().unwrap()).unwrap();
         let n_snapshot = AbstractName::new(epr_snapshot.resource_abstract_name().unwrap()).unwrap();
 
         client.execute(&db, "DELETE FROM item WHERE id = 1", &[]).unwrap();
@@ -344,10 +407,7 @@ mod tests {
         assert!(list.contains(&db));
         // Derived resources are service managed.
         let props = client.core().get_property_document(&name).unwrap();
-        assert_eq!(
-            props.management,
-            dais_core::properties::ResourceManagementKind::ServiceManaged
-        );
+        assert_eq!(props.management, dais_core::properties::ResourceManagementKind::ServiceManaged);
         assert_eq!(props.parent.as_ref(), Some(&db));
         // Destroy severs the relationship.
         client.core().destroy(&name).unwrap();

@@ -11,16 +11,14 @@ use dais_xml::{ns, XmlElement};
 pub mod actions {
     const BASE: &str = "http://www.ggf.org/namespaces/2005/12/WS-DAIR";
 
-    pub const SQL_EXECUTE: &str =
-        "http://www.ggf.org/namespaces/2005/12/WS-DAIR/SQLExecute";
+    pub const SQL_EXECUTE: &str = "http://www.ggf.org/namespaces/2005/12/WS-DAIR/SQLExecute";
     pub const GET_SQL_PROPERTY_DOCUMENT: &str =
         "http://www.ggf.org/namespaces/2005/12/WS-DAIR/GetSQLPropertyDocument";
     pub const SQL_EXECUTE_FACTORY: &str =
         "http://www.ggf.org/namespaces/2005/12/WS-DAIR/SQLExecuteFactory";
     pub const GET_SQL_RESPONSE_PROPERTY_DOCUMENT: &str =
         "http://www.ggf.org/namespaces/2005/12/WS-DAIR/GetSQLResponsePropertyDocument";
-    pub const GET_SQL_ROWSET: &str =
-        "http://www.ggf.org/namespaces/2005/12/WS-DAIR/GetSQLRowset";
+    pub const GET_SQL_ROWSET: &str = "http://www.ggf.org/namespaces/2005/12/WS-DAIR/GetSQLRowset";
     pub const GET_SQL_UPDATE_COUNT: &str =
         "http://www.ggf.org/namespaces/2005/12/WS-DAIR/GetSQLUpdateCount";
     pub const GET_SQL_RETURN_VALUE: &str =
@@ -104,28 +102,24 @@ pub fn parse_sql_expression(body: &XmlElement) -> Result<(String, Vec<Value>), F
         .child(ns::WSDAIR, "SQLExpression")
         .ok_or_else(|| Fault::dais(DaisFault::InvalidExpression, "missing wsdair:SQLExpression"))?;
     // The statement text is the element's own text, excluding parameters.
-    let sql: String = expr
-        .children
-        .iter()
-        .filter_map(|c| c.as_text())
-        .collect::<Vec<_>>()
-        .join("");
+    let sql: String = expr.children.iter().filter_map(|c| c.as_text()).collect::<Vec<_>>().join("");
     let mut params: Vec<(usize, Value)> = Vec::new();
     for p in expr.children_named(ns::WSDAIR, "SQLParameter") {
-        let index: usize = p
-            .attribute("index")
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| Fault::dais(DaisFault::InvalidExpression, "SQLParameter missing index"))?;
+        let index: usize = p.attribute("index").and_then(|t| t.parse().ok()).ok_or_else(|| {
+            Fault::dais(DaisFault::InvalidExpression, "SQLParameter missing index")
+        })?;
         if index == 0 {
-            return Err(Fault::dais(DaisFault::InvalidExpression, "SQLParameter indexes are 1-based"));
+            return Err(Fault::dais(
+                DaisFault::InvalidExpression,
+                "SQLParameter indexes are 1-based",
+            ));
         }
         let value = if p.attribute("null") == Some("true") {
             Value::Null
         } else {
-            let ty = p
-                .attribute("type")
-                .and_then(SqlType::parse)
-                .ok_or_else(|| Fault::dais(DaisFault::InvalidExpression, "SQLParameter missing type"))?;
+            let ty = p.attribute("type").and_then(SqlType::parse).ok_or_else(|| {
+                Fault::dais(DaisFault::InvalidExpression, "SQLParameter missing type")
+            })?;
             let text = match p.attribute("value") {
                 Some(v) => v.to_string(),
                 None => p.text(),
@@ -184,11 +178,14 @@ impl SqlResponseData {
             el.push(XmlElement::new(ns::WSDAIR, "wsdair", "SQLRowset").with_child(r.to_xml()));
         }
         for n in &self.update_counts {
-            el.push(XmlElement::new(ns::WSDAIR, "wsdair", "SQLUpdateCount").with_text(n.to_string()));
+            el.push(
+                XmlElement::new(ns::WSDAIR, "wsdair", "SQLUpdateCount").with_text(n.to_string()),
+            );
         }
         if let Some(v) = &self.return_value {
             el.push(
-                XmlElement::new(ns::WSDAIR, "wsdair", "SQLReturnValue").with_text(v.to_display_string()),
+                XmlElement::new(ns::WSDAIR, "wsdair", "SQLReturnValue")
+                    .with_text(v.to_display_string()),
             );
         }
         for (name, v) in &self.output_parameters {
@@ -212,9 +209,7 @@ impl SqlResponseData {
             let inner = rs
                 .child(ns::ROWSET, "webRowSet")
                 .ok_or_else(|| Fault::client("SQLRowset carries no webRowSet"))?;
-            data.rowsets.push(
-                Rowset::from_xml(inner).map_err(|e| Fault::client(e.to_string()))?,
-            );
+            data.rowsets.push(Rowset::from_xml(inner).map_err(|e| Fault::client(e.to_string()))?);
         }
         for n in el.children_named(ns::WSDAIR, "SQLUpdateCount") {
             data.update_counts.push(n.text().trim().parse().unwrap_or(0));
@@ -247,7 +242,9 @@ impl SqlResponseData {
 /// Build a `GetTuplesRequest` (Figure 5): a rowset page by position.
 pub fn get_tuples_request(resource: &AbstractName, start: usize, count: usize) -> XmlElement {
     core_messages::request("GetTuplesRequest", resource)
-        .with_child(XmlElement::new(ns::WSDAIR, "wsdair", "StartPosition").with_text(start.to_string()))
+        .with_child(
+            XmlElement::new(ns::WSDAIR, "wsdair", "StartPosition").with_text(start.to_string()),
+        )
         .with_child(XmlElement::new(ns::WSDAIR, "wsdair", "Count").with_text(count.to_string()))
 }
 
@@ -284,10 +281,7 @@ mod tests {
         let (sql, params) = parse_sql_expression(&req).unwrap();
         assert_eq!(sql, "SELECT * FROM t WHERE id = ? AND tag = ?");
         assert_eq!(params, vec![Value::Int(5), Value::Str("x".into())]);
-        assert_eq!(
-            dais_core::messages::extract_format_uri(&req).as_deref(),
-            Some(ns::ROWSET)
-        );
+        assert_eq!(dais_core::messages::extract_format_uri(&req).as_deref(), Some(ns::ROWSET));
     }
 
     #[test]
@@ -303,8 +297,7 @@ mod tests {
         // attributes so the protocol parser's text stripping cannot
         // corrupt them.
         for s in [" ", "  padded  ", "", "\t"] {
-            let req =
-                sql_execute_request(&name(), ns::ROWSET, "SELECT ?", &[Value::Str(s.into())]);
+            let req = sql_execute_request(&name(), ns::ROWSET, "SELECT ?", &[Value::Str(s.into())]);
             let text = dais_xml::to_string(&req);
             let parsed = dais_xml::parse(&text).unwrap();
             let (_, params) = parse_sql_expression(&parsed).unwrap();

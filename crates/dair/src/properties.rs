@@ -68,8 +68,10 @@ mod tests {
 
     #[test]
     fn response_document_carries_response_group() {
-        let props =
-            CoreProperties::new(AbstractName::new("urn:d:r:0").unwrap(), ResourceManagementKind::ServiceManaged);
+        let props = CoreProperties::new(
+            AbstractName::new("urn:d:r:0").unwrap(),
+            ResourceManagementKind::ServiceManaged,
+        );
         let r = SqlResponseResource::create(props, &db(), "SELECT * FROM t", &[]).unwrap();
         let doc = r.property_document();
         for p in SQL_RESPONSE_PROPERTIES {
@@ -80,8 +82,10 @@ mod tests {
     #[test]
     fn rowset_document_carries_rowset_group() {
         let rowset = db().execute("SELECT * FROM t", &[]).unwrap().rowset().unwrap().clone();
-        let props =
-            CoreProperties::new(AbstractName::new("urn:d:rs:0").unwrap(), ResourceManagementKind::ServiceManaged);
+        let props = CoreProperties::new(
+            AbstractName::new("urn:d:rs:0").unwrap(),
+            ResourceManagementKind::ServiceManaged,
+        );
         let r = RowsetResource::new(props, rowset);
         let doc = r.property_document();
         for p in SQL_ROWSET_PROPERTIES {

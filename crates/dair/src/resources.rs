@@ -4,8 +4,8 @@
 use crate::messages::SqlResponseData;
 use dais_core::properties::ResourceManagementKind;
 use dais_core::{
-    AbstractName, ConfigurationDocument, ConfigurationMap, CoreProperties, DataResource, DatasetMap,
-    Sensitivity,
+    AbstractName, ConfigurationDocument, ConfigurationMap, CoreProperties, DataResource,
+    DatasetMap, Sensitivity,
 };
 use dais_soap::fault::{DaisFault, Fault};
 use dais_sql::{Database, Rowset, SqlErrorKind, Value};
@@ -69,10 +69,7 @@ impl SqlDataResource {
 
     /// Is the statement a read (query) or a write?
     pub fn is_read_only_statement(sql: &str) -> bool {
-        matches!(
-            dais_sql::parser::parse_statement(sql),
-            Ok(dais_sql::ast::Stmt::Select(_))
-        )
+        matches!(dais_sql::parser::parse_statement(sql), Ok(dais_sql::ast::Stmt::Select(_)))
     }
 }
 
@@ -331,7 +328,8 @@ mod tests {
     #[test]
     fn insensitive_response_is_a_snapshot() {
         let database = db();
-        let mut props = CoreProperties::new(name("urn:dais:s:resp:0"), ResourceManagementKind::ServiceManaged);
+        let mut props =
+            CoreProperties::new(name("urn:dais:s:resp:0"), ResourceManagementKind::ServiceManaged);
         props.sensitivity = Sensitivity::Insensitive;
         let resp =
             SqlResponseResource::create(props, &database, "SELECT COUNT(*) FROM t", &[]).unwrap();
@@ -344,7 +342,8 @@ mod tests {
     #[test]
     fn sensitive_response_reflects_parent_changes() {
         let database = db();
-        let mut props = CoreProperties::new(name("urn:dais:s:resp:1"), ResourceManagementKind::ServiceManaged);
+        let mut props =
+            CoreProperties::new(name("urn:dais:s:resp:1"), ResourceManagementKind::ServiceManaged);
         props.sensitivity = Sensitivity::Sensitive;
         let resp =
             SqlResponseResource::create(props, &database, "SELECT COUNT(*) FROM t", &[]).unwrap();
@@ -357,14 +356,16 @@ mod tests {
     #[test]
     fn factory_validates_statements_eagerly() {
         let database = db();
-        let props = CoreProperties::new(name("urn:dais:s:resp:2"), ResourceManagementKind::ServiceManaged);
+        let props =
+            CoreProperties::new(name("urn:dais:s:resp:2"), ResourceManagementKind::ServiceManaged);
         assert!(SqlResponseResource::create(props, &database, "SELEKT", &[]).is_err());
     }
 
     #[test]
     fn response_property_document_counts() {
         let database = db();
-        let props = CoreProperties::new(name("urn:dais:s:resp:3"), ResourceManagementKind::ServiceManaged);
+        let props =
+            CoreProperties::new(name("urn:dais:s:resp:3"), ResourceManagementKind::ServiceManaged);
         let resp = SqlResponseResource::create(props, &database, "SELECT * FROM t", &[]).unwrap();
         let doc = resp.property_document();
         assert_eq!(doc.child_text(ns::WSDAIR, "NumberOfSQLRowsets").as_deref(), Some("1"));
@@ -382,7 +383,8 @@ mod tests {
         let database = db();
         let result = database.execute("SELECT * FROM t ORDER BY id", &[]).unwrap();
         let rowset = result.rowset().unwrap().clone();
-        let props = CoreProperties::new(name("urn:dais:s:rs:0"), ResourceManagementKind::ServiceManaged);
+        let props =
+            CoreProperties::new(name("urn:dais:s:rs:0"), ResourceManagementKind::ServiceManaged);
         let r = RowsetResource::new(props, rowset);
         assert_eq!(r.tuples(0, 2).row_count(), 2);
         assert_eq!(r.tuples(2, 2).row_count(), 1);

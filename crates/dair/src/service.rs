@@ -31,9 +31,7 @@ fn respond(element: XmlElement) -> Result<Envelope, Fault> {
     Ok(Envelope::with_body(element))
 }
 
-fn as_sql_resource(
-    resource: &Arc<dyn dais_core::DataResource>,
-) -> Result<&SqlDataResource, Fault> {
+fn as_sql_resource(resource: &Arc<dyn dais_core::DataResource>) -> Result<&SqlDataResource, Fault> {
     resource.as_any().downcast_ref::<SqlDataResource>().ok_or_else(|| {
         Fault::dais(DaisFault::InvalidResourceName, "resource is not a relational data resource")
     })
@@ -47,7 +45,9 @@ fn as_response_resource(
     })
 }
 
-fn as_rowset_resource(resource: &Arc<dyn dais_core::DataResource>) -> Result<&RowsetResource, Fault> {
+fn as_rowset_resource(
+    resource: &Arc<dyn dais_core::DataResource>,
+) -> Result<&RowsetResource, Fault> {
     resource.as_any().downcast_ref::<RowsetResource>().ok_or_else(|| {
         Fault::dais(DaisFault::InvalidResourceName, "resource is not a rowset resource")
     })
@@ -174,10 +174,14 @@ pub fn register_response_access(dispatcher: &mut SoapDispatcher, ctx: Arc<Servic
         let data = as_response_resource(&resource)?.response()?;
         let i = index_of(body);
         let rowset = data.rowsets.get(i - 1).ok_or_else(|| {
-            Fault::client(format!("response has {} rowset(s), index {i} requested", data.rowsets.len()))
+            Fault::client(format!(
+                "response has {} rowset(s), index {i} requested",
+                data.rowsets.len()
+            ))
         })?;
         let mut response = XmlElement::new(ns::WSDAIR, "wsdair", "GetSQLRowsetResponse");
-        response.push(XmlElement::new(ns::WSDAIR, "wsdair", "SQLRowset").with_child(rowset.to_xml()));
+        response
+            .push(XmlElement::new(ns::WSDAIR, "wsdair", "SQLRowset").with_child(rowset.to_xml()));
         respond(response)
     });
 
@@ -193,11 +197,9 @@ pub fn register_response_access(dispatcher: &mut SoapDispatcher, ctx: Arc<Servic
                 data.update_counts.len()
             ))
         })?;
-        respond(
-            XmlElement::new(ns::WSDAIR, "wsdair", "GetSQLUpdateCountResponse").with_child(
-                XmlElement::new(ns::WSDAIR, "wsdair", "SQLUpdateCount").with_text(count.to_string()),
-            ),
-        )
+        respond(XmlElement::new(ns::WSDAIR, "wsdair", "GetSQLUpdateCountResponse").with_child(
+            XmlElement::new(ns::WSDAIR, "wsdair", "SQLUpdateCount").with_text(count.to_string()),
+        ))
     });
 
     let c = ctx.clone();
@@ -208,7 +210,8 @@ pub fn register_response_access(dispatcher: &mut SoapDispatcher, ctx: Arc<Servic
         let mut response = XmlElement::new(ns::WSDAIR, "wsdair", "GetSQLReturnValueResponse");
         if let Some(v) = &data.return_value {
             response.push(
-                XmlElement::new(ns::WSDAIR, "wsdair", "SQLReturnValue").with_text(v.to_display_string()),
+                XmlElement::new(ns::WSDAIR, "wsdair", "SQLReturnValue")
+                    .with_text(v.to_display_string()),
             );
         }
         respond(response)
@@ -252,7 +255,9 @@ pub fn register_response_access(dispatcher: &mut SoapDispatcher, ctx: Arc<Servic
         // Items are numbered across rowsets then update counts.
         let total = data.rowsets.len() + data.update_counts.len();
         if i == 0 || i > total {
-            return Err(Fault::client(format!("response has {total} item(s), index {i} requested")));
+            return Err(Fault::client(format!(
+                "response has {total} item(s), index {i} requested"
+            )));
         }
         let mut response = XmlElement::new(ns::WSDAIR, "wsdair", "GetSQLResponseItemResponse");
         if i <= data.rowsets.len() {
@@ -300,7 +305,8 @@ pub fn register_response_factory(
         })?;
         // Figure 5 shows a Count parameter: an optional cap on the rows
         // materialised into the derived rowset resource.
-        let rowset = match body.child_text(ns::WSDAIR, "Count").and_then(|t| t.trim().parse().ok()) {
+        let rowset = match body.child_text(ns::WSDAIR, "Count").and_then(|t| t.trim().parse().ok())
+        {
             Some(count) => rowset.slice(0, count),
             None => rowset.clone(),
         };
@@ -343,7 +349,8 @@ pub fn register_rowset_access(dispatcher: &mut SoapDispatcher, ctx: Arc<ServiceC
         let body = payload(req)?;
         let resource = c.resolve_resource(body)?;
         as_rowset_resource(&resource)?;
-        let mut response = XmlElement::new(ns::WSDAIR, "wsdair", "GetRowsetPropertyDocumentResponse");
+        let mut response =
+            XmlElement::new(ns::WSDAIR, "wsdair", "GetRowsetPropertyDocumentResponse");
         response.push(resource.property_document());
         respond(response)
     });
@@ -384,9 +391,8 @@ impl RelationalService {
             lifetime: options.wsrf,
             query_rewriter: options.query_rewriter,
         });
-        let names = Arc::new(NameGenerator::new(
-            address.trim_start_matches("bus://").replace('/', "-"),
-        ));
+        let names =
+            Arc::new(NameGenerator::new(address.trim_start_matches("bus://").replace('/', "-")));
 
         let mut dispatcher = SoapDispatcher::new();
         register_core_ops(&mut dispatcher, ctx.clone());

@@ -5,7 +5,30 @@ use dais_core::{AbstractName, CoreClient};
 use dais_soap::addressing::Epr;
 use dais_soap::bus::Bus;
 use dais_soap::client::CallError;
+use dais_soap::retry::{IdempotencySet, RetryConfig, RetryPolicy};
 use dais_xml::{ns, XmlElement};
+
+/// WS-DAIX operations a consumer may safely re-send: document and
+/// property reads plus the read-only query languages. `AddDocuments`,
+/// `RemoveDocuments`, `XUpdateExecute`, subcollection mutations and the
+/// factories all change service state and are never retried.
+pub fn idempotent_actions() -> IdempotencySet {
+    IdempotencySet::new([
+        dais_core::messages::actions::GET_DATA_RESOURCE_PROPERTY_DOCUMENT,
+        dais_core::messages::actions::GENERIC_QUERY,
+        dais_core::messages::actions::GET_RESOURCE_LIST,
+        dais_core::messages::actions::RESOLVE,
+        dais_wsrf::actions::GET_RESOURCE_PROPERTY,
+        dais_wsrf::actions::GET_MULTIPLE_RESOURCE_PROPERTIES,
+        dais_wsrf::actions::QUERY_RESOURCE_PROPERTIES,
+        actions::GET_DOCUMENTS,
+        actions::GET_COLLECTION_PROPERTY_DOCUMENT,
+        actions::XPATH_EXECUTE,
+        actions::XQUERY_EXECUTE,
+        actions::GET_ITEMS,
+        actions::GET_SEQUENCE_PROPERTY_DOCUMENT,
+    ])
+}
 
 /// A typed consumer of WS-DAIX services.
 #[derive(Clone)]
@@ -20,6 +43,18 @@ impl XmlClient {
 
     pub fn from_epr(bus: Bus, epr: Epr) -> XmlClient {
         XmlClient { core: CoreClient::from_epr(bus, epr) }
+    }
+
+    /// Layer retry over this client for the WS-DAIX read operations
+    /// ([`idempotent_actions`]).
+    pub fn with_retry(self, policy: RetryPolicy) -> XmlClient {
+        self.with_retry_config(RetryConfig::new(policy, idempotent_actions()))
+    }
+
+    /// Layer retry with a caller-assembled configuration.
+    pub fn with_retry_config(mut self, config: RetryConfig) -> XmlClient {
+        self.core = self.core.with_retry_config(config);
+        self
     }
 
     /// The WS-DAI core operations.

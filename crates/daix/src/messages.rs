@@ -7,10 +7,8 @@ use dais_xml::{ns, XmlElement};
 
 /// SOAP action URIs for the WS-DAIX operations.
 pub mod actions {
-    pub const ADD_DOCUMENTS: &str =
-        "http://www.ggf.org/namespaces/2005/12/WS-DAIX/AddDocuments";
-    pub const GET_DOCUMENTS: &str =
-        "http://www.ggf.org/namespaces/2005/12/WS-DAIX/GetDocuments";
+    pub const ADD_DOCUMENTS: &str = "http://www.ggf.org/namespaces/2005/12/WS-DAIX/AddDocuments";
+    pub const GET_DOCUMENTS: &str = "http://www.ggf.org/namespaces/2005/12/WS-DAIX/GetDocuments";
     pub const REMOVE_DOCUMENTS: &str =
         "http://www.ggf.org/namespaces/2005/12/WS-DAIX/RemoveDocuments";
     pub const CREATE_SUBCOLLECTION: &str =
@@ -19,10 +17,8 @@ pub mod actions {
         "http://www.ggf.org/namespaces/2005/12/WS-DAIX/RemoveSubcollection";
     pub const GET_COLLECTION_PROPERTY_DOCUMENT: &str =
         "http://www.ggf.org/namespaces/2005/12/WS-DAIX/GetCollectionPropertyDocument";
-    pub const XPATH_EXECUTE: &str =
-        "http://www.ggf.org/namespaces/2005/12/WS-DAIX/XPathExecute";
-    pub const XQUERY_EXECUTE: &str =
-        "http://www.ggf.org/namespaces/2005/12/WS-DAIX/XQueryExecute";
+    pub const XPATH_EXECUTE: &str = "http://www.ggf.org/namespaces/2005/12/WS-DAIX/XPathExecute";
+    pub const XQUERY_EXECUTE: &str = "http://www.ggf.org/namespaces/2005/12/WS-DAIX/XQueryExecute";
     pub const XUPDATE_EXECUTE: &str =
         "http://www.ggf.org/namespaces/2005/12/WS-DAIX/XUpdateExecute";
     pub const XPATH_EXECUTE_FACTORY: &str =
@@ -62,7 +58,8 @@ pub fn add_documents_request(
             XmlElement::new(ns::WSDAIX, "wsdaix", "Document")
                 .with_child(XmlElement::new(ns::WSDAIX, "wsdaix", "DocumentName").with_text(name))
                 .with_child(
-                    XmlElement::new(ns::WSDAIX, "wsdaix", "DocumentContent").with_child(doc.clone()),
+                    XmlElement::new(ns::WSDAIX, "wsdaix", "DocumentContent")
+                        .with_child(doc.clone()),
                 ),
         );
     }
@@ -108,9 +105,8 @@ pub fn parse_document_names(body: &XmlElement) -> Vec<String> {
 
 /// Build a query-execution request (`XPathExecuteRequest` etc.).
 pub fn query_request(message: &str, resource: &AbstractName, expression: &str) -> XmlElement {
-    core_messages::request(message, resource).with_child(
-        XmlElement::new(ns::WSDAIX, "wsdaix", "Expression").with_text(expression),
-    )
+    core_messages::request(message, resource)
+        .with_child(XmlElement::new(ns::WSDAIX, "wsdaix", "Expression").with_text(expression))
 }
 
 /// Parse the expression out of a query request.
@@ -127,7 +123,9 @@ pub fn xupdate_request(resource: &AbstractName, modifications: XmlElement) -> Xm
 /// Build a `GetItemsRequest` (paged sequence retrieval).
 pub fn get_items_request(resource: &AbstractName, start: usize, count: usize) -> XmlElement {
     core_messages::request("GetItemsRequest", resource)
-        .with_child(XmlElement::new(ns::WSDAIX, "wsdaix", "StartPosition").with_text(start.to_string()))
+        .with_child(
+            XmlElement::new(ns::WSDAIX, "wsdaix", "StartPosition").with_text(start.to_string()),
+        )
         .with_child(XmlElement::new(ns::WSDAIX, "wsdaix", "Count").with_text(count.to_string()))
 }
 

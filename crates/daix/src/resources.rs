@@ -4,8 +4,8 @@
 use crate::languages;
 use dais_core::properties::ResourceManagementKind;
 use dais_core::{
-    AbstractName, ConfigurationDocument, ConfigurationMap, CoreProperties, DataResource, DatasetMap,
-    Sensitivity,
+    AbstractName, ConfigurationDocument, ConfigurationMap, CoreProperties, DataResource,
+    DatasetMap, Sensitivity,
 };
 use dais_soap::fault::{DaisFault, Fault};
 use dais_xml::{ns, QName, XmlElement};
@@ -33,7 +33,11 @@ pub struct XmlCollectionResource {
 }
 
 impl XmlCollectionResource {
-    pub fn new(name: AbstractName, db: XmlDatabase, path: impl Into<String>) -> XmlCollectionResource {
+    pub fn new(
+        name: AbstractName,
+        db: XmlDatabase,
+        path: impl Into<String>,
+    ) -> XmlCollectionResource {
         let path = path.into();
         let mut properties = CoreProperties::new(name, ResourceManagementKind::ExternallyManaged);
         properties.description = format!("XML collection '{path}' in database '{}'", db.name());
@@ -197,7 +201,8 @@ impl DataResource for SequenceResource {
     fn property_document(&self) -> XmlElement {
         let mut doc = self.properties.to_xml();
         doc.push(
-            XmlElement::new(ns::WSDAIX, "wsdaix", "NumberOfItems").with_text(self.items.len().to_string()),
+            XmlElement::new(ns::WSDAIX, "wsdaix", "NumberOfItems")
+                .with_text(self.items.len().to_string()),
         );
         doc
     }

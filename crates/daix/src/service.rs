@@ -63,9 +63,7 @@ pub fn register_collection_access(
         let documents = messages::parse_add_documents(body)?;
         let mut response = XmlElement::new(ns::WSDAIX, "wsdaix", "AddDocumentsResponse");
         for (name, doc) in documents {
-            let outcome = collection
-                .database()
-                .add_document_element(collection.path(), &name, doc);
+            let outcome = collection.database().add_document_element(collection.path(), &name, doc);
             let status = match outcome {
                 Ok(()) => "Success",
                 Err(dais_xmldb::XmlDbError::DocumentExists(_)) => "DocumentExists",
@@ -96,10 +94,15 @@ pub fn register_collection_access(
             requested
         };
         for name in names {
-            let doc = collection.database().get_document(collection.path(), &name).map_err(xmldb_fault)?;
+            let doc = collection
+                .database()
+                .get_document(collection.path(), &name)
+                .map_err(xmldb_fault)?;
             response.push(
                 XmlElement::new(ns::WSDAIX, "wsdaix", "Document")
-                    .with_child(XmlElement::new(ns::WSDAIX, "wsdaix", "DocumentName").with_text(name))
+                    .with_child(
+                        XmlElement::new(ns::WSDAIX, "wsdaix", "DocumentName").with_text(name),
+                    )
                     .with_child(
                         XmlElement::new(ns::WSDAIX, "wsdaix", "DocumentContent").with_child(doc),
                     ),
@@ -119,11 +122,9 @@ pub fn register_collection_access(
             collection.database().remove_document(collection.path(), &name).map_err(xmldb_fault)?;
             removed += 1;
         }
-        respond(
-            XmlElement::new(ns::WSDAIX, "wsdaix", "RemoveDocumentsResponse").with_child(
-                XmlElement::new(ns::WSDAIX, "wsdaix", "RemovedCount").with_text(removed.to_string()),
-            ),
-        )
+        respond(XmlElement::new(ns::WSDAIX, "wsdaix", "RemoveDocumentsResponse").with_child(
+            XmlElement::new(ns::WSDAIX, "wsdaix", "RemovedCount").with_text(removed.to_string()),
+        ))
     });
 
     let c = ctx.clone();
@@ -144,11 +145,8 @@ pub fn register_collection_access(
         collection.database().create_collection(&path).map_err(xmldb_fault)?;
         // Register a data resource for the new collection.
         let abstract_name = n.mint("collection");
-        let sub = XmlCollectionResource::new(
-            abstract_name.clone(),
-            collection.database().clone(),
-            path,
-        );
+        let sub =
+            XmlCollectionResource::new(abstract_name.clone(), collection.database().clone(), path);
         c.add_resource(Arc::new(sub));
         respond(
             XmlElement::new(ns::WSDAIX, "wsdaix", "CreateSubcollectionResponse").with_child(
@@ -231,17 +229,14 @@ pub fn register_query_access(dispatcher: &mut SoapDispatcher, ctx: Arc<ServiceCo
         let resource = c.resolve_resource(body)?;
         let collection = as_collection(&resource)?;
         require_writeable(&resource)?;
-        let modifications = body
-            .child(dais_xmldb::xupdate::XUPDATE_NS, "modifications")
-            .ok_or_else(|| {
+        let modifications =
+            body.child(dais_xmldb::xupdate::XUPDATE_NS, "modifications").ok_or_else(|| {
                 Fault::dais(DaisFault::InvalidExpression, "missing xupdate:modifications document")
             })?;
         let touched = collection.xupdate(modifications)?;
-        respond(
-            XmlElement::new(ns::WSDAIX, "wsdaix", "XUpdateExecuteResponse").with_child(
-                XmlElement::new(ns::WSDAIX, "wsdaix", "ModifiedCount").with_text(touched.to_string()),
-            ),
-        )
+        respond(XmlElement::new(ns::WSDAIX, "wsdaix", "XUpdateExecuteResponse").with_child(
+            XmlElement::new(ns::WSDAIX, "wsdaix", "ModifiedCount").with_text(touched.to_string()),
+        ))
     });
 }
 
@@ -270,7 +265,8 @@ pub fn register_query_factories(
             }
             let config = DerivedResourceConfig::from_request(body)?;
             let message_qname = QName::new(ns::WSDAIX, "wsdaix", message);
-            let (_port, effective) = config.resolve_against(&props.configuration_maps, &message_qname)?;
+            let (_port, effective) =
+                config.resolve_against(&props.configuration_maps, &message_qname)?;
 
             let expression = messages::parse_expression(body)?;
             let items: Vec<XmlElement> = if is_xquery {
@@ -346,7 +342,12 @@ pub struct XmlService {
 }
 
 impl XmlService {
-    pub fn launch(bus: &Bus, address: &str, db: XmlDatabase, options: XmlServiceOptions) -> XmlService {
+    pub fn launch(
+        bus: &Bus,
+        address: &str,
+        db: XmlDatabase,
+        options: XmlServiceOptions,
+    ) -> XmlService {
         let registry = ResourceRegistry::new();
         let ctx = Arc::new(ServiceContext {
             address: address.to_string(),
@@ -354,9 +355,8 @@ impl XmlService {
             lifetime: options.wsrf,
             query_rewriter: None,
         });
-        let names = Arc::new(NameGenerator::new(
-            address.trim_start_matches("bus://").replace('/', "-"),
-        ));
+        let names =
+            Arc::new(NameGenerator::new(address.trim_start_matches("bus://").replace('/', "-")));
 
         let mut dispatcher = SoapDispatcher::new();
         register_core_ops(&mut dispatcher, ctx.clone());

@@ -28,8 +28,12 @@ impl Epr {
     pub fn for_resource(address: impl Into<String>, abstract_name: &str) -> Self {
         Epr {
             address: address.into(),
-            reference_parameters: vec![XmlElement::new(ns::WSDAI, "wsdai", "DataResourceAbstractName")
-                .with_text(abstract_name)],
+            reference_parameters: vec![XmlElement::new(
+                ns::WSDAI,
+                "wsdai",
+                "DataResourceAbstractName",
+            )
+            .with_text(abstract_name)],
         }
     }
 
@@ -75,7 +79,11 @@ impl Epr {
 /// Build the WS-Addressing header blocks for a message sent to `to` with
 /// the given SOAP action, echoing EPR reference parameters as headers (per
 /// WS-Addressing §2.2: each reference parameter becomes a header block).
-pub fn message_headers(to: &str, action: &str, reference_parameters: &[XmlElement]) -> Vec<XmlElement> {
+pub fn message_headers(
+    to: &str,
+    action: &str,
+    reference_parameters: &[XmlElement],
+) -> Vec<XmlElement> {
     let mut headers = vec![
         XmlElement::new(ns::WSA, "wsa", "To").with_text(to),
         XmlElement::new(ns::WSA, "wsa", "Action").with_text(action),

@@ -13,6 +13,7 @@
 
 use crate::envelope::Envelope;
 use crate::fault::Fault;
+use crate::interceptor::{CallInfo, Intercept, Interceptor};
 use crate::service::SoapService;
 use dais_util::sync::RwLock;
 use std::collections::HashMap;
@@ -34,6 +35,10 @@ pub struct BusStats {
     pub request_bytes: AtomicU64,
     pub response_bytes: AtomicU64,
     pub faults: AtomicU64,
+    /// Calls an interceptor interfered with (tampered, answered, aborted).
+    pub injected: AtomicU64,
+    /// Attempts re-sent by the client retry layer.
+    pub retries: AtomicU64,
 }
 
 /// A point-in-time copy of [`BusStats`].
@@ -43,6 +48,8 @@ pub struct StatsSnapshot {
     pub request_bytes: u64,
     pub response_bytes: u64,
     pub faults: u64,
+    pub injected: u64,
+    pub retries: u64,
 }
 
 impl StatsSnapshot {
@@ -61,12 +68,22 @@ impl BusStats {
         }
     }
 
+    fn record_injected(&self) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             messages: self.messages.load(Ordering::Relaxed),
             request_bytes: self.request_bytes.load(Ordering::Relaxed),
             response_bytes: self.response_bytes.load(Ordering::Relaxed),
             faults: self.faults.load(Ordering::Relaxed),
+            injected: self.injected.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
         }
     }
 }
@@ -81,6 +98,9 @@ pub struct Bus {
 struct BusInner {
     endpoints: RwLock<HashMap<String, Endpoint>>,
     per_endpoint: RwLock<HashMap<String, Arc<BusStats>>>,
+    /// Copy-on-write chain: `call` takes one `Arc` clone, so an empty
+    /// chain costs nothing and mutation never blocks in-flight calls.
+    interceptors: RwLock<Arc<Vec<Arc<dyn Interceptor>>>>,
     total: BusStats,
 }
 
@@ -92,6 +112,10 @@ pub enum BusError {
     NoSuchEndpoint(String),
     /// The peer produced bytes that do not parse as an envelope.
     MalformedEnvelope(String),
+    /// The request was sent but no response ever arrived (only ever
+    /// produced by interceptors — the in-process transport itself
+    /// cannot lose messages).
+    Timeout(String),
 }
 
 impl std::fmt::Display for BusError {
@@ -99,6 +123,7 @@ impl std::fmt::Display for BusError {
         match self {
             BusError::NoSuchEndpoint(a) => write!(f, "no endpoint registered at '{a}'"),
             BusError::MalformedEnvelope(m) => write!(f, "malformed envelope: {m}"),
+            BusError::Timeout(m) => write!(f, "timeout: {m}"),
         }
     }
 }
@@ -133,9 +158,55 @@ impl Bus {
         v
     }
 
+    /// Append an interceptor to the transport chain. Requests traverse
+    /// the chain in this order; responses traverse it in reverse.
+    pub fn add_interceptor(&self, interceptor: Arc<dyn Interceptor>) {
+        let mut chain = self.inner.interceptors.write();
+        let mut next = Vec::clone(&chain);
+        next.push(interceptor);
+        *chain = Arc::new(next);
+    }
+
+    /// Drop every interceptor, restoring the bare transport.
+    pub fn clear_interceptors(&self) {
+        *self.inner.interceptors.write() = Arc::new(Vec::new());
+    }
+
+    /// Number of interceptors currently installed.
+    pub fn interceptor_count(&self) -> usize {
+        self.inner.interceptors.read().len()
+    }
+
+    fn record(&self, to: &str, request: u64, response: u64, fault: bool) {
+        self.inner.total.record(request, response, fault);
+        if let Some(stats) = self.inner.per_endpoint.read().get(to) {
+            stats.record(request, response, fault);
+        }
+    }
+
+    fn note_injected(&self, to: &str) {
+        self.inner.total.record_injected();
+        if let Some(stats) = self.inner.per_endpoint.read().get(to) {
+            stats.record_injected();
+        }
+    }
+
+    /// Count one client-side retry against this endpoint (called by the
+    /// retry layer, which sits above the bus).
+    pub fn record_retry(&self, to: &str) {
+        self.inner.total.record_retry();
+        if let Some(stats) = self.inner.per_endpoint.read().get(to) {
+            stats.record_retry();
+        }
+    }
+
     /// Send a request. Always serialises/parses both envelopes; a service
     /// fault is returned as `Ok(Err(fault))` after travelling through a
     /// fault envelope, mirroring SOAP-over-HTTP semantics.
+    ///
+    /// Wire bytes pass through the interceptor chain in both directions
+    /// (requests in order, responses reversed). An aborted or
+    /// unparseable call still bills the request leg it consumed.
     #[allow(clippy::type_complexity)]
     pub fn call(
         &self,
@@ -150,36 +221,91 @@ impl Bus {
             .get(to)
             .cloned()
             .ok_or_else(|| BusError::NoSuchEndpoint(to.to_string()))?;
+        let chain = Arc::clone(&self.inner.interceptors.read());
+        let info = CallInfo { to, action };
 
-        // Request wire trip.
-        let request_bytes = request.to_bytes();
-        let parsed_request = Envelope::from_bytes(&request_bytes)
-            .map_err(|e| BusError::MalformedEnvelope(e.to_string()))?;
-
-        let outcome = endpoint.service.handle(action, &parsed_request);
-
-        // Response wire trip (fault or success both serialise).
-        let (response_env, is_fault) = match &outcome {
-            Ok(resp) => (resp.clone(), false),
-            Err(fault) => (Envelope::with_body(fault.to_xml()), true),
-        };
-        let response_bytes = response_env.to_bytes();
-        let parsed_response = Envelope::from_bytes(&response_bytes)
-            .map_err(|e| BusError::MalformedEnvelope(e.to_string()))?;
-
-        self.inner.total.record(request_bytes.len() as u64, response_bytes.len() as u64, is_fault);
-        if let Some(stats) = self.inner.per_endpoint.read().get(to) {
-            stats.record(request_bytes.len() as u64, response_bytes.len() as u64, is_fault);
-        }
-
-        // Reconstruct the outcome from the parsed response, so the caller
-        // only ever sees data that crossed the "wire".
-        if let Some(payload) = parsed_response.payload() {
-            if let Some(fault) = Fault::from_xml(payload) {
-                return Ok(Err(fault));
+        // Request wire trip, through the chain.
+        let mut request_bytes = request.to_bytes();
+        // `Reply` at position i answers on the service's behalf; only the
+        // interceptors outside it (0..i) then see the response.
+        let mut replied: Option<(Vec<u8>, usize)> = None;
+        for (i, interceptor) in chain.iter().enumerate() {
+            match interceptor.on_request(&info, &request_bytes) {
+                Intercept::Pass => {}
+                Intercept::Tamper(bytes) => {
+                    self.note_injected(to);
+                    request_bytes = bytes;
+                }
+                Intercept::Reply(bytes) => {
+                    self.note_injected(to);
+                    replied = Some((bytes, i));
+                    break;
+                }
+                Intercept::Abort(err) => {
+                    self.note_injected(to);
+                    self.record(to, request_bytes.len() as u64, 0, false);
+                    return Err(err);
+                }
             }
         }
-        Ok(Ok(parsed_response))
+
+        let (mut response_bytes, response_chain_len) = match replied {
+            Some((bytes, i)) => (bytes, i),
+            None => {
+                let parsed_request = match Envelope::from_bytes(&request_bytes) {
+                    Ok(env) => env,
+                    Err(e) => {
+                        self.record(to, request_bytes.len() as u64, 0, false);
+                        return Err(BusError::MalformedEnvelope(e.to_string()));
+                    }
+                };
+                let outcome = endpoint.service.handle(action, &parsed_request);
+                // Fault or success both serialise for the return trip.
+                let response_env = match outcome {
+                    Ok(resp) => resp,
+                    Err(fault) => Envelope::with_body(fault.to_xml()),
+                };
+                (response_env.to_bytes(), chain.len())
+            }
+        };
+
+        for interceptor in chain[..response_chain_len].iter().rev() {
+            match interceptor.on_response(&info, &response_bytes) {
+                Intercept::Pass => {}
+                Intercept::Tamper(bytes) => {
+                    self.note_injected(to);
+                    response_bytes = bytes;
+                }
+                Intercept::Reply(bytes) => {
+                    self.note_injected(to);
+                    response_bytes = bytes;
+                    break;
+                }
+                Intercept::Abort(err) => {
+                    self.note_injected(to);
+                    self.record(to, request_bytes.len() as u64, 0, false);
+                    return Err(err);
+                }
+            }
+        }
+
+        let parsed_response = match Envelope::from_bytes(&response_bytes) {
+            Ok(env) => env,
+            Err(e) => {
+                self.record(to, request_bytes.len() as u64, response_bytes.len() as u64, false);
+                return Err(BusError::MalformedEnvelope(e.to_string()));
+            }
+        };
+
+        // Reconstruct the outcome from the parsed response, so the caller
+        // only ever sees data that crossed the "wire". Fault accounting
+        // follows the same classification.
+        let fault = parsed_response.payload().and_then(Fault::from_xml);
+        self.record(to, request_bytes.len() as u64, response_bytes.len() as u64, fault.is_some());
+        match fault {
+            Some(f) => Ok(Err(f)),
+            None => Ok(Ok(parsed_response)),
+        }
     }
 
     /// Totals across all endpoints.
@@ -189,12 +315,7 @@ impl Bus {
 
     /// Per-endpoint counters (zero snapshot if never registered).
     pub fn endpoint_stats(&self, address: &str) -> StatsSnapshot {
-        self.inner
-            .per_endpoint
-            .read()
-            .get(address)
-            .map(|s| s.snapshot())
-            .unwrap_or_default()
+        self.inner.per_endpoint.read().get(address).map(|s| s.snapshot()).unwrap_or_default()
     }
 }
 
@@ -242,7 +363,8 @@ mod tests {
     #[test]
     fn unknown_action_is_client_fault() {
         let bus = echo_bus();
-        let fault = bus.call("bus://svc", "urn:unknown", &Envelope::default()).unwrap().unwrap_err();
+        let fault =
+            bus.call("bus://svc", "urn:unknown", &Envelope::default()).unwrap().unwrap_err();
         assert_eq!(fault.code, crate::fault::FaultCode::Client);
     }
 
@@ -276,5 +398,140 @@ mod tests {
     fn addresses_lists_registered() {
         let bus = echo_bus();
         assert_eq!(bus.addresses(), vec!["bus://svc"]);
+    }
+
+    type VisitLog = Arc<std::sync::Mutex<Vec<(u8, char)>>>;
+
+    /// Tags request bytes on the way in and response bytes on the way
+    /// out, appending to a log shared by the whole chain.
+    struct Tagger {
+        id: u8,
+        log: VisitLog,
+    }
+
+    impl crate::interceptor::Interceptor for Tagger {
+        fn on_request(
+            &self,
+            _: &crate::interceptor::CallInfo<'_>,
+            _: &[u8],
+        ) -> crate::interceptor::Intercept {
+            self.log.lock().unwrap().push((self.id, 'q'));
+            crate::interceptor::Intercept::Pass
+        }
+
+        fn on_response(
+            &self,
+            _: &crate::interceptor::CallInfo<'_>,
+            _: &[u8],
+        ) -> crate::interceptor::Intercept {
+            self.log.lock().unwrap().push((self.id, 's'));
+            crate::interceptor::Intercept::Pass
+        }
+    }
+
+    #[test]
+    fn chain_runs_in_order_and_reversed() {
+        let bus = echo_bus();
+        let log: VisitLog = Arc::default();
+        bus.add_interceptor(Arc::new(Tagger { id: 1, log: log.clone() }));
+        bus.add_interceptor(Arc::new(Tagger { id: 2, log: log.clone() }));
+        assert_eq!(bus.interceptor_count(), 2);
+        bus.call("bus://svc", "urn:echo", &Envelope::default()).unwrap().unwrap();
+        assert_eq!(*log.lock().unwrap(), vec![(1, 'q'), (2, 'q'), (2, 's'), (1, 's')]);
+        bus.clear_interceptors();
+        assert_eq!(bus.interceptor_count(), 0);
+    }
+
+    struct AbortAll;
+    impl crate::interceptor::Interceptor for AbortAll {
+        fn on_request(
+            &self,
+            call: &crate::interceptor::CallInfo<'_>,
+            _: &[u8],
+        ) -> crate::interceptor::Intercept {
+            crate::interceptor::Intercept::Abort(BusError::Timeout(call.to.to_string()))
+        }
+    }
+
+    #[test]
+    fn abort_surfaces_as_transport_error_and_bills_request_leg() {
+        let bus = echo_bus();
+        bus.add_interceptor(Arc::new(AbortAll));
+        let env = Envelope::with_body(XmlElement::new_local("m").with_text("payload"));
+        let err = bus.call("bus://svc", "urn:echo", &env).unwrap_err();
+        assert_eq!(err, BusError::Timeout("bus://svc".into()));
+        let s = bus.stats();
+        assert_eq!(s.messages, 1);
+        assert_eq!(s.injected, 1);
+        assert!(s.request_bytes > 0);
+        assert_eq!(s.response_bytes, 0);
+        assert_eq!(s.faults, 0);
+    }
+
+    struct ReplyCanned(Vec<u8>);
+    impl crate::interceptor::Interceptor for ReplyCanned {
+        fn on_request(
+            &self,
+            _: &crate::interceptor::CallInfo<'_>,
+            _: &[u8],
+        ) -> crate::interceptor::Intercept {
+            crate::interceptor::Intercept::Reply(self.0.clone())
+        }
+    }
+
+    #[test]
+    fn reply_short_circuits_the_service() {
+        let bus = echo_bus();
+        let canned = Envelope::with_body(Fault::server("synthetic").to_xml()).to_bytes();
+        bus.add_interceptor(Arc::new(ReplyCanned(canned)));
+        // The echo service never runs; the canned fault comes back.
+        let fault = bus.call("bus://svc", "urn:echo", &Envelope::default()).unwrap().unwrap_err();
+        assert_eq!(fault.reason, "synthetic");
+        let s = bus.stats();
+        assert_eq!((s.messages, s.faults, s.injected), (1, 1, 1));
+    }
+
+    struct CorruptRequests;
+    impl crate::interceptor::Interceptor for CorruptRequests {
+        fn on_request(
+            &self,
+            _: &crate::interceptor::CallInfo<'_>,
+            bytes: &[u8],
+        ) -> crate::interceptor::Intercept {
+            crate::interceptor::Intercept::Tamper(bytes[..bytes.len() / 2].to_vec())
+        }
+    }
+
+    #[test]
+    fn tampered_request_fails_to_parse() {
+        let bus = echo_bus();
+        bus.add_interceptor(Arc::new(CorruptRequests));
+        let env = Envelope::with_body(XmlElement::new_local("m").with_text("payload"));
+        let err = bus.call("bus://svc", "urn:echo", &env).unwrap_err();
+        assert!(matches!(err, BusError::MalformedEnvelope(_)));
+        assert_eq!(bus.stats().injected, 1);
+    }
+
+    #[test]
+    fn empty_chain_leaves_stats_identical() {
+        let with_chain = echo_bus();
+        with_chain.add_interceptor(Arc::new(Tagger { id: 9, log: Arc::default() }));
+        with_chain.clear_interceptors();
+        let without = echo_bus();
+        let env = Envelope::with_body(XmlElement::new_local("m").with_text("same"));
+        with_chain.call("bus://svc", "urn:echo", &env).unwrap().unwrap();
+        without.call("bus://svc", "urn:echo", &env).unwrap().unwrap();
+        assert_eq!(with_chain.stats(), without.stats());
+    }
+
+    #[test]
+    fn record_retry_counts_total_and_endpoint() {
+        let bus = echo_bus();
+        bus.record_retry("bus://svc");
+        bus.record_retry("bus://svc");
+        bus.record_retry("bus://unknown"); // total only; endpoint never registered
+        assert_eq!(bus.stats().retries, 3);
+        assert_eq!(bus.endpoint_stats("bus://svc").retries, 2);
+        assert_eq!(bus.endpoint_stats("bus://unknown").retries, 0);
     }
 }

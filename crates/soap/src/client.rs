@@ -5,7 +5,9 @@ use crate::addressing::{message_headers, Epr};
 use crate::bus::{Bus, BusError};
 use crate::envelope::Envelope;
 use crate::fault::Fault;
+use crate::retry::{is_retryable, RetryConfig};
 use dais_xml::XmlElement;
+use std::time::Duration;
 
 /// Errors a consumer can observe: transport failures or SOAP faults.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,23 +52,39 @@ impl CallError {
     }
 }
 
-/// A client bound to one endpoint (by address or EPR).
+/// A client bound to one endpoint (by address or EPR), optionally with a
+/// retry layer over the transport.
 #[derive(Clone)]
 pub struct ServiceClient {
     bus: Bus,
     epr: Epr,
+    retry: Option<RetryConfig>,
 }
 
 impl ServiceClient {
     /// Bind to a bare address.
     pub fn new(bus: Bus, address: impl Into<String>) -> Self {
-        ServiceClient { bus, epr: Epr::new(address) }
+        ServiceClient { bus, epr: Epr::new(address), retry: None }
     }
 
     /// Bind to an EPR (indirect access: reference parameters will be
     /// echoed as headers on every request).
     pub fn from_epr(bus: Bus, epr: Epr) -> Self {
-        ServiceClient { bus, epr }
+        ServiceClient { bus, epr, retry: None }
+    }
+
+    /// Layer retry behaviour over this client. Only actions the config
+    /// classifies as idempotent are ever re-sent (see
+    /// [`request_with_idempotency`](Self::request_with_idempotency) for
+    /// per-call overrides).
+    pub fn with_retry(mut self, config: RetryConfig) -> Self {
+        self.retry = Some(config);
+        self
+    }
+
+    /// The active retry configuration, if any.
+    pub fn retry_config(&self) -> Option<&RetryConfig> {
+        self.retry.as_ref()
     }
 
     /// The bound EPR.
@@ -80,9 +98,52 @@ impl ServiceClient {
     }
 
     /// Send `payload` with the given SOAP action and return the response
-    /// payload element.
+    /// payload element. Retries (if configured) apply when the action is
+    /// in the config's idempotency set.
     pub fn request(&self, action: &str, payload: XmlElement) -> Result<XmlElement, CallError> {
-        let mut env = Envelope::with_body(payload);
+        let idempotent =
+            self.retry.as_ref().map(|c| c.idempotent.contains(action)).unwrap_or(false);
+        self.request_with_idempotency(action, payload, idempotent)
+    }
+
+    /// Like [`request`](Self::request) but with the idempotency verdict
+    /// supplied by the caller — for operations whose safety depends on
+    /// the payload (a `SQLExecute` carrying a SELECT re-sends safely; one
+    /// carrying an INSERT must not).
+    pub fn request_with_idempotency(
+        &self,
+        action: &str,
+        payload: XmlElement,
+        idempotent: bool,
+    ) -> Result<XmlElement, CallError> {
+        let Some(config) = self.retry.as_ref().filter(|_| idempotent) else {
+            return self.request_once(action, &payload);
+        };
+        let mut slept = Duration::ZERO;
+        let mut attempt: u32 = 1;
+        loop {
+            let error = match self.request_once(action, &payload) {
+                Ok(response) => return Ok(response),
+                Err(e) => e,
+            };
+            if !is_retryable(&error) || attempt >= config.policy.max_attempts {
+                return Err(error);
+            }
+            let pause = config.policy.backoff_delay(attempt);
+            match slept.checked_add(pause) {
+                // Total sleep stays within the deadline budget.
+                Some(total) if total <= config.policy.deadline => slept = total,
+                _ => return Err(error),
+            }
+            config.sleep(pause);
+            self.bus.record_retry(&self.epr.address);
+            attempt += 1;
+        }
+    }
+
+    /// One send, no retry.
+    fn request_once(&self, action: &str, payload: &XmlElement) -> Result<XmlElement, CallError> {
+        let mut env = Envelope::with_body(payload.clone());
         for h in message_headers(&self.epr.address, action, &self.epr.reference_parameters) {
             env.add_header(h);
         }
@@ -146,5 +207,111 @@ mod tests {
         let client = ServiceClient::new(Bus::new(), "bus://ghost");
         let err = client.request("urn:x", XmlElement::new_local("q")).unwrap_err();
         assert!(matches!(err, CallError::Transport(BusError::NoSuchEndpoint(_))));
+    }
+
+    use crate::fault::DaisFault;
+    use crate::retry::{IdempotencySet, RetryConfig, RetryPolicy};
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::time::Duration;
+
+    /// A service that answers ServiceBusy `failures` times, then succeeds.
+    fn flaky_bus(failures: u32) -> Bus {
+        let bus = Bus::new();
+        let mut d = SoapDispatcher::new();
+        let remaining = Arc::new(AtomicU32::new(failures));
+        for action in ["urn:read", "urn:write"] {
+            let remaining = remaining.clone();
+            d.register(action, move |_: &Envelope| {
+                if remaining
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+                {
+                    Err(Fault::dais(DaisFault::ServiceBusy, "busy"))
+                } else {
+                    Ok(Envelope::with_body(XmlElement::new_local("ok")))
+                }
+            });
+        }
+        bus.register("bus://flaky", Arc::new(d));
+        bus
+    }
+
+    fn retrying_client(
+        bus: Bus,
+        attempts: u32,
+    ) -> (ServiceClient, Arc<std::sync::Mutex<Vec<Duration>>>) {
+        let sleeps: Arc<std::sync::Mutex<Vec<Duration>>> = Arc::default();
+        let recorder = sleeps.clone();
+        let config = RetryConfig::new(
+            RetryPolicy::new(attempts).base_delay(Duration::from_nanos(1)),
+            IdempotencySet::new(["urn:read"]),
+        )
+        .with_sleep(Arc::new(move |d| recorder.lock().unwrap().push(d)));
+        (ServiceClient::new(bus, "bus://flaky").with_retry(config), sleeps)
+    }
+
+    #[test]
+    fn idempotent_actions_retry_until_success() {
+        let bus = flaky_bus(2);
+        let (client, sleeps) = retrying_client(bus.clone(), 4);
+        let response = client.request("urn:read", XmlElement::new_local("q")).unwrap();
+        assert_eq!(response.name.local, "ok");
+        assert_eq!(sleeps.lock().unwrap().len(), 2);
+        let s = bus.stats();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.faults, 2);
+    }
+
+    #[test]
+    fn non_idempotent_actions_fail_fast() {
+        let bus = flaky_bus(1);
+        let (client, sleeps) = retrying_client(bus.clone(), 4);
+        let err = client.request("urn:write", XmlElement::new_local("q")).unwrap_err();
+        assert_eq!(err.dais_fault(), Some(DaisFault::ServiceBusy));
+        assert!(sleeps.lock().unwrap().is_empty());
+        assert_eq!(bus.stats().retries, 0);
+        // The very next read succeeds — the failure budget was not spent.
+        assert!(client.request("urn:read", XmlElement::new_local("q")).is_ok());
+    }
+
+    #[test]
+    fn attempts_stop_at_the_policy_maximum() {
+        let bus = flaky_bus(u32::MAX);
+        let (client, sleeps) = retrying_client(bus.clone(), 3);
+        let err = client.request("urn:read", XmlElement::new_local("q")).unwrap_err();
+        assert_eq!(err.dais_fault(), Some(DaisFault::ServiceBusy));
+        assert_eq!(sleeps.lock().unwrap().len(), 2); // 3 attempts, 2 pauses
+        assert_eq!(bus.stats().messages, 3);
+    }
+
+    #[test]
+    fn deadline_budget_stops_retrying_early() {
+        let bus = flaky_bus(u32::MAX);
+        let sleeps: Arc<std::sync::Mutex<Vec<Duration>>> = Arc::default();
+        let recorder = sleeps.clone();
+        let config = RetryConfig::new(
+            RetryPolicy::new(100)
+                .base_delay(Duration::from_millis(10))
+                .deadline(Duration::from_millis(25)),
+            IdempotencySet::new(["urn:read"]),
+        )
+        .with_sleep(Arc::new(move |d| recorder.lock().unwrap().push(d)));
+        let client = ServiceClient::new(bus, "bus://flaky").with_retry(config);
+        client.request("urn:read", XmlElement::new_local("q")).unwrap_err();
+        let total: Duration = sleeps.lock().unwrap().iter().sum();
+        assert!(total <= Duration::from_millis(25), "slept {total:?}");
+        assert!(!sleeps.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn per_call_idempotency_override_retries() {
+        let bus = flaky_bus(1);
+        let (client, _) = retrying_client(bus, 4);
+        // `urn:write` is not in the set, but the caller vouches for this
+        // particular payload.
+        let response =
+            client.request_with_idempotency("urn:write", XmlElement::new_local("q"), true).unwrap();
+        assert_eq!(response.name.local, "ok");
     }
 }

@@ -66,10 +66,7 @@ impl Envelope {
     /// Parse an envelope from a wire element.
     pub fn from_xml(root: &XmlElement) -> Result<Envelope, EnvelopeError> {
         if !root.name.is(ns::SOAP_ENV, "Envelope") {
-            return Err(EnvelopeError::new(format!(
-                "expected soap:Envelope, found {}",
-                root.name
-            )));
+            return Err(EnvelopeError::new(format!("expected soap:Envelope, found {}", root.name)));
         }
         let header = root
             .child(ns::SOAP_ENV, "Header")
@@ -170,6 +167,10 @@ mod tests {
     #[test]
     fn payload_accessor() {
         let env = Envelope::with_body(payload());
-        assert!(env.payload().unwrap().name.is(ns::WSDAI, "GetDataResourcePropertyDocumentRequest"));
+        assert!(env
+            .payload()
+            .unwrap()
+            .name
+            .is(ns::WSDAI, "GetDataResourcePropertyDocumentRequest"));
     }
 }

@@ -128,8 +128,11 @@ impl Fault {
         fault.push(XmlElement::new_local("faultcode").with_text(self.code.as_str()));
         fault.push(XmlElement::new_local("faultstring").with_text(&self.reason));
         if let Some(d) = self.dais {
-            let detail = XmlElement::new_local("detail")
-                .with_child(XmlElement::new(ns::WSDAI, "wsdai", d.name()));
+            let detail = XmlElement::new_local("detail").with_child(XmlElement::new(
+                ns::WSDAI,
+                "wsdai",
+                d.name(),
+            ));
             fault.push(detail);
         }
         fault

@@ -21,11 +21,16 @@ pub mod bus;
 pub mod client;
 pub mod envelope;
 pub mod fault;
+pub mod interceptor;
+pub mod retry;
 pub mod service;
 
 pub use addressing::Epr;
-pub use bus::{Bus, BusStats, Endpoint};
-pub use client::ServiceClient;
+pub use bus::Endpoint;
+pub use bus::{Bus, BusError, BusStats, StatsSnapshot};
+pub use client::{CallError, ServiceClient};
 pub use envelope::Envelope;
-pub use fault::{Fault, FaultCode};
+pub use fault::{DaisFault, Fault, FaultCode};
+pub use interceptor::{FaultInjector, FaultPolicy, Intercept, Interceptor};
+pub use retry::{IdempotencySet, RetryConfig, RetryPolicy};
 pub use service::{SoapDispatcher, SoapService};

@@ -1,0 +1,227 @@
+//! Client-side retry with deterministic exponential backoff.
+//!
+//! A [`RetryPolicy`] bounds how hard a consumer leans on a flaky
+//! transport: at most `max_attempts` sends, exponentially growing
+//! pauses between them (with deterministic jitter, so a seeded run
+//! replays exactly), and a hard ceiling on the *total* time spent
+//! sleeping. The [`ServiceClient`](crate::client::ServiceClient) applies
+//! the policy only to operations named idempotent by an
+//! [`IdempotencySet`] — re-sending a property read is safe, re-sending
+//! an insert is not — and bills every re-send to
+//! [`BusStats::retries`](crate::bus::BusStats).
+
+use crate::bus::BusError;
+use crate::client::CallError;
+use crate::fault::DaisFault;
+use dais_util::rng::mix2;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a client paces re-sends of a failed idempotent request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total sends, first attempt included (minimum 1).
+    pub max_attempts: u32,
+    /// Pause after the first failure; later pauses double from here.
+    pub base_delay: Duration,
+    /// Ceiling on any single pause.
+    pub max_delay: Duration,
+    /// Ceiling on the *sum* of pauses — once the budget cannot cover the
+    /// next pause, the client gives up and returns the last error.
+    pub deadline: Duration,
+    /// Seed for jitter; the full backoff schedule is a pure function of
+    /// the policy, so equal policies retry identically.
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// A policy with sensible defaults for `max_attempts` sends.
+    pub fn new(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(5),
+            deadline: Duration::from_secs(30),
+            jitter_seed: 0,
+        }
+    }
+
+    /// Never retry.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy::new(1)
+    }
+
+    pub fn base_delay(mut self, d: Duration) -> Self {
+        self.base_delay = d;
+        self
+    }
+
+    pub fn max_delay(mut self, d: Duration) -> Self {
+        self.max_delay = d;
+        self
+    }
+
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = d;
+        self
+    }
+
+    pub fn jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// The pause after failed attempt `attempt` (1-based). The schedule
+    /// is monotone non-decreasing: the raw delay doubles each step while
+    /// jitter stays below half the raw delay, and the cap is applied
+    /// after jitter, so `delay(k+1) >= delay(k)` for any parameters.
+    pub fn backoff_delay(&self, attempt: u32) -> Duration {
+        let attempt = attempt.max(1);
+        let base = self.base_delay.as_nanos().min(u64::MAX as u128) as u64;
+        let raw = (u128::from(base) << (attempt - 1).min(64)).min(u128::from(u64::MAX)) as u64;
+        let span = raw / 2;
+        let jitter = if span == 0 { 0 } else { mix2(self.jitter_seed, u64::from(attempt)) % span };
+        let capped = raw
+            .saturating_add(jitter)
+            .min(self.max_delay.as_nanos().min(u128::from(u64::MAX)) as u64);
+        Duration::from_nanos(capped)
+    }
+
+    /// The whole pause schedule (one entry per possible retry).
+    pub fn backoff_schedule(&self) -> Vec<Duration> {
+        (1..self.max_attempts).map(|k| self.backoff_delay(k)).collect()
+    }
+}
+
+/// The set of SOAP actions a client may safely re-send.
+#[derive(Debug, Clone, Default)]
+pub struct IdempotencySet {
+    actions: Arc<HashSet<String>>,
+}
+
+impl IdempotencySet {
+    pub fn new<I, S>(actions: I) -> IdempotencySet
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        IdempotencySet { actions: Arc::new(actions.into_iter().map(Into::into).collect()) }
+    }
+
+    pub fn contains(&self, action: &str) -> bool {
+        self.actions.contains(action)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+/// How the client sleeps between attempts — injectable so tests retry
+/// without wall-clock cost.
+pub type SleepFn = Arc<dyn Fn(Duration) + Send + Sync>;
+
+/// A policy plus the action classification and sleep mechanism.
+#[derive(Clone)]
+pub struct RetryConfig {
+    pub policy: RetryPolicy,
+    pub idempotent: IdempotencySet,
+    sleep: SleepFn,
+}
+
+impl RetryConfig {
+    pub fn new(policy: RetryPolicy, idempotent: IdempotencySet) -> RetryConfig {
+        RetryConfig { policy, idempotent, sleep: Arc::new(std::thread::sleep) }
+    }
+
+    /// Replace the sleeper (tests pass a recorder; the default blocks
+    /// the calling thread).
+    pub fn with_sleep(mut self, sleep: SleepFn) -> RetryConfig {
+        self.sleep = sleep;
+        self
+    }
+
+    pub(crate) fn sleep(&self, d: Duration) {
+        (self.sleep)(d)
+    }
+}
+
+/// Whether an error is worth re-sending the same request for: transient
+/// transport loss and the WS-DAI "try again later" faults qualify;
+/// everything else (bad requests, missing endpoints, application
+/// faults) will fail identically on a re-send.
+pub fn is_retryable(error: &CallError) -> bool {
+    match error {
+        CallError::Transport(BusError::Timeout(_))
+        | CallError::Transport(BusError::MalformedEnvelope(_)) => true,
+        CallError::Transport(BusError::NoSuchEndpoint(_)) => false,
+        CallError::Fault(f) => {
+            f.is(DaisFault::ServiceBusy) || f.is(DaisFault::DataResourceUnavailable)
+        }
+        CallError::UnexpectedResponse(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Fault;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy::new(6)
+            .base_delay(Duration::from_millis(10))
+            .max_delay(Duration::from_millis(55))
+            .jitter_seed(7);
+        let schedule = p.backoff_schedule();
+        assert_eq!(schedule.len(), 5);
+        for pair in schedule.windows(2) {
+            assert!(pair[1] >= pair[0], "{schedule:?} not monotone");
+        }
+        for d in &schedule {
+            assert!(*d <= Duration::from_millis(55));
+        }
+        // First pause: raw 10ms plus jitter below 5ms.
+        assert!(schedule[0] >= Duration::from_millis(10));
+        assert!(schedule[0] < Duration::from_millis(15));
+        assert_eq!(*schedule.last().unwrap(), Duration::from_millis(55));
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function_of_the_policy() {
+        let p = RetryPolicy::new(8).jitter_seed(0xFEED);
+        assert_eq!(p.backoff_schedule(), p.backoff_schedule());
+        let q = p.jitter_seed(0xBEEF);
+        assert_ne!(p.backoff_schedule(), q.backoff_schedule());
+    }
+
+    #[test]
+    fn zero_base_delay_never_sleeps() {
+        let p = RetryPolicy::new(5).base_delay(Duration::ZERO);
+        assert!(p.backoff_schedule().iter().all(|d| d.is_zero()));
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(is_retryable(&CallError::Transport(BusError::Timeout("t".into()))));
+        assert!(is_retryable(&CallError::Transport(BusError::MalformedEnvelope("m".into()))));
+        assert!(!is_retryable(&CallError::Transport(BusError::NoSuchEndpoint("e".into()))));
+        assert!(is_retryable(&CallError::Fault(Fault::dais(DaisFault::ServiceBusy, "b"))));
+        assert!(is_retryable(&CallError::Fault(Fault::dais(
+            DaisFault::DataResourceUnavailable,
+            "u"
+        ))));
+        assert!(!is_retryable(&CallError::Fault(Fault::dais(DaisFault::InvalidExpression, "x"))));
+        assert!(!is_retryable(&CallError::Fault(Fault::client("c"))));
+        assert!(!is_retryable(&CallError::UnexpectedResponse("r".into())));
+    }
+
+    #[test]
+    fn idempotency_set_membership() {
+        let set = IdempotencySet::new(["urn:a", "urn:b"]);
+        assert!(set.contains("urn:a"));
+        assert!(!set.contains("urn:c"));
+        assert!(IdempotencySet::default().is_empty());
+    }
+}

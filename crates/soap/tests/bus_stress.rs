@@ -1,11 +1,14 @@
 //! Transport-level stress: the bus under concurrent registration,
-//! unregistration and traffic, plus statistics coherence.
+//! unregistration and traffic, statistics coherence, and the
+//! interceptor chain under fire from many threads.
 
-use dais_soap::bus::Bus;
+use dais_soap::bus::{Bus, BusError};
 use dais_soap::envelope::Envelope;
 use dais_soap::fault::Fault;
+use dais_soap::interceptor::{CallInfo, FaultInjector, FaultPolicy, Intercept, Interceptor};
 use dais_soap::service::SoapDispatcher;
 use dais_xml::XmlElement;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 fn echo_dispatcher() -> Arc<SoapDispatcher> {
@@ -40,8 +43,10 @@ fn stats_are_exact_under_concurrency() {
     }
     let s = bus.stats();
     assert_eq!(s.messages, (threads * per_thread) as u64);
-    let expected_faults =
-        (0..threads).flat_map(|i| (0..per_thread).map(move |j| (i + j) % 5 == 0)).filter(|x| *x).count();
+    let expected_faults = (0..threads)
+        .flat_map(|i| (0..per_thread).map(move |j| (i + j) % 5 == 0))
+        .filter(|x| *x)
+        .count();
     assert_eq!(s.faults, expected_faults as u64);
     assert_eq!(bus.endpoint_stats("bus://s").messages, s.messages);
 }
@@ -102,6 +107,97 @@ fn many_endpoints() {
             .unwrap();
         assert_eq!(out.payload().unwrap().name.local, "ping");
     }
+}
+
+/// Counts every byte that passes each way — a pure observer.
+#[derive(Default)]
+struct Meter {
+    requests: AtomicU64,
+    responses: AtomicU64,
+}
+
+impl Interceptor for Meter {
+    fn on_request(&self, _: &CallInfo<'_>, _: &[u8]) -> Intercept {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        Intercept::Pass
+    }
+
+    fn on_response(&self, _: &CallInfo<'_>, _: &[u8]) -> Intercept {
+        self.responses.fetch_add(1, Ordering::Relaxed);
+        Intercept::Pass
+    }
+}
+
+#[test]
+fn interceptor_chain_is_exact_under_concurrency() {
+    let bus = Bus::new();
+    bus.register("bus://s", echo_dispatcher());
+    let outer = Arc::new(Meter::default());
+    let injector = FaultInjector::new(0x57E55);
+    injector.set_policy("bus://s", FaultPolicy::default().drop(0.2).busy(0.2).corrupt(0.2));
+    let inner = Arc::new(Meter::default());
+    // Observer / chaos / observer: the outer meter sees every call, the
+    // inner only those the injector lets through to the service.
+    bus.add_interceptor(outer.clone());
+    bus.add_interceptor(Arc::new(injector.clone()));
+    bus.add_interceptor(inner.clone());
+
+    let threads = 8;
+    let per_thread = 100;
+    let outcomes: Vec<(u64, u64, u64, u64)> = (0..threads)
+        .map(|i| {
+            let bus = bus.clone();
+            std::thread::spawn(move || {
+                let (mut ok, mut timeouts, mut malformed, mut busy) = (0u64, 0u64, 0u64, 0u64);
+                for j in 0..per_thread {
+                    let env = Envelope::with_body(
+                        XmlElement::new_local("m").with_text(format!("{i}:{j}")),
+                    );
+                    match bus.call("bus://s", "urn:echo", &env) {
+                        Ok(Ok(_)) => ok += 1,
+                        Ok(Err(_)) => busy += 1,
+                        Err(BusError::Timeout(_)) => timeouts += 1,
+                        Err(BusError::MalformedEnvelope(_)) => malformed += 1,
+                        Err(other) => panic!("unexpected {other}"),
+                    }
+                }
+                (ok, timeouts, malformed, busy)
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .collect();
+
+    let total = (threads * per_thread) as u64;
+    let ok: u64 = outcomes.iter().map(|o| o.0).sum();
+    let timeouts: u64 = outcomes.iter().map(|o| o.1).sum();
+    let malformed: u64 = outcomes.iter().map(|o| o.2).sum();
+    let busy: u64 = outcomes.iter().map(|o| o.3).sum();
+    assert_eq!(ok + timeouts + malformed + busy, total);
+
+    // No event lost or double-counted anywhere in the stack:
+    // the injector's own ledger matches caller-observed outcomes...
+    let inj = injector.snapshot();
+    assert_eq!(inj.drops, timeouts);
+    assert_eq!(inj.corruptions, malformed);
+    assert_eq!(inj.busy, busy);
+    assert_eq!(inj.unavailable + inj.delays, 0);
+    // ...the bus counted exactly one interference per injector event...
+    let s = bus.stats();
+    assert_eq!(s.injected, inj.total());
+    assert_eq!(s.messages, total);
+    assert_eq!(s.faults, busy);
+    assert_eq!(bus.endpoint_stats("bus://s").messages, total);
+    // ...and the meters bracket the injector correctly: every call hits
+    // the outer request hook; only uninjured calls reach the inner one.
+    assert_eq!(outer.requests.load(Ordering::Relaxed), total);
+    assert_eq!(inner.requests.load(Ordering::Relaxed), ok + malformed);
+    // Responses: the inner meter sees real service responses (including
+    // ones that then fail to parse — none do here); the outer sees every
+    // response that came back at all (service or synthetic).
+    assert_eq!(inner.responses.load(Ordering::Relaxed), ok);
+    assert_eq!(outer.responses.load(Ordering::Relaxed), ok + busy);
 }
 
 #[test]

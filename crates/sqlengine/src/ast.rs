@@ -3,6 +3,9 @@
 use crate::value::{SqlType, Value};
 
 /// A complete statement.
+// Statements are parsed once and immediately executed; boxing the big
+// variants would buy nothing on this non-hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     Select(Select),
@@ -172,19 +175,45 @@ pub enum UnaryOp {
 pub enum Expr {
     Literal(Value),
     /// `name` or `qualifier.name`.
-    Column { qualifier: Option<String>, name: String },
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
     /// The `?` placeholder, numbered left to right from 0.
     Param(usize),
-    Unary { op: UnaryOp, expr: Box<Expr> },
-    Binary { op: BinaryOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        op: BinaryOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// `expr LIKE pattern` (pattern is any expression, usually a literal).
-    Like { expr: Box<Expr>, pattern: Box<Expr>, negated: bool },
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
     /// `expr IN (a, b, c)`.
-    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
     /// `expr BETWEEN low AND high`.
-    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
     /// `expr IS [NOT] NULL`.
-    IsNull { expr: Box<Expr>, negated: bool },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
     /// Searched CASE (`CASE WHEN c THEN v ... [ELSE e] END`) or simple
     /// CASE when `operand` is present.
     Case {
@@ -194,7 +223,12 @@ pub enum Expr {
     },
     /// A function call; aggregates use the same node and are recognised by
     /// name during planning. `COUNT(*)` is `Function { name: "COUNT", args: [], star: true }`.
-    Function { name: String, args: Vec<Expr>, distinct: bool, star: bool },
+    Function {
+        name: String,
+        args: Vec<Expr>,
+        distinct: bool,
+        star: bool,
+    },
 }
 
 impl Expr {
@@ -251,10 +285,7 @@ impl Expr {
 
 /// Is this an aggregate function name?
 pub fn is_aggregate_name(name: &str) -> bool {
-    matches!(
-        name.to_ascii_uppercase().as_str(),
-        "COUNT" | "SUM" | "AVG" | "MIN" | "MAX"
-    )
+    matches!(name.to_ascii_uppercase().as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX")
 }
 
 #[cfg(test)]
@@ -263,7 +294,12 @@ mod tests {
 
     #[test]
     fn aggregate_detection() {
-        let agg = Expr::Function { name: "SUM".into(), args: vec![Expr::col("x")], distinct: false, star: false };
+        let agg = Expr::Function {
+            name: "SUM".into(),
+            args: vec![Expr::col("x")],
+            distinct: false,
+            star: false,
+        };
         assert!(agg.contains_aggregate());
         let nested = Expr::Binary {
             op: BinaryOp::Add,
@@ -272,8 +308,12 @@ mod tests {
         };
         assert!(nested.contains_aggregate());
         assert!(!Expr::col("x").contains_aggregate());
-        let scalar_fn =
-            Expr::Function { name: "UPPER".into(), args: vec![Expr::col("x")], distinct: false, star: false };
+        let scalar_fn = Expr::Function {
+            name: "UPPER".into(),
+            args: vec![Expr::col("x")],
+            distinct: false,
+            star: false,
+        };
         assert!(!scalar_fn.contains_aggregate());
     }
 

@@ -44,7 +44,10 @@ impl StatementResult {
         match self {
             StatementResult::Query(r) => {
                 if r.rows.is_empty() {
-                    SqlCommunicationArea { sqlstate: "02000".into(), ..SqlCommunicationArea::success() }
+                    SqlCommunicationArea {
+                        sqlstate: "02000".into(),
+                        ..SqlCommunicationArea::success()
+                    }
                 } else {
                     SqlCommunicationArea::success()
                 }
@@ -157,7 +160,11 @@ impl Session {
     }
 
     /// Execute an already-parsed statement.
-    pub fn execute_stmt(&mut self, stmt: &Stmt, params: &[Value]) -> Result<StatementResult, SqlError> {
+    pub fn execute_stmt(
+        &mut self,
+        stmt: &Stmt,
+        params: &[Value],
+    ) -> Result<StatementResult, SqlError> {
         match stmt {
             Stmt::Begin => {
                 if self.txn.is_some() {
@@ -171,7 +178,10 @@ impl Session {
             }
             Stmt::Commit => {
                 if self.txn.take().is_none() {
-                    return Err(SqlError::new(SqlErrorKind::TransactionState, "no open transaction"));
+                    return Err(SqlError::new(
+                        SqlErrorKind::TransactionState,
+                        "no open transaction",
+                    ));
                 }
                 Ok(StatementResult::Command("COMMIT"))
             }
@@ -192,20 +202,17 @@ impl Session {
                 // undo entries for statement atomicity.
                 let mut storage = self.db.storage.write();
                 let mut undo: Vec<UndoEntry> = Vec::new();
+                // Immediately-invoked so `?`-style early errors still reach
+                // the rollback arm below with the undo log intact.
+                #[allow(clippy::redundant_closure_call)]
                 let outcome = (|| -> Result<StatementResult, SqlError> {
                     match stmt {
-                        Stmt::Insert(i) => {
-                            exec::run_insert(i, &mut storage, params, &mut undo)
-                                .map(StatementResult::Update)
-                        }
-                        Stmt::Update(u) => {
-                            exec::run_update(u, &mut storage, params, &mut undo)
-                                .map(StatementResult::Update)
-                        }
-                        Stmt::Delete(d) => {
-                            exec::run_delete(d, &mut storage, params, &mut undo)
-                                .map(StatementResult::Update)
-                        }
+                        Stmt::Insert(i) => exec::run_insert(i, &mut storage, params, &mut undo)
+                            .map(StatementResult::Update),
+                        Stmt::Update(u) => exec::run_update(u, &mut storage, params, &mut undo)
+                            .map(StatementResult::Update),
+                        Stmt::Delete(d) => exec::run_delete(d, &mut storage, params, &mut undo)
+                            .map(StatementResult::Update),
                         Stmt::CreateTable(c) => exec::run_create_table(c, &mut storage, &mut undo)
                             .map(|_| StatementResult::Command("CREATE TABLE")),
                         Stmt::DropTable { name, if_exists } => {
@@ -213,8 +220,15 @@ impl Session {
                                 .map(|_| StatementResult::Command("DROP TABLE"))
                         }
                         Stmt::CreateIndex { name, table, column, unique } => {
-                            exec::run_create_index(name, table, column, *unique, &mut storage, &mut undo)
-                                .map(|_| StatementResult::Command("CREATE INDEX"))
+                            exec::run_create_index(
+                                name,
+                                table,
+                                column,
+                                *unique,
+                                &mut storage,
+                                &mut undo,
+                            )
+                            .map(|_| StatementResult::Command("CREATE INDEX"))
                         }
                         Stmt::Select(_) | Stmt::Begin | Stmt::Commit | Stmt::Rollback => {
                             unreachable!("handled above")
@@ -331,7 +345,8 @@ mod tests {
     #[test]
     fn aggregates() {
         let db = db_with_schema();
-        let r = q(&db, "SELECT COUNT(*), SUM(salary), AVG(salary), MIN(salary), MAX(salary) FROM emp");
+        let r =
+            q(&db, "SELECT COUNT(*), SUM(salary), AVG(salary), MIN(salary), MAX(salary) FROM emp");
         assert_eq!(r.rows[0][0], Value::Int(4));
         assert_eq!(r.rows[0][1], Value::Double(280.0));
         assert_eq!(r.rows[0][2], Value::Double(70.0));
@@ -406,7 +421,10 @@ mod tests {
     fn params_bind() {
         let db = db_with_schema();
         let r = db
-            .execute("SELECT name FROM emp WHERE salary > ? AND dept_id = ?", &[Value::Double(70.0), Value::Int(1)])
+            .execute(
+                "SELECT name FROM emp WHERE salary > ? AND dept_id = ?",
+                &[Value::Double(70.0), Value::Int(1)],
+            )
             .unwrap();
         assert_eq!(r.rowset().unwrap().rows.len(), 2); // ada (100) and bob (80)
         let err = db.execute("SELECT * FROM emp WHERE id = ?", &[]).unwrap_err();
@@ -427,7 +445,8 @@ mod tests {
     fn insert_select() {
         let db = db_with_schema();
         db.execute("CREATE TABLE emp2 (id INTEGER, name VARCHAR)", &[]).unwrap();
-        let r = db.execute("INSERT INTO emp2 SELECT id, name FROM emp WHERE salary > 50", &[]).unwrap();
+        let r =
+            db.execute("INSERT INTO emp2 SELECT id, name FROM emp WHERE salary > 50", &[]).unwrap();
         assert_eq!(r.update_count(), 3);
     }
 
@@ -587,12 +606,8 @@ mod tests {
     fn update_failure_is_atomic() {
         let db = db_with_schema();
         // This update succeeds for dept 1 rows until the CHECK fires for bob.
-        let e = db
-            .execute(
-                "UPDATE emp SET salary = salary - 90 WHERE dept_id = 1",
-                &[],
-            )
-            .unwrap_err();
+        let e =
+            db.execute("UPDATE emp SET salary = salary - 90 WHERE dept_id = 1", &[]).unwrap_err();
         assert_eq!(e.kind, SqlErrorKind::CheckViolation);
         // ada's successful update must have been undone.
         assert_eq!(q(&db, "SELECT salary FROM emp WHERE id = 1").rows[0][0], Value::Double(100.0));
@@ -631,10 +646,8 @@ mod tests {
                             let r = db.execute("SELECT COUNT(*) FROM emp", &[]).unwrap();
                             assert!(r.rowset().unwrap().rows[0][0].sql_type().is_some());
                         } else {
-                            let _ = db.execute(
-                                "UPDATE emp SET salary = salary + 1 WHERE id = 1",
-                                &[],
-                            );
+                            let _ =
+                                db.execute("UPDATE emp SET salary = salary + 1 WHERE id = 1", &[]);
                         }
                     }
                 })

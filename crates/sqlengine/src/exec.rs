@@ -68,7 +68,11 @@ pub fn apply_undo(storage: &mut Storage, entries: Vec<UndoEntry>) {
 // ===========================================================================
 
 /// Run a SELECT (possibly a UNION chain) and materialise the result.
-pub fn run_select(select: &Select, storage: &Storage, params: &[Value]) -> Result<Rowset, SqlError> {
+pub fn run_select(
+    select: &Select,
+    storage: &Storage,
+    params: &[Value],
+) -> Result<Rowset, SqlError> {
     if select.unions.is_empty() {
         return run_single_select(select, storage, params);
     }
@@ -159,7 +163,11 @@ pub fn run_select(select: &Select, storage: &Storage, params: &[Value]) -> Resul
 }
 
 /// Run one core select (no UNION arms).
-fn run_single_select(select: &Select, storage: &Storage, params: &[Value]) -> Result<Rowset, SqlError> {
+fn run_single_select(
+    select: &Select,
+    storage: &Storage,
+    params: &[Value],
+) -> Result<Rowset, SqlError> {
     // 1. Source: FROM + joins (or a single empty row for FROM-less SELECT).
     let (mut schema, mut rows, mut source_types) = match &select.from {
         None => (ExecSchema::default(), vec![Vec::new()], Vec::new()),
@@ -194,7 +202,8 @@ fn run_single_select(select: &Select, storage: &Storage, params: &[Value]) -> Re
                     }
                     if !matched && join.kind == JoinKind::Left {
                         let mut combined = l.clone();
-                        combined.extend(std::iter::repeat(Value::Null).take(right_schema.columns.len()));
+                        combined
+                            .extend(std::iter::repeat_n(Value::Null, right_schema.columns.len()));
                         out.push(combined);
                     }
                 }
@@ -321,7 +330,7 @@ fn run_single_select(select: &Select, storage: &Storage, params: &[Value]) -> Re
     // 8. ORDER BY.
     if !order_exprs.is_empty() {
         let output_names: Vec<String> = projections.iter().map(|(_, n)| n.clone()).collect();
-        let mut keyed: Vec<(Vec<Value>, (Vec<Value>, Vec<Value>))> = Vec::with_capacity(projected.len());
+        let mut keyed: Vec<(Vec<Value>, ProjectedRow)> = Vec::with_capacity(projected.len());
         for (out, src) in projected {
             let mut keys = Vec::with_capacity(order_exprs.len());
             for expr in &order_exprs {
@@ -360,7 +369,10 @@ fn run_single_select(select: &Select, storage: &Storage, params: &[Value]) -> Re
             _ => None,
         };
         let inferred = final_rows.iter().find_map(|r| r[i].sql_type());
-        columns.push(RowsetColumn { name: name.clone(), ty: declared.or(inferred).unwrap_or(SqlType::Varchar) });
+        columns.push(RowsetColumn {
+            name: name.clone(),
+            ty: declared.or(inferred).unwrap_or(SqlType::Varchar),
+        });
     }
 
     Ok(Rowset { columns, rows: final_rows })
@@ -370,7 +382,10 @@ fn regroup_error(e: SqlError, aggregated: bool) -> SqlError {
     if aggregated && e.kind == SqlErrorKind::UndefinedColumn {
         SqlError::new(
             SqlErrorKind::Grouping,
-            format!("{} (columns referenced outside aggregates must appear in GROUP BY)", e.message),
+            format!(
+                "{} (columns referenced outside aggregates must appear in GROUP BY)",
+                e.message
+            ),
         )
     } else {
         e
@@ -385,10 +400,7 @@ fn default_name(expr: &Expr, ordinal: usize) -> String {
     }
 }
 
-fn scan_table(
-    storage: &Storage,
-    table_ref: &TableRef,
-) -> Result<(ExecSchema, Vec<Vec<Value>>, Vec<Option<SqlType>>), SqlError> {
+fn scan_table(storage: &Storage, table_ref: &TableRef) -> Result<ScannedTable, SqlError> {
     let table = storage.table(&table_ref.name)?;
     let binding = table_ref.binding_name().to_string();
     let schema = ExecSchema::new(
@@ -486,7 +498,10 @@ impl Acc {
                         }
                     }
                     let x = v.as_f64().ok_or_else(|| {
-                        SqlError::new(SqlErrorKind::InvalidCast, format!("SUM over non-numeric value {v}"))
+                        SqlError::new(
+                            SqlErrorKind::InvalidCast,
+                            format!("SUM over non-numeric value {v}"),
+                        )
                     })?;
                     // Integer sums wrap, matching the engine's integer
                     // arithmetic semantics elsewhere.
@@ -508,7 +523,10 @@ impl Acc {
                         }
                     }
                     let x = v.as_f64().ok_or_else(|| {
-                        SqlError::new(SqlErrorKind::InvalidCast, format!("AVG over non-numeric value {v}"))
+                        SqlError::new(
+                            SqlErrorKind::InvalidCast,
+                            format!("AVG over non-numeric value {v}"),
+                        )
                     })?;
                     *sum += x;
                     *n += 1;
@@ -572,10 +590,9 @@ fn rewrite_for_aggregate(expr: &Expr, group_by: &[Expr], aggs: &[Expr]) -> Expr 
     }
     // Recurse structurally.
     match expr {
-        Expr::Unary { op, expr } => Expr::Unary {
-            op: *op,
-            expr: Box::new(rewrite_for_aggregate(expr, group_by, aggs)),
-        },
+        Expr::Unary { op, expr } => {
+            Expr::Unary { op: *op, expr: Box::new(rewrite_for_aggregate(expr, group_by, aggs)) }
+        }
         Expr::Binary { op, lhs, rhs } => Expr::Binary {
             op: *op,
             lhs: Box::new(rewrite_for_aggregate(lhs, group_by, aggs)),
@@ -606,10 +623,15 @@ fn rewrite_for_aggregate(expr: &Expr, group_by: &[Expr], aggs: &[Expr]) -> Expr 
             branches: branches
                 .iter()
                 .map(|(w, t)| {
-                    (rewrite_for_aggregate(w, group_by, aggs), rewrite_for_aggregate(t, group_by, aggs))
+                    (
+                        rewrite_for_aggregate(w, group_by, aggs),
+                        rewrite_for_aggregate(t, group_by, aggs),
+                    )
                 })
                 .collect(),
-            else_value: else_value.as_ref().map(|e| Box::new(rewrite_for_aggregate(e, group_by, aggs))),
+            else_value: else_value
+                .as_ref()
+                .map(|e| Box::new(rewrite_for_aggregate(e, group_by, aggs))),
         },
         Expr::Function { name, args, distinct, star } => Expr::Function {
             name: name.clone(),
@@ -637,6 +659,12 @@ fn collect_aggregate_calls(expr: &Expr, out: &mut Vec<Expr>) {
 
 type AggregateOutput = (ExecSchema, Vec<Vec<Value>>);
 
+/// An output row paired with its pre-projection source row.
+type ProjectedRow = (Vec<Value>, Vec<Value>);
+
+/// Schema, rows and declared column types of one scanned table.
+type ScannedTable = (ExecSchema, Vec<Vec<Value>>, Vec<Option<SqlType>>);
+
 /// Build aggregate output rows and rewrite downstream expressions to
 /// reference them.
 #[allow(clippy::too_many_arguments)]
@@ -645,7 +673,7 @@ fn aggregate(
     rows: &[Vec<Value>],
     params: &[Value],
     group_by: &[Expr],
-    projections: &mut Vec<(Expr, String)>,
+    projections: &mut [(Expr, String)],
     having: &mut Option<Expr>,
     order_exprs: &mut [Expr],
 ) -> Result<AggregateOutput, SqlError> {
@@ -790,7 +818,8 @@ pub fn run_insert(
             let mut out = Vec::with_capacity(rows.len());
             for exprs in rows {
                 let ctx = EvalContext::new(&empty, &[], params);
-                let row: Vec<Value> = exprs.iter().map(|e| eval(e, &ctx)).collect::<Result<_, _>>()?;
+                let row: Vec<Value> =
+                    exprs.iter().map(|e| eval(e, &ctx)).collect::<Result<_, _>>()?;
                 out.push(row);
             }
             out
@@ -808,11 +837,8 @@ pub fn run_insert(
             )));
         }
         // Assemble the full row with defaults.
-        let mut row: Vec<Value> = schema
-            .columns
-            .iter()
-            .map(|c| c.default.clone().unwrap_or(Value::Null))
-            .collect();
+        let mut row: Vec<Value> =
+            schema.columns.iter().map(|c| c.default.clone().unwrap_or(Value::Null)).collect();
         for (value, &ordinal) in source.into_iter().zip(&target_ordinals) {
             row[ordinal] = value;
         }
@@ -825,7 +851,11 @@ pub fn run_insert(
 }
 
 /// Coerce values, enforce NOT NULL, CHECK and foreign keys.
-fn finalize_row(schema: &TableSchema, row: Vec<Value>, storage: &Storage) -> Result<Vec<Value>, SqlError> {
+fn finalize_row(
+    schema: &TableSchema,
+    row: Vec<Value>,
+    storage: &Storage,
+) -> Result<Vec<Value>, SqlError> {
     let mut out = Vec::with_capacity(row.len());
     for (value, column) in row.into_iter().zip(&schema.columns) {
         let v = value.coerce_to(column.ty).map_err(|e| {
@@ -903,15 +933,12 @@ pub fn run_update(
         .assignments
         .iter()
         .map(|(name, e)| {
-            schema
-                .column_index(name)
-                .map(|i| (i, e))
-                .ok_or_else(|| {
-                    SqlError::new(
-                        SqlErrorKind::UndefinedColumn,
-                        format!("no column {name} in table {}", schema.name),
-                    )
-                })
+            schema.column_index(name).map(|i| (i, e)).ok_or_else(|| {
+                SqlError::new(
+                    SqlErrorKind::UndefinedColumn,
+                    format!("no column {name} in table {}", schema.name),
+                )
+            })
         })
         .collect::<Result<_, _>>()?;
 
@@ -988,7 +1015,11 @@ pub fn run_delete(
     let mut deleted_rows: Vec<Vec<Value>> = Vec::with_capacity(victims.len());
     for rowid in &victims {
         if let Some(row) = storage.table_mut(&delete.table)?.delete(*rowid) {
-            undo.push(UndoEntry::Delete { table: delete.table.clone(), rowid: *rowid, row: row.clone() });
+            undo.push(UndoEntry::Delete {
+                table: delete.table.clone(),
+                rowid: *rowid,
+                row: row.clone(),
+            });
             deleted_rows.push(row);
         }
     }
@@ -1073,16 +1104,15 @@ pub fn run_create_table(
             return Err(SqlError::syntax("duplicate PRIMARY KEY specification"));
         }
         for name in &create.primary_key {
-            let i = create
-                .columns
-                .iter()
-                .position(|c| c.name.eq_ignore_ascii_case(name))
-                .ok_or_else(|| {
-                    SqlError::new(
-                        SqlErrorKind::UndefinedColumn,
-                        format!("PRIMARY KEY names unknown column {name}"),
-                    )
-                })?;
+            let i =
+                create.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name)).ok_or_else(
+                    || {
+                        SqlError::new(
+                            SqlErrorKind::UndefinedColumn,
+                            format!("PRIMARY KEY names unknown column {name}"),
+                        )
+                    },
+                )?;
             pk.push(i);
         }
     }
@@ -1095,8 +1125,9 @@ pub fn run_create_table(
             None => None,
             Some(e) => {
                 let ctx = EvalContext::new(&empty, &[], &[]);
-                let v = eval(e, &ctx)
-                    .map_err(|e| SqlError::syntax(format!("DEFAULT must be constant: {}", e.message)))?;
+                let v = eval(e, &ctx).map_err(|e| {
+                    SqlError::syntax(format!("DEFAULT must be constant: {}", e.message))
+                })?;
                 Some(v.coerce_to(c.ty)?)
             }
         };

@@ -155,8 +155,10 @@ pub fn eval(expr: &Expr, ctx: &EvalContext<'_>) -> Result<Value, SqlError> {
                 v.sql_cmp(&lo),
                 Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
             );
-            let le =
-                matches!(v.sql_cmp(&hi), Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal));
+            let le = matches!(
+                v.sql_cmp(&hi),
+                Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+            );
             let within = ge && le;
             Ok(Value::Bool(if *negated { !within } else { within }))
         }
@@ -200,7 +202,12 @@ fn type_error(op: &str, v: &Value) -> SqlError {
     SqlError::new(SqlErrorKind::InvalidCast, format!("operator {op} cannot be applied to {v}"))
 }
 
-fn eval_binary(op: BinaryOp, lhs: &Expr, rhs: &Expr, ctx: &EvalContext<'_>) -> Result<Value, SqlError> {
+fn eval_binary(
+    op: BinaryOp,
+    lhs: &Expr,
+    rhs: &Expr,
+    ctx: &EvalContext<'_>,
+) -> Result<Value, SqlError> {
     // Kleene logic for AND/OR: short-circuit where the result is decided.
     match op {
         BinaryOp::And => {
@@ -213,7 +220,13 @@ fn eval_binary(op: BinaryOp, lhs: &Expr, rhs: &Expr, ctx: &EvalContext<'_>) -> R
                 (_, Value::Bool(false)) => Value::Bool(false),
                 (Value::Bool(true), Value::Bool(true)) => Value::Bool(true),
                 (Value::Null, _) | (_, Value::Null) => Value::Null,
-                (a, b) => return Err(type_error("AND", if matches!(a, Value::Bool(_)) { &b } else { &a }).clone()),
+                (a, b) => {
+                    return Err(type_error(
+                        "AND",
+                        if matches!(a, Value::Bool(_)) { &b } else { &a },
+                    )
+                    .clone())
+                }
             });
         }
         BinaryOp::Or => {
@@ -226,7 +239,11 @@ fn eval_binary(op: BinaryOp, lhs: &Expr, rhs: &Expr, ctx: &EvalContext<'_>) -> R
                 (_, Value::Bool(true)) => Value::Bool(true),
                 (Value::Bool(false), Value::Bool(false)) => Value::Bool(false),
                 (Value::Null, _) | (_, Value::Null) => Value::Null,
-                (a, b) => return Err(type_error("OR", if matches!(a, Value::Bool(_)) { &b } else { &a }).clone()),
+                (a, b) => {
+                    return Err(
+                        type_error("OR", if matches!(a, Value::Bool(_)) { &b } else { &a }).clone()
+                    )
+                }
             });
         }
         _ => {}
@@ -446,9 +463,7 @@ fn eval_scalar_function(name: &str, args: &[Value]) -> Result<Value, SqlError> {
         }
         "NULLIF" => {
             arity(2)?;
-            if !args[0].is_null()
-                && args[0].sql_cmp(&args[1]) == Some(std::cmp::Ordering::Equal)
-            {
+            if !args[0].is_null() && args[0].sql_cmp(&args[1]) == Some(std::cmp::Ordering::Equal) {
                 Ok(Value::Null)
             } else {
                 Ok(args[0].clone())

@@ -32,12 +32,65 @@ pub enum Token {
 }
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC", "DESC", "LIMIT", "OFFSET",
-    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE", "TABLE", "DROP", "INDEX",
-    "PRIMARY", "KEY", "NOT", "NULL", "UNIQUE", "DEFAULT", "CHECK", "REFERENCES", "FOREIGN",
-    "AND", "OR", "IN", "IS", "LIKE", "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "END",
-    "JOIN", "INNER", "LEFT", "OUTER", "ON", "AS", "DISTINCT", "ALL", "TRUE", "FALSE",
-    "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "EXISTS", "IF", "UNION", "CROSS",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "ORDER",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "OFFSET",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "UPDATE",
+    "SET",
+    "DELETE",
+    "CREATE",
+    "TABLE",
+    "DROP",
+    "INDEX",
+    "PRIMARY",
+    "KEY",
+    "NOT",
+    "NULL",
+    "UNIQUE",
+    "DEFAULT",
+    "CHECK",
+    "REFERENCES",
+    "FOREIGN",
+    "AND",
+    "OR",
+    "IN",
+    "IS",
+    "LIKE",
+    "BETWEEN",
+    "CASE",
+    "WHEN",
+    "THEN",
+    "ELSE",
+    "END",
+    "JOIN",
+    "INNER",
+    "LEFT",
+    "OUTER",
+    "ON",
+    "AS",
+    "DISTINCT",
+    "ALL",
+    "TRUE",
+    "FALSE",
+    "BEGIN",
+    "COMMIT",
+    "ROLLBACK",
+    "TRANSACTION",
+    "EXISTS",
+    "IF",
+    "UNION",
+    "CROSS",
 ];
 
 /// Tokenize a SQL statement.

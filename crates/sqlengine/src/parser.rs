@@ -449,7 +449,9 @@ impl<'a> P<'a> {
                 if let Some(c) = columns.iter_mut().find(|c| c.name.eq_ignore_ascii_case(&col)) {
                     c.references = Some((ftable, fcol));
                 } else {
-                    return Err(SqlError::syntax(format!("FOREIGN KEY names unknown column {col}")));
+                    return Err(SqlError::syntax(format!(
+                        "FOREIGN KEY names unknown column {col}"
+                    )));
                 }
             } else {
                 columns.push(self.column_def()?);
@@ -795,7 +797,10 @@ mod tests {
         let s = sel("SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 3");
         assert_eq!(s.group_by.len(), 1);
         assert!(s.having.is_some());
-        assert!(matches!(&s.items[1], SelectItem::Expr { expr: Expr::Function { star: true, .. }, .. }));
+        assert!(matches!(
+            &s.items[1],
+            SelectItem::Expr { expr: Expr::Function { star: true, .. }, .. }
+        ));
     }
 
     #[test]
@@ -907,7 +912,7 @@ mod tests {
             Stmt::Select(s) => {
                 let w = s.where_clause.as_ref().unwrap();
                 let mut params = Vec::new();
-                fn walk<'a>(e: &'a Expr, out: &mut Vec<usize>) {
+                fn walk(e: &Expr, out: &mut Vec<usize>) {
                     if let Expr::Param(i) = e {
                         out.push(*i);
                     }
@@ -938,7 +943,12 @@ mod tests {
         );
         assert_eq!(
             parse_statement("CREATE UNIQUE INDEX i ON t (c)").unwrap(),
-            Stmt::CreateIndex { name: "i".into(), table: "t".into(), column: "c".into(), unique: true }
+            Stmt::CreateIndex {
+                name: "i".into(),
+                table: "t".into(),
+                column: "c".into(),
+                unique: true
+            }
         );
     }
 
@@ -954,10 +964,7 @@ mod tests {
         }
         // NOT binds tighter than AND.
         let s = sel("SELECT * FROM t WHERE NOT a AND b");
-        assert!(matches!(
-            s.where_clause.unwrap(),
-            Expr::Binary { op: BinaryOp::And, .. }
-        ));
+        assert!(matches!(s.where_clause.unwrap(), Expr::Binary { op: BinaryOp::And, .. }));
     }
 
     #[test]

@@ -39,7 +39,8 @@ impl Rowset {
     /// A sub-range of rows (used by the WS-DAIR `GetTuples` operation).
     pub fn slice(&self, start: usize, count: usize) -> Rowset {
         let end = (start + count).min(self.rows.len());
-        let rows = if start >= self.rows.len() { Vec::new() } else { self.rows[start..end].to_vec() };
+        let rows =
+            if start >= self.rows.len() { Vec::new() } else { self.rows[start..end].to_vec() };
         Rowset { columns: self.columns.clone(), rows }
     }
 
@@ -48,16 +49,22 @@ impl Rowset {
         let mut root = XmlElement::new(ns::ROWSET, "wrs", "webRowSet");
         let mut metadata = XmlElement::new(ns::ROWSET, "wrs", "metadata");
         metadata.push(
-            XmlElement::new(ns::ROWSET, "wrs", "column-count").with_text(self.columns.len().to_string()),
+            XmlElement::new(ns::ROWSET, "wrs", "column-count")
+                .with_text(self.columns.len().to_string()),
         );
         for (i, c) in self.columns.iter().enumerate() {
             metadata.push(
                 XmlElement::new(ns::ROWSET, "wrs", "column-definition")
                     .with_child(
-                        XmlElement::new(ns::ROWSET, "wrs", "column-index").with_text((i + 1).to_string()),
+                        XmlElement::new(ns::ROWSET, "wrs", "column-index")
+                            .with_text((i + 1).to_string()),
                     )
-                    .with_child(XmlElement::new(ns::ROWSET, "wrs", "column-name").with_text(&c.name))
-                    .with_child(XmlElement::new(ns::ROWSET, "wrs", "column-type").with_text(c.ty.name())),
+                    .with_child(
+                        XmlElement::new(ns::ROWSET, "wrs", "column-name").with_text(&c.name),
+                    )
+                    .with_child(
+                        XmlElement::new(ns::ROWSET, "wrs", "column-type").with_text(c.ty.name()),
+                    ),
             );
         }
         root.push(metadata);
@@ -66,7 +73,9 @@ impl Rowset {
             let mut current = XmlElement::new(ns::ROWSET, "wrs", "currentRow");
             for value in row {
                 if value.is_null() {
-                    current.push(XmlElement::new(ns::ROWSET, "wrs", "columnValue").with_attr("null", "true"));
+                    current.push(
+                        XmlElement::new(ns::ROWSET, "wrs", "columnValue").with_attr("null", "true"),
+                    );
                 } else {
                     let text = value.to_display_string();
                     // Values with leading/trailing whitespace (or that are
@@ -74,7 +83,8 @@ impl Rowset {
                     // survives whitespace-stripping protocol parsers.
                     if text.trim() != text || text.is_empty() {
                         current.push(
-                            XmlElement::new(ns::ROWSET, "wrs", "columnValue").with_attr("value", text),
+                            XmlElement::new(ns::ROWSET, "wrs", "columnValue")
+                                .with_attr("value", text),
                         );
                     } else {
                         current.push(
@@ -97,9 +107,9 @@ impl Rowset {
                 format!("expected wrs:webRowSet, found {}", root.name),
             ));
         }
-        let metadata = root
-            .child(ns::ROWSET, "metadata")
-            .ok_or_else(|| SqlError::new(SqlErrorKind::InvalidCast, "webRowSet missing metadata"))?;
+        let metadata = root.child(ns::ROWSET, "metadata").ok_or_else(|| {
+            SqlError::new(SqlErrorKind::InvalidCast, "webRowSet missing metadata")
+        })?;
         let mut columns = Vec::new();
         for def in metadata.children_named(ns::ROWSET, "column-definition") {
             let name = def

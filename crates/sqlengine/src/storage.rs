@@ -229,7 +229,9 @@ impl Table {
     /// Remove an index by name (rollback of CREATE INDEX). Unique
     /// constraints declared in the schema itself are untouched.
     pub fn drop_index(&mut self, name: &str) {
-        if let Some(pos) = self.schema.indexes.iter().position(|i| i.name.eq_ignore_ascii_case(name)) {
+        if let Some(pos) =
+            self.schema.indexes.iter().position(|i| i.name.eq_ignore_ascii_case(name))
+        {
             let meta = self.schema.indexes.remove(pos);
             // Only drop the runtime structure if no remaining index or
             // schema-level unique constraint still needs it.
@@ -257,10 +259,7 @@ impl Table {
                 if index.insert(row[meta.column].group_key(), *rowid).is_some() {
                     return Err(SqlError::new(
                         SqlErrorKind::UniqueViolation,
-                        format!(
-                            "cannot create unique index {}: duplicate values exist",
-                            meta.name
-                        ),
+                        format!("cannot create unique index {}: duplicate values exist", meta.name),
                     ));
                 }
             }
@@ -291,15 +290,15 @@ impl Storage {
     }
 
     pub fn table(&self, name: &str) -> Result<&Table, SqlError> {
-        self.tables
-            .get(&name.to_ascii_lowercase())
-            .ok_or_else(|| SqlError::new(SqlErrorKind::UndefinedTable, format!("no such table: {name}")))
+        self.tables.get(&name.to_ascii_lowercase()).ok_or_else(|| {
+            SqlError::new(SqlErrorKind::UndefinedTable, format!("no such table: {name}"))
+        })
     }
 
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, SqlError> {
-        self.tables
-            .get_mut(&name.to_ascii_lowercase())
-            .ok_or_else(|| SqlError::new(SqlErrorKind::UndefinedTable, format!("no such table: {name}")))
+        self.tables.get_mut(&name.to_ascii_lowercase()).ok_or_else(|| {
+            SqlError::new(SqlErrorKind::UndefinedTable, format!("no such table: {name}"))
+        })
     }
 
     pub fn has_table(&self, name: &str) -> bool {
@@ -345,8 +344,22 @@ mod tests {
         TableSchema {
             name: "t".into(),
             columns: vec![
-                ColumnMeta { name: "id".into(), ty: SqlType::Integer, not_null: true, unique: false, default: None, references: None },
-                ColumnMeta { name: "email".into(), ty: SqlType::Varchar, not_null: false, unique: true, default: None, references: None },
+                ColumnMeta {
+                    name: "id".into(),
+                    ty: SqlType::Integer,
+                    not_null: true,
+                    unique: false,
+                    default: None,
+                    references: None,
+                },
+                ColumnMeta {
+                    name: "email".into(),
+                    ty: SqlType::Varchar,
+                    not_null: false,
+                    unique: true,
+                    default: None,
+                    references: None,
+                },
             ],
             primary_key: vec![0],
             checks: Vec::new(),

@@ -148,7 +148,9 @@ impl Value {
             Value::Null => GroupKey::Null,
             Value::Bool(b) => GroupKey::Bool(*b),
             Value::Int(i) => GroupKey::Num((*i as f64).to_bits()),
-            Value::Double(d) => GroupKey::Num(if *d == 0.0 { 0.0f64.to_bits() } else { d.to_bits() }),
+            Value::Double(d) => {
+                GroupKey::Num(if *d == 0.0 { 0.0f64.to_bits() } else { d.to_bits() })
+            }
             Value::Str(s) => GroupKey::Str(s.clone()),
         }
     }
@@ -173,7 +175,8 @@ impl Value {
     /// Parse a value of a known type from its display text (WebRowSet
     /// decoding).
     pub fn parse_typed(text: &str, ty: SqlType) -> Result<Value, SqlError> {
-        let bad = || SqlError::new(SqlErrorKind::InvalidCast, format!("'{text}' is not a valid {ty}"));
+        let bad =
+            || SqlError::new(SqlErrorKind::InvalidCast, format!("'{text}' is not a valid {ty}"));
         Ok(match ty {
             SqlType::Boolean => match text.to_ascii_uppercase().as_str() {
                 "TRUE" | "T" | "1" => Value::Bool(true),
@@ -251,7 +254,7 @@ mod tests {
 
     #[test]
     fn total_order_nulls_first() {
-        let mut vals = vec![Value::Int(2), Value::Null, Value::Int(1)];
+        let mut vals = [Value::Int(2), Value::Null, Value::Int(1)];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Int(1));

@@ -171,7 +171,13 @@ fn group_by_partitions() {
             assert_eq!(&row[0], &Value::Int(*k));
             assert_eq!(&row[1], &Value::Int(*n));
         }
-        let total: i64 = rows.iter().map(|r| match r[1] { Value::Int(n) => n, _ => 0 }).sum();
+        let total: i64 = rows
+            .iter()
+            .map(|r| match r[1] {
+                Value::Int(n) => n,
+                _ => 0,
+            })
+            .sum();
         assert_eq!(total, values.len() as i64);
     });
 }

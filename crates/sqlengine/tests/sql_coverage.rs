@@ -151,17 +151,15 @@ fn scalar_functions_compose() {
         "SELECT UPPER(SUBSTRING(name, 1, 3)) || '-' || LENGTH(name) FROM product WHERE id = 10",
     );
     assert_eq!(r[0][0], Value::Str("ANV-5".into()));
-    let r = rows(&db, "SELECT COALESCE(NULLIF(region, 'north'), 'home') FROM customer WHERE id = 1");
+    let r =
+        rows(&db, "SELECT COALESCE(NULLIF(region, 'north'), 'home') FROM customer WHERE id = 1");
     assert_eq!(r[0][0], Value::Str("home".into()));
 }
 
 #[test]
 fn aggregate_expressions_combine() {
     let db = shop();
-    let r = rows(
-        &db,
-        "SELECT MAX(price) - MIN(price), AVG(price) * 2, COUNT(*) + 1 FROM product",
-    );
+    let r = rows(&db, "SELECT MAX(price) - MIN(price), AVG(price) * 2, COUNT(*) + 1 FROM product");
     assert_eq!(r[0][0], Value::Double(245.0));
     assert_eq!(r[0][1], Value::Double(185.0));
     assert_eq!(r[0][2], Value::Int(5));
@@ -172,9 +170,7 @@ fn update_with_join_like_subcondition_via_in() {
     let db = shop();
     // No subqueries: but IN over literals + expression predicates cover
     // the common service patterns.
-    let r = db
-        .execute("UPDATE product SET price = price * 1.1 WHERE id IN (10, 12)", &[])
-        .unwrap();
+    let r = db.execute("UPDATE product SET price = price * 1.1 WHERE id IN (10, 12)", &[]).unwrap();
     assert_eq!(r.update_count(), 2);
     let check = rows(&db, "SELECT price FROM product WHERE id = 10");
     assert!(matches!(check[0][0], Value::Double(p) if (p - 110.0).abs() < 1e-9));
@@ -232,10 +228,8 @@ fn cross_join_cardinality() {
 #[test]
 fn group_by_expression() {
     let db = shop();
-    let r = rows(
-        &db,
-        "SELECT price >= 100, COUNT(*) FROM product GROUP BY price >= 100 ORDER BY 1",
-    );
+    let r =
+        rows(&db, "SELECT price >= 100, COUNT(*) FROM product GROUP BY price >= 100 ORDER BY 1");
     assert_eq!(r.len(), 2);
     assert_eq!(r[0][1], Value::Int(2)); // cheap: rope, paint
     assert_eq!(r[1][1], Value::Int(2)); // premium: anvil, rocket
@@ -245,16 +239,11 @@ fn group_by_expression() {
 fn union_combines_and_deduplicates() {
     let db = shop();
     // Plain UNION deduplicates.
-    let r = rows(
-        &db,
-        "SELECT region FROM customer UNION SELECT region FROM customer ORDER BY region",
-    );
+    let r =
+        rows(&db, "SELECT region FROM customer UNION SELECT region FROM customer ORDER BY region");
     assert_eq!(r.len(), 3); // east, north, south
-    // UNION ALL keeps duplicates.
-    let r = rows(
-        &db,
-        "SELECT region FROM customer UNION ALL SELECT region FROM customer",
-    );
+                            // UNION ALL keeps duplicates.
+    let r = rows(&db, "SELECT region FROM customer UNION ALL SELECT region FROM customer");
     assert_eq!(r.len(), 8);
     // Heterogeneous sources with matching arity.
     let r = rows(
@@ -285,14 +274,12 @@ fn union_chains_and_limits() {
 fn union_errors() {
     let db = shop();
     // Mismatched arity.
-    let e = db.execute("SELECT id FROM customer UNION SELECT id, name FROM product", &[]).unwrap_err();
+    let e =
+        db.execute("SELECT id FROM customer UNION SELECT id, name FROM product", &[]).unwrap_err();
     assert_eq!(e.sqlstate(), "42601");
     // ORDER BY over a union must name an output column.
     let e = db
-        .execute(
-            "SELECT name FROM customer UNION SELECT name FROM product ORDER BY region",
-            &[],
-        )
+        .execute("SELECT name FROM customer UNION SELECT name FROM product ORDER BY region", &[])
         .unwrap_err();
     assert_eq!(e.kind, dais_sql::SqlErrorKind::NotSupported);
 }

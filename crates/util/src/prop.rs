@@ -51,7 +51,12 @@ impl Gen {
     }
 
     /// A `Vec` of `len` in `[min, max]` filled by `f`.
-    pub fn vec_of<T>(&mut self, min: usize, max: usize, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+    pub fn vec_of<T>(
+        &mut self,
+        min: usize,
+        max: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
         let len = self.usize_in(min, max + 1);
         (0..len).map(|_| f(self)).collect()
     }

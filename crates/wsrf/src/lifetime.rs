@@ -7,8 +7,8 @@
 //! a termination time after which the resource is reclaimed.
 
 use crate::clock::Clock;
-use dais_xml::{ns, XmlElement};
 use dais_util::sync::RwLock;
+use dais_xml::{ns, XmlElement};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -125,9 +125,9 @@ impl LifetimeRegistry {
 pub fn set_termination_time_response(new_time: Option<u64>, now: u64) -> XmlElement {
     let mut el = XmlElement::new(ns::WSRF_RL, "wsrf-rl", "SetTerminationTimeResponse");
     match new_time {
-        Some(t) => {
-            el.push(XmlElement::new(ns::WSRF_RL, "wsrf-rl", "NewTerminationTime").with_text(t.to_string()))
-        }
+        Some(t) => el.push(
+            XmlElement::new(ns::WSRF_RL, "wsrf-rl", "NewTerminationTime").with_text(t.to_string()),
+        ),
         None => el.push(
             XmlElement::new(ns::WSRF_RL, "wsrf-rl", "NewTerminationTime").with_attr("nil", "true"),
         ),
@@ -232,7 +232,8 @@ mod tests {
 
         let mut nil_child = XmlElement::new(ns::WSRF_RL, "wsrf-rl", "RequestedTerminationTime");
         nil_child.set_attr("nil", "true");
-        let req = XmlElement::new(ns::WSRF_RL, "wsrf-rl", "SetTerminationTime").with_child(nil_child);
+        let req =
+            XmlElement::new(ns::WSRF_RL, "wsrf-rl", "SetTerminationTime").with_child(nil_child);
         assert_eq!(parse_set_termination_time(&req), Some(None));
 
         let bad = XmlElement::new(ns::WSRF_RL, "wsrf-rl", "SetTerminationTime");

@@ -169,7 +169,10 @@ mod tests {
     #[test]
     fn insert_update_delete() {
         let mut d = doc();
-        insert_property(&mut d, XmlElement::new(ns::WSDAI, "wsdai", "Sensitivity").with_text("Insensitive"));
+        insert_property(
+            &mut d,
+            XmlElement::new(ns::WSDAI, "wsdai", "Sensitivity").with_text("Insensitive"),
+        );
         assert_eq!(get_property(&d, &q("Sensitivity")).len(), 1);
 
         update_property(

@@ -1,7 +1,7 @@
 //! The collection tree and the thread-safe database façade.
 
-use dais_xml::{parse, XPathContext, XPathExpr, XPathValue, XmlElement};
 use dais_util::sync::RwLock;
+use dais_xml::{parse, XPathContext, XPathExpr, XPathValue, XmlElement};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -52,7 +52,9 @@ impl Collection {
     fn resolve_mut(&mut self, path: &[&str]) -> Option<&mut Collection> {
         match path.split_first() {
             None => Some(self),
-            Some((head, rest)) => self.subcollections.get_mut(*head).and_then(|c| c.resolve_mut(rest)),
+            Some((head, rest)) => {
+                self.subcollections.get_mut(*head).and_then(|c| c.resolve_mut(rest))
+            }
         }
     }
 
@@ -217,7 +219,11 @@ impl XmlDatabase {
 
     /// Run an XPath expression over every document in a collection
     /// (non-recursive), concatenating node results in document-name order.
-    pub fn xpath_query(&self, collection: &str, xpath: &str) -> Result<Vec<XmlElement>, XmlDbError> {
+    pub fn xpath_query(
+        &self,
+        collection: &str,
+        xpath: &str,
+    ) -> Result<Vec<XmlElement>, XmlDbError> {
         self.xpath_query_with(collection, xpath, &XPathContext::default())
     }
 
@@ -255,7 +261,9 @@ impl XmlDatabase {
                 }
                 // Scalar results are wrapped so collection queries always
                 // return elements (one per document).
-                XPathValue::Boolean(b) => out.push(XmlElement::new_local("value").with_text(b.to_string())),
+                XPathValue::Boolean(b) => {
+                    out.push(XmlElement::new_local("value").with_text(b.to_string()))
+                }
                 XPathValue::Number(n) => out.push(
                     XmlElement::new_local("value")
                         .with_text(dais_xml::xpath::XPathValue::Number(n).to_xpath_string()),
@@ -316,8 +324,14 @@ mod tests {
     #[test]
     fn collection_creation_errors() {
         let db = seeded();
-        assert_eq!(db.create_collection("lib").unwrap_err(), XmlDbError::CollectionExists("lib".into()));
-        assert!(matches!(db.create_collection("missing/child"), Err(XmlDbError::NoSuchCollection(_))));
+        assert_eq!(
+            db.create_collection("lib").unwrap_err(),
+            XmlDbError::CollectionExists("lib".into())
+        );
+        assert!(matches!(
+            db.create_collection("missing/child"),
+            Err(XmlDbError::NoSuchCollection(_))
+        ));
         assert!(matches!(db.create_collection(""), Err(XmlDbError::InvalidName(_))));
     }
 

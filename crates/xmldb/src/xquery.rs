@@ -107,7 +107,9 @@ impl XQuery {
     /// Parse a query.
     pub fn parse(source: &str) -> Result<XQuery, XmlDbError> {
         let trimmed = source.trim();
-        if trimmed.starts_with("for ") || trimmed.starts_with("for\t") || trimmed.starts_with("for\n")
+        if trimmed.starts_with("for ")
+            || trimmed.starts_with("for\t")
+            || trimmed.starts_with("for\n")
         {
             Ok(XQuery { kind: QueryKind::Flwor(parse_flwor(trimmed)?), source: source.to_string() })
         } else {
@@ -133,7 +135,8 @@ impl XQuery {
     ) -> Result<Vec<XQueryItem>, XmlDbError> {
         match &self.kind {
             QueryKind::Bare(expr) => {
-                let v = expr.evaluate_with(doc, ctx).map_err(|e| XmlDbError::Query(e.to_string()))?;
+                let v =
+                    expr.evaluate_with(doc, ctx).map_err(|e| XmlDbError::Query(e.to_string()))?;
                 Ok(value_to_items(v))
             }
             QueryKind::Flwor(f) => execute_flwor(f, doc, ctx),
@@ -215,8 +218,14 @@ fn stop_word<'a>(stops: &[&'a str], word: &str) -> &'a str {
 }
 
 fn is_word_start(bytes: &[u8], i: usize) -> bool {
-    i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_' || bytes[i - 1] == b'$'
-        || bytes[i - 1] == b':' || bytes[i - 1] == b'-' || bytes[i - 1] == b'@' || bytes[i - 1] == b'/')
+    i == 0
+        || !(bytes[i - 1].is_ascii_alphanumeric()
+            || bytes[i - 1] == b'_'
+            || bytes[i - 1] == b'$'
+            || bytes[i - 1] == b':'
+            || bytes[i - 1] == b'-'
+            || bytes[i - 1] == b'@'
+            || bytes[i - 1] == b'/')
 }
 
 fn parse_var(src: &str) -> Result<(String, &str), XmlDbError> {
@@ -224,7 +233,8 @@ fn parse_var(src: &str) -> Result<(String, &str), XmlDbError> {
     let Some(rest) = s.strip_prefix('$') else {
         return Err(XmlDbError::Query(format!("expected a $variable, found '{s}'")));
     };
-    let end = rest.find(|c: char| !(c.is_alphanumeric() || c == '_' || c == '-')).unwrap_or(rest.len());
+    let end =
+        rest.find(|c: char| !(c.is_alphanumeric() || c == '_' || c == '-')).unwrap_or(rest.len());
     if end == 0 {
         return Err(XmlDbError::Query("empty variable name".into()));
     }
@@ -278,7 +288,8 @@ fn parse_flwor(src: &str) -> Result<Flwor, XmlDbError> {
                     return Err(XmlDbError::Query("expected 'by' after 'order'".into()));
                 };
                 let start = src.len() - rest.len();
-                let (expr, next, s) = scan_until(src, start, &["ascending", "descending", "return"]);
+                let (expr, next, s) =
+                    scan_until(src, start, &["ascending", "descending", "return"]);
                 let (ascending, pos2, stop2) = match s {
                     Some("descending") => {
                         let (_, n, s2) = scan_until(src, next, &["return"]);
@@ -345,7 +356,11 @@ fn parse_constructor(src: &str) -> Result<(Constructor, &str), XmlDbError> {
         let eq = rest.find('=').ok_or_else(|| err("malformed attribute"))?;
         let attr_name = rest[..eq].trim().to_string();
         rest = rest[eq + 1..].trim_start();
-        let quote = rest.chars().next().filter(|c| *c == '"' || *c == '\'').ok_or_else(|| err("unquoted attribute value"))?;
+        let quote = rest
+            .chars()
+            .next()
+            .filter(|c| *c == '"' || *c == '\'')
+            .ok_or_else(|| err("unquoted attribute value"))?;
         let after = &rest[1..];
         let close = after.find(quote).ok_or_else(|| err("unterminated attribute value"))?;
         let raw_value = &after[..close];
@@ -422,8 +437,9 @@ fn parse_template(raw: &str) -> Result<Template, XmlDbError> {
             parts.push(ConstructorNode::Text("}".into()));
             rest = &rest[2..];
         } else if let Some(r) = rest.strip_prefix('{') {
-            let close = find_brace_close(r)
-                .ok_or_else(|| XmlDbError::Query("unterminated { expression in attribute".into()))?;
+            let close = find_brace_close(r).ok_or_else(|| {
+                XmlDbError::Query("unterminated { expression in attribute".into())
+            })?;
             parts.push(ConstructorNode::Hole(r[..close].trim().to_string()));
             rest = &r[close + 1..];
         } else {
@@ -484,7 +500,11 @@ fn execute_flwor(
     base_ctx: &XPathContext,
 ) -> Result<Vec<XQueryItem>, XmlDbError> {
     // Bind $var to each selected element.
-    let bindings = match f.source.evaluate_with(doc, base_ctx).map_err(|e| XmlDbError::Query(e.to_string()))? {
+    let bindings = match f
+        .source
+        .evaluate_with(doc, base_ctx)
+        .map_err(|e| XmlDbError::Query(e.to_string()))?
+    {
         XPathValue::NodeSet(nodes) => nodes
             .into_iter()
             .filter_map(|n| match n {
@@ -592,23 +612,21 @@ fn build_constructor(
             ConstructorNode::Child(c) => {
                 element.push(build_constructor(c, var, binding, ctx)?);
             }
-            ConstructorNode::Hole(expr) => {
-                match eval_in_binding(expr, var, binding, ctx)? {
-                    XPathValue::NodeSet(nodes) => {
-                        for n in nodes {
-                            match n {
-                                XPathNode::Element(e) | XPathNode::Root(e) => element.push(e),
-                                XPathNode::Attribute { value, .. } => {
-                                    element.children.push(XmlNode::Text(value))
-                                }
-                                XPathNode::Text(t) => element.children.push(XmlNode::Text(t)),
-                                XPathNode::Comment(_) => {}
+            ConstructorNode::Hole(expr) => match eval_in_binding(expr, var, binding, ctx)? {
+                XPathValue::NodeSet(nodes) => {
+                    for n in nodes {
+                        match n {
+                            XPathNode::Element(e) | XPathNode::Root(e) => element.push(e),
+                            XPathNode::Attribute { value, .. } => {
+                                element.children.push(XmlNode::Text(value))
                             }
+                            XPathNode::Text(t) => element.children.push(XmlNode::Text(t)),
+                            XPathNode::Comment(_) => {}
                         }
                     }
-                    other => element.children.push(XmlNode::Text(other.to_xpath_string())),
                 }
-            }
+                other => element.children.push(XmlNode::Text(other.to_xpath_string())),
+            },
         }
     }
     Ok(element)
@@ -672,18 +690,14 @@ mod tests {
 
     #[test]
     fn let_clause() {
-        let items = run(
-            "for $b in //book let $p := $b/price where $p >= 40 return $b/title",
-        );
+        let items = run("for $b in //book let $p := $b/price where $p >= 40 return $b/title");
         assert_eq!(items.len(), 2);
     }
 
     #[test]
     fn constructor_return() {
-        let items = run(
-            "for $b in //book where $b/price > 30 \
-             return <item cost=\"{$b/price}\"><name>{$b/title/text()}</name></item>",
-        );
+        let items = run("for $b in //book where $b/price > 30 \
+             return <item cost=\"{$b/price}\"><name>{$b/title/text()}</name></item>");
         assert_eq!(items.len(), 2);
         let XQueryItem::Element(e) = &items[0] else { panic!() };
         assert_eq!(e.name.local, "item");
@@ -710,10 +724,7 @@ mod tests {
     fn nested_constructors() {
         let items = run("for $b in //book[price=40] return <a><b><c>{$b/title/text()}</c></b></a>");
         let XQueryItem::Element(e) = &items[0] else { panic!() };
-        assert_eq!(
-            e.child("", "b").unwrap().child("", "c").unwrap().text(),
-            "DDIA"
-        );
+        assert_eq!(e.child("", "b").unwrap().child("", "c").unwrap().text(), "DDIA");
     }
 
     #[test]
@@ -750,9 +761,7 @@ mod tests {
     fn keywords_inside_strings_not_clauses() {
         // 'return' inside a string literal must not terminate the where
         // clause scan.
-        let items = run(
-            "for $b in //book where $b/title != 'return' return $b/title",
-        );
+        let items = run("for $b in //book where $b/title != 'return' return $b/title");
         assert_eq!(items.len(), 3);
     }
 

@@ -38,7 +38,8 @@ pub fn apply_xupdate(
             .attribute("select")
             .ok_or_else(|| XmlDbError::Query(format!("{} missing select attribute", op.name)))?;
         let expr = XPathExpr::parse(select).map_err(|e| XmlDbError::Query(e.to_string()))?;
-        let mut paths = expr.select_paths(doc, ctx).map_err(|e| XmlDbError::Query(e.to_string()))?;
+        let mut paths =
+            expr.select_paths(doc, ctx).map_err(|e| XmlDbError::Query(e.to_string()))?;
         // Apply from the last node backwards so sibling indices stay valid
         // when inserting/removing within one operation.
         paths.reverse();
@@ -83,10 +84,9 @@ fn apply_one(
                     let (parent_path, last) = split_parent(path, operation)?;
                     let PathStep::Attribute(index) = last else { unreachable!() };
                     let parent = navigate_mut(doc, parent_path)?;
-                    let attr = parent
-                        .attributes
-                        .get_mut(index)
-                        .ok_or_else(|| XmlDbError::Query("attribute vanished during update".into()))?;
+                    let attr = parent.attributes.get_mut(index).ok_or_else(|| {
+                        XmlDbError::Query("attribute vanished during update".into())
+                    })?;
                     attr.value = op.text();
                     Ok(())
                 }
@@ -94,11 +94,8 @@ fn apply_one(
                     // Element (or document element): replace content.
                     let target = navigate_mut(doc, path)?;
                     let content = content_nodes(op);
-                    target.children = if content.is_empty() {
-                        vec![XmlNode::Text(op.text())]
-                    } else {
-                        content
-                    };
+                    target.children =
+                        if content.is_empty() { vec![XmlNode::Text(op.text())] } else { content };
                     Ok(())
                 }
             }
@@ -134,10 +131,9 @@ fn apply_one(
                     let (parent_path, last) = split_parent(path, operation)?;
                     let PathStep::Attribute(index) = last else { unreachable!() };
                     let parent = navigate_mut(doc, parent_path)?;
-                    let attr = parent
-                        .attributes
-                        .get_mut(index)
-                        .ok_or_else(|| XmlDbError::Query("attribute vanished during update".into()))?;
+                    let attr = parent.attributes.get_mut(index).ok_or_else(|| {
+                        XmlDbError::Query("attribute vanished during update".into())
+                    })?;
                     attr.name.local = new_name.to_string();
                     Ok(())
                 }
@@ -152,7 +148,10 @@ fn apply_one(
     }
 }
 
-fn split_parent<'a>(path: &'a NodePath, operation: &str) -> Result<(&'a [PathStep], PathStep), XmlDbError> {
+fn split_parent<'a>(
+    path: &'a NodePath,
+    operation: &str,
+) -> Result<(&'a [PathStep], PathStep), XmlDbError> {
     match path.split_last() {
         Some((last, parent)) => Ok((parent, *last)),
         None => Err(XmlDbError::Query(format!("{operation} cannot target the document element"))),
@@ -161,7 +160,10 @@ fn split_parent<'a>(path: &'a NodePath, operation: &str) -> Result<(&'a [PathSte
 
 /// Navigate a structural path to a mutable element. Intermediate steps and
 /// an element-final step are required.
-fn navigate_mut<'a>(doc: &'a mut XmlElement, path: &[PathStep]) -> Result<&'a mut XmlElement, XmlDbError> {
+fn navigate_mut<'a>(
+    doc: &'a mut XmlElement,
+    path: &[PathStep],
+) -> Result<&'a mut XmlElement, XmlDbError> {
     let mut current = doc;
     for step in path {
         match step {
@@ -186,11 +188,7 @@ fn navigate_mut<'a>(doc: &'a mut XmlElement, path: &[PathStep]) -> Result<&'a mu
 /// The content nodes of an operation element (its element and text
 /// children, cloned).
 fn content_nodes(op: &XmlElement) -> Vec<XmlNode> {
-    op.children
-        .iter()
-        .filter(|c| !matches!(c, XmlNode::Comment(_)))
-        .cloned()
-        .collect()
+    op.children.iter().filter(|c| !matches!(c, XmlNode::Comment(_))).cloned().collect()
 }
 
 #[cfg(test)]
@@ -204,10 +202,8 @@ mod tests {
     }
 
     fn mods(body: &str) -> XmlElement {
-        parse(&format!(
-            "<xu:modifications xmlns:xu='{XUPDATE_NS}'>{body}</xu:modifications>"
-        ))
-        .unwrap()
+        parse(&format!("<xu:modifications xmlns:xu='{XUPDATE_NS}'>{body}</xu:modifications>"))
+            .unwrap()
     }
 
     fn apply(doc: &mut XmlElement, body: &str) -> usize {
@@ -258,7 +254,10 @@ mod tests {
         let mut d = doc();
         apply(&mut d, "<xu:insert-before select='/book/title'><isbn>X</isbn></xu:insert-before>");
         assert_eq!(d.elements().next().unwrap().name.local, "isbn");
-        apply(&mut d, "<xu:insert-after select='/book/title'><subtitle>S</subtitle></xu:insert-after>");
+        apply(
+            &mut d,
+            "<xu:insert-after select='/book/title'><subtitle>S</subtitle></xu:insert-after>",
+        );
         let names: Vec<&str> = d.elements().map(|e| e.name.local.as_str()).collect();
         assert_eq!(names, vec!["isbn", "title", "subtitle", "author", "author"]);
     }

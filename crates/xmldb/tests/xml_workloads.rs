@@ -1,8 +1,8 @@
 //! Workload-level tests of the XML database: realistic corpora, query +
 //! update interleavings and concurrency.
 
-use dais_xmldb::{apply_xupdate, XQuery, XmlDatabase};
 use dais_xml::{parse, XPathContext};
+use dais_xmldb::{apply_xupdate, XQuery, XmlDatabase};
 
 fn library() -> XmlDatabase {
     let db = XmlDatabase::new("library");
@@ -33,13 +33,13 @@ fn xpath_workloads() {
     let db = library();
     // Predicate combinations.
     assert_eq!(db.xpath_query("books", "/book[year > 2000][price < 60]").unwrap().len(), 2); // DDIA, OSTEP
-    // Counting via nested paths.
+                                                                                             // Counting via nested paths.
     let tags = db.xpath_query("books", "/book/tag").unwrap();
     assert_eq!(tags.len(), 8);
     // Text functions inside predicates.
     let hits = db.xpath_query("books", "/book[starts-with(title, 'T')]").unwrap();
     assert_eq!(hits.len(), 2); // TP, TAPL
-    // Attribute-less structural navigation with unions.
+                               // Attribute-less structural navigation with unions.
     let hits = db.xpath_query("books", "/book/title | /book/year").unwrap();
     assert_eq!(hits.len(), 10);
 }
@@ -131,7 +131,7 @@ fn deep_collection_trees() {
     assert!(db.has_collection("a/b/c"));
     assert_eq!(db.xpath_query("a/b/c", "/x").unwrap().len(), 1);
     assert_eq!(db.xpath_query("a", "/x").unwrap().len(), 0); // non-recursive
-    // Removing the middle removes everything beneath.
+                                                             // Removing the middle removes everything beneath.
     db.remove_collection("a/b").unwrap();
     assert!(!db.has_collection("a/b/c"));
     assert_eq!(db.document_count(), 0);
@@ -153,7 +153,9 @@ fn concurrent_mixed_workload() {
                             db.add_document(
                                 "books",
                                 &format!("w{i}_{j}"),
-                                &format!("<book><title>gen{i}-{j}</title><price>{j}</price></book>"),
+                                &format!(
+                                    "<book><title>gen{i}-{j}</title><price>{j}</price></book>"
+                                ),
                             )
                             .unwrap();
                         }

@@ -24,7 +24,11 @@ impl QName {
     }
 
     /// A namespaced name with a preferred serialisation prefix.
-    pub fn new(namespace: impl Into<String>, prefix: impl Into<String>, local: impl Into<String>) -> Self {
+    pub fn new(
+        namespace: impl Into<String>,
+        prefix: impl Into<String>,
+        local: impl Into<String>,
+    ) -> Self {
         QName { namespace: namespace.into(), local: local.into(), prefix: prefix.into() }
     }
 

@@ -62,7 +62,11 @@ impl XmlElement {
     }
 
     /// Create an empty element with a namespaced name.
-    pub fn new(namespace: impl Into<String>, prefix: impl Into<String>, local: impl Into<String>) -> Self {
+    pub fn new(
+        namespace: impl Into<String>,
+        prefix: impl Into<String>,
+        local: impl Into<String>,
+    ) -> Self {
         XmlElement { name: QName::new(namespace, prefix, local), ..Default::default() }
     }
 

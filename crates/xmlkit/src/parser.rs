@@ -280,7 +280,9 @@ impl<'a> Parser<'a> {
                     None => return self.err(format!("undeclared namespace prefix '{prefix}'")),
                 }
             };
-            element.attributes.push(Attribute { name: QName { namespace, local, prefix }, value: av });
+            element
+                .attributes
+                .push(Attribute { name: QName { namespace, local, prefix }, value: av });
         }
 
         // Empty element?
@@ -464,10 +466,7 @@ mod tests {
 
     #[test]
     fn resolves_namespaces() {
-        let e = parse(
-            "<p:r xmlns:p='urn:a' xmlns='urn:d'><c/><p:c/></p:r>",
-        )
-        .unwrap();
+        let e = parse("<p:r xmlns:p='urn:a' xmlns='urn:d'><c/><p:c/></p:r>").unwrap();
         assert!(e.name.is("urn:a", "r"));
         assert!(e.child("urn:d", "c").is_some());
         assert!(e.child("urn:a", "c").is_some());

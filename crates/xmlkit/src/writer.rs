@@ -280,8 +280,7 @@ mod tests {
     #[test]
     fn prefix_clash_renames() {
         // Same preferred prefix bound to two URIs in nested scopes.
-        let e = XmlElement::new("urn:a", "p", "r")
-            .with_child(XmlElement::new("urn:b", "p", "c"));
+        let e = XmlElement::new("urn:a", "p", "r").with_child(XmlElement::new("urn:b", "p", "c"));
         let rt = roundtrip(&e);
         assert_eq!(rt, e, "{}", to_string(&e));
     }

@@ -1,6 +1,8 @@
 //! XPath abstract syntax.
 
 /// An XPath axis (the supported subset of the thirteen XPath 1.0 axes).
+// `SelfAxis`: `Self` is a reserved identifier.
+#[allow(clippy::enum_variant_names)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Axis {
     Child,
@@ -36,7 +38,10 @@ impl Axis {
     /// True for axes that walk in reverse document order (affects the
     /// meaning of positional predicates).
     pub fn is_reverse(self) -> bool {
-        matches!(self, Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling)
+        matches!(
+            self,
+            Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling
+        )
     }
 }
 
@@ -98,11 +103,22 @@ pub enum Expr {
     Path(Path),
     /// A primary expression filtered by predicates and optionally followed
     /// by a relative path, e.g. `(//a)[1]/b`.
-    Filter { primary: Box<Expr>, predicates: Vec<Expr>, path: Option<Path> },
+    Filter {
+        primary: Box<Expr>,
+        predicates: Vec<Expr>,
+        path: Option<Path>,
+    },
     Literal(String),
     Number(f64),
     Variable(String),
-    Call { name: String, args: Vec<Expr> },
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     Negate(Box<Expr>),
 }

@@ -28,7 +28,10 @@ pub enum XPathNode {
     /// The virtual document root (carrying a clone of the root element).
     Root(XmlElement),
     Element(XmlElement),
-    Attribute { name: QName, value: String },
+    Attribute {
+        name: QName,
+        value: String,
+    },
     Text(String),
     Comment(String),
 }
@@ -58,7 +61,9 @@ impl XPathValue {
     /// XPath `number()` coercion.
     pub fn to_number(&self) -> f64 {
         match self {
-            XPathValue::NodeSet(_) | XPathValue::String(_) => str_to_number(&self.to_xpath_string()),
+            XPathValue::NodeSet(_) | XPathValue::String(_) => {
+                str_to_number(&self.to_xpath_string())
+            }
             XPathValue::Boolean(b) => {
                 if *b {
                     1.0
@@ -229,12 +234,7 @@ impl<'a> Arena<'a> {
 
     fn string_value(&self, id: usize) -> String {
         match self.entries[id].kind {
-            Kind::Root => self
-                .entries[id]
-                .children
-                .iter()
-                .map(|&c| self.string_value(c))
-                .collect(),
+            Kind::Root => self.entries[id].children.iter().map(|&c| self.string_value(c)).collect(),
             Kind::Element(e) => e.text(),
             Kind::Text(t) | Kind::Comment(t) => t.to_string(),
             Kind::Attribute(a) => a.value.clone(),
@@ -257,7 +257,9 @@ impl<'a> Arena<'a> {
             Kind::Element(e) => XPathNode::Element(e.clone()),
             Kind::Text(t) => XPathNode::Text(t.to_string()),
             Kind::Comment(t) => XPathNode::Comment(t.to_string()),
-            Kind::Attribute(a) => XPathNode::Attribute { name: a.name.clone(), value: a.value.clone() },
+            Kind::Attribute(a) => {
+                XPathNode::Attribute { name: a.name.clone(), value: a.value.clone() }
+            }
         }
     }
 }
@@ -323,10 +325,9 @@ pub(super) fn evaluate_paths(
     let arena = Arena::build(root);
     let ev = Evaluator { arena: &arena, ctx: context };
     match ev.eval(expr, 0, 1, 1)? {
-        V::Nodes(ids) => Ok(ids
-            .iter()
-            .map(|&id| arena.entries[id].path.clone().unwrap_or_default())
-            .collect()),
+        V::Nodes(ids) => {
+            Ok(ids.iter().map(|&id| arena.entries[id].path.clone().unwrap_or_default()).collect())
+        }
         _ => Err(XPathError::new("expression does not select nodes")),
     }
 }
@@ -455,12 +456,12 @@ impl<'a, 'c> Evaluator<'a, 'c> {
             }),
             (V::Nodes(a), other) | (other, V::Nodes(a)) => {
                 // Orient so the node-set is on the left for relational ops.
-                let flipped = matches!(l, V::Nodes(_)) == false;
+                let flipped = !matches!(l, V::Nodes(_));
                 a.iter().any(|&x| {
                     let xs = self.arena.string_value(x);
                     match (op, other) {
-                        (Eq, V::Bool(b)) => !a.is_empty() == *b,
-                        (Ne, V::Bool(b)) => !a.is_empty() != *b,
+                        (Eq, V::Bool(b)) => a.is_empty() != *b,
+                        (Ne, V::Bool(b)) => a.is_empty() == *b,
                         (Eq, V::Num(n)) => str_to_number(&xs) == *n,
                         (Ne, V::Num(n)) => str_to_number(&xs) != *n,
                         (Eq, V::Str(s)) => &xs == s,
@@ -492,7 +493,9 @@ impl<'a, 'c> Evaluator<'a, 'c> {
                 Eq | Ne => {
                     let eq = match (l, r) {
                         (V::Bool(_), _) | (_, V::Bool(_)) => self.boolean(l) == self.boolean(r),
-                        (V::Num(_), _) | (_, V::Num(_)) => self.num(l.clone()) == self.num(r.clone()),
+                        (V::Num(_), _) | (_, V::Num(_)) => {
+                            self.num(l.clone()) == self.num(r.clone())
+                        }
                         _ => self.string(l.clone()) == self.string(r.clone()),
                     };
                     if op == Eq {
@@ -535,7 +538,12 @@ impl<'a, 'c> Evaluator<'a, 'c> {
     }
 
     /// Apply one predicate to a candidate list (in axis order).
-    fn filter(&self, nodes: &[usize], pred: &Expr, reverse: bool) -> Result<Vec<usize>, XPathError> {
+    fn filter(
+        &self,
+        nodes: &[usize],
+        pred: &Expr,
+        reverse: bool,
+    ) -> Result<Vec<usize>, XPathError> {
         let size = nodes.len();
         let mut out = Vec::with_capacity(size);
         // Axis order for positional predicates: reverse axes count from the end.
@@ -642,7 +650,8 @@ impl<'a, 'c> Evaluator<'a, 'c> {
                     matches!(kind, Kind::Element(_))
                 };
                 principal_ok
-                    && self.ctx.namespaces.get(prefix).map(String::as_str) == Some(name.namespace.as_str())
+                    && self.ctx.namespaces.get(prefix).map(String::as_str)
+                        == Some(name.namespace.as_str())
             }
             NodeTest::Name { prefix, local } => {
                 let Some(name) = name else { return false };
@@ -657,7 +666,8 @@ impl<'a, 'c> Evaluator<'a, 'c> {
                 match prefix {
                     None => name.namespace.is_empty(),
                     Some(p) => {
-                        self.ctx.namespaces.get(p).map(String::as_str) == Some(name.namespace.as_str())
+                        self.ctx.namespaces.get(p).map(String::as_str)
+                            == Some(name.namespace.as_str())
                     }
                 }
             }
@@ -678,7 +688,10 @@ impl<'a, 'c> Evaluator<'a, 'c> {
             if args.len() == n {
                 Ok(())
             } else {
-                Err(XPathError::new(format!("{name}() expects {n} argument(s), got {}", args.len())))
+                Err(XPathError::new(format!(
+                    "{name}() expects {n} argument(s), got {}",
+                    args.len()
+                )))
             }
         };
         let eval_arg = |i: usize| self.eval(&args[i], node, pos, size);
@@ -773,7 +786,8 @@ impl<'a, 'c> Evaluator<'a, 'c> {
                 let len = if args.len() == 3 { self.num(eval_arg(2)?) } else { f64::INFINITY };
                 // XPath rounds and uses 1-based positions.
                 let begin = round_half_up(start);
-                let end = if len.is_infinite() { f64::INFINITY } else { begin + round_half_up(len) };
+                let end =
+                    if len.is_infinite() { f64::INFINITY } else { begin + round_half_up(len) };
                 let mut out = String::new();
                 for (i, c) in s.iter().enumerate() {
                     let p = (i + 1) as f64;
@@ -932,7 +946,11 @@ pub(crate) fn number_to_string(n: f64) -> String {
     if n.is_nan() {
         "NaN".to_string()
     } else if n.is_infinite() {
-        if n > 0.0 { "Infinity".to_string() } else { "-Infinity".to_string() }
+        if n > 0.0 {
+            "Infinity".to_string()
+        } else {
+            "-Infinity".to_string()
+        }
     } else if n == n.trunc() && n.abs() < 1e15 {
         format!("{}", n as i64)
     } else {
@@ -1064,10 +1082,7 @@ mod tests {
         assert_eq!(count("/library/book[1]/following-sibling::book"), 2);
         assert_eq!(count("/library/book[3]/preceding-sibling::book"), 2);
         // Positional predicate on a reverse axis counts backwards.
-        assert_eq!(
-            s("/library/book[3]/preceding-sibling::book[1]/title"),
-            "DDIA"
-        );
+        assert_eq!(s("/library/book[3]/preceding-sibling::book[1]/title"), "DDIA");
     }
 
     #[test]

@@ -153,9 +153,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, XPathError> {
                 if end == bytes.len() {
                     return Err(XPathError::new("unterminated string literal"));
                 }
-                out.push(Token::Literal(
-                    String::from_utf8_lossy(&bytes[start..end]).into_owned(),
-                ));
+                out.push(Token::Literal(String::from_utf8_lossy(&bytes[start..end]).into_owned()));
                 pos = end + 1;
             }
             b'$' => {
@@ -167,9 +165,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, XPathError> {
                 if pos == start {
                     return Err(XPathError::new("expected variable name after '$'"));
                 }
-                out.push(Token::Variable(
-                    String::from_utf8_lossy(&bytes[start..pos]).into_owned(),
-                ));
+                out.push(Token::Variable(String::from_utf8_lossy(&bytes[start..pos]).into_owned()));
             }
             b'0'..=b'9' => {
                 let (n, next) = lex_number(bytes, pos)?;
@@ -242,7 +238,13 @@ mod tests {
         let t = tokenize("1.5 + .5 >= 2").unwrap();
         assert_eq!(
             t,
-            vec![Token::Number(1.5), Token::Plus, Token::Number(0.5), Token::Ge, Token::Number(2.0)]
+            vec![
+                Token::Number(1.5),
+                Token::Plus,
+                Token::Number(0.5),
+                Token::Ge,
+                Token::Number(2.0)
+            ]
         );
     }
 

@@ -123,7 +123,10 @@ impl XPathExpr {
 
     /// Convenience: evaluate and return matching elements (ignoring any
     /// non-element results), cloned out of the document.
-    pub fn select_elements(&self, root: &crate::XmlElement) -> Result<Vec<crate::XmlElement>, XPathError> {
+    pub fn select_elements(
+        &self,
+        root: &crate::XmlElement,
+    ) -> Result<Vec<crate::XmlElement>, XPathError> {
         match self.evaluate(root)? {
             XPathValue::NodeSet(nodes) => Ok(nodes
                 .into_iter()

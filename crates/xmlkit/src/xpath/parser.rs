@@ -12,10 +12,7 @@ pub fn parse_tokens(tokens: &[Token]) -> Result<Expr, XPathError> {
     let mut p = P { tokens, pos: 0 };
     let expr = p.or_expr()?;
     if p.pos != tokens.len() {
-        return Err(XPathError::new(format!(
-            "unexpected trailing tokens at position {}",
-            p.pos
-        )));
+        return Err(XPathError::new(format!("unexpected trailing tokens at position {}", p.pos)));
     }
     Ok(expr)
 }
@@ -180,12 +177,12 @@ impl<'a> P<'a> {
             while self.peek() == Some(&Token::LBracket) {
                 predicates.push(self.predicate()?);
             }
-            let path = if self.peek() == Some(&Token::Slash) || self.peek() == Some(&Token::DoubleSlash)
-            {
-                Some(self.relative_path_after_filter()?)
-            } else {
-                None
-            };
+            let path =
+                if self.peek() == Some(&Token::Slash) || self.peek() == Some(&Token::DoubleSlash) {
+                    Some(self.relative_path_after_filter()?)
+                } else {
+                    None
+                };
             if predicates.is_empty() && path.is_none() {
                 return Ok(primary);
             }
@@ -298,10 +295,18 @@ impl<'a> P<'a> {
     fn step(&mut self) -> Result<Step, XPathError> {
         // Abbreviations first.
         if self.eat(&Token::Dot) {
-            return Ok(Step { axis: Axis::SelfAxis, test: NodeTest::AnyNode, predicates: self.predicates()? });
+            return Ok(Step {
+                axis: Axis::SelfAxis,
+                test: NodeTest::AnyNode,
+                predicates: self.predicates()?,
+            });
         }
         if self.eat(&Token::DotDot) {
-            return Ok(Step { axis: Axis::Parent, test: NodeTest::AnyNode, predicates: self.predicates()? });
+            return Ok(Step {
+                axis: Axis::Parent,
+                test: NodeTest::AnyNode,
+                predicates: self.predicates()?,
+            });
         }
         let mut axis = Axis::Child;
         if self.eat(&Token::At) {
@@ -342,7 +347,9 @@ impl<'a> P<'a> {
                         "text" => NodeTest::Text,
                         "comment" => NodeTest::Comment,
                         other => {
-                            return Err(XPathError::new(format!("unknown node type test '{other}()'")))
+                            return Err(XPathError::new(format!(
+                                "unknown node type test '{other}()'"
+                            )))
                         }
                     };
                     self.pos += 1;
@@ -352,9 +359,7 @@ impl<'a> P<'a> {
                 // prefix:local or prefix:*
                 if self.eat(&Token::Colon) {
                     match self.bump().cloned() {
-                        Some(Token::Name(local)) => {
-                            Ok(NodeTest::Name { prefix: Some(n), local })
-                        }
+                        Some(Token::Name(local)) => Ok(NodeTest::Name { prefix: Some(n), local }),
                         Some(Token::Star) => Ok(NodeTest::NamespaceWildcard { prefix: n }),
                         other => Err(XPathError::new(format!(
                             "expected local name after '{n}:', found {other:?}"
@@ -461,7 +466,9 @@ mod tests {
     fn prefixed_and_wildcard_tests() {
         match parse("p:x/p:*/*") {
             Expr::Path(p) => {
-                assert!(matches!(&p.steps[0].test, NodeTest::Name { prefix: Some(px), .. } if px == "p"));
+                assert!(
+                    matches!(&p.steps[0].test, NodeTest::Name { prefix: Some(px), .. } if px == "p")
+                );
                 assert!(matches!(&p.steps[1].test, NodeTest::NamespaceWildcard { .. }));
                 assert!(matches!(&p.steps[2].test, NodeTest::AnyName));
             }

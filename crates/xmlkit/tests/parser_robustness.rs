@@ -55,23 +55,23 @@ fn truncated_inputs_error_cleanly() {
 #[test]
 fn malformed_structures() {
     for bad in [
-        "<a><b></a></b>",            // interleaved close
-        "<a",                        // unterminated tag
-        "<a /",                      // broken self-close
-        "<a></a",                    // unterminated close
-        "<a x=1/>",                  // unquoted attribute
-        "<a x></a>",                 // attribute without value
-        "< a/>",                     // space before name
-        "<a>&unknown;</a>",          // undefined entity
-        "<a>&#xZZ;</a>",             // bad char ref
-        "<a>&#1114112;</a>",         // out-of-range char ref
-        "<1a/>",                     // name starts with digit
-        "text<a/>",                  // leading text at top level
-        "<a/><b/>",                  // two roots
-        "<!DOCTYPE a><a/>",          // doctype unsupported
-        "<a xmlns:p=''><p:b/></a>",  // empty prefix binding
-        "<a><![CDATA[x]]</a>",       // unterminated cdata
-        "<a><!-- x --</a>",          // unterminated comment
+        "<a><b></a></b>",           // interleaved close
+        "<a",                       // unterminated tag
+        "<a /",                     // broken self-close
+        "<a></a",                   // unterminated close
+        "<a x=1/>",                 // unquoted attribute
+        "<a x></a>",                // attribute without value
+        "< a/>",                    // space before name
+        "<a>&unknown;</a>",         // undefined entity
+        "<a>&#xZZ;</a>",            // bad char ref
+        "<a>&#1114112;</a>",        // out-of-range char ref
+        "<1a/>",                    // name starts with digit
+        "text<a/>",                 // leading text at top level
+        "<a/><b/>",                 // two roots
+        "<!DOCTYPE a><a/>",         // doctype unsupported
+        "<a xmlns:p=''><p:b/></a>", // empty prefix binding
+        "<a><![CDATA[x]]</a>",      // unterminated cdata
+        "<a><!-- x --</a>",         // unterminated comment
     ] {
         assert!(parse(bad).is_err(), "should reject: {bad}");
     }

@@ -95,10 +95,8 @@ fn main() {
             row[3],
             if over { "  ⚠ over limit" } else { "" }
         );
-        report.push_str(&format!(
-            "{sensor},{kind},{},{},{},{unit},{over}\n",
-            row[1], row[2], row[3]
-        ));
+        report
+            .push_str(&format!("{sensor},{kind},{},{},{},{unit},{over}\n", row[1], row[2], row[3]));
     }
 
     // 4. File the report through the WS-DAIF service.

@@ -98,8 +98,7 @@ fn main() {
     // whole point of third-party delivery).
 
     // ---- Consumer 2: SQLRowsetFactory on Data Service 2 -----------------
-    let response_name =
-        AbstractName::new(response_epr.resource_abstract_name().unwrap()).unwrap();
+    let response_name = AbstractName::new(response_epr.resource_abstract_name().unwrap()).unwrap();
     let consumer2 = SqlClient::from_epr(bus.clone(), response_epr);
     let props = consumer2.get_response_property_document(&response_name).unwrap();
     println!(
@@ -142,7 +141,19 @@ fn main() {
     let s2 = bus.endpoint_stats(&svc2.address);
     let s3 = bus.endpoint_stats(&svc3.address);
     println!("\ntraffic per service (messages / bytes):");
-    println!("  data-service-1: {:>3} msgs, {:>8} B  (factory only — no rows)", s1.messages, s1.total_bytes());
-    println!("  data-service-2: {:>3} msgs, {:>8} B  (response hop)", s2.messages, s2.total_bytes());
-    println!("  data-service-3: {:>3} msgs, {:>8} B  (where the tuples flow)", s3.messages, s3.total_bytes());
+    println!(
+        "  data-service-1: {:>3} msgs, {:>8} B  (factory only — no rows)",
+        s1.messages,
+        s1.total_bytes()
+    );
+    println!(
+        "  data-service-2: {:>3} msgs, {:>8} B  (response hop)",
+        s2.messages,
+        s2.total_bytes()
+    );
+    println!(
+        "  data-service-3: {:>3} msgs, {:>8} B  (where the tuples flow)",
+        s3.messages,
+        s3.total_bytes()
+    );
 }

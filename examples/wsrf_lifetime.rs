@@ -40,10 +40,8 @@ fn main() {
         dais::xml::to_string(&doc).len(),
     );
     // Fine-grained access is simply not an operation here.
-    let err = client
-        .core()
-        .get_resource_property(&plain.db_resource, "wsdai:Readable")
-        .unwrap_err();
+    let err =
+        client.core().get_resource_property(&plain.db_resource, "wsdai:Readable").unwrap_err();
     println!("GetResourceProperty on the plain service: {err}");
 
     // Lifetime is explicit-destroy only.
@@ -69,10 +67,8 @@ fn main() {
     let client = SqlClient::new(bus.clone(), "bus://wsrf");
 
     // Fine-grained property access.
-    let readable = client
-        .core()
-        .get_resource_property(&wsrf_service.db_resource, "wsdai:Readable")
-        .unwrap();
+    let readable =
+        client.core().get_resource_property(&wsrf_service.db_resource, "wsdai:Readable").unwrap();
     println!(
         "WSRF service: GetResourceProperty(wsdai:Readable) → {} ({} bytes on the wire instead of the whole document)",
         readable[0].text(),
@@ -80,10 +76,7 @@ fn main() {
     );
     let count = client
         .core()
-        .query_resource_properties(
-            &wsrf_service.db_resource,
-            "count(//wsdai:GenericQueryLanguage)",
-        )
+        .query_resource_properties(&wsrf_service.db_resource, "count(//wsdai:GenericQueryLanguage)")
         .unwrap();
     println!("QueryResourceProperties(count of query languages) → {}", count.text());
 
@@ -111,9 +104,8 @@ fn main() {
     println!("t=12000ms: {err}");
 
     // The sweeper does the same housekeeping proactively.
-    let epr = client
-        .execute_factory(&wsrf_service.db_resource, "SELECT 1", &[], None, None)
-        .unwrap();
+    let epr =
+        client.execute_factory(&wsrf_service.db_resource, "SELECT 1", &[], None, None).unwrap();
     let short_lived = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
     client.core().set_termination_time(&short_lived, Some(100)).unwrap();
     clock.advance(200);

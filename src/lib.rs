@@ -56,10 +56,10 @@ pub mod prelude {
         AbstractName, ConfigurationDocument, CoreClient, CoreProperties, DataResource,
         NameGenerator, ResourceRegistry, Sensitivity, ServiceContext,
     };
-    pub use dais_daif::{FileService, FileServiceOptions, FileStore};
+    pub use dais_daif::{FileClient, FileService, FileServiceOptions, FileStore};
     pub use dais_dair::{RelationalService, RelationalServiceOptions, SqlClient};
     pub use dais_daix::{XmlClient, XmlService, XmlServiceOptions};
-    pub use dais_soap::{Bus, Epr};
+    pub use dais_soap::{Bus, Epr, FaultInjector, FaultPolicy, RetryPolicy};
     pub use dais_sql::{Database, Value};
     pub use dais_wsrf::{LifetimeRegistry, ManualClock, SystemClock};
     pub use dais_xmldb::XmlDatabase;

@@ -114,7 +114,13 @@ fn epr_transfers_between_consumers() {
     let svc = service_with_rows(&bus, "bus://e1c", 50);
     let consumer1 = SqlClient::new(bus.clone(), "bus://e1c");
     let epr = consumer1
-        .execute_factory(&svc.db_resource, "SELECT id FROM item WHERE category = 0", &[], None, None)
+        .execute_factory(
+            &svc.db_resource,
+            "SELECT id FROM item WHERE category = 0",
+            &[],
+            None,
+            None,
+        )
         .unwrap();
 
     // Serialise the EPR (as consumer 1 would to send it to consumer 2),

@@ -1,0 +1,251 @@
+//! Chaos recovery: the whole stack (relational, XML and file
+//! realisations on one bus) driven through a fault-injecting transport.
+//!
+//! Proves the three contracts of the chaos layer:
+//! * retrying clients absorb every retryable fault (drops, synthetic
+//!   busy/unavailable answers, corrupted envelopes) within their
+//!   attempt budget — the seeded sweep completes with correct results;
+//! * non-idempotent operations are never re-sent, no matter the policy;
+//! * the whole run is deterministic — the same seed yields *identical*
+//!   bus statistics, and an idle chaos layer yields statistics
+//!   byte-identical to a bus that never heard of interceptors.
+
+use dais::prelude::*;
+use dais::soap::bus::StatsSnapshot;
+use dais::soap::fault::DaisFault;
+use dais::soap::interceptor::InjectorSnapshot;
+use dais::soap::retry::{IdempotencySet, RetryConfig, RetryPolicy, SleepFn};
+use dais::xml::parse;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SQL_ADDR: &str = "bus://chaos/sql";
+const XML_ADDR: &str = "bus://chaos/xml";
+const FILE_ADDR: &str = "bus://chaos/files";
+
+struct Stack {
+    bus: Bus,
+    sql: SqlClient,
+    db: AbstractName,
+    xml: XmlClient,
+    collection: AbstractName,
+    files: FileClient,
+    root: AbstractName,
+}
+
+/// Retry hard enough that a sweep policy cannot exhaust the budget, and
+/// never actually sleep — pacing is property-tested separately.
+fn sweep_retry(seed: u64, actions: IdempotencySet) -> RetryConfig {
+    let no_sleep: SleepFn = Arc::new(|_| {});
+    let policy = RetryPolicy::new(30)
+        .base_delay(Duration::from_micros(1))
+        .max_delay(Duration::from_millis(1))
+        .deadline(Duration::from_secs(1))
+        .jitter_seed(seed);
+    RetryConfig::new(policy, actions).with_sleep(no_sleep)
+}
+
+/// Launch all three realisations with fixed seed data. No chaos yet —
+/// callers install the injector after setup so the workload under test
+/// is exactly the read sweep.
+fn build_stack(retry_seed: Option<u64>) -> Stack {
+    let bus = Bus::new();
+
+    let db = Database::new("chaos");
+    db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v VARCHAR)", &[]).unwrap();
+    for (k, v) in [(1, "alpha"), (2, "beta"), (3, "gamma")] {
+        db.execute("INSERT INTO t VALUES (?, ?)", &[Value::Int(k), Value::Str(v.into())]).unwrap();
+    }
+    let sql_svc = RelationalService::launch(&bus, SQL_ADDR, db, Default::default());
+
+    let xml_svc = XmlService::launch(&bus, XML_ADDR, XmlDatabase::new("chaos"), Default::default());
+    let setup_xml = XmlClient::new(bus.clone(), XML_ADDR);
+    setup_xml
+        .add_documents(
+            &xml_svc.root_collection,
+            &[
+                ("b1".into(), parse("<book><price>50</price></book>").unwrap()),
+                ("b2".into(), parse("<book><price>40</price></book>").unwrap()),
+            ],
+        )
+        .unwrap();
+
+    let store = FileStore::new();
+    store.write("data/a.csv", b"1,2,3".to_vec()).unwrap();
+    store.write("readme.txt", b"hello".to_vec()).unwrap();
+    let file_svc = FileService::launch(&bus, FILE_ADDR, store, Default::default());
+
+    let (sql, xml, files) = match retry_seed {
+        Some(seed) => (
+            SqlClient::new(bus.clone(), SQL_ADDR)
+                .with_retry_config(sweep_retry(seed, dais::dair::client::idempotent_actions())),
+            XmlClient::new(bus.clone(), XML_ADDR)
+                .with_retry_config(sweep_retry(seed, dais::daix::client::idempotent_actions())),
+            FileClient::new(bus.clone(), FILE_ADDR)
+                .with_retry_config(sweep_retry(seed, dais::daif::client::idempotent_actions())),
+        ),
+        None => (
+            SqlClient::new(bus.clone(), SQL_ADDR),
+            XmlClient::new(bus.clone(), XML_ADDR),
+            FileClient::new(bus.clone(), FILE_ADDR),
+        ),
+    };
+
+    Stack {
+        bus,
+        sql,
+        db: sql_svc.db_resource,
+        xml,
+        collection: xml_svc.root_collection,
+        files,
+        root: file_svc.root,
+    }
+}
+
+/// The read sweep: every operation is idempotent and its result is
+/// asserted, so an unabsorbed fault fails the test immediately.
+fn run_read_sweep(stack: &Stack) {
+    for _ in 0..3 {
+        let data = stack.sql.execute(&stack.db, "SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(data.rowset().unwrap().rows[0][0], Value::Int(3));
+        let props = stack.sql.core().get_property_document(&stack.db).unwrap();
+        assert!(props.readable);
+
+        let docs = stack.xml.get_documents(&stack.collection, &[]).unwrap();
+        assert_eq!(docs.len(), 2);
+        let hits = stack.xml.xpath(&stack.collection, "/book[price > 45]/price").unwrap();
+        assert_eq!(hits.len(), 1);
+
+        assert_eq!(stack.files.read_file(&stack.root, "readme.txt").unwrap(), b"hello");
+        let listing = stack.files.list_files(&stack.root, "data/*").unwrap();
+        assert_eq!(listing, vec![("data/a.csv".to_string(), 5)]);
+    }
+}
+
+/// Everything observable about a finished run.
+#[derive(Debug, PartialEq, Eq)]
+struct RunSignature {
+    total: StatsSnapshot,
+    sql: StatsSnapshot,
+    xml: StatsSnapshot,
+    files: StatsSnapshot,
+    injected: InjectorSnapshot,
+}
+
+fn chaos_run(seed: u64) -> RunSignature {
+    let stack = build_stack(Some(seed));
+    let injector = FaultInjector::new(seed);
+    injector.set_default_policy(
+        FaultPolicy::default().drop(0.15).busy(0.10).unavailable(0.05).corrupt(0.15),
+    );
+    stack.bus.add_interceptor(Arc::new(injector.clone()));
+
+    run_read_sweep(&stack);
+
+    RunSignature {
+        total: stack.bus.stats(),
+        sql: stack.bus.endpoint_stats(SQL_ADDR),
+        xml: stack.bus.endpoint_stats(XML_ADDR),
+        files: stack.bus.endpoint_stats(FILE_ADDR),
+        injected: injector.snapshot(),
+    }
+}
+
+#[test]
+fn seeded_sweep_absorbs_retryable_faults() {
+    let mut faults_seen = 0u64;
+    for seed in [0x01, 0xBEEF, 0xDA15, 0xF00D, 0x7777] {
+        let run = chaos_run(seed);
+        // The sweep asserted every result; here we check the chaos was real.
+        faults_seen += run.injected.total();
+        assert_eq!(
+            run.total.injected,
+            run.injected.total(),
+            "bus and injector ledgers disagree for seed {seed:#x}"
+        );
+        assert_eq!(
+            run.total.retries,
+            run.injected.drops
+                + run.injected.busy
+                + run.injected.unavailable
+                + run.injected.corruptions,
+            "every injected failure costs exactly one retry for seed {seed:#x}"
+        );
+    }
+    assert!(faults_seen > 20, "the sweep barely injected anything ({faults_seen} events)");
+}
+
+#[test]
+fn same_seed_means_identical_statistics() {
+    let first = chaos_run(0xD5EED);
+    let second = chaos_run(0xD5EED);
+    assert_eq!(first, second);
+    // And a different seed really takes a different path.
+    let other = chaos_run(0x0DD5EED);
+    assert_ne!(first.injected, other.injected);
+}
+
+#[test]
+fn non_idempotent_operations_are_never_retried() {
+    let stack = build_stack(Some(42));
+    let injector = FaultInjector::new(42);
+    stack.bus.add_interceptor(Arc::new(injector.clone()));
+
+    // Every call answered with ServiceBusy: a retryable fault...
+    injector.set_default_policy(FaultPolicy::default().busy(1.0));
+
+    // ...but writes must fail on the first answer, without a re-send.
+    let err = stack.sql.execute(&stack.db, "INSERT INTO t VALUES (9, 'nine')", &[]).unwrap_err();
+    assert_eq!(err.dais_fault(), Some(DaisFault::ServiceBusy));
+    let err = stack
+        .xml
+        .add_documents(&stack.collection, &[("b9".into(), parse("<book/>").unwrap())])
+        .unwrap_err();
+    assert_eq!(err.dais_fault(), Some(DaisFault::ServiceBusy));
+    let err = stack.files.write_file(&stack.root, "new.txt", b"x").unwrap_err();
+    assert_eq!(err.dais_fault(), Some(DaisFault::ServiceBusy));
+    let err = stack.files.delete_file(&stack.root, "readme.txt").unwrap_err();
+    assert_eq!(err.dais_fault(), Some(DaisFault::ServiceBusy));
+
+    assert_eq!(stack.bus.stats().retries, 0, "a non-idempotent operation was re-sent");
+    assert_eq!(injector.snapshot().busy, 4);
+
+    // The same fault on a read is retried to the attempt limit.
+    let err = stack.sql.execute(&stack.db, "SELECT * FROM t", &[]).unwrap_err();
+    assert_eq!(err.dais_fault(), Some(DaisFault::ServiceBusy));
+    assert_eq!(stack.bus.stats().retries, 29); // max_attempts - 1
+
+    // Chaos off again: the uncommitted insert really never happened.
+    injector.clear_default_policy();
+    let data = stack.sql.execute(&stack.db, "SELECT COUNT(*) FROM t", &[]).unwrap();
+    assert_eq!(data.rowset().unwrap().rows[0][0], Value::Int(3));
+}
+
+#[test]
+fn idle_chaos_layer_is_invisible_in_the_statistics() {
+    // Plain bus, plain clients — the pre-chaos baseline.
+    let baseline = build_stack(None);
+    run_read_sweep(&baseline);
+
+    // Retry-configured clients on a healthy bus: no visible difference.
+    let with_retry = build_stack(Some(7));
+    run_read_sweep(&with_retry);
+
+    // An installed injector with no policies: still no difference.
+    let with_idle_injector = build_stack(Some(7));
+    let injector = FaultInjector::new(7);
+    with_idle_injector.bus.add_interceptor(Arc::new(injector.clone()));
+    run_read_sweep(&with_idle_injector);
+
+    let base = baseline.bus.stats();
+    assert_eq!(base, with_retry.bus.stats());
+    assert_eq!(base, with_idle_injector.bus.stats());
+    assert_eq!(injector.snapshot(), InjectorSnapshot::default());
+    assert_eq!(
+        baseline.bus.endpoint_stats(SQL_ADDR),
+        with_idle_injector.bus.endpoint_stats(SQL_ADDR)
+    );
+    assert_eq!(base.injected, 0);
+    assert_eq!(base.retries, 0);
+    assert!(base.faults == 0 && base.messages > 0);
+}

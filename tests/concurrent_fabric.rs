@@ -43,9 +43,16 @@ fn mixed_fabric_under_concurrency() {
                             .unwrap();
                         }
                         let data = c
-                            .execute(&rel_name, "SELECT COUNT(*) FROM hits WHERE worker = ?", &[Value::Int(w as i64)])
+                            .execute(
+                                &rel_name,
+                                "SELECT COUNT(*) FROM hits WHERE worker = ?",
+                                &[Value::Int(w as i64)],
+                            )
                             .unwrap();
-                        assert_eq!(data.rowset().unwrap().rows[0][0], Value::Int(iterations as i64));
+                        assert_eq!(
+                            data.rowset().unwrap().rows[0][0],
+                            Value::Int(iterations as i64)
+                        );
                     }
                     1 => {
                         // XML consumer: documents + queries.
@@ -60,33 +67,41 @@ fn mixed_fabric_under_concurrency() {
                             )
                             .unwrap();
                         }
-                        let hits =
-                            c.xpath(&xml_name, &format!("/e[@worker = {w}]")).unwrap();
+                        let hits = c.xpath(&xml_name, &format!("/e[@worker = {w}]")).unwrap();
                         assert_eq!(hits.len(), iterations);
                     }
                     _ => {
                         // File consumer: write + list through the wire.
                         let c = dais::soap::ServiceClient::new(bus, "bus://files");
                         for i in 0..iterations {
-                            let body = dais::core::messages::request("WriteFileRequest", &files_name)
-                                .with_child(
-                                    dais::xml::XmlElement::new(dais::daif::WSDAIF_NS, "wsdaif", "Path")
+                            let body =
+                                dais::core::messages::request("WriteFileRequest", &files_name)
+                                    .with_child(
+                                        dais::xml::XmlElement::new(
+                                            dais::daif::WSDAIF_NS,
+                                            "wsdaif",
+                                            "Path",
+                                        )
                                         .with_text(format!("w{w}/f{i}.bin")),
-                                )
-                                .with_child(
-                                    dais::xml::XmlElement::new(
-                                        dais::daif::WSDAIF_NS,
-                                        "wsdaif",
-                                        "Contents",
                                     )
-                                    .with_text(dais::daif::base64::encode(&[w as u8, i as u8])),
-                                );
+                                    .with_child(
+                                        dais::xml::XmlElement::new(
+                                            dais::daif::WSDAIF_NS,
+                                            "wsdaif",
+                                            "Contents",
+                                        )
+                                        .with_text(dais::daif::base64::encode(&[w as u8, i as u8])),
+                                    );
                             c.request(dais::daif::actions::WRITE_FILE, body).unwrap();
                         }
                         let body = dais::core::messages::request("ListFilesRequest", &files_name)
                             .with_child(
-                                dais::xml::XmlElement::new(dais::daif::WSDAIF_NS, "wsdaif", "Pattern")
-                                    .with_text(format!("w{w}/*")),
+                                dais::xml::XmlElement::new(
+                                    dais::daif::WSDAIF_NS,
+                                    "wsdaif",
+                                    "Pattern",
+                                )
+                                .with_text(format!("w{w}/*")),
                             );
                         let resp = c.request(dais::daif::actions::LIST_FILES, body).unwrap();
                         assert_eq!(
@@ -131,8 +146,7 @@ fn concurrent_derivation_and_destruction() {
                 let c = SqlClient::new(bus, "bus://race");
                 for _ in 0..15 {
                     let epr = c.execute_factory(&name, "SELECT * FROM t", &[], None, None).unwrap();
-                    let derived =
-                        AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
+                    let derived = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
                     let rowset = c.get_sql_rowset(&derived, 1).unwrap();
                     assert_eq!(rowset.row_count(), 3);
                     c.core().destroy(&derived).unwrap();

@@ -66,9 +66,8 @@ fn invalid_dataset_format_fault() {
 #[test]
 fn invalid_port_type_fault() {
     let (_, client, db) = setup();
-    let err = client
-        .execute_factory(&db, "SELECT 1", &[], Some("wsdair:NoSuchPT"), None)
-        .unwrap_err();
+    let err =
+        client.execute_factory(&db, "SELECT 1", &[], Some("wsdair:NoSuchPT"), None).unwrap_err();
     assert_eq!(err.dais_fault(), Some(DaisFault::InvalidPortType));
 }
 
@@ -79,8 +78,9 @@ fn invalid_configuration_document_fault() {
     let mut body = dais::core::messages::request("SQLExecuteFactoryRequest", &db);
     body.push(XmlElement::new(ns::WSDAIR, "wsdair", "SQLExpression").with_text("SELECT 1"));
     body.push(
-        XmlElement::new(ns::WSDAI, "wsdai", "ConfigurationDocument")
-            .with_child(XmlElement::new(ns::WSDAI, "wsdai", "Sensitivity").with_text("Clairvoyant")),
+        XmlElement::new(ns::WSDAI, "wsdai", "ConfigurationDocument").with_child(
+            XmlElement::new(ns::WSDAI, "wsdai", "Sensitivity").with_text("Clairvoyant"),
+        ),
     );
     let out = bus
         .call("bus://faults", dais::dair::actions::SQL_EXECUTE_FACTORY, &Envelope::with_body(body))

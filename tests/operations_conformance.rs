@@ -38,9 +38,7 @@ fn core_operations_inventory() {
     let epr = client.core().resolve(&svc.db_resource).unwrap();
     assert_eq!(epr.address, "bus://conf");
     // DestroyDataResource
-    let derived = client
-        .execute_factory(&svc.db_resource, "SELECT 1", &[], None, None)
-        .unwrap();
+    let derived = client.execute_factory(&svc.db_resource, "SELECT 1", &[], None, None).unwrap();
     let derived_name = AbstractName::new(derived.resource_abstract_name().unwrap()).unwrap();
     client.core().destroy(&derived_name).unwrap();
 }
@@ -125,7 +123,11 @@ fn direct_access_message_pattern_conformance() {
     assert!(request.child(ns::WSDAIR, "SQLExpression").is_some());
 
     let response = bus
-        .call("bus://conf", dais::dair::actions::SQL_EXECUTE, &dais::soap::Envelope::with_body(request))
+        .call(
+            "bus://conf",
+            dais::dair::actions::SQL_EXECUTE,
+            &dais::soap::Envelope::with_body(request),
+        )
         .unwrap()
         .unwrap();
     let payload = response.payload().unwrap();
@@ -167,10 +169,7 @@ fn indirect_access_message_pattern_conformance() {
     assert_eq!(props.description, "my derived view");
     assert_eq!(props.sensitivity, Sensitivity::Sensitive);
     assert_eq!(props.parent.as_ref(), Some(&svc.db_resource));
-    assert_eq!(
-        props.management,
-        dais::core::properties::ResourceManagementKind::ServiceManaged
-    );
+    assert_eq!(props.management, dais::core::properties::ResourceManagementKind::ServiceManaged);
 }
 
 /// §4.3: destroy semantics differ by management class — destroying the
@@ -205,9 +204,7 @@ fn dataset_map_governs_return_formats() {
         .unwrap_err();
     assert_eq!(err.dais_fault(), Some(DaisFault::InvalidDatasetFormat));
     // The advertised WebRowSet format works.
-    client
-        .execute_with_format(&svc.db_resource, ns::ROWSET, "SELECT 1", &[])
-        .unwrap();
+    client.execute_with_format(&svc.db_resource, ns::ROWSET, "SELECT 1", &[]).unwrap();
 }
 
 /// Property documents parse into the typed model and back identically

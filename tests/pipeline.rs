@@ -86,9 +86,8 @@ fn full_figure5_flow() {
 
     // Consumer 2 → Data Service 2: SQLRowsetFactory.
     let c2 = SqlClient::from_epr(p.bus.clone(), response_epr);
-    let rowset_epr = c2
-        .rowset_factory(&response_name, None, Some("wsdair:SQLRowsetAccessPT"))
-        .unwrap();
+    let rowset_epr =
+        c2.rowset_factory(&response_name, None, Some("wsdair:SQLRowsetAccessPT")).unwrap();
     assert_eq!(rowset_epr.address, "bus://p3", "rowset resource lives on Data Service 3");
     let rowset_name = AbstractName::new(rowset_epr.resource_abstract_name().unwrap()).unwrap();
     assert_eq!(p.svc3.registry.len(), 1);
@@ -120,9 +119,8 @@ fn full_figure5_flow() {
 fn data_flows_only_where_pulled() {
     let p = build_pipeline(400);
     let c1 = SqlClient::new(p.bus.clone(), "bus://p1");
-    let response_epr = c1
-        .execute_factory(&p.db_resource, "SELECT * FROM item", &[], None, None)
-        .unwrap();
+    let response_epr =
+        c1.execute_factory(&p.db_resource, "SELECT * FROM item", &[], None, None).unwrap();
     let response_name = AbstractName::new(response_epr.resource_abstract_name().unwrap()).unwrap();
     let c2 = SqlClient::from_epr(p.bus.clone(), response_epr);
     let rowset_epr = c2.rowset_factory(&response_name, None, None).unwrap();
@@ -160,9 +158,8 @@ fn shortcut_single_service_deployment_matches() {
     let svc = RelationalService::launch(&bus, "bus://single", db, Default::default());
     let client = SqlClient::new(bus.clone(), "bus://single");
 
-    let response_epr = client
-        .execute_factory(&svc.db_resource, "SELECT id FROM item", &[], None, None)
-        .unwrap();
+    let response_epr =
+        client.execute_factory(&svc.db_resource, "SELECT id FROM item", &[], None, None).unwrap();
     assert_eq!(response_epr.address, "bus://single");
     let response_name = AbstractName::new(response_epr.resource_abstract_name().unwrap()).unwrap();
     let rowset_epr = client.rowset_factory(&response_name, None, None).unwrap();

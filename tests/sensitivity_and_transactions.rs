@@ -9,8 +9,11 @@ use std::sync::Arc;
 fn setup(rows_sql: &str) -> (Bus, SqlClient, AbstractName) {
     let bus = Bus::new();
     let db = Database::new("s");
-    db.execute("CREATE TABLE acct (id INTEGER PRIMARY KEY, balance DOUBLE, CHECK (balance >= 0))", &[])
-        .unwrap();
+    db.execute(
+        "CREATE TABLE acct (id INTEGER PRIMARY KEY, balance DOUBLE, CHECK (balance >= 0))",
+        &[],
+    )
+    .unwrap();
     db.execute(rows_sql, &[]).unwrap();
     let svc = RelationalService::launch(&bus, "bus://s", db, Default::default());
     (bus.clone(), SqlClient::new(bus, "bus://s"), svc.db_resource)
@@ -56,10 +59,9 @@ fn sensitivity_controls_derived_freshness() {
 #[test]
 fn sensitive_resource_faults_if_parent_schema_vanishes() {
     let (_, client, db) = setup("INSERT INTO acct VALUES (1, 1.0)");
-    let config = ConfigurationDocument { sensitivity: Some(Sensitivity::Sensitive), ..Default::default() };
-    let epr = client
-        .execute_factory(&db, "SELECT * FROM acct", &[], None, Some(&config))
-        .unwrap();
+    let config =
+        ConfigurationDocument { sensitivity: Some(Sensitivity::Sensitive), ..Default::default() };
+    let epr = client.execute_factory(&db, "SELECT * FROM acct", &[], None, Some(&config)).unwrap();
     let live = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
     client.execute(&db, "DROP TABLE acct", &[]).unwrap();
     // Re-evaluation now fails — surfaced as a DAIS fault, not a panic.
@@ -145,9 +147,8 @@ fn concurrent_factories() {
             let db = db.clone();
             std::thread::spawn(move || {
                 let client = SqlClient::new(bus, "bus://s");
-                let epr = client
-                    .execute_factory(&db, "SELECT * FROM acct", &[], None, None)
-                    .unwrap();
+                let epr =
+                    client.execute_factory(&db, "SELECT * FROM acct", &[], None, None).unwrap();
                 AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap()
             })
         })
@@ -175,7 +176,8 @@ fn communication_area_diagnostics() {
     assert_eq!(data.communication_area.sqlstate, "02000");
     assert_eq!(data.update_count(), Some(0));
 
-    let epr = client.execute_factory(&db, "SELECT * FROM acct WHERE id = 999", &[], None, None).unwrap();
+    let epr =
+        client.execute_factory(&db, "SELECT * FROM acct WHERE id = 999", &[], None, None).unwrap();
     let name = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
     let comm = client.get_sql_communication_area(&name).unwrap();
     assert_eq!(comm.sqlstate, "02000");
@@ -193,8 +195,9 @@ fn thick_wrapper_rewrites_e2e() {
     )
     .unwrap();
     // The thick wrapper redirects every statement to a canned audit query.
-    let rewriter: dais::core::service::QueryRewriter =
-        Arc::new(|lang: &str, _expr: &str| (lang.to_string(), "SELECT COUNT(*) FROM t".to_string()));
+    let rewriter: dais::core::service::QueryRewriter = Arc::new(|lang: &str, _expr: &str| {
+        (lang.to_string(), "SELECT COUNT(*) FROM t".to_string())
+    });
     let svc = RelationalService::launch(
         &bus,
         "bus://thick",

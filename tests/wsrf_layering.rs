@@ -16,8 +16,10 @@ use std::sync::Arc;
 
 fn seeded() -> Database {
     let db = Database::new("w");
-    db.execute_script("CREATE TABLE t (a INTEGER PRIMARY KEY); INSERT INTO t VALUES (1), (2), (3);")
-        .unwrap();
+    db.execute_script(
+        "CREATE TABLE t (a INTEGER PRIMARY KEY); INSERT INTO t VALUES (1), (2), (3);",
+    )
+    .unwrap();
     db
 }
 

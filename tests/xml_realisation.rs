@@ -114,16 +114,16 @@ fn generic_query_is_uniform_across_realisations() {
     let core_xml = dais::core::CoreClient::new(bus.clone(), "bus://gxml");
 
     // Each resource advertises its languages...
-    let rel_langs = core_rel.get_property_document(&rel.db_resource).unwrap().generic_query_languages;
+    let rel_langs =
+        core_rel.get_property_document(&rel.db_resource).unwrap().generic_query_languages;
     let xml_langs =
         core_xml.get_property_document(&xsvc.root_collection).unwrap().generic_query_languages;
     assert!(rel_langs.contains(&dais::dair::resources::SQL_LANGUAGE_URI.to_string()));
     assert!(xml_langs.contains(&dais::daix::languages::XPATH.to_string()));
 
     // ...and serves them through the same operation.
-    let rows = core_rel
-        .generic_query(&rel.db_resource, &rel_langs[0], "SELECT COUNT(*) FROM t")
-        .unwrap();
+    let rows =
+        core_rel.generic_query(&rel.db_resource, &rel_langs[0], "SELECT COUNT(*) FROM t").unwrap();
     assert!(!rows.is_empty());
     let nodes = core_xml
         .generic_query(&xsvc.root_collection, dais::daix::languages::XPATH, "/r/a")
@@ -170,9 +170,12 @@ fn daif_realisation_follows_the_family_pattern() {
     // And it pages.
     let body = dais::core::messages::request("GetFileSetMembersRequest", &set)
         .with_child(
-            dais::xml::XmlElement::new(dais::daif::WSDAIF_NS, "wsdaif", "StartPosition").with_text("4"),
+            dais::xml::XmlElement::new(dais::daif::WSDAIF_NS, "wsdaif", "StartPosition")
+                .with_text("4"),
         )
-        .with_child(dais::xml::XmlElement::new(dais::daif::WSDAIF_NS, "wsdaif", "Count").with_text("10"));
+        .with_child(
+            dais::xml::XmlElement::new(dais::daif::WSDAIF_NS, "wsdaif", "Count").with_text("10"),
+        );
     let resp = client.request(dais::daif::actions::GET_FILE_SET_MEMBERS, body).unwrap();
     assert_eq!(resp.children_named(dais::daif::WSDAIF_NS, "File").count(), 2);
 }
