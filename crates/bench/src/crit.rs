@@ -113,11 +113,10 @@ impl Bencher {
     }
 
     fn report(&self, group: &str, label: &str) {
-        if self.samples.is_empty() {
+        let Some(min) = self.samples.iter().min() else {
             println!("  {group}/{label}: no samples (closure never called iter)");
             return;
-        }
-        let min = self.samples.iter().min().unwrap();
+        };
         let total: Duration = self.samples.iter().sum();
         let mean = total / self.samples.len() as u32;
         println!(

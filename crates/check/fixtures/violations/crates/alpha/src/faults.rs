@@ -1,0 +1,6 @@
+//! Fixture fault construction with a name outside the taxonomy that the
+//! fixture `soap/src/fault.rs` declares: unknown-fault-name.
+
+pub fn fail() -> Fault {
+    Fault::named("BogusFault")
+}

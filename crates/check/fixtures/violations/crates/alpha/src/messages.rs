@@ -1,0 +1,14 @@
+//! Fixture action constants seeding inventory and uniqueness lints.
+
+pub mod actions {
+    pub const GET_THING: &str = "http://www.ggf.org/namespaces/2005/12/WS-DAIT/GetThing";
+    // Same URI as GET_THING: duplicate-action-uri.
+    pub const GET_THING_ALIAS: &str = "http://www.ggf.org/namespaces/2005/12/WS-DAIT/GetThing";
+    pub const DELETE_THING: &str = "http://www.ggf.org/namespaces/2005/12/WS-DAIT/DeleteThing";
+    // Not listed in ALL: inventory-missing.
+    pub const ORPHAN_OP: &str = "http://www.ggf.org/namespaces/2005/12/WS-DAIT/OrphanOp";
+    pub const LONELY_REGISTERED: &str =
+        "http://www.ggf.org/namespaces/2005/12/WS-DAIT/LonelyRegistered";
+
+    pub const ALL: &[&str] = &[GET_THING, GET_THING_ALIAS, DELETE_THING, LONELY_REGISTERED];
+}

@@ -1,0 +1,7 @@
+//! Fixture property document builder with a name outside the paper's
+//! property tables: unknown-property-name.
+
+pub fn build(doc: &Document) {
+    doc.child(ns::WSDAI, "MadeUpProperty");
+    doc.child(ns::WSDAI, "Readable"); // canonical, no violation
+}

@@ -1,0 +1,8 @@
+//! Fixture service seeding the register-side lint.
+
+use crate::actions;
+
+pub fn register_ops(dispatcher: &mut Dispatcher) {
+    // Registered but no client ever sends it: unreachable-registration.
+    dispatcher.register(actions::LONELY_REGISTERED, handler);
+}

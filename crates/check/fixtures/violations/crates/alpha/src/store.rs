@@ -1,0 +1,4 @@
+//! Fixture file with zero unwraps; the allowlist entry claiming five is
+//! stale: stale-allowlist.
+
+pub fn nothing() {}

@@ -1,0 +1,5 @@
+//! Fixture fault taxonomy: exactly one legal fault name.
+
+pub fn name() -> &'static str {
+    "KnownFault"
+}

@@ -1,0 +1,50 @@
+//! Command-line front end for the workspace static checks.
+//!
+//! Usage: `cargo run -p dais-check [-- --root <workspace-dir>]`
+//!
+//! Exits 0 when the scan is clean, 1 when violations are found, and 2
+//! on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("dais-check: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: dais-check [--root <workspace-dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dais-check: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default to the workspace this binary was built from.
+    let root = root.unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")));
+
+    match dais_check::check_workspace(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("dais-check: scan failed under {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

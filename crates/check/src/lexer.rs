@@ -1,0 +1,331 @@
+//! A minimal Rust token scanner.
+//!
+//! The checks in this crate only need four token classes — identifiers,
+//! string literals, punctuation and everything-else — but they need them
+//! *correctly*: a SOAP action URI inside a doc comment must not count as
+//! a use site, a brace inside a string must not unbalance `#[cfg(test)]`
+//! stripping, and `'a'` (a char) must not be confused with `'a` (a
+//! lifetime). This scanner handles exactly those cases and nothing more;
+//! it is not a general Rust lexer.
+
+/// Token classes the checks care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw `r#ident` forms).
+    Ident,
+    /// A string literal; `text` holds the (lightly unescaped) content.
+    Str,
+    /// A single punctuation byte; `text` holds it verbatim.
+    Punct,
+}
+
+/// One token plus the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl Token {
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+}
+
+/// Tokenise `src`, dropping comments and whitespace.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if b.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comments nest in Rust.
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let start_line = line;
+                let (text, next, lines) = scan_string(bytes, i + 1);
+                tokens.push(Token { kind: TokenKind::Str, text, line: start_line });
+                line += lines;
+                i = next;
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                let start_line = line;
+                let hash_start = if b == b'b' { i + 2 } else { i + 1 };
+                let hashes = count_hashes(bytes, hash_start);
+                let (text, next, lines) = scan_raw_string(bytes, hash_start + hashes + 1, hashes);
+                tokens.push(Token { kind: TokenKind::Str, text, line: start_line });
+                line += lines;
+                i = next;
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'"') => {
+                let start_line = line;
+                let (text, next, lines) = scan_string(bytes, i + 2);
+                tokens.push(Token { kind: TokenKind::Str, text, line: start_line });
+                line += lines;
+                i = next;
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'\'') => {
+                i = skip_char_literal(bytes, i + 2);
+            }
+            b'\'' => {
+                if char_literal_follows(bytes, i + 1) {
+                    i = skip_char_literal(bytes, i + 1);
+                } else {
+                    // A lifetime: consume the identifier after the quote.
+                    i += 1;
+                    while i < bytes.len() && is_ident_byte(bytes[i]) {
+                        i += 1;
+                    }
+                }
+            }
+            _ if b == b'_' || b.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len() && is_ident_byte(bytes[i]) {
+                    i += 1;
+                }
+                // `r#ident` raw identifiers: the `r#` was not a raw string
+                // (checked above), so a lone `#` between `r` and an ident
+                // only occurs in that form and is skipped here.
+                let mut text = &src[start..i];
+                if text == "r" && bytes.get(i) == Some(&b'#') && char_starts_ident(bytes, i + 1) {
+                    let word_start = i + 1;
+                    i += 1;
+                    while i < bytes.len() && is_ident_byte(bytes[i]) {
+                        i += 1;
+                    }
+                    text = &src[word_start..i];
+                }
+                tokens.push(Token { kind: TokenKind::Ident, text: text.to_string(), line });
+            }
+            _ if b.is_ascii_digit() => {
+                // Numbers are irrelevant to every check; consume greedily.
+                while i < bytes.len() && is_ident_byte(bytes[i]) {
+                    i += 1;
+                }
+            }
+            _ => {
+                tokens.push(Token { kind: TokenKind::Punct, text: (b as char).to_string(), line });
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+fn char_starts_ident(bytes: &[u8], i: usize) -> bool {
+    bytes.get(i).is_some_and(|&b| b == b'_' || b.is_ascii_alphabetic())
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let j = if bytes[i] == b'b' {
+        if bytes.get(i + 1) != Some(&b'r') {
+            return false;
+        }
+        i + 2
+    } else {
+        i + 1
+    };
+    let hashes = count_hashes(bytes, j);
+    bytes.get(j + hashes) == Some(&b'"')
+}
+
+fn count_hashes(bytes: &[u8], mut i: usize) -> usize {
+    let start = i;
+    while bytes.get(i) == Some(&b'#') {
+        i += 1;
+    }
+    i - start
+}
+
+/// Scan a non-raw string body starting just after the opening quote.
+/// Returns (content, index past closing quote, newlines crossed).
+fn scan_string(bytes: &[u8], mut i: usize) -> (String, usize, usize) {
+    let mut out = String::new();
+    let mut lines = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return (out, i + 1, lines),
+            b'\\' => {
+                match bytes.get(i + 1) {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'"') => out.push('"'),
+                    // Other escapes (\u{..}, \0, line continuations) never
+                    // occur in the vocabularies being checked; keep the
+                    // raw bytes so the literal simply fails any lookup.
+                    Some(&c) => {
+                        out.push('\\');
+                        out.push(c as char);
+                    }
+                    None => {}
+                }
+                i += 2;
+            }
+            b'\n' => {
+                lines += 1;
+                out.push('\n');
+                i += 1;
+            }
+            c => {
+                out.push(c as char);
+                i += 1;
+            }
+        }
+    }
+    (out, i, lines)
+}
+
+/// Scan a raw string body; the closing delimiter is `"` plus `hashes` `#`s.
+fn scan_raw_string(bytes: &[u8], mut i: usize, hashes: usize) -> (String, usize, usize) {
+    let mut out = String::new();
+    let mut lines = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"'
+            && bytes[i + 1..].iter().take(hashes).filter(|&&b| b == b'#').count() == hashes
+        {
+            return (out, i + 1 + hashes, lines);
+        }
+        if bytes[i] == b'\n' {
+            lines += 1;
+        }
+        out.push(bytes[i] as char);
+        i += 1;
+    }
+    (out, i, lines)
+}
+
+fn skip_char_literal(bytes: &[u8], mut i: usize) -> usize {
+    if bytes.get(i) == Some(&b'\\') {
+        i += 2; // escape plus escaped byte; covers \' \\ \n \u's opening
+        while i < bytes.len() && bytes[i] != b'\'' {
+            i += 1; // tail of \u{...} forms
+        }
+        return i + 1;
+    }
+    // A plain char, possibly multi-byte UTF-8: scan to the closing quote.
+    while i < bytes.len() && bytes[i] != b'\'' {
+        i += 1;
+    }
+    i + 1
+}
+
+/// Does a char literal (as opposed to a lifetime) start at `i`, just
+/// after an opening `'`? `'a'` is a char; `'a` in `&'a str` is not.
+fn char_literal_follows(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i) {
+        Some(b'\\') => true,
+        Some(&b) if b != b'\'' => {
+            // Find the end of what would be the char's content.
+            let mut j = i + 1;
+            if !b.is_ascii() {
+                while j < bytes.len() && bytes[j] & 0xC0 == 0x80 {
+                    j += 1;
+                }
+            }
+            bytes.get(j) == Some(&b'\'')
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_strings_punct() {
+        let toks = kinds(r#"let x = "hi"; "#);
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Punct, "=".into()),
+                (TokenKind::Str, "hi".into()),
+                (TokenKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_dropped() {
+        let toks = kinds("a // \"not a string\"\n/* b /* nested */ */ c");
+        assert_eq!(toks, vec![(TokenKind::Ident, "a".into()), (TokenKind::Ident, "c".into())]);
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let toks = kinds(r##"r#"a "quoted" b"# "esc\"aped" "##);
+        assert_eq!(
+            toks,
+            vec![(TokenKind::Str, "a \"quoted\" b".into()), (TokenKind::Str, "esc\"aped".into()),]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("&'a str 'x' '\\n' b'z'");
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert!(strs.is_empty());
+        let idents: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Ident).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(idents, vec!["str"]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_strings() {
+        let toks = tokenize("a\n\"x\ny\"\nb");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2); // the string starts on line 2
+        assert_eq!(toks[2].line, 4); // b lands after the embedded newline
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("r#type x");
+        assert_eq!(toks, vec![(TokenKind::Ident, "type".into()), (TokenKind::Ident, "x".into())]);
+    }
+}

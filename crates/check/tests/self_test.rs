@@ -1,0 +1,123 @@
+//! Self-tests: the fixture tree under `fixtures/violations/` seeds one
+//! deliberate violation of every lint, and the real workspace stays
+//! clean. One test per lint so a regression names the broken check.
+
+use dais_check::{check_workspace, Report, Violation};
+use std::path::{Path, PathBuf};
+
+fn fixtures_report() -> Report {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/violations");
+    check_workspace(&root).expect("fixture scan")
+}
+
+fn find<'a>(report: &'a Report, lint: &str) -> Vec<&'a Violation> {
+    report.violations.iter().filter(|v| v.lint == lint).collect()
+}
+
+fn assert_fires(lint: &str, in_file: &str) -> Vec<(PathBuf, usize, String)> {
+    let report = fixtures_report();
+    let hits = find(&report, lint);
+    assert!(
+        !hits.is_empty(),
+        "fixtures did not trip `{lint}`; tripped: {:?}",
+        report.violations.iter().map(|v| v.lint).collect::<Vec<_>>()
+    );
+    assert!(
+        hits.iter().any(|v| v.file.to_string_lossy().replace('\\', "/").contains(in_file)),
+        "`{lint}` did not fire in {in_file}: {hits:?}"
+    );
+    hits.iter().map(|v| (v.file.clone(), v.line, v.message.clone())).collect()
+}
+
+#[test]
+fn trips_unregistered_send() {
+    assert_fires("unregistered-send", "alpha/src/client.rs");
+}
+
+#[test]
+fn trips_unreachable_registration() {
+    let hits = assert_fires("unreachable-registration", "alpha/src/service.rs");
+    assert!(hits[0].2.contains("LonelyRegistered"));
+}
+
+#[test]
+fn trips_unknown_idempotency_action() {
+    let hits = assert_fires("unknown-idempotency-action", "alpha/src/client.rs");
+    assert!(hits[0].2.contains("NOT_A_CONST"));
+}
+
+#[test]
+fn trips_non_idempotent_marked() {
+    let hits = assert_fires("non-idempotent-marked", "alpha/src/client.rs");
+    assert!(hits[0].2.contains("DELETE_THING"));
+}
+
+#[test]
+fn trips_raw_action_literal() {
+    assert_fires("raw-action-literal", "alpha/src/client.rs");
+}
+
+#[test]
+fn trips_action_uri_mismatch() {
+    let hits = assert_fires("action-uri-mismatch", "alpha/src/client.rs");
+    assert!(hits[0].2.contains("GetThingg"));
+}
+
+#[test]
+fn trips_duplicate_action_uri() {
+    let hits = assert_fires("duplicate-action-uri", "alpha/src/messages.rs");
+    assert!(hits[0].2.contains("GET_THING_ALIAS"));
+}
+
+#[test]
+fn trips_inventory_missing() {
+    let hits = assert_fires("inventory-missing", "alpha/src/messages.rs");
+    assert!(hits[0].2.contains("ORPHAN_OP"));
+}
+
+#[test]
+fn trips_unknown_fault_name() {
+    let hits = assert_fires("unknown-fault-name", "alpha/src/faults.rs");
+    assert!(hits[0].2.contains("BogusFault"));
+}
+
+#[test]
+fn trips_unknown_property_name() {
+    let hits = assert_fires("unknown-property-name", "alpha/src/properties.rs");
+    assert!(hits[0].2.contains("MadeUpProperty"));
+    // The canonical name on the next line stays silent.
+    assert_eq!(hits.len(), 1);
+}
+
+#[test]
+fn trips_unwrap_in_library() {
+    assert_fires("unwrap-in-library", "alpha/src/client.rs");
+}
+
+#[test]
+fn trips_stale_allowlist_both_ways() {
+    let report = fixtures_report();
+    let hits = find(&report, "stale-allowlist");
+    // One undershot entry (store.rs) and one entry naming no file.
+    assert_eq!(hits.len(), 2, "{hits:?}");
+    assert!(hits.iter().any(|v| v.message.contains("store.rs")));
+    assert!(hits.iter().any(|v| v.message.contains("missing.rs")));
+}
+
+#[test]
+fn fixture_scan_is_not_clean_and_renders_rustc_style() {
+    let report = fixtures_report();
+    assert!(!report.is_clean());
+    let rendered = report.render();
+    assert!(rendered.contains("error[dais-check::unregistered-send]:"));
+    assert!(rendered.contains("  --> "));
+    assert!(rendered.contains("violation(s)"));
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = check_workspace(&root).expect("workspace scan");
+    assert!(report.is_clean(), "\n{}", report.render());
+    assert!(report.files_scanned > 50, "suspiciously few files scanned");
+}

@@ -25,8 +25,9 @@ pub fn cim_description(db: &Database) -> XmlElement {
         let mut names = storage.table_names();
         names.sort();
         for name in names {
-            let table = storage.table(&name).expect("listed tables exist");
-            root.push(render_table(table));
+            if let Ok(table) = storage.table(&name) {
+                root.push(render_table(table));
+            }
         }
     });
     root

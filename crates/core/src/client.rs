@@ -157,6 +157,22 @@ impl CoreClient {
         Ok(response.elements().cloned().collect())
     }
 
+    /// WSRF `GetMultipleResourceProperties`: fetch several properties
+    /// (by lexical QName) in one round trip.
+    pub fn get_multiple_resource_properties(
+        &self,
+        resource: &AbstractName,
+        lexical_qnames: &[&str],
+    ) -> Result<Vec<XmlElement>, CallError> {
+        let mut req = messages::request("GetMultipleResourcePropertiesRequest", resource);
+        for q in lexical_qnames {
+            req.push(XmlElement::new(ns::WSRF_RP, "wsrf-rp", "ResourceProperty").with_text(*q));
+        }
+        let response =
+            self.inner.request(dais_wsrf::actions::GET_MULTIPLE_RESOURCE_PROPERTIES, req)?;
+        Ok(response.elements().cloned().collect())
+    }
+
     /// WSRF `QueryResourceProperties` with an XPath expression.
     pub fn query_resource_properties(
         &self,
@@ -166,6 +182,23 @@ impl CoreClient {
         let mut req = messages::request("QueryResourcePropertiesRequest", resource);
         req.push(XmlElement::new(ns::WSRF_RP, "wsrf-rp", "QueryExpression").with_text(xpath));
         self.inner.request(dais_wsrf::actions::QUERY_RESOURCE_PROPERTIES, req)
+    }
+
+    /// WSRF `SetResourceProperties`: update the given property elements
+    /// on the resource. Only configurable properties are accepted; the
+    /// service faults with `NotAuthorized` for read-only ones.
+    pub fn set_resource_properties(
+        &self,
+        resource: &AbstractName,
+        updates: &[XmlElement],
+    ) -> Result<(), CallError> {
+        let mut req = messages::request("SetResourcePropertiesRequest", resource);
+        let mut update = XmlElement::new(ns::WSRF_RP, "wsrf-rp", "Update");
+        for u in updates {
+            update.push(u.clone());
+        }
+        req.push(update);
+        self.inner.request(dais_wsrf::actions::SET_RESOURCE_PROPERTIES, req).map(|_| ())
     }
 
     /// WSRF `SetTerminationTime` with a lifetime duration in clock

@@ -20,6 +20,15 @@ pub mod actions {
     pub const GET_RESOURCE_LIST: &str =
         "http://www.ggf.org/namespaces/2005/12/WS-DAI/GetResourceList";
     pub const RESOLVE: &str = "http://www.ggf.org/namespaces/2005/12/WS-DAI/Resolve";
+
+    /// The complete WS-DAI core inventory, for conformance tests.
+    pub const ALL: &[&str] = &[
+        GET_DATA_RESOURCE_PROPERTY_DOCUMENT,
+        DESTROY_DATA_RESOURCE,
+        GENERIC_QUERY,
+        GET_RESOURCE_LIST,
+        RESOLVE,
+    ];
 }
 
 /// Build a request element carrying the mandatory abstract name.

@@ -35,6 +35,17 @@ pub trait DataResource: Send + Sync {
         ))
     }
 
+    /// Service one property update from the WSRF `SetResourceProperties`
+    /// operation (Figure 7). The default refuses: most DAIS properties
+    /// are descriptive and read-only. Resources with configurable
+    /// properties override this for the subset they accept.
+    fn set_property(&self, property: &XmlElement) -> Result<(), Fault> {
+        Err(Fault::dais(
+            DaisFault::NotAuthorized,
+            format!("property '{}' is read-only on this resource", property.name.local),
+        ))
+    }
+
     /// Downcast hook so realisations can recover their concrete types
     /// from the shared registry.
     fn as_any(&self) -> &dyn Any;
@@ -42,9 +53,13 @@ pub trait DataResource: Send + Sync {
 
 /// A trivial in-memory resource used by tests and the thin examples: it
 /// stores a property set and a fixed payload served via `GenericQuery`
-/// with the pseudo-language `urn:echo`.
+/// with the pseudo-language `urn:echo`. Its description and access
+/// flags are configurable through WSRF `SetResourceProperties`.
 pub struct StaticResource {
-    properties: CoreProperties,
+    /// The abstract name is immutable for the resource's lifetime, so it
+    /// is kept outside the lock and served without synchronisation.
+    name: AbstractName,
+    properties: dais_util::sync::RwLock<CoreProperties>,
     payload: Vec<XmlElement>,
 }
 
@@ -53,17 +68,51 @@ impl StaticResource {
         if !properties.generic_query_languages.iter().any(|l| l == "urn:echo") {
             properties.generic_query_languages.push("urn:echo".to_string());
         }
-        StaticResource { properties, payload }
+        StaticResource {
+            name: properties.abstract_name.clone(),
+            properties: dais_util::sync::RwLock::new(properties),
+            payload,
+        }
     }
 }
 
 impl DataResource for StaticResource {
     fn abstract_name(&self) -> &AbstractName {
-        &self.properties.abstract_name
+        &self.name
     }
 
     fn core_properties(&self) -> CoreProperties {
-        self.properties.clone()
+        self.properties.read().clone()
+    }
+
+    fn set_property(&self, property: &XmlElement) -> Result<(), Fault> {
+        let parse_flag = |p: &XmlElement| match p.text().trim() {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            other => Err(Fault::dais(
+                DaisFault::InvalidConfigurationDocument,
+                format!("'{other}' is not a boolean for {}", p.name.local),
+            )),
+        };
+        if !property.name.is(dais_xml::ns::WSDAI, &property.name.local) {
+            return Err(Fault::dais(
+                DaisFault::NotAuthorized,
+                format!("property '{}' is read-only on this resource", property.name.local),
+            ));
+        }
+        let mut props = self.properties.write();
+        match property.name.local.as_str() {
+            "DataResourceDescription" => props.description = property.text().trim().to_string(),
+            "Readable" => props.readable = parse_flag(property)?,
+            "Writeable" => props.writeable = parse_flag(property)?,
+            other => {
+                return Err(Fault::dais(
+                    DaisFault::NotAuthorized,
+                    format!("property '{other}' is read-only on this resource"),
+                ))
+            }
+        }
+        Ok(())
     }
 
     fn generic_query(&self, language: &str, _expression: &str) -> Result<Vec<XmlElement>, Fault> {

@@ -293,6 +293,31 @@ pub fn register_wsrf_ops(dispatcher: &mut SoapDispatcher, ctx: Arc<ServiceContex
     });
 
     let c = ctx.clone();
+    dispatcher.register(wsrf_actions::SET_RESOURCE_PROPERTIES, move |req: &Envelope| {
+        let body = payload(req)?;
+        let resource = c.resolve_resource(body)?;
+        let mut touched = 0usize;
+        for update in body.children_named(ns::WSRF_RP, "Update") {
+            for property in update.elements() {
+                resource.set_property(property)?;
+                touched += 1;
+            }
+        }
+        for verb in ["Insert", "Delete"] {
+            if body.child(ns::WSRF_RP, verb).is_some() {
+                return Err(Fault::client(format!(
+                    "SetResourceProperties {verb} is not supported; DAIS property \
+                     documents have a fixed shape — use Update"
+                )));
+            }
+        }
+        if touched == 0 {
+            return Err(Fault::client("SetResourceProperties carried no wsrf-rp:Update entries"));
+        }
+        respond(XmlElement::new(ns::WSRF_RP, "wsrf-rp", "SetResourcePropertiesResponse"))
+    });
+
+    let c = ctx.clone();
     dispatcher.register(wsrf_actions::SET_TERMINATION_TIME, move |req: &Envelope| {
         let body = payload(req)?;
         let name = messages::extract_resource_name(body)?;
@@ -541,6 +566,45 @@ mod tests {
         assert_eq!(swept, vec!["urn:dais:svc:db:0"]);
         assert!(ctx.registry.is_empty());
         assert!(ctx.sweep_expired().is_empty());
+    }
+
+    #[test]
+    fn wsrf_set_resource_properties() {
+        let (bus, _, _) = make_service(true);
+        let mut req = name_req("SetResourcePropertiesRequest");
+        req.push(XmlElement::new(ns::WSRF_RP, "wsrf-rp", "Update").with_child(
+            XmlElement::new(ns::WSDAI, "wsdai", "DataResourceDescription").with_text("renamed"),
+        ));
+        client(&bus).request(dais_wsrf::actions::SET_RESOURCE_PROPERTIES, req).unwrap();
+        let resp = client(&bus)
+            .request(
+                actions::GET_DATA_RESOURCE_PROPERTY_DOCUMENT,
+                name_req("GetDataResourcePropertyDocumentRequest"),
+            )
+            .unwrap();
+        let doc = resp.child(ns::WSDAI, "PropertyDocument").unwrap();
+        assert_eq!(
+            doc.child_text(ns::WSDAI, "DataResourceDescription").as_deref(),
+            Some("renamed")
+        );
+
+        // Read-only properties refuse the update.
+        let mut req = name_req("SetResourcePropertiesRequest");
+        req.push(XmlElement::new(ns::WSRF_RP, "wsrf-rp", "Update").with_child(
+            XmlElement::new(ns::WSDAI, "wsdai", "DataResourceAbstractName").with_text("urn:new"),
+        ));
+        let err =
+            client(&bus).request(dais_wsrf::actions::SET_RESOURCE_PROPERTIES, req).unwrap_err();
+        assert_eq!(err.dais_fault(), Some(DaisFault::NotAuthorized));
+
+        // Insert/Delete are rejected: the property document shape is fixed.
+        let mut req = name_req("SetResourcePropertiesRequest");
+        req.push(XmlElement::new(ns::WSRF_RP, "wsrf-rp", "Insert").with_child(XmlElement::new(
+            ns::WSDAI,
+            "wsdai",
+            "Extra",
+        )));
+        assert!(client(&bus).request(dais_wsrf::actions::SET_RESOURCE_PROPERTIES, req).is_err());
     }
 
     #[test]

@@ -42,6 +42,14 @@ fn statement_is_read_only(sql: &str) -> bool {
     matches!(sql.split_whitespace().next().map(str::to_ascii_uppercase).as_deref(), Some("SELECT"))
 }
 
+/// One item of a multi-statement SQL response, as returned by
+/// [`SqlClient::get_sql_response_item`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlResponseItem {
+    Rowset(Rowset),
+    UpdateCount(u64),
+}
+
 /// A typed consumer of WS-DAIR services. Wraps [`CoreClient`] (all the
 /// WS-DAI core operations remain available through [`SqlClient::core`]).
 #[derive(Clone)]
@@ -172,6 +180,63 @@ impl SqlClient {
             .child_text(ns::WSDAIR, "SQLUpdateCount")
             .and_then(|t| t.trim().parse().ok())
             .ok_or_else(|| CallError::UnexpectedResponse("no SQLUpdateCount".into()))
+    }
+
+    /// `GetSQLReturnValue` on a response resource: the stored-procedure
+    /// return value, if the response carries one.
+    pub fn get_sql_return_value(
+        &self,
+        resource: &AbstractName,
+    ) -> Result<Option<String>, CallError> {
+        let req = dais_core::messages::request("GetSQLReturnValueRequest", resource);
+        let response = self.core.soap().request(actions::GET_SQL_RETURN_VALUE, req)?;
+        Ok(response.child_text(ns::WSDAIR, "SQLReturnValue"))
+    }
+
+    /// `GetSQLOutputParameter` on a response resource. With a parameter
+    /// name, only that parameter is returned; with `None`, all of them.
+    pub fn get_sql_output_parameters(
+        &self,
+        resource: &AbstractName,
+        name: Option<&str>,
+    ) -> Result<Vec<(String, String)>, CallError> {
+        let mut req = dais_core::messages::request("GetSQLOutputParameterRequest", resource);
+        if let Some(n) = name {
+            req.push(XmlElement::new(ns::WSDAIR, "wsdair", "ParameterName").with_text(n));
+        }
+        let response = self.core.soap().request(actions::GET_SQL_OUTPUT_PARAMETER, req)?;
+        Ok(response
+            .children_named(ns::WSDAIR, "SQLOutputParameter")
+            .map(|p| (p.attribute("name").unwrap_or_default().to_string(), p.text()))
+            .collect())
+    }
+
+    /// `GetSQLResponseItem` on a response resource (1-based index across
+    /// rowsets then update counts — the §4.1 response-document ordering).
+    pub fn get_sql_response_item(
+        &self,
+        resource: &AbstractName,
+        index: usize,
+    ) -> Result<SqlResponseItem, CallError> {
+        let mut req = dais_core::messages::request("GetSQLResponseItemRequest", resource);
+        req.push(XmlElement::new(ns::WSDAIR, "wsdair", "Index").with_text(index.to_string()));
+        let response = self.core.soap().request(actions::GET_SQL_RESPONSE_ITEM, req)?;
+        if let Some(rowset) = response.child(ns::WSDAIR, "SQLRowset") {
+            let rowset = rowset
+                .child(ns::ROWSET, "webRowSet")
+                .ok_or_else(|| CallError::UnexpectedResponse("no webRowSet in SQLRowset".into()))?;
+            let rowset = Rowset::from_xml(rowset)
+                .map_err(|e| CallError::UnexpectedResponse(e.to_string()))?;
+            return Ok(SqlResponseItem::Rowset(rowset));
+        }
+        if let Some(count) = response.child_text(ns::WSDAIR, "SQLUpdateCount") {
+            let count = count
+                .trim()
+                .parse()
+                .map_err(|_| CallError::UnexpectedResponse("non-numeric SQLUpdateCount".into()))?;
+            return Ok(SqlResponseItem::UpdateCount(count));
+        }
+        Err(CallError::UnexpectedResponse("response item carried no rowset or count".into()))
     }
 
     /// `GetSQLCommunicationArea` on a response resource.
@@ -423,6 +488,25 @@ mod tests {
         assert!(client.get_sql_rowset(&name, 2).is_err());
         // No update counts on a query response.
         assert!(client.get_sql_update_count(&name, 1).is_err());
+    }
+
+    #[test]
+    fn response_item_access() {
+        let (_, client, db) = setup();
+        let epr = client
+            .execute_factory(&db, "SELECT name FROM item ORDER BY id", &[], None, None)
+            .unwrap();
+        let name = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
+        // Item 1 is the rowset of the single SELECT.
+        match client.get_sql_response_item(&name, 1).unwrap() {
+            SqlResponseItem::Rowset(r) => assert_eq!(r.row_count(), 3),
+            other => panic!("expected rowset, got {other:?}"),
+        }
+        // A plain query carries no return value and no output parameters.
+        assert_eq!(client.get_sql_return_value(&name).unwrap(), None);
+        assert!(client.get_sql_output_parameters(&name, None).unwrap().is_empty());
+        // Out-of-range item index faults.
+        assert!(client.get_sql_response_item(&name, 2).is_err());
     }
 
     #[test]

@@ -151,6 +151,13 @@ impl Bus {
         self.inner.endpoints.write().remove(address).is_some()
     }
 
+    /// The service registered at `address`, if any. Conformance tests
+    /// use this to interrogate a live endpoint's advertised actions
+    /// without issuing wire calls.
+    pub fn endpoint(&self, address: &str) -> Option<Arc<dyn SoapService>> {
+        self.inner.endpoints.read().get(address).map(|e| e.service.clone())
+    }
+
     /// Addresses currently registered, sorted.
     pub fn addresses(&self) -> Vec<String> {
         let mut v: Vec<String> = self.inner.endpoints.read().keys().cloned().collect();

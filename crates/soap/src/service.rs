@@ -108,4 +108,41 @@ mod tests {
         assert_eq!(d.actions(), vec!["a", "b"]);
         assert!(d.supports("a"));
     }
+
+    #[test]
+    fn unknown_action_is_a_client_fault_naming_the_action() {
+        let d = SoapDispatcher::new();
+        let err = d.handle("urn:nope", &Envelope::default()).unwrap_err();
+        assert_eq!(err.code, crate::fault::FaultCode::Client);
+        assert!(err.dais.is_none(), "dispatcher faults carry no DAIS classification");
+        assert!(err.reason.contains("unknown SOAP action"));
+        assert!(err.reason.contains("urn:nope"));
+    }
+
+    #[test]
+    fn actions_ordering_is_stable_across_insertion_orders() {
+        let names = ["urn:c", "urn:a", "urn:b", "urn:d"];
+        let mut forward = SoapDispatcher::new();
+        for n in names {
+            forward.register(n, |_| Ok(Envelope::default()));
+        }
+        let mut reverse = SoapDispatcher::new();
+        for n in names.iter().rev() {
+            reverse.register(*n, |_| Ok(Envelope::default()));
+        }
+        assert_eq!(forward.actions(), reverse.actions());
+        assert_eq!(forward.actions(), vec!["urn:a", "urn:b", "urn:c", "urn:d"]);
+    }
+
+    #[test]
+    fn every_advertised_action_dispatches() {
+        let mut d = SoapDispatcher::new();
+        d.register("urn:x", |_| Ok(Envelope::default()));
+        d.register("urn:y", |_| Ok(Envelope::default()));
+        for action in d.actions() {
+            assert!(d.supports(&action));
+            // Dispatch must reach the handler, not the unknown-action arm.
+            assert!(d.handle(&action, &Envelope::default()).is_ok());
+        }
+    }
 }

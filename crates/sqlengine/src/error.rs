@@ -44,6 +44,8 @@ pub enum SqlErrorKind {
     NotSupported,
     /// 42501 — insufficient privilege (read-only resource written, etc.).
     InsufficientPrivilege,
+    /// XX000 — an engine invariant failed; a bug, not a user error.
+    Internal,
 }
 
 impl SqlErrorKind {
@@ -67,6 +69,7 @@ impl SqlErrorKind {
             SqlErrorKind::TransactionState => "25001",
             SqlErrorKind::NotSupported => "0A000",
             SqlErrorKind::InsufficientPrivilege => "42501",
+            SqlErrorKind::Internal => "XX000",
         }
     }
 }

@@ -188,7 +188,12 @@ fn run_single_select(
                 }
             }
             JoinKind::Inner | JoinKind::Left => {
-                let on = join.on.as_ref().expect("parser guarantees ON for inner/left joins");
+                let Some(on) = join.on.as_ref() else {
+                    return Err(SqlError::new(
+                        SqlErrorKind::Internal,
+                        "inner/left join without an ON clause survived parsing",
+                    ));
+                };
                 for l in &rows {
                     let mut matched = false;
                     for r in &right_rows {
@@ -1197,7 +1202,12 @@ pub fn run_drop_table(
             }
         }
     }
-    let table = storage.remove_table(name).expect("existence checked");
+    let Some(table) = storage.remove_table(name) else {
+        return Err(SqlError::new(
+            SqlErrorKind::Internal,
+            format!("table {name} vanished between existence check and DROP"),
+        ));
+    };
     undo.push(UndoEntry::DropTable { table: Box::new(table) });
     Ok(true)
 }

@@ -215,11 +215,10 @@ impl Table {
     /// Replace a row in place, returning the old values.
     pub fn update(&mut self, rowid: RowId, new_row: Vec<Value>) -> Result<Vec<Value>, SqlError> {
         debug_assert_eq!(new_row.len(), self.schema.columns.len());
-        if !self.rows.contains_key(&rowid) {
+        let Some(old) = self.rows.get(&rowid).cloned() else {
             return Err(SqlError::new(SqlErrorKind::InvalidParameter, "no such row"));
-        }
+        };
         self.check_unique(&new_row, Some(rowid))?;
-        let old = self.rows.get(&rowid).cloned().expect("checked above");
         self.index_remove(rowid, &old);
         self.index_insert(rowid, &new_row);
         self.rows.insert(rowid, new_row);

@@ -15,6 +15,8 @@
 //! - [`prop`] — a miniature property-testing harness in place of
 //!   `proptest`: seeded case generation with per-case replay seeds.
 
+#[cfg(debug_assertions)]
+pub mod lockorder;
 pub mod prop;
 pub mod rng;
 pub mod sync;

@@ -1,0 +1,288 @@
+//! A deterministic lock-order deadlock detector (debug builds only).
+//!
+//! Every [`crate::sync::Mutex`] and [`crate::sync::RwLock`] is classed by
+//! its *construction site* (file:line:column, captured with
+//! `#[track_caller]`). Acquisitions push onto a thread-local stack of
+//! held classes; each `(held, acquiring)` pair feeds a process-global
+//! order graph. The first acquisition that would close a cycle in that
+//! graph panics immediately — before blocking — with both acquisition
+//! chains, so an ABBA deadlock is caught the first time the two orders
+//! are *observed*, even when the interleaving that would actually
+//! deadlock never happens in the run.
+//!
+//! Same-class edges are deliberately ignored: two locks built at one
+//! site (e.g. per-resource locks minted in a loop) share a class, and
+//! nesting them is indistinguishable from re-acquisition at this level.
+//! The detector therefore never false-positives on instance fan-out, at
+//! the cost of missing same-site inversions.
+//!
+//! The whole module is compiled out of release builds; see
+//! [`crate::sync`] for the `cfg(debug_assertions)` call sites.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::panic::Location;
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+/// A lock class: the `&'static Location` of the lock's constructor.
+pub type Site = &'static Location<'static>;
+
+#[derive(Clone, Copy)]
+struct Held {
+    /// Class of the lock this frame holds.
+    class: Site,
+    /// Where this acquisition happened.
+    acquired_at: Site,
+    token: u64,
+}
+
+/// First observation of an ordering edge `from -> to`.
+struct EdgeInfo {
+    /// Where the `from` lock had been acquired when the edge was seen.
+    holder_acquired_at: Site,
+    /// Where the `to` acquisition that created the edge happened.
+    acquiring_at: Site,
+}
+
+#[derive(Default)]
+struct Graph {
+    edges: HashMap<(Site, Site), EdgeInfo>,
+    adjacency: HashMap<Site, Vec<Site>>,
+}
+
+impl Graph {
+    /// Is `to` reachable from `from` over recorded edges?
+    fn reaches(&self, from: Site, to: Site) -> bool {
+        let mut stack = vec![from];
+        let mut seen: HashSet<Site> = HashSet::new();
+        while let Some(node) = stack.pop() {
+            if std::ptr::eq(node, to) {
+                return true;
+            }
+            if !seen.insert(node) {
+                continue;
+            }
+            if let Some(next) = self.adjacency.get(&node) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+}
+
+fn graph() -> &'static StdMutex<Graph> {
+    static GRAPH: OnceLock<StdMutex<Graph>> = OnceLock::new();
+    GRAPH.get_or_init(|| StdMutex::new(Graph::default()))
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread cache of edges already recorded globally, so steady
+    /// state acquisitions skip the global mutex entirely.
+    static KNOWN: RefCell<HashSet<(Site, Site)>> = RefCell::new(HashSet::new());
+    static NEXT_TOKEN: RefCell<u64> = const { RefCell::new(0) };
+}
+
+fn site(s: Site) -> String {
+    format!("{}:{}:{}", s.file(), s.line(), s.column())
+}
+
+/// Number of distinct ordering edges observed so far (for tests and the
+/// stress workloads' sanity checks).
+pub fn edges_observed() -> usize {
+    graph().lock().unwrap_or_else(|e| e.into_inner()).edges.len()
+}
+
+/// Record that the current thread is about to acquire the lock classed
+/// `class` from `acquired_at`. Panics if the acquisition would invert an
+/// order already observed somewhere in the process. Returns a token to
+/// hand back to [`release`] when the guard drops.
+pub fn acquire(class: Site, acquired_at: Site) -> u64 {
+    let held: Vec<Held> = HELD.with(|h| h.borrow().clone());
+    for frame in &held {
+        if std::ptr::eq(frame.class, class) {
+            // Same class: re-acquisition or sibling instance; not tracked.
+            continue;
+        }
+        let edge = (frame.class, class);
+        let cached = KNOWN.with(|k| k.borrow().contains(&edge));
+        if cached {
+            continue;
+        }
+        let mut graph = graph().lock().unwrap_or_else(|e| e.into_inner());
+        if !graph.edges.contains_key(&edge) {
+            if graph.reaches(class, frame.class) {
+                let conflict = describe_conflict(&graph, class, frame.class);
+                let chain = held
+                    .iter()
+                    .map(|f| format!("    {} acquired at {}", site(f.class), site(f.acquired_at)))
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                drop(graph);
+                panic!(
+                    "lock-order inversion: acquiring lock {} (at {}) while holding lock {} \
+                     would close a cycle in the observed acquisition order.\n  \
+                     this thread holds:\n{chain}\n  \
+                     conflicting order previously observed:\n{conflict}",
+                    site(class),
+                    site(acquired_at),
+                    site(frame.class),
+                );
+            }
+            graph.edges.insert(
+                edge,
+                EdgeInfo { holder_acquired_at: frame.acquired_at, acquiring_at: acquired_at },
+            );
+            graph.adjacency.entry(frame.class).or_default().push(class);
+        }
+        drop(graph);
+        KNOWN.with(|k| k.borrow_mut().insert(edge));
+    }
+    let token = NEXT_TOKEN.with(|t| {
+        let mut t = t.borrow_mut();
+        *t += 1;
+        *t
+    });
+    HELD.with(|h| h.borrow_mut().push(Held { class, acquired_at, token }));
+    token
+}
+
+/// Walk the recorded path `from -> ... -> to` and render each edge's
+/// first-observed acquisition sites.
+fn describe_conflict(graph: &Graph, from: Site, to: Site) -> String {
+    // Depth-first search retaining the path.
+    let mut path: Vec<Site> = vec![from];
+    let mut seen: HashSet<Site> = HashSet::new();
+    fn dfs(graph: &Graph, path: &mut Vec<Site>, seen: &mut HashSet<Site>, to: Site) -> bool {
+        let Some(&node) = path.last() else {
+            return false;
+        };
+        if std::ptr::eq(node, to) {
+            return true;
+        }
+        if !seen.insert(node) {
+            return false;
+        }
+        let Some(next) = graph.adjacency.get(&node) else { return false };
+        for n in next {
+            path.push(n);
+            if dfs(graph, path, seen, to) {
+                return true;
+            }
+            path.pop();
+        }
+        false
+    }
+    if !dfs(graph, &mut path, &mut seen, to) {
+        return "    (path vanished — concurrent graph mutation)".to_string();
+    }
+    path.windows(2)
+        .map(|w| {
+            let info = &graph.edges[&(w[0], w[1])];
+            format!(
+                "    {} (held, acquired at {}) then {} (acquired at {})",
+                site(w[0]),
+                site(info.holder_acquired_at),
+                site(w[1]),
+                site(info.acquiring_at),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The guard carrying `token` dropped; forget the acquisition. Guards
+/// may drop out of LIFO order, so removal is by token, not by popping.
+pub fn release(token: u64) {
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(i) = held.iter().rposition(|f| f.token == token) {
+            held.remove(i);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::sync::{Mutex, RwLock};
+    use std::sync::Arc;
+
+    #[test]
+    fn consistent_order_never_panics() {
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(RwLock::new(0u32));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let (a, b) = (a.clone(), b.clone());
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let ga = a.lock();
+                    let gb = b.write();
+                    drop(gb);
+                    drop(ga);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("ordered workers never panic");
+        }
+    }
+
+    #[test]
+    fn inverted_order_is_caught_deterministically() {
+        // Single-threaded: A then B records the edge; B then A must
+        // panic before any real deadlock can form.
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        let (a2, b2) = (a.clone(), b.clone());
+        let result = std::thread::spawn(move || {
+            let _gb = b2.lock();
+            let _ga = a2.lock(); // inversion
+        })
+        .join();
+        let panic = result.expect_err("inverted acquisition must panic");
+        let message = panic.downcast_ref::<String>().expect("panic carries a message");
+        assert!(message.contains("lock-order inversion"), "{message}");
+        assert!(message.contains("previously observed"), "{message}");
+    }
+
+    #[test]
+    fn same_class_nesting_is_ignored() {
+        // Two locks from one construction site share a class; nesting
+        // them must not be treated as an inversion.
+        fn mint() -> Vec<Mutex<u32>> {
+            (0..2).map(Mutex::new).collect()
+        }
+        let locks = mint();
+        let _g0 = locks[0].lock();
+        let _g1 = locks[1].lock();
+    }
+
+    #[test]
+    fn out_of_order_guard_drops_are_tracked() {
+        let a = Mutex::new(0u32);
+        let b = Mutex::new(0u32);
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(ga); // drop the outer guard first
+        drop(gb);
+        // The held stack must be empty again: a fresh acquisition pair
+        // in the same order succeeds without phantom frames.
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+
+    #[test]
+    fn edges_accumulate() {
+        let a = Mutex::new(0u32);
+        let b = Mutex::new(0u32);
+        let before = super::edges_observed();
+        let _ga = a.lock();
+        let _gb = b.lock();
+        assert!(super::edges_observed() > before);
+    }
+}

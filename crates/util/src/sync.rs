@@ -1,4 +1,5 @@
-//! Lock shims with the `parking_lot` calling convention.
+//! Lock shims with the `parking_lot` calling convention, plus (in debug
+//! builds) lock-order deadlock detection.
 //!
 //! The std lock API returns `LockResult` so callers must thread poison
 //! handling everywhere; `parking_lot` (which this workspace cannot fetch)
@@ -6,66 +7,179 @@
 //! the ergonomic API: a panic while holding a lock leaves the data in
 //! whatever state the panicking section produced, which is exactly the
 //! `parking_lot` contract the call sites were written against.
+//!
+//! Under `cfg(debug_assertions)` every lock is additionally classed by
+//! its construction site and every acquisition is checked against the
+//! global acquisition-order graph in [`crate::lockorder`]; an inverted
+//! order panics deterministically instead of deadlocking rarely. Release
+//! builds compile all of that away — the types below are zero-cost
+//! newtypes over `std::sync`.
 
+use std::ops::{Deref, DerefMut};
 use std::sync::{self, LockResult, PoisonError};
+
+#[cfg(debug_assertions)]
+use crate::lockorder;
+#[cfg(debug_assertions)]
+use std::panic::Location;
 
 fn unpoison<G>(r: LockResult<G>) -> G {
     r.unwrap_or_else(PoisonError::into_inner)
 }
 
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+/// Tracking state attached to a live guard in debug builds.
+#[cfg(debug_assertions)]
+#[derive(Debug)]
+struct Tracked(u64);
+
+#[cfg(debug_assertions)]
+impl Drop for Tracked {
+    fn drop(&mut self) {
+        lockorder::release(self.0);
+    }
+}
+
+macro_rules! guard {
+    ($name:ident, $inner:ident, mutable: $mutable:tt) => {
+        #[derive(Debug)]
+        pub struct $name<'a, T: ?Sized> {
+            inner: sync::$inner<'a, T>,
+            #[cfg(debug_assertions)]
+            #[allow(dead_code)]
+            tracked: Tracked,
+        }
+
+        impl<T: ?Sized> Deref for $name<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                &self.inner
+            }
+        }
+
+        guard!(@mut $name, $mutable);
+
+        impl<T: ?Sized + std::fmt::Display> std::fmt::Display for $name<'_, T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                (**self).fmt(f)
+            }
+        }
+    };
+    (@mut $name:ident, true) => {
+        impl<T: ?Sized> DerefMut for $name<'_, T> {
+            fn deref_mut(&mut self) -> &mut T {
+                &mut self.inner
+            }
+        }
+    };
+    (@mut $name:ident, false) => {};
+}
+
+guard!(RwLockReadGuard, RwLockReadGuard, mutable: false);
+guard!(RwLockWriteGuard, RwLockWriteGuard, mutable: true);
+guard!(MutexGuard, MutexGuard, mutable: true);
 
 /// `std::sync::RwLock` with guards returned directly.
-#[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+#[derive(Debug)]
+pub struct RwLock<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    class: &'static Location<'static>,
+    inner: sync::RwLock<T>,
+}
 
 impl<T> RwLock<T> {
+    #[track_caller]
     pub fn new(value: T) -> Self {
-        RwLock(sync::RwLock::new(value))
+        RwLock {
+            #[cfg(debug_assertions)]
+            class: Location::caller(),
+            inner: sync::RwLock::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        unpoison(self.0.into_inner())
+        unpoison(self.inner.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    #[track_caller]
+    fn default() -> Self {
+        RwLock::new(T::default())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        unpoison(self.0.read())
+        #[cfg(debug_assertions)]
+        let tracked = Tracked(lockorder::acquire(self.class, Location::caller()));
+        RwLockReadGuard {
+            inner: unpoison(self.inner.read()),
+            #[cfg(debug_assertions)]
+            tracked,
+        }
     }
 
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        unpoison(self.0.write())
+        #[cfg(debug_assertions)]
+        let tracked = Tracked(lockorder::acquire(self.class, Location::caller()));
+        RwLockWriteGuard {
+            inner: unpoison(self.inner.write()),
+            #[cfg(debug_assertions)]
+            tracked,
+        }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        unpoison(self.0.get_mut())
+        unpoison(self.inner.get_mut())
     }
 }
 
 /// `std::sync::Mutex` with guards returned directly.
-#[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+#[derive(Debug)]
+pub struct Mutex<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    class: &'static Location<'static>,
+    inner: sync::Mutex<T>,
+}
 
 impl<T> Mutex<T> {
+    #[track_caller]
     pub fn new(value: T) -> Self {
-        Mutex(sync::Mutex::new(value))
+        Mutex {
+            #[cfg(debug_assertions)]
+            class: Location::caller(),
+            inner: sync::Mutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        unpoison(self.0.into_inner())
+        unpoison(self.inner.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    #[track_caller]
+    fn default() -> Self {
+        Mutex::new(T::default())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        unpoison(self.0.lock())
+        #[cfg(debug_assertions)]
+        let tracked = Tracked(lockorder::acquire(self.class, Location::caller()));
+        MutexGuard {
+            inner: unpoison(self.inner.lock()),
+            #[cfg(debug_assertions)]
+            tracked,
+        }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        unpoison(self.0.get_mut())
+        unpoison(self.inner.get_mut())
     }
 }
 

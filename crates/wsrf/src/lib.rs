@@ -40,4 +40,14 @@ pub mod actions {
         "http://docs.oasis-open.org/wsrf/rlw-2/ImmediateResourceTermination/Destroy";
     pub const SET_TERMINATION_TIME: &str =
         "http://docs.oasis-open.org/wsrf/rlw-2/ScheduledResourceTermination/SetTerminationTime";
+
+    /// The complete WSRF layer inventory, for conformance tests.
+    pub const ALL: &[&str] = &[
+        GET_RESOURCE_PROPERTY,
+        GET_MULTIPLE_RESOURCE_PROPERTIES,
+        QUERY_RESOURCE_PROPERTIES,
+        SET_RESOURCE_PROPERTIES,
+        DESTROY,
+        SET_TERMINATION_TIME,
+    ];
 }

@@ -202,8 +202,8 @@ fn scan_until<'s>(src: &str, pos: usize, stops: &[&'s str]) -> (String, usize, O
                     j += 1;
                 }
                 let word = &src[i..j];
-                if stops.contains(&word) {
-                    return (src[pos..i].trim().to_string(), j, Some(stop_word(stops, word)));
+                if let Some(stop) = stop_word(stops, word) {
+                    return (src[pos..i].trim().to_string(), j, Some(stop));
                 }
                 i = j;
             }
@@ -213,8 +213,8 @@ fn scan_until<'s>(src: &str, pos: usize, stops: &[&'s str]) -> (String, usize, O
     (src[pos..].trim().to_string(), src.len(), None)
 }
 
-fn stop_word<'a>(stops: &[&'a str], word: &str) -> &'a str {
-    stops.iter().find(|s| **s == word).copied().expect("word checked against stops")
+fn stop_word<'a>(stops: &[&'a str], word: &str) -> Option<&'a str> {
+    stops.iter().find(|s| **s == word).copied()
 }
 
 fn is_word_start(bytes: &[u8], i: usize) -> bool {
@@ -242,7 +242,9 @@ fn parse_var(src: &str) -> Result<(String, &str), XmlDbError> {
 }
 
 fn parse_flwor(src: &str) -> Result<Flwor, XmlDbError> {
-    let after_for = src.strip_prefix("for").expect("caller checked");
+    let Some(after_for) = src.strip_prefix("for") else {
+        return Err(XmlDbError::Query("FLWOR query must start with 'for'".into()));
+    };
     let (var, rest) = parse_var(after_for)?;
     let rest = rest.trim_start();
     let Some(rest) = rest.strip_prefix("in") else {
@@ -551,7 +553,10 @@ fn execute_flwor(
 
     if let Some((_, ascending)) = &f.order_by {
         candidates.sort_by(|a, b| {
-            let (ka, kb) = (a.order_key.as_ref().unwrap(), b.order_key.as_ref().unwrap());
+            let (ka, kb) = match (a.order_key.as_ref(), b.order_key.as_ref()) {
+                (Some(ka), Some(kb)) => (ka, kb),
+                _ => return std::cmp::Ordering::Equal,
+            };
             let (na, nb) = (ka.to_number(), kb.to_number());
             let ord = if !na.is_nan() && !nb.is_nan() {
                 na.partial_cmp(&nb).unwrap_or(std::cmp::Ordering::Equal)

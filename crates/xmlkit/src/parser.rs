@@ -71,11 +71,17 @@ impl NsScope {
     }
 
     fn pop(&mut self) {
-        self.stack.pop();
+        // The base scope (xml prefix, empty default) must survive, so an
+        // unbalanced pop is a no-op rather than an empty stack.
+        if self.stack.len() > 1 {
+            self.stack.pop();
+        }
     }
 
     fn declare(&mut self, prefix: &str, uri: &str) {
-        self.stack.last_mut().expect("scope").insert(prefix.to_string(), uri.to_string());
+        if let Some(scope) = self.stack.last_mut() {
+            scope.insert(prefix.to_string(), uri.to_string());
+        }
     }
 
     fn resolve(&self, prefix: &str) -> Option<&str> {
