@@ -1,0 +1,198 @@
+//! The `wire` benchmark group: the serialisation fast lane measured
+//! end to end — envelope round trips at three payload sizes, a full
+//! `Bus::call` echo, streaming WebRowSet materialisation and a
+//! `GetTuples` page of 1 000 rows.
+//!
+//! Besides the human-readable table, the runner persists a
+//! machine-readable baseline to `BENCH_PR3.json` at the repository root:
+//! a JSON array of `{bench, iters, ns_per_iter, bytes_per_iter}` rows.
+//! CI's bench-smoke job runs this target with `DAIS_BENCH_QUICK=1`
+//! (fewer iterations, same benches) and checks the file is well formed.
+
+use dais_bench::workload::populate_items;
+use dais_core::AbstractName;
+use dais_dair::{messages, RelationalService, SqlClient};
+use dais_soap::envelope::Envelope;
+use dais_soap::service::SoapDispatcher;
+use dais_soap::Bus;
+use dais_sql::{Database, Rowset, Value};
+use dais_util::PooledBuf;
+use dais_xml::ns;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Row {
+    bench: String,
+    iters: u64,
+    ns_per_iter: f64,
+    bytes_per_iter: u64,
+}
+
+fn quick() -> bool {
+    std::env::var_os("DAIS_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+/// Scale a full-run iteration count down for the CI smoke mode.
+fn iters(full: u64) -> u64 {
+    if quick() {
+        (full / 100).clamp(2, 10)
+    } else {
+        full
+    }
+}
+
+/// Time `iters` calls of `f` (after a short warm-up) and report ns/iter.
+fn time_iters(iters: u64, mut f: impl FnMut()) -> f64 {
+    for _ in 0..2 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn item_rowset(rows: usize) -> Rowset {
+    let db = Database::new("wire");
+    populate_items(&db, rows, 32);
+    db.execute("SELECT * FROM item", &[]).unwrap().rowset().unwrap().clone()
+}
+
+/// Envelope serialise + parse round trip through a pooled buffer.
+fn envelope_roundtrip(out: &mut Vec<Row>, label: &str, rows: usize) {
+    let env = Envelope::with_body(item_rowset(rows).to_xml());
+    let mut buf = PooledBuf::take();
+    env.to_bytes_into(&mut buf);
+    let bytes_per_iter = buf.len() as u64;
+    let n = iters(match rows {
+        0..=49 => 2000,
+        50..=499 => 400,
+        _ => 60,
+    });
+    let ns_per_iter = time_iters(n, || {
+        buf.clear();
+        env.to_bytes_into(&mut buf);
+        black_box(Envelope::from_bytes(&buf).unwrap());
+    });
+    out.push(Row {
+        bench: format!("envelope_roundtrip/{label}"),
+        iters: n,
+        ns_per_iter,
+        bytes_per_iter,
+    });
+}
+
+/// End-to-end `Bus::call` echo: both legs serialised, routed and parsed.
+fn bus_echo(out: &mut Vec<Row>) {
+    let bus = Bus::new();
+    let mut d = SoapDispatcher::new();
+    d.register("urn:echo", |req: &Envelope| Ok(req.clone()));
+    bus.register("bus://wire", Arc::new(d));
+    let name = AbstractName::new("urn:dais:b:db:0").unwrap();
+    let env = Envelope::with_body(messages::sql_execute_request(
+        &name,
+        ns::ROWSET,
+        "SELECT * FROM item WHERE category = ? AND price > ?",
+        &[Value::Int(3), Value::Double(10.0)],
+    ));
+    let n = iters(2000);
+    let before = bus.stats();
+    let ns_per_iter = time_iters(n, || {
+        black_box(bus.call("bus://wire", "urn:echo", &env).unwrap().unwrap());
+    });
+    let after = bus.stats();
+    let moved = (after.request_bytes + after.response_bytes)
+        - (before.request_bytes + before.response_bytes);
+    out.push(Row {
+        bench: "bus_echo/sql_execute_request".into(),
+        iters: n,
+        ns_per_iter,
+        bytes_per_iter: moved / (n + 2), // warm-up iterations also hit the bus
+    });
+}
+
+/// Streaming WebRowSet materialisation into a pooled buffer.
+fn rowset_stream(out: &mut Vec<Row>, rows: usize) {
+    let rowset = item_rowset(rows);
+    let mut buf = PooledBuf::take();
+    rowset.to_wire_bytes_into(&mut buf);
+    let bytes_per_iter = buf.len() as u64;
+    let n = iters(200);
+    let ns_per_iter = time_iters(n, || {
+        buf.clear();
+        rowset.to_wire_bytes_into(&mut buf);
+        black_box(buf.len());
+    });
+    out.push(Row { bench: format!("rowset_stream/{rows}"), iters: n, ns_per_iter, bytes_per_iter });
+}
+
+/// A `GetTuples` page of 1 000 rows through the full indirect-access
+/// pipeline: rowset resource derived from a response resource.
+fn get_tuples_page(out: &mut Vec<Row>, rows: usize) {
+    let bus = Bus::new();
+    let db = Database::new("wire");
+    populate_items(&db, rows, 32);
+    let svc = RelationalService::launch(&bus, "bus://wire", db, Default::default());
+    let client = SqlClient::new(bus.clone(), "bus://wire");
+    let epr = client
+        .execute_factory(&svc.db_resource, "SELECT * FROM item ORDER BY id", &[], None, None)
+        .unwrap();
+    let response_name = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
+    let rowset_epr = client.rowset_factory(&response_name, None, None).unwrap();
+    let rowset_name = AbstractName::new(rowset_epr.resource_abstract_name().unwrap()).unwrap();
+    let n = iters(30);
+    let before = bus.stats();
+    let ns_per_iter = time_iters(n, || {
+        let page = client.get_tuples(&rowset_name, 0, rows).unwrap();
+        assert_eq!(page.row_count(), rows);
+        black_box(page);
+    });
+    let after = bus.stats();
+    let moved = (after.request_bytes + after.response_bytes)
+        - (before.request_bytes + before.response_bytes);
+    out.push(Row {
+        bench: format!("get_tuples/{rows}"),
+        iters: n,
+        ns_per_iter,
+        bytes_per_iter: moved / (n + 2),
+    });
+}
+
+fn write_baseline(rows: &[Row]) -> std::io::Result<()> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json");
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"iters\": {}, \"ns_per_iter\": {:.1}, \"bytes_per_iter\": {}}}{}\n",
+            r.bench,
+            r.iters,
+            r.ns_per_iter,
+            r.bytes_per_iter,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write(path, json)?;
+    println!("\nwrote {path}");
+    Ok(())
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    println!("== wire{}", if quick() { " (quick mode)" } else { "" });
+    envelope_roundtrip(&mut rows, "small", 10);
+    envelope_roundtrip(&mut rows, "medium", 100);
+    envelope_roundtrip(&mut rows, "large", 1000);
+    bus_echo(&mut rows);
+    rowset_stream(&mut rows, 1000);
+    get_tuples_page(&mut rows, 1000);
+    for r in &rows {
+        println!(
+            "  wire/{}: {:>12.1} ns/iter  {:>8} bytes/iter  ({} iters)",
+            r.bench, r.ns_per_iter, r.bytes_per_iter, r.iters
+        );
+    }
+    write_baseline(&rows).expect("failed to persist BENCH_PR3.json");
+}

@@ -3,13 +3,17 @@
 use dais_soap::bus::{Bus, StatsSnapshot};
 use std::time::{Duration, Instant};
 
-/// One measured run: wall time plus the bus traffic it generated.
+/// One measured run: wall time plus the bus traffic it generated,
+/// including the chaos-layer deltas (injected faults, retry attempts)
+/// so failure experiments can report recovery cost alongside throughput.
 #[derive(Debug, Clone, Copy)]
 pub struct Measurement {
     pub elapsed: Duration,
     pub messages: u64,
     pub request_bytes: u64,
     pub response_bytes: u64,
+    pub injected: u64,
+    pub retries: u64,
 }
 
 impl Measurement {
@@ -35,6 +39,8 @@ pub fn measure(bus: &Bus, f: impl FnOnce()) -> Measurement {
         messages: after.messages - before.messages,
         request_bytes: after.request_bytes - before.request_bytes,
         response_bytes: after.response_bytes - before.response_bytes,
+        injected: after.injected - before.injected,
+        retries: after.retries - before.retries,
     }
 }
 
@@ -89,6 +95,29 @@ mod tests {
         assert_eq!(m.messages, 3);
         assert!(m.total_bytes() > 0);
         assert!(m.micros_per_iter(3) >= 0.0);
+        // A healthy bus with no chaos layer reports zero deltas.
+        assert_eq!((m.injected, m.retries), (0, 0));
+    }
+
+    #[test]
+    fn measures_chaos_deltas() {
+        use dais_soap::interceptor::{FaultInjector, FaultPolicy};
+
+        let bus = Bus::new();
+        let mut d = SoapDispatcher::new();
+        d.register("urn:echo", |req: &Envelope| Ok(req.clone()));
+        bus.register("bus://chaos", Arc::new(d));
+        let injector = FaultInjector::new(7);
+        injector.set_policy("bus://chaos", FaultPolicy::default().drop(1.0));
+        bus.add_interceptor(Arc::new(injector));
+        let m = measure(&bus, || {
+            let _ = bus.call(
+                "bus://chaos",
+                "urn:echo",
+                &Envelope::with_body(XmlElement::new_local("x")),
+            );
+        });
+        assert_eq!(m.injected, 1);
     }
 
     #[test]

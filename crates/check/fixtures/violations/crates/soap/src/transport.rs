@@ -1,0 +1,6 @@
+//! Fixture: serialises to owned bytes on the wire path instead of the
+//! pooled `to_bytes_into` variant (`pooled-buffer-bypass`).
+
+pub fn send(env: &Envelope) -> Vec<u8> {
+    env.to_bytes()
+}

@@ -115,12 +115,17 @@ pub const CANONICAL_PROPERTY_NAMES: &[&str] = &[
 pub struct Allowlist {
     pub path: PathBuf,
     /// file path (relative, `/`-separated) → (allowed count, entry line).
+    /// Bare entries belong to the `unwrap-in-library` ratchet.
     pub entries: BTreeMap<String, (usize, usize)>,
+    /// `<lint>:<file>`-prefixed entries for other ratcheting lints:
+    /// (lint name, file path) → (allowed count, entry line).
+    pub lint_entries: BTreeMap<(String, String), (usize, usize)>,
 }
 
 impl Allowlist {
     pub fn parse(path: PathBuf, content: &str) -> Allowlist {
         let mut entries = BTreeMap::new();
+        let mut lint_entries = BTreeMap::new();
         for (idx, raw) in content.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
@@ -130,11 +135,24 @@ impl Allowlist {
             let (Some(file), Some(count)) = (parts.next(), parts.next()) else {
                 continue;
             };
-            if let Ok(n) = count.parse::<usize>() {
-                entries.insert(file.to_string(), (n, idx + 1));
+            let Ok(n) = count.parse::<usize>() else {
+                continue;
+            };
+            match file.split_once(':') {
+                Some((lint, file)) => {
+                    lint_entries.insert((lint.to_string(), file.to_string()), (n, idx + 1));
+                }
+                None => {
+                    entries.insert(file.to_string(), (n, idx + 1));
+                }
             }
         }
-        Allowlist { path, entries }
+        Allowlist { path, entries, lint_entries }
+    }
+
+    /// Allowed count for a prefixed `<lint>:<file>` entry (0 if absent).
+    fn allowed_for(&self, lint: &str, file: &str) -> usize {
+        self.lint_entries.get(&(lint.to_string(), file.to_string())).map(|(n, _)| *n).unwrap_or(0)
     }
 }
 
@@ -407,6 +425,68 @@ pub fn run_lints<'a>(files: &'a [FileFacts], allowlist: &Allowlist) -> Vec<Viola
         }
     }
 
+    // ---- pooled-buffer bypass on the soap wire path. ---------------------
+    // `to_bytes()` allocates a fresh owned buffer per call; everything on
+    // the bus's serialise path has a pooled `to_bytes_into` counterpart
+    // that reuses thread-local buffers. Intentional owned-bytes sites
+    // (e.g. bytes that escape into an `Intercept::Reply`) carry a
+    // `pooled-buffer-bypass:<file>` allowlist entry.
+    const POOLED_LINT: &str = "pooled-buffer-bypass";
+    let mut counted_pooled: BTreeSet<String> = BTreeSet::new();
+    for f in files {
+        if f.crate_name != "soap" {
+            continue;
+        }
+        let path = norm(&f.path);
+        let allowed = allowlist.allowed_for(POOLED_LINT, &path);
+        if allowlist.lint_entries.contains_key(&(POOLED_LINT.to_string(), path.clone())) {
+            counted_pooled.insert(path.clone());
+        }
+        let actual = f.to_bytes_sites.len();
+        if actual > allowed {
+            let first_excess = f.to_bytes_sites.get(allowed).copied().unwrap_or(0);
+            out.push(Violation {
+                lint: POOLED_LINT,
+                severity: Severity::Error,
+                file: f.path.clone(),
+                line: first_excess,
+                message: format!(
+                    "{actual} to_bytes() call(s) on the soap wire path (allowlist permits \
+                     {allowed}); use the pooled `to_bytes_into` variant or extend {}",
+                    allowlist.path.display()
+                ),
+            });
+        } else if actual < allowed {
+            let (_, entry_line) = allowlist.lint_entries[&(POOLED_LINT.to_string(), path.clone())];
+            out.push(Violation {
+                lint: "stale-allowlist",
+                severity: Severity::Warning,
+                file: allowlist.path.clone(),
+                line: entry_line,
+                message: format!(
+                    "allowlist permits {allowed} to_bytes() call(s) in {path} but only {actual} \
+                     remain; ratchet the entry down"
+                ),
+            });
+        }
+    }
+    for ((lint, path), (_, entry_line)) in &allowlist.lint_entries {
+        let stale = if lint == POOLED_LINT {
+            !counted_pooled.contains(path)
+        } else {
+            true // no other lint consumes prefixed entries yet
+        };
+        if stale {
+            out.push(Violation {
+                lint: "stale-allowlist",
+                severity: Severity::Warning,
+                file: allowlist.path.clone(),
+                line: *entry_line,
+                message: format!("allowlist entry `{lint}:{path}` matches no scanned file"),
+            });
+        }
+    }
+
     out.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
     out
 }
@@ -441,10 +521,14 @@ mod tests {
     fn allowlist_parsing() {
         let a = Allowlist::parse(
             PathBuf::from("x.allow"),
-            "# comment\ncrates/a/src/b.rs 3\n\ncrates/c/src/d.rs 1 # trailing\n",
+            "# comment\ncrates/a/src/b.rs 3\n\ncrates/c/src/d.rs 1 # trailing\n\
+             pooled-buffer-bypass:crates/soap/src/e.rs 2\n",
         );
         assert_eq!(a.entries.len(), 2);
         assert_eq!(a.entries["crates/a/src/b.rs"], (3, 2));
         assert_eq!(a.entries["crates/c/src/d.rs"], (1, 4));
+        assert_eq!(a.lint_entries.len(), 1);
+        assert_eq!(a.allowed_for("pooled-buffer-bypass", "crates/soap/src/e.rs"), 2);
+        assert_eq!(a.allowed_for("pooled-buffer-bypass", "crates/soap/src/f.rs"), 0);
     }
 }

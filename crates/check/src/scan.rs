@@ -68,6 +68,9 @@ pub struct FileFacts {
     pub string_literals: Vec<Literal>,
     /// Lines of `.unwrap()` / `.expect("...")` calls in library code.
     pub unwrap_sites: Vec<usize>,
+    /// Lines of `.to_bytes()` calls (checked on the soap wire path,
+    /// where the pooled `to_bytes_into` variant avoids the allocation).
+    pub to_bytes_sites: Vec<usize>,
 }
 
 /// Tokenise and strip `#[cfg(test)]` items, then extract facts.
@@ -167,6 +170,14 @@ pub fn scan_file(root: &Path, rel_path: &Path, src: &str) -> FileFacts {
                         && tokens.get(i + 2).is_some_and(|t| t.kind == TokenKind::Str)
                     {
                         facts.unwrap_sites.push(tok.line);
+                    }
+                    // `.to_bytes()` — the argument-free serialise-to-owned
+                    // form with a pooled `to_bytes_into` counterpart.
+                    if tok.is_ident("to_bytes")
+                        && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+                        && tokens.get(i + 2).is_some_and(|t| t.is_punct(')'))
+                    {
+                        facts.to_bytes_sites.push(tok.line);
                     }
                 }
                 // `...actions::NAME` path references outside the mod.
@@ -455,6 +466,18 @@ mod tests {
         "#;
         let f = scan("crates/alpha/src/x.rs", src);
         assert_eq!(f.unwrap_sites.len(), 2);
+    }
+
+    #[test]
+    fn to_bytes_calls_are_recorded_but_definitions_are_not() {
+        let src = r#"
+            pub fn to_bytes(&self) -> Vec<u8> { self.to_bytes_into(&mut v) }
+            fn hot(env: &Envelope) { let b = env.to_bytes(); send(b); }
+            #[cfg(test)]
+            mod tests { fn t(e: &Envelope) { e.to_bytes(); } }
+        "#;
+        let f = scan("crates/soap/src/x.rs", src);
+        assert_eq!(f.to_bytes_sites.len(), 1);
     }
 
     #[test]

@@ -95,6 +95,12 @@ fn trips_unwrap_in_library() {
 }
 
 #[test]
+fn trips_pooled_buffer_bypass() {
+    let hits = assert_fires("pooled-buffer-bypass", "soap/src/transport.rs");
+    assert!(hits[0].2.contains("to_bytes_into"));
+}
+
+#[test]
 fn trips_stale_allowlist_both_ways() {
     let report = fixtures_report();
     let hits = find(&report, "stale-allowlist");

@@ -15,16 +15,19 @@ use crate::envelope::Envelope;
 use crate::fault::Fault;
 use crate::interceptor::{CallInfo, Intercept, Interceptor};
 use crate::service::SoapService;
+use dais_util::pool::PooledBuf;
 use dais_util::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// A registered endpoint.
+/// A registered endpoint. Carries its own stats handle so the per-call
+/// accounting path never takes the registry lock.
 #[derive(Clone)]
 pub struct Endpoint {
     pub address: String,
     service: Arc<dyn SoapService>,
+    stats: Arc<BusStats>,
 }
 
 /// Traffic counters. Byte counts measure the serialised envelope size in
@@ -138,11 +141,12 @@ impl Bus {
     /// Register (or replace) a service at a logical address.
     pub fn register(&self, address: impl Into<String>, service: Arc<dyn SoapService>) {
         let address = address.into();
-        self.inner
-            .endpoints
-            .write()
-            .insert(address.clone(), Endpoint { address: address.clone(), service });
-        self.inner.per_endpoint.write().entry(address).or_default();
+        // The stats slot outlives registration churn: re-registering the
+        // same address keeps accumulating into the same counters, and the
+        // resolved `Endpoint` carries the `Arc` so `call` never touches
+        // the `per_endpoint` map again.
+        let stats = Arc::clone(self.inner.per_endpoint.write().entry(address.clone()).or_default());
+        self.inner.endpoints.write().insert(address.clone(), Endpoint { address, service, stats });
     }
 
     /// Remove an endpoint. Subsequent calls to it fail with
@@ -184,20 +188,6 @@ impl Bus {
         self.inner.interceptors.read().len()
     }
 
-    fn record(&self, to: &str, request: u64, response: u64, fault: bool) {
-        self.inner.total.record(request, response, fault);
-        if let Some(stats) = self.inner.per_endpoint.read().get(to) {
-            stats.record(request, response, fault);
-        }
-    }
-
-    fn note_injected(&self, to: &str) {
-        self.inner.total.record_injected();
-        if let Some(stats) = self.inner.per_endpoint.read().get(to) {
-            stats.record_injected();
-        }
-    }
-
     /// Count one client-side retry against this endpoint (called by the
     /// retry layer, which sits above the bus).
     pub fn record_retry(&self, to: &str) {
@@ -230,9 +220,23 @@ impl Bus {
             .ok_or_else(|| BusError::NoSuchEndpoint(to.to_string()))?;
         let chain = Arc::clone(&self.inner.interceptors.read());
         let info = CallInfo { to, action };
+        let record = |request: u64, response: u64, fault: bool| {
+            self.inner.total.record(request, response, fault);
+            endpoint.stats.record(request, response, fault);
+        };
+        let note_injected = || {
+            self.inner.total.record_injected();
+            endpoint.stats.record_injected();
+        };
 
-        // Request wire trip, through the chain.
-        let mut request_bytes = request.to_bytes();
+        // Request wire trip, through the chain. Both legs serialise into
+        // thread-local pooled buffers (the pool is a stack, so reentrant
+        // calls from a handler get their own buffers); with an empty
+        // chain the pooled bytes flow straight into the parser — no
+        // extra copy. An interceptor swapping in owned bytes via
+        // `Tamper`/`Reply` replaces the buffer contents outright.
+        let mut request_bytes = PooledBuf::take();
+        request.to_bytes_into(&mut request_bytes);
         // `Reply` at position i answers on the service's behalf; only the
         // interceptors outside it (0..i) then see the response.
         let mut replied: Option<(Vec<u8>, usize)> = None;
@@ -240,29 +244,33 @@ impl Bus {
             match interceptor.on_request(&info, &request_bytes) {
                 Intercept::Pass => {}
                 Intercept::Tamper(bytes) => {
-                    self.note_injected(to);
-                    request_bytes = bytes;
+                    note_injected();
+                    request_bytes.replace_with(bytes);
                 }
                 Intercept::Reply(bytes) => {
-                    self.note_injected(to);
+                    note_injected();
                     replied = Some((bytes, i));
                     break;
                 }
                 Intercept::Abort(err) => {
-                    self.note_injected(to);
-                    self.record(to, request_bytes.len() as u64, 0, false);
+                    note_injected();
+                    record(request_bytes.len() as u64, 0, false);
                     return Err(err);
                 }
             }
         }
 
-        let (mut response_bytes, response_chain_len) = match replied {
-            Some((bytes, i)) => (bytes, i),
+        let mut response_bytes = PooledBuf::take();
+        let response_chain_len = match replied {
+            Some((bytes, i)) => {
+                response_bytes.replace_with(bytes);
+                i
+            }
             None => {
                 let parsed_request = match Envelope::from_bytes(&request_bytes) {
                     Ok(env) => env,
                     Err(e) => {
-                        self.record(to, request_bytes.len() as u64, 0, false);
+                        record(request_bytes.len() as u64, 0, false);
                         return Err(BusError::MalformedEnvelope(e.to_string()));
                     }
                 };
@@ -272,7 +280,8 @@ impl Bus {
                     Ok(resp) => resp,
                     Err(fault) => Envelope::with_body(fault.to_xml()),
                 };
-                (response_env.to_bytes(), chain.len())
+                response_env.to_bytes_into(&mut response_bytes);
+                chain.len()
             }
         };
 
@@ -280,17 +289,19 @@ impl Bus {
             match interceptor.on_response(&info, &response_bytes) {
                 Intercept::Pass => {}
                 Intercept::Tamper(bytes) => {
-                    self.note_injected(to);
-                    response_bytes = bytes;
+                    note_injected();
+                    response_bytes.replace_with(bytes);
                 }
                 Intercept::Reply(bytes) => {
-                    self.note_injected(to);
-                    response_bytes = bytes;
+                    note_injected();
+                    response_bytes.replace_with(bytes);
                     break;
                 }
                 Intercept::Abort(err) => {
-                    self.note_injected(to);
-                    self.record(to, request_bytes.len() as u64, 0, false);
+                    note_injected();
+                    // A response leg was consumed before the abort: bill
+                    // it, like the malformed-response path below does.
+                    record(request_bytes.len() as u64, response_bytes.len() as u64, false);
                     return Err(err);
                 }
             }
@@ -299,7 +310,7 @@ impl Bus {
         let parsed_response = match Envelope::from_bytes(&response_bytes) {
             Ok(env) => env,
             Err(e) => {
-                self.record(to, request_bytes.len() as u64, response_bytes.len() as u64, false);
+                record(request_bytes.len() as u64, response_bytes.len() as u64, false);
                 return Err(BusError::MalformedEnvelope(e.to_string()));
             }
         };
@@ -308,7 +319,7 @@ impl Bus {
         // only ever sees data that crossed the "wire". Fault accounting
         // follows the same classification.
         let fault = parsed_response.payload().and_then(Fault::from_xml);
-        self.record(to, request_bytes.len() as u64, response_bytes.len() as u64, fault.is_some());
+        record(request_bytes.len() as u64, response_bytes.len() as u64, fault.is_some());
         match fault {
             Some(f) => Ok(Err(f)),
             None => Ok(Ok(parsed_response)),
@@ -473,6 +484,33 @@ mod tests {
         assert!(s.request_bytes > 0);
         assert_eq!(s.response_bytes, 0);
         assert_eq!(s.faults, 0);
+    }
+
+    struct AbortResponses;
+    impl crate::interceptor::Interceptor for AbortResponses {
+        fn on_response(
+            &self,
+            call: &crate::interceptor::CallInfo<'_>,
+            _: &[u8],
+        ) -> crate::interceptor::Intercept {
+            crate::interceptor::Intercept::Abort(BusError::Timeout(call.to.to_string()))
+        }
+    }
+
+    #[test]
+    fn response_abort_bills_the_consumed_response_leg() {
+        let bus = echo_bus();
+        bus.add_interceptor(Arc::new(AbortResponses));
+        let env = Envelope::with_body(XmlElement::new_local("m").with_text("payload"));
+        let err = bus.call("bus://svc", "urn:echo", &env).unwrap_err();
+        assert_eq!(err, BusError::Timeout("bus://svc".into()));
+        let s = bus.stats();
+        assert_eq!(s.messages, 1);
+        // The service ran and produced a response before the abort: both
+        // legs moved bytes and both are billed (this is an echo, so the
+        // legs are equal).
+        assert!(s.request_bytes > 0);
+        assert_eq!(s.response_bytes, s.request_bytes);
     }
 
     struct ReplyCanned(Vec<u8>);

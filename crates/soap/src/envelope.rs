@@ -1,6 +1,6 @@
 //! The SOAP envelope model.
 
-use dais_xml::{ns, parse, to_string, XmlElement, XmlError};
+use dais_xml::{estimated_size, ns, parse, QName, XmlElement, XmlError, XmlWriter};
 
 /// A SOAP envelope: optional header blocks and exactly one body payload.
 ///
@@ -60,7 +60,35 @@ impl Envelope {
 
     /// Serialise to bytes (what the bus transports).
     pub fn to_bytes(&self) -> Vec<u8> {
-        to_string(&self.to_xml()).into_bytes()
+        let mut out = Vec::new();
+        self.to_bytes_into(&mut out);
+        out
+    }
+
+    /// Serialise to bytes, appending to a caller-supplied (typically
+    /// pooled) buffer. Streams the envelope frame and writes header/body
+    /// blocks directly — no intermediate [`Envelope::to_xml`] deep clone —
+    /// yet produces exactly the bytes of [`Envelope::to_bytes`].
+    pub fn to_bytes_into(&self, out: &mut Vec<u8>) {
+        let content: usize =
+            self.header.iter().chain(&self.body).map(estimated_size).sum::<usize>();
+        out.reserve(content + 128);
+        let mut w = XmlWriter::new(out);
+        w.start(&QName::new(ns::SOAP_ENV, "soap", "Envelope"));
+        if !self.header.is_empty() {
+            w.start(&QName::new(ns::SOAP_ENV, "soap", "Header"));
+            for h in &self.header {
+                w.element(h);
+            }
+            w.end();
+        }
+        w.start(&QName::new(ns::SOAP_ENV, "soap", "Body"));
+        for b in &self.body {
+            w.element(b);
+        }
+        w.end();
+        w.end();
+        w.finish();
     }
 
     /// Parse an envelope from a wire element.
@@ -117,6 +145,7 @@ impl std::error::Error for EnvelopeError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dais_xml::to_string;
 
     fn payload() -> XmlElement {
         XmlElement::new(ns::WSDAI, "wsdai", "GetDataResourcePropertyDocumentRequest").with_child(
@@ -162,6 +191,19 @@ mod tests {
     #[test]
     fn malformed_xml_is_error() {
         assert!(Envelope::from_bytes(b"<soap:Envelope").is_err());
+    }
+
+    #[test]
+    fn streamed_bytes_match_tree_serialisation() {
+        let with_header = Envelope::with_body(payload())
+            .with_header(XmlElement::new(ns::WSA, "wsa", "Action").with_text("urn:op"));
+        let headerless = Envelope::with_body(payload());
+        for env in [with_header, headerless] {
+            assert_eq!(env.to_bytes(), to_string(&env.to_xml()).into_bytes());
+            let mut appended = b"x".to_vec();
+            env.to_bytes_into(&mut appended);
+            assert_eq!(&appended[1..], &env.to_bytes()[..]);
+        }
     }
 
     #[test]

@@ -7,7 +7,8 @@
 
 use crate::error::{SqlError, SqlErrorKind};
 use crate::value::{SqlType, Value};
-use dais_xml::{ns, XmlElement};
+use dais_xml::{ns, QName, XmlElement, XmlSink, XmlWriter};
+use std::fmt::Write as _;
 
 /// A column of a result set.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,6 +98,88 @@ impl Rowset {
         }
         root.push(data);
         root
+    }
+
+    /// Stream the WebRowSet encoding through an [`XmlWriter`] — the wire
+    /// fast lane for large `GetTuples` pages. Produces exactly the bytes
+    /// the tree path (`to_xml` + serialise) would, but never builds the
+    /// intermediate element tree, and formats every cell through one
+    /// reusable scratch buffer instead of a fresh `String` per cell.
+    /// Element names are interned, so each row costs refcount bumps, not
+    /// name allocations.
+    pub fn write_into<S: XmlSink>(&self, w: &mut XmlWriter<'_, S>) {
+        let n_root = QName::new(ns::ROWSET, "wrs", "webRowSet");
+        let n_metadata = QName::new(ns::ROWSET, "wrs", "metadata");
+        let n_count = QName::new(ns::ROWSET, "wrs", "column-count");
+        let n_def = QName::new(ns::ROWSET, "wrs", "column-definition");
+        let n_index = QName::new(ns::ROWSET, "wrs", "column-index");
+        let n_name = QName::new(ns::ROWSET, "wrs", "column-name");
+        let n_type = QName::new(ns::ROWSET, "wrs", "column-type");
+        let n_data = QName::new(ns::ROWSET, "wrs", "data");
+        let n_row = QName::new(ns::ROWSET, "wrs", "currentRow");
+        let n_cell = QName::new(ns::ROWSET, "wrs", "columnValue");
+
+        let mut scratch = String::new();
+
+        w.start(&n_root);
+        w.start(&n_metadata);
+        w.start(&n_count);
+        scratch.clear();
+        let _ = write!(scratch, "{}", self.columns.len());
+        w.text(&scratch);
+        w.end();
+        for (i, c) in self.columns.iter().enumerate() {
+            w.start(&n_def);
+            w.start(&n_index);
+            scratch.clear();
+            let _ = write!(scratch, "{}", i + 1);
+            w.text(&scratch);
+            w.end();
+            w.start(&n_name);
+            w.text(&c.name);
+            w.end();
+            w.start(&n_type);
+            w.text(c.ty.name());
+            w.end();
+            w.end();
+        }
+        w.end();
+        w.start(&n_data);
+        for row in &self.rows {
+            w.start(&n_row);
+            for value in row {
+                w.start(&n_cell);
+                if value.is_null() {
+                    w.attr("null", "true");
+                } else if let Value::Str(s) = value {
+                    // Values with leading/trailing whitespace (or that are
+                    // entirely whitespace) travel as an attribute, which
+                    // survives whitespace-stripping protocol parsers.
+                    if s.trim() != s || s.is_empty() {
+                        w.attr("value", s);
+                    } else {
+                        w.text(s);
+                    }
+                } else {
+                    scratch.clear();
+                    value.write_display_into(&mut scratch);
+                    w.text(&scratch);
+                }
+                w.end();
+            }
+            w.end();
+        }
+        w.end();
+        w.end();
+    }
+
+    /// Serialise the WebRowSet document straight to wire bytes, appended
+    /// to a caller-supplied (typically pooled) buffer, via
+    /// [`Rowset::write_into`].
+    pub fn to_wire_bytes_into(&self, out: &mut Vec<u8>) {
+        let mut w = XmlWriter::new(out);
+        self.write_into(&mut w);
+        w.finish();
     }
 
     /// Decode a WebRowSet XML document.
@@ -223,6 +306,35 @@ mod tests {
             }
         }
         assert!(Rowset::from_xml(&xml).is_err());
+    }
+
+    #[test]
+    fn streamed_bytes_match_tree_serialisation() {
+        let mut rs = sample();
+        // Whitespace-edged and empty strings exercise the attribute form.
+        rs.rows.push(vec![
+            Value::Int(3),
+            Value::Str("  padded  ".into()),
+            Value::Double(0.25),
+            Value::Bool(true),
+        ]);
+        rs.rows.push(vec![Value::Int(4), Value::Str(String::new()), Value::Null, Value::Null]);
+        let tree = dais_xml::to_string(&rs.to_xml());
+        let mut streamed = String::new();
+        let mut w = dais_xml::XmlWriter::new(&mut streamed);
+        rs.write_into(&mut w);
+        w.finish();
+        assert_eq!(streamed, tree);
+    }
+
+    #[test]
+    fn empty_rowset_streams_identically() {
+        let rs = Rowset::new(vec![]);
+        let mut streamed = String::new();
+        let mut w = dais_xml::XmlWriter::new(&mut streamed);
+        rs.write_into(&mut w);
+        w.finish();
+        assert_eq!(streamed, dais_xml::to_string(&rs.to_xml()));
     }
 
     #[test]

@@ -157,18 +157,31 @@ impl Value {
 
     /// Render as SQL literal text (for display and WebRowSet encoding).
     pub fn to_display_string(&self) -> String {
+        let mut out = String::new();
+        self.write_display_into(&mut out);
+        out
+    }
+
+    /// Append the display text to a reusable buffer — same output as
+    /// [`Value::to_display_string`] without the per-value allocation.
+    /// The streaming rowset writer formats every cell through one
+    /// scratch buffer this way.
+    pub fn write_display_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
         match self {
-            Value::Null => "NULL".to_string(),
-            Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
-            Value::Int(i) => i.to_string(),
+            Value::Null => out.push_str("NULL"),
+            Value::Bool(b) => out.push_str(if *b { "TRUE" } else { "FALSE" }),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
             Value::Double(d) => {
                 if d.fract() == 0.0 && d.abs() < 1e15 {
-                    format!("{:.1}", d)
+                    let _ = write!(out, "{:.1}", d);
                 } else {
-                    format!("{d}")
+                    let _ = write!(out, "{d}");
                 }
             }
-            Value::Str(s) => s.clone(),
+            Value::Str(s) => out.push_str(s),
         }
     }
 

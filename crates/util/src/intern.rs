@@ -1,0 +1,357 @@
+//! A global, lock-free-read string interner for the wire vocabulary.
+//!
+//! DAIS messages re-use a small, fixed vocabulary — a dozen namespace
+//! URIs and a few dozen element/attribute local names — on every single
+//! envelope. Re-allocating those strings for every parsed element is the
+//! dominant allocation cost of the wire path, so the parser (and any
+//! builder) routes name strings through [`intern`]: well-known strings
+//! come back as clones of one shared [`IStr`] (a refcount bump, no
+//! allocation), unknown strings fall through to a fresh allocation.
+//!
+//! The table is built once on first use inside a [`OnceLock`]; after
+//! initialisation every lookup is a read of an immutable map — no lock
+//! is ever taken on the hot path.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::{Arc, OnceLock};
+
+/// An immutable, cheaply-cloneable string: `Arc<str>` with string-like
+/// equality, ordering, hashing and display. Cloning never allocates.
+#[derive(Clone)]
+pub struct IStr(Arc<str>);
+
+impl IStr {
+    /// The string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Two `IStr`s sharing one allocation (the fast path interning gives
+    /// every well-known name). Used by tests; equality itself is by
+    /// content with a pointer-equality fast path.
+    pub fn ptr_eq(a: &IStr, b: &IStr) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl Deref for IStr {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for IStr {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for IStr {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Default for IStr {
+    fn default() -> Self {
+        intern("")
+    }
+}
+
+impl fmt::Debug for IStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&*self.0, f)
+    }
+}
+
+impl fmt::Display for IStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl PartialEq for IStr {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for IStr {}
+
+impl PartialOrd for IStr {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IStr {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for IStr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Matches `str`'s hash so `Borrow<str>` map lookups work.
+        self.0.hash(state)
+    }
+}
+
+impl PartialEq<str> for IStr {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for IStr {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl PartialEq<IStr> for str {
+    fn eq(&self, other: &IStr) -> bool {
+        self == &*other.0
+    }
+}
+
+impl PartialEq<IStr> for &str {
+    fn eq(&self, other: &IStr) -> bool {
+        *self == &*other.0
+    }
+}
+
+impl PartialEq<String> for IStr {
+    fn eq(&self, other: &String) -> bool {
+        &*self.0 == other.as_str()
+    }
+}
+
+impl From<&str> for IStr {
+    fn from(s: &str) -> IStr {
+        intern(s)
+    }
+}
+
+impl From<&String> for IStr {
+    fn from(s: &String) -> IStr {
+        intern(s)
+    }
+}
+
+impl From<String> for IStr {
+    fn from(s: String) -> IStr {
+        // Check the table first: handing back the shared Arc beats
+        // keeping the caller's allocation alive.
+        if let Some(hit) = table().get(s.as_str()) {
+            return hit.clone();
+        }
+        IStr(Arc::from(s))
+    }
+}
+
+impl From<IStr> for String {
+    fn from(s: IStr) -> String {
+        s.as_str().to_string()
+    }
+}
+
+/// Intern a string: well-known wire vocabulary comes back `Arc`-shared
+/// (no allocation), anything else is freshly allocated.
+pub fn intern(s: &str) -> IStr {
+    match table().get(s) {
+        Some(hit) => hit.clone(),
+        None => IStr(Arc::from(s)),
+    }
+}
+
+/// True when `s` is in the well-known table (diagnostics/tests).
+pub fn is_interned(s: &str) -> bool {
+    table().contains_key(s)
+}
+
+fn table() -> &'static HashMap<&'static str, IStr> {
+    static TABLE: OnceLock<HashMap<&'static str, IStr>> = OnceLock::new();
+    TABLE.get_or_init(|| WELL_KNOWN.iter().map(|&s| (s, IStr(Arc::from(s)))).collect())
+}
+
+/// The wire vocabulary: namespace URIs, preferred prefixes, and the
+/// recurring element/attribute local names of the WS-DAI family
+/// (SOAP 1.1, WS-Addressing, WS-DAI/DAIR/DAIX, WSRF, WebRowSet).
+/// Unknown names still intern — they just pay one allocation.
+const WELL_KNOWN: &[&str] = &[
+    // The empty string: "no namespace" / "no prefix".
+    "",
+    // Namespace URIs.
+    "http://docs.oasis-open.org/wsrf/rl-2",
+    "http://docs.oasis-open.org/wsrf/rp-2",
+    "http://java.sun.com/xml/ns/jdbc",
+    "http://schemas.dmtf.org/wbem/wscim/1/cim-schema/2",
+    "http://schemas.xmlsoap.org/soap/envelope/",
+    "http://www.ggf.org/namespaces/2005/12/WS-DAI",
+    "http://www.ggf.org/namespaces/2005/12/WS-DAIR",
+    "http://www.ggf.org/namespaces/2005/12/WS-DAIX",
+    "http://www.w3.org/2005/08/addressing",
+    "http://www.w3.org/XML/1998/namespace",
+    // Preferred prefixes.
+    "cim",
+    "soap",
+    "wrs",
+    "wsa",
+    "wsdai",
+    "wsdair",
+    "wsdaix",
+    "wsrf-rl",
+    "wsrf-rp",
+    "xml",
+    // SOAP envelope structure.
+    "Envelope",
+    "Header",
+    "Body",
+    "Fault",
+    "faultcode",
+    "faultstring",
+    "faultactor",
+    "detail",
+    // WS-Addressing.
+    "To",
+    "From",
+    "Action",
+    "MessageID",
+    "ReplyTo",
+    "Address",
+    "EndpointReference",
+    "ReferenceParameters",
+    // WS-DAI core vocabulary (paper Figure 4 property tables).
+    "DataResourceAbstractName",
+    "DataResourceAddress",
+    "DataResourceDescription",
+    "DataResourceManagement",
+    "ParentDataResource",
+    "ResourceProperty",
+    "PropertyDocument",
+    "ConfigurationDocument",
+    "ConfigurationMap",
+    "ConcurrentAccess",
+    "Readable",
+    "Writeable",
+    "Sensitivity",
+    "DatasetMap",
+    "DatasetFormatURI",
+    "DataFormatURI",
+    "DatasetData",
+    "PortTypeQName",
+    "MessageName",
+    "GenericQueryLanguage",
+    "TransactionInitiation",
+    "TransactionIsolation",
+    "QueryExpression",
+    // WS-DAIR.
+    "SQLExecuteRequest",
+    "SQLExecuteResponse",
+    "SQLExpression",
+    "SQLParameter",
+    "SQLResponse",
+    "SQLRowset",
+    "SQLCommunicationArea",
+    "SQLUpdateCount",
+    "SQLReturnValue",
+    "SQLOutputParameter",
+    "GetTuplesRequest",
+    "GetTuplesResponse",
+    "StartPosition",
+    "Count",
+    "Index",
+    "Item",
+    // WS-DAIX.
+    "Document",
+    "DocumentName",
+    "DocumentContent",
+    "CollectionName",
+    "Update",
+    // WSRF lifetime/properties.
+    "SetTerminationTime",
+    "RequestedTerminationTime",
+    "RequestedLifetimeDuration",
+    "NewTerminationTime",
+    "CurrentTime",
+    "TerminationTime",
+    // WebRowSet (paper Figure 5 dataset format).
+    "webRowSet",
+    "metadata",
+    "data",
+    "currentRow",
+    "columnValue",
+    "column-count",
+    "column-definition",
+    "column-index",
+    "column-name",
+    "column-type",
+    "null",
+    "value",
+    "language",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_known_names_share_one_allocation() {
+        let a = intern("DataResourceAbstractName");
+        let b = intern("DataResourceAbstractName");
+        assert!(IStr::ptr_eq(&a, &b));
+        assert!(is_interned("http://schemas.xmlsoap.org/soap/envelope/"));
+    }
+
+    #[test]
+    fn unknown_names_still_intern_correctly() {
+        let a = intern("entirely-novel-name");
+        assert_eq!(a, "entirely-novel-name");
+        assert!(!is_interned("entirely-novel-name"));
+    }
+
+    #[test]
+    fn empty_string_is_shared() {
+        assert!(IStr::ptr_eq(&IStr::default(), &intern("")));
+        assert!(IStr::default().is_empty());
+    }
+
+    #[test]
+    fn string_like_behaviour() {
+        let s = intern("Body");
+        assert_eq!(s, "Body");
+        assert_eq!("Body", s);
+        assert_eq!(s, "Body".to_string());
+        assert_eq!(format!("<{s}>"), "<Body>");
+        assert_eq!(s.as_str(), "Body");
+        assert!(intern("a") < intern("b"));
+    }
+
+    #[test]
+    fn from_string_reuses_table_entries() {
+        let owned = String::from("currentRow");
+        let i = IStr::from(owned);
+        assert!(IStr::ptr_eq(&i, &intern("currentRow")));
+    }
+
+    #[test]
+    fn hash_matches_str_for_borrowed_lookup() {
+        let mut set = std::collections::HashSet::new();
+        set.insert(intern("metadata"));
+        assert!(set.contains("metadata"));
+    }
+
+    #[test]
+    fn table_has_no_duplicates() {
+        let mut seen = std::collections::HashSet::new();
+        for s in WELL_KNOWN {
+            assert!(seen.insert(s), "duplicate table entry {s:?}");
+        }
+    }
+}

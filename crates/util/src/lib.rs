@@ -14,13 +14,21 @@
 //!   runs are reproducible from a seed.
 //! - [`prop`] — a miniature property-testing harness in place of
 //!   `proptest`: seeded case generation with per-case replay seeds.
+//! - [`intern`] — a global lock-free-read string interner ([`IStr`])
+//!   for the recurring wire vocabulary, in place of `string_cache`.
+//! - [`pool`] — thread-local reusable byte buffers ([`PooledBuf`]) for
+//!   the serialise/parse hot path, in place of `bytes`-style pooling.
 
+pub mod intern;
 #[cfg(debug_assertions)]
 pub mod lockorder;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 pub mod sync;
 
+pub use intern::{intern, IStr};
+pub use pool::PooledBuf;
 pub use prop::{run_cases, Gen};
 pub use rng::SplitMix64;
 pub use sync::{Mutex, RwLock};

@@ -1,0 +1,147 @@
+//! Thread-local reusable byte buffers for the wire path.
+//!
+//! Every `Bus::call` serialises a request and a response; without
+//! pooling each leg allocates (and regrows) a fresh `Vec<u8>`. The pool
+//! hands out cleared buffers that keep their capacity across calls, so
+//! steady-state traffic serialises into already-sized memory.
+//!
+//! The pool is a per-thread *stack*, not a fixed pair of slots, because
+//! `Bus::call` is reentrant: a pipeline service handling one call may
+//! issue nested calls on the same thread. Each borrower pops (or
+//! creates) a buffer and its [`PooledBuf`] guard pushes the cleared
+//! buffer back on drop.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+/// Retained buffers per thread. Deep recursion beyond this just
+/// allocates transiently; the excess is dropped instead of hoarded.
+const MAX_POOLED: usize = 8;
+
+/// Buffers that outgrow this are not returned to the pool, so one
+/// pathological payload can't pin a huge allocation forever.
+const MAX_RETAINED_CAPACITY: usize = 1 << 20;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An owned, growable byte buffer on loan from the thread-local pool.
+/// Dereferences to `Vec<u8>`; cleared and returned to the pool on drop.
+pub struct PooledBuf {
+    buf: Vec<u8>,
+}
+
+impl PooledBuf {
+    /// Borrow a cleared buffer from this thread's pool (empty, but with
+    /// whatever capacity its previous use grew it to).
+    pub fn take() -> PooledBuf {
+        let buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+        debug_assert!(buf.is_empty());
+        PooledBuf { buf }
+    }
+
+    /// Like [`take`](Self::take), but ensures at least `cap` bytes of
+    /// capacity up front (one reservation instead of doubling regrowth).
+    pub fn with_capacity(cap: usize) -> PooledBuf {
+        let mut b = PooledBuf::take();
+        b.buf.reserve(cap);
+        b
+    }
+
+    /// Detach the buffer from the pool, e.g. to hand the bytes to an
+    /// owner that outlives the call. The allocation is not returned.
+    pub fn into_inner(mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Replace the pooled bytes with `owned` (interceptors swapping in
+    /// tampered payloads). The previous allocation is recycled on drop
+    /// only if `owned` itself came from the pool; either way behaviour
+    /// stays correct — this is purely an exchange of contents.
+    pub fn replace_with(&mut self, owned: Vec<u8>) {
+        self.buf = owned;
+    }
+}
+
+impl Deref for PooledBuf {
+    type Target = Vec<u8>;
+
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for PooledBuf {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if self.buf.capacity() == 0 || self.buf.capacity() > MAX_RETAINED_CAPACITY {
+            return;
+        }
+        let buf = std::mem::take(&mut self.buf);
+        POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < MAX_POOLED {
+                let mut buf = buf;
+                buf.clear();
+                pool.push(buf);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_survives_a_round_trip() {
+        {
+            let mut b = PooledBuf::take();
+            b.extend_from_slice(&[0u8; 4096]);
+        }
+        let b = PooledBuf::take();
+        assert!(b.capacity() >= 4096);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn nested_borrows_get_distinct_buffers() {
+        let mut a = PooledBuf::take();
+        let mut b = PooledBuf::take();
+        a.push(1);
+        b.push(2);
+        assert_eq!(&a[..], &[1]);
+        assert_eq!(&b[..], &[2]);
+    }
+
+    #[test]
+    fn into_inner_detaches_from_the_pool() {
+        let mut b = PooledBuf::take();
+        b.extend_from_slice(b"keep me");
+        let owned = b.into_inner();
+        assert_eq!(&owned[..], b"keep me");
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        let watermark = {
+            let mut b = PooledBuf::take();
+            b.reserve(MAX_RETAINED_CAPACITY + 1);
+            b.capacity()
+        };
+        let b = PooledBuf::take();
+        assert!(b.capacity() < watermark);
+    }
+}

@@ -134,12 +134,12 @@ fn apply_one(
                     let attr = parent.attributes.get_mut(index).ok_or_else(|| {
                         XmlDbError::Query("attribute vanished during update".into())
                     })?;
-                    attr.name.local = new_name.to_string();
+                    attr.name.local = new_name.into();
                     Ok(())
                 }
                 _ => {
                     let target = navigate_mut(doc, path)?;
-                    target.name.local = new_name.to_string();
+                    target.name.local = new_name.into();
                     Ok(())
                 }
             }

@@ -42,10 +42,11 @@ pub mod parser;
 pub mod writer;
 pub mod xpath;
 
+pub use dais_util::intern::IStr;
 pub use name::QName;
 pub use node::{Attribute, XmlElement, XmlNode};
 pub use parser::{parse, parse_preserving, XmlError};
-pub use writer::{to_pretty_string, to_string};
+pub use writer::{estimated_size, to_bytes_into, to_pretty_string, to_string, XmlSink, XmlWriter};
 pub use xpath::{XPathContext, XPathError, XPathExpr, XPathValue};
 
 /// Well-known namespace URIs used throughout the DAIS stack.

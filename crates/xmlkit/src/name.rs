@@ -1,5 +1,6 @@
 //! Qualified names and namespace declarations.
 
+use dais_util::intern::IStr;
 use std::fmt;
 
 /// An expanded XML qualified name.
@@ -7,27 +8,31 @@ use std::fmt;
 /// Equality and hashing consider only the `(namespace, local)` pair — the
 /// prefix is a serialisation hint, exactly as in the XML namespaces
 /// recommendation. An empty `namespace` means "no namespace".
+///
+/// All three components are interned [`IStr`]s: the recurring WS-DAI
+/// vocabulary shares one allocation process-wide, and cloning a `QName`
+/// is three refcount bumps rather than three string copies.
 #[derive(Debug, Clone, Default)]
 pub struct QName {
     /// Namespace URI; empty string when the name is in no namespace.
-    pub namespace: String,
+    pub namespace: IStr,
     /// Local part of the name.
-    pub local: String,
+    pub local: IStr,
     /// Preferred prefix for serialisation; empty means default/none.
-    pub prefix: String,
+    pub prefix: IStr,
 }
 
 impl QName {
     /// A name in no namespace.
-    pub fn local(local: impl Into<String>) -> Self {
-        QName { namespace: String::new(), local: local.into(), prefix: String::new() }
+    pub fn local(local: impl Into<IStr>) -> Self {
+        QName { namespace: IStr::default(), local: local.into(), prefix: IStr::default() }
     }
 
     /// A namespaced name with a preferred serialisation prefix.
     pub fn new(
-        namespace: impl Into<String>,
-        prefix: impl Into<String>,
-        local: impl Into<String>,
+        namespace: impl Into<IStr>,
+        prefix: impl Into<IStr>,
+        local: impl Into<IStr>,
     ) -> Self {
         QName { namespace: namespace.into(), local: local.into(), prefix: prefix.into() }
     }
@@ -40,7 +45,7 @@ impl QName {
     /// The lexical `prefix:local` form (or bare local part).
     pub fn lexical(&self) -> String {
         if self.prefix.is_empty() {
-            self.local.clone()
+            self.local.as_str().to_string()
         } else {
             format!("{}:{}", self.prefix, self.local)
         }
@@ -125,5 +130,14 @@ mod tests {
         set.insert(QName::new("urn:x", "p", "n"));
         assert!(set.contains(&QName::new("urn:x", "other", "n")));
         assert!(!set.contains(&QName::local("n")));
+    }
+
+    #[test]
+    fn well_known_names_share_storage() {
+        let a = QName::new("http://www.ggf.org/namespaces/2005/12/WS-DAI", "wsdai", "Readable");
+        let b = QName::new("http://www.ggf.org/namespaces/2005/12/WS-DAI", "wsdai", "Readable");
+        assert!(IStr::ptr_eq(&a.namespace, &b.namespace));
+        assert!(IStr::ptr_eq(&a.local, &b.local));
+        assert!(IStr::ptr_eq(&a.prefix, &b.prefix));
     }
 }

@@ -1,6 +1,7 @@
 //! The XML tree model: elements, attributes and child nodes.
 
 use crate::name::QName;
+use dais_util::intern::IStr;
 
 /// An attribute on an element. Attribute names follow the same expanded
 /// naming rules as element names; un-prefixed attributes are in no
@@ -57,21 +58,21 @@ pub struct XmlElement {
 
 impl XmlElement {
     /// Create an empty element in no namespace.
-    pub fn new_local(local: impl Into<String>) -> Self {
+    pub fn new_local(local: impl Into<IStr>) -> Self {
         XmlElement { name: QName::local(local), ..Default::default() }
     }
 
     /// Create an empty element with a namespaced name.
     pub fn new(
-        namespace: impl Into<String>,
-        prefix: impl Into<String>,
-        local: impl Into<String>,
+        namespace: impl Into<IStr>,
+        prefix: impl Into<IStr>,
+        local: impl Into<IStr>,
     ) -> Self {
         XmlElement { name: QName::new(namespace, prefix, local), ..Default::default() }
     }
 
     /// Builder: add an attribute (no namespace) and return `self`.
-    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+    pub fn with_attr(mut self, name: impl Into<IStr>, value: impl Into<String>) -> Self {
         self.set_attr(name, value);
         self
     }
@@ -89,7 +90,7 @@ impl XmlElement {
     }
 
     /// Set (or replace) an un-namespaced attribute.
-    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) {
+    pub fn set_attr(&mut self, name: impl Into<IStr>, value: impl Into<String>) {
         let name = QName::local(name);
         let value = value.into();
         if let Some(a) = self.attributes.iter_mut().find(|a| a.name == name) {

@@ -4,10 +4,26 @@
 //! resulting tree carries expanded [`QName`]s and no longer depends on the
 //! particular prefixes used on the wire. Namespace *declarations* are not
 //! kept in the tree; the serialiser re-derives them (see [`crate::writer`]).
+//!
+//! ## The fast lane
+//!
+//! The inner loop lexes over `&[u8]` and borrows from the input wherever
+//! the bytes can be used verbatim:
+//!
+//! - name tokens are `&str` slices of the input, interned into [`IStr`]s
+//!   only at the point a [`QName`] is built — recurring protocol names
+//!   resolve to `Arc`-shared strings without allocating;
+//! - text segments and attribute values lex to [`Cow::Borrowed`] unless
+//!   they contain an entity reference (the only case that needs rewriting);
+//! - namespace scopes are a flat vector of `(prefix, uri)` bindings with
+//!   per-element truncation marks instead of a stack of hash maps;
+//! - line/column positions are computed lazily, only when an error is
+//!   actually reported, so the hot path never counts newlines.
 
 use crate::name::QName;
 use crate::node::{Attribute, XmlElement, XmlNode};
-use std::collections::HashMap;
+use dais_util::intern::{intern, IStr};
+use std::borrow::Cow;
 use std::fmt;
 
 /// An XML well-formedness or namespace error, with 1-based position.
@@ -44,58 +60,71 @@ pub fn parse_preserving(input: &str) -> Result<XmlElement, XmlError> {
 pub const MAX_DEPTH: usize = 128;
 
 struct Parser<'a> {
+    text: &'a str,
     bytes: &'a [u8],
     pos: usize,
-    line: usize,
-    col: usize,
     strip_ws: bool,
     depth: usize,
 }
 
-/// Namespace scope: a stack of prefix→URI maps.
-struct NsScope {
-    stack: Vec<HashMap<String, String>>,
+/// Namespace scope: a flat list of `(prefix, uri)` bindings with marks
+/// recording where each element's declarations start. Lookup walks the
+/// list backwards, so inner declarations shadow outer ones; popping an
+/// element truncates back to its mark. No per-element map allocation.
+struct NsScope<'a> {
+    bindings: Vec<(&'a str, IStr)>,
+    marks: Vec<usize>,
 }
 
-impl NsScope {
+impl<'a> NsScope<'a> {
     fn new() -> Self {
-        let mut base = HashMap::new();
-        // The xml prefix is implicitly bound per the namespaces rec.
-        base.insert("xml".to_string(), "http://www.w3.org/XML/1998/namespace".to_string());
-        base.insert(String::new(), String::new()); // default namespace: none
-        NsScope { stack: vec![base] }
+        NsScope {
+            bindings: vec![
+                // The xml prefix is implicitly bound per the namespaces rec.
+                ("xml", intern("http://www.w3.org/XML/1998/namespace")),
+                // Default namespace: none.
+                ("", IStr::default()),
+            ],
+            marks: Vec::new(),
+        }
     }
 
     fn push(&mut self) {
-        self.stack.push(HashMap::new());
+        self.marks.push(self.bindings.len());
     }
 
     fn pop(&mut self) {
         // The base scope (xml prefix, empty default) must survive, so an
-        // unbalanced pop is a no-op rather than an empty stack.
-        if self.stack.len() > 1 {
-            self.stack.pop();
+        // unbalanced pop is a no-op rather than an empty list.
+        if let Some(mark) = self.marks.pop() {
+            self.bindings.truncate(mark);
         }
     }
 
-    fn declare(&mut self, prefix: &str, uri: &str) {
-        if let Some(scope) = self.stack.last_mut() {
-            scope.insert(prefix.to_string(), uri.to_string());
-        }
+    fn declare(&mut self, prefix: &'a str, uri: IStr) {
+        self.bindings.push((prefix, uri));
     }
 
-    fn resolve(&self, prefix: &str) -> Option<&str> {
-        self.stack.iter().rev().find_map(|m| m.get(prefix)).map(String::as_str)
+    fn resolve(&self, prefix: &str) -> Option<&IStr> {
+        self.bindings.iter().rev().find(|(p, _)| *p == prefix).map(|(_, u)| u)
     }
 }
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str, strip_ws: bool) -> Self {
-        Parser { bytes: input.as_bytes(), pos: 0, line: 1, col: 1, strip_ws, depth: 0 }
+        Parser { text: input, bytes: input.as_bytes(), pos: 0, strip_ws, depth: 0 }
     }
 
+    /// Report an error at the current position. Line/column are derived
+    /// here, on the cold path, by one scan of the consumed prefix.
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, XmlError> {
-        Err(XmlError { message: msg.into(), line: self.line, column: self.col })
+        let upto = &self.bytes[..self.pos];
+        let line = 1 + upto.iter().filter(|&&b| b == b'\n').count();
+        let column = match upto.iter().rposition(|&b| b == b'\n') {
+            Some(nl) => self.pos - nl,
+            None => self.pos + 1,
+        };
+        Err(XmlError { message: msg.into(), line, column })
     }
 
     fn peek(&self) -> Option<u8> {
@@ -106,33 +135,26 @@ impl<'a> Parser<'a> {
         self.bytes[self.pos..].starts_with(s.as_bytes())
     }
 
-    fn bump(&mut self) -> Option<u8> {
-        let b = self.peek()?;
-        self.pos += 1;
-        if b == b'\n' {
-            self.line += 1;
-            self.col = 1;
-        } else {
-            self.col += 1;
-        }
-        Some(b)
+    fn advance(&mut self, n: usize) {
+        self.pos += n;
     }
 
-    fn bump_n(&mut self, n: usize) {
-        for _ in 0..n {
-            self.bump();
-        }
+    /// Byte offset of the next occurrence of `delim` at or after the
+    /// current position, if any.
+    fn find(&self, delim: &str) -> Option<usize> {
+        let d = delim.as_bytes();
+        self.bytes[self.pos..].windows(d.len()).position(|w| w == d).map(|i| self.pos + i)
     }
 
     fn skip_ws(&mut self) {
         while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
-            self.bump();
+            self.pos += 1;
         }
     }
 
     fn expect(&mut self, b: u8) -> Result<(), XmlError> {
         if self.peek() == Some(b) {
-            self.bump();
+            self.pos += 1;
             Ok(())
         } else {
             self.err(format!("expected '{}'", b as char))
@@ -162,13 +184,13 @@ impl<'a> Parser<'a> {
         loop {
             self.skip_ws();
             if self.starts_with("<?xml") {
-                // XML declaration: scan to ?>
-                while !self.starts_with("?>") {
-                    if self.bump().is_none() {
+                match self.find("?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => {
+                        self.pos = self.bytes.len();
                         return self.err("unterminated XML declaration");
                     }
                 }
-                self.bump_n(2);
             } else if self.starts_with("<!--") {
                 self.parse_comment()?;
             } else if self.starts_with("<!DOCTYPE") {
@@ -179,18 +201,19 @@ impl<'a> Parser<'a> {
         }
     }
 
-    /// Parse a name token (possibly prefixed).
-    fn parse_name(&mut self) -> Result<String, XmlError> {
+    /// Parse a name token (possibly prefixed), borrowed from the input.
+    /// Names end at an ASCII delimiter, so the slice boundaries always
+    /// fall on character boundaries.
+    fn parse_name(&mut self) -> Result<&'a str, XmlError> {
         let start = self.pos;
-        while let Some(b) = self.peek() {
-            let c = b as char;
+        while let Some(&b) = self.bytes.get(self.pos) {
             let ok = if self.pos == start {
-                c.is_ascii_alphabetic() || c == '_' || b >= 0x80
+                b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
             } else {
-                c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':') || b >= 0x80
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80
             };
             if ok {
-                self.bump();
+                self.pos += 1;
             } else {
                 break;
             }
@@ -198,24 +221,18 @@ impl<'a> Parser<'a> {
         if self.pos == start {
             return self.err("expected a name");
         }
-        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+        Ok(&self.text[start..self.pos])
     }
 
-    fn split_name(&self, raw: &str) -> Result<(String, String), XmlError> {
+    fn split_name(&self, raw: &'a str) -> Result<(&'a str, &'a str), XmlError> {
         match raw.split_once(':') {
-            None => Ok((String::new(), raw.to_string())),
-            Some((p, l)) if !p.is_empty() && !l.is_empty() && !l.contains(':') => {
-                Ok((p.to_string(), l.to_string()))
-            }
-            _ => Err(XmlError {
-                message: format!("malformed qualified name '{raw}'"),
-                line: self.line,
-                column: self.col,
-            }),
+            None => Ok(("", raw)),
+            Some((p, l)) if !p.is_empty() && !l.is_empty() && !l.contains(':') => Ok((p, l)),
+            _ => self.err(format!("malformed qualified name '{raw}'")),
         }
     }
 
-    fn parse_element(&mut self, scope: &mut NsScope) -> Result<XmlElement, XmlError> {
+    fn parse_element(&mut self, scope: &mut NsScope<'a>) -> Result<XmlElement, XmlError> {
         self.depth += 1;
         if self.depth > MAX_DEPTH {
             return self.err(format!("element nesting exceeds the maximum depth of {MAX_DEPTH}"));
@@ -225,13 +242,13 @@ impl<'a> Parser<'a> {
         result
     }
 
-    fn parse_element_inner(&mut self, scope: &mut NsScope) -> Result<XmlElement, XmlError> {
+    fn parse_element_inner(&mut self, scope: &mut NsScope<'a>) -> Result<XmlElement, XmlError> {
         self.expect(b'<')?;
         let raw_name = self.parse_name()?;
         scope.push();
 
         // First pass: collect raw attributes, registering xmlns decls.
-        let mut raw_attrs: Vec<(String, String)> = Vec::new();
+        let mut raw_attrs: Vec<(&'a str, Cow<'a, str>)> = Vec::new();
         loop {
             self.skip_ws();
             match self.peek() {
@@ -243,7 +260,7 @@ impl<'a> Parser<'a> {
                     self.skip_ws();
                     let av = self.parse_attr_value()?;
                     if an == "xmlns" {
-                        scope.declare("", &av);
+                        scope.declare("", intern(&av));
                     } else if let Some(p) = an.strip_prefix("xmlns:") {
                         if p.is_empty() {
                             return self.err("empty namespace prefix declaration");
@@ -251,9 +268,9 @@ impl<'a> Parser<'a> {
                         if av.is_empty() {
                             return self.err("cannot bind a prefix to the empty namespace");
                         }
-                        scope.declare(p, &av);
+                        scope.declare(p, intern(&av));
                     } else {
-                        if raw_attrs.iter().any(|(n, _)| n == &an) {
+                        if raw_attrs.iter().any(|(n, _)| *n == an) {
                             return self.err(format!("duplicate attribute '{an}'"));
                         }
                         raw_attrs.push((an, av));
@@ -264,36 +281,37 @@ impl<'a> Parser<'a> {
         }
 
         // Resolve element name.
-        let (prefix, local) = self.split_name(&raw_name)?;
-        let namespace = match scope.resolve(&prefix) {
-            Some(u) => u.to_string(),
+        let (prefix, local) = self.split_name(raw_name)?;
+        let namespace = match scope.resolve(prefix) {
+            Some(u) => u.clone(),
             None => return self.err(format!("undeclared namespace prefix '{prefix}'")),
         };
         let mut element = XmlElement {
-            name: QName { namespace, local, prefix },
+            name: QName { namespace, local: intern(local), prefix: intern(prefix) },
             attributes: Vec::with_capacity(raw_attrs.len()),
             children: Vec::new(),
         };
 
         // Resolve attribute names (unprefixed attrs are in no namespace).
         for (an, av) in raw_attrs {
-            let (prefix, local) = self.split_name(&an)?;
+            let (prefix, local) = self.split_name(an)?;
             let namespace = if prefix.is_empty() {
-                String::new()
+                IStr::default()
             } else {
-                match scope.resolve(&prefix) {
-                    Some(u) => u.to_string(),
+                match scope.resolve(prefix) {
+                    Some(u) => u.clone(),
                     None => return self.err(format!("undeclared namespace prefix '{prefix}'")),
                 }
             };
-            element
-                .attributes
-                .push(Attribute { name: QName { namespace, local, prefix }, value: av });
+            element.attributes.push(Attribute {
+                name: QName { namespace, local: intern(local), prefix: intern(prefix) },
+                value: av.into_owned(),
+            });
         }
 
         // Empty element?
         if self.peek() == Some(b'/') {
-            self.bump();
+            self.pos += 1;
             self.expect(b'>')?;
             scope.pop();
             return Ok(element);
@@ -303,7 +321,7 @@ impl<'a> Parser<'a> {
         // Content.
         loop {
             if self.starts_with("</") {
-                self.bump_n(2);
+                self.advance(2);
                 let close = self.parse_name()?;
                 if close != raw_name {
                     return self.err(format!("mismatched close tag </{close}> for <{raw_name}>"));
@@ -317,16 +335,19 @@ impl<'a> Parser<'a> {
                 let c = self.parse_comment()?;
                 element.children.push(XmlNode::Comment(c));
             } else if self.starts_with("<![CDATA[") {
-                self.bump_n(9);
+                self.advance(9);
                 let start = self.pos;
-                while !self.starts_with("]]>") {
-                    if self.bump().is_none() {
+                match self.find("]]>") {
+                    Some(end) => {
+                        let text = self.text[start..end].to_string();
+                        self.pos = end + 3;
+                        element.children.push(XmlNode::CData(text));
+                    }
+                    None => {
+                        self.pos = self.bytes.len();
                         return self.err("unterminated CDATA section");
                     }
                 }
-                let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
-                self.bump_n(3);
-                element.children.push(XmlNode::CData(text));
             } else if self.peek() == Some(b'<') {
                 let child = self.parse_element(scope)?;
                 element.children.push(XmlNode::Element(child));
@@ -335,7 +356,7 @@ impl<'a> Parser<'a> {
             } else {
                 let text = self.parse_text()?;
                 if !(self.strip_ws && text.trim().is_empty()) {
-                    element.children.push(XmlNode::Text(text));
+                    element.children.push(XmlNode::Text(text.into_owned()));
                 }
             }
         }
@@ -343,6 +364,9 @@ impl<'a> Parser<'a> {
 
     /// Merge adjacent text nodes produced by entity splitting.
     fn coalesce_text(&self, element: &mut XmlElement) {
+        if element.children.windows(2).all(|w| !matches!(w, [XmlNode::Text(_), XmlNode::Text(_)])) {
+            return;
+        }
         let mut out: Vec<XmlNode> = Vec::with_capacity(element.children.len());
         for node in element.children.drain(..) {
             match (&mut out.last_mut(), node) {
@@ -354,65 +378,103 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_comment(&mut self) -> Result<String, XmlError> {
-        self.bump_n(4); // <!--
+        self.advance(4); // <!--
         let start = self.pos;
-        while !self.starts_with("-->") {
-            if self.bump().is_none() {
-                return self.err("unterminated comment");
+        match self.find("-->") {
+            Some(end) => {
+                let text = self.text[start..end].to_string();
+                self.pos = end + 3;
+                Ok(text)
+            }
+            None => {
+                self.pos = self.bytes.len();
+                self.err("unterminated comment")
             }
         }
-        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
-        self.bump_n(3);
-        Ok(text)
     }
 
-    fn parse_text(&mut self) -> Result<String, XmlError> {
-        let mut out = String::new();
-        while let Some(b) = self.peek() {
+    /// Character data up to the next `<`. Escape-free segments borrow
+    /// straight from the input; only entity references force a rebuild.
+    fn parse_text(&mut self) -> Result<Cow<'a, str>, XmlError> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'<' => return Ok(Cow::Borrowed(&self.text[start..self.pos])),
+                b'&' => break,
+                _ => self.pos += 1,
+            }
+        }
+        if self.pos >= self.bytes.len() {
+            return Ok(Cow::Borrowed(&self.text[start..self.pos]));
+        }
+        // Slow path: an entity reference appeared.
+        let mut out = String::with_capacity(self.pos - start + 16);
+        out.push_str(&self.text[start..self.pos]);
+        while let Some(&b) = self.bytes.get(self.pos) {
             match b {
                 b'<' => break,
                 b'&' => out.push(self.parse_entity()?),
                 _ => {
-                    let start = self.pos;
-                    while let Some(b) = self.peek() {
+                    let run = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
                         if b == b'<' || b == b'&' {
                             break;
                         }
-                        self.bump();
+                        self.pos += 1;
                     }
-                    out.push_str(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
+                    out.push_str(&self.text[run..self.pos]);
                 }
             }
         }
-        Ok(out)
+        Ok(Cow::Owned(out))
     }
 
-    fn parse_attr_value(&mut self) -> Result<String, XmlError> {
+    /// A quoted attribute value. Escape-free values borrow straight from
+    /// the input; only entity references force a rebuild.
+    fn parse_attr_value(&mut self) -> Result<Cow<'a, str>, XmlError> {
         let quote = match self.peek() {
             Some(q @ (b'"' | b'\'')) => {
-                self.bump();
+                self.pos += 1;
                 q
             }
             _ => return self.err("expected quoted attribute value"),
         };
-        let mut out = String::new();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == quote {
+                let v = &self.text[start..self.pos];
+                self.pos += 1;
+                return Ok(Cow::Borrowed(v));
+            }
+            match b {
+                b'&' => break,
+                b'<' => return self.err("'<' is not allowed in attribute values"),
+                _ => self.pos += 1,
+            }
+        }
+        if self.pos >= self.bytes.len() {
+            return self.err("unterminated attribute value");
+        }
+        // Slow path: an entity reference appeared.
+        let mut out = String::with_capacity(self.pos - start + 16);
+        out.push_str(&self.text[start..self.pos]);
         loop {
             match self.peek() {
                 Some(b) if b == quote => {
-                    self.bump();
-                    return Ok(out);
+                    self.pos += 1;
+                    return Ok(Cow::Owned(out));
                 }
                 Some(b'&') => out.push(self.parse_entity()?),
                 Some(b'<') => return self.err("'<' is not allowed in attribute values"),
                 Some(_) => {
-                    let start = self.pos;
-                    while let Some(b) = self.peek() {
+                    let run = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
                         if b == quote || b == b'&' || b == b'<' {
                             break;
                         }
-                        self.bump();
+                        self.pos += 1;
                     }
-                    out.push_str(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
+                    out.push_str(&self.text[run..self.pos]);
                 }
                 None => return self.err("unterminated attribute value"),
             }
@@ -429,11 +491,11 @@ impl<'a> Parser<'a> {
             if self.pos - start > 10 {
                 return self.err("unterminated entity reference");
             }
-            self.bump();
+            self.pos += 1;
         }
-        let name = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        let name = &self.text[start..self.pos];
         self.expect(b';')?;
-        match name.as_str() {
+        match name {
             "amp" => Ok('&'),
             "lt" => Ok('<'),
             "gt" => Ok('>'),
@@ -565,9 +627,49 @@ mod tests {
     }
 
     #[test]
+    fn error_columns_are_tracked() {
+        // Error surfaces at the unexpected '<' inside the attribute value,
+        // column 7 of line 1 (1-based).
+        let err = parse("<r a='<'/>").unwrap_err();
+        assert_eq!((err.line, err.column), (1, 7));
+    }
+
+    #[test]
     fn text_coalesced_across_entities() {
         let e = parse("<r>a&amp;b</r>").unwrap();
         assert_eq!(e.children.len(), 1);
         assert_eq!(e.text(), "a&b");
+    }
+
+    #[test]
+    fn escape_free_text_lexes_borrowed() {
+        let mut p = Parser::new("plain segment<", false);
+        assert!(matches!(p.parse_text().unwrap(), Cow::Borrowed("plain segment")));
+        let mut p = Parser::new("a&amp;b<", false);
+        assert!(matches!(p.parse_text().unwrap(), Cow::Owned(_)));
+    }
+
+    #[test]
+    fn escape_free_attr_values_lex_borrowed() {
+        let mut p = Parser::new("'no escapes here'", false);
+        assert!(matches!(p.parse_attr_value().unwrap(), Cow::Borrowed("no escapes here")));
+        let mut p = Parser::new("'one &lt; two'", false);
+        assert!(matches!(p.parse_attr_value().unwrap(), Cow::Owned(_)));
+    }
+
+    #[test]
+    fn parsed_names_are_interned() {
+        use dais_util::intern::IStr;
+        let a = parse("<Envelope xmlns='http://schemas.xmlsoap.org/soap/envelope/'/>").unwrap();
+        let b = parse("<Envelope xmlns='http://schemas.xmlsoap.org/soap/envelope/'/>").unwrap();
+        assert!(IStr::ptr_eq(&a.name.local, &b.name.local));
+        assert!(IStr::ptr_eq(&a.name.namespace, &b.name.namespace));
+    }
+
+    #[test]
+    fn multibyte_text_and_names_survive() {
+        let e = parse("<r\u{e9}><c>caf\u{e9} \u{2603}</c></r\u{e9}>").unwrap();
+        assert_eq!(e.name.local, "r\u{e9}");
+        assert_eq!(e.child("", "c").unwrap().text(), "caf\u{e9} \u{2603}");
     }
 }

@@ -730,8 +730,8 @@ impl<'a, 'c> Evaluator<'a, 'c> {
                 Ok(V::Str(match (name, qname) {
                     (_, None) => String::new(),
                     ("name", Some(q)) => q.lexical(),
-                    ("local-name", Some(q)) => q.local,
-                    ("namespace-uri", Some(q)) => q.namespace,
+                    ("local-name", Some(q)) => q.local.into(),
+                    ("namespace-uri", Some(q)) => q.namespace.into(),
                     _ => unreachable!(),
                 }))
             }

@@ -1,0 +1,132 @@
+//! Write→parse round-trip properties for the serialiser/parser pair.
+//!
+//! The wire-path fast lane rewrote both the parser inner loop (borrowed
+//! text, interned names) and the writer (streaming sink, run-based
+//! escaping); these properties pin the contract the rewrite must keep:
+//! `parse(write(doc)) == doc` for documents full of markup
+//! metacharacters, CDATA-lookalike text and deep nesting — and the
+//! streaming byte writer must produce exactly the tree writer's bytes.
+//!
+//! Driven by the in-repo mini property harness (`dais_util::prop`);
+//! failing cases print a replay seed.
+
+use dais_util::prop::{run_cases, Gen};
+use dais_xml::{parse_preserving, to_bytes_into, to_string, XmlElement, XmlNode};
+
+/// Text fragments biased toward what the escaper must get right:
+/// the five metacharacters, CDATA-section delimiters, entity-lookalike
+/// runs and multi-byte characters.
+const NASTY_PIECES: &[&str] = &[
+    "&",
+    "<",
+    ">",
+    "'",
+    "\"",
+    "]]>",
+    "<![CDATA[",
+    "&amp;",
+    "&#60;",
+    "a<b&c>d",
+    "plain",
+    " ",
+    "émile—∂x",
+];
+
+fn nasty_text(g: &mut Gen, min_pieces: usize, max_pieces: usize) -> String {
+    let mut out = String::new();
+    for _ in 0..g.usize_in(min_pieces, max_pieces + 1) {
+        let piece = *g.pick(NASTY_PIECES);
+        out.push_str(piece);
+    }
+    out
+}
+
+/// A random element tree. Text children are always non-empty and never
+/// adjacent (the parser coalesces adjacent character data, so a tree
+/// violating that could not round-trip structurally).
+fn gen_tree(g: &mut Gen, depth: usize) -> XmlElement {
+    let mut e = XmlElement::new_local(format!("e{}", g.usize_in(0, 5)));
+    for i in 0..g.usize_in(0, 4) {
+        e.set_attr(format!("a{i}"), nasty_text(g, 0, 3));
+    }
+    let children = if depth == 0 { 0 } else { g.usize_in(0, 4) };
+    let mut last_was_text = false;
+    for _ in 0..children {
+        if !last_was_text && g.bool_any() {
+            let mut text = nasty_text(g, 1, 3);
+            if text.is_empty() {
+                text.push('t');
+            }
+            e.push_text(text);
+            last_was_text = true;
+        } else {
+            e.push(gen_tree(g, depth - 1));
+            last_was_text = false;
+        }
+    }
+    e
+}
+
+/// `parse(write(doc)) == doc` over metacharacter-heavy random trees.
+#[test]
+fn write_parse_roundtrip() {
+    run_cases("write_parse_roundtrip", 128, 0x31BE, |g| {
+        let doc = gen_tree(g, 4);
+        let wire = to_string(&doc);
+        let back = parse_preserving(&wire).expect("written document must parse");
+        assert_eq!(back, doc, "wire form: {wire}");
+    });
+}
+
+/// Deeply nested linear chains survive the round trip (the parser
+/// tracks depth; the writer's explicit scope stack must match it).
+#[test]
+fn deep_nesting_roundtrip() {
+    run_cases("deep_nesting_roundtrip", 32, 0xDEE9, |g| {
+        let depth = g.usize_in(1, 100);
+        let mut doc = XmlElement::new_local("leaf").with_text(nasty_text(g, 1, 2));
+        for i in 0..depth {
+            let mut parent = XmlElement::new_local(format!("n{}", i % 7));
+            parent.push(doc);
+            doc = parent;
+        }
+        let wire = to_string(&doc);
+        let back = parse_preserving(&wire).expect("deep document must parse");
+        assert_eq!(back, doc);
+    });
+}
+
+/// The streaming byte writer is byte-identical to the tree writer for
+/// every generated document, and round-trips through the parser.
+#[test]
+fn streamed_bytes_match_tree_writer() {
+    run_cases("streamed_bytes_match_tree_writer", 64, 0xB17E, |g| {
+        let doc = gen_tree(g, 3);
+        let mut bytes = Vec::new();
+        to_bytes_into(&doc, &mut bytes);
+        assert_eq!(bytes, to_string(&doc).into_bytes());
+        let text = std::str::from_utf8(&bytes).expect("writer emits UTF-8");
+        assert_eq!(parse_preserving(text).expect("streamed bytes must parse"), doc);
+    });
+}
+
+/// Character data is preserved exactly: whatever nasty run we put in a
+/// single text child comes back as that exact string.
+#[test]
+fn text_content_is_lossless() {
+    run_cases("text_content_is_lossless", 128, 0x7E47, |g| {
+        let text = nasty_text(g, 1, 6);
+        let attr = nasty_text(g, 0, 6);
+        let mut e = XmlElement::new_local("r");
+        e.set_attr("a", &attr);
+        e.push_text(&text);
+        let back = parse_preserving(&to_string(&e)).unwrap();
+        assert_eq!(back.attribute("a"), Some(attr.as_str()));
+        assert_eq!(
+            back.children.iter().filter(|c| matches!(c, XmlNode::Text(_))).count(),
+            1,
+            "text must stay a single node"
+        );
+        assert_eq!(back.text(), text);
+    });
+}

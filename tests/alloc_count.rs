@@ -1,0 +1,112 @@
+//! Allocation accounting for the wire fast lane.
+//!
+//! A counting `#[global_allocator]` meters heap allocations performed by
+//! one `Bus::call` echo round-trip (serialise → route → parse, both
+//! legs). The fast lane (PR 3: interned QNames, borrowed-text parsing,
+//! pooled wire buffers) must cut allocations by at least 30% against the
+//! pre-change implementation, whose count is recorded below as the
+//! baseline.
+
+use dais_soap::service::SoapDispatcher;
+use dais_soap::{Bus, Envelope};
+use dais_xml::{ns, XmlElement};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+/// Allocations and heap bytes (incl. reallocs) performed by `f`, on this
+/// thread only in practice: the harness runs the closure with no other
+/// threads active.
+fn allocs_during(f: impl FnOnce()) -> (u64, u64) {
+    let (a0, b0) = (ALLOCS.load(Ordering::Relaxed), BYTES.load(Ordering::Relaxed));
+    f();
+    (ALLOCS.load(Ordering::Relaxed) - a0, BYTES.load(Ordering::Relaxed) - b0)
+}
+
+/// The echo round-trip allocation count measured on the pre-fast-lane
+/// implementation (seed + PR 2, commit 5d0b3a0) with this exact payload
+/// and harness. The fast lane must stay at or below 70% of it.
+const PRE_CHANGE_ALLOCS: u64 = 450;
+
+fn echo_payload() -> Envelope {
+    let payload = XmlElement::new(ns::WSDAI, "wsdai", "SQLExecuteRequest")
+        .with_child(
+            XmlElement::new(ns::WSDAI, "wsdai", "DataResourceAbstractName")
+                .with_text("urn:dais:alloc:db"),
+        )
+        .with_child(
+            XmlElement::new(ns::WSDAIR, "wsdair", "SQLExpression")
+                .with_attr("language", "urn:sql")
+                .with_text("SELECT id, label, price FROM item WHERE id < 100"),
+        );
+    Envelope::with_body(payload)
+        .with_header(XmlElement::new(ns::WSA, "wsa", "To").with_text("bus://alloc"))
+        .with_header(
+            XmlElement::new(ns::WSA, "wsa", "Action")
+                .with_text("http://www.ggf.org/namespaces/2005/12/WS-DAIR/SQLExecute"),
+        )
+}
+
+#[test]
+fn echo_round_trip_allocates_30_percent_less_than_baseline() {
+    let bus = Bus::new();
+    let mut d = SoapDispatcher::new();
+    d.register("urn:echo", |req: &Envelope| Ok(req.clone()));
+    bus.register("bus://alloc", Arc::new(d));
+    let env = echo_payload();
+
+    // Warm up: fill thread-local pools, interner cells, lazy statics.
+    for _ in 0..8 {
+        bus.call("bus://alloc", "urn:echo", &env).unwrap().unwrap();
+    }
+
+    // Median of several runs keeps incidental reallocs out of the figure.
+    let mut runs: Vec<(u64, u64)> = (0..9)
+        .map(|_| {
+            allocs_during(|| {
+                bus.call("bus://alloc", "urn:echo", &env).unwrap().unwrap();
+            })
+        })
+        .collect();
+    runs.sort_unstable();
+    let (median, median_bytes) = runs[runs.len() / 2];
+
+    let ceiling = PRE_CHANGE_ALLOCS * 7 / 10;
+    println!(
+        "echo round-trip: {median} allocations, {median_bytes} heap bytes, \
+         {} wire bytes/leg (pre-change baseline {PRE_CHANGE_ALLOCS} allocations, \
+         ceiling {ceiling})",
+        env.to_bytes().len()
+    );
+    assert!(
+        median <= ceiling,
+        "echo round-trip performed {median} allocations; the fast lane requires \
+         <= {ceiling} (70% of the pre-change {PRE_CHANGE_ALLOCS})"
+    );
+}
