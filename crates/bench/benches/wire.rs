@@ -113,6 +113,49 @@ fn bus_echo(out: &mut Vec<Row>) {
     });
 }
 
+/// The same echo with correlated tracing enabled: every call opens the
+/// bus.call/bus.request/bus.dispatch/bus.response span quartet and the
+/// response gains a `wsa:RelatesTo` header. Reported next to `bus_echo`
+/// so the baseline bounds the enabled-tracing overhead.
+fn bus_echo_traced(out: &mut Vec<Row>) {
+    let bus = Bus::new();
+    let mut d = SoapDispatcher::new();
+    d.register("urn:echo", |req: &Envelope| Ok(req.clone()));
+    bus.register("bus://wire", Arc::new(d));
+    bus.enable_tracing(0xB13);
+    let name = AbstractName::new("urn:dais:b:db:0").unwrap();
+    let env = Envelope::with_body(messages::sql_execute_request(
+        &name,
+        ns::ROWSET,
+        "SELECT * FROM item WHERE category = ? AND price > ?",
+        &[Value::Int(3), Value::Double(10.0)],
+    ))
+    // A `wsa:MessageID` carrying a trace context, as `ServiceClient`
+    // sends: the dispatch span joins it and the response echoes it back
+    // in `wsa:RelatesTo`.
+    .with_header(
+        dais_xml::XmlElement::new(ns::WSA, "wsa", "MessageID")
+            .with_text("urn:dais:trace:00000000000000ab:00000000000000cd"),
+    );
+    let n = iters(2000);
+    let before = bus.stats();
+    let ns_per_iter = time_iters(n, || {
+        black_box(bus.call("bus://wire", "urn:echo", &env).unwrap().unwrap());
+        // Drain the sink every iteration, like a live exporter would, so
+        // span storage stays flat and its cost is part of the figure.
+        black_box(bus.obs().tracer.take());
+    });
+    let after = bus.stats();
+    let moved = (after.request_bytes + after.response_bytes)
+        - (before.request_bytes + before.response_bytes);
+    out.push(Row {
+        bench: "bus_echo_traced/sql_execute_request".into(),
+        iters: n,
+        ns_per_iter,
+        bytes_per_iter: moved / (n + 2),
+    });
+}
+
 /// Streaming WebRowSet materialisation into a pooled buffer.
 fn rowset_stream(out: &mut Vec<Row>, rows: usize) {
     let rowset = item_rowset(rows);
@@ -186,6 +229,7 @@ fn main() {
     envelope_roundtrip(&mut rows, "medium", 100);
     envelope_roundtrip(&mut rows, "large", 1000);
     bus_echo(&mut rows);
+    bus_echo_traced(&mut rows);
     rowset_stream(&mut rows, 1000);
     get_tuples_page(&mut rows, 1000);
     for r in &rows {
@@ -194,5 +238,11 @@ fn main() {
             r.bench, r.ns_per_iter, r.bytes_per_iter, r.iters
         );
     }
+    let plain = rows.iter().find(|r| r.bench.starts_with("bus_echo/")).unwrap();
+    let traced = rows.iter().find(|r| r.bench.starts_with("bus_echo_traced/")).unwrap();
+    println!(
+        "  tracing overhead: {:+.1}% per echo round trip",
+        (traced.ns_per_iter / plain.ns_per_iter - 1.0) * 100.0
+    );
     write_baseline(&rows).expect("failed to persist BENCH_PR3.json");
 }

@@ -1,6 +1,7 @@
 //! Measurement helpers for the experiment harness.
 
-use dais_soap::bus::{Bus, StatsSnapshot};
+use dais_soap::bus::Bus;
+use dais_soap::interceptor::InjectorSnapshot;
 use std::time::{Duration, Instant};
 
 /// One measured run: wall time plus the bus traffic it generated,
@@ -14,6 +15,8 @@ pub struct Measurement {
     pub response_bytes: u64,
     pub injected: u64,
     pub retries: u64,
+    /// What the chaos layer actually did during the run, by kind.
+    pub fault_injection: InjectorSnapshot,
 }
 
 impl Measurement {
@@ -27,20 +30,26 @@ impl Measurement {
     }
 }
 
-/// Run `f`, measuring wall time and the traffic delta on `bus`.
+/// Run `f`, measuring wall time and the bus traffic it generates.
+///
+/// Opens a fresh stats epoch (`Bus::reset_stats`) before the workload,
+/// so the snapshot afterwards *is* the measurement — no manual
+/// subtraction, and the chaos ledger lines up with the traffic it
+/// accompanied.
 pub fn measure(bus: &Bus, f: impl FnOnce()) -> Measurement {
-    let before: StatsSnapshot = bus.stats();
+    bus.reset_stats();
     let start = Instant::now();
     f();
     let elapsed = start.elapsed();
-    let after = bus.stats();
+    let s = bus.stats();
     Measurement {
         elapsed,
-        messages: after.messages - before.messages,
-        request_bytes: after.request_bytes - before.request_bytes,
-        response_bytes: after.response_bytes - before.response_bytes,
-        injected: after.injected - before.injected,
-        retries: after.retries - before.retries,
+        messages: s.messages,
+        request_bytes: s.request_bytes,
+        response_bytes: s.response_bytes,
+        injected: s.injected,
+        retries: s.retries,
+        fault_injection: s.fault_injection,
     }
 }
 
@@ -118,6 +127,8 @@ mod tests {
             );
         });
         assert_eq!(m.injected, 1);
+        assert_eq!(m.fault_injection.drops, 1);
+        assert_eq!(m.fault_injection.total(), 1);
     }
 
     #[test]

@@ -1,0 +1,11 @@
+//! Fixture: a tracing span named by a raw literal instead of a
+//! `span_names::` inventory constant.
+
+pub fn trace_a_thing(tracer: &Tracer, parent: Option<TraceContext>) {
+    // Trips `span-name-literal`.
+    let rogue = tracer.span("rogue.span", None);
+    drop(rogue);
+    // Constant-named spans stay silent.
+    let fine = tracer.child_span(span_names::CLIENT_CALL, parent);
+    drop(fine);
+}

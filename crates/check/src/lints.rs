@@ -470,11 +470,55 @@ pub fn run_lints<'a>(files: &'a [FileFacts], allowlist: &Allowlist) -> Vec<Viola
             });
         }
     }
+    // ---- span-name-literal: tracing span names come from the inventory.
+    // `Tracer::span`/`child_span` take `&'static str` names so traces
+    // render against a closed vocabulary (`dais_obs::names::span_names`);
+    // a literal at the call site bypasses the inventory and silently
+    // forks the name space. `span-name-literal:<file>` allowlist entries
+    // ratchet intentional exceptions.
+    const SPAN_LINT: &str = "span-name-literal";
+    let mut counted_span: BTreeSet<String> = BTreeSet::new();
+    for f in files {
+        let path = norm(&f.path);
+        let allowed = allowlist.allowed_for(SPAN_LINT, &path);
+        if allowlist.lint_entries.contains_key(&(SPAN_LINT.to_string(), path.clone())) {
+            counted_span.insert(path.clone());
+        }
+        let actual = f.span_literal_sites.len();
+        if actual > allowed {
+            let first_excess = &f.span_literal_sites[allowed];
+            out.push(Violation {
+                lint: SPAN_LINT,
+                severity: Severity::Error,
+                file: f.path.clone(),
+                line: first_excess.line,
+                message: format!(
+                    "span name `{}` written as a literal at the call site; add it to \
+                     `dais_obs::names::span_names` and pass the constant",
+                    first_excess.value
+                ),
+            });
+        } else if actual < allowed {
+            let (_, entry_line) = allowlist.lint_entries[&(SPAN_LINT.to_string(), path.clone())];
+            out.push(Violation {
+                lint: "stale-allowlist",
+                severity: Severity::Warning,
+                file: allowlist.path.clone(),
+                line: entry_line,
+                message: format!(
+                    "allowlist permits {allowed} literal span name(s) in {path} but only \
+                     {actual} remain; ratchet the entry down"
+                ),
+            });
+        }
+    }
+
     for ((lint, path), (_, entry_line)) in &allowlist.lint_entries {
-        let stale = if lint == POOLED_LINT {
-            !counted_pooled.contains(path)
-        } else {
-            true // no other lint consumes prefixed entries yet
+        let stale = match lint.as_str() {
+            POOLED_LINT => !counted_pooled.contains(path),
+            SPAN_LINT => !counted_span.contains(path),
+            // An unknown lint prefix: nothing consumes the entry.
+            _ => true,
         };
         if stale {
             out.push(Violation {

@@ -71,6 +71,9 @@ pub struct FileFacts {
     /// Lines of `.to_bytes()` calls (checked on the soap wire path,
     /// where the pooled `to_bytes_into` variant avoids the allocation).
     pub to_bytes_sites: Vec<usize>,
+    /// `.span("...")` / `.child_span("...")` calls whose name argument is
+    /// a string literal instead of a `span_names::` inventory constant.
+    pub span_literal_sites: Vec<Literal>,
 }
 
 /// Tokenise and strip `#[cfg(test)]` items, then extract facts.
@@ -178,6 +181,18 @@ pub fn scan_file(root: &Path, rel_path: &Path, src: &str) -> FileFacts {
                         && tokens.get(i + 2).is_some_and(|t| t.is_punct(')'))
                     {
                         facts.to_bytes_sites.push(tok.line);
+                    }
+                    // `.span("...")` / `.child_span("...")` — a tracing
+                    // span named by a literal instead of an inventory
+                    // constant from `span_names::`.
+                    if (tok.is_ident("span") || tok.is_ident("child_span"))
+                        && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+                        && tokens.get(i + 2).is_some_and(|t| t.kind == TokenKind::Str)
+                    {
+                        let name_tok = &tokens[i + 2];
+                        facts
+                            .span_literal_sites
+                            .push(Literal { value: name_tok.text.clone(), line: name_tok.line });
                     }
                 }
                 // `...actions::NAME` path references outside the mod.
@@ -478,6 +493,23 @@ mod tests {
         "#;
         let f = scan("crates/soap/src/x.rs", src);
         assert_eq!(f.to_bytes_sites.len(), 1);
+    }
+
+    #[test]
+    fn span_literals_are_recorded_but_inventory_constants_are_not() {
+        let src = r#"
+            fn traced(t: &Tracer, parent: Option<TraceContext>) {
+                let a = t.span("rogue.span", None);
+                let b = t.child_span("rogue.child", parent);
+                let c = t.span(span_names::CLIENT_CALL, None);
+                let d = t.child_span(span_names::BUS_DISPATCH, parent);
+            }
+            #[cfg(test)]
+            mod tests { fn t(tr: &Tracer) { tr.span("test.only", None); } }
+        "#;
+        let f = scan("crates/alpha/src/tracing.rs", src);
+        let names: Vec<&str> = f.span_literal_sites.iter().map(|l| l.value.as_str()).collect();
+        assert_eq!(names, ["rogue.span", "rogue.child"]);
     }
 
     #[test]

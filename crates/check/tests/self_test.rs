@@ -101,6 +101,15 @@ fn trips_pooled_buffer_bypass() {
 }
 
 #[test]
+fn trips_span_name_literal() {
+    let hits = assert_fires("span-name-literal", "alpha/src/tracing.rs");
+    assert!(hits[0].2.contains("rogue.span"));
+    assert!(hits[0].2.contains("span_names"));
+    // The inventory-constant call in the same fixture stays silent.
+    assert_eq!(hits.len(), 1);
+}
+
+#[test]
 fn trips_stale_allowlist_both_ways() {
     let report = fixtures_report();
     let hits = find(&report, "stale-allowlist");

@@ -36,6 +36,7 @@
 pub mod client;
 pub mod factory;
 pub mod messages;
+pub mod monitoring;
 pub mod name;
 pub mod properties;
 pub mod registry;
@@ -44,6 +45,7 @@ pub mod service;
 
 pub use client::CoreClient;
 pub use factory::{mint_resource_epr, DerivedResourceConfig};
+pub use monitoring::MonitoringResource;
 pub use name::{AbstractName, NameGenerator};
 pub use properties::{
     ConfigurationDocument, ConfigurationMap, CoreProperties, DatasetMap, Sensitivity,

@@ -1,0 +1,179 @@
+//! The monitoring resource: a WS-DAI-style read-only property document
+//! over the bus's observability fabric.
+//!
+//! Every launched service registers one [`MonitoringResource`] alongside
+//! its data resources, so a plain `GetDataResourcePropertyDocument`
+//! against its abstract name returns the live picture — traffic
+//! counters, injected-fault ledger, and latency histograms — rendered as
+//! extension properties in the `urn:dais:obs` namespace. Nothing about
+//! the core protocol changes: monitoring rides the same operations,
+//! resource list, and resolution path as data.
+
+use crate::name::AbstractName;
+use crate::properties::{CoreProperties, ResourceManagementKind};
+use crate::resource::DataResource;
+use dais_obs::HistogramSnapshot;
+use dais_soap::bus::Bus;
+use dais_xml::XmlElement;
+use std::any::Any;
+
+/// Namespace for the monitoring extension properties.
+pub const MON_NS: &str = "urn:dais:obs";
+
+fn mon(local: &str) -> XmlElement {
+    XmlElement::new(MON_NS, "mon", local)
+}
+
+/// A service-managed resource whose property document is the live
+/// monitoring view of one bus endpoint.
+pub struct MonitoringResource {
+    name: AbstractName,
+    bus: Bus,
+    address: String,
+}
+
+impl MonitoringResource {
+    pub fn new(name: AbstractName, bus: Bus, address: impl Into<String>) -> MonitoringResource {
+        MonitoringResource { name, bus, address: address.into() }
+    }
+
+    /// The `mon:BusMonitoring` element: endpoint traffic, the whole-bus
+    /// injected-fault ledger, and every latency histogram the bus's
+    /// metrics registry holds.
+    fn monitoring_element(&self) -> XmlElement {
+        let mut root = mon("BusMonitoring");
+        root.push(mon("Endpoint").with_text(&self.address));
+
+        let stats = self.bus.endpoint_stats(&self.address);
+        let mut traffic = mon("Traffic");
+        traffic.set_attr("messages", stats.messages.to_string());
+        traffic.set_attr("requestBytes", stats.request_bytes.to_string());
+        traffic.set_attr("responseBytes", stats.response_bytes.to_string());
+        traffic.set_attr("faults", stats.faults.to_string());
+        traffic.set_attr("injected", stats.injected.to_string());
+        traffic.set_attr("retries", stats.retries.to_string());
+        traffic.set_attr("epoch", stats.epoch.to_string());
+        root.push(traffic);
+
+        let injected = self.bus.stats().fault_injection;
+        let mut ledger = mon("InjectedFaults");
+        ledger.set_attr("drops", injected.drops.to_string());
+        ledger.set_attr("busy", injected.busy.to_string());
+        ledger.set_attr("unavailable", injected.unavailable.to_string());
+        ledger.set_attr("corruptions", injected.corruptions.to_string());
+        ledger.set_attr("delays", injected.delays.to_string());
+        root.push(ledger);
+
+        for (key, snapshot) in self.bus.obs().metrics.snapshot() {
+            root.push(histogram_element(&key, &snapshot));
+        }
+        root
+    }
+}
+
+fn histogram_element(key: &str, snapshot: &HistogramSnapshot) -> XmlElement {
+    let mut hist = mon("LatencyHistogram");
+    hist.set_attr("key", key);
+    hist.set_attr("count", snapshot.count.to_string());
+    hist.set_attr("meanNs", snapshot.mean().to_string());
+    hist.set_attr("p50Ns", snapshot.percentile(0.50).to_string());
+    hist.set_attr("p95Ns", snapshot.percentile(0.95).to_string());
+    hist.set_attr("p99Ns", snapshot.percentile(0.99).to_string());
+    for (lower, upper, count) in snapshot.non_empty() {
+        let mut bucket = mon("Bucket");
+        bucket.set_attr("lowerNs", lower.to_string());
+        bucket.set_attr("upperNs", upper.to_string());
+        bucket.set_attr("observations", count.to_string());
+        hist.push(bucket);
+    }
+    hist
+}
+
+impl DataResource for MonitoringResource {
+    fn abstract_name(&self) -> &AbstractName {
+        &self.name
+    }
+
+    fn core_properties(&self) -> CoreProperties {
+        let mut props =
+            CoreProperties::new(self.name.clone(), ResourceManagementKind::ServiceManaged);
+        props.description =
+            format!("live observability document for bus endpoint '{}'", self.address);
+        props
+    }
+
+    fn property_document(&self) -> XmlElement {
+        // The core document plus one extension property, mirroring how
+        // realisations extend it with their model-specific properties.
+        let mut doc = self.core_properties().to_xml();
+        doc.push(self.monitoring_element());
+        doc
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dais_soap::envelope::Envelope;
+    use dais_soap::service::SoapDispatcher;
+    use std::sync::Arc;
+
+    fn traffic_bus() -> Bus {
+        let bus = Bus::new();
+        let mut d = SoapDispatcher::new();
+        d.register("urn:echo", |req: &Envelope| Ok(req.clone()));
+        bus.register("bus://svc", Arc::new(d));
+        for _ in 0..3 {
+            bus.call("bus://svc", "urn:echo", &Envelope::default()).unwrap().unwrap();
+        }
+        bus
+    }
+
+    fn make(bus: &Bus) -> MonitoringResource {
+        let name = AbstractName::new("urn:dais:t:monitoring:9").unwrap();
+        MonitoringResource::new(name, bus.clone(), "bus://svc")
+    }
+
+    #[test]
+    fn document_reports_traffic_and_histograms() {
+        let bus = traffic_bus();
+        let doc = make(&bus).property_document();
+        let monitoring = doc
+            .children_named(MON_NS, "BusMonitoring")
+            .next()
+            .expect("BusMonitoring extension property");
+        let traffic = monitoring.children_named(MON_NS, "Traffic").next().unwrap();
+        assert_eq!(traffic.attribute("messages"), Some("3"));
+        let hists: Vec<_> = monitoring.children_named(MON_NS, "LatencyHistogram").collect();
+        assert_eq!(hists.len(), 2, "endpoint + action histograms");
+        for hist in hists {
+            assert_eq!(hist.attribute("count"), Some("3"));
+            let buckets: Vec<_> = hist.children_named(MON_NS, "Bucket").collect();
+            assert!(!buckets.is_empty(), "non-zero buckets after traffic");
+            let total: u64 = buckets
+                .iter()
+                .map(|b| b.attribute("observations").unwrap().parse::<u64>().unwrap())
+                .sum();
+            assert_eq!(total, 3);
+        }
+    }
+
+    #[test]
+    fn document_keeps_the_core_shape() {
+        let bus = traffic_bus();
+        let resource = make(&bus);
+        let doc = resource.property_document();
+        assert!(doc.name.is(dais_xml::ns::WSDAI, "PropertyDocument"));
+        let name =
+            doc.children_named(dais_xml::ns::WSDAI, "DataResourceAbstractName").next().unwrap();
+        assert_eq!(name.text(), resource.abstract_name().as_str());
+        // Read-only: property updates are refused like any other
+        // descriptive resource.
+        let attempt = XmlElement::new(dais_xml::ns::WSDAI, "wsdai", "Readable").with_text("false");
+        assert!(resource.set_property(&attempt).is_err());
+    }
+}

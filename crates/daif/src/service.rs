@@ -211,6 +211,9 @@ pub struct FileService {
     pub names: Arc<NameGenerator>,
     /// The abstract name of the root directory resource.
     pub root: dais_core::AbstractName,
+    /// The abstract name of the service's monitoring resource, whose
+    /// property document is the live observability view of its endpoint.
+    pub monitoring: dais_core::AbstractName,
 }
 
 impl FileService {
@@ -239,7 +242,15 @@ impl FileService {
 
         let root = names.mint("directory");
         ctx.add_resource(Arc::new(DirectoryResource::new(root.clone(), store, "")));
-        FileService { ctx, names, root }
+
+        // Minted after the data resource so existing names are stable.
+        let monitoring = names.mint("monitoring");
+        ctx.add_resource(Arc::new(dais_core::MonitoringResource::new(
+            monitoring.clone(),
+            bus.clone(),
+            address,
+        )));
+        FileService { ctx, names, root, monitoring }
     }
 }
 
@@ -357,7 +368,9 @@ mod tests {
         let core = dais_core::CoreClient::new(bus, "bus://files");
         let props = core.get_property_document(&root).unwrap();
         assert!(props.writeable);
-        assert_eq!(core.get_resource_list().unwrap(), vec![root.clone()]);
+        let list = core.get_resource_list().unwrap();
+        assert!(list.contains(&root), "root directory listed");
+        assert_eq!(list.len(), 2, "root + monitoring resource");
         let epr = core.resolve(&root).unwrap();
         assert_eq!(epr.address, "bus://files");
     }

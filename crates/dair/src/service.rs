@@ -373,6 +373,9 @@ pub struct RelationalService {
     pub names: Arc<NameGenerator>,
     /// The abstract name of the wrapped database resource.
     pub db_resource: dais_core::AbstractName,
+    /// The abstract name of the service's monitoring resource, whose
+    /// property document is the live observability view of its endpoint.
+    pub monitoring: dais_core::AbstractName,
 }
 
 impl RelationalService {
@@ -409,6 +412,14 @@ impl RelationalService {
         let db_resource = names.mint("db");
         ctx.add_resource(Arc::new(SqlDataResource::new(db_resource.clone(), db)));
 
-        RelationalService { ctx, names, db_resource }
+        // Minted after the data resource so existing names are stable.
+        let monitoring = names.mint("monitoring");
+        ctx.add_resource(Arc::new(dais_core::MonitoringResource::new(
+            monitoring.clone(),
+            bus.clone(),
+            address,
+        )));
+
+        RelationalService { ctx, names, db_resource, monitoring }
     }
 }

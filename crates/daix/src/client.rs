@@ -300,8 +300,8 @@ mod tests {
         // Parent's property document counts it.
         let doc = client.get_collection_property_document(&root).unwrap();
         assert_eq!(doc.child_text(ns::WSDAIX, "NumberOfSubcollections").as_deref(), Some("1"));
-        // Both resources listed.
-        assert_eq!(client.core().get_resource_list().unwrap().len(), 2);
+        // Both collections listed (plus the service's monitoring resource).
+        assert_eq!(client.core().get_resource_list().unwrap().len(), 3);
         client.remove_subcollection(&root, "archive").unwrap();
         // The store no longer has it; the dangling resource faults on use.
         assert!(client.get_documents(&archive, &[]).is_err());

@@ -339,6 +339,9 @@ pub struct XmlService {
     pub names: Arc<NameGenerator>,
     /// The abstract name of the root collection resource.
     pub root_collection: dais_core::AbstractName,
+    /// The abstract name of the service's monitoring resource, whose
+    /// property document is the live observability view of its endpoint.
+    pub monitoring: dais_core::AbstractName,
 }
 
 impl XmlService {
@@ -372,6 +375,14 @@ impl XmlService {
         let root_collection = names.mint("collection");
         ctx.add_resource(Arc::new(XmlCollectionResource::new(root_collection.clone(), db, "")));
 
-        XmlService { ctx, names, root_collection }
+        // Minted after the data resource so existing names are stable.
+        let monitoring = names.mint("monitoring");
+        ctx.add_resource(Arc::new(dais_core::MonitoringResource::new(
+            monitoring.clone(),
+            bus.clone(),
+            address,
+        )));
+
+        XmlService { ctx, names, root_collection, monitoring }
     }
 }

@@ -1,0 +1,192 @@
+//! Fixed log-bucketed latency histograms.
+//!
+//! Bucket `i` covers durations with `floor(log2(ns)) == i` — powers of
+//! two from 1 ns up, with 0 ns folded into bucket 0 and everything past
+//! the last bucket clamped into it. Recording is two-to-three relaxed
+//! `fetch_add`s: no locks, no allocation, safe on the wire hot path even
+//! with tracing disabled. Snapshots are plain arrays — mergeable across
+//! endpoints or buses, with percentile estimation by bucket upper bound
+//! (an estimate conservative by at most 2×, the bucket width).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets: covers 1 ns to ~550 s before clamping.
+pub const BUCKET_COUNT: usize = 40;
+
+/// Lower bound (inclusive, ns) of bucket `i`.
+pub fn bucket_lower(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+/// Upper bound (inclusive, ns) of bucket `i`.
+pub fn bucket_upper(i: usize) -> u64 {
+    if i >= BUCKET_COUNT - 1 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+fn bucket_index(nanos: u64) -> usize {
+    ((63 - (nanos | 1).leading_zeros()) as usize).min(BUCKET_COUNT - 1)
+}
+
+/// A lock-free latency histogram.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation (nanoseconds).
+    pub fn record(&self, nanos: u64) {
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every counter in place (existing handles stay valid).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A plain-data copy of a [`Histogram`]; mergeable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; BUCKET_COUNT],
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { buckets: [0; BUCKET_COUNT], count: 0, sum: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Fold `other` in; equivalent to having recorded both streams into
+    /// one histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// The estimated `p`-quantile (ns), reported as the upper bound of
+    /// the bucket holding the `ceil(p·count)`-th observation. 0 for an
+    /// empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cumulative += b;
+            if cumulative >= target {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(BUCKET_COUNT - 1)
+    }
+
+    /// Arithmetic mean (ns); 0 for an empty histogram.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// `(lower_ns, upper_ns, count)` for every non-empty bucket.
+    pub fn non_empty(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (bucket_lower(i), bucket_upper(i), *c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_their_log2_bucket() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+        for i in 0..BUCKET_COUNT {
+            assert!(bucket_lower(i) <= bucket_upper(i));
+        }
+    }
+
+    #[test]
+    fn record_snapshot_reset() {
+        let h = Histogram::new();
+        h.record(100);
+        h.record(100);
+        h.record(5_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 5_200);
+        assert_eq!(s.buckets[bucket_index(100)], 2);
+        assert_eq!(s.buckets[bucket_index(5_000)], 1);
+        h.reset();
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn percentile_brackets_the_observations() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // p50 covers the 3rd of 5 observations (30 ns → bucket [16,31]).
+        assert_eq!(s.percentile(0.5), 31);
+        // p100 brackets the max.
+        assert!(s.percentile(1.0) >= 1_000_000);
+        assert!(s.percentile(1.0) <= 2 * 1_000_000);
+        assert_eq!(HistogramSnapshot::default().percentile(0.99), 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # dais-obs
+//!
+//! The observability fabric: correlated tracing and latency metrics for
+//! the SOAP bus, with no dependencies beyond `dais-util`.
+//!
+//! Three pieces, deliberately small:
+//!
+//! - [`span`] — a trace-context model ([`TraceContext`]) that travels on
+//!   the wire inside WS-Addressing `MessageID`/`RelatesTo` headers, and a
+//!   per-bus [`Tracer`] that records [`Span`]s into an in-memory sink.
+//!   Tracing is **off by default**: a disabled tracer costs one relaxed
+//!   atomic load per instrumentation site and allocates nothing, so the
+//!   wire bytes and the allocation ratchet of the fast lane are
+//!   untouched.
+//! - [`hist`] — fixed log-bucketed latency [`Histogram`]s, lock-free via
+//!   atomics, with mergeable [`HistogramSnapshot`]s and percentile
+//!   estimation. These are **always on**: recording is a couple of
+//!   relaxed `fetch_add`s.
+//! - [`render`] — a deterministic text renderer (ids normalised to
+//!   per-trace ordinals, durations elided) for experiment output and
+//!   golden assertions, plus a raw JSON renderer for machine use.
+//!
+//! Span names come from the central inventory in [`names::span_names`];
+//! the `dais-check` lint `span-name-literal` rejects ad-hoc literals at
+//! span-opening call sites.
+
+pub mod hist;
+pub mod metrics;
+pub mod names;
+pub mod render;
+pub mod span;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use metrics::Metrics;
+pub use render::TraceSink;
+pub use span::{Span, SpanHandle, TraceContext, Tracer};
+
+/// The per-bus observability handle: one tracer, one metrics registry.
+/// Cheap to clone (both halves are shared).
+#[derive(Clone, Default)]
+pub struct Obs {
+    pub tracer: Tracer,
+    pub metrics: Metrics,
+}

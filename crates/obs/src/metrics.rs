@@ -1,0 +1,121 @@
+//! The per-bus metrics registry: latency histograms keyed by endpoint
+//! address and by SOAP action.
+//!
+//! Two separate maps so the hot path can look a histogram up by a
+//! borrowed `&str` (one read lock, one hash probe, no allocation). The
+//! bus additionally caches each endpoint's `Arc<Histogram>` on the
+//! resolved `Endpoint`, so per-endpoint recording skips even the lookup.
+//! [`Metrics::snapshot`] flattens both maps into one ordered view with
+//! `endpoint:`/`action:` key prefixes for rendering.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use dais_util::sync::RwLock;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Key prefix for per-endpoint histograms in [`Metrics::snapshot`].
+pub const ENDPOINT_PREFIX: &str = "endpoint:";
+/// Key prefix for per-action histograms in [`Metrics::snapshot`].
+pub const ACTION_PREFIX: &str = "action:";
+
+#[derive(Default)]
+struct MetricsInner {
+    endpoints: RwLock<HashMap<String, Arc<Histogram>>>,
+    actions: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+/// Cheap to clone (shared state); always on — recording costs a few
+/// relaxed atomic adds.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Arc<MetricsInner>,
+}
+
+fn get_or_create(map: &RwLock<HashMap<String, Arc<Histogram>>>, key: &str) -> Arc<Histogram> {
+    if let Some(h) = map.read().get(key) {
+        return h.clone();
+    }
+    map.write().entry(key.to_string()).or_default().clone()
+}
+
+fn observe(map: &RwLock<HashMap<String, Arc<Histogram>>>, key: &str, nanos: u64) {
+    if let Some(h) = map.read().get(key) {
+        h.record(nanos);
+        return;
+    }
+    get_or_create(map, key).record(nanos);
+}
+
+impl Metrics {
+    /// The histogram for one endpoint address (created on first use).
+    pub fn endpoint_histogram(&self, address: &str) -> Arc<Histogram> {
+        get_or_create(&self.inner.endpoints, address)
+    }
+
+    /// The histogram for one action URI (created on first use).
+    pub fn action_histogram(&self, action: &str) -> Arc<Histogram> {
+        get_or_create(&self.inner.actions, action)
+    }
+
+    /// Record one endpoint latency observation.
+    pub fn observe_endpoint(&self, address: &str, nanos: u64) {
+        observe(&self.inner.endpoints, address, nanos);
+    }
+
+    /// Record one action latency observation.
+    pub fn observe_action(&self, action: &str, nanos: u64) {
+        observe(&self.inner.actions, action, nanos);
+    }
+
+    /// Every histogram, keyed `endpoint:<address>` / `action:<uri>`, in
+    /// deterministic order.
+    pub fn snapshot(&self) -> BTreeMap<String, HistogramSnapshot> {
+        let mut out = BTreeMap::new();
+        for (k, h) in self.inner.endpoints.read().iter() {
+            out.insert(format!("{ENDPOINT_PREFIX}{k}"), h.snapshot());
+        }
+        for (k, h) in self.inner.actions.read().iter() {
+            out.insert(format!("{ACTION_PREFIX}{k}"), h.snapshot());
+        }
+        out
+    }
+
+    /// Zero every histogram in place; handles held by endpoints stay
+    /// valid.
+    pub fn reset(&self) {
+        for h in self.inner.endpoints.read().values() {
+            h.reset();
+        }
+        for h in self.inner.actions.read().values() {
+            h.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_accumulate_per_key() {
+        let m = Metrics::default();
+        m.observe_endpoint("bus://a", 100);
+        m.observe_endpoint("bus://a", 200);
+        m.observe_action("urn:x", 300);
+        let snap = m.snapshot();
+        assert_eq!(snap["endpoint:bus://a"].count, 2);
+        assert_eq!(snap["action:urn:x"].count, 1);
+        assert_eq!(snap.len(), 2);
+    }
+
+    #[test]
+    fn cached_handles_survive_reset() {
+        let m = Metrics::default();
+        let h = m.endpoint_histogram("bus://a");
+        h.record(50);
+        m.reset();
+        assert_eq!(m.snapshot()["endpoint:bus://a"].count, 0);
+        h.record(60);
+        assert_eq!(m.snapshot()["endpoint:bus://a"].count, 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! The span-name inventory.
+//!
+//! Every span the stack opens is named here, mirroring how SOAP action
+//! URIs live in per-crate `mod actions` inventories. The `dais-check`
+//! lint `span-name-literal` flags span-opening call sites that pass a
+//! raw string literal instead of one of these constants, so the full
+//! vocabulary of a trace is readable in one place.
+
+pub mod span_names {
+    /// Consumer-side root: one logical request through `ServiceClient`,
+    /// covering every retry attempt.
+    pub const CLIENT_CALL: &str = "client.call";
+    /// One re-sent attempt; a child of `client.call` carrying the
+    /// backoff delay and the error that triggered it.
+    pub const CLIENT_RETRY: &str = "client.retry";
+    /// One `Bus::call`: both wire legs plus dispatch.
+    pub const BUS_CALL: &str = "bus.call";
+    /// The request leg: serialise, request interceptor chain, parse.
+    pub const BUS_REQUEST: &str = "bus.request";
+    /// The service-side dispatch. Its parent comes from the parsed
+    /// request's `wsa:MessageID` — the bytes that crossed the wire —
+    /// not from the in-process call frame.
+    pub const BUS_DISPATCH: &str = "bus.dispatch";
+    /// The response leg: serialise, response interceptor chain, parse.
+    pub const BUS_RESPONSE: &str = "bus.response";
+
+    /// Every name above, for conformance checks.
+    pub const ALL: &[&str] =
+        &[CLIENT_CALL, CLIENT_RETRY, BUS_CALL, BUS_REQUEST, BUS_DISPATCH, BUS_RESPONSE];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::span_names::ALL;
+
+    #[test]
+    fn inventory_is_unique_and_sorted_per_layer() {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in ALL {
+            assert!(seen.insert(*name), "duplicate span name {name}");
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'),
+                "span name '{name}' breaks the lowercase dotted convention"
+            );
+        }
+    }
+}

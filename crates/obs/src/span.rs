@@ -1,0 +1,317 @@
+//! Spans, trace contexts, and the per-bus tracer.
+//!
+//! A [`TraceContext`] is the pair of ids that crosses process (here:
+//! serialisation) boundaries; it encodes to a WS-Addressing-friendly URI
+//! (`urn:dais:trace:<trace>:<span>`) carried in `wsa:MessageID` and
+//! echoed back in `wsa:RelatesTo`. A [`Tracer`] mints ids from a seeded
+//! [`SplitMix64`] so a whole trace replays byte-for-byte from a seed,
+//! and stamps every span with a monotonic sequence number — start order,
+//! not wall-clock, is what the deterministic renderer sorts by.
+//!
+//! Disabled (the default), every instrumentation site costs one relaxed
+//! atomic load and performs no allocation: [`Tracer::span`] returns an
+//! inert [`SpanHandle`], attribute setters are no-ops, and nothing is
+//! written to the wire.
+
+use dais_util::rng::SplitMix64;
+use dais_util::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::render::TraceSink;
+
+/// The on-wire identity of a span: enough for the receiving side to
+/// join the sender's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    pub trace_id: u64,
+    pub span_id: u64,
+}
+
+const URI_PREFIX: &str = "urn:dais:trace:";
+
+impl TraceContext {
+    /// The wire form: `urn:dais:trace:<16 hex>:<16 hex>`.
+    pub fn encode(&self) -> String {
+        format!("{URI_PREFIX}{:016x}:{:016x}", self.trace_id, self.span_id)
+    }
+
+    /// Parse the wire form back; `None` for anything else (an untraced
+    /// or tampered message id joins no trace).
+    pub fn decode(uri: &str) -> Option<TraceContext> {
+        let rest = uri.strip_prefix(URI_PREFIX)?;
+        let (trace, span) = rest.split_once(':')?;
+        if trace.len() != 16 || span.len() != 16 {
+            return None;
+        }
+        Some(TraceContext {
+            trace_id: u64::from_str_radix(trace, 16).ok()?,
+            span_id: u64::from_str_radix(span, 16).ok()?,
+        })
+    }
+}
+
+/// A finished span, as stored in the sink.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Start-order sequence number — the deterministic sort key.
+    pub seq: u64,
+    pub trace_id: u64,
+    pub span_id: u64,
+    pub parent_id: Option<u64>,
+    /// One of the [`crate::names::span_names`] inventory entries.
+    pub name: &'static str,
+    /// Attributes in insertion order.
+    pub attrs: Vec<(&'static str, String)>,
+    /// Wall-clock duration; real but nondeterministic, so the text
+    /// renderer elides it.
+    pub duration_ns: u64,
+}
+
+struct TracerInner {
+    enabled: AtomicBool,
+    seq: AtomicU64,
+    ids: Mutex<SplitMix64>,
+    finished: Mutex<Vec<Span>>,
+}
+
+impl Default for TracerInner {
+    fn default() -> Self {
+        TracerInner {
+            enabled: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            ids: Mutex::new(SplitMix64::new(0)),
+            finished: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// Records spans into an in-memory sink. Cheap to clone (shared state);
+/// disabled by default.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Tracer {
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Is tracing on? One relaxed load — the cost a disabled site pays.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn tracing on, reseeding the id stream and clearing the sink so
+    /// a run is reproducible from `seed`.
+    pub fn enable(&self, seed: u64) {
+        *self.inner.ids.lock() = SplitMix64::new(seed);
+        self.inner.seq.store(0, Ordering::Relaxed);
+        self.inner.finished.lock().clear();
+        self.inner.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Turn tracing off. Already-recorded spans stay in the sink.
+    pub fn disable(&self) {
+        self.inner.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Open a span: a child of `parent` when given, otherwise the root
+    /// of a fresh trace. Inert when tracing is disabled.
+    pub fn span(&self, name: &'static str, parent: Option<TraceContext>) -> SpanHandle {
+        if !self.enabled() {
+            return SpanHandle { live: None };
+        }
+        let (trace_id, span_id) = {
+            let mut ids = self.inner.ids.lock();
+            match parent {
+                Some(p) => (p.trace_id, ids.next_u64()),
+                None => (ids.next_u64(), ids.next_u64()),
+            }
+        };
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        SpanHandle {
+            live: Some(LiveSpan {
+                tracer: self.clone(),
+                span: Span {
+                    seq,
+                    trace_id,
+                    span_id,
+                    parent_id: parent.map(|p| p.span_id),
+                    name,
+                    attrs: Vec::new(),
+                    duration_ns: 0,
+                },
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// Open a span only if there is a parent to join — the propagation
+    /// sites use this so a message that carried no (or a mangled) trace
+    /// context produces no orphan root.
+    pub fn child_span(&self, name: &'static str, parent: Option<TraceContext>) -> SpanHandle {
+        match parent {
+            Some(_) => self.span(name, parent),
+            None => SpanHandle { live: None },
+        }
+    }
+
+    /// A copy of the finished spans, sorted by start order.
+    pub fn sink(&self) -> TraceSink {
+        let mut spans = self.inner.finished.lock().clone();
+        spans.sort_by_key(|s| s.seq);
+        TraceSink { spans }
+    }
+
+    /// Drain the finished spans, sorted by start order.
+    pub fn take(&self) -> TraceSink {
+        let mut spans = std::mem::take(&mut *self.inner.finished.lock());
+        spans.sort_by_key(|s| s.seq);
+        TraceSink { spans }
+    }
+
+    fn record(&self, span: Span) {
+        self.inner.finished.lock().push(span);
+    }
+}
+
+struct LiveSpan {
+    tracer: Tracer,
+    span: Span,
+    started: Instant,
+}
+
+/// A span being recorded — or nothing at all, when tracing is off. The
+/// span is finished (duration stamped, pushed to the sink) on drop, so
+/// early returns record automatically.
+pub struct SpanHandle {
+    live: Option<LiveSpan>,
+}
+
+impl SpanHandle {
+    /// The no-op handle; what every instrumentation site holds when
+    /// tracing is disabled.
+    pub fn inert() -> SpanHandle {
+        SpanHandle { live: None }
+    }
+
+    pub fn is_recording(&self) -> bool {
+        self.live.is_some()
+    }
+
+    /// This span's wire context, for propagation and for parenting
+    /// children. `None` when inert.
+    pub fn ctx(&self) -> Option<TraceContext> {
+        self.live
+            .as_ref()
+            .map(|l| TraceContext { trace_id: l.span.trace_id, span_id: l.span.span_id })
+    }
+
+    /// Attach an attribute. The value is only formatted when the span is
+    /// live, so a disabled site pays nothing.
+    pub fn attr(&mut self, key: &'static str, value: impl std::fmt::Display) {
+        if let Some(live) = self.live.as_mut() {
+            live.span.attrs.push((key, value.to_string()));
+        }
+    }
+
+    /// Finish now instead of at end of scope.
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanHandle {
+    fn drop(&mut self) {
+        if let Some(mut live) = self.live.take() {
+            live.span.duration_ns = live.started.elapsed().as_nanos() as u64;
+            let tracer = live.tracer.clone();
+            tracer.record(live.span);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::span_names;
+
+    #[test]
+    fn context_round_trips_through_the_uri_form() {
+        let ctx = TraceContext { trace_id: 0xDEAD_BEEF, span_id: 42 };
+        let uri = ctx.encode();
+        assert_eq!(uri, "urn:dais:trace:00000000deadbeef:000000000000002a");
+        assert_eq!(TraceContext::decode(&uri), Some(ctx));
+    }
+
+    #[test]
+    fn mangled_contexts_do_not_decode() {
+        for bad in [
+            "",
+            "urn:dais:trace:zz",
+            "urn:dais:trace:00000000deadbeef",
+            "urn:dais:trace:00000000deadbeef:2a",
+            "urn:other:00000000deadbeef:000000000000002a",
+            "urn:dais:trace:00000000deadbeeX:000000000000002a",
+        ] {
+            assert_eq!(TraceContext::decode(bad), None, "{bad:?} decoded");
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new();
+        assert!(!t.enabled());
+        let mut s = t.span(span_names::CLIENT_CALL, None);
+        assert!(!s.is_recording());
+        assert_eq!(s.ctx(), None);
+        s.attr("ignored", 1);
+        drop(s);
+        assert!(t.sink().spans.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_record_in_start_order() {
+        let t = Tracer::new();
+        t.enable(7);
+        let root = t.span(span_names::CLIENT_CALL, None);
+        let child = t.span(span_names::BUS_CALL, root.ctx());
+        let grandchild = t.child_span(span_names::BUS_REQUEST, child.ctx());
+        // Finish out of start order on purpose.
+        drop(child);
+        drop(grandchild);
+        drop(root);
+        let sink = t.take();
+        let names: Vec<&str> = sink.spans.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["client.call", "bus.call", "bus.request"]);
+        assert!(sink.spans.iter().all(|s| s.trace_id == sink.spans[0].trace_id));
+        assert_eq!(sink.spans[1].parent_id, Some(sink.spans[0].span_id));
+        assert_eq!(sink.spans[2].parent_id, Some(sink.spans[1].span_id));
+    }
+
+    #[test]
+    fn child_span_without_parent_is_inert() {
+        let t = Tracer::new();
+        t.enable(7);
+        let orphan = t.child_span(span_names::BUS_DISPATCH, None);
+        assert!(!orphan.is_recording());
+        drop(orphan);
+        assert!(t.sink().spans.is_empty());
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_id_stream() {
+        let run = |seed: u64| {
+            let t = Tracer::new();
+            t.enable(seed);
+            let root = t.span(span_names::CLIENT_CALL, None);
+            let child = t.span(span_names::BUS_CALL, root.ctx());
+            drop(child);
+            drop(root);
+            t.take().spans.iter().map(|s| (s.trace_id, s.span_id)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(0xA), run(0xA));
+        assert_ne!(run(0xA), run(0xB));
+    }
+}

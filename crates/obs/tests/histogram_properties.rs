@@ -1,0 +1,89 @@
+//! Property tests for histogram merge and percentile estimation, on the
+//! in-repo `dais_util::prop` harness.
+
+use dais_obs::hist::{Histogram, HistogramSnapshot};
+use dais_util::prop::run_cases;
+
+fn values(g: &mut dais_util::prop::Gen) -> Vec<u64> {
+    // Spread across many buckets, staying below the clamped top bucket
+    // (values >= 2^39 all report the same u64::MAX upper bound, which
+    // would void the 2× percentile bound checked below).
+    g.vec_of(0, 64, |g| {
+        let shift = g.u64_in(0, 40);
+        g.u64_in(0, 1 << shift)
+    })
+}
+
+fn recorded(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+#[test]
+fn merge_equals_recording_both_streams() {
+    run_cases("merge-equivalence", 200, 0x0B51, |g| {
+        let a = values(g);
+        let b = values(g);
+        let mut merged = recorded(&a);
+        merged.merge(&recorded(&b));
+        let combined: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(merged, recorded(&combined));
+    });
+}
+
+#[test]
+fn counts_and_sums_are_conserved() {
+    run_cases("conservation", 200, 0x0B52, |g| {
+        let vs = values(g);
+        let s = recorded(&vs);
+        assert_eq!(s.count, vs.len() as u64);
+        assert_eq!(s.sum, vs.iter().sum::<u64>());
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+    });
+}
+
+#[test]
+fn percentiles_are_monotonic_and_bracket_the_data() {
+    run_cases("percentile-bounds", 200, 0x0B53, |g| {
+        let vs = values(g);
+        let s = recorded(&vs);
+        if vs.is_empty() {
+            assert_eq!(s.percentile(0.5), 0);
+            return;
+        }
+        let mut prev = 0;
+        for p in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let q = s.percentile(p);
+            assert!(q >= prev, "percentile not monotonic at p={p}");
+            prev = q;
+        }
+        let max = *vs.iter().max().unwrap();
+        let min = *vs.iter().min().unwrap();
+        // p100 is at least the max and overestimates by at most one
+        // bucket width (2×, +1 for the inclusive bound).
+        let p100 = s.percentile(1.0);
+        assert!(p100 >= max);
+        assert!(p100 <= max.saturating_mul(2).saturating_add(1));
+        // p0 lands in the minimum's bucket.
+        assert!(s.percentile(0.0) >= min);
+    });
+}
+
+#[test]
+fn merge_is_commutative_and_has_identity() {
+    run_cases("merge-algebra", 200, 0x0B54, |g| {
+        let a = recorded(&values(g));
+        let b = recorded(&values(g));
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let mut with_identity = a;
+        with_identity.merge(&HistogramSnapshot::default());
+        assert_eq!(with_identity, a);
+    });
+}

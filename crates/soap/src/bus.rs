@@ -13,21 +13,26 @@
 
 use crate::envelope::Envelope;
 use crate::fault::Fault;
-use crate::interceptor::{CallInfo, Intercept, Interceptor};
+use crate::interceptor::{CallInfo, InjectorSnapshot, Intercept, Interceptor};
 use crate::service::SoapService;
+use dais_obs::names::span_names;
+use dais_obs::{Histogram, Obs, SpanHandle, TraceContext};
 use dais_util::pool::PooledBuf;
 use dais_util::sync::RwLock;
+use dais_xml::{ns, XmlElement};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-/// A registered endpoint. Carries its own stats handle so the per-call
-/// accounting path never takes the registry lock.
+/// A registered endpoint. Carries its own stats and latency-histogram
+/// handles so the per-call accounting path never takes a registry lock.
 #[derive(Clone)]
 pub struct Endpoint {
     pub address: String,
     service: Arc<dyn SoapService>,
     stats: Arc<BusStats>,
+    latency: Arc<Histogram>,
 }
 
 /// Traffic counters. Byte counts measure the serialised envelope size in
@@ -42,9 +47,15 @@ pub struct BusStats {
     pub injected: AtomicU64,
     /// Attempts re-sent by the client retry layer.
     pub retries: AtomicU64,
+    /// Bumped on every [`reset`](BusStats::reset), so a reader can tell
+    /// "freshly zeroed" from "never touched" and detect a reset racing
+    /// its measurement.
+    pub epoch: AtomicU64,
 }
 
-/// A point-in-time copy of [`BusStats`].
+/// A point-in-time copy of [`BusStats`], with the interceptor chain's
+/// fault-injection ledger folded in by [`Bus::stats`] /
+/// [`Bus::endpoint_stats`] — one snapshot tells the whole story.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
     pub messages: u64,
@@ -53,6 +64,10 @@ pub struct StatsSnapshot {
     pub faults: u64,
     pub injected: u64,
     pub retries: u64,
+    /// Reset generation of the counters behind this snapshot.
+    pub epoch: u64,
+    /// What the chain's fault injectors did (summed across the chain).
+    pub fault_injection: InjectorSnapshot,
 }
 
 impl StatsSnapshot {
@@ -79,6 +94,19 @@ impl BusStats {
         self.retries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Zero every counter and open a new epoch. Measurement harnesses
+    /// reset before the workload and read after, so deltas need no
+    /// manual subtraction.
+    pub fn reset(&self) {
+        self.messages.store(0, Ordering::Relaxed);
+        self.request_bytes.store(0, Ordering::Relaxed);
+        self.response_bytes.store(0, Ordering::Relaxed);
+        self.faults.store(0, Ordering::Relaxed);
+        self.injected.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             messages: self.messages.load(Ordering::Relaxed),
@@ -87,6 +115,8 @@ impl BusStats {
             faults: self.faults.load(Ordering::Relaxed),
             injected: self.injected.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
+            epoch: self.epoch.load(Ordering::Relaxed),
+            fault_injection: InjectorSnapshot::default(),
         }
     }
 }
@@ -105,6 +135,9 @@ struct BusInner {
     /// chain costs nothing and mutation never blocks in-flight calls.
     interceptors: RwLock<Arc<Vec<Arc<dyn Interceptor>>>>,
     total: BusStats,
+    /// The observability fabric: tracer (off by default) and latency
+    /// metrics (always on). Per-bus, so parallel tests never share.
+    obs: Obs,
 }
 
 /// Transport-level errors (distinct from SOAP faults, which are
@@ -146,7 +179,13 @@ impl Bus {
         // resolved `Endpoint` carries the `Arc` so `call` never touches
         // the `per_endpoint` map again.
         let stats = Arc::clone(self.inner.per_endpoint.write().entry(address.clone()).or_default());
-        self.inner.endpoints.write().insert(address.clone(), Endpoint { address, service, stats });
+        // Same longevity story for the latency histogram: the endpoint
+        // caches the `Arc`, so the hot path records without a map lookup.
+        let latency = self.inner.obs.metrics.endpoint_histogram(&address);
+        self.inner
+            .endpoints
+            .write()
+            .insert(address.clone(), Endpoint { address, service, stats, latency });
     }
 
     /// Remove an endpoint. Subsequent calls to it fail with
@@ -219,6 +258,57 @@ impl Bus {
             .cloned()
             .ok_or_else(|| BusError::NoSuchEndpoint(to.to_string()))?;
         let chain = Arc::clone(&self.inner.interceptors.read());
+
+        // Tracing: one relaxed atomic load when disabled, nothing else.
+        // The span's parent is the caller's `wsa:MessageID` header, so a
+        // traced client call and its bus leg share one trace.
+        let tracer = &self.inner.obs.tracer;
+        let mut call_span = if tracer.enabled() {
+            let parent = request
+                .header_block(ns::WSA, "MessageID")
+                .and_then(|h| TraceContext::decode(h.text().trim()));
+            let mut span = tracer.span(span_names::BUS_CALL, parent);
+            span.attr("to", to);
+            span.attr("action", action);
+            span
+        } else {
+            SpanHandle::inert()
+        };
+
+        let started = Instant::now();
+        let result = self.exchange(&endpoint, &chain, to, action, request, &mut call_span);
+        let nanos = started.elapsed().as_nanos() as u64;
+        // Latency metrics are always on: two lock-free histogram records.
+        endpoint.latency.record(nanos);
+        self.inner.obs.metrics.observe_action(action, nanos);
+
+        if call_span.is_recording() {
+            call_span.attr(
+                "outcome",
+                match &result {
+                    Ok(Ok(_)) => "ok",
+                    Ok(Err(_)) => "fault",
+                    Err(_) => "transport-error",
+                },
+            );
+        }
+        result
+    }
+
+    /// The wire exchange itself: serialise, run the chain, dispatch,
+    /// serialise back. Split from [`Bus::call`] so the observability
+    /// bookkeeping there sees every early return.
+    #[allow(clippy::type_complexity)]
+    fn exchange(
+        &self,
+        endpoint: &Endpoint,
+        chain: &[Arc<dyn Interceptor>],
+        to: &str,
+        action: &str,
+        request: &Envelope,
+        call_span: &mut SpanHandle,
+    ) -> Result<Result<Envelope, Fault>, BusError> {
+        let tracer = &self.inner.obs.tracer;
         let info = CallInfo { to, action };
         let record = |request: u64, response: u64, fault: bool| {
             self.inner.total.record(request, response, fault);
@@ -235,6 +325,7 @@ impl Bus {
         // chain the pooled bytes flow straight into the parser — no
         // extra copy. An interceptor swapping in owned bytes via
         // `Tamper`/`Reply` replaces the buffer contents outright.
+        let mut request_span = tracer.child_span(span_names::BUS_REQUEST, call_span.ctx());
         let mut request_bytes = PooledBuf::take();
         request.to_bytes_into(&mut request_bytes);
         // `Reply` at position i answers on the service's behalf; only the
@@ -245,20 +336,25 @@ impl Bus {
                 Intercept::Pass => {}
                 Intercept::Tamper(bytes) => {
                     note_injected();
+                    request_span.attr("tampered", true);
                     request_bytes.replace_with(bytes);
                 }
                 Intercept::Reply(bytes) => {
                     note_injected();
+                    request_span.attr("replied-by-interceptor", true);
                     replied = Some((bytes, i));
                     break;
                 }
                 Intercept::Abort(err) => {
                     note_injected();
+                    request_span.attr("aborted", true);
                     record(request_bytes.len() as u64, 0, false);
                     return Err(err);
                 }
             }
         }
+        request_span.attr("bytes", request_bytes.len());
+        request_span.finish();
 
         let mut response_bytes = PooledBuf::take();
         let response_chain_len = match replied {
@@ -274,31 +370,61 @@ impl Bus {
                         return Err(BusError::MalformedEnvelope(e.to_string()));
                     }
                 };
+                // The dispatch span joins the trace through the *parsed*
+                // request: only a context that survived the wire (not
+                // dropped, not tampered beyond recognition) correlates.
+                // `child_span` is inert when the header is absent or
+                // undecodable, so broken propagation shows up as a
+                // missing dispatch node, never a bogus root.
+                let mut dispatch_span = SpanHandle::inert();
+                let mut relates_to = None;
+                if tracer.enabled() {
+                    if let Some(id) = parsed_request.header_block(ns::WSA, "MessageID") {
+                        let id = id.text().trim().to_string();
+                        dispatch_span =
+                            tracer.child_span(span_names::BUS_DISPATCH, TraceContext::decode(&id));
+                        dispatch_span.attr("action", action);
+                        relates_to = Some(id);
+                    }
+                }
                 let outcome = endpoint.service.handle(action, &parsed_request);
+                dispatch_span.attr("outcome", if outcome.is_ok() { "ok" } else { "fault" });
+                dispatch_span.finish();
                 // Fault or success both serialise for the return trip.
-                let response_env = match outcome {
+                let mut response_env = match outcome {
                     Ok(resp) => resp,
                     Err(fault) => Envelope::with_body(fault.to_xml()),
                 };
+                // WS-Addressing reply correlation: echo the request's
+                // MessageID (fault envelopes included). Only added while
+                // tracing, keeping the tracing-off wire byte-identical.
+                if let Some(id) = relates_to {
+                    response_env
+                        .add_header(XmlElement::new(ns::WSA, "wsa", "RelatesTo").with_text(id));
+                }
                 response_env.to_bytes_into(&mut response_bytes);
                 chain.len()
             }
         };
 
+        let mut response_span = tracer.child_span(span_names::BUS_RESPONSE, call_span.ctx());
         for interceptor in chain[..response_chain_len].iter().rev() {
             match interceptor.on_response(&info, &response_bytes) {
                 Intercept::Pass => {}
                 Intercept::Tamper(bytes) => {
                     note_injected();
+                    response_span.attr("tampered", true);
                     response_bytes.replace_with(bytes);
                 }
                 Intercept::Reply(bytes) => {
                     note_injected();
+                    response_span.attr("replied-by-interceptor", true);
                     response_bytes.replace_with(bytes);
                     break;
                 }
                 Intercept::Abort(err) => {
                     note_injected();
+                    response_span.attr("aborted", true);
                     // A response leg was consumed before the abort: bill
                     // it, like the malformed-response path below does.
                     record(request_bytes.len() as u64, response_bytes.len() as u64, false);
@@ -306,6 +432,8 @@ impl Bus {
                 }
             }
         }
+        response_span.attr("bytes", response_bytes.len());
+        response_span.finish();
 
         let parsed_response = match Envelope::from_bytes(&response_bytes) {
             Ok(env) => env,
@@ -326,14 +454,58 @@ impl Bus {
         }
     }
 
-    /// Totals across all endpoints.
+    /// Totals across all endpoints, with the chain's fault-injection
+    /// ledger folded in.
     pub fn stats(&self) -> StatsSnapshot {
-        self.inner.total.snapshot()
+        let mut snap = self.inner.total.snapshot();
+        snap.fault_injection = self.chain_ledger(None);
+        snap
     }
 
-    /// Per-endpoint counters (zero snapshot if never registered).
+    /// Per-endpoint counters (zero snapshot if never registered),
+    /// including the faults injected against that endpoint.
     pub fn endpoint_stats(&self, address: &str) -> StatsSnapshot {
-        self.inner.per_endpoint.read().get(address).map(|s| s.snapshot()).unwrap_or_default()
+        let mut snap =
+            self.inner.per_endpoint.read().get(address).map(|s| s.snapshot()).unwrap_or_default();
+        snap.fault_injection = self.chain_ledger(Some(address));
+        snap
+    }
+
+    /// Zero every traffic counter — total, per-endpoint, and the chain's
+    /// injection ledgers — opening a new measurement epoch. Latency
+    /// histograms are *not* cleared; reset those through
+    /// [`Bus::obs`]`().metrics` if a measurement needs it.
+    pub fn reset_stats(&self) {
+        self.inner.total.reset();
+        for stats in self.inner.per_endpoint.read().values() {
+            stats.reset();
+        }
+        for interceptor in self.inner.interceptors.read().iter() {
+            interceptor.reset_injection_ledger();
+        }
+    }
+
+    /// The bus's observability fabric (tracer + latency metrics).
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
+    }
+
+    /// Turn on tracing with a deterministic id stream; clears any spans
+    /// already in the sink.
+    pub fn enable_tracing(&self, seed: u64) {
+        self.inner.obs.tracer.enable(seed);
+    }
+
+    pub fn disable_tracing(&self) {
+        self.inner.obs.tracer.disable();
+    }
+
+    fn chain_ledger(&self, endpoint: Option<&str>) -> InjectorSnapshot {
+        let mut total = InjectorSnapshot::default();
+        for interceptor in self.inner.interceptors.read().iter() {
+            total.merge(interceptor.injection_ledger(endpoint));
+        }
+        total
     }
 }
 
@@ -567,6 +739,92 @@ mod tests {
         with_chain.call("bus://svc", "urn:echo", &env).unwrap().unwrap();
         without.call("bus://svc", "urn:echo", &env).unwrap().unwrap();
         assert_eq!(with_chain.stats(), without.stats());
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters_and_bumps_epoch() {
+        let bus = echo_bus();
+        let env = Envelope::with_body(XmlElement::new_local("m").with_text("x"));
+        bus.call("bus://svc", "urn:echo", &env).unwrap().unwrap();
+        bus.record_retry("bus://svc");
+        assert_eq!(bus.stats().epoch, 0);
+        bus.reset_stats();
+        let s = bus.stats();
+        assert_eq!((s.messages, s.total_bytes(), s.retries), (0, 0, 0));
+        assert_eq!(s.epoch, 1);
+        assert_eq!(bus.endpoint_stats("bus://svc").epoch, 1);
+        // Counters keep accumulating in the new epoch.
+        bus.call("bus://svc", "urn:echo", &env).unwrap().unwrap();
+        assert_eq!(bus.stats().messages, 1);
+    }
+
+    #[test]
+    fn stats_fold_in_the_chain_injection_ledger() {
+        use crate::interceptor::{FaultInjector, FaultPolicy, InjectorSnapshot};
+        let bus = echo_bus();
+        let inj = FaultInjector::new(1);
+        inj.set_policy("bus://svc", FaultPolicy::default().busy(1.0));
+        bus.add_interceptor(Arc::new(inj));
+        let fault = bus.call("bus://svc", "urn:echo", &Envelope::default()).unwrap().unwrap_err();
+        assert!(fault.is(crate::fault::DaisFault::ServiceBusy));
+        assert_eq!(bus.stats().fault_injection.busy, 1);
+        assert_eq!(bus.endpoint_stats("bus://svc").fault_injection.busy, 1);
+        assert_eq!(bus.endpoint_stats("bus://other").fault_injection, InjectorSnapshot::default());
+        bus.reset_stats();
+        assert_eq!(bus.stats().fault_injection.total(), 0);
+    }
+
+    #[test]
+    fn latency_histograms_record_every_call() {
+        let bus = echo_bus();
+        let env = Envelope::with_body(XmlElement::new_local("m").with_text("x"));
+        for _ in 0..3 {
+            bus.call("bus://svc", "urn:echo", &env).unwrap().unwrap();
+        }
+        let snap = bus.obs().metrics.snapshot();
+        assert_eq!(snap["endpoint:bus://svc"].count, 3);
+        assert_eq!(snap["action:urn:echo"].count, 3);
+    }
+
+    #[test]
+    fn traced_call_records_correlated_spans_and_echoes_relates_to() {
+        let bus = echo_bus();
+        bus.enable_tracing(0xE13);
+        // Stand in for a traced client: open a root span and carry its
+        // context in `wsa:MessageID`, exactly as `ServiceClient` does.
+        let root = bus.obs().tracer.span(span_names::CLIENT_CALL, None);
+        let ctx = root.ctx().unwrap();
+        let env = Envelope::with_body(XmlElement::new_local("m").with_text("x"))
+            .with_header(XmlElement::new(ns::WSA, "wsa", "MessageID").with_text(ctx.encode()));
+        let out = bus.call("bus://svc", "urn:echo", &env).unwrap().unwrap();
+        let relates = out.header_block(ns::WSA, "RelatesTo").expect("RelatesTo echoed");
+        assert_eq!(relates.text(), ctx.encode());
+        drop(root);
+
+        let sink = bus.obs().tracer.take();
+        let names: Vec<&str> = sink.spans.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            ["client.call", "bus.call", "bus.request", "bus.dispatch", "bus.response"]
+        );
+        assert!(sink.spans.iter().all(|s| s.trace_id == ctx.trace_id));
+        // Both the bus leg and the dispatch hang off the client span:
+        // the former from the request argument, the latter from the
+        // MessageID that crossed the wire.
+        assert_eq!(sink.first("bus.call").unwrap().parent_id, Some(ctx.span_id));
+        assert_eq!(sink.first("bus.dispatch").unwrap().parent_id, Some(ctx.span_id));
+        let call_id = sink.first("bus.call").unwrap().span_id;
+        assert_eq!(sink.first("bus.request").unwrap().parent_id, Some(call_id));
+        assert_eq!(sink.first("bus.response").unwrap().parent_id, Some(call_id));
+    }
+
+    #[test]
+    fn untraced_wire_gains_no_correlation_headers() {
+        let bus = echo_bus();
+        let env = Envelope::with_body(XmlElement::new_local("m").with_text("x"));
+        let out = bus.call("bus://svc", "urn:echo", &env).unwrap().unwrap();
+        assert!(out.header_block(ns::WSA, "RelatesTo").is_none());
+        assert!(bus.obs().tracer.sink().is_empty());
     }
 
     #[test]

@@ -6,7 +6,9 @@ use crate::bus::{Bus, BusError};
 use crate::envelope::Envelope;
 use crate::fault::Fault;
 use crate::retry::{is_retryable, RetryConfig};
-use dais_xml::XmlElement;
+use dais_obs::names::span_names;
+use dais_obs::{SpanHandle, TraceContext};
+use dais_xml::{ns, XmlElement};
 use std::time::Duration;
 
 /// Errors a consumer can observe: transport failures or SOAP faults.
@@ -116,42 +118,112 @@ impl ServiceClient {
         payload: XmlElement,
         idempotent: bool,
     ) -> Result<XmlElement, CallError> {
+        // The root span of the whole logical operation. Every attempt's
+        // `wsa:MessageID` carries a context from this trace, so the bus
+        // legs and the service dispatch all correlate. Inert (one atomic
+        // load, no allocation) when the bus's tracer is off.
+        let tracer = &self.bus.obs().tracer;
+        let call_span = if tracer.enabled() {
+            let mut span = tracer.span(span_names::CLIENT_CALL, None);
+            span.attr("to", &self.epr.address);
+            span.attr("action", action);
+            span
+        } else {
+            SpanHandle::inert()
+        };
+
         let Some(config) = self.retry.as_ref().filter(|_| idempotent) else {
-            return self.request_once(action, &payload);
+            let result = self.request_once(action, &payload, call_span.ctx());
+            finish_call_span(call_span, result.is_ok(), 1);
+            return result;
         };
         let mut slept = Duration::ZERO;
         let mut attempt: u32 = 1;
+        // The span the in-flight attempt hangs off: the root for attempt
+        // 1, then each retry span. Held across the loop so the retry
+        // span covers its attempt's bus leg.
+        let mut retry_span = SpanHandle::inert();
         loop {
-            let error = match self.request_once(action, &payload) {
-                Ok(response) => return Ok(response),
+            let parent = retry_span.ctx().or_else(|| call_span.ctx());
+            let error = match self.request_once(action, &payload, parent) {
+                Ok(response) => {
+                    drop(retry_span);
+                    finish_call_span(call_span, true, attempt);
+                    return Ok(response);
+                }
                 Err(e) => e,
             };
             if !is_retryable(&error) || attempt >= config.policy.max_attempts {
+                drop(retry_span);
+                finish_call_span(call_span, false, attempt);
                 return Err(error);
             }
             let pause = config.policy.backoff_delay(attempt);
             match slept.checked_add(pause) {
                 // Total sleep stays within the deadline budget.
                 Some(total) if total <= config.policy.deadline => slept = total,
-                _ => return Err(error),
+                _ => {
+                    drop(retry_span);
+                    finish_call_span(call_span, false, attempt);
+                    return Err(error);
+                }
             }
             config.sleep(pause);
             self.bus.record_retry(&self.epr.address);
             attempt += 1;
+            // Each retry is a child of the root call, tagged with what
+            // drove it and the backoff that preceded it.
+            retry_span = tracer.child_span(span_names::CLIENT_RETRY, call_span.ctx());
+            if retry_span.is_recording() {
+                retry_span.attr("attempt", attempt);
+                retry_span.attr("backoff_ns", pause.as_nanos());
+                retry_span.attr("cause", cause_label(&error));
+            }
         }
     }
 
-    /// One send, no retry.
-    fn request_once(&self, action: &str, payload: &XmlElement) -> Result<XmlElement, CallError> {
+    /// One send, no retry. When `trace_parent` is set (only ever while
+    /// tracing), the request carries it as `wsa:MessageID` so the bus and
+    /// service join the caller's trace.
+    fn request_once(
+        &self,
+        action: &str,
+        payload: &XmlElement,
+        trace_parent: Option<TraceContext>,
+    ) -> Result<XmlElement, CallError> {
         let mut env = Envelope::with_body(payload.clone());
         for h in message_headers(&self.epr.address, action, &self.epr.reference_parameters) {
             env.add_header(h);
+        }
+        if let Some(ctx) = trace_parent {
+            env.add_header(XmlElement::new(ns::WSA, "wsa", "MessageID").with_text(ctx.encode()));
         }
         let response = self.bus.call(&self.epr.address, action, &env)??;
         response
             .payload()
             .cloned()
             .ok_or_else(|| CallError::UnexpectedResponse("empty response body".into()))
+    }
+}
+
+/// Stamp the root span with how the operation ended.
+fn finish_call_span(mut span: SpanHandle, ok: bool, attempts: u32) {
+    if span.is_recording() {
+        span.attr("outcome", if ok { "ok" } else { "error" });
+        span.attr("attempts", attempts);
+    }
+}
+
+/// Compact, deterministic label for what failed an attempt.
+fn cause_label(error: &CallError) -> String {
+    match error {
+        CallError::Fault(f) => match f.dais {
+            Some(kind) => format!("{kind:?}"),
+            None => "fault".to_string(),
+        },
+        CallError::Transport(BusError::Timeout(_)) => "timeout".to_string(),
+        CallError::Transport(_) => "transport".to_string(),
+        CallError::UnexpectedResponse(_) => "unexpected-response".to_string(),
     }
 }
 
@@ -302,6 +374,28 @@ mod tests {
         let total: Duration = sleeps.lock().unwrap().iter().sum();
         assert!(total <= Duration::from_millis(25), "slept {total:?}");
         assert!(!sleeps.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn traced_retry_builds_one_correlated_trace() {
+        let bus = flaky_bus(1);
+        bus.enable_tracing(0xAB);
+        let (client, _) = retrying_client(bus.clone(), 4);
+        client.request("urn:read", XmlElement::new_local("q")).unwrap();
+        let sink = bus.obs().tracer.take();
+
+        let root = sink.first("client.call").expect("root span");
+        assert!(sink.spans.iter().all(|s| s.trace_id == root.trace_id), "one trace");
+        assert_eq!(sink.spans_named("bus.call").len(), 2, "one bus leg per attempt");
+        assert_eq!(sink.spans_named("bus.dispatch").len(), 2, "context crossed the wire");
+        let retry = sink.first("client.retry").expect("retry span");
+        assert_eq!(retry.parent_id, Some(root.span_id));
+        // The second attempt's bus leg hangs off the retry span.
+        assert_eq!(sink.spans_named("bus.call")[1].parent_id, Some(retry.span_id));
+        assert!(retry.attrs.iter().any(|(k, v)| *k == "cause" && v == "ServiceBusy"));
+        assert!(retry.attrs.iter().any(|(k, _)| *k == "backoff_ns"));
+        assert!(root.attrs.iter().any(|(k, v)| *k == "outcome" && v == "ok"));
+        assert!(root.attrs.iter().any(|(k, v)| *k == "attempts" && v == "2"));
     }
 
     #[test]

@@ -19,8 +19,7 @@ use crate::envelope::Envelope;
 use crate::fault::{DaisFault, Fault};
 use dais_util::rng::SplitMix64;
 use dais_util::sync::{Mutex, RwLock};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -59,6 +58,19 @@ pub trait Interceptor: Send + Sync {
     fn on_response(&self, _call: &CallInfo<'_>, _bytes: &[u8]) -> Intercept {
         Intercept::Pass
     }
+
+    /// What this stage has injected so far — for the whole bus
+    /// (`None`) or one endpoint address. The bus folds every stage's
+    /// ledger into [`StatsSnapshot::fault_injection`]
+    /// (`crate::bus::StatsSnapshot`), so one snapshot tells the whole
+    /// story. Passive interceptors keep the default empty ledger.
+    fn injection_ledger(&self, _endpoint: Option<&str>) -> InjectorSnapshot {
+        InjectorSnapshot::default()
+    }
+
+    /// Zero the ledger; called by `Bus::reset_stats` so measurement
+    /// epochs stay consistent with the traffic counters.
+    fn reset_injection_ledger(&self) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -136,22 +148,35 @@ impl InjectorSnapshot {
     pub fn total(&self) -> u64 {
         self.drops + self.busy + self.unavailable + self.corruptions + self.delays
     }
+
+    /// Fold another ledger in (used by the bus to sum a chain).
+    pub fn merge(&mut self, other: InjectorSnapshot) {
+        self.drops += other.drops;
+        self.busy += other.busy;
+        self.unavailable += other.unavailable;
+        self.corruptions += other.corruptions;
+        self.delays += other.delays;
+    }
 }
 
-#[derive(Default)]
-struct InjectorCounters {
-    drops: AtomicU64,
-    busy: AtomicU64,
-    unavailable: AtomicU64,
-    corruptions: AtomicU64,
-    delays: AtomicU64,
+/// Which gate fired, for ledger bookkeeping.
+#[derive(Clone, Copy)]
+enum InjectedKind {
+    Drop,
+    Busy,
+    Unavailable,
+    Corrupt,
+    Delay,
 }
 
 struct InjectorInner {
     rng: Mutex<SplitMix64>,
     policies: RwLock<HashMap<String, FaultPolicy>>,
     default_policy: RwLock<Option<FaultPolicy>>,
-    counters: InjectorCounters,
+    /// Per-endpoint injected-fault counts; the whole-bus ledger is the
+    /// sum. Only touched when a gate actually fires, so the no-fault
+    /// path never takes this lock.
+    ledger: Mutex<BTreeMap<String, InjectorSnapshot>>,
 }
 
 /// A chaos interceptor: injects transport and service failures on the
@@ -171,8 +196,20 @@ impl FaultInjector {
                 rng: Mutex::new(SplitMix64::new(seed)),
                 policies: RwLock::new(HashMap::new()),
                 default_policy: RwLock::new(None),
-                counters: InjectorCounters::default(),
+                ledger: Mutex::new(BTreeMap::new()),
             }),
+        }
+    }
+
+    fn note(&self, endpoint: &str, kind: InjectedKind) {
+        let mut ledger = self.inner.ledger.lock();
+        let entry = ledger.entry(endpoint.to_string()).or_default();
+        match kind {
+            InjectedKind::Drop => entry.drops += 1,
+            InjectedKind::Busy => entry.busy += 1,
+            InjectedKind::Unavailable => entry.unavailable += 1,
+            InjectedKind::Corrupt => entry.corruptions += 1,
+            InjectedKind::Delay => entry.delays += 1,
         }
     }
 
@@ -191,15 +228,18 @@ impl FaultInjector {
         *self.inner.default_policy.write() = None;
     }
 
+    /// Everything injected so far, summed across endpoints.
     pub fn snapshot(&self) -> InjectorSnapshot {
-        let c = &self.inner.counters;
-        InjectorSnapshot {
-            drops: c.drops.load(Ordering::Relaxed),
-            busy: c.busy.load(Ordering::Relaxed),
-            unavailable: c.unavailable.load(Ordering::Relaxed),
-            corruptions: c.corruptions.load(Ordering::Relaxed),
-            delays: c.delays.load(Ordering::Relaxed),
+        let mut total = InjectorSnapshot::default();
+        for entry in self.inner.ledger.lock().values() {
+            total.merge(*entry);
         }
+        total
+    }
+
+    /// What was injected against one endpoint address.
+    pub fn endpoint_snapshot(&self, endpoint: &str) -> InjectorSnapshot {
+        self.inner.ledger.lock().get(endpoint).copied().unwrap_or_default()
     }
 
     fn policy_for(&self, endpoint: &str) -> Option<FaultPolicy> {
@@ -235,37 +275,52 @@ impl Interceptor for FaultInjector {
         // a serial caller.
         let mut rng = self.inner.rng.lock();
         if rng.gen_bool(policy.drop_probability) {
-            self.inner.counters.drops.fetch_add(1, Ordering::Relaxed);
+            drop(rng);
+            self.note(call.to, InjectedKind::Drop);
             return Intercept::Abort(BusError::Timeout(format!(
                 "injected timeout calling '{}'",
                 call.to
             )));
         }
         if rng.gen_bool(policy.busy_probability) {
-            self.inner.counters.busy.fetch_add(1, Ordering::Relaxed);
+            drop(rng);
+            self.note(call.to, InjectedKind::Busy);
             return Intercept::Reply(Self::synthetic_fault(DaisFault::ServiceBusy, call.to));
         }
         if rng.gen_bool(policy.unavailable_probability) {
-            self.inner.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+            drop(rng);
+            self.note(call.to, InjectedKind::Unavailable);
             return Intercept::Reply(Self::synthetic_fault(
                 DaisFault::DataResourceUnavailable,
                 call.to,
             ));
         }
         if rng.gen_bool(policy.corrupt_probability) {
-            self.inner.counters.corruptions.fetch_add(1, Ordering::Relaxed);
+            drop(rng);
+            self.note(call.to, InjectedKind::Corrupt);
             return Intercept::Tamper(Self::corrupt(bytes));
         }
         if rng.gen_bool(policy.delay_probability) {
             let micros = policy.max_delay.as_micros() as u64;
             let stall = if micros == 0 { 0 } else { rng.gen_range(0, micros + 1) };
             drop(rng); // never sleep while holding the stream
-            self.inner.counters.delays.fetch_add(1, Ordering::Relaxed);
+            self.note(call.to, InjectedKind::Delay);
             if stall > 0 {
                 std::thread::sleep(Duration::from_micros(stall));
             }
         }
         Intercept::Pass
+    }
+
+    fn injection_ledger(&self, endpoint: Option<&str>) -> InjectorSnapshot {
+        match endpoint {
+            None => self.snapshot(),
+            Some(address) => self.endpoint_snapshot(address),
+        }
+    }
+
+    fn reset_injection_ledger(&self) {
+        self.inner.ledger.lock().clear();
     }
 }
 
@@ -337,6 +392,24 @@ mod tests {
             inj.on_request(&info("bus://other"), b"<e/>"),
             Intercept::Abort(BusError::Timeout(_))
         ));
+    }
+
+    #[test]
+    fn ledger_tracks_per_endpoint_counts_and_resets() {
+        let inj = FaultInjector::new(1);
+        inj.set_policy("bus://a", always(|p| p.drop(1.0)));
+        inj.set_policy("bus://b", always(|p| p.busy(1.0)));
+        inj.on_request(&info("bus://a"), b"<e/>");
+        inj.on_request(&info("bus://a"), b"<e/>");
+        inj.on_request(&info("bus://b"), b"<e/>");
+        assert_eq!(inj.endpoint_snapshot("bus://a").drops, 2);
+        assert_eq!(inj.endpoint_snapshot("bus://b").busy, 1);
+        assert_eq!(inj.snapshot().total(), 3);
+        // The Interceptor-trait view agrees with the inherent accessors.
+        assert_eq!(inj.injection_ledger(Some("bus://a")), inj.endpoint_snapshot("bus://a"));
+        assert_eq!(inj.injection_ledger(None), inj.snapshot());
+        inj.reset_injection_ledger();
+        assert_eq!(inj.snapshot(), InjectorSnapshot::default());
     }
 
     #[test]

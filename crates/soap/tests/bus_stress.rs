@@ -69,23 +69,34 @@ fn register_unregister_race_is_safe() {
         std::thread::spawn(move || {
             let mut ok = 0;
             let mut gone = 0;
-            for _ in 0..200 {
+            let attempt = |ok: &mut u32, gone: &mut u32| {
                 match bus.call(
                     "bus://flap",
                     "urn:echo",
                     &Envelope::with_body(XmlElement::new_local("x")),
                 ) {
-                    Ok(Ok(_)) => ok += 1,
+                    Ok(Ok(_)) => *ok += 1,
                     Ok(Err(_)) => panic!("echo cannot fault"),
-                    Err(_) => gone += 1, // transiently unregistered: fine
+                    Err(_) => *gone += 1, // transiently unregistered: fine
                 }
+            };
+            for _ in 0..200 {
+                attempt(&mut ok, &mut gone);
+            }
+            // Failing fast is cheap, so a caller preempted inside one
+            // unregistered window can burn every attempt there. The
+            // flapper always leaves the endpoint registered when it
+            // exits, so insisting on one delivery terminates.
+            while ok == 0 {
+                std::thread::yield_now();
+                attempt(&mut ok, &mut gone);
             }
             (ok, gone)
         })
     };
     flapper.join().unwrap();
     let (ok, gone) = caller.join().unwrap();
-    assert_eq!(ok + gone, 200);
+    assert!(ok + gone >= 200);
     assert!(ok > 0, "some calls must get through");
 }
 

@@ -12,6 +12,7 @@
 //! | WS-DAIX | [`daix`] | the XML realisation (collections, XPath/XQuery/XUpdate, sequences) |
 //! | WSRF | [`wsrf`] | WS-ResourceProperties + WS-ResourceLifetime layering |
 //! | messaging | [`soap`] | SOAP envelopes, WS-Addressing EPRs, the in-process bus |
+//! | observability | [`obs`] | correlated tracing, latency histograms, trace rendering |
 //! | substrates | [`sql`], [`xmldb`], [`xml`], [`cim`] | the embedded relational engine, the XML store, the XML/XPath toolkit, CIM metadata rendering |
 //!
 //! ## Quickstart
@@ -44,6 +45,7 @@ pub use dais_core as core;
 pub use dais_daif as daif;
 pub use dais_dair as dair;
 pub use dais_daix as daix;
+pub use dais_obs as obs;
 pub use dais_soap as soap;
 pub use dais_sql as sql;
 pub use dais_wsrf as wsrf;

@@ -73,29 +73,42 @@ fn echo_payload() -> Envelope {
         )
 }
 
-#[test]
-fn echo_round_trip_allocates_30_percent_less_than_baseline() {
+/// The echo figure measured on the fast lane *before* the observability
+/// fabric (PR 3, commit c7a7182) with this exact payload and harness.
+/// Disabled tracing must not add a single allocation on top of it.
+const PRE_OBS_ALLOCS: u64 = 96;
+
+fn echo_bus() -> Bus {
     let bus = Bus::new();
     let mut d = SoapDispatcher::new();
     d.register("urn:echo", |req: &Envelope| Ok(req.clone()));
     bus.register("bus://alloc", Arc::new(d));
-    let env = echo_payload();
+    bus
+}
 
-    // Warm up: fill thread-local pools, interner cells, lazy statics.
+/// Median allocation count and heap bytes of an echo round trip, after
+/// warming the thread-local pools, interner cells and lazy statics.
+fn median_echo_allocs(bus: &Bus, env: &Envelope) -> (u64, u64) {
     for _ in 0..8 {
-        bus.call("bus://alloc", "urn:echo", &env).unwrap().unwrap();
+        bus.call("bus://alloc", "urn:echo", env).unwrap().unwrap();
     }
-
     // Median of several runs keeps incidental reallocs out of the figure.
     let mut runs: Vec<(u64, u64)> = (0..9)
         .map(|_| {
             allocs_during(|| {
-                bus.call("bus://alloc", "urn:echo", &env).unwrap().unwrap();
+                bus.call("bus://alloc", "urn:echo", env).unwrap().unwrap();
             })
         })
         .collect();
     runs.sort_unstable();
-    let (median, median_bytes) = runs[runs.len() / 2];
+    runs[runs.len() / 2]
+}
+
+#[test]
+fn echo_round_trip_allocates_30_percent_less_than_baseline() {
+    let bus = echo_bus();
+    let env = echo_payload();
+    let (median, median_bytes) = median_echo_allocs(&bus, &env);
 
     let ceiling = PRE_CHANGE_ALLOCS * 7 / 10;
     println!(
@@ -108,5 +121,35 @@ fn echo_round_trip_allocates_30_percent_less_than_baseline() {
         median <= ceiling,
         "echo round-trip performed {median} allocations; the fast lane requires \
          <= {ceiling} (70% of the pre-change {PRE_CHANGE_ALLOCS})"
+    );
+}
+
+#[test]
+fn disabled_tracing_adds_zero_allocations() {
+    let bus = echo_bus();
+    let env = echo_payload();
+
+    // With tracing off (the default), the observability layer costs one
+    // relaxed atomic load and two lock-free histogram records: the round
+    // trip must allocate no more than the pre-observability fast lane.
+    let (disabled, _) = median_echo_allocs(&bus, &env);
+    assert!(
+        disabled <= PRE_OBS_ALLOCS,
+        "disabled tracing added allocations: {disabled} > pre-observability {PRE_OBS_ALLOCS}"
+    );
+
+    // A finished tracing session leaves no residue: enable, trace a few
+    // calls, drain the sink, disable — allocation-identical again.
+    bus.enable_tracing(7);
+    for _ in 0..4 {
+        bus.call("bus://alloc", "urn:echo", &env).unwrap().unwrap();
+    }
+    let traced = bus.obs().tracer.take();
+    assert!(!traced.is_empty(), "the traced warm-up should have recorded spans");
+    bus.disable_tracing();
+    let (after, _) = median_echo_allocs(&bus, &env);
+    assert_eq!(
+        after, disabled,
+        "turning tracing on and off again changed the steady-state allocation count"
     );
 }

@@ -10,13 +10,14 @@
 //!   bus statistics, and an idle chaos layer yields statistics
 //!   byte-identical to a bus that never heard of interceptors.
 
+use dais::obs::Span;
 use dais::prelude::*;
-use dais::soap::bus::StatsSnapshot;
+use dais::soap::bus::{BusError, StatsSnapshot};
 use dais::soap::fault::DaisFault;
-use dais::soap::interceptor::InjectorSnapshot;
+use dais::soap::interceptor::{CallInfo, InjectorSnapshot, Intercept, Interceptor};
 use dais::soap::retry::{IdempotencySet, RetryConfig, RetryPolicy, SleepFn};
 use dais::xml::parse;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 const SQL_ADDR: &str = "bus://chaos/sql";
@@ -27,6 +28,8 @@ struct Stack {
     bus: Bus,
     sql: SqlClient,
     db: AbstractName,
+    /// The relational service's live monitoring resource.
+    monitoring: AbstractName,
     xml: XmlClient,
     collection: AbstractName,
     files: FileClient,
@@ -95,6 +98,7 @@ fn build_stack(retry_seed: Option<u64>) -> Stack {
         bus,
         sql,
         db: sql_svc.db_resource,
+        monitoring: sql_svc.monitoring,
         xml,
         collection: xml_svc.root_collection,
         files,
@@ -142,12 +146,15 @@ fn chaos_run(seed: u64) -> RunSignature {
 
     run_read_sweep(&stack);
 
+    // The injector's per-endpoint ledger arrives folded into the bus
+    // snapshot — no separate accessor needed.
+    let total = stack.bus.stats();
     RunSignature {
-        total: stack.bus.stats(),
+        total,
         sql: stack.bus.endpoint_stats(SQL_ADDR),
         xml: stack.bus.endpoint_stats(XML_ADDR),
         files: stack.bus.endpoint_stats(FILE_ADDR),
-        injected: injector.snapshot(),
+        injected: total.fault_injection,
     }
 }
 
@@ -219,6 +226,178 @@ fn non_idempotent_operations_are_never_retried() {
     injector.clear_default_policy();
     let data = stack.sql.execute(&stack.db, "SELECT COUNT(*) FROM t", &[]).unwrap();
     assert_eq!(data.rowset().unwrap().rows[0][0], Value::Int(3));
+}
+
+/// Look up one span attribute, empty when absent.
+fn attr<'s>(span: &'s Span, key: &str) -> &'s str {
+    span.attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| v.as_str()).unwrap_or("")
+}
+
+/// Applies a scripted sequence of request-phase faults, then passes
+/// everything — deterministic chaos for trace assertions.
+struct ScriptedFaults(Mutex<std::collections::VecDeque<&'static str>>);
+
+impl ScriptedFaults {
+    fn new(steps: &[&'static str]) -> Self {
+        Self(Mutex::new(steps.iter().copied().collect()))
+    }
+}
+
+impl Interceptor for ScriptedFaults {
+    fn on_request(&self, _call: &CallInfo<'_>, bytes: &[u8]) -> Intercept {
+        match self.0.lock().unwrap().pop_front() {
+            Some("drop") => Intercept::Abort(BusError::Timeout("scripted drop".into())),
+            Some("tamper") => Intercept::Tamper(bytes[..bytes.len() / 2].to_vec()),
+            _ => Intercept::Pass,
+        }
+    }
+}
+
+/// Records every response wire image so tests can inspect the bytes that
+/// actually crossed.
+#[derive(Default)]
+struct CaptureResponses(Mutex<Vec<Vec<u8>>>);
+
+impl Interceptor for CaptureResponses {
+    fn on_response(&self, _call: &CallInfo<'_>, bytes: &[u8]) -> Intercept {
+        self.0.lock().unwrap().push(bytes.to_vec());
+        Intercept::Pass
+    }
+}
+
+#[test]
+fn trace_context_survives_retries_drop_and_tamper() {
+    let stack = build_stack(Some(9));
+    stack.bus.enable_tracing(0x0B5);
+    // Attempt 1 is dropped, attempt 2 is corrupted in flight, attempt 3
+    // goes through clean.
+    stack.bus.add_interceptor(Arc::new(ScriptedFaults::new(&["drop", "tamper"])));
+
+    let data = stack.sql.execute(&stack.db, "SELECT COUNT(*) FROM t", &[]).unwrap();
+    assert_eq!(data.rowset().unwrap().rows[0][0], Value::Int(3));
+
+    let sink = stack.bus.obs().tracer.take();
+    // Everything belongs to the one client-rooted trace.
+    let root = sink.first("client.call").unwrap();
+    assert!(root.parent_id.is_none());
+    assert!(sink.spans.iter().all(|s| s.trace_id == root.trace_id));
+    assert_eq!(attr(root, "outcome"), "ok");
+    assert_eq!(attr(root, "attempts"), "3");
+
+    // Three attempts, two retries, and each attempt's bus leg hangs off
+    // the span whose context rode its `wsa:MessageID`.
+    let bus_calls = sink.spans_named("bus.call");
+    let retries = sink.spans_named("client.retry");
+    assert_eq!((bus_calls.len(), retries.len()), (3, 2));
+    assert_eq!(bus_calls[0].parent_id, Some(root.span_id));
+    assert_eq!(bus_calls[1].parent_id, Some(retries[0].span_id));
+    assert_eq!(bus_calls[2].parent_id, Some(retries[1].span_id));
+    assert_eq!([attr(retries[0], "cause"), attr(retries[1], "cause")], ["timeout", "transport"]);
+
+    // Only the clean attempt reaches the dispatcher, and its wire-decoded
+    // parent is the second retry: the context survived the re-send.
+    let dispatches = sink.spans_named("bus.dispatch");
+    assert_eq!(dispatches.len(), 1, "dropped/tampered requests must not reach the service");
+    assert_eq!(dispatches[0].parent_id, Some(retries[1].span_id));
+
+    // The fault legs are visible on the request spans.
+    let requests = sink.spans_named("bus.request");
+    assert_eq!(requests.len(), 3);
+    assert_eq!(attr(requests[0], "aborted"), "true");
+    assert_eq!(attr(requests[1], "tampered"), "true");
+    assert_eq!(sink.spans_named("bus.response").len(), 1);
+
+    // The span ledger and the billing counters agree.
+    let stats = stack.bus.stats();
+    assert_eq!(stats.retries, retries.len() as u64);
+    assert_eq!(stats.injected, 2);
+}
+
+#[test]
+fn fault_envelopes_carry_the_correlation_header() {
+    let stack = build_stack(None);
+    let wires = Arc::new(CaptureResponses::default());
+    stack.bus.add_interceptor(wires.clone());
+    stack.bus.enable_tracing(0x0F);
+
+    // A service-generated fault: the resource does not exist.
+    let ghost = AbstractName::new("urn:dais:ghost:db:0").unwrap();
+    let err = stack.sql.core().get_property_document(&ghost).unwrap_err();
+    assert_eq!(err.dais_fault(), Some(DaisFault::InvalidResourceName));
+
+    let sink = stack.bus.obs().tracer.take();
+    let root = sink.first("client.call").unwrap();
+    assert_eq!(attr(root, "outcome"), "error");
+    assert_eq!(attr(sink.first("bus.call").unwrap(), "outcome"), "fault");
+    assert_eq!(attr(sink.first("bus.dispatch").unwrap(), "outcome"), "fault");
+
+    // The fault envelope that crossed the wire echoes the request's
+    // trace context in `wsa:RelatesTo`.
+    let expected = format!("urn:dais:trace:{:016x}:{:016x}", root.trace_id, root.span_id);
+    let captured = wires.0.lock().unwrap();
+    let fault_wire = std::str::from_utf8(captured.last().unwrap()).unwrap();
+    assert!(fault_wire.contains("Fault"), "expected a fault envelope, got: {fault_wire}");
+    assert!(fault_wire.contains("RelatesTo"));
+    assert!(fault_wire.contains(&expected));
+}
+
+#[test]
+fn synthetic_replies_do_not_forge_correlation() {
+    let stack = build_stack(Some(5));
+    let injector = FaultInjector::new(5);
+    injector.set_default_policy(FaultPolicy::default().busy(1.0));
+    stack.bus.add_interceptor(Arc::new(injector.clone()));
+    stack.bus.enable_tracing(0x5EED);
+
+    // Non-idempotent write: one attempt, answered by the interceptor
+    // before the service ever sees it.
+    let err = stack.sql.execute(&stack.db, "INSERT INTO t VALUES (7, 'seven')", &[]).unwrap_err();
+    assert_eq!(err.dais_fault(), Some(DaisFault::ServiceBusy));
+
+    let sink = stack.bus.obs().tracer.take();
+    assert!(sink.first("bus.dispatch").is_none(), "the service was never reached");
+    assert_eq!(attr(sink.first("bus.request").unwrap(), "replied-by-interceptor"), "true");
+    let root = sink.first("client.call").unwrap();
+    assert_eq!(attr(root, "outcome"), "error");
+    assert_eq!(attr(root, "attempts"), "1");
+    assert_eq!(attr(sink.first("bus.call").unwrap(), "outcome"), "fault");
+
+    // The injector's synthetic fault is folded into the bus snapshot.
+    let stats = stack.bus.stats();
+    assert_eq!(stats.fault_injection.busy, 1);
+    assert_eq!(stats.fault_injection.total(), stats.injected);
+    assert_eq!(stack.bus.endpoint_stats(SQL_ADDR).fault_injection.busy, 1);
+}
+
+#[test]
+fn monitoring_document_travels_the_wire_with_live_histograms() {
+    use dais::core::monitoring::MON_NS;
+
+    let stack = build_stack(None);
+    run_read_sweep(&stack);
+
+    let doc = stack.sql.core().get_property_document_xml(&stack.monitoring).unwrap();
+    let mon = doc.child(MON_NS, "BusMonitoring").expect("mon:BusMonitoring extension");
+
+    let traffic = mon.child(MON_NS, "Traffic").unwrap();
+    let messages: u64 = traffic.attribute("messages").unwrap().parse().unwrap();
+    assert!(messages >= 6, "the sweep sent at least six messages to the SQL endpoint");
+
+    // The always-on latency histogram for the SQL endpoint crossed the
+    // wire with real observations in its buckets.
+    let sql_key = format!("endpoint:{SQL_ADDR}");
+    let hist = mon
+        .children_named(MON_NS, "LatencyHistogram")
+        .find(|h| h.attribute("key") == Some(sql_key.as_str()))
+        .expect("a histogram for the SQL endpoint");
+    let count: u64 = hist.attribute("count").unwrap().parse().unwrap();
+    assert!(count >= messages, "every bus call records one latency sample");
+    let bucketed: u64 = hist
+        .children_named(MON_NS, "Bucket")
+        .map(|b| b.attribute("observations").unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(bucketed, count, "bucket observations add up to the recorded count");
+    assert!(hist.attribute("p95Ns").unwrap().parse::<u64>().unwrap() > 0);
 }
 
 #[test]

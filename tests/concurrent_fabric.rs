@@ -157,6 +157,8 @@ fn concurrent_derivation_and_destruction() {
     for h in handles {
         h.join().unwrap();
     }
-    // Only the database resource remains.
-    assert_eq!(svc.ctx.registry.len(), 1);
+    // Only the database and monitoring resources remain.
+    assert_eq!(svc.ctx.registry.len(), 2);
+    assert!(svc.ctx.registry.get(&svc.db_resource).is_some());
+    assert!(svc.ctx.registry.get(&svc.monitoring).is_some());
 }

@@ -165,6 +165,7 @@ fn shortcut_single_service_deployment_matches() {
     let rowset_epr = client.rowset_factory(&response_name, None, None).unwrap();
     let rowset_name = AbstractName::new(rowset_epr.resource_abstract_name().unwrap()).unwrap();
     assert_eq!(client.get_tuples(&rowset_name, 0, 100).unwrap().row_count(), 50);
-    // All three resources coexist in one registry.
-    assert_eq!(svc.ctx.registry.len(), 3);
+    // All three data resources coexist in one registry (plus the
+    // service's monitoring resource).
+    assert_eq!(svc.ctx.registry.len(), 4);
 }

@@ -147,16 +147,17 @@ fn sweeper_reaps_in_bulk() {
         c.core().set_termination_time(&name, Some(100 * (i + 1))).unwrap();
         names.push(name);
     }
-    assert_eq!(wsrf.ctx.registry.len(), 6); // db + 5 derived
+    assert_eq!(wsrf.ctx.registry.len(), 7); // db + monitoring + 5 derived
     clock.advance(250);
     let mut swept = wsrf.ctx.sweep_expired();
     swept.sort();
     assert_eq!(swept.len(), 2); // the 100ms and 200ms leases
-    assert_eq!(wsrf.ctx.registry.len(), 4);
+    assert_eq!(wsrf.ctx.registry.len(), 5);
     clock.advance(10_000);
     assert_eq!(wsrf.ctx.sweep_expired().len(), 3);
-    // The database resource never had a termination time: still there.
-    assert_eq!(wsrf.ctx.registry.len(), 1);
+    // The database and monitoring resources never had termination
+    // times: still there.
+    assert_eq!(wsrf.ctx.registry.len(), 2);
 }
 
 #[test]
