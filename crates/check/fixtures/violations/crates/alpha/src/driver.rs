@@ -1,0 +1,6 @@
+//! Fixture: a direct dispatcher exchange outside crates/soap, skipping
+//! the bus executor path: executor-bypass.
+
+pub fn shortcut(dispatcher: &SoapDispatcher, envelope: &Envelope) -> Result<Envelope, Fault> {
+    dispatcher.dispatch(envelope)
+}

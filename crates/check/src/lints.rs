@@ -470,6 +470,53 @@ pub fn run_lints<'a>(files: &'a [FileFacts], allowlist: &Allowlist) -> Vec<Viola
             });
         }
     }
+    // ---- executor-bypass: exchanges go through the bus, not the
+    // dispatcher. `SoapDispatcher::dispatch` is the raw handler-table
+    // lookup; calling it directly from outside `crates/soap` skips the
+    // executor (queueing, backpressure, stats, interceptors, tracing).
+    // Everything must go through `Bus::call` / `call_async` instead.
+    // Intentional direct exchanges (e.g. a dispatcher's own unit
+    // harness) carry an `executor-bypass:<file>` allowlist entry.
+    const EXECUTOR_LINT: &str = "executor-bypass";
+    let mut counted_executor: BTreeSet<String> = BTreeSet::new();
+    for f in files {
+        if f.crate_name == "soap" {
+            continue;
+        }
+        let path = norm(&f.path);
+        let allowed = allowlist.allowed_for(EXECUTOR_LINT, &path);
+        if allowlist.lint_entries.contains_key(&(EXECUTOR_LINT.to_string(), path.clone())) {
+            counted_executor.insert(path.clone());
+        }
+        let actual = f.dispatch_sites.len();
+        if actual > allowed {
+            let first_excess = f.dispatch_sites.get(allowed).copied().unwrap_or(0);
+            out.push(Violation {
+                lint: EXECUTOR_LINT,
+                severity: Severity::Error,
+                file: f.path.clone(),
+                line: first_excess,
+                message: format!(
+                    "{actual} direct dispatch() call(s) outside crates/soap (allowlist permits \
+                     {allowed}); route the exchange through `Bus::call` or extend {}",
+                    allowlist.path.display()
+                ),
+            });
+        } else if actual < allowed {
+            let (_, entry_line) =
+                allowlist.lint_entries[&(EXECUTOR_LINT.to_string(), path.clone())];
+            out.push(Violation {
+                lint: "stale-allowlist",
+                severity: Severity::Warning,
+                file: allowlist.path.clone(),
+                line: entry_line,
+                message: format!(
+                    "allowlist permits {allowed} direct dispatch() call(s) in {path} but only \
+                     {actual} remain; ratchet the entry down"
+                ),
+            });
+        }
+    }
     // ---- span-name-literal: tracing span names come from the inventory.
     // `Tracer::span`/`child_span` take `&'static str` names so traces
     // render against a closed vocabulary (`dais_obs::names::span_names`);
@@ -517,6 +564,7 @@ pub fn run_lints<'a>(files: &'a [FileFacts], allowlist: &Allowlist) -> Vec<Viola
         let stale = match lint.as_str() {
             POOLED_LINT => !counted_pooled.contains(path),
             SPAN_LINT => !counted_span.contains(path),
+            EXECUTOR_LINT => !counted_executor.contains(path),
             // An unknown lint prefix: nothing consumes the entry.
             _ => true,
         };

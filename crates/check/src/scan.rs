@@ -74,6 +74,9 @@ pub struct FileFacts {
     /// `.span("...")` / `.child_span("...")` calls whose name argument is
     /// a string literal instead of a `span_names::` inventory constant.
     pub span_literal_sites: Vec<Literal>,
+    /// Lines of `.dispatch(` calls (checked outside `crates/soap`, where
+    /// every exchange must go through `Bus::call` and the executor path).
+    pub dispatch_sites: Vec<usize>,
 }
 
 /// Tokenise and strip `#[cfg(test)]` items, then extract facts.
@@ -181,6 +184,14 @@ pub fn scan_file(root: &Path, rel_path: &Path, src: &str) -> FileFacts {
                         && tokens.get(i + 2).is_some_and(|t| t.is_punct(')'))
                     {
                         facts.to_bytes_sites.push(tok.line);
+                    }
+                    // `.dispatch(...)` — a direct exchange against the
+                    // dispatcher, bypassing `Bus::call` (and with it the
+                    // executor, interceptors, stats, and tracing).
+                    if tok.is_ident("dispatch")
+                        && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+                    {
+                        facts.dispatch_sites.push(tok.line);
                     }
                     // `.span("...")` / `.child_span("...")` — a tracing
                     // span named by a literal instead of an inventory
@@ -493,6 +504,19 @@ mod tests {
         "#;
         let f = scan("crates/soap/src/x.rs", src);
         assert_eq!(f.to_bytes_sites.len(), 1);
+    }
+
+    #[test]
+    fn dispatch_calls_are_recorded_but_definitions_and_tests_are_not() {
+        let src = r#"
+            pub fn dispatch(&self, env: &Envelope) -> Result<Envelope, Fault> { todo!() }
+            fn shortcut(d: &SoapDispatcher, env: &Envelope) { let _ = d.dispatch(env); }
+            fn named(r: &Registry) { r.dispatch_table(); }
+            #[cfg(test)]
+            mod tests { fn t(d: &D, e: &E) { d.dispatch(e); } }
+        "#;
+        let f = scan("crates/alpha/src/driver.rs", src);
+        assert_eq!(f.dispatch_sites.len(), 1);
     }
 
     #[test]

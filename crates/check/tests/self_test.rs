@@ -101,6 +101,12 @@ fn trips_pooled_buffer_bypass() {
 }
 
 #[test]
+fn trips_executor_bypass() {
+    let hits = assert_fires("executor-bypass", "alpha/src/driver.rs");
+    assert!(hits[0].2.contains("Bus::call"));
+}
+
+#[test]
 fn trips_span_name_literal() {
     let hits = assert_fires("span-name-literal", "alpha/src/tracing.rs");
     assert!(hits[0].2.contains("rogue.span"));

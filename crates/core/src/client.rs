@@ -1,5 +1,6 @@
 //! Consumer-side typed client for the WS-DAI core operations.
 
+use crate::dais_client::DaisClient;
 use crate::messages::{self, actions};
 use crate::name::AbstractName;
 use crate::properties::CoreProperties;
@@ -49,16 +50,40 @@ impl CoreClient {
 
     /// Layer retry over this client for the core read operations
     /// ([`idempotent_actions`]). Destructive operations are never
-    /// re-sent.
+    /// re-sent. (Thin wrapper over [`DaisClient::with_retry`].)
     pub fn with_retry(self, policy: RetryPolicy) -> CoreClient {
-        self.with_retry_config(RetryConfig::new(policy, idempotent_actions()))
+        DaisClient::with_retry(self, policy)
     }
 
     /// Layer retry with a caller-assembled configuration (custom
-    /// idempotency set or sleep function).
-    pub fn with_retry_config(mut self, config: RetryConfig) -> CoreClient {
-        self.inner = self.inner.with_retry(config);
-        self
+    /// idempotency set or sleep function). (Thin wrapper over
+    /// [`DaisClient::with_retry_config`].)
+    pub fn with_retry_config(self, config: RetryConfig) -> CoreClient {
+        DaisClient::with_retry_config(self, config)
+    }
+
+    /// `GetDataResourcePropertyDocument` against many resources at
+    /// once, keeping up to `window` requests in flight on the pipelined
+    /// path; one result per resource, in input order.
+    pub fn get_property_documents(
+        &self,
+        resources: &[AbstractName],
+        window: usize,
+    ) -> Vec<Result<CoreProperties, CallError>> {
+        let payloads = resources
+            .iter()
+            .map(|r| messages::request("GetDataResourcePropertyDocumentRequest", r))
+            .collect();
+        self.request_pipelined(actions::GET_DATA_RESOURCE_PROPERTY_DOCUMENT, payloads, window)
+            .into_iter()
+            .map(|result| {
+                let response = result?;
+                let doc = response.child(ns::WSDAI, "PropertyDocument").ok_or_else(|| {
+                    CallError::UnexpectedResponse("no PropertyDocument in response".into())
+                })?;
+                CoreProperties::from_xml(doc).map_err(CallError::UnexpectedResponse)
+            })
+            .collect()
     }
 
     /// `GetDataResourcePropertyDocument`: the whole property document.
@@ -239,6 +264,20 @@ impl CoreClient {
     }
 }
 
+impl DaisClient for CoreClient {
+    fn service(&self) -> &ServiceClient {
+        &self.inner
+    }
+
+    fn service_mut(&mut self) -> &mut ServiceClient {
+        &mut self.inner
+    }
+
+    fn default_idempotent_actions() -> IdempotencySet {
+        idempotent_actions()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,6 +352,29 @@ mod tests {
         assert_eq!(t, Some(500));
         clock.advance(501);
         assert!(client.get_property_document(&name).is_err());
+    }
+
+    #[test]
+    fn batched_property_documents() {
+        let (bus, client, name, _) = setup();
+        bus.install_executor(dais_soap::executor::ExecutorConfig::new(2).seed(41));
+        let missing = AbstractName::new("urn:dais:svc:db:404").unwrap();
+        let results = client.get_property_documents(&[name.clone(), missing, name.clone()], 2);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_ref().unwrap().abstract_name, name);
+        assert!(results[1].is_err(), "unknown resource fails its slot only");
+        assert_eq!(results[2].as_ref().unwrap().abstract_name, name);
+        bus.shutdown_executor();
+    }
+
+    #[test]
+    fn trait_accessors_match_inherent_state() {
+        let (bus, client, _, _) = setup();
+        assert_eq!(DaisClient::epr(&client).address, "bus://svc");
+        assert!(std::ptr::eq(DaisClient::bus(&client).obs(), bus.obs()));
+        // The trait-level retry layering is what the inherent wrapper does.
+        let client = client.with_retry(RetryPolicy::new(3));
+        assert!(client.soap().retry_config().is_some());
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! the specification family is structured.
 
 pub mod client;
+pub mod dais_client;
 pub mod factory;
 pub mod messages;
 pub mod monitoring;
@@ -44,6 +45,7 @@ pub mod resource;
 pub mod service;
 
 pub use client::CoreClient;
+pub use dais_client::DaisClient;
 pub use factory::{mint_resource_epr, DerivedResourceConfig};
 pub use monitoring::MonitoringResource;
 pub use name::{AbstractName, NameGenerator};

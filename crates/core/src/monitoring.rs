@@ -55,6 +55,24 @@ impl MonitoringResource {
         traffic.set_attr("epoch", stats.epoch.to_string());
         root.push(traffic);
 
+        let mut queue = mon("Queue");
+        queue.set_attr("depth", stats.queue_depth.to_string());
+        queue.set_attr("peakDepth", stats.queue_peak.to_string());
+        queue.set_attr("shed", stats.shed.to_string());
+        root.push(queue);
+
+        // Admission-control knobs, present only while an executor is
+        // installed (queued mode).
+        if let Some(config) = self.bus.executor_config() {
+            let mut executor = mon("Executor");
+            executor.set_attr("workers", config.workers.to_string());
+            executor.set_attr("shards", config.shards.to_string());
+            executor.set_attr("queueCapacity", config.queue_capacity.to_string());
+            executor.set_attr("maxInFlight", config.max_in_flight.to_string());
+            executor.set_attr("retryAfterNs", config.retry_after.as_nanos().to_string());
+            root.push(executor);
+        }
+
         let injected = self.bus.stats().fault_injection;
         let mut ledger = mon("InjectedFaults");
         ledger.set_attr("drops", injected.drops.to_string());
@@ -160,6 +178,30 @@ mod tests {
                 .sum();
             assert_eq!(total, 3);
         }
+    }
+
+    #[test]
+    fn document_reports_queue_and_executor() {
+        let bus = traffic_bus();
+        // Inline mode: queue gauges present (all zero), no Executor.
+        let doc = make(&bus).property_document();
+        let monitoring = doc.children_named(MON_NS, "BusMonitoring").next().unwrap();
+        let queue = monitoring.children_named(MON_NS, "Queue").next().unwrap();
+        assert_eq!(queue.attribute("depth"), Some("0"));
+        assert_eq!(queue.attribute("shed"), Some("0"));
+        assert!(monitoring.children_named(MON_NS, "Executor").next().is_none());
+
+        // Queued mode: the admission-control knobs are published.
+        bus.install_executor(dais_soap::executor::ExecutorConfig::new(3).queue_capacity(16));
+        bus.call("bus://svc", "urn:echo", &Envelope::default()).unwrap().unwrap();
+        let doc = make(&bus).property_document();
+        let monitoring = doc.children_named(MON_NS, "BusMonitoring").next().unwrap();
+        let executor = monitoring.children_named(MON_NS, "Executor").next().unwrap();
+        assert_eq!(executor.attribute("workers"), Some("3"));
+        assert_eq!(executor.attribute("queueCapacity"), Some("16"));
+        let queue = monitoring.children_named(MON_NS, "Queue").next().unwrap();
+        assert_eq!(queue.attribute("peakDepth"), Some("1"));
+        bus.shutdown_executor();
     }
 
     #[test]

@@ -2,10 +2,10 @@
 
 use crate::{actions, base64, WSDAIF_NS};
 use dais_core::messages as core_messages;
-use dais_core::{AbstractName, CoreClient};
+use dais_core::{AbstractName, CoreClient, DaisClient};
 use dais_soap::addressing::Epr;
 use dais_soap::bus::Bus;
-use dais_soap::client::CallError;
+use dais_soap::client::{CallError, ServiceClient};
 use dais_soap::retry::{IdempotencySet, RetryConfig, RetryPolicy};
 use dais_xml::XmlElement;
 
@@ -48,14 +48,15 @@ impl FileClient {
 
     /// Layer retry over this client for the WS-DAIF read operations
     /// ([`idempotent_actions`]). Writes and deletes are never re-sent.
+    /// (Thin wrapper over [`DaisClient::with_retry`].)
     pub fn with_retry(self, policy: RetryPolicy) -> FileClient {
-        self.with_retry_config(RetryConfig::new(policy, idempotent_actions()))
+        DaisClient::with_retry(self, policy)
     }
 
-    /// Layer retry with a caller-assembled configuration.
-    pub fn with_retry_config(mut self, config: RetryConfig) -> FileClient {
-        self.core = self.core.with_retry_config(config);
-        self
+    /// Layer retry with a caller-assembled configuration. (Thin wrapper
+    /// over [`DaisClient::with_retry_config`].)
+    pub fn with_retry_config(self, config: RetryConfig) -> FileClient {
+        DaisClient::with_retry_config(self, config)
     }
 
     /// The WS-DAI core operations.
@@ -88,6 +89,28 @@ impl FileClient {
             .child_text(WSDAIF_NS, "Contents")
             .ok_or_else(|| CallError::UnexpectedResponse("no Contents in response".into()))?;
         base64::decode(&encoded).map_err(CallError::UnexpectedResponse)
+    }
+
+    /// `ReadFile` against many paths at once, keeping up to `window`
+    /// requests in flight on the pipelined path; one decoded contents
+    /// per path, in input order.
+    pub fn read_files(
+        &self,
+        resource: &AbstractName,
+        paths: &[&str],
+        window: usize,
+    ) -> Vec<Result<Vec<u8>, CallError>> {
+        let payloads =
+            paths.iter().map(|p| Self::path_request(resource, "ReadFileRequest", p)).collect();
+        self.request_pipelined(actions::READ_FILE, payloads, window)
+            .into_iter()
+            .map(|result| {
+                let encoded = result?.child_text(WSDAIF_NS, "Contents").ok_or_else(|| {
+                    CallError::UnexpectedResponse("no Contents in response".into())
+                })?;
+                base64::decode(&encoded).map_err(CallError::UnexpectedResponse)
+            })
+            .collect()
     }
 
     /// `WriteFile`: store `contents` at `path`, returning the new size.
@@ -170,6 +193,20 @@ impl FileClient {
     }
 }
 
+impl DaisClient for FileClient {
+    fn service(&self) -> &ServiceClient {
+        self.core.service()
+    }
+
+    fn service_mut(&mut self) -> &mut ServiceClient {
+        self.core.service_mut()
+    }
+
+    fn default_idempotent_actions() -> IdempotencySet {
+        idempotent_actions()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +249,18 @@ mod tests {
         let via_epr = FileClient::from_epr(bus, epr);
         let page = via_epr.get_file_set_members(&set, 1, 5).unwrap();
         assert_eq!(page, vec![("data/b.csv".into(), 3)]);
+    }
+
+    #[test]
+    fn read_files_pipelines_a_batch() {
+        let (bus, client, root) = setup();
+        bus.install_executor(dais_soap::executor::ExecutorConfig::new(4).seed(31));
+        let results =
+            client.read_files(&root, &["readme.txt", "data/a.csv", "missing.bin", "data/b.csv"], 3);
+        assert_eq!(results[0].as_deref().unwrap(), b"hello");
+        assert!(results[2].is_err(), "missing file fails its slot only");
+        assert!(results[1].is_ok() && results[3].is_ok());
+        bus.shutdown_executor();
     }
 
     #[test]

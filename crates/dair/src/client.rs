@@ -1,10 +1,10 @@
 //! Consumer-side typed client for WS-DAIR services.
 
 use crate::messages::{self, actions, SqlResponseData};
-use dais_core::{AbstractName, CoreClient};
+use dais_core::{AbstractName, CoreClient, DaisClient};
 use dais_soap::addressing::Epr;
 use dais_soap::bus::Bus;
-use dais_soap::client::CallError;
+use dais_soap::client::{CallError, ServiceClient};
 use dais_soap::retry::{IdempotencySet, RetryConfig, RetryPolicy};
 use dais_sql::{Rowset, SqlCommunicationArea, Value};
 use dais_xml::{ns, XmlElement};
@@ -69,20 +69,66 @@ impl SqlClient {
 
     /// Layer retry over this client for the WS-DAIR read operations
     /// ([`idempotent_actions`]); `SQLExecute` retries only when the
-    /// statement is a SELECT.
+    /// statement is a SELECT. (Thin wrapper over
+    /// [`DaisClient::with_retry`].)
     pub fn with_retry(self, policy: RetryPolicy) -> SqlClient {
-        self.with_retry_config(RetryConfig::new(policy, idempotent_actions()))
+        DaisClient::with_retry(self, policy)
     }
 
-    /// Layer retry with a caller-assembled configuration.
-    pub fn with_retry_config(mut self, config: RetryConfig) -> SqlClient {
-        self.core = self.core.with_retry_config(config);
-        self
+    /// Layer retry with a caller-assembled configuration. (Thin wrapper
+    /// over [`DaisClient::with_retry_config`].)
+    pub fn with_retry_config(self, config: RetryConfig) -> SqlClient {
+        DaisClient::with_retry_config(self, config)
     }
 
     /// The WS-DAI core operations.
     pub fn core(&self) -> &CoreClient {
         &self.core
+    }
+
+    /// `SQLExecute` against many statements at once, keeping up to
+    /// `window` requests in flight on the pipelined path; one result
+    /// per statement, in input order. No retry layer applies on this
+    /// path, so non-SELECT statements are safe to batch.
+    pub fn execute_many(
+        &self,
+        resource: &AbstractName,
+        statements: &[&str],
+        window: usize,
+    ) -> Vec<Result<SqlResponseData, CallError>> {
+        let payloads = statements
+            .iter()
+            .map(|sql| messages::sql_execute_request(resource, ns::ROWSET, sql, &[]))
+            .collect();
+        self.request_pipelined(actions::SQL_EXECUTE, payloads, window)
+            .into_iter()
+            .map(|result| parse_sql_response(result?))
+            .collect()
+    }
+
+    /// `GetTuples` against many `(start, count)` pages at once, keeping
+    /// up to `window` requests in flight on the pipelined path; one
+    /// rowset per page, in input order. This is how Figure 5's paging
+    /// consumer overlaps its fetches.
+    pub fn get_tuples_many(
+        &self,
+        resource: &AbstractName,
+        pages: &[(usize, usize)],
+        window: usize,
+    ) -> Vec<Result<Rowset, CallError>> {
+        let payloads = pages
+            .iter()
+            .map(|(start, count)| messages::get_tuples_request(resource, *start, *count))
+            .collect();
+        self.request_pipelined(actions::GET_TUPLES, payloads, window)
+            .into_iter()
+            .map(|result| {
+                let data = parse_sql_response(result?)?;
+                data.rowsets.into_iter().next().ok_or_else(|| {
+                    CallError::UnexpectedResponse("GetTuples returned no rowset".into())
+                })
+            })
+            .collect()
     }
 
     /// `SQLExecute` — the direct access pattern (Figure 2).
@@ -109,10 +155,7 @@ impl SqlClient {
             req,
             statement_is_read_only(sql),
         )?;
-        let inner = response
-            .child(ns::WSDAIR, "SQLResponse")
-            .ok_or_else(|| CallError::UnexpectedResponse("no SQLResponse in response".into()))?;
-        SqlResponseData::from_xml(inner).map_err(CallError::Fault)
+        parse_sql_response(response)
     }
 
     /// `GetSQLPropertyDocument`.
@@ -294,10 +337,7 @@ impl SqlClient {
     ) -> Result<Rowset, CallError> {
         let req = messages::get_tuples_request(resource, start, count);
         let response = self.core.soap().request(actions::GET_TUPLES, req)?;
-        let data = response
-            .child(ns::WSDAIR, "SQLResponse")
-            .ok_or_else(|| CallError::UnexpectedResponse("no SQLResponse".into()))?;
-        let data = SqlResponseData::from_xml(data).map_err(CallError::Fault)?;
+        let data = parse_sql_response(response)?;
         data.rowsets
             .into_iter()
             .next()
@@ -316,6 +356,29 @@ impl SqlClient {
             .cloned()
             .ok_or_else(|| CallError::UnexpectedResponse("no PropertyDocument".into()))
     }
+}
+
+impl DaisClient for SqlClient {
+    fn service(&self) -> &ServiceClient {
+        self.core.service()
+    }
+
+    fn service_mut(&mut self) -> &mut ServiceClient {
+        self.core.service_mut()
+    }
+
+    fn default_idempotent_actions() -> IdempotencySet {
+        idempotent_actions()
+    }
+}
+
+/// The `wsdair:SQLResponse` body shared by `SQLExecute` and `GetTuples`
+/// responses.
+fn parse_sql_response(response: XmlElement) -> Result<SqlResponseData, CallError> {
+    let inner = response
+        .child(ns::WSDAIR, "SQLResponse")
+        .ok_or_else(|| CallError::UnexpectedResponse("no SQLResponse in response".into()))?;
+    SqlResponseData::from_xml(inner).map_err(CallError::Fault)
 }
 
 #[cfg(test)]
@@ -515,6 +578,41 @@ mod tests {
         // GetTuples against the database resource (not a rowset).
         let err = client.get_tuples(&db, 0, 10).unwrap_err();
         assert_eq!(err.dais_fault(), Some(dais_soap::fault::DaisFault::InvalidResourceName));
+    }
+
+    #[test]
+    fn execute_many_pipelines_a_batch() {
+        let (bus, client, db) = setup();
+        bus.install_executor(dais_soap::executor::ExecutorConfig::new(4).seed(21));
+        let statements: Vec<String> =
+            (1..=3).map(|id| format!("SELECT name FROM item WHERE id = {id}")).collect();
+        let refs: Vec<&str> = statements.iter().map(String::as_str).collect();
+        let results = client.execute_many(&db, &refs, 8);
+        let names: Vec<String> = results
+            .into_iter()
+            .map(|r| match r.unwrap().rowset().unwrap().rows[0][0].clone() {
+                Value::Str(s) => s,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(names, ["anvil", "rope", "rocket"]);
+        bus.shutdown_executor();
+    }
+
+    #[test]
+    fn get_tuples_many_pages_concurrently() {
+        let (bus, client, db) = setup();
+        let epr = client
+            .execute_factory(&db, "SELECT id FROM item ORDER BY id", &[], None, None)
+            .unwrap();
+        let response_name = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
+        let rowset_epr = client.rowset_factory(&response_name, None, None).unwrap();
+        let rowset_name = AbstractName::new(rowset_epr.resource_abstract_name().unwrap()).unwrap();
+        bus.install_executor(dais_soap::executor::ExecutorConfig::new(2).seed(22));
+        let pages = client.get_tuples_many(&rowset_name, &[(0, 1), (1, 1), (2, 1)], 3);
+        let ids: Vec<Value> = pages.into_iter().map(|p| p.unwrap().rows[0][0].clone()).collect();
+        assert_eq!(ids, [Value::Int(1), Value::Int(2), Value::Int(3)]);
+        bus.shutdown_executor();
     }
 
     #[test]

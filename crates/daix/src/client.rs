@@ -1,10 +1,10 @@
 //! Consumer-side typed client for WS-DAIX services.
 
 use crate::messages::{self, actions};
-use dais_core::{AbstractName, CoreClient};
+use dais_core::{AbstractName, CoreClient, DaisClient};
 use dais_soap::addressing::Epr;
 use dais_soap::bus::Bus;
-use dais_soap::client::CallError;
+use dais_soap::client::{CallError, ServiceClient};
 use dais_soap::retry::{IdempotencySet, RetryConfig, RetryPolicy};
 use dais_xml::{ns, XmlElement};
 
@@ -46,15 +46,16 @@ impl XmlClient {
     }
 
     /// Layer retry over this client for the WS-DAIX read operations
-    /// ([`idempotent_actions`]).
+    /// ([`idempotent_actions`]). (Thin wrapper over
+    /// [`DaisClient::with_retry`].)
     pub fn with_retry(self, policy: RetryPolicy) -> XmlClient {
-        self.with_retry_config(RetryConfig::new(policy, idempotent_actions()))
+        DaisClient::with_retry(self, policy)
     }
 
-    /// Layer retry with a caller-assembled configuration.
-    pub fn with_retry_config(mut self, config: RetryConfig) -> XmlClient {
-        self.core = self.core.with_retry_config(config);
-        self
+    /// Layer retry with a caller-assembled configuration. (Thin wrapper
+    /// over [`DaisClient::with_retry_config`].)
+    pub fn with_retry_config(self, config: RetryConfig) -> XmlClient {
+        DaisClient::with_retry_config(self, config)
     }
 
     /// The WS-DAI core operations.
@@ -79,6 +80,39 @@ impl XmlClient {
                 )
             })
             .collect())
+    }
+
+    /// `GetDocuments` one document per request, keeping up to `window`
+    /// requests in flight on the pipelined path; one result per name,
+    /// in input order. Use this over [`get_documents`](Self::get_documents)
+    /// when the documents are large enough that marshalling them all in
+    /// one response is the bottleneck.
+    pub fn get_documents_pipelined(
+        &self,
+        collection: &AbstractName,
+        names: &[&str],
+        window: usize,
+    ) -> Vec<Result<XmlElement, CallError>> {
+        let payloads = names
+            .iter()
+            .map(|name| {
+                messages::document_names_request("GetDocumentsRequest", collection, &[*name])
+            })
+            .collect();
+        self.request_pipelined(actions::GET_DOCUMENTS, payloads, window)
+            .into_iter()
+            .map(|result| {
+                let response = result?;
+                let content = response
+                    .children_named(ns::WSDAIX, "Document")
+                    .next()
+                    .and_then(|d| d.child(ns::WSDAIX, "DocumentContent"))
+                    .and_then(|c| c.elements().next())
+                    .cloned();
+                content
+                    .ok_or_else(|| CallError::UnexpectedResponse("no Document in response".into()))
+            })
+            .collect()
     }
 
     /// `GetDocuments`: fetch named documents (all when `names` is empty).
@@ -250,6 +284,20 @@ impl XmlClient {
     }
 }
 
+impl DaisClient for XmlClient {
+    fn service(&self) -> &ServiceClient {
+        self.core.service()
+    }
+
+    fn service_mut(&mut self) -> &mut ServiceClient {
+        self.core.service_mut()
+    }
+
+    fn default_idempotent_actions() -> IdempotencySet {
+        idempotent_actions()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +335,27 @@ mod tests {
 
         assert_eq!(client.remove_documents(&root, &["b1"]).unwrap(), 1);
         assert!(client.remove_documents(&root, &["b1"]).is_err()); // already gone
+    }
+
+    #[test]
+    fn pipelined_document_fetch() {
+        let (bus, client, root) = setup();
+        let batch: Vec<(String, XmlElement)> =
+            (0..6).map(|i| (format!("d{i}"), book(&format!("T{i}"), i))).collect();
+        client.add_documents(&root, &batch).unwrap();
+        bus.install_executor(dais_soap::executor::ExecutorConfig::new(4).seed(23));
+        let names: Vec<String> = (0..6).map(|i| format!("d{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let docs = client.get_documents_pipelined(&root, &refs, 4);
+        for (i, doc) in docs.into_iter().enumerate() {
+            let doc = doc.unwrap();
+            assert_eq!(doc.child_text("", "title").as_deref(), Some(format!("T{i}").as_str()));
+        }
+        // A missing document fails its slot without poisoning the batch.
+        let mixed = client.get_documents_pipelined(&root, &["d0", "ghost"], 2);
+        assert!(mixed[0].is_ok());
+        assert!(mixed[1].is_err());
+        bus.shutdown_executor();
     }
 
     #[test]

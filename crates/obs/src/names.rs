@@ -15,6 +15,15 @@ pub mod span_names {
     pub const CLIENT_RETRY: &str = "client.retry";
     /// One `Bus::call`: both wire legs plus dispatch.
     pub const BUS_CALL: &str = "bus.call";
+    /// Admission of one queued request into a `BusExecutor` work queue
+    /// (the pipelined path's analogue of `bus.call`'s opening). Carries
+    /// the queue depth observed at admission; a shed request records
+    /// `outcome=shed` and has no `bus.execute` child.
+    pub const BUS_ENQUEUE: &str = "bus.enqueue";
+    /// Execution of one queued request on an executor worker: both wire
+    /// legs plus dispatch, exactly like `bus.call`, plus a
+    /// `queue_wait_ns` attribute measuring time spent queued.
+    pub const BUS_EXECUTE: &str = "bus.execute";
     /// The request leg: serialise, request interceptor chain, parse.
     pub const BUS_REQUEST: &str = "bus.request";
     /// The service-side dispatch. Its parent comes from the parsed
@@ -25,8 +34,16 @@ pub mod span_names {
     pub const BUS_RESPONSE: &str = "bus.response";
 
     /// Every name above, for conformance checks.
-    pub const ALL: &[&str] =
-        &[CLIENT_CALL, CLIENT_RETRY, BUS_CALL, BUS_REQUEST, BUS_DISPATCH, BUS_RESPONSE];
+    pub const ALL: &[&str] = &[
+        CLIENT_CALL,
+        CLIENT_RETRY,
+        BUS_CALL,
+        BUS_ENQUEUE,
+        BUS_EXECUTE,
+        BUS_REQUEST,
+        BUS_DISPATCH,
+        BUS_RESPONSE,
+    ];
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@
 //! consumers.
 
 use crate::envelope::Envelope;
+use crate::executor::{self, BusExecutor, ExecMode, ExecutorConfig, Pending};
 use crate::fault::Fault;
 use crate::interceptor::{CallInfo, InjectorSnapshot, Intercept, Interceptor};
 use crate::service::SoapService;
@@ -23,7 +24,7 @@ use dais_xml::{ns, XmlElement};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A registered endpoint. Carries its own stats and latency-histogram
 /// handles so the per-call accounting path never takes a registry lock.
@@ -33,6 +34,14 @@ pub struct Endpoint {
     service: Arc<dyn SoapService>,
     stats: Arc<BusStats>,
     latency: Arc<Histogram>,
+}
+
+impl Endpoint {
+    /// The endpoint's traffic counters (shared with the bus registry, so
+    /// the executor's queue gauges land in the same snapshot).
+    pub(crate) fn stats(&self) -> &BusStats {
+        &self.stats
+    }
 }
 
 /// Traffic counters. Byte counts measure the serialised envelope size in
@@ -51,6 +60,14 @@ pub struct BusStats {
     /// "freshly zeroed" from "never touched" and detect a reset racing
     /// its measurement.
     pub epoch: AtomicU64,
+    /// Requests the executor refused at admission (queue at capacity).
+    pub shed: AtomicU64,
+    /// Live gauge: requests currently sitting in the executor's work
+    /// queue (enqueued, not yet picked by a worker).
+    pub queue_depth: AtomicU64,
+    /// High-water mark of [`queue_depth`](BusStats::queue_depth) since
+    /// the last reset.
+    pub queue_peak: AtomicU64,
 }
 
 /// A point-in-time copy of [`BusStats`], with the interceptor chain's
@@ -66,6 +83,12 @@ pub struct StatsSnapshot {
     pub retries: u64,
     /// Reset generation of the counters behind this snapshot.
     pub epoch: u64,
+    /// Requests shed at executor admission ([`BusError::Overloaded`]).
+    pub shed: u64,
+    /// Requests queued and not yet executing at snapshot time.
+    pub queue_depth: u64,
+    /// Deepest the work queue has been since the last reset.
+    pub queue_peak: u64,
     /// What the chain's fault injectors did (summed across the chain).
     pub fault_injection: InjectorSnapshot,
 }
@@ -94,9 +117,23 @@ impl BusStats {
         self.retries.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
     /// Zero every counter and open a new epoch. Measurement harnesses
     /// reset before the workload and read after, so deltas need no
-    /// manual subtraction.
+    /// manual subtraction. The `queue_depth` gauge is *not* touched: it
+    /// tracks live queued work, which a measurement epoch does not own.
     pub fn reset(&self) {
         self.messages.store(0, Ordering::Relaxed);
         self.request_bytes.store(0, Ordering::Relaxed);
@@ -104,6 +141,8 @@ impl BusStats {
         self.faults.store(0, Ordering::Relaxed);
         self.injected.store(0, Ordering::Relaxed);
         self.retries.store(0, Ordering::Relaxed);
+        self.shed.store(0, Ordering::Relaxed);
+        self.queue_peak.store(self.queue_depth.load(Ordering::Relaxed), Ordering::Relaxed);
         self.epoch.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -116,6 +155,9 @@ impl BusStats {
             injected: self.injected.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             epoch: self.epoch.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_peak: self.queue_peak.load(Ordering::Relaxed),
             fault_injection: InjectorSnapshot::default(),
         }
     }
@@ -128,7 +170,7 @@ pub struct Bus {
 }
 
 #[derive(Default)]
-struct BusInner {
+pub(crate) struct BusInner {
     endpoints: RwLock<HashMap<String, Endpoint>>,
     per_endpoint: RwLock<HashMap<String, Arc<BusStats>>>,
     /// Copy-on-write chain: `call` takes one `Arc` clone, so an empty
@@ -138,6 +180,9 @@ struct BusInner {
     /// The observability fabric: tracer (off by default) and latency
     /// metrics (always on). Per-bus, so parallel tests never share.
     obs: Obs,
+    /// The installed request executor, if any. `None` means every call
+    /// executes inline on the caller's thread (the seed behaviour).
+    executor: RwLock<Option<Arc<BusExecutor>>>,
 }
 
 /// Transport-level errors (distinct from SOAP faults, which are
@@ -152,6 +197,15 @@ pub enum BusError {
     /// produced by interceptors — the in-process transport itself
     /// cannot lose messages).
     Timeout(String),
+    /// The executor refused the request at admission: the endpoint's
+    /// bounded work queue was at capacity. Carries a retry-after hint
+    /// the retry layer folds into its backoff schedule.
+    Overloaded {
+        /// The endpoint whose queue was full.
+        endpoint: String,
+        /// How long the executor suggests waiting before re-sending.
+        retry_after: Duration,
+    },
 }
 
 impl std::fmt::Display for BusError {
@@ -160,6 +214,10 @@ impl std::fmt::Display for BusError {
             BusError::NoSuchEndpoint(a) => write!(f, "no endpoint registered at '{a}'"),
             BusError::MalformedEnvelope(m) => write!(f, "malformed envelope: {m}"),
             BusError::Timeout(m) => write!(f, "timeout: {m}"),
+            BusError::Overloaded { endpoint, retry_after } => write!(
+                f,
+                "endpoint '{endpoint}' overloaded: work queue at capacity, retry after {retry_after:?}"
+            ),
         }
     }
 }
@@ -243,6 +301,13 @@ impl Bus {
     /// Wire bytes pass through the interceptor chain in both directions
     /// (requests in order, responses reversed). An aborted or
     /// unparseable call still bills the request leg it consumed.
+    ///
+    /// A thin wrapper over the execution mode: with no executor
+    /// installed ([`ExecMode::Inline`](crate::executor)) the exchange
+    /// runs on the caller's thread; with one installed the request is
+    /// queued and this call blocks on its [`Pending`] handle, so
+    /// admission control ([`BusError::Overloaded`]) applies. Either way
+    /// there is exactly one serialise→intercept→dispatch→parse path.
     #[allow(clippy::type_complexity)]
     pub fn call(
         &self,
@@ -250,6 +315,38 @@ impl Bus {
         action: &str,
         request: &Envelope,
     ) -> Result<Result<Envelope, Fault>, BusError> {
+        let (endpoint, chain) = self.resolve(to)?;
+        if let Some(exec) = self.queued_mode() {
+            return self.enqueue(&exec, endpoint, chain, to, action, request)?.wait();
+        }
+        self.call_inline(&endpoint, &chain, to, action, request)
+    }
+
+    /// Send a request without waiting for the response: the pipelined
+    /// path. Returns a [`Pending`] handle that resolves to exactly what
+    /// [`Bus::call`] would have returned.
+    ///
+    /// With an executor installed the request is admitted to the
+    /// endpoint's bounded work queue (or refused with
+    /// [`BusError::Overloaded`]); without one — or when called from an
+    /// executor worker, where queueing could starve the pool — the
+    /// exchange runs inline and the handle comes back already resolved.
+    pub fn call_async(
+        &self,
+        to: &str,
+        action: &str,
+        request: &Envelope,
+    ) -> Result<Pending, BusError> {
+        let (endpoint, chain) = self.resolve(to)?;
+        match self.queued_mode() {
+            Some(exec) => self.enqueue(&exec, endpoint, chain, to, action, request),
+            None => Ok(Pending::ready(self.call_inline(&endpoint, &chain, to, action, request))),
+        }
+    }
+
+    /// Resolve an address to its endpoint and the current chain.
+    #[allow(clippy::type_complexity)]
+    fn resolve(&self, to: &str) -> Result<(Endpoint, Arc<Vec<Arc<dyn Interceptor>>>), BusError> {
         let endpoint = self
             .inner
             .endpoints
@@ -258,7 +355,30 @@ impl Bus {
             .cloned()
             .ok_or_else(|| BusError::NoSuchEndpoint(to.to_string()))?;
         let chain = Arc::clone(&self.inner.interceptors.read());
+        Ok((endpoint, chain))
+    }
 
+    /// The executor to queue onto, unless this thread *is* an executor
+    /// worker — a nested call from a service handler runs inline so a
+    /// finite worker pool can never deadlock on its own queue.
+    fn queued_mode(&self) -> Option<Arc<BusExecutor>> {
+        if executor::on_worker_thread() {
+            return None;
+        }
+        self.inner.executor.read().clone()
+    }
+
+    /// The inline execution mode: open the `bus.call` span and run the
+    /// exchange on the caller's thread.
+    #[allow(clippy::type_complexity)]
+    fn call_inline(
+        &self,
+        endpoint: &Endpoint,
+        chain: &[Arc<dyn Interceptor>],
+        to: &str,
+        action: &str,
+        request: &Envelope,
+    ) -> Result<Result<Envelope, Fault>, BusError> {
         // Tracing: one relaxed atomic load when disabled, nothing else.
         // The span's parent is the caller's `wsa:MessageID` header, so a
         // traced client call and its bus leg share one trace.
@@ -274,16 +394,70 @@ impl Bus {
         } else {
             SpanHandle::inert()
         };
+        self.perform(endpoint, chain, to, action, request, &mut call_span)
+    }
 
+    /// Admit one request to the executor: open the `bus.enqueue` span,
+    /// submit, and account a shed on refusal.
+    #[allow(clippy::type_complexity)]
+    fn enqueue(
+        &self,
+        exec: &BusExecutor,
+        endpoint: Endpoint,
+        chain: Arc<Vec<Arc<dyn Interceptor>>>,
+        to: &str,
+        action: &str,
+        request: &Envelope,
+    ) -> Result<Pending, BusError> {
+        let tracer = &self.inner.obs.tracer;
+        let mut enqueue_span = if tracer.enabled() {
+            let parent = request
+                .header_block(ns::WSA, "MessageID")
+                .and_then(|h| TraceContext::decode(h.text().trim()));
+            let mut span = tracer.span(span_names::BUS_ENQUEUE, parent);
+            span.attr("to", to);
+            span.attr("action", action);
+            span
+        } else {
+            SpanHandle::inert()
+        };
+        match exec.submit(self, endpoint, chain, to, action, request, enqueue_span.ctx()) {
+            Ok((pending, depth)) => {
+                enqueue_span.attr("depth", depth);
+                Ok(pending)
+            }
+            Err((endpoint, err)) => {
+                endpoint.stats.record_shed();
+                self.inner.total.record_shed();
+                enqueue_span.attr("outcome", "shed");
+                Err(err)
+            }
+        }
+    }
+
+    /// One timed exchange plus its observability bookkeeping: latency
+    /// histograms and the outcome attribute on the carrying span. Both
+    /// execution modes (inline `bus.call`, worker `bus.execute`) funnel
+    /// through here.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn perform(
+        &self,
+        endpoint: &Endpoint,
+        chain: &[Arc<dyn Interceptor>],
+        to: &str,
+        action: &str,
+        request: &Envelope,
+        span: &mut SpanHandle,
+    ) -> Result<Result<Envelope, Fault>, BusError> {
         let started = Instant::now();
-        let result = self.exchange(&endpoint, &chain, to, action, request, &mut call_span);
+        let result = self.dispatch(endpoint, chain, to, action, request, span);
         let nanos = started.elapsed().as_nanos() as u64;
         // Latency metrics are always on: two lock-free histogram records.
         endpoint.latency.record(nanos);
         self.inner.obs.metrics.observe_action(action, nanos);
 
-        if call_span.is_recording() {
-            call_span.attr(
+        if span.is_recording() {
+            span.attr(
                 "outcome",
                 match &result {
                     Ok(Ok(_)) => "ok",
@@ -295,11 +469,11 @@ impl Bus {
         result
     }
 
-    /// The wire exchange itself: serialise, run the chain, dispatch,
-    /// serialise back. Split from [`Bus::call`] so the observability
+    /// The wire exchange itself — the one serialise→intercept→dispatch→
+    /// parse code path. Split from [`Bus::perform`] so the observability
     /// bookkeeping there sees every early return.
     #[allow(clippy::type_complexity)]
-    fn exchange(
+    fn dispatch(
         &self,
         endpoint: &Endpoint,
         chain: &[Arc<dyn Interceptor>],
@@ -506,6 +680,56 @@ impl Bus {
             total.merge(interceptor.injection_ledger(endpoint));
         }
         total
+    }
+
+    /// Install (or replace) a request executor: worker threads start
+    /// immediately and every subsequent [`Bus::call`] /
+    /// [`Bus::call_async`] goes through its bounded per-endpoint queues.
+    /// Replacing an executor shuts the old one down (queues drained,
+    /// workers joined) first.
+    pub fn install_executor(&self, config: ExecutorConfig) {
+        let exec = Arc::new(BusExecutor::start(config, Arc::downgrade(&self.inner)));
+        let previous = self.inner.executor.write().replace(exec);
+        if let Some(previous) = previous {
+            previous.shutdown();
+        }
+    }
+
+    /// Remove the executor, returning the bus to inline execution.
+    /// Outstanding queued requests resolve with [`BusError::Timeout`];
+    /// worker threads are joined before this returns.
+    pub fn shutdown_executor(&self) {
+        let exec = self.inner.executor.write().take();
+        if let Some(exec) = exec {
+            exec.shutdown();
+        }
+    }
+
+    /// The installed executor's configuration — the admission-control
+    /// knobs the monitoring document publishes. `None` in inline mode.
+    pub fn executor_config(&self) -> Option<ExecutorConfig> {
+        self.inner.executor.read().as_ref().map(|e| e.config())
+    }
+
+    /// Which execution mode [`Bus::call`] currently uses.
+    pub fn exec_mode(&self) -> ExecMode {
+        if self.inner.executor.read().is_some() {
+            ExecMode::Queued
+        } else {
+            ExecMode::Inline
+        }
+    }
+
+    /// Reconstruct a bus handle from its shared state (executor workers
+    /// hold a `Weak` to avoid a keep-alive cycle).
+    pub(crate) fn from_inner(inner: Arc<BusInner>) -> Bus {
+        Bus { inner }
+    }
+
+    /// The whole-bus counters (the executor bills sheds and queue gauges
+    /// against both the endpoint's stats and these totals).
+    pub(crate) fn total_stats(&self) -> &BusStats {
+        &self.inner.total
     }
 }
 

@@ -4,12 +4,20 @@
 use crate::addressing::{message_headers, Epr};
 use crate::bus::{Bus, BusError};
 use crate::envelope::Envelope;
+use crate::executor::Pending;
 use crate::fault::Fault;
-use crate::retry::{is_retryable, RetryConfig};
+use crate::retry::{is_retryable, retry_after_hint, RetryConfig};
 use dais_obs::names::span_names;
 use dais_obs::{SpanHandle, TraceContext};
 use dais_xml::{ns, XmlElement};
+use std::collections::VecDeque;
 use std::time::Duration;
+
+/// How many hint-paced waits [`ServiceClient::request_pipelined`] will
+/// sit through for one request when the endpoint keeps shedding and
+/// there is nothing in flight left to drain, before giving up and
+/// surfacing the [`Overloaded`](BusError::Overloaded) error.
+const MAX_SHED_WAITS: u32 = 32;
 
 /// Errors a consumer can observe: transport failures or SOAP faults.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -158,7 +166,12 @@ impl ServiceClient {
                 finish_call_span(call_span, false, attempt);
                 return Err(error);
             }
-            let pause = config.policy.backoff_delay(attempt);
+            // An Overloaded refusal carries the executor's own pacing
+            // hint; never re-send sooner than it asked for.
+            let pause = match retry_after_hint(&error) {
+                Some(hint) => config.policy.backoff_delay(attempt).max(hint),
+                None => config.policy.backoff_delay(attempt),
+            };
             match slept.checked_add(pause) {
                 // Total sleep stays within the deadline budget.
                 Some(total) if total <= config.policy.deadline => slept = total,
@@ -191,6 +204,21 @@ impl ServiceClient {
         payload: &XmlElement,
         trace_parent: Option<TraceContext>,
     ) -> Result<XmlElement, CallError> {
+        let env = self.build_envelope(action, payload, trace_parent);
+        let response = self.bus.call(&self.epr.address, action, &env)??;
+        extract_payload(response)
+    }
+
+    /// The one addressed envelope both execution paths send: payload in
+    /// the body, WS-Addressing headers (plus the EPR's reference
+    /// parameters), and — only while tracing — the caller's context as
+    /// `wsa:MessageID`.
+    fn build_envelope(
+        &self,
+        action: &str,
+        payload: &XmlElement,
+        trace_parent: Option<TraceContext>,
+    ) -> Envelope {
         let mut env = Envelope::with_body(payload.clone());
         for h in message_headers(&self.epr.address, action, &self.epr.reference_parameters) {
             env.add_header(h);
@@ -198,12 +226,155 @@ impl ServiceClient {
         if let Some(ctx) = trace_parent {
             env.add_header(XmlElement::new(ns::WSA, "wsa", "MessageID").with_text(ctx.encode()));
         }
-        let response = self.bus.call(&self.epr.address, action, &env)??;
-        response
-            .payload()
-            .cloned()
-            .ok_or_else(|| CallError::UnexpectedResponse("empty response body".into()))
+        env
     }
+
+    /// Send a request without waiting for its reply: the pipelined path.
+    /// The returned [`PendingReply`] resolves to exactly what
+    /// [`request`](Self::request) without retry would have returned.
+    ///
+    /// No retry layer applies here — an admission refusal
+    /// ([`BusError::Overloaded`], with its retry-after hint) surfaces
+    /// immediately so the caller can pace the whole batch; that is what
+    /// [`request_pipelined`](Self::request_pipelined) does.
+    pub fn call_async(&self, action: &str, payload: XmlElement) -> Result<PendingReply, CallError> {
+        let tracer = &self.bus.obs().tracer;
+        let mut call_span = if tracer.enabled() {
+            let mut span = tracer.span(span_names::CLIENT_CALL, None);
+            span.attr("to", &self.epr.address);
+            span.attr("action", action);
+            span
+        } else {
+            SpanHandle::inert()
+        };
+        let env = self.build_envelope(action, &payload, call_span.ctx());
+        match self.bus.call_async(&self.epr.address, action, &env) {
+            Ok(pending) => Ok(PendingReply { pending, span: call_span }),
+            Err(e) => {
+                call_span.attr("outcome", "error");
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Send one action against many payloads, keeping up to `window`
+    /// requests in flight, and return one result per payload in input
+    /// order.
+    ///
+    /// Backpressure is cooperative: when the endpoint sheds a submit
+    /// ([`BusError::Overloaded`]), the oldest in-flight reply is drained
+    /// first (freeing queue space and pacing the producer); with nothing
+    /// left to drain the client sleeps the refusal's retry-after hint —
+    /// a bounded number of times — before giving up on that payload.
+    pub fn request_pipelined(
+        &self,
+        action: &str,
+        payloads: Vec<XmlElement>,
+        window: usize,
+    ) -> Vec<Result<XmlElement, CallError>> {
+        let window = window.max(1);
+        let mut results: Vec<Option<Result<XmlElement, CallError>>> =
+            (0..payloads.len()).map(|_| None).collect();
+        let mut in_flight: VecDeque<(usize, PendingReply)> = VecDeque::new();
+        for (i, payload) in payloads.into_iter().enumerate() {
+            if in_flight.len() >= window {
+                drain_oldest(&mut in_flight, &mut results);
+            }
+            let mut shed_waits: u32 = 0;
+            let outcome = loop {
+                match self.call_async(action, payload.clone()) {
+                    Ok(reply) => break Ok(reply),
+                    Err(err) => {
+                        let Some(hint) = retry_after_hint(&err) else { break Err(err) };
+                        if !in_flight.is_empty() {
+                            drain_oldest(&mut in_flight, &mut results);
+                            continue;
+                        }
+                        shed_waits += 1;
+                        if shed_waits > MAX_SHED_WAITS {
+                            break Err(err);
+                        }
+                        self.pace(hint);
+                    }
+                }
+            };
+            match outcome {
+                Ok(reply) => in_flight.push_back((i, reply)),
+                Err(err) => results[i] = Some(Err(err)),
+            }
+        }
+        while !in_flight.is_empty() {
+            drain_oldest(&mut in_flight, &mut results);
+        }
+        results
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    Err(CallError::UnexpectedResponse("request was never submitted".into()))
+                })
+            })
+            .collect()
+    }
+
+    /// Sleep out a shed's retry-after hint, through the retry config's
+    /// injectable sleeper when one is present (so tests pace for free).
+    fn pace(&self, hint: Duration) {
+        match &self.retry {
+            Some(config) => config.sleep(hint),
+            None => std::thread::sleep(hint),
+        }
+    }
+}
+
+/// A reply in flight on the pipelined path; the `client.call` span stays
+/// open until the reply is claimed.
+pub struct PendingReply {
+    pending: Pending,
+    span: SpanHandle,
+}
+
+impl std::fmt::Debug for PendingReply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingReply").field("ready", &self.is_ready()).finish()
+    }
+}
+
+impl PendingReply {
+    /// Has the exchange finished? Never blocks.
+    pub fn is_ready(&self) -> bool {
+        self.pending.is_ready()
+    }
+
+    /// Block until the exchange finishes and extract the response
+    /// payload.
+    pub fn wait(self) -> Result<XmlElement, CallError> {
+        let PendingReply { pending, span } = self;
+        let result = match pending.wait() {
+            Ok(Ok(response)) => extract_payload(response),
+            Ok(Err(fault)) => Err(fault.into()),
+            Err(e) => Err(e.into()),
+        };
+        finish_call_span(span, result.is_ok(), 1);
+        result
+    }
+}
+
+/// Resolve the oldest in-flight reply into its slot.
+fn drain_oldest(
+    in_flight: &mut VecDeque<(usize, PendingReply)>,
+    results: &mut [Option<Result<XmlElement, CallError>>],
+) {
+    if let Some((idx, reply)) = in_flight.pop_front() {
+        results[idx] = Some(reply.wait());
+    }
+}
+
+/// The response payload, or the error shared by both execution paths.
+fn extract_payload(response: Envelope) -> Result<XmlElement, CallError> {
+    response
+        .payload()
+        .cloned()
+        .ok_or_else(|| CallError::UnexpectedResponse("empty response body".into()))
 }
 
 /// Stamp the root span with how the operation ended.
@@ -222,6 +393,7 @@ fn cause_label(error: &CallError) -> String {
             None => "fault".to_string(),
         },
         CallError::Transport(BusError::Timeout(_)) => "timeout".to_string(),
+        CallError::Transport(BusError::Overloaded { .. }) => "overloaded".to_string(),
         CallError::Transport(_) => "transport".to_string(),
         CallError::UnexpectedResponse(_) => "unexpected-response".to_string(),
     }
@@ -396,6 +568,123 @@ mod tests {
         assert!(retry.attrs.iter().any(|(k, _)| *k == "backoff_ns"));
         assert!(root.attrs.iter().any(|(k, v)| *k == "outcome" && v == "ok"));
         assert!(root.attrs.iter().any(|(k, v)| *k == "attempts" && v == "2"));
+    }
+
+    use crate::executor::ExecutorConfig;
+
+    #[test]
+    fn pipelined_requests_preserve_input_order() {
+        let bus = Bus::new();
+        let mut d = SoapDispatcher::new();
+        d.register("urn:echo", |req: &Envelope| Ok(req.clone()));
+        bus.register("bus://svc", Arc::new(d));
+        bus.install_executor(ExecutorConfig::new(4).seed(11));
+        let client = ServiceClient::new(bus.clone(), "bus://svc");
+        let payloads: Vec<XmlElement> =
+            (0..24).map(|i| XmlElement::new_local("q").with_text(format!("{i}"))).collect();
+        let results = client.request_pipelined("urn:echo", payloads.clone(), 8);
+        assert_eq!(results.len(), 24);
+        for (i, r) in results.into_iter().enumerate() {
+            assert_eq!(r.unwrap().text(), format!("{i}"));
+        }
+        assert_eq!(bus.stats().messages, 24);
+        bus.shutdown_executor();
+    }
+
+    #[test]
+    fn pipelined_batch_survives_backpressure() {
+        // A tiny queue forces sheds mid-batch; the client drains and
+        // paces instead of failing, and every payload still answers.
+        let bus = Bus::new();
+        let mut d = SoapDispatcher::new();
+        d.register("urn:echo", |req: &Envelope| Ok(req.clone()));
+        bus.register("bus://svc", Arc::new(d));
+        bus.install_executor(
+            ExecutorConfig::new(1)
+                .queue_capacity(2)
+                .max_in_flight(1)
+                .retry_after(Duration::from_micros(50))
+                .seed(13),
+        );
+        let client = ServiceClient::new(bus.clone(), "bus://svc");
+        let payloads: Vec<XmlElement> =
+            (0..40).map(|i| XmlElement::new_local("q").with_text(format!("{i}"))).collect();
+        let results = client.request_pipelined("urn:echo", payloads, 8);
+        for (i, r) in results.into_iter().enumerate() {
+            assert_eq!(r.unwrap().text(), format!("{i}"));
+        }
+        bus.shutdown_executor();
+    }
+
+    #[test]
+    fn retry_pause_respects_the_overload_hint() {
+        let bus = Bus::new();
+        let gate = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+        let entered = Arc::new(AtomicU32::new(0));
+        let mut d = SoapDispatcher::new();
+        {
+            let gate = gate.clone();
+            let entered = entered.clone();
+            d.register("urn:read", move |req: &Envelope| {
+                entered.fetch_add(1, Ordering::SeqCst);
+                let mut open = gate.0.lock().unwrap_or_else(|e| e.into_inner());
+                while !*open {
+                    open = gate.1.wait(open).unwrap_or_else(|e| e.into_inner());
+                }
+                Ok(req.clone())
+            });
+        }
+        bus.register("bus://svc", Arc::new(d));
+        let hint = Duration::from_millis(40);
+        bus.install_executor(
+            ExecutorConfig::new(1).queue_capacity(1).max_in_flight(1).retry_after(hint).seed(17),
+        );
+        // Occupy the worker and fill the queue, so the retrying call's
+        // first attempt is shed.
+        let busy = bus.call_async(
+            "bus://svc",
+            "urn:read",
+            &Envelope::with_body(XmlElement::new_local("q")),
+        );
+        while entered.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        let queued = bus.call_async(
+            "bus://svc",
+            "urn:read",
+            &Envelope::with_body(XmlElement::new_local("q")),
+        );
+        let sleeps: Arc<std::sync::Mutex<Vec<Duration>>> = Arc::default();
+        let config = RetryConfig::new(
+            // Policy backoff is 1ns — far below the hint, which must win.
+            RetryPolicy::new(4).base_delay(Duration::from_nanos(1)),
+            IdempotencySet::new(["urn:read"]),
+        )
+        .with_sleep(Arc::new({
+            let sleeps = sleeps.clone();
+            let gate = gate.clone();
+            move |d| {
+                sleeps.lock().unwrap_or_else(|e| e.into_inner()).push(d);
+                // Unblock the service, then genuinely wait the pause so
+                // the worker drains before the re-send.
+                *gate.0.lock().unwrap_or_else(|e| e.into_inner()) = true;
+                gate.1.notify_all();
+                std::thread::sleep(d.min(Duration::from_millis(50)));
+            }
+        }));
+        let client = ServiceClient::new(bus.clone(), "bus://svc").with_retry(config);
+        let response = client.request("urn:read", XmlElement::new_local("q")).unwrap();
+        assert_eq!(response.name.local, "q");
+        {
+            let sleeps = sleeps.lock().unwrap_or_else(|e| e.into_inner());
+            assert!(!sleeps.is_empty());
+            assert!(sleeps[0] >= hint, "pause {:?} ignored the {hint:?} hint", sleeps[0]);
+        }
+        assert!(bus.stats().shed >= 1);
+        for p in [busy, queued].into_iter().flatten() {
+            let _ = p.wait();
+        }
+        bus.shutdown_executor();
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod addressing;
 pub mod bus;
 pub mod client;
 pub mod envelope;
+pub mod executor;
 pub mod fault;
 pub mod interceptor;
 pub mod retry;
@@ -28,8 +29,9 @@ pub mod service;
 pub use addressing::Epr;
 pub use bus::Endpoint;
 pub use bus::{Bus, BusError, BusStats, StatsSnapshot};
-pub use client::{CallError, ServiceClient};
+pub use client::{CallError, PendingReply, ServiceClient};
 pub use envelope::Envelope;
+pub use executor::{BusExecutor, CallOutcome, ExecMode, ExecutorConfig, Pending};
 pub use fault::{DaisFault, Fault, FaultCode};
 pub use interceptor::{FaultInjector, FaultPolicy, Intercept, Interceptor};
 pub use retry::{IdempotencySet, RetryConfig, RetryPolicy};

@@ -154,12 +154,25 @@ impl RetryConfig {
 pub fn is_retryable(error: &CallError) -> bool {
     match error {
         CallError::Transport(BusError::Timeout(_))
-        | CallError::Transport(BusError::MalformedEnvelope(_)) => true,
+        | CallError::Transport(BusError::MalformedEnvelope(_))
+        | CallError::Transport(BusError::Overloaded { .. }) => true,
         CallError::Transport(BusError::NoSuchEndpoint(_)) => false,
         CallError::Fault(f) => {
             f.is(DaisFault::ServiceBusy) || f.is(DaisFault::DataResourceUnavailable)
         }
         CallError::UnexpectedResponse(_) => false,
+    }
+}
+
+/// The server-supplied pacing hint carried by an error, if any. An
+/// [`Overloaded`](BusError::Overloaded) refusal names the earliest
+/// moment a re-send could be admitted; the retry loop takes the *max*
+/// of this hint and its own backoff schedule, so a shed never re-sends
+/// sooner than the executor asked for.
+pub fn retry_after_hint(error: &CallError) -> Option<Duration> {
+    match error {
+        CallError::Transport(BusError::Overloaded { retry_after, .. }) => Some(*retry_after),
+        _ => None,
     }
 }
 

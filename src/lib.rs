@@ -55,13 +55,15 @@ pub use dais_xmldb as xmldb;
 /// The most common imports for building and consuming DAIS services.
 pub mod prelude {
     pub use dais_core::{
-        AbstractName, ConfigurationDocument, CoreClient, CoreProperties, DataResource,
+        AbstractName, ConfigurationDocument, CoreClient, CoreProperties, DaisClient, DataResource,
         NameGenerator, ResourceRegistry, Sensitivity, ServiceContext,
     };
     pub use dais_daif::{FileClient, FileService, FileServiceOptions, FileStore};
     pub use dais_dair::{RelationalService, RelationalServiceOptions, SqlClient};
     pub use dais_daix::{XmlClient, XmlService, XmlServiceOptions};
-    pub use dais_soap::{Bus, Epr, FaultInjector, FaultPolicy, RetryPolicy};
+    pub use dais_soap::{
+        Bus, Epr, ExecutorConfig, FaultInjector, FaultPolicy, Pending, PendingReply, RetryPolicy,
+    };
     pub use dais_sql::{Database, Value};
     pub use dais_wsrf::{LifetimeRegistry, ManualClock, SystemClock};
     pub use dais_xmldb::XmlDatabase;

@@ -314,6 +314,56 @@ fn trace_context_survives_retries_drop_and_tamper() {
 }
 
 #[test]
+fn pipelined_requests_trace_enqueue_and_execute_under_chaos() {
+    // The E5-style batch on the executor path: with tracing on, every
+    // pipelined request's span tree must contain bus.enqueue →
+    // bus.execute (with the queue wait measured) even while the fault
+    // injector is dropping and delaying traffic.
+    let stack = build_stack(None);
+    stack.bus.enable_tracing(0xE5);
+    let injector = FaultInjector::new(0xE5);
+    injector.set_default_policy(
+        FaultPolicy::default().drop(0.25).delay(0.25, Duration::from_micros(300)),
+    );
+    stack.bus.add_interceptor(Arc::new(injector.clone()));
+    stack.bus.install_executor(ExecutorConfig::new(4).seed(0xE5));
+
+    let paths = vec!["readme.txt"; 24];
+    let results = stack.files.read_files(&stack.root, &paths, 6);
+    stack.bus.shutdown_executor();
+
+    // Every slot resolves: to the file's bytes or to the injected drop.
+    assert_eq!(results.len(), 24);
+    let failed = results.iter().filter(|r| r.is_err()).count() as u64;
+    for contents in results.iter().filter_map(|r| r.as_deref().ok()) {
+        assert_eq!(contents, b"hello");
+    }
+    let injected = injector.snapshot();
+    assert_eq!(failed, injected.drops, "exactly the dropped requests fail their slot");
+    assert!(injected.drops > 0 && injected.delays > 0, "the chaos was real: {injected:?}");
+
+    let sink = stack.bus.obs().tracer.take();
+    let roots = sink.spans_named("client.call");
+    let enqueues = sink.spans_named("bus.enqueue");
+    let executes = sink.spans_named("bus.execute");
+    assert_eq!(roots.len(), 24);
+    assert_eq!(enqueues.len(), executes.len(), "everything admitted was executed");
+    for root in &roots {
+        let enqueue = enqueues
+            .iter()
+            .find(|e| e.parent_id == Some(root.span_id))
+            .expect("every pipelined call carries its context onto the queue");
+        let execute = executes
+            .iter()
+            .find(|x| x.parent_id == Some(enqueue.span_id))
+            .expect("every enqueued request reaches a worker");
+        assert_eq!(execute.trace_id, root.trace_id, "one trace per request");
+        assert!(attr(execute, "queue_wait_ns").parse::<u64>().is_ok());
+        assert!(!attr(execute, "to").is_empty() && !attr(execute, "action").is_empty());
+    }
+}
+
+#[test]
 fn fault_envelopes_carry_the_correlation_header() {
     let stack = build_stack(None);
     let wires = Arc::new(CaptureResponses::default());

@@ -3,8 +3,16 @@
 //! `ConcurrentAccess=true` promise across realisations and the bus's
 //! thread-safety under mixed load.
 
+use dais::obs::Span;
 use dais::prelude::*;
+use dais::soap::bus::{BusError, StatsSnapshot};
+use dais::soap::interceptor::{CallInfo, Intercept, Interceptor};
+use dais::soap::{Envelope, ServiceClient, SoapDispatcher};
 use dais::xml::parse;
+use dais::xml::XmlElement;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 #[test]
 fn mixed_fabric_under_concurrency() {
@@ -161,4 +169,208 @@ fn concurrent_derivation_and_destruction() {
     assert_eq!(svc.ctx.registry.len(), 2);
     assert!(svc.ctx.registry.get(&svc.db_resource).is_some());
     assert!(svc.ctx.registry.get(&svc.monitoring).is_some());
+}
+
+// ---------------------------------------------------------------------
+// The sharded executor under load: backpressure, billing and tracing.
+// ---------------------------------------------------------------------
+
+fn message(text: &str) -> XmlElement {
+    XmlElement::new_local("m").with_text(text)
+}
+
+/// Look up one span attribute, empty when absent.
+fn attr<'s>(span: &'s Span, key: &str) -> &'s str {
+    span.attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| v.as_str()).unwrap_or("")
+}
+
+/// An echo dispatcher whose handler parks until the shared gate opens,
+/// counting entries so tests can wait for a worker to pick a job up.
+fn gated_echo(gate: &Arc<(Mutex<bool>, Condvar)>, entered: &Arc<AtomicU32>) -> SoapDispatcher {
+    let mut d = SoapDispatcher::new();
+    let gate = Arc::clone(gate);
+    let entered = Arc::clone(entered);
+    d.register("urn:block", move |req: &Envelope| {
+        entered.fetch_add(1, Ordering::SeqCst);
+        let (flag, cvar) = &*gate;
+        let mut open = flag.lock().unwrap();
+        while !*open {
+            open = cvar.wait(open).unwrap();
+        }
+        Ok(req.clone())
+    });
+    d
+}
+
+#[test]
+fn seeded_stress_run_loses_no_replies_and_keeps_trace_trees() {
+    let bus = Bus::new();
+    for i in 0..4 {
+        let mut d = SoapDispatcher::new();
+        d.register("urn:echo", |req: &Envelope| Ok(req.clone()));
+        bus.register(format!("bus://stress/{i}"), Arc::new(d));
+    }
+    bus.enable_tracing(0xFAB);
+    let injector = FaultInjector::new(0xFAB);
+    injector.set_default_policy(
+        FaultPolicy::default().drop(0.10).delay(0.25, Duration::from_micros(400)),
+    );
+    bus.add_interceptor(Arc::new(injector.clone()));
+    bus.install_executor(ExecutorConfig::new(8).queue_capacity(256).seed(0xFAB));
+
+    // One pipelined consumer per endpoint, submissions interleaved so
+    // every shard sees load at once.
+    let clients: Vec<ServiceClient> =
+        (0..4).map(|i| ServiceClient::new(bus.clone(), format!("bus://stress/{i}"))).collect();
+    let total = 160usize;
+    let replies: Vec<_> = (0..total)
+        .map(|n| clients[n % 4].call_async("urn:echo", message(&n.to_string())).unwrap())
+        .collect();
+
+    // No lost replies: every handle resolves, to the echo or to the
+    // injected drop — nothing hangs and nothing vanishes.
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    for (n, reply) in replies.into_iter().enumerate() {
+        match reply.wait() {
+            Ok(echoed) => {
+                assert_eq!(echoed.text(), n.to_string(), "replies stay bound to their request");
+                ok += 1;
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    assert_eq!(ok + failed, total as u64);
+    let injected = injector.snapshot();
+    assert_eq!(failed, injected.drops, "exactly the dropped requests fail");
+    assert!(injected.drops > 0 && injected.delays > 0, "the chaos was real: {injected:?}");
+    assert_eq!(bus.stats().queue_depth, 0, "the queues drained");
+    bus.shutdown_executor();
+
+    // Trace-tree integrity: every request's tree is client.call →
+    // bus.enqueue → bus.execute, with the queue wait measured.
+    let sink = bus.obs().tracer.take();
+    let roots = sink.spans_named("client.call");
+    let enqueues = sink.spans_named("bus.enqueue");
+    let executes = sink.spans_named("bus.execute");
+    assert_eq!(roots.len(), total);
+    assert_eq!(enqueues.len(), total);
+    assert_eq!(executes.len(), total);
+    for execute in &executes {
+        let enqueue = enqueues
+            .iter()
+            .find(|e| Some(e.span_id) == execute.parent_id)
+            .expect("every execute hangs off its enqueue");
+        let root = roots
+            .iter()
+            .find(|r| Some(r.span_id) == enqueue.parent_id)
+            .expect("every enqueue hangs off a client root");
+        assert_eq!(execute.trace_id, root.trace_id, "one trace per request");
+        assert!(attr(execute, "queue_wait_ns").parse::<u64>().is_ok());
+    }
+}
+
+#[test]
+fn overloaded_is_returned_exactly_when_the_queue_is_at_capacity() {
+    // Property over capacities: with the one worker parked in the
+    // handler, admission accepts exactly `capacity` further requests and
+    // sheds the rest — `Overloaded` if and only if the queue is full.
+    for (capacity, submits) in [(1usize, 6usize), (2, 6), (4, 6), (4, 3)] {
+        let bus = Bus::new();
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let entered = Arc::new(AtomicU32::new(0));
+        bus.register("bus://gate", Arc::new(gated_echo(&gate, &entered)));
+        let hint = Duration::from_millis(2);
+        bus.install_executor(
+            ExecutorConfig::new(1)
+                .queue_capacity(capacity)
+                .max_in_flight(1)
+                .retry_after(hint)
+                .seed(9),
+        );
+
+        // Park the worker, then race `submits` more requests at the queue.
+        let first =
+            bus.call_async("bus://gate", "urn:block", &Envelope::with_body(message("0"))).unwrap();
+        while entered.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        let mut admitted = vec![first];
+        let mut shed = 0usize;
+        for n in 1..=submits {
+            let envelope = Envelope::with_body(message(&n.to_string()));
+            match bus.call_async("bus://gate", "urn:block", &envelope) {
+                Ok(pending) => admitted.push(pending),
+                Err(BusError::Overloaded { endpoint, retry_after }) => {
+                    assert_eq!(endpoint, "bus://gate");
+                    assert_eq!(retry_after, hint, "the hint echoes the configuration");
+                    assert_eq!(
+                        bus.endpoint_stats("bus://gate").queue_depth,
+                        capacity as u64,
+                        "a shed request found the queue genuinely full"
+                    );
+                    shed += 1;
+                }
+                Err(other) => panic!("unexpected admission error: {other:?}"),
+            }
+        }
+        assert_eq!(shed, submits.saturating_sub(capacity), "capacity {capacity}");
+        assert_eq!(bus.endpoint_stats("bus://gate").shed, shed as u64);
+
+        // Open the gate: everything admitted completes; nothing is lost.
+        *gate.0.lock().unwrap() = true;
+        gate.1.notify_all();
+        for pending in admitted {
+            assert!(pending.wait().is_ok(), "an admitted request was lost");
+        }
+        assert_eq!(bus.endpoint_stats("bus://gate").queue_depth, 0);
+        bus.shutdown_executor();
+    }
+}
+
+/// Rejects every response on its way back to the caller.
+struct AbortReplies;
+
+impl Interceptor for AbortReplies {
+    fn on_response(&self, _call: &CallInfo<'_>, _bytes: &[u8]) -> Intercept {
+        Intercept::Abort(BusError::Timeout("scripted response abort".into()))
+    }
+}
+
+fn response_abort_run(queued: bool) -> StatsSnapshot {
+    let bus = Bus::new();
+    let mut d = SoapDispatcher::new();
+    d.register("urn:echo", |req: &Envelope| Ok(req.clone()));
+    bus.register("bus://bill", Arc::new(d));
+    bus.add_interceptor(Arc::new(AbortReplies));
+    if queued {
+        bus.install_executor(ExecutorConfig::new(2).seed(5));
+    }
+    for n in 0..3 {
+        let envelope = Envelope::with_body(message(&n.to_string()));
+        let err = bus.call("bus://bill", "urn:echo", &envelope).unwrap_err();
+        assert!(matches!(err, BusError::Timeout(_)), "the abort surfaces: {err:?}");
+    }
+    let stats = bus.endpoint_stats("bus://bill");
+    if queued {
+        bus.shutdown_executor();
+    }
+    stats
+}
+
+#[test]
+fn response_abort_billing_is_identical_on_queued_and_inline_paths() {
+    // Regression: per-call statistics are billed inside `Bus::perform`,
+    // so a response-phase `Intercept::Abort` costs exactly the same on
+    // the executor path as it does inline — only the queue gauges (peak
+    // depth) may legitimately differ between the two modes.
+    let inline = response_abort_run(false);
+    let queued = response_abort_run(true);
+    let traffic = |s: &StatsSnapshot| {
+        (s.messages, s.request_bytes, s.response_bytes, s.faults, s.injected, s.retries, s.shed)
+    };
+    assert_eq!(traffic(&inline), traffic(&queued));
+    assert_eq!(inline.messages, 3);
+    assert_eq!(inline.queue_peak, 0);
+    assert!(queued.queue_peak >= 1, "the queued path really went through the queue");
 }
