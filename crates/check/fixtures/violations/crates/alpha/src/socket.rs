@@ -1,0 +1,7 @@
+//! Fixture: raw socket use outside the TCP transport module — a side
+//! channel around the Transport seam's framing, pooling, and timeout
+//! mapping: transport-bypass.
+
+pub fn side_channel(addr: &str) -> std::io::Result<TcpStream> {
+    TcpStream::connect(addr)
+}

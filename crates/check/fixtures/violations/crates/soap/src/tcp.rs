@@ -1,0 +1,6 @@
+//! Fixture: the one file allowed to touch raw sockets — proves the
+//! `transport-bypass` exemption for `crates/soap/src/tcp.rs`.
+
+pub fn open(addr: &str) -> std::io::Result<TcpStream> {
+    TcpStream::connect(addr)
+}

@@ -517,6 +517,55 @@ pub fn run_lints<'a>(files: &'a [FileFacts], allowlist: &Allowlist) -> Vec<Viola
             });
         }
     }
+    // ---- transport-bypass: raw sockets live in one file. -----------------
+    // `TcpStream`/`TcpListener` outside `crates/soap/src/tcp.rs` opens a
+    // side channel around the Transport seam — no length-prefixed
+    // framing, no pooled reconnects, no timeout→`BusError` mapping, and
+    // none of the interceptor/tracing/stats layers that sit above the
+    // trait. Library code talks to `Transport`; only the TCP transport
+    // module touches sockets. (Integration tests and benches are outside
+    // the scan and may play raw peers.) Intentional exceptions carry a
+    // `transport-bypass:<file>` allowlist entry.
+    const TRANSPORT_LINT: &str = "transport-bypass";
+    let mut counted_transport: BTreeSet<String> = BTreeSet::new();
+    for f in files {
+        let path = norm(&f.path);
+        if path.ends_with("soap/src/tcp.rs") {
+            continue;
+        }
+        let allowed = allowlist.allowed_for(TRANSPORT_LINT, &path);
+        if allowlist.lint_entries.contains_key(&(TRANSPORT_LINT.to_string(), path.clone())) {
+            counted_transport.insert(path.clone());
+        }
+        let actual = f.tcp_stream_sites.len();
+        if actual > allowed {
+            let first_excess = f.tcp_stream_sites.get(allowed).copied().unwrap_or(0);
+            out.push(Violation {
+                lint: TRANSPORT_LINT,
+                severity: Severity::Error,
+                file: f.path.clone(),
+                line: first_excess,
+                message: format!(
+                    "{actual} raw TcpStream/TcpListener use(s) outside crates/soap/src/tcp.rs \
+                     (allowlist permits {allowed}); go through the `Transport` seam or extend {}",
+                    allowlist.path.display()
+                ),
+            });
+        } else if actual < allowed {
+            let (_, entry_line) =
+                allowlist.lint_entries[&(TRANSPORT_LINT.to_string(), path.clone())];
+            out.push(Violation {
+                lint: "stale-allowlist",
+                severity: Severity::Warning,
+                file: allowlist.path.clone(),
+                line: entry_line,
+                message: format!(
+                    "allowlist permits {allowed} raw socket use(s) in {path} but only {actual} \
+                     remain; ratchet the entry down"
+                ),
+            });
+        }
+    }
     // ---- span-name-literal: tracing span names come from the inventory.
     // `Tracer::span`/`child_span` take `&'static str` names so traces
     // render against a closed vocabulary (`dais_obs::names::span_names`);
@@ -565,6 +614,7 @@ pub fn run_lints<'a>(files: &'a [FileFacts], allowlist: &Allowlist) -> Vec<Viola
             POOLED_LINT => !counted_pooled.contains(path),
             SPAN_LINT => !counted_span.contains(path),
             EXECUTOR_LINT => !counted_executor.contains(path),
+            TRANSPORT_LINT => !counted_transport.contains(path),
             // An unknown lint prefix: nothing consumes the entry.
             _ => true,
         };

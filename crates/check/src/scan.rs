@@ -77,6 +77,9 @@ pub struct FileFacts {
     /// Lines of `.dispatch(` calls (checked outside `crates/soap`, where
     /// every exchange must go through `Bus::call` and the executor path).
     pub dispatch_sites: Vec<usize>,
+    /// Lines mentioning `TcpStream`/`TcpListener` (raw sockets are
+    /// confined to `crates/soap/src/tcp.rs`, behind the Transport seam).
+    pub tcp_stream_sites: Vec<usize>,
 }
 
 /// Tokenise and strip `#[cfg(test)]` items, then extract facts.
@@ -134,6 +137,13 @@ pub fn scan_file(root: &Path, rel_path: &Path, src: &str) -> FileFacts {
                 }
             }
             TokenKind::Ident => {
+                // Raw socket types anywhere in library code: `use`
+                // imports, type positions, and `TcpStream::connect`
+                // call paths all count — the transport module is the
+                // only place sockets belong.
+                if tok.text == "TcpStream" || tok.text == "TcpListener" {
+                    facts.tcp_stream_sites.push(tok.line);
+                }
                 // `pub const NAME: ... = "uri";` inside the actions mod.
                 if in_range(&actions_mod, i) && tok.is_ident("const") {
                     if let Some(name_tok) = tokens.get(i + 1) {
@@ -534,6 +544,23 @@ mod tests {
         let f = scan("crates/alpha/src/tracing.rs", src);
         let names: Vec<&str> = f.span_literal_sites.iter().map(|l| l.value.as_str()).collect();
         assert_eq!(names, ["rogue.span", "rogue.child"]);
+    }
+
+    #[test]
+    fn raw_socket_idents_are_recorded_outside_tests() {
+        let src = r#"
+            use std::net::{TcpListener, TcpStream};
+            fn open(addr: &str) -> std::io::Result<TcpStream> {
+                TcpStream::connect(addr)
+            }
+            fn named() { let _ = tcp_stream_count(); }
+            #[cfg(test)]
+            mod tests { use std::net::TcpStream; fn t() { TcpStream::connect("x"); } }
+        "#;
+        let f = scan("crates/alpha/src/socket.rs", src);
+        // Import (both idents), return type, and call path — tests and
+        // lookalike identifiers stay silent.
+        assert_eq!(f.tcp_stream_sites.len(), 4);
     }
 
     #[test]

@@ -107,6 +107,16 @@ fn trips_executor_bypass() {
 }
 
 #[test]
+fn trips_transport_bypass() {
+    let hits = assert_fires("transport-bypass", "alpha/src/socket.rs");
+    assert!(hits[0].2.contains("crates/soap/src/tcp.rs"));
+    assert!(hits[0].2.contains("Transport"));
+    // The fixture's own soap/src/tcp.rs uses sockets too and stays
+    // silent: the exemption holds.
+    assert_eq!(hits.len(), 1, "{hits:?}");
+}
+
+#[test]
 fn trips_span_name_literal() {
     let hits = assert_fires("span-name-literal", "alpha/src/tracing.rs");
     assert!(hits[0].2.contains("rogue.span"));

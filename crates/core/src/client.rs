@@ -43,6 +43,20 @@ impl CoreClient {
         CoreClient { inner: ServiceClient::from_epr(bus, epr) }
     }
 
+    /// Bind to a service reached over `transport` (installed on `bus`
+    /// before binding): the split-deployment constructor, where the
+    /// service registry lives behind a [`TcpServer`](dais_soap::TcpServer)
+    /// rather than in this process. Everything above the transport seam
+    /// — retries, stats, tracing — behaves identically to a local bind.
+    pub fn with_transport(
+        bus: Bus,
+        transport: std::sync::Arc<dyn dais_soap::Transport>,
+        address: impl Into<String>,
+    ) -> CoreClient {
+        bus.set_transport(transport);
+        CoreClient::new(bus, address)
+    }
+
     /// The raw SOAP client (realisations layer their own calls over it).
     pub fn soap(&self) -> &ServiceClient {
         &self.inner
@@ -375,6 +389,21 @@ mod tests {
         // The trait-level retry layering is what the inherent wrapper does.
         let client = client.with_retry(RetryPolicy::new(3));
         assert!(client.soap().retry_config().is_some());
+    }
+
+    #[test]
+    fn transport_bound_client_behaves_like_a_local_bind() {
+        let (bus, _, name, _) = setup();
+        let client = CoreClient::with_transport(
+            bus.clone(),
+            Arc::new(dais_soap::InProcessTransport::new(&bus)),
+            "bus://svc",
+        );
+        assert_eq!(bus.transport_name(), Some("in-process"));
+        let props = client.get_property_document(&name).unwrap();
+        assert_eq!(props.abstract_name, name);
+        bus.clear_transport();
+        assert_eq!(bus.transport_name(), None);
     }
 
     #[test]

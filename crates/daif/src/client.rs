@@ -46,6 +46,16 @@ impl FileClient {
         FileClient { core: CoreClient::from_epr(bus, epr) }
     }
 
+    /// Bind to a service reached over `transport` (installed on `bus`
+    /// before binding) — see [`CoreClient::with_transport`].
+    pub fn with_transport(
+        bus: Bus,
+        transport: std::sync::Arc<dyn dais_soap::Transport>,
+        address: impl Into<String>,
+    ) -> FileClient {
+        FileClient { core: CoreClient::with_transport(bus, transport, address) }
+    }
+
     /// Layer retry over this client for the WS-DAIF read operations
     /// ([`idempotent_actions`]). Writes and deletes are never re-sent.
     /// (Thin wrapper over [`DaisClient::with_retry`].)

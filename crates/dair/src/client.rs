@@ -67,6 +67,16 @@ impl SqlClient {
         SqlClient { core: CoreClient::from_epr(bus, epr) }
     }
 
+    /// Bind to a service reached over `transport` (installed on `bus`
+    /// before binding) — see [`CoreClient::with_transport`].
+    pub fn with_transport(
+        bus: Bus,
+        transport: std::sync::Arc<dyn dais_soap::Transport>,
+        address: impl Into<String>,
+    ) -> SqlClient {
+        SqlClient { core: CoreClient::with_transport(bus, transport, address) }
+    }
+
     /// Layer retry over this client for the WS-DAIR read operations
     /// ([`idempotent_actions`]); `SQLExecute` retries only when the
     /// statement is a SELECT. (Thin wrapper over

@@ -45,6 +45,16 @@ impl XmlClient {
         XmlClient { core: CoreClient::from_epr(bus, epr) }
     }
 
+    /// Bind to a service reached over `transport` (installed on `bus`
+    /// before binding) — see [`CoreClient::with_transport`].
+    pub fn with_transport(
+        bus: Bus,
+        transport: std::sync::Arc<dyn dais_soap::Transport>,
+        address: impl Into<String>,
+    ) -> XmlClient {
+        XmlClient { core: CoreClient::with_transport(bus, transport, address) }
+    }
+
     /// Layer retry over this client for the WS-DAIX read operations
     /// ([`idempotent_actions`]). (Thin wrapper over
     /// [`DaisClient::with_retry`].)

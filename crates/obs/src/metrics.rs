@@ -17,11 +17,17 @@ use std::sync::Arc;
 pub const ENDPOINT_PREFIX: &str = "endpoint:";
 /// Key prefix for per-action histograms in [`Metrics::snapshot`].
 pub const ACTION_PREFIX: &str = "action:";
+/// Key prefix for per-connection histograms in [`Metrics::snapshot`].
+/// Transports record wire-level service time here (one observation per
+/// frame served), keyed by connection label — kept out of span attrs so
+/// trace renders stay transport-invariant.
+pub const CONN_PREFIX: &str = "conn:";
 
 #[derive(Default)]
 struct MetricsInner {
     endpoints: RwLock<HashMap<String, Arc<Histogram>>>,
     actions: RwLock<HashMap<String, Arc<Histogram>>>,
+    conns: RwLock<HashMap<String, Arc<Histogram>>>,
 }
 
 /// Cheap to clone (shared state); always on — recording costs a few
@@ -67,8 +73,19 @@ impl Metrics {
         observe(&self.inner.actions, action, nanos);
     }
 
-    /// Every histogram, keyed `endpoint:<address>` / `action:<uri>`, in
-    /// deterministic order.
+    /// The histogram for one transport connection label (created on
+    /// first use).
+    pub fn connection_histogram(&self, label: &str) -> Arc<Histogram> {
+        get_or_create(&self.inner.conns, label)
+    }
+
+    /// Record one per-connection service-time observation.
+    pub fn observe_connection(&self, label: &str, nanos: u64) {
+        observe(&self.inner.conns, label, nanos);
+    }
+
+    /// Every histogram, keyed `endpoint:<address>` / `action:<uri>` /
+    /// `conn:<label>`, in deterministic order.
     pub fn snapshot(&self) -> BTreeMap<String, HistogramSnapshot> {
         let mut out = BTreeMap::new();
         for (k, h) in self.inner.endpoints.read().iter() {
@@ -76,6 +93,9 @@ impl Metrics {
         }
         for (k, h) in self.inner.actions.read().iter() {
             out.insert(format!("{ACTION_PREFIX}{k}"), h.snapshot());
+        }
+        for (k, h) in self.inner.conns.read().iter() {
+            out.insert(format!("{CONN_PREFIX}{k}"), h.snapshot());
         }
         out
     }
@@ -87,6 +107,9 @@ impl Metrics {
             h.reset();
         }
         for h in self.inner.actions.read().values() {
+            h.reset();
+        }
+        for h in self.inner.conns.read().values() {
             h.reset();
         }
     }
@@ -102,10 +125,20 @@ mod tests {
         m.observe_endpoint("bus://a", 100);
         m.observe_endpoint("bus://a", 200);
         m.observe_action("urn:x", 300);
+        m.observe_connection("tcp#0", 400);
         let snap = m.snapshot();
         assert_eq!(snap["endpoint:bus://a"].count, 2);
         assert_eq!(snap["action:urn:x"].count, 1);
-        assert_eq!(snap.len(), 2);
+        assert_eq!(snap["conn:tcp#0"].count, 1);
+        assert_eq!(snap.len(), 3);
+    }
+
+    #[test]
+    fn connection_histograms_reset_with_the_rest() {
+        let m = Metrics::default();
+        m.observe_connection("tcp#1", 10);
+        m.reset();
+        assert_eq!(m.snapshot()["conn:tcp#1"].count, 0);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::executor::{self, BusExecutor, ExecMode, ExecutorConfig, Pending};
 use crate::fault::Fault;
 use crate::interceptor::{CallInfo, InjectorSnapshot, Intercept, Interceptor};
 use crate::service::SoapService;
+use crate::transport::Transport;
 use dais_obs::names::span_names;
 use dais_obs::{Histogram, Obs, SpanHandle, TraceContext};
 use dais_util::pool::PooledBuf;
@@ -23,7 +24,7 @@ use dais_util::sync::RwLock;
 use dais_xml::{ns, XmlElement};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 /// A registered endpoint. Carries its own stats and latency-histogram
@@ -41,6 +42,19 @@ impl Endpoint {
     /// the executor's queue gauges land in the same snapshot).
     pub(crate) fn stats(&self) -> &BusStats {
         &self.stats
+    }
+}
+
+/// The service slot of a transport-routed [`Endpoint`] with no local
+/// registration. Never invoked on the routed path (the transport carries
+/// the bytes before dispatch reaches a service); if routing changes
+/// between resolve and dispatch, it answers with a server fault rather
+/// than panicking.
+struct RemoteStub;
+
+impl SoapService for RemoteStub {
+    fn handle(&self, action: &str, _request: &Envelope) -> Result<Envelope, Fault> {
+        Err(Fault::server(format!("remote endpoint cannot serve '{action}' locally")))
     }
 }
 
@@ -183,6 +197,11 @@ pub(crate) struct BusInner {
     /// The installed request executor, if any. `None` means every call
     /// executes inline on the caller's thread (the seed behaviour).
     executor: RwLock<Option<Arc<BusExecutor>>>,
+    /// The installed [`Transport`] below the serialise→route→parse
+    /// boundary. `None` (the default) serves every address from the
+    /// local registry — the seed behaviour, and the hot path the
+    /// allocation ratchet measures.
+    transport: RwLock<Option<Arc<dyn Transport>>>,
 }
 
 /// Transport-level errors (distinct from SOAP faults, which are
@@ -206,6 +225,11 @@ pub enum BusError {
         /// How long the executor suggests waiting before re-sending.
         retry_after: Duration,
     },
+    /// The connection carrying the request died before a response
+    /// arrived (peer closed mid-frame, write failed, connect refused).
+    /// Only produced by real network transports; retryable, because the
+    /// client pool reconnects lazily on the next send.
+    ConnectionLost(String),
 }
 
 impl std::fmt::Display for BusError {
@@ -218,6 +242,7 @@ impl std::fmt::Display for BusError {
                 f,
                 "endpoint '{endpoint}' overloaded: work queue at capacity, retry after {retry_after:?}"
             ),
+            BusError::ConnectionLost(m) => write!(f, "connection lost: {m}"),
         }
     }
 }
@@ -344,18 +369,35 @@ impl Bus {
         }
     }
 
-    /// Resolve an address to its endpoint and the current chain.
+    /// Resolve an address to its endpoint and the current chain. An
+    /// address with no local registration still resolves when the
+    /// installed transport routes it (a split client/server deployment
+    /// registers services only on the serving side).
     #[allow(clippy::type_complexity)]
     fn resolve(&self, to: &str) -> Result<(Endpoint, Arc<Vec<Arc<dyn Interceptor>>>), BusError> {
-        let endpoint = self
-            .inner
-            .endpoints
-            .read()
-            .get(to)
-            .cloned()
-            .ok_or_else(|| BusError::NoSuchEndpoint(to.to_string()))?;
+        let endpoint = match self.inner.endpoints.read().get(to).cloned() {
+            Some(endpoint) => endpoint,
+            None => self.remote_endpoint(to)?,
+        };
         let chain = Arc::clone(&self.inner.interceptors.read());
         Ok((endpoint, chain))
+    }
+
+    /// An endpoint handle for a transport-routed address that is not in
+    /// the local registry. Stats and latency land in the same
+    /// per-address slots a local registration would use, so client-side
+    /// billing is deployment-independent; the carried service is a stub
+    /// that never runs (the transport serves the request remotely).
+    fn remote_endpoint(&self, to: &str) -> Result<Endpoint, BusError> {
+        let routed = self.inner.transport.read().as_ref().is_some_and(|t| t.routes(to));
+        if !routed {
+            return Err(BusError::NoSuchEndpoint(to.to_string()));
+        }
+        static STUB: OnceLock<Arc<RemoteStub>> = OnceLock::new();
+        let service = Arc::clone(STUB.get_or_init(|| Arc::new(RemoteStub)));
+        let stats = Arc::clone(self.inner.per_endpoint.write().entry(to.to_string()).or_default());
+        let latency = self.inner.obs.metrics.endpoint_histogram(to);
+        Ok(Endpoint { address: to.to_string(), service, stats, latency })
     }
 
     /// The executor to queue onto, unless this thread *is* an executor
@@ -537,46 +579,17 @@ impl Bus {
                 i
             }
             None => {
-                let parsed_request = match Envelope::from_bytes(&request_bytes) {
-                    Ok(env) => env,
-                    Err(e) => {
-                        record(request_bytes.len() as u64, 0, false);
-                        return Err(BusError::MalformedEnvelope(e.to_string()));
-                    }
-                };
-                // The dispatch span joins the trace through the *parsed*
-                // request: only a context that survived the wire (not
-                // dropped, not tampered beyond recognition) correlates.
-                // `child_span` is inert when the header is absent or
-                // undecodable, so broken propagation shows up as a
-                // missing dispatch node, never a bogus root.
-                let mut dispatch_span = SpanHandle::inert();
-                let mut relates_to = None;
-                if tracer.enabled() {
-                    if let Some(id) = parsed_request.header_block(ns::WSA, "MessageID") {
-                        let id = id.text().trim().to_string();
-                        dispatch_span =
-                            tracer.child_span(span_names::BUS_DISPATCH, TraceContext::decode(&id));
-                        dispatch_span.attr("action", action);
-                        relates_to = Some(id);
-                    }
+                // The serialise→route→parse boundary: bytes go below
+                // the line here and come back as response bytes. Any
+                // routing failure — local parse error, remote error
+                // frame, dead connection — bills the request leg it
+                // consumed, identically on every transport.
+                if let Err(err) =
+                    self.route(endpoint, to, action, &request_bytes, &mut response_bytes)
+                {
+                    record(request_bytes.len() as u64, 0, false);
+                    return Err(err);
                 }
-                let outcome = endpoint.service.handle(action, &parsed_request);
-                dispatch_span.attr("outcome", if outcome.is_ok() { "ok" } else { "fault" });
-                dispatch_span.finish();
-                // Fault or success both serialise for the return trip.
-                let mut response_env = match outcome {
-                    Ok(resp) => resp,
-                    Err(fault) => Envelope::with_body(fault.to_xml()),
-                };
-                // WS-Addressing reply correlation: echo the request's
-                // MessageID (fault envelopes included). Only added while
-                // tracing, keeping the tracing-off wire byte-identical.
-                if let Some(id) = relates_to {
-                    response_env
-                        .add_header(XmlElement::new(ns::WSA, "wsa", "RelatesTo").with_text(id));
-                }
-                response_env.to_bytes_into(&mut response_bytes);
                 chain.len()
             }
         };
@@ -626,6 +639,102 @@ impl Bus {
             Some(f) => Ok(Err(f)),
             None => Ok(Ok(parsed_response)),
         }
+    }
+
+    /// Route serialised request bytes to whoever serves `to` and write
+    /// the serialised response into `out`. With a transport installed
+    /// that routes the address, the bytes cross it; otherwise they are
+    /// served from the local registry on the calling thread. This is the
+    /// entire per-call cost of the transport seam on the default path:
+    /// one `RwLock` read and one `Option<Arc>` clone, no allocation.
+    fn route(
+        &self,
+        endpoint: &Endpoint,
+        to: &str,
+        action: &str,
+        request: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), BusError> {
+        let transport = self.inner.transport.read().clone();
+        match transport {
+            Some(t) if t.routes(to) => t.call(to, action, request, out),
+            _ => self.serve_local(endpoint, action, request, out),
+        }
+    }
+
+    /// The service side of the boundary: parse the request bytes, invoke
+    /// the handler under a `bus.dispatch` span, and serialise the
+    /// response (fault envelopes included) into `out`. Performs no
+    /// billing — the caller above the transport seam owns that, so local
+    /// and remote service legs account identically.
+    fn serve_local(
+        &self,
+        endpoint: &Endpoint,
+        action: &str,
+        request: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), BusError> {
+        let tracer = &self.inner.obs.tracer;
+        let parsed_request = match Envelope::from_bytes(request) {
+            Ok(env) => env,
+            Err(e) => return Err(BusError::MalformedEnvelope(e.to_string())),
+        };
+        // The dispatch span joins the trace through the *parsed*
+        // request: only a context that survived the wire (not
+        // dropped, not tampered beyond recognition) correlates.
+        // `child_span` is inert when the header is absent or
+        // undecodable, so broken propagation shows up as a
+        // missing dispatch node, never a bogus root.
+        let mut dispatch_span = SpanHandle::inert();
+        let mut relates_to = None;
+        if tracer.enabled() {
+            if let Some(id) = parsed_request.header_block(ns::WSA, "MessageID") {
+                let id = id.text().trim().to_string();
+                dispatch_span =
+                    tracer.child_span(span_names::BUS_DISPATCH, TraceContext::decode(&id));
+                dispatch_span.attr("action", action);
+                relates_to = Some(id);
+            }
+        }
+        let outcome = endpoint.service.handle(action, &parsed_request);
+        dispatch_span.attr("outcome", if outcome.is_ok() { "ok" } else { "fault" });
+        dispatch_span.finish();
+        // Fault or success both serialise for the return trip.
+        let mut response_env = match outcome {
+            Ok(resp) => resp,
+            Err(fault) => Envelope::with_body(fault.to_xml()),
+        };
+        // WS-Addressing reply correlation: echo the request's
+        // MessageID (fault envelopes included). Only added while
+        // tracing, keeping the tracing-off wire byte-identical.
+        if let Some(id) = relates_to {
+            response_env.add_header(XmlElement::new(ns::WSA, "wsa", "RelatesTo").with_text(id));
+        }
+        response_env.to_bytes_into(out);
+        Ok(())
+    }
+
+    /// Serve one framed request arriving from a transport's server side:
+    /// resolve `to` in the local registry and run the service leg. The
+    /// transport carries the returned [`BusError`] back to the caller,
+    /// whose own bus bills it — no stats are touched here, so a request
+    /// crossing a wire is billed exactly once, on the client side, like
+    /// every in-process call.
+    pub(crate) fn serve_wire(
+        &self,
+        to: &str,
+        action: &str,
+        request: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), BusError> {
+        let endpoint = self
+            .inner
+            .endpoints
+            .read()
+            .get(to)
+            .cloned()
+            .ok_or_else(|| BusError::NoSuchEndpoint(to.to_string()))?;
+        self.serve_local(&endpoint, action, request, out)
     }
 
     /// Totals across all endpoints, with the chain's fault-injection
@@ -718,6 +827,36 @@ impl Bus {
         } else {
             ExecMode::Inline
         }
+    }
+
+    /// Install (or replace) the transport below the serialise→route→
+    /// parse boundary. Addresses the transport [`routes`](Transport::routes)
+    /// cross it; everything else keeps serving from the local registry.
+    pub fn set_transport(&self, transport: Arc<dyn Transport>) {
+        *self.inner.transport.write() = Some(transport);
+    }
+
+    /// Remove the transport, returning every address to local serving
+    /// (the seed behaviour).
+    pub fn clear_transport(&self) {
+        *self.inner.transport.write() = None;
+    }
+
+    /// The installed transport's diagnostic name, if any.
+    pub fn transport_name(&self) -> Option<&'static str> {
+        self.inner.transport.read().as_ref().map(|t| t.name())
+    }
+
+    /// Is a service registered locally at `to`? (Transport routing does
+    /// not count — this is the registry the serving side consults.)
+    pub(crate) fn has_endpoint(&self, to: &str) -> bool {
+        self.inner.endpoints.read().contains_key(to)
+    }
+
+    /// A weak handle to the shared state, for components that must not
+    /// keep the bus alive (executor workers, installed transports).
+    pub(crate) fn downgrade(&self) -> Weak<BusInner> {
+        Arc::downgrade(&self.inner)
     }
 
     /// Reconstruct a bus handle from its shared state (executor workers

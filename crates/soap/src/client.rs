@@ -394,6 +394,7 @@ fn cause_label(error: &CallError) -> String {
         },
         CallError::Transport(BusError::Timeout(_)) => "timeout".to_string(),
         CallError::Transport(BusError::Overloaded { .. }) => "overloaded".to_string(),
+        CallError::Transport(BusError::ConnectionLost(_)) => "connection-lost".to_string(),
         CallError::Transport(_) => "transport".to_string(),
         CallError::UnexpectedResponse(_) => "unexpected-response".to_string(),
     }

@@ -377,6 +377,15 @@ pub(crate) fn on_worker_thread() -> bool {
     ON_WORKER.with(Cell::get)
 }
 
+/// Mark the current thread as a worker without it belonging to an
+/// executor pool. Transport server connection threads set this so a
+/// service handler that calls back into the bus runs inline instead of
+/// queueing — the same starvation-avoidance rule the pool's own workers
+/// follow.
+pub(crate) fn mark_worker_thread() {
+    ON_WORKER.with(|w| w.set(true));
+}
+
 fn worker_loop(shared: Arc<ExecShared>, bus: Weak<BusInner>, worker_idx: usize) {
     ON_WORKER.with(|w| w.set(true));
     let mut rng = SplitMix64::new(mix2(shared.config.seed, worker_idx as u64 + 1));

@@ -8,8 +8,11 @@
 //!
 //! The DAIS specifications assume a conventional SOAP-over-HTTP stack.
 //! Rust's SOAP/WSDL ecosystem is immature, so this crate implements the
-//! envelope layer directly and replaces TCP with an in-process [`Bus`].
-//! Crucially the bus does **not** hand object references between client
+//! envelope layer directly. Below the serialise→route→parse boundary a
+//! [`Transport`] carries the bytes: the default in-process path hands
+//! them straight to the bus registry (the deterministic test/chaos
+//! transport), while [`TcpTransport`] frames them onto real `std::net`
+//! sockets. Crucially no path hands object references between client
 //! and service: every message is serialised to XML bytes, routed, and
 //! re-parsed at the receiving side. All marshalling costs and
 //! message-structure bugs are therefore still exercised, and the bus
@@ -25,6 +28,8 @@ pub mod fault;
 pub mod interceptor;
 pub mod retry;
 pub mod service;
+pub mod tcp;
+pub mod transport;
 
 pub use addressing::Epr;
 pub use bus::Endpoint;
@@ -36,3 +41,5 @@ pub use fault::{DaisFault, Fault, FaultCode};
 pub use interceptor::{FaultInjector, FaultPolicy, Intercept, Interceptor};
 pub use retry::{IdempotencySet, RetryConfig, RetryPolicy};
 pub use service::{SoapDispatcher, SoapService};
+pub use tcp::{TcpConfig, TcpServer, TcpServerConfig, TcpTransport};
+pub use transport::{InProcessTransport, Transport};

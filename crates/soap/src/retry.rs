@@ -155,7 +155,8 @@ pub fn is_retryable(error: &CallError) -> bool {
     match error {
         CallError::Transport(BusError::Timeout(_))
         | CallError::Transport(BusError::MalformedEnvelope(_))
-        | CallError::Transport(BusError::Overloaded { .. }) => true,
+        | CallError::Transport(BusError::Overloaded { .. })
+        | CallError::Transport(BusError::ConnectionLost(_)) => true,
         CallError::Transport(BusError::NoSuchEndpoint(_)) => false,
         CallError::Fault(f) => {
             f.is(DaisFault::ServiceBusy) || f.is(DaisFault::DataResourceUnavailable)
@@ -220,6 +221,7 @@ mod tests {
         assert!(is_retryable(&CallError::Transport(BusError::Timeout("t".into()))));
         assert!(is_retryable(&CallError::Transport(BusError::MalformedEnvelope("m".into()))));
         assert!(!is_retryable(&CallError::Transport(BusError::NoSuchEndpoint("e".into()))));
+        assert!(is_retryable(&CallError::Transport(BusError::ConnectionLost("c".into()))));
         assert!(is_retryable(&CallError::Fault(Fault::dais(DaisFault::ServiceBusy, "b"))));
         assert!(is_retryable(&CallError::Fault(Fault::dais(
             DaisFault::DataResourceUnavailable,

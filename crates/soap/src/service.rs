@@ -8,6 +8,15 @@ use std::sync::Arc;
 /// A SOAP endpoint. Implementations receive the parsed envelope and the
 /// SOAP action and either return a response envelope or a fault (which the
 /// bus renders as a fault envelope).
+///
+/// Handlers run on whichever thread carries the request across the
+/// transport seam: the caller's thread (inline mode), an executor worker
+/// (queued mode), or a [`TcpServer`](crate::tcp::TcpServer) connection
+/// thread. Executor workers and server connection threads are marked as
+/// worker threads, so a handler that calls back into the bus runs that
+/// nested call inline — a handler must be `Send + Sync` and free of
+/// thread-affine state, but never needs to worry about executor-queue
+/// deadlock.
 pub trait SoapService: Send + Sync {
     fn handle(&self, action: &str, request: &Envelope) -> Result<Envelope, Fault>;
 
