@@ -1,0 +1,19 @@
+//! Fixture: a lock guard held live across a blocking bus exchange — the
+//! callee can stall on a queue or a remote peer while every contender of
+//! the lock waits behind it: guard-across-dispatch.
+
+pub fn exchange_under_lock(bus: &Bus, state: &Mutex<u64>) -> u64 {
+    let guard = state.lock();
+    let reply = bus.call(make_request(*guard));
+    drop(guard);
+    reply.len() as u64
+}
+
+/// The clean shape: the guard drops before the exchange.
+pub fn exchange_after_drop(bus: &Bus, state: &Mutex<u64>) -> usize {
+    let request = {
+        let guard = state.lock();
+        make_request(*guard)
+    };
+    bus.call(request).len()
+}

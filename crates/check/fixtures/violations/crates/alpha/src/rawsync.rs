@@ -1,0 +1,8 @@
+//! Fixture: direct `std::sync` lock construction — acquisitions bypass
+//! the lock-order deadlock detector: raw-sync-primitive.
+
+use std::sync::Mutex;
+
+pub fn untracked() -> Mutex<u64> {
+    Mutex::new(0)
+}

@@ -1,0 +1,14 @@
+//! Fixture: a lock guard held live across a sleep — the nap is billed to
+//! every thread contending for the lock: guard-across-sleep.
+
+pub fn nap_under_lock(state: &Mutex<u64>) {
+    let mut guard = state.lock();
+    thread::sleep(Duration::from_millis(10));
+    *guard += 1;
+}
+
+/// The clean shape: pause first, lock after.
+pub fn nap_then_lock(state: &Mutex<u64>) {
+    thread::sleep(Duration::from_millis(10));
+    *state.lock() += 1;
+}

@@ -1,6 +1,6 @@
 //! Command-line front end for the workspace static checks.
 //!
-//! Usage: `cargo run -p dais-check [-- --root <workspace-dir>]`
+//! Usage: `cargo run -p dais-check [-- --root <workspace-dir>] [--format text|json]`
 //!
 //! Exits 0 when the scan is clean, 1 when violations are found, and 2
 //! on usage or I/O errors.
@@ -10,6 +10,7 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -20,8 +21,19 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    eprintln!(
+                        "dais-check: --format requires `text` or `json`, got {:?}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: dais-check [--root <workspace-dir>]");
+                println!("usage: dais-check [--root <workspace-dir>] [--format text|json]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -35,7 +47,7 @@ fn main() -> ExitCode {
 
     match dais_check::check_workspace(&root) {
         Ok(report) => {
-            print!("{}", report.render());
+            print!("{}", if json { report.render_json() } else { report.render() });
             if report.is_clean() {
                 ExitCode::SUCCESS
             } else {

@@ -19,12 +19,16 @@ pub enum TokenKind {
     Punct,
 }
 
-/// One token plus the 1-based line it starts on.
+/// One token plus the 1-based line it starts on and the brace depth it
+/// sits at (0 = module level). A `{` carries the depth *outside* it and
+/// a `}` the depth outside the block it closes, so the body of a block
+/// is exactly the tokens with depth greater than its delimiters'.
 #[derive(Debug, Clone)]
 pub struct Token {
     pub kind: TokenKind,
     pub text: String,
     pub line: usize,
+    pub depth: usize,
 }
 
 impl Token {
@@ -43,6 +47,7 @@ pub fn tokenize(src: &str) -> Vec<Token> {
     let mut tokens = Vec::new();
     let mut i = 0;
     let mut line = 1;
+    let mut depth = 0usize;
     while i < bytes.len() {
         let b = bytes[i];
         match b {
@@ -78,7 +83,7 @@ pub fn tokenize(src: &str) -> Vec<Token> {
             b'"' => {
                 let start_line = line;
                 let (text, next, lines) = scan_string(bytes, i + 1);
-                tokens.push(Token { kind: TokenKind::Str, text, line: start_line });
+                tokens.push(Token { kind: TokenKind::Str, text, line: start_line, depth });
                 line += lines;
                 i = next;
             }
@@ -87,14 +92,14 @@ pub fn tokenize(src: &str) -> Vec<Token> {
                 let hash_start = if b == b'b' { i + 2 } else { i + 1 };
                 let hashes = count_hashes(bytes, hash_start);
                 let (text, next, lines) = scan_raw_string(bytes, hash_start + hashes + 1, hashes);
-                tokens.push(Token { kind: TokenKind::Str, text, line: start_line });
+                tokens.push(Token { kind: TokenKind::Str, text, line: start_line, depth });
                 line += lines;
                 i = next;
             }
             b'b' if bytes.get(i + 1) == Some(&b'"') => {
                 let start_line = line;
                 let (text, next, lines) = scan_string(bytes, i + 2);
-                tokens.push(Token { kind: TokenKind::Str, text, line: start_line });
+                tokens.push(Token { kind: TokenKind::Str, text, line: start_line, depth });
                 line += lines;
                 i = next;
             }
@@ -129,7 +134,7 @@ pub fn tokenize(src: &str) -> Vec<Token> {
                     }
                     text = &src[word_start..i];
                 }
-                tokens.push(Token { kind: TokenKind::Ident, text: text.to_string(), line });
+                tokens.push(Token { kind: TokenKind::Ident, text: text.to_string(), line, depth });
             }
             _ if b.is_ascii_digit() => {
                 // Numbers are irrelevant to every check; consume greedily.
@@ -138,7 +143,23 @@ pub fn tokenize(src: &str) -> Vec<Token> {
                 }
             }
             _ => {
-                tokens.push(Token { kind: TokenKind::Punct, text: (b as char).to_string(), line });
+                let at = match b {
+                    b'{' => {
+                        depth += 1;
+                        depth - 1
+                    }
+                    b'}' => {
+                        depth = depth.saturating_sub(1);
+                        depth
+                    }
+                    _ => depth,
+                };
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                    depth: at,
+                });
                 i += 1;
             }
         }
@@ -327,5 +348,108 @@ mod tests {
     fn raw_identifiers() {
         let toks = kinds("r#type x");
         assert_eq!(toks, vec![(TokenKind::Ident, "type".into()), (TokenKind::Ident, "x".into())]);
+    }
+
+    #[test]
+    fn raw_strings_with_more_hashes_and_byte_raw_strings() {
+        // A `"#` inside the body must not close an `r##"…"##` string,
+        // and `br#"…"#` is a (byte) string, not idents.
+        let toks = kinds(r###"r##"has "# inside"## br#"bytes"# x"###);
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Str, "has \"# inside".into()),
+                (TokenKind::Str, "bytes".into()),
+                (TokenKind::Ident, "x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_string_hides_comment_openers_and_quotes() {
+        // Without raw-string handling, the `//` and `/*` in the body
+        // would swallow the rest of the file and hide `after`.
+        let toks = kinds("r#\"// not a comment /* still not\"# after");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Str, "// not a comment /* still not".into()),
+                (TokenKind::Ident, "after".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_hide_their_contents_entirely() {
+        // The literal inside the nested comment must not surface: the
+        // inner `/*` has to nest, not terminate at the first `*/`.
+        let toks = kinds("before /* outer \"lit1\" /* inner \"lit2\" */ \"lit3\" */ after");
+        assert_eq!(
+            toks,
+            vec![(TokenKind::Ident, "before".into()), (TokenKind::Ident, "after".into())]
+        );
+    }
+
+    #[test]
+    fn block_comment_line_counting_spans_nesting() {
+        let toks = tokenize("/* line1\n/* line2\n*/ line3\n*/ x");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].line, 4);
+    }
+
+    #[test]
+    fn lifetime_ticks_do_not_eat_following_tokens() {
+        // `'a` in a generic position must leave `, 'b>` intact, and a
+        // lifetime before a string must not turn the string into a char.
+        let toks = kinds("fn f<'a, 'b>(x: &'a str) -> &'b str { \"lit\" }");
+        let strs: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Str).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(strs, vec!["lit"]);
+        let idents: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Ident).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(idents, vec!["fn", "f", "x", "str", "str"]);
+    }
+
+    #[test]
+    fn labelled_loops_and_static_lifetimes_stay_punct_free() {
+        let toks = kinds("'outer: loop { break 'outer; } &'static str");
+        let idents: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Ident).map(|(_, t)| t.as_str()).collect();
+        // The labels are consumed with their ticks; only real idents stay.
+        assert_eq!(idents, vec!["loop", "break", "str"]);
+    }
+
+    #[test]
+    fn depth_tracks_braces() {
+        let toks = tokenize("a { b { c } d } e");
+        let depths: Vec<(String, usize)> = toks.iter().map(|t| (t.text.clone(), t.depth)).collect();
+        assert_eq!(
+            depths,
+            vec![
+                ("a".to_string(), 0),
+                ("{".to_string(), 0),
+                ("b".to_string(), 1),
+                ("{".to_string(), 1),
+                ("c".to_string(), 2),
+                ("}".to_string(), 1),
+                ("d".to_string(), 1),
+                ("}".to_string(), 0),
+                ("e".to_string(), 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn depth_ignores_braces_inside_strings_comments_and_chars() {
+        let toks = tokenize("{ \"}\" /* } */ '{' r#\"}\"# x }");
+        let x = toks.iter().find(|t| t.text == "x").unwrap();
+        assert_eq!(x.depth, 1, "string/comment/char braces must not change depth");
+        assert_eq!(toks.last().unwrap().depth, 0, "the real closer returns to 0");
+    }
+
+    #[test]
+    fn unbalanced_closers_saturate_at_zero() {
+        let toks = tokenize("} } a");
+        assert_eq!(toks.last().unwrap().depth, 0);
     }
 }

@@ -61,6 +61,53 @@ impl Report {
         }
         out
     }
+
+    /// Render the report as a single JSON object for machine consumers
+    /// (CI annotations, dashboards). The schema is stable: a `violations`
+    /// array of `{lint, severity, file, line, message}` objects plus
+    /// `files_scanned` and `clean`. Written by hand — the workspace
+    /// builds offline, so no serde.
+    pub fn render_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut out = String::from("{\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"lint\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \
+                 \"line\": {}, \"message\": \"{}\"}}",
+                esc(v.lint),
+                v.severity,
+                esc(&v.file.display().to_string()),
+                v.line,
+                esc(&v.message)
+            ));
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"files_scanned\": {},\n  \"clean\": {}\n}}\n",
+            self.files_scanned,
+            self.is_clean()
+        ));
+        out
+    }
 }
 
 /// Scan the workspace rooted at `root` (the directory containing

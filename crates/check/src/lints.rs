@@ -160,6 +160,57 @@ fn norm(p: &std::path::Path) -> String {
     p.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
 }
 
+/// One site a ratcheting lint counted: its line, plus whatever detail
+/// the lint's message builder wants to show for the first excess site.
+type RatchetSite = (usize, String);
+
+/// The shared engine behind every `<lint>:<file>`-ratcheted lint: count
+/// the file's sites against the allowlist, report the first excess site
+/// with `describe(actual, allowed, detail)`, flag over-generous entries
+/// as stale, and record entry consumption so the final sweep can catch
+/// entries that match no scanned file. `noun` names the counted thing in
+/// stale-allowlist messages ("unwrap()/expect() call(s)" etc.).
+#[allow(clippy::too_many_arguments)]
+fn ratchet_file(
+    out: &mut Vec<Violation>,
+    allowlist: &Allowlist,
+    lint: &'static str,
+    noun: &str,
+    consumed: &mut BTreeSet<String>,
+    file: &FileFacts,
+    sites: &[RatchetSite],
+    describe: &dyn Fn(usize, usize, &str) -> String,
+) {
+    let path = norm(&file.path);
+    let allowed = allowlist.allowed_for(lint, &path);
+    if allowlist.lint_entries.contains_key(&(lint.to_string(), path.clone())) {
+        consumed.insert(path.clone());
+    }
+    let actual = sites.len();
+    if actual > allowed {
+        let (line, detail) = &sites[allowed];
+        out.push(Violation {
+            lint,
+            severity: Severity::Error,
+            file: file.path.clone(),
+            line: *line,
+            message: describe(actual, allowed, detail),
+        });
+    } else if actual < allowed {
+        let (_, entry_line) = allowlist.lint_entries[&(lint.to_string(), path.clone())];
+        out.push(Violation {
+            lint: "stale-allowlist",
+            severity: Severity::Warning,
+            file: allowlist.path.clone(),
+            line: entry_line,
+            message: format!(
+                "allowlist permits {allowed} {noun} in {path} but only {actual} remain; \
+                 ratchet the entry down"
+            ),
+        });
+    }
+}
+
 /// Run every lint over the extracted facts.
 pub fn run_lints<'a>(files: &'a [FileFacts], allowlist: &Allowlist) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -425,199 +476,229 @@ pub fn run_lints<'a>(files: &'a [FileFacts], allowlist: &Allowlist) -> Vec<Viola
         }
     }
 
-    // ---- pooled-buffer bypass on the soap wire path. ---------------------
+    // ---- Ratcheting lints: per-file counts against `<lint>:<file>`
+    // allowlist entries, all driven by the shared `ratchet_file` engine.
+    let mut consumed: BTreeMap<&'static str, BTreeSet<String>> = BTreeMap::new();
+
     // `to_bytes()` allocates a fresh owned buffer per call; everything on
     // the bus's serialise path has a pooled `to_bytes_into` counterpart
     // that reuses thread-local buffers. Intentional owned-bytes sites
     // (e.g. bytes that escape into an `Intercept::Reply`) carry a
     // `pooled-buffer-bypass:<file>` allowlist entry.
     const POOLED_LINT: &str = "pooled-buffer-bypass";
-    let mut counted_pooled: BTreeSet<String> = BTreeSet::new();
-    for f in files {
-        if f.crate_name != "soap" {
-            continue;
-        }
-        let path = norm(&f.path);
-        let allowed = allowlist.allowed_for(POOLED_LINT, &path);
-        if allowlist.lint_entries.contains_key(&(POOLED_LINT.to_string(), path.clone())) {
-            counted_pooled.insert(path.clone());
-        }
-        let actual = f.to_bytes_sites.len();
-        if actual > allowed {
-            let first_excess = f.to_bytes_sites.get(allowed).copied().unwrap_or(0);
-            out.push(Violation {
-                lint: POOLED_LINT,
-                severity: Severity::Error,
-                file: f.path.clone(),
-                line: first_excess,
-                message: format!(
+    let allow_path = allowlist.path.display().to_string();
+    for f in files.iter().filter(|f| f.crate_name == "soap") {
+        let sites: Vec<RatchetSite> =
+            f.to_bytes_sites.iter().map(|&l| (l, String::new())).collect();
+        ratchet_file(
+            &mut out,
+            allowlist,
+            POOLED_LINT,
+            "to_bytes() call(s)",
+            consumed.entry(POOLED_LINT).or_default(),
+            f,
+            &sites,
+            &|actual, allowed, _| {
+                format!(
                     "{actual} to_bytes() call(s) on the soap wire path (allowlist permits \
-                     {allowed}); use the pooled `to_bytes_into` variant or extend {}",
-                    allowlist.path.display()
-                ),
-            });
-        } else if actual < allowed {
-            let (_, entry_line) = allowlist.lint_entries[&(POOLED_LINT.to_string(), path.clone())];
-            out.push(Violation {
-                lint: "stale-allowlist",
-                severity: Severity::Warning,
-                file: allowlist.path.clone(),
-                line: entry_line,
-                message: format!(
-                    "allowlist permits {allowed} to_bytes() call(s) in {path} but only {actual} \
-                     remain; ratchet the entry down"
-                ),
-            });
-        }
+                     {allowed}); use the pooled `to_bytes_into` variant or extend {allow_path}"
+                )
+            },
+        );
     }
-    // ---- executor-bypass: exchanges go through the bus, not the
-    // dispatcher. `SoapDispatcher::dispatch` is the raw handler-table
-    // lookup; calling it directly from outside `crates/soap` skips the
-    // executor (queueing, backpressure, stats, interceptors, tracing).
-    // Everything must go through `Bus::call` / `call_async` instead.
-    // Intentional direct exchanges (e.g. a dispatcher's own unit
-    // harness) carry an `executor-bypass:<file>` allowlist entry.
+
+    // `SoapDispatcher::dispatch` is the raw handler-table lookup;
+    // calling it directly from outside `crates/soap` skips the executor
+    // (queueing, backpressure, stats, interceptors, tracing). Everything
+    // goes through `Bus::call` / `call_async`; intentional direct
+    // exchanges carry an `executor-bypass:<file>` allowlist entry.
     const EXECUTOR_LINT: &str = "executor-bypass";
-    let mut counted_executor: BTreeSet<String> = BTreeSet::new();
-    for f in files {
-        if f.crate_name == "soap" {
-            continue;
-        }
-        let path = norm(&f.path);
-        let allowed = allowlist.allowed_for(EXECUTOR_LINT, &path);
-        if allowlist.lint_entries.contains_key(&(EXECUTOR_LINT.to_string(), path.clone())) {
-            counted_executor.insert(path.clone());
-        }
-        let actual = f.dispatch_sites.len();
-        if actual > allowed {
-            let first_excess = f.dispatch_sites.get(allowed).copied().unwrap_or(0);
-            out.push(Violation {
-                lint: EXECUTOR_LINT,
-                severity: Severity::Error,
-                file: f.path.clone(),
-                line: first_excess,
-                message: format!(
+    for f in files.iter().filter(|f| f.crate_name != "soap") {
+        let sites: Vec<RatchetSite> =
+            f.dispatch_sites.iter().map(|&l| (l, String::new())).collect();
+        ratchet_file(
+            &mut out,
+            allowlist,
+            EXECUTOR_LINT,
+            "direct dispatch() call(s)",
+            consumed.entry(EXECUTOR_LINT).or_default(),
+            f,
+            &sites,
+            &|actual, allowed, _| {
+                format!(
                     "{actual} direct dispatch() call(s) outside crates/soap (allowlist permits \
-                     {allowed}); route the exchange through `Bus::call` or extend {}",
-                    allowlist.path.display()
-                ),
-            });
-        } else if actual < allowed {
-            let (_, entry_line) =
-                allowlist.lint_entries[&(EXECUTOR_LINT.to_string(), path.clone())];
-            out.push(Violation {
-                lint: "stale-allowlist",
-                severity: Severity::Warning,
-                file: allowlist.path.clone(),
-                line: entry_line,
-                message: format!(
-                    "allowlist permits {allowed} direct dispatch() call(s) in {path} but only \
-                     {actual} remain; ratchet the entry down"
-                ),
-            });
-        }
+                     {allowed}); route the exchange through `Bus::call` or extend {allow_path}"
+                )
+            },
+        );
     }
-    // ---- transport-bypass: raw sockets live in one file. -----------------
+
     // `TcpStream`/`TcpListener` outside `crates/soap/src/tcp.rs` opens a
     // side channel around the Transport seam — no length-prefixed
     // framing, no pooled reconnects, no timeout→`BusError` mapping, and
     // none of the interceptor/tracing/stats layers that sit above the
-    // trait. Library code talks to `Transport`; only the TCP transport
-    // module touches sockets. (Integration tests and benches are outside
-    // the scan and may play raw peers.) Intentional exceptions carry a
-    // `transport-bypass:<file>` allowlist entry.
+    // trait. (Integration tests and benches are outside the scan and may
+    // play raw peers.) Exceptions carry `transport-bypass:<file>`.
     const TRANSPORT_LINT: &str = "transport-bypass";
-    let mut counted_transport: BTreeSet<String> = BTreeSet::new();
-    for f in files {
-        let path = norm(&f.path);
-        if path.ends_with("soap/src/tcp.rs") {
-            continue;
-        }
-        let allowed = allowlist.allowed_for(TRANSPORT_LINT, &path);
-        if allowlist.lint_entries.contains_key(&(TRANSPORT_LINT.to_string(), path.clone())) {
-            counted_transport.insert(path.clone());
-        }
-        let actual = f.tcp_stream_sites.len();
-        if actual > allowed {
-            let first_excess = f.tcp_stream_sites.get(allowed).copied().unwrap_or(0);
-            out.push(Violation {
-                lint: TRANSPORT_LINT,
-                severity: Severity::Error,
-                file: f.path.clone(),
-                line: first_excess,
-                message: format!(
+    for f in files.iter().filter(|f| !norm(&f.path).ends_with("soap/src/tcp.rs")) {
+        let sites: Vec<RatchetSite> =
+            f.tcp_stream_sites.iter().map(|&l| (l, String::new())).collect();
+        ratchet_file(
+            &mut out,
+            allowlist,
+            TRANSPORT_LINT,
+            "raw socket use(s)",
+            consumed.entry(TRANSPORT_LINT).or_default(),
+            f,
+            &sites,
+            &|actual, allowed, _| {
+                format!(
                     "{actual} raw TcpStream/TcpListener use(s) outside crates/soap/src/tcp.rs \
-                     (allowlist permits {allowed}); go through the `Transport` seam or extend {}",
-                    allowlist.path.display()
-                ),
-            });
-        } else if actual < allowed {
-            let (_, entry_line) =
-                allowlist.lint_entries[&(TRANSPORT_LINT.to_string(), path.clone())];
-            out.push(Violation {
-                lint: "stale-allowlist",
-                severity: Severity::Warning,
-                file: allowlist.path.clone(),
-                line: entry_line,
-                message: format!(
-                    "allowlist permits {allowed} raw socket use(s) in {path} but only {actual} \
-                     remain; ratchet the entry down"
-                ),
-            });
-        }
+                     (allowlist permits {allowed}); go through the `Transport` seam or extend \
+                     {allow_path}"
+                )
+            },
+        );
     }
-    // ---- span-name-literal: tracing span names come from the inventory.
+
     // `Tracer::span`/`child_span` take `&'static str` names so traces
     // render against a closed vocabulary (`dais_obs::names::span_names`);
     // a literal at the call site bypasses the inventory and silently
-    // forks the name space. `span-name-literal:<file>` allowlist entries
-    // ratchet intentional exceptions.
+    // forks the name space. `span-name-literal:<file>` entries ratchet
+    // intentional exceptions.
     const SPAN_LINT: &str = "span-name-literal";
-    let mut counted_span: BTreeSet<String> = BTreeSet::new();
     for f in files {
-        let path = norm(&f.path);
-        let allowed = allowlist.allowed_for(SPAN_LINT, &path);
-        if allowlist.lint_entries.contains_key(&(SPAN_LINT.to_string(), path.clone())) {
-            counted_span.insert(path.clone());
-        }
-        let actual = f.span_literal_sites.len();
-        if actual > allowed {
-            let first_excess = &f.span_literal_sites[allowed];
-            out.push(Violation {
-                lint: SPAN_LINT,
-                severity: Severity::Error,
-                file: f.path.clone(),
-                line: first_excess.line,
-                message: format!(
-                    "span name `{}` written as a literal at the call site; add it to \
-                     `dais_obs::names::span_names` and pass the constant",
-                    first_excess.value
-                ),
-            });
-        } else if actual < allowed {
-            let (_, entry_line) = allowlist.lint_entries[&(SPAN_LINT.to_string(), path.clone())];
-            out.push(Violation {
-                lint: "stale-allowlist",
-                severity: Severity::Warning,
-                file: allowlist.path.clone(),
-                line: entry_line,
-                message: format!(
-                    "allowlist permits {allowed} literal span name(s) in {path} but only \
-                     {actual} remain; ratchet the entry down"
-                ),
-            });
-        }
+        let sites: Vec<RatchetSite> =
+            f.span_literal_sites.iter().map(|l| (l.line, l.value.clone())).collect();
+        ratchet_file(
+            &mut out,
+            allowlist,
+            SPAN_LINT,
+            "literal span name(s)",
+            consumed.entry(SPAN_LINT).or_default(),
+            f,
+            &sites,
+            &|_, _, name| {
+                format!(
+                    "span name `{name}` written as a literal at the call site; add it to \
+                     `dais_obs::names::span_names` and pass the constant"
+                )
+            },
+        );
     }
 
+    // A lock guard live across a `Bus::call`/`dispatch`/transport call
+    // or socket I/O: the callee can block on a timeout, a full queue, or
+    // a remote peer while every other contender of that lock waits — the
+    // deadlock-by-blocking shape the dynamic lock-order detector cannot
+    // see (it only orders lock pairs, and the blocked party here holds
+    // none). Guards must drop before the exchange.
+    const GUARD_DISPATCH_LINT: &str = "guard-across-dispatch";
+    for f in files {
+        let sites: Vec<RatchetSite> = f
+            .guard_dispatch_sites
+            .iter()
+            .map(|c| {
+                (
+                    c.line,
+                    format!(
+                        "guard `{}` (taken on line {}) across `{}`",
+                        c.guard, c.guard_line, c.what
+                    ),
+                )
+            })
+            .collect();
+        ratchet_file(
+            &mut out,
+            allowlist,
+            GUARD_DISPATCH_LINT,
+            "guard-across-dispatch site(s)",
+            consumed.entry(GUARD_DISPATCH_LINT).or_default(),
+            f,
+            &sites,
+            &|_, _, detail| {
+                format!(
+                    "lock {detail}: a blocking exchange under a live guard stalls every \
+                     contender and can deadlock the fabric; drop the guard first"
+                )
+            },
+        );
+    }
+
+    // A lock guard live across `thread::sleep`/`recv_timeout`/injected
+    // sleeps: the nap is billed to every thread contending for the lock.
+    // (Condvar `wait`/`wait_timeout` are exempt by construction — a wait
+    // atomically releases its own mutex.)
+    const GUARD_SLEEP_LINT: &str = "guard-across-sleep";
+    for f in files {
+        let sites: Vec<RatchetSite> = f
+            .guard_sleep_sites
+            .iter()
+            .map(|c| {
+                (
+                    c.line,
+                    format!(
+                        "guard `{}` (taken on line {}) across `{}`",
+                        c.guard, c.guard_line, c.what
+                    ),
+                )
+            })
+            .collect();
+        ratchet_file(
+            &mut out,
+            allowlist,
+            GUARD_SLEEP_LINT,
+            "guard-across-sleep site(s)",
+            consumed.entry(GUARD_SLEEP_LINT).or_default(),
+            f,
+            &sites,
+            &|_, _, detail| {
+                format!(
+                    "lock {detail}: sleeping under a live guard stalls every contender for \
+                     the whole pause; drop the guard before pausing"
+                )
+            },
+        );
+    }
+
+    // Direct `std::sync::Mutex`/`RwLock`/`Condvar` use outside the
+    // `dais_util::sync` wrappers bypasses the lock-order deadlock
+    // detector: acquisitions are never classed or edge-checked, so an
+    // inversion through such a lock goes unobserved until it deadlocks
+    // for real. The wrapper module and the detector's own internals are
+    // exempt (they *are* the implementation).
+    const RAW_SYNC_LINT: &str = "raw-sync-primitive";
+    const RAW_SYNC_EXEMPT: &[&str] =
+        &["util/src/sync.rs", "util/src/lockorder.rs", "util/src/pool.rs"];
+    for f in files {
+        let path = norm(&f.path);
+        if RAW_SYNC_EXEMPT.iter().any(|e| path.ends_with(e)) {
+            continue;
+        }
+        let sites: Vec<RatchetSite> =
+            f.raw_sync_sites.iter().map(|l| (l.line, l.value.clone())).collect();
+        ratchet_file(
+            &mut out,
+            allowlist,
+            RAW_SYNC_LINT,
+            "raw std::sync primitive(s)",
+            consumed.entry(RAW_SYNC_LINT).or_default(),
+            f,
+            &sites,
+            &|_, _, name| {
+                format!(
+                    "`std::sync::{name}` bypasses the lock-order deadlock detector; use \
+                     `dais_util::sync::{name}` (see crates/util/src/lockorder.rs)"
+                )
+            },
+        );
+    }
+
+    // ---- Staleness sweep over every `<lint>:<file>` entry: an entry
+    // whose lint never consumed it names a file outside the lint's scope
+    // (or a lint that does not exist) and must go.
     for ((lint, path), (_, entry_line)) in &allowlist.lint_entries {
-        let stale = match lint.as_str() {
-            POOLED_LINT => !counted_pooled.contains(path),
-            SPAN_LINT => !counted_span.contains(path),
-            EXECUTOR_LINT => !counted_executor.contains(path),
-            TRANSPORT_LINT => !counted_transport.contains(path),
-            // An unknown lint prefix: nothing consumes the entry.
-            _ => true,
-        };
+        let stale = consumed.get(lint.as_str()).is_none_or(|c| !c.contains(path));
         if stale {
             out.push(Violation {
                 lint: "stale-allowlist",

@@ -126,6 +126,32 @@ fn trips_span_name_literal() {
 }
 
 #[test]
+fn trips_guard_across_dispatch() {
+    let hits = assert_fires("guard-across-dispatch", "alpha/src/guards.rs");
+    assert!(hits[0].2.contains("guard `guard`"), "{hits:?}");
+    assert!(hits[0].2.contains("`.call(`"), "{hits:?}");
+    assert!(hits[0].2.contains("drop the guard first"), "{hits:?}");
+    // The scoped-block variant in the same fixture stays silent.
+    assert_eq!(hits.len(), 1, "{hits:?}");
+}
+
+#[test]
+fn trips_guard_across_sleep() {
+    let hits = assert_fires("guard-across-sleep", "alpha/src/sleepy.rs");
+    assert!(hits[0].2.contains("`sleep(`"), "{hits:?}");
+    assert!(hits[0].2.contains("drop the guard before pausing"), "{hits:?}");
+    // The sleep-then-lock variant stays silent.
+    assert_eq!(hits.len(), 1, "{hits:?}");
+}
+
+#[test]
+fn trips_raw_sync_primitive() {
+    let hits = assert_fires("raw-sync-primitive", "alpha/src/rawsync.rs");
+    assert!(hits[0].2.contains("std::sync::Mutex"), "{hits:?}");
+    assert!(hits[0].2.contains("dais_util::sync::Mutex"), "{hits:?}");
+}
+
+#[test]
 fn trips_stale_allowlist_both_ways() {
     let report = fixtures_report();
     let hits = find(&report, "stale-allowlist");

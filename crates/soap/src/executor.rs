@@ -36,10 +36,11 @@ use crate::interceptor::Interceptor;
 use dais_obs::names::span_names;
 use dais_obs::TraceContext;
 use dais_util::rng::{mix2, SplitMix64};
+use dais_util::sync::{Condvar, Mutex};
 use std::cell::Cell;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -145,7 +146,7 @@ struct Slot {
 
 impl Slot {
     fn fulfil(&self, outcome: CallOutcome) {
-        *lock(&self.outcome) = Some(outcome);
+        *self.outcome.lock() = Some(outcome);
         self.cv.notify_all();
     }
 }
@@ -167,7 +168,7 @@ impl Pending {
     /// A handle that is already resolved (inline execution).
     pub(crate) fn ready(outcome: CallOutcome) -> Pending {
         let slot = Slot::default();
-        *lock(&slot.outcome) = Some(outcome);
+        *slot.outcome.lock() = Some(outcome);
         Pending { slot: Arc::new(slot) }
     }
 
@@ -178,17 +179,17 @@ impl Pending {
 
     /// Has the exchange finished? Never blocks.
     pub fn is_ready(&self) -> bool {
-        lock(&self.slot.outcome).is_some()
+        self.slot.outcome.lock().is_some()
     }
 
     /// Block until the exchange finishes and take its outcome.
     pub fn wait(self) -> CallOutcome {
-        let mut guard = lock(&self.slot.outcome);
+        let mut guard = self.slot.outcome.lock();
         loop {
             if let Some(outcome) = guard.take() {
                 return outcome;
             }
-            guard = wait(&self.slot.cv, guard);
+            guard = self.slot.cv.wait(guard);
         }
     }
 }
@@ -291,7 +292,7 @@ impl BusExecutor {
             return Err((endpoint, err));
         }
         let shard = &self.shared.shards[self.shared.shard_of(to)];
-        let mut state = lock(&shard.state);
+        let mut state = shard.state.lock();
         let queue = state.queues.entry(to.to_string()).or_default();
         if queue.jobs.len() >= self.shared.config.queue_capacity {
             let err = BusError::Overloaded {
@@ -330,7 +331,7 @@ impl BusExecutor {
         for shard in &self.shared.shards {
             shard.cv.notify_all();
         }
-        let handles = std::mem::take(&mut *lock(&self.workers));
+        let handles = std::mem::take(&mut *self.workers.lock());
         let me = std::thread::current().id();
         for handle in handles {
             if handle.thread().id() == me {
@@ -340,7 +341,7 @@ impl BusExecutor {
         }
         let total = self.bus.upgrade();
         for shard in &self.shared.shards {
-            let queues = std::mem::take(&mut lock(&shard.state).queues);
+            let queues = std::mem::take(&mut shard.state.lock().queues);
             for (_, queue) in queues {
                 for job in queue.jobs {
                     job.endpoint.stats().record_dequeued();
@@ -392,7 +393,7 @@ fn worker_loop(shared: Arc<ExecShared>, bus: Weak<BusInner>, worker_idx: usize) 
     let shard = &shared.shards[worker_idx % shared.shards.len()];
     loop {
         let job = {
-            let mut state = lock(&shard.state);
+            let mut state = shard.state.lock();
             loop {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
@@ -408,7 +409,7 @@ fn worker_loop(shared: Arc<ExecShared>, bus: Weak<BusInner>, worker_idx: usize) 
                 }
                 // Timed wait doubles as liveness: if every bus handle is
                 // gone the weak upgrade fails and the worker retires.
-                state = wait_timeout(&shard.cv, state, Duration::from_millis(50));
+                state = shard.cv.wait_timeout(state, Duration::from_millis(50)).0;
                 if bus.strong_count() == 0 {
                     return;
                 }
@@ -459,7 +460,7 @@ fn execute(bus: &Weak<BusInner>, shard: &Shard, job: Job) {
     };
     job.slot.fulfil(outcome);
     {
-        let mut state = lock(&shard.state);
+        let mut state = shard.state.lock();
         if let Some(queue) = state.queues.get_mut(&job.to) {
             queue.executing = queue.executing.saturating_sub(1);
         }
@@ -467,29 +468,6 @@ fn execute(bus: &Weak<BusInner>, shard: &Shard, job: Job) {
     // An endpoint may have been waiting on its in-flight budget; every
     // worker on the shard gets a chance to re-scan.
     shard.cv.notify_all();
-}
-
-// ---------------------------------------------------------------------------
-// std::sync ergonomics (poison-transparent, like dais_util::sync)
-// ---------------------------------------------------------------------------
-
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
-}
-
-fn wait_timeout<'a, T>(
-    cv: &Condvar,
-    guard: MutexGuard<'a, T>,
-    timeout: Duration,
-) -> MutexGuard<'a, T> {
-    match cv.wait_timeout(guard, timeout) {
-        Ok((guard, _)) => guard,
-        Err(poisoned) => poisoned.into_inner().0,
-    }
 }
 
 #[cfg(test)]
@@ -561,9 +539,9 @@ mod tests {
             let entered = Arc::clone(&entered);
             d.register("urn:block", move |req: &Envelope| {
                 entered.fetch_add(1, Ordering::SeqCst);
-                let mut open = lock(&gate.0);
+                let mut open = gate.0.lock();
                 while !*open {
-                    open = wait(&gate.1, open);
+                    open = gate.1.wait(open);
                 }
                 Ok(req.clone())
             });
@@ -589,7 +567,7 @@ mod tests {
         assert_eq!(stats.shed, 1);
         assert_eq!(stats.queue_peak, 2);
         // Release the gate: everything admitted completes.
-        *lock(&gate.0) = true;
+        *gate.0.lock() = true;
         gate.1.notify_all();
         assert!(first.wait().is_ok());
         for p in queued {
@@ -610,9 +588,9 @@ mod tests {
             let entered = Arc::clone(&entered);
             d.register("urn:block", move |req: &Envelope| {
                 entered.fetch_add(1, Ordering::SeqCst);
-                let mut open = lock(&gate.0);
+                let mut open = gate.0.lock();
                 while !*open {
-                    open = wait(&gate.1, open);
+                    open = gate.1.wait(open);
                 }
                 Ok(req.clone())
             });
@@ -630,7 +608,7 @@ mod tests {
             let gate = Arc::clone(&gate);
             std::thread::spawn(move || {
                 std::thread::sleep(Duration::from_millis(20));
-                *lock(&gate.0) = true;
+                *gate.0.lock() = true;
                 gate.1.notify_all();
             })
         };

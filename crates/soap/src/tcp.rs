@@ -43,12 +43,12 @@ use crate::bus::{Bus, BusError, BusInner};
 use crate::executor;
 use crate::transport::Transport;
 use dais_obs::Metrics;
-use dais_util::sync::RwLock;
+use dais_util::sync::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
+use std::sync::{Arc, Weak};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -339,7 +339,7 @@ impl ReplySlot {
     }
 
     fn fulfil(&self, outcome: Result<Vec<u8>, BusError>) {
-        let mut state = lock(&self.state);
+        let mut state = self.state.lock();
         if state.is_none() {
             *state = Some(outcome);
             self.cv.notify_all();
@@ -347,7 +347,7 @@ impl ReplySlot {
     }
 
     fn wait(&self, deadline: Instant) -> Result<Vec<u8>, BusError> {
-        let mut state = lock(&self.state);
+        let mut state = self.state.lock();
         loop {
             if let Some(outcome) = state.take() {
                 return outcome;
@@ -356,7 +356,7 @@ impl ReplySlot {
             if now >= deadline {
                 return Err(BusError::Timeout("no reply frame within the reply window".into()));
             }
-            state = wait_timeout(&self.cv, state, deadline - now);
+            state = self.cv.wait_timeout(state, deadline - now).0;
         }
     }
 }
@@ -406,7 +406,7 @@ impl Conn {
     /// Kill the connection and fail everything still waiting on it.
     fn fail_all(&self, error: &BusError) {
         self.dead.store(true, Ordering::Release);
-        let slots: Vec<Arc<ReplySlot>> = lock(&self.pending).drain().map(|(_, s)| s).collect();
+        let slots: Vec<Arc<ReplySlot>> = self.pending.lock().drain().map(|(_, s)| s).collect();
         for slot in slots {
             slot.fulfil(Err(error.clone()));
         }
@@ -417,9 +417,7 @@ impl Drop for Conn {
     fn drop(&mut self) {
         self.closed.store(true, Ordering::Release);
         self.dead.store(true, Ordering::Release);
-        if let Ok(stream) = self.writer.lock() {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-        }
+        let _ = self.writer.lock().shutdown(std::net::Shutdown::Both);
     }
 }
 
@@ -438,7 +436,7 @@ fn reader_loop(
     let mut scratch = [0u8; 64 * 1024];
     let fail_all = |error: BusError| {
         dead.store(true, Ordering::Release);
-        let slots: Vec<Arc<ReplySlot>> = lock(&pending).drain().map(|(_, s)| s).collect();
+        let slots: Vec<Arc<ReplySlot>> = pending.lock().drain().map(|(_, s)| s).collect();
         for slot in slots {
             slot.fulfil(Err(error.clone()));
         }
@@ -466,7 +464,7 @@ fn reader_loop(
         loop {
             match reader.next_frame() {
                 Ok(Some(frame)) => {
-                    let slot = lock(&pending).remove(&frame.id);
+                    let slot = pending.lock().remove(&frame.id);
                     if let Some(slot) = slot {
                         match frame.body {
                             FrameBody::Response(bytes) => slot.fulfil(Ok(bytes)),
@@ -540,14 +538,24 @@ impl TcpTransport {
     fn checkout(&self, addr: SocketAddr) -> Result<Arc<Conn>, BusError> {
         let slot_count = self.config.pool_size.max(1);
         let slot_idx = (self.rr.fetch_add(1, Ordering::Relaxed) % slot_count as u64) as usize;
-        let mut pools = lock(&self.pools);
-        let pool = pools.entry(addr).or_insert_with(|| vec![None; slot_count]);
-        if let Some(conn) = &pool[slot_idx] {
-            if conn.alive() {
-                return Ok(Arc::clone(conn));
+        {
+            let mut pools = self.pools.lock();
+            let pool = pools.entry(addr).or_insert_with(|| vec![None; slot_count]);
+            if let Some(conn) = &pool[slot_idx] {
+                if conn.alive() {
+                    return Ok(Arc::clone(conn));
+                }
             }
         }
+        // Dial outside the pool lock: connect() can block for the full
+        // OS connect timeout, and holding the lock would stall every
+        // checkout to every address behind this one dial.
         let conn = Conn::open(addr, &self.config)?;
+        let mut pools = self.pools.lock();
+        let pool = pools.entry(addr).or_insert_with(|| vec![None; slot_count]);
+        // Two callers may have dialled the same dead slot concurrently;
+        // installing unconditionally keeps the slot live either way and
+        // the loser's connection closes when its last user finishes.
         pool[slot_idx] = Some(Arc::clone(&conn));
         Ok(conn)
     }
@@ -562,7 +570,7 @@ impl TcpTransport {
         let conn = self.checkout(addr)?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let slot = ReplySlot::new();
-        lock(&conn.pending).insert(id, Arc::clone(&slot));
+        conn.pending.lock().insert(id, Arc::clone(&slot));
 
         let mut wire = Vec::with_capacity(request.len() + to.len() + action.len() + 32);
         encode_frame(
@@ -576,9 +584,9 @@ impl TcpTransport {
             },
             &mut wire,
         );
-        let write_result = lock(&conn.writer).write_all(&wire);
+        let write_result = conn.writer.lock().write_all(&wire);
         if let Err(e) = write_result {
-            lock(&conn.pending).remove(&id);
+            conn.pending.lock().remove(&id);
             let err = if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut {
                 BusError::Timeout(format!("write to {addr} did not complete: {e}"))
             } else {
@@ -589,7 +597,7 @@ impl TcpTransport {
         }
         let outcome = slot.wait(Instant::now() + self.config.reply_timeout);
         if outcome.is_err() {
-            lock(&conn.pending).remove(&id);
+            conn.pending.lock().remove(&id);
         }
         outcome
     }
@@ -728,10 +736,10 @@ impl TcpServer {
     /// Stop accepting, drain connection threads, and join them all.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        if let Some(t) = lock(&self.accept_thread).take() {
+        if let Some(t) = self.accept_thread.lock().take() {
             let _ = t.join();
         }
-        let threads: Vec<thread::JoinHandle<()>> = lock(&self.conn_threads).drain(..).collect();
+        let threads: Vec<thread::JoinHandle<()>> = self.conn_threads.lock().drain(..).collect();
         for t in threads {
             let _ = t.join();
         }
@@ -761,7 +769,7 @@ fn accept_loop(
                     .name(format!("dais-tcp-conn-{idx}"))
                     .spawn(move || connection_loop(stream, conn_shared, idx));
                 if let Ok(handle) = spawned {
-                    lock(&conn_threads).push(handle);
+                    conn_threads.lock().push(handle);
                 }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -881,26 +889,6 @@ fn serve_one(
         shared.in_flight.fetch_sub(1, Ordering::AcqRel);
     }
     outcome
-}
-
-// ---------------------------------------------------------------------------
-// Poison-transparent lock helpers (same policy as the executor: a
-// panicking peer must not convert every later lock into a second panic)
-// ---------------------------------------------------------------------------
-
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-fn wait_timeout<'a, T>(
-    cv: &Condvar,
-    guard: MutexGuard<'a, T>,
-    timeout: Duration,
-) -> MutexGuard<'a, T> {
-    match cv.wait_timeout(guard, timeout) {
-        Ok((guard, _)) => guard,
-        Err(poisoned) => poisoned.into_inner().0,
-    }
 }
 
 #[cfg(test)]
