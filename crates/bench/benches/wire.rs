@@ -3,11 +3,13 @@
 //! `Bus::call` echo, streaming WebRowSet materialisation and a
 //! `GetTuples` page of 1 000 rows.
 //!
-//! Besides the human-readable table, the runner persists a
-//! machine-readable baseline to `BENCH_PR3.json` at the repository root:
-//! a JSON array of `{bench, iters, ns_per_iter, bytes_per_iter}` rows.
-//! CI's bench-smoke job runs this target with `DAIS_BENCH_QUICK=1`
-//! (fewer iterations, same benches) and checks the file is well formed.
+//! Besides the human-readable table, the runner persists two
+//! machine-readable baselines at the repository root — `BENCH_PR3.json`
+//! (the original wire rows) and `BENCH_PR8.json` (the pushdown paging
+//! rows added with the zero-materialisation data plane) — each a JSON
+//! array of `{bench, iters, ns_per_iter, bytes_per_iter}` rows. CI's
+//! bench-smoke job runs this target with `DAIS_BENCH_QUICK=1` (fewer
+//! iterations, same benches) and checks both files are well formed.
 
 use dais_bench::workload::populate_items;
 use dais_core::AbstractName;
@@ -290,8 +292,35 @@ fn get_tuples_page(out: &mut Vec<Row>, rows: usize) {
     });
 }
 
-fn write_baseline(rows: &[Row]) -> std::io::Result<()> {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json");
+/// `GetTuples` paging over a response whose factory statement pushed its
+/// projection (and, in the `projection_` variant, its selection) into
+/// the table scan: the wide 256-byte `payload` column is never copied
+/// into the materialised response rowset, and pages stream a fraction
+/// of the stored bytes.
+fn get_tuples_pushdown(out: &mut Vec<Row>, bench: &str, rows: usize, sql: &str) {
+    let bus = Bus::new();
+    let db = Database::new("wire");
+    populate_items(&db, rows, 256);
+    let svc = RelationalService::launch(&bus, "bus://wire", db, Default::default());
+    let client = SqlClient::new(bus.clone(), "bus://wire");
+    let epr = client.execute_factory(&svc.db_resource, sql, &[], None, None).unwrap();
+    let response_name = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
+    let rowset_epr = client.rowset_factory(&response_name, None, None).unwrap();
+    let rowset_name = AbstractName::new(rowset_epr.resource_abstract_name().unwrap()).unwrap();
+    let n = iters(if rows > 2000 { 10 } else { 30 });
+    let before = bus.stats();
+    let ns_per_iter = time_iters(n, || {
+        let page = client.get_tuples(&rowset_name, 0, rows).unwrap();
+        black_box(page.row_count());
+        black_box(page);
+    });
+    let after = bus.stats();
+    let moved = (after.request_bytes + after.response_bytes)
+        - (before.request_bytes + before.response_bytes);
+    out.push(Row { bench: bench.into(), iters: n, ns_per_iter, bytes_per_iter: moved / (n + 2) });
+}
+
+fn write_baseline(path: &str, rows: &[&Row]) -> std::io::Result<()> {
     let mut json = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
@@ -321,6 +350,24 @@ fn main() {
     bus_pipelined(&mut rows);
     rowset_stream(&mut rows, 1000);
     get_tuples_page(&mut rows, 1000);
+    get_tuples_pushdown(
+        &mut rows,
+        "get_tuples_pushdown/1000",
+        1000,
+        "SELECT id, category, price FROM item ORDER BY id",
+    );
+    get_tuples_pushdown(
+        &mut rows,
+        "get_tuples_pushdown/10000",
+        10_000,
+        "SELECT id, category, price FROM item ORDER BY id",
+    );
+    get_tuples_pushdown(
+        &mut rows,
+        "get_tuples_pushdown/projection_1000",
+        1000,
+        "SELECT id FROM item WHERE category < 3 ORDER BY id",
+    );
     for r in &rows {
         println!(
             "  wire/{}: {:>12.1} ns/iter  {:>8} bytes/iter  ({} iters)",
@@ -339,5 +386,18 @@ fn main() {
         "  pipelining speed-up: {:.2}x echo throughput (4 workers, window 8, 40us service)",
         busy.ns_per_iter / pipelined.ns_per_iter
     );
-    write_baseline(&rows).expect("failed to persist BENCH_PR3.json");
+    let stream = rows.iter().find(|r| r.bench == "rowset_stream/1000").unwrap();
+    let page = rows.iter().find(|r| r.bench == "get_tuples/1000").unwrap();
+    println!(
+        "  get_tuples/1000 vs rowset_stream/1000: {:.2}x (streamed page over bare encoding)",
+        page.ns_per_iter / stream.ns_per_iter
+    );
+    // The pushdown paging rows ride in their own baseline so the PR 3
+    // file keeps its original row set.
+    let (pr8, pr3): (Vec<&Row>, Vec<&Row>) =
+        rows.iter().partition(|r| r.bench.starts_with("get_tuples_pushdown/"));
+    write_baseline(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json"), &pr3)
+        .expect("failed to persist BENCH_PR3.json");
+    write_baseline(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json"), &pr8)
+        .expect("failed to persist BENCH_PR8.json");
 }

@@ -1,0 +1,155 @@
+//! Open-loop load driver for the paged data plane.
+//!
+//! The wire benches and E14 measure *closed-loop* behaviour: a fixed
+//! window of outstanding requests, so the client slows down whenever the
+//! service does and offered load adapts to capacity. Real DAIS consumers
+//! don't coordinate like that — arrivals come at whatever rate the
+//! upstream produces. This driver submits `GetTuples` requests at a
+//! fixed arrival rate (open loop) against a `RelationalService` behind
+//! an 8-worker executor and reports the latency distribution per
+//! offered load: p50/p99 stay flat while the service keeps up, then the
+//! queue builds, latency explodes, and the bounded admission starts
+//! shedding with `Overloaded`.
+//!
+//! Arrivals are never gated on completions: the submitting thread spins
+//! to each tick and polls `Pending::is_ready` between ticks, so a
+//! completion is timestamped within the inter-arrival gap it lands in.
+//!
+//! `DAIS_BENCH_QUICK=1` shrinks the request counts and the rate sweep
+//! for CI smoke runs.
+
+use dais_bench::workload::populate_items;
+use dais_core::AbstractName;
+use dais_dair::{actions, messages, RelationalService, SqlClient};
+use dais_soap::envelope::Envelope;
+use dais_soap::{Bus, ExecutorConfig, Pending};
+use dais_sql::Database;
+use std::time::{Duration, Instant};
+
+fn quick() -> bool {
+    std::env::var_os("DAIS_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+/// Move finished exchanges out of the in-flight set, recording each
+/// latency as submit→ready. Never blocks: `wait` is only called on
+/// handles `is_ready` already vouched for.
+fn sweep(in_flight: &mut Vec<(Instant, Pending)>, latencies: &mut Vec<Duration>) {
+    let mut i = 0;
+    while i < in_flight.len() {
+        if in_flight[i].1.is_ready() {
+            let (submitted, pending) = in_flight.swap_remove(i);
+            pending.wait().expect("bus error").expect("fault");
+            latencies.push(submitted.elapsed());
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn fmt_us(d: Duration) -> String {
+    format!("{:.0} µs", d.as_secs_f64() * 1e6)
+}
+
+struct RunResult {
+    completed: usize,
+    shed: usize,
+    p50: Duration,
+    p99: Duration,
+}
+
+/// Drive `total` arrivals at `rate` requests/second and collect the
+/// completion latency distribution plus the admission-shed count.
+fn drive(bus: &Bus, env: &Envelope, rate: f64, total: usize) -> RunResult {
+    let period = Duration::from_secs_f64(1.0 / rate);
+    let mut in_flight: Vec<(Instant, Pending)> = Vec::with_capacity(256);
+    let mut latencies: Vec<Duration> = Vec::with_capacity(total);
+    let mut shed = 0usize;
+    let start = Instant::now();
+    for i in 0..total {
+        let due = start + period.mul_f64(i as f64);
+        // Spin to the tick, harvesting completions on the way: the
+        // arrival schedule never waits for the service.
+        while Instant::now() < due {
+            sweep(&mut in_flight, &mut latencies);
+            std::hint::spin_loop();
+        }
+        match bus.call_async("bus://open", actions::GET_TUPLES, env) {
+            Ok(pending) => in_flight.push((Instant::now(), pending)),
+            Err(_) => shed += 1,
+        }
+    }
+    while !in_flight.is_empty() {
+        sweep(&mut in_flight, &mut latencies);
+        std::thread::sleep(Duration::from_micros(20));
+    }
+    latencies.sort_unstable();
+    RunResult {
+        completed: latencies.len(),
+        shed,
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+    }
+}
+
+fn main() {
+    println!("## Open-loop GetTuples: latency vs offered load\n");
+
+    // A 1 000-row table behind the full indirect-access pipeline; every
+    // request pages 256 rows out of the streamed rowset resource.
+    let bus = Bus::new();
+    let db = Database::new("open");
+    populate_items(&db, 1000, 32);
+    let svc = RelationalService::launch(&bus, "bus://open", db, Default::default());
+    let client = SqlClient::new(bus.clone(), "bus://open");
+    let epr = client
+        .execute_factory(&svc.db_resource, "SELECT * FROM item ORDER BY id", &[], None, None)
+        .expect("factory");
+    let response_name = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
+    let rowset_epr = client.rowset_factory(&response_name, None, None).expect("rowset factory");
+    let rowset_name = AbstractName::new(rowset_epr.resource_abstract_name().unwrap()).unwrap();
+    let env = Envelope::with_body(messages::get_tuples_request(&rowset_name, 0, 256));
+
+    bus.install_executor(ExecutorConfig::new(8).shards(1).queue_capacity(64).seed(0x09E7));
+    // Warm caches, pools and the executor path before the timed sweeps.
+    for _ in 0..8 {
+        bus.call("bus://open", actions::GET_TUPLES, &env).unwrap().unwrap();
+    }
+
+    let (rates, total): (&[f64], usize) = if quick() {
+        (&[500.0, 2_000.0], 100)
+    } else {
+        (&[500.0, 2_000.0, 8_000.0, 32_000.0], 2000)
+    };
+    println!(
+        "8 workers, one shard, queue capacity 64; {total} arrivals per rate,\n\
+         256-row pages off a 1 000-row rowset resource.\n"
+    );
+    println!("| offered load | completed | shed | p50 | p99 |");
+    println!("|---:|---:|---:|---:|---:|");
+    for &rate in rates {
+        let r = drive(&bus, &env, rate, total);
+        println!(
+            "| {:.0}/s | {} | {} | {} | {} |",
+            rate,
+            r.completed,
+            r.shed,
+            fmt_us(r.p50),
+            fmt_us(r.p99),
+        );
+        assert_eq!(r.completed + r.shed, total, "lost arrivals at {rate}/s");
+    }
+    let stats = bus.endpoint_stats("bus://open");
+    println!(
+        "\nEndpoint counters agree: {} exchange(s) shed with `Overloaded` across the sweep.",
+        stats.shed
+    );
+    bus.shutdown_executor();
+}

@@ -1,0 +1,11 @@
+//! Fixture: a dair wire handler that materialises the requested page —
+//! clones it out of the resource, then serialises it to an owned buffer —
+//! instead of streaming it off the backing rowset
+//! (`rowset-materialise-bypass`).
+
+use crate::resources::RowsetResource;
+
+pub fn get_tuples_handler(resource: &RowsetResource, start: usize, count: usize) -> Vec<u8> {
+    let page = resource.tuples(start, count);
+    page.to_wire_bytes()
+}

@@ -7,6 +7,7 @@ use dais_soap::bus::Bus;
 use dais_soap::client::{CallError, ServiceClient};
 use dais_soap::retry::{IdempotencySet, RetryConfig, RetryPolicy};
 use dais_sql::{Rowset, SqlCommunicationArea, Value};
+use dais_util::pool::PooledBuf;
 use dais_xml::{ns, XmlElement};
 
 /// WS-DAIR operations a consumer may safely re-send: property and
@@ -126,6 +127,22 @@ impl SqlClient {
         pages: &[(usize, usize)],
         window: usize,
     ) -> Vec<Result<Rowset, CallError>> {
+        // Without a queued executor the pipelined path degrades to
+        // sequential sends anyway, so take the raw lane instead: one
+        // pooled reply buffer reused across the whole batch, each page
+        // decoded with the pull parser.
+        if !self.core.soap().bus().has_queued_executor() {
+            let mut reply = PooledBuf::take();
+            return pages
+                .iter()
+                .map(|(start, count)| {
+                    let req = messages::get_tuples_request(resource, *start, *count);
+                    reply.clear();
+                    self.core.soap().request_bytes_into(actions::GET_TUPLES, &req, &mut reply)?;
+                    messages::rowset_from_reply_bytes(&reply).map_err(CallError::UnexpectedResponse)
+                })
+                .collect();
+        }
         let payloads = pages
             .iter()
             .map(|(start, count)| messages::get_tuples_request(resource, *start, *count))
@@ -339,6 +356,8 @@ impl SqlClient {
     }
 
     /// `GetTuples` on a rowset resource (Figure 5): a page of rows.
+    /// The reply travels the raw lane and is decoded with the pull
+    /// parser, so the page never passes through a response element tree.
     pub fn get_tuples(
         &self,
         resource: &AbstractName,
@@ -346,12 +365,9 @@ impl SqlClient {
         count: usize,
     ) -> Result<Rowset, CallError> {
         let req = messages::get_tuples_request(resource, start, count);
-        let response = self.core.soap().request(actions::GET_TUPLES, req)?;
-        let data = parse_sql_response(response)?;
-        data.rowsets
-            .into_iter()
-            .next()
-            .ok_or_else(|| CallError::UnexpectedResponse("GetTuples returned no rowset".into()))
+        let mut reply = PooledBuf::take();
+        self.core.soap().request_bytes_into(actions::GET_TUPLES, &req, &mut reply)?;
+        messages::rowset_from_reply_bytes(&reply).map_err(CallError::UnexpectedResponse)
     }
 
     /// `GetRowsetPropertyDocument`.
@@ -623,6 +639,46 @@ mod tests {
         let ids: Vec<Value> = pages.into_iter().map(|p| p.unwrap().rows[0][0].clone()).collect();
         assert_eq!(ids, [Value::Int(1), Value::Int(2), Value::Int(3)]);
         bus.shutdown_executor();
+    }
+
+    #[test]
+    fn streamed_replies_are_byte_identical_to_the_tree_path() {
+        use dais_soap::envelope::Envelope;
+
+        let (_, client, db) = setup();
+        let epr =
+            client.execute_factory(&db, "SELECT * FROM item ORDER BY id", &[], None, None).unwrap();
+        let response_name = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
+        let rowset_epr = client.rowset_factory(&response_name, None, None).unwrap();
+        let rowset_name = AbstractName::new(rowset_epr.resource_abstract_name().unwrap()).unwrap();
+
+        // GetTuples: raw reply bytes == the materialised tree construction.
+        let req = messages::get_tuples_request(&rowset_name, 0, 2);
+        let mut raw = Vec::new();
+        client.core().soap().request_bytes_into(actions::GET_TUPLES, &req, &mut raw).unwrap();
+        let data = SqlResponseData {
+            rowsets: vec![client.get_tuples(&rowset_name, 0, 2).unwrap()],
+            communication_area: SqlCommunicationArea::success(),
+            ..Default::default()
+        };
+        let tree = Envelope::with_body(
+            XmlElement::new(ns::WSDAIR, "wsdair", "GetTuplesResponse").with_child(data.to_xml()),
+        );
+        assert_eq!(raw, tree.to_bytes());
+
+        // SQLExecute on a SELECT: ditto, including the 02000 comm area
+        // an empty result carries.
+        for sql in ["SELECT name FROM item ORDER BY id", "SELECT id FROM item WHERE id > 99"] {
+            let req = messages::sql_execute_request(&db, ns::ROWSET, sql, &[]);
+            let mut raw = Vec::new();
+            client.core().soap().request_bytes_into(actions::SQL_EXECUTE, &req, &mut raw).unwrap();
+            let data = client.execute(&db, sql, &[]).unwrap();
+            let tree = Envelope::with_body(
+                XmlElement::new(ns::WSDAIR, "wsdair", "SQLExecuteResponse")
+                    .with_child(data.to_xml()),
+            );
+            assert_eq!(raw, tree.to_bytes(), "{sql}");
+        }
     }
 
     #[test]

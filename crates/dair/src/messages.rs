@@ -4,8 +4,8 @@
 use dais_core::messages as core_messages;
 use dais_core::AbstractName;
 use dais_soap::fault::{DaisFault, Fault};
-use dais_sql::{Rowset, SqlCommunicationArea, SqlType, Value};
-use dais_xml::{ns, XmlElement};
+use dais_sql::{RowStream, Rowset, RowsetWriter, SqlCommunicationArea, SqlType, Value};
+use dais_xml::{ns, PullEvent, PullParser, QName, XmlElement, XmlSink, XmlWriter};
 
 /// SOAP action URIs for the WS-DAIR operations (Figure 6).
 pub mod actions {
@@ -239,6 +239,102 @@ impl SqlResponseData {
     }
 }
 
+/// Stream a `GetTuplesResponse` (Figure 5) for one page window:
+/// `GetTuplesResponse(SQLResponse(SQLRowset(webRowSet), SQLCommunicationArea))`
+/// with the page encoded straight out of the backing rowset — no page
+/// clone, no element tree. Byte-identical to serialising the
+/// materialised form (`SqlResponseData::to_xml` wrapped the same way).
+pub fn write_get_tuples_response<S: XmlSink>(
+    w: &mut XmlWriter<'_, S>,
+    rowset: &Rowset,
+    start: usize,
+    count: usize,
+) {
+    w.start(&QName::new(ns::WSDAIR, "wsdair", "GetTuplesResponse"));
+    w.start(&QName::new(ns::WSDAIR, "wsdair", "SQLResponse"));
+    w.start(&QName::new(ns::WSDAIR, "wsdair", "SQLRowset"));
+    rowset.write_window_into(start, count, w);
+    w.end();
+    w.element(&SqlCommunicationArea::success().to_xml());
+    w.end();
+    w.end();
+}
+
+/// Stream a query's `SQLExecuteResponse` from a cursor: rows are
+/// encoded as the scan yields them, and the communication area — which
+/// serialises last — is decided once the row count is known (SQLSTATE
+/// 02000 for an empty result, matching
+/// `StatementResult::communication_area`). On an evaluation error the
+/// sink holds a partial fragment; the caller must discard it.
+pub fn write_sql_execute_query_response<S: XmlSink>(
+    w: &mut XmlWriter<'_, S>,
+    stream: &mut RowStream<'_>,
+) -> Result<(), dais_sql::SqlError> {
+    w.start(&QName::new(ns::WSDAIR, "wsdair", "SQLExecuteResponse"));
+    w.start(&QName::new(ns::WSDAIR, "wsdair", "SQLResponse"));
+    w.start(&QName::new(ns::WSDAIR, "wsdair", "SQLRowset"));
+    let mut rw = RowsetWriter::new();
+    rw.begin(w, stream.columns());
+    let mut rows = 0u64;
+    while let Some(row) = stream.next()? {
+        rw.row(w, row.iter());
+        rows += 1;
+    }
+    rw.finish(w);
+    w.end();
+    let comm = if rows == 0 {
+        SqlCommunicationArea { sqlstate: "02000".into(), ..SqlCommunicationArea::success() }
+    } else {
+        SqlCommunicationArea::success()
+    };
+    w.element(&comm.to_xml());
+    w.end();
+    w.end();
+    Ok(())
+}
+
+/// Advance past other children until a `Start` of `{namespace}local`,
+/// leaving the parser positioned just inside that element.
+fn descend_to(p: &mut PullParser<'_>, namespace: &str, local: &str) -> Result<(), String> {
+    loop {
+        match p.next().map_err(|e| e.to_string())? {
+            Some(PullEvent::Start { namespace: ns_, local: l }) => {
+                if ns_.as_str() == namespace && l == local {
+                    return Ok(());
+                }
+                p.skip_element().map_err(|e| e.to_string())?;
+            }
+            Some(PullEvent::Text(_)) => continue,
+            Some(PullEvent::End) | None => return Err(format!("reply carries no {local} element")),
+        }
+    }
+}
+
+/// Decode the first rowset out of a serialised reply envelope whose
+/// payload follows the shared `SQLResponse` shape (`GetTuples` and
+/// `SQLExecute` replies): Envelope → Body → payload wrapper →
+/// SQLResponse → SQLRowset → webRowSet, walked with the pull parser so
+/// the page decodes straight off the wire bytes with no element tree.
+pub fn rowset_from_reply_bytes(bytes: &[u8]) -> Result<Rowset, String> {
+    let text = std::str::from_utf8(bytes).map_err(|e| format!("reply is not UTF-8: {e}"))?;
+    let mut p = PullParser::new(text).map_err(|e| e.to_string())?;
+    match p.next().map_err(|e| e.to_string())? {
+        Some(PullEvent::Start { namespace, local })
+            if namespace.as_str() == ns::SOAP_ENV && local == "Envelope" => {}
+        _ => return Err("reply is not a SOAP envelope".into()),
+    }
+    descend_to(&mut p, ns::SOAP_ENV, "Body")?;
+    // The payload wrapper (GetTuplesResponse / SQLExecuteResponse /
+    // anything else with this response shape).
+    match p.next().map_err(|e| e.to_string())? {
+        Some(PullEvent::Start { .. }) => {}
+        _ => return Err("reply has an empty SOAP body".into()),
+    }
+    descend_to(&mut p, ns::WSDAIR, "SQLResponse")?;
+    descend_to(&mut p, ns::WSDAIR, "SQLRowset")?;
+    Rowset::read_from_pull(&mut p).map_err(|e| e.to_string())
+}
+
 /// Build a `GetTuplesRequest` (Figure 5): a rowset page by position.
 pub fn get_tuples_request(resource: &AbstractName, start: usize, count: usize) -> XmlElement {
     core_messages::request("GetTuplesRequest", resource)
@@ -360,5 +456,81 @@ mod tests {
         assert_eq!(parse_get_tuples(&req).unwrap(), (10, 25));
         let bad = dais_core::messages::request("GetTuplesRequest", &name());
         assert!(parse_get_tuples(&bad).is_err());
+    }
+
+    /// Rows exercising every cell encoding: NULLs, escaping-heavy text,
+    /// whitespace-edged and empty strings that travel as attributes.
+    fn awkward_rowset() -> Rowset {
+        let mut r = Rowset::new(vec![
+            RowsetColumn { name: "id".into(), ty: SqlType::Integer },
+            RowsetColumn { name: "label".into(), ty: SqlType::Varchar },
+        ]);
+        r.rows.push(vec![Value::Int(1), Value::Str("plain".into())]);
+        r.rows.push(vec![Value::Int(2), Value::Null]);
+        r.rows.push(vec![Value::Int(3), Value::Str("a <b> & \"c\"".into())]);
+        r.rows.push(vec![Value::Int(4), Value::Str("  padded  ".into())]);
+        r.rows.push(vec![Value::Int(5), Value::Str(String::new())]);
+        r
+    }
+
+    #[test]
+    fn streamed_get_tuples_response_matches_tree_serialisation() {
+        let rowset = awkward_rowset();
+        for (start, count) in [(0, 10), (1, 3), (4, 5), (9, 2), (0, 0)] {
+            let mut streamed = String::new();
+            let mut w = XmlWriter::new(&mut streamed);
+            write_get_tuples_response(&mut w, &rowset, start, count);
+            w.finish();
+
+            let data = SqlResponseData {
+                rowsets: vec![rowset.slice(start, count)],
+                communication_area: SqlCommunicationArea::success(),
+                ..Default::default()
+            };
+            let tree = XmlElement::new(ns::WSDAIR, "wsdair", "GetTuplesResponse")
+                .with_child(data.to_xml());
+            assert_eq!(streamed, dais_xml::to_string(&tree), "window ({start}, {count})");
+        }
+    }
+
+    #[test]
+    fn streamed_execute_response_matches_tree_serialisation() {
+        let db = dais_sql::Database::new("m");
+        db.execute_script(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR);
+             INSERT INTO t VALUES (1, 'a & b'), (2, NULL), (3, '  c  ');",
+        )
+        .unwrap();
+        for sql in
+            ["SELECT * FROM t", "SELECT v FROM t WHERE id > 1", "SELECT id FROM t WHERE id > 9"]
+        {
+            let mut streamed = String::new();
+            db.stream_query(sql, &[], |stream| {
+                let mut w = XmlWriter::new(&mut streamed);
+                write_sql_execute_query_response(&mut w, stream).unwrap();
+                w.finish();
+            })
+            .unwrap();
+
+            let result = db.execute(sql, &[]).unwrap();
+            let tree = XmlElement::new(ns::WSDAIR, "wsdair", "SQLExecuteResponse")
+                .with_child(SqlResponseData::from_result(&result).to_xml());
+            assert_eq!(streamed, dais_xml::to_string(&tree), "{sql}");
+        }
+    }
+
+    #[test]
+    fn reply_bytes_decode_without_a_tree() {
+        let rowset = awkward_rowset();
+        let mut fragment = String::new();
+        let mut w = XmlWriter::new(&mut fragment);
+        write_get_tuples_response(&mut w, &rowset, 0, 10);
+        w.finish();
+        let bytes = dais_soap::envelope::Envelope::with_raw_body(fragment).to_bytes();
+        assert_eq!(rowset_from_reply_bytes(&bytes).unwrap(), rowset);
+        // Malformed replies report instead of panicking.
+        assert!(rowset_from_reply_bytes(b"<x/>").is_err());
+        let empty = dais_soap::envelope::Envelope::with_raw_body(String::new()).to_bytes();
+        assert!(rowset_from_reply_bytes(&empty).is_err());
     }
 }

@@ -9,7 +9,7 @@ use dais_core::{
 };
 use dais_soap::fault::{DaisFault, Fault};
 use dais_sql::{Database, Rowset, SqlErrorKind, Value};
-use dais_xml::{ns, QName, XmlElement};
+use dais_xml::{ns, QName, XmlElement, XmlWriter};
 use std::any::Any;
 
 /// The generic-query language URI advertised for SQL.
@@ -65,6 +65,27 @@ impl SqlDataResource {
     pub fn execute(&self, sql: &str, params: &[Value]) -> Result<SqlResponseData, Fault> {
         let result = self.db.execute(sql, params).map_err(sql_fault)?;
         Ok(SqlResponseData::from_result(&result))
+    }
+
+    /// Stream a SELECT's `SQLExecuteResponse` fragment straight from
+    /// the engine cursor into `out` — the zero-materialisation
+    /// direct-access path (rows never collect into a rowset). On error
+    /// `out` may hold a partial fragment; callers must discard it.
+    pub fn execute_query_streamed(
+        &self,
+        sql: &str,
+        params: &[Value],
+        out: &mut String,
+    ) -> Result<(), Fault> {
+        self.db
+            .stream_query(sql, params, |stream| {
+                let mut w = XmlWriter::new(out);
+                crate::messages::write_sql_execute_query_response(&mut w, stream)?;
+                w.finish();
+                Ok(())
+            })
+            .and_then(|encoded: Result<(), dais_sql::SqlError>| encoded)
+            .map_err(sql_fault)
     }
 
     /// Is the statement a read (query) or a write?

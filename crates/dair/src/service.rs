@@ -20,7 +20,7 @@ use dais_soap::fault::{DaisFault, Fault};
 use dais_soap::service::SoapDispatcher;
 use dais_sql::Database;
 use dais_wsrf::LifetimeRegistry;
-use dais_xml::{ns, QName, XmlElement};
+use dais_xml::{ns, QName, XmlElement, XmlWriter};
 use std::sync::Arc;
 
 fn payload(request: &Envelope) -> Result<&XmlElement, Fault> {
@@ -91,6 +91,15 @@ pub fn register_sql_access(dispatcher: &mut SoapDispatcher, ctx: Arc<ServiceCont
             None => (sql, params),
         };
 
+        // SELECTs stream: rows are encoded off the engine cursor into a
+        // raw-body reply (byte-identical to the tree path) without ever
+        // materialising a rowset. The post-rewrite text decides, since
+        // a rewriter may change the statement class.
+        if SqlDataResource::is_read_only_statement(&sql) {
+            let mut fragment = String::new();
+            sql_resource.execute_query_streamed(&sql, &params, &mut fragment)?;
+            return Ok(Envelope::with_raw_body(fragment));
+        }
         let data = sql_resource.execute(&sql, &params)?;
         let mut response = XmlElement::new(ns::WSDAIR, "wsdair", "SQLExecuteResponse");
         response.push(data.to_xml());
@@ -332,16 +341,14 @@ pub fn register_rowset_access(dispatcher: &mut SoapDispatcher, ctx: Arc<ServiceC
             return Err(Fault::dais(DaisFault::NotAuthorized, "resource is not readable"));
         }
         let (start, count) = messages::parse_get_tuples(body)?;
-        let page = rowset_resource.tuples(start, count);
-        // Figure 5: GetTuplesResponse(SQLResponse(SQLRowset, SQLCommunicationArea)).
-        let data = crate::messages::SqlResponseData {
-            rowsets: vec![page],
-            communication_area: dais_sql::SqlCommunicationArea::success(),
-            ..Default::default()
-        };
-        let mut response = XmlElement::new(ns::WSDAIR, "wsdair", "GetTuplesResponse");
-        response.push(data.to_xml());
-        respond(response)
+        // Figure 5: GetTuplesResponse(SQLResponse(SQLRowset, SQLCommunicationArea)),
+        // with the page window encoded straight out of the backing
+        // rowset into a raw-body reply — no page clone, no element tree.
+        let mut fragment = String::new();
+        let mut w = XmlWriter::new(&mut fragment);
+        messages::write_get_tuples_response(&mut w, rowset_resource.rowset(), start, count);
+        w.finish();
+        Ok(Envelope::with_raw_body(fragment))
     });
 
     let c = ctx;

@@ -347,6 +347,75 @@ impl Bus {
         self.call_inline(&endpoint, &chain, to, action, request)
     }
 
+    /// Like [`Bus::call`], but append the serialised response envelope
+    /// to `out` instead of parsing it into a tree — the raw-reply lane
+    /// for bulk-data consumers that decode with a streaming parser.
+    ///
+    /// Inline (no executor installed, or on an executor worker thread)
+    /// the reply bytes flow straight from the wire buffer to `out`; a
+    /// cheap sniff distinguishes canonical data envelopes from faults,
+    /// and anything it cannot vouch for falls back to the full parse, so
+    /// fault classification and billing match [`Bus::call`] exactly.
+    /// With a queued executor the request still goes through admission
+    /// control as a normal envelope call and the parsed reply is
+    /// re-serialised into `out` — correct, but without the zero-parse
+    /// benefit; callers chasing that should gate on
+    /// [`Bus::has_queued_executor`].
+    #[allow(clippy::type_complexity)]
+    pub fn call_bytes_into(
+        &self,
+        to: &str,
+        action: &str,
+        request: &Envelope,
+        out: &mut Vec<u8>,
+    ) -> Result<Result<(), Fault>, BusError> {
+        let (endpoint, chain) = self.resolve(to)?;
+        if let Some(exec) = self.queued_mode() {
+            return Ok(self
+                .enqueue(&exec, endpoint, chain, to, action, request)?
+                .wait()?
+                .map(|env| env.to_bytes_into(out)));
+        }
+        let tracer = &self.inner.obs.tracer;
+        let mut call_span = if tracer.enabled() {
+            let parent = request
+                .header_block(ns::WSA, "MessageID")
+                .and_then(|h| TraceContext::decode(h.text().trim()));
+            let mut span = tracer.span(span_names::BUS_CALL, parent);
+            span.attr("to", to);
+            span.attr("action", action);
+            span
+        } else {
+            SpanHandle::inert()
+        };
+        let started = Instant::now();
+        let result =
+            self.dispatch_bytes(&endpoint, &chain, to, action, request, out, &mut call_span);
+        let nanos = started.elapsed().as_nanos() as u64;
+        endpoint.latency.record(nanos);
+        self.inner.obs.metrics.observe_action(action, nanos);
+        if call_span.is_recording() {
+            call_span.attr(
+                "outcome",
+                match &result {
+                    Ok(Ok(())) => "ok",
+                    Ok(Err(_)) => "fault",
+                    Err(_) => "transport-error",
+                },
+            );
+        }
+        result
+    }
+
+    /// Whether the next [`Bus::call`] from this thread would go through
+    /// the queued executor. `false` in inline mode *and* on executor
+    /// worker threads (where nested calls run inline) — exactly the
+    /// condition under which the raw-reply lane of
+    /// [`Bus::call_bytes_into`] skips the response tree parse.
+    pub fn has_queued_executor(&self) -> bool {
+        self.queued_mode().is_some()
+    }
+
     /// Send a request without waiting for the response: the pipelined
     /// path. Returns a [`Pending`] handle that resolves to exactly what
     /// [`Bus::call`] would have returned.
@@ -511,19 +580,23 @@ impl Bus {
         result
     }
 
-    /// The wire exchange itself — the one serialise→intercept→dispatch→
-    /// parse code path. Split from [`Bus::perform`] so the observability
-    /// bookkeeping there sees every early return.
-    #[allow(clippy::type_complexity)]
-    fn dispatch(
+    /// The wire exchange itself — the one serialise→intercept→dispatch
+    /// code path, shared by the envelope lane ([`Bus::dispatch`]) and the
+    /// raw-reply lane ([`Bus::dispatch_bytes`]). Leaves the response
+    /// bytes in `response_bytes` and returns the billed request length;
+    /// legs consumed by an early return are billed here, the completed
+    /// exchange by the caller once it has classified the outcome.
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
+    fn exchange(
         &self,
         endpoint: &Endpoint,
         chain: &[Arc<dyn Interceptor>],
         to: &str,
         action: &str,
         request: &Envelope,
+        response_bytes: &mut PooledBuf,
         call_span: &mut SpanHandle,
-    ) -> Result<Result<Envelope, Fault>, BusError> {
+    ) -> Result<u64, BusError> {
         let tracer = &self.inner.obs.tracer;
         let info = CallInfo { to, action };
         let record = |request: u64, response: u64, fault: bool| {
@@ -572,7 +645,6 @@ impl Bus {
         request_span.attr("bytes", request_bytes.len());
         request_span.finish();
 
-        let mut response_bytes = PooledBuf::take();
         let response_chain_len = match replied {
             Some((bytes, i)) => {
                 response_bytes.replace_with(bytes);
@@ -584,9 +656,7 @@ impl Bus {
                 // routing failure — local parse error, remote error
                 // frame, dead connection — bills the request leg it
                 // consumed, identically on every transport.
-                if let Err(err) =
-                    self.route(endpoint, to, action, &request_bytes, &mut response_bytes)
-                {
+                if let Err(err) = self.route(endpoint, to, action, &request_bytes, response_bytes) {
                     record(request_bytes.len() as u64, 0, false);
                     return Err(err);
                 }
@@ -596,7 +666,7 @@ impl Bus {
 
         let mut response_span = tracer.child_span(span_names::BUS_RESPONSE, call_span.ctx());
         for interceptor in chain[..response_chain_len].iter().rev() {
-            match interceptor.on_response(&info, &response_bytes) {
+            match interceptor.on_response(&info, response_bytes) {
                 Intercept::Pass => {}
                 Intercept::Tamper(bytes) => {
                     note_injected();
@@ -621,11 +691,34 @@ impl Bus {
         }
         response_span.attr("bytes", response_bytes.len());
         response_span.finish();
+        Ok(request_bytes.len() as u64)
+    }
+
+    /// The envelope lane: run the exchange, then parse the response
+    /// bytes back into an [`Envelope`]. Split from [`Bus::perform`] so
+    /// the observability bookkeeping there sees every early return.
+    #[allow(clippy::type_complexity)]
+    fn dispatch(
+        &self,
+        endpoint: &Endpoint,
+        chain: &[Arc<dyn Interceptor>],
+        to: &str,
+        action: &str,
+        request: &Envelope,
+        call_span: &mut SpanHandle,
+    ) -> Result<Result<Envelope, Fault>, BusError> {
+        let mut response_bytes = PooledBuf::take();
+        let request_len =
+            self.exchange(endpoint, chain, to, action, request, &mut response_bytes, call_span)?;
+        let record = |response: u64, fault: bool| {
+            self.inner.total.record(request_len, response, fault);
+            endpoint.stats.record(request_len, response, fault);
+        };
 
         let parsed_response = match Envelope::from_bytes(&response_bytes) {
             Ok(env) => env,
             Err(e) => {
-                record(request_bytes.len() as u64, response_bytes.len() as u64, false);
+                record(response_bytes.len() as u64, false);
                 return Err(BusError::MalformedEnvelope(e.to_string()));
             }
         };
@@ -634,10 +727,59 @@ impl Bus {
         // only ever sees data that crossed the "wire". Fault accounting
         // follows the same classification.
         let fault = parsed_response.payload().and_then(Fault::from_xml);
-        record(request_bytes.len() as u64, response_bytes.len() as u64, fault.is_some());
+        record(response_bytes.len() as u64, fault.is_some());
         match fault {
             Some(f) => Ok(Err(f)),
             None => Ok(Ok(parsed_response)),
+        }
+    }
+
+    /// The raw-reply lane: run the same exchange but hand back the
+    /// response **bytes**, skipping the tree parse when the reply is
+    /// recognisably a canonical data envelope. A reply the sniff cannot
+    /// vouch for — a fault, a tampered frame, a non-canonical prolog —
+    /// takes the full parse and classifies exactly like the envelope
+    /// lane, so fault accounting is identical on both.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_bytes(
+        &self,
+        endpoint: &Endpoint,
+        chain: &[Arc<dyn Interceptor>],
+        to: &str,
+        action: &str,
+        request: &Envelope,
+        out: &mut Vec<u8>,
+        call_span: &mut SpanHandle,
+    ) -> Result<Result<(), Fault>, BusError> {
+        let mut response_bytes = PooledBuf::take();
+        let request_len =
+            self.exchange(endpoint, chain, to, action, request, &mut response_bytes, call_span)?;
+        let record = |response: u64, fault: bool| {
+            self.inner.total.record(request_len, response, fault);
+            endpoint.stats.record(request_len, response, fault);
+        };
+
+        if sniff_canonical_data_reply(&response_bytes) {
+            record(response_bytes.len() as u64, false);
+            out.extend_from_slice(&response_bytes);
+            return Ok(Ok(()));
+        }
+
+        let parsed_response = match Envelope::from_bytes(&response_bytes) {
+            Ok(env) => env,
+            Err(e) => {
+                record(response_bytes.len() as u64, false);
+                return Err(BusError::MalformedEnvelope(e.to_string()));
+            }
+        };
+        let fault = parsed_response.payload().and_then(Fault::from_xml);
+        record(response_bytes.len() as u64, fault.is_some());
+        match fault {
+            Some(f) => Ok(Err(f)),
+            None => {
+                out.extend_from_slice(&response_bytes);
+                Ok(Ok(()))
+            }
         }
     }
 
@@ -872,6 +1014,28 @@ impl Bus {
     }
 }
 
+/// Can `bytes` be handed to a raw-reply caller without a tree parse?
+/// True only for a reply that starts with the *canonical* envelope tag
+/// this stack serialises (the `soap` prefix provably bound to the SOAP
+/// 1.1 namespace before the first `>`) and whose first body child is an
+/// element outside that prefix — i.e. data, not `<soap:Fault>`. Header
+/// blocks are fine: escaping guarantees no raw `<soap:Body>` inside
+/// them, so the first occurrence is the real one. Everything else —
+/// faults, empty bodies, foreign serialisations — answers `false` and
+/// takes the full-parse lane.
+fn sniff_canonical_data_reply(bytes: &[u8]) -> bool {
+    const START: &[u8] = b"<soap:Envelope xmlns:soap=\"http://schemas.xmlsoap.org/soap/envelope/\"";
+    const BODY: &[u8] = b"<soap:Body>";
+    if !bytes.starts_with(START) {
+        return false;
+    }
+    let Some(at) = bytes.windows(BODY.len()).position(|w| w == BODY) else {
+        return false;
+    };
+    let rest = &bytes[at + BODY.len()..];
+    rest.first() == Some(&b'<') && !rest.starts_with(b"<soap:")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -893,6 +1057,67 @@ mod tests {
         let env = Envelope::with_body(XmlElement::new_local("m").with_text("payload"));
         let out = bus.call("bus://svc", "urn:echo", &env).unwrap().unwrap();
         assert_eq!(out, env);
+    }
+
+    #[test]
+    fn call_bytes_matches_call_wire_bytes() {
+        let bus = echo_bus();
+        let env = Envelope::with_body(XmlElement::new_local("m").with_text("payload"));
+        let mut raw = Vec::new();
+        bus.call_bytes_into("bus://svc", "urn:echo", &env, &mut raw).unwrap().unwrap();
+        let parsed = bus.call("bus://svc", "urn:echo", &env).unwrap().unwrap();
+        let mut expected = Vec::new();
+        parsed.to_bytes_into(&mut expected);
+        assert_eq!(raw, expected);
+        assert_eq!(Envelope::from_bytes(&raw).unwrap(), parsed);
+        // Both lanes billed the same traffic.
+        let s = bus.stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.request_bytes, s.response_bytes);
+    }
+
+    #[test]
+    fn call_bytes_classifies_faults_like_call() {
+        let bus = echo_bus();
+        let mut raw = Vec::new();
+        let fault = bus
+            .call_bytes_into("bus://svc", "urn:fail", &Envelope::default(), &mut raw)
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(fault.reason, "boom");
+        assert!(raw.is_empty());
+        assert_eq!(bus.stats().faults, 1);
+    }
+
+    #[test]
+    fn call_bytes_under_executor_reserialises() {
+        let bus = echo_bus();
+        bus.install_executor(ExecutorConfig { workers: 2, ..Default::default() });
+        assert!(bus.has_queued_executor());
+        let env = Envelope::with_body(XmlElement::new_local("m").with_text("queued"));
+        let mut raw = Vec::new();
+        bus.call_bytes_into("bus://svc", "urn:echo", &env, &mut raw).unwrap().unwrap();
+        assert_eq!(Envelope::from_bytes(&raw).unwrap(), env);
+        bus.shutdown_executor();
+        assert!(!bus.has_queued_executor());
+    }
+
+    #[test]
+    fn sniff_accepts_only_canonical_data_replies() {
+        let mut data = Vec::new();
+        Envelope::with_body(XmlElement::new_local("m").with_text("x")).to_bytes_into(&mut data);
+        assert!(sniff_canonical_data_reply(&data));
+
+        let mut fault = Vec::new();
+        Envelope::with_body(Fault::server("nope").to_xml()).to_bytes_into(&mut fault);
+        assert!(!sniff_canonical_data_reply(&fault));
+
+        let mut empty = Vec::new();
+        Envelope::default().to_bytes_into(&mut empty);
+        assert!(!sniff_canonical_data_reply(&empty));
+
+        assert!(!sniff_canonical_data_reply(b"<env:Envelope xmlns:env=\"urn:x\"/>"));
+        assert!(!sniff_canonical_data_reply(b"not xml at all"));
     }
 
     #[test]

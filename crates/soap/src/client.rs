@@ -126,10 +126,45 @@ impl ServiceClient {
         payload: XmlElement,
         idempotent: bool,
     ) -> Result<XmlElement, CallError> {
-        // The root span of the whole logical operation. Every attempt's
-        // `wsa:MessageID` carries a context from this trace, so the bus
-        // legs and the service dispatch all correlate. Inert (one atomic
-        // load, no allocation) when the bus's tracer is off.
+        self.request_retrying(action, idempotent, |parent| {
+            self.request_once(action, &payload, parent)
+        })
+    }
+
+    /// Like [`request`](Self::request), but append the serialised
+    /// response envelope to `out` instead of parsing a payload tree —
+    /// the raw-reply lane for bulk data (see [`Bus::call_bytes_into`]).
+    /// The caller decodes `out` with a streaming parser; faults and
+    /// retries behave exactly as on [`request`](Self::request), and a
+    /// retried attempt truncates `out` back to its entry length first.
+    pub fn request_bytes_into(
+        &self,
+        action: &str,
+        payload: &XmlElement,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CallError> {
+        let idempotent =
+            self.retry.as_ref().map(|c| c.idempotent.contains(action)).unwrap_or(false);
+        let mark = out.len();
+        self.request_retrying(action, idempotent, |parent| {
+            let env = self.build_envelope(action, payload, parent);
+            out.truncate(mark);
+            self.bus.call_bytes_into(&self.epr.address, action, &env, out)??;
+            Ok(())
+        })
+    }
+
+    /// The root span plus the retry loop shared by every request shape.
+    /// Every attempt's `wsa:MessageID` carries a context from this
+    /// trace, so the bus legs and the service dispatch all correlate.
+    /// Inert (one atomic load, no allocation) when the bus's tracer is
+    /// off.
+    fn request_retrying<T>(
+        &self,
+        action: &str,
+        idempotent: bool,
+        mut once: impl FnMut(Option<TraceContext>) -> Result<T, CallError>,
+    ) -> Result<T, CallError> {
         let tracer = &self.bus.obs().tracer;
         let call_span = if tracer.enabled() {
             let mut span = tracer.span(span_names::CLIENT_CALL, None);
@@ -141,7 +176,7 @@ impl ServiceClient {
         };
 
         let Some(config) = self.retry.as_ref().filter(|_| idempotent) else {
-            let result = self.request_once(action, &payload, call_span.ctx());
+            let result = once(call_span.ctx());
             finish_call_span(call_span, result.is_ok(), 1);
             return result;
         };
@@ -153,7 +188,7 @@ impl ServiceClient {
         let mut retry_span = SpanHandle::inert();
         loop {
             let parent = retry_span.ctx().or_else(|| call_span.ctx());
-            let error = match self.request_once(action, &payload, parent) {
+            let error = match once(parent) {
                 Ok(response) => {
                     drop(retry_span);
                     finish_call_span(call_span, true, attempt);
@@ -370,10 +405,10 @@ fn drain_oldest(
 }
 
 /// The response payload, or the error shared by both execution paths.
+/// Consumes the envelope so the payload is moved out, never deep-cloned.
 fn extract_payload(response: Envelope) -> Result<XmlElement, CallError> {
     response
-        .payload()
-        .cloned()
+        .into_payload()
         .ok_or_else(|| CallError::UnexpectedResponse("empty response body".into()))
 }
 

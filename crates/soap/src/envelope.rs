@@ -11,12 +11,36 @@ use dais_xml::{estimated_size, ns, parse, QName, XmlElement, XmlError, XmlWriter
 pub struct Envelope {
     pub header: Vec<XmlElement>,
     pub body: Vec<XmlElement>,
+    /// Pre-serialised body content for the streaming fast path: a
+    /// self-contained, already-escaped XML fragment spliced verbatim
+    /// inside `soap:Body` by [`Envelope::to_bytes_into`]. Mutually
+    /// exclusive with `body` by construction ([`Envelope::with_raw_body`]
+    /// starts empty); [`Envelope::payload`] sees only tree payloads, so
+    /// raw envelopes exist to be serialised, not inspected.
+    raw_body: Option<String>,
 }
 
 impl Envelope {
     /// An envelope with a single body payload and no headers.
     pub fn with_body(payload: XmlElement) -> Self {
-        Envelope { header: Vec::new(), body: vec![payload] }
+        Envelope { header: Vec::new(), body: vec![payload], raw_body: None }
+    }
+
+    /// An envelope whose body is a pre-serialised XML fragment, spliced
+    /// verbatim into `soap:Body` at serialisation time. The fragment
+    /// must be well-formed, already escaped, and self-contained (its
+    /// namespace declarations travel inside it) — exactly what the
+    /// streaming rowset writer produces. This is the zero-rebuild server
+    /// path: handlers stream a response once and the bus never builds or
+    /// walks a tree for it.
+    pub fn with_raw_body(fragment: String) -> Self {
+        Envelope { header: Vec::new(), body: Vec::new(), raw_body: Some(fragment) }
+    }
+
+    /// The pre-serialised body fragment, when this envelope was built by
+    /// [`Envelope::with_raw_body`].
+    pub fn raw_body(&self) -> Option<&str> {
+        self.raw_body.as_deref()
     }
 
     /// Add a header block.
@@ -30,9 +54,16 @@ impl Envelope {
         self
     }
 
-    /// The first (usually only) body element.
+    /// The first (usually only) body element. `None` for raw-body
+    /// envelopes: their content is opaque bytes until parsed back.
     pub fn payload(&self) -> Option<&XmlElement> {
         self.body.first()
+    }
+
+    /// Take the first body element by value — the no-clone counterpart
+    /// of [`Envelope::payload`] for consumers done with the envelope.
+    pub fn into_payload(self) -> Option<XmlElement> {
+        self.body.into_iter().next()
     }
 
     /// First header block with the given expanded name.
@@ -54,6 +85,14 @@ impl Envelope {
         for b in &self.body {
             body.push(b.clone());
         }
+        if let Some(raw) = &self.raw_body {
+            // The raw fragment is writer-produced and re-parses cleanly;
+            // a hand-built malformed fragment degrades to an empty body
+            // here (the wire path never takes this branch — it splices).
+            if let Ok(el) = parse(raw) {
+                body.push(el);
+            }
+        }
         env.push(body);
         env
     }
@@ -71,7 +110,8 @@ impl Envelope {
     /// yet produces exactly the bytes of [`Envelope::to_bytes`].
     pub fn to_bytes_into(&self, out: &mut Vec<u8>) {
         let content: usize =
-            self.header.iter().chain(&self.body).map(estimated_size).sum::<usize>();
+            self.header.iter().chain(&self.body).map(estimated_size).sum::<usize>()
+                + self.raw_body.as_ref().map_or(0, |r| r.len());
         out.reserve(content + 128);
         let mut w = XmlWriter::new(out);
         w.start(&QName::new(ns::SOAP_ENV, "soap", "Envelope"));
@@ -85,6 +125,13 @@ impl Envelope {
         w.start(&QName::new(ns::SOAP_ENV, "soap", "Body"));
         for b in &self.body {
             w.element(b);
+        }
+        if let Some(raw) = &self.raw_body {
+            // Splice the pre-serialised fragment: byte-identical to the
+            // tree path because the fragment carries its own namespace
+            // declarations (wsdair/wrs never collide with the outer
+            // soap/wsa scope) and was escaped by the same writer.
+            w.raw(raw);
         }
         w.end();
         w.end();
@@ -104,7 +151,29 @@ impl Envelope {
             .child(ns::SOAP_ENV, "Body")
             .ok_or_else(|| EnvelopeError::new("envelope has no soap:Body"))?;
         let body = body_el.elements().cloned().collect();
-        Ok(Envelope { header, body })
+        Ok(Envelope { header, body, raw_body: None })
+    }
+
+    /// Parse an envelope from a wire element, consuming it. The header
+    /// and body children are *moved* out of the tree instead of deep
+    /// cloned — on the response path a 200 KB rowset page would
+    /// otherwise be copied a second time just to change its owner.
+    pub fn from_xml_owned(mut root: XmlElement) -> Result<Envelope, EnvelopeError> {
+        if !root.name.is(ns::SOAP_ENV, "Envelope") {
+            return Err(EnvelopeError::new(format!("expected soap:Envelope, found {}", root.name)));
+        }
+        let mut header = Vec::new();
+        let mut body = None;
+        for node in root.children.drain(..) {
+            let dais_xml::XmlNode::Element(el) = node else { continue };
+            if el.name.is(ns::SOAP_ENV, "Header") {
+                header = take_child_elements(el);
+            } else if el.name.is(ns::SOAP_ENV, "Body") && body.is_none() {
+                body = Some(take_child_elements(el));
+            }
+        }
+        let body = body.ok_or_else(|| EnvelopeError::new("envelope has no soap:Body"))?;
+        Ok(Envelope { header, body, raw_body: None })
     }
 
     /// Parse from bytes.
@@ -112,8 +181,20 @@ impl Envelope {
         let text = std::str::from_utf8(bytes)
             .map_err(|e| EnvelopeError::new(format!("envelope is not UTF-8: {e}")))?;
         let root = parse(text).map_err(EnvelopeError::from)?;
-        Envelope::from_xml(&root)
+        Envelope::from_xml_owned(root)
     }
+}
+
+/// Move the element children out of `el`, dropping text and comments —
+/// the owning counterpart of `elements().cloned()`.
+fn take_child_elements(mut el: XmlElement) -> Vec<XmlElement> {
+    el.children
+        .drain(..)
+        .filter_map(|n| match n {
+            dais_xml::XmlNode::Element(e) => Some(e),
+            _ => None,
+        })
+        .collect()
 }
 
 /// A malformed-envelope error.
@@ -204,6 +285,39 @@ mod tests {
             env.to_bytes_into(&mut appended);
             assert_eq!(&appended[1..], &env.to_bytes()[..]);
         }
+    }
+
+    #[test]
+    fn raw_body_envelope_splices_byte_identically() {
+        // A fragment serialised up front, spliced raw, must produce the
+        // same wire bytes as the tree path carrying the parsed fragment.
+        let fragment_el = payload();
+        let raw = Envelope::with_raw_body(to_string(&fragment_el));
+        let tree = Envelope::with_body(fragment_el);
+        assert_eq!(raw.to_bytes(), tree.to_bytes());
+        // With a header on both (the tracing RelatesTo shape).
+        let hdr = XmlElement::new(ns::WSA, "wsa", "RelatesTo").with_text("urn:msg");
+        let raw = Envelope::with_raw_body(to_string(&payload())).with_header(hdr.clone());
+        let tree = Envelope::with_body(payload()).with_header(hdr);
+        assert_eq!(raw.to_bytes(), tree.to_bytes());
+        // And to_xml() on the raw form re-parses the fragment.
+        assert_eq!(raw.to_xml(), tree.to_xml());
+    }
+
+    #[test]
+    fn from_xml_owned_matches_borrowing_parse() {
+        let env = Envelope::with_body(payload())
+            .with_header(XmlElement::new(ns::WSA, "wsa", "Action").with_text("urn:op"));
+        let root = dais_xml::parse(std::str::from_utf8(&env.to_bytes()).unwrap()).unwrap();
+        assert_eq!(Envelope::from_xml(&root).unwrap(), Envelope::from_xml_owned(root).unwrap());
+    }
+
+    #[test]
+    fn into_payload_takes_the_first_body_element() {
+        let env = Envelope::with_body(payload());
+        let p = env.into_payload().unwrap();
+        assert!(p.name.is(ns::WSDAI, "GetDataResourcePropertyDocumentRequest"));
+        assert!(Envelope::default().into_payload().is_none());
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::parser::parse_statement;
 use crate::rowset::Rowset;
 use crate::sqlcomm::SqlCommunicationArea;
 use crate::storage::Storage;
+use crate::stream::{open_stream, RowStream};
 use crate::value::Value;
 use dais_util::sync::RwLock;
 use std::sync::Arc;
@@ -98,6 +99,32 @@ impl Database {
             session.execute(&stmt, &[])?;
         }
         Ok(())
+    }
+
+    /// Run a SELECT and hand the callback a pull cursor over its rows.
+    ///
+    /// The callback runs under the storage read lock. Pushdown-eligible
+    /// statements lend rows straight off the table pages — selection,
+    /// projection and the LIMIT/OFFSET window applied during the scan,
+    /// never collected into an intermediate `Vec<Vec<Value>>`; anything
+    /// else materialises once and iterates. Non-SELECT statements are
+    /// rejected (a cursor over an update count is meaningless).
+    pub fn stream_query<R>(
+        &self,
+        sql: &str,
+        params: &[Value],
+        f: impl FnOnce(&mut RowStream<'_>) -> R,
+    ) -> Result<R, SqlError> {
+        let stmt = parse_statement(sql)?;
+        let Stmt::Select(select) = &stmt else {
+            return Err(SqlError::new(
+                SqlErrorKind::NotSupported,
+                "stream_query supports SELECT statements only",
+            ));
+        };
+        let storage = self.storage.read();
+        let mut stream = open_stream(select, &storage, params)?;
+        Ok(f(&mut stream))
     }
 
     /// Read-only access to the storage (metadata export, tests).

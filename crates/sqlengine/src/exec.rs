@@ -162,8 +162,189 @@ pub fn run_select(
     Ok(result)
 }
 
-/// Run one core select (no UNION arms).
+/// Run one core select (no UNION arms): the scan-level pushdown fast
+/// path when the statement qualifies, the generic materialising
+/// pipeline otherwise.
 fn run_single_select(
+    select: &Select,
+    storage: &Storage,
+    params: &[Value],
+) -> Result<Rowset, SqlError> {
+    if let Some(plan) = plan_pushdown(select, storage) {
+        return run_pushdown(&plan, select.where_clause.as_ref(), storage, params);
+    }
+    run_select_generic(select, storage, params)
+}
+
+// ---- projection/selection pushdown ----------------------------------------
+
+/// A resolved scan-level plan for a single-table SELECT whose projection
+/// is plain columns and whose ORDER BY (if any) refers to output columns.
+/// Selection and projection are applied *during* the scan, so rejected
+/// rows and non-projected cells are never cloned.
+pub(crate) struct PushdownPlan {
+    /// Source table (storage lookup key).
+    pub(crate) table: String,
+    /// Full source schema, for WHERE evaluation against borrowed rows.
+    pub(crate) schema: ExecSchema,
+    /// Source column ordinals in output order.
+    pub(crate) projection: Vec<usize>,
+    /// Output columns: as-written names, declared source types.
+    pub(crate) columns: Vec<RowsetColumn>,
+    /// ORDER BY keys as (projected index, ascending).
+    pub(crate) order: Vec<(usize, bool)>,
+    pub(crate) offset: usize,
+    pub(crate) limit: usize,
+}
+
+/// Try to build a [`PushdownPlan`]. `None` means the statement takes the
+/// generic pipeline — including every unresolvable-name case, so error
+/// messages are identical on both paths.
+pub(crate) fn plan_pushdown(select: &Select, storage: &Storage) -> Option<PushdownPlan> {
+    if !select.unions.is_empty()
+        || !select.joins.is_empty()
+        || !select.group_by.is_empty()
+        || select.having.is_some()
+        || select.distinct
+    {
+        return None;
+    }
+    let table_ref = select.from.as_ref()?;
+    let table = storage.table(&table_ref.name).ok()?;
+    let binding = table_ref.binding_name();
+    let schema = ExecSchema::new(
+        table
+            .schema
+            .columns
+            .iter()
+            .map(|c| ExecColumn { qualifier: Some(binding.to_string()), name: c.name.clone() })
+            .collect(),
+    );
+
+    // Projection: wildcards and plain column references only. Anything
+    // computed (expressions, aggregates, functions) goes generic.
+    let mut projection = Vec::new();
+    let mut columns = Vec::new();
+    for item in &select.items {
+        match item {
+            SelectItem::Wildcard => {
+                for (i, c) in table.schema.columns.iter().enumerate() {
+                    projection.push(i);
+                    columns.push(RowsetColumn { name: c.name.clone(), ty: c.ty });
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                if !binding.eq_ignore_ascii_case(q) {
+                    return None;
+                }
+                for (i, c) in table.schema.columns.iter().enumerate() {
+                    projection.push(i);
+                    columns.push(RowsetColumn { name: c.name.clone(), ty: c.ty });
+                }
+            }
+            SelectItem::Expr { expr: Expr::Column { qualifier, name }, alias } => {
+                let ix = schema.resolve(qualifier.as_deref(), name).ok()?;
+                projection.push(ix);
+                columns.push(RowsetColumn {
+                    name: alias.clone().unwrap_or_else(|| name.clone()),
+                    ty: table.schema.columns[ix].ty,
+                });
+            }
+            SelectItem::Expr { .. } => return None,
+        }
+    }
+
+    // ORDER BY: 1-based ordinals and unqualified output names sort on the
+    // projected cells (the same keys the generic path would compute);
+    // anything needing a source-row fallback goes generic.
+    let mut order = Vec::with_capacity(select.order_by.len());
+    for item in &select.order_by {
+        let ix = match &item.expr {
+            Expr::Literal(Value::Int(n)) => {
+                let i = *n as usize;
+                if i < 1 || i > projection.len() {
+                    return None;
+                }
+                i - 1
+            }
+            Expr::Column { qualifier: None, name } => {
+                columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))?
+            }
+            _ => return None,
+        };
+        order.push((ix, item.ascending));
+    }
+
+    Some(PushdownPlan {
+        table: table_ref.name.clone(),
+        schema,
+        projection,
+        columns,
+        order,
+        offset: select.offset.unwrap_or(0) as usize,
+        limit: select.limit.map(|l| l as usize).unwrap_or(usize::MAX),
+    })
+}
+
+/// Execute a [`PushdownPlan`]. The WHERE predicate is evaluated through
+/// the same [`eval`] the generic path uses, against borrowed scan rows.
+pub(crate) fn run_pushdown(
+    plan: &PushdownPlan,
+    predicate: Option<&Expr>,
+    storage: &Storage,
+    params: &[Value],
+) -> Result<Rowset, SqlError> {
+    let table = storage.table(&plan.table)?;
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    if plan.order.is_empty() {
+        // Unordered: the OFFSET/LIMIT window applies during the scan, so
+        // the scan stops as soon as the window is full.
+        let mut to_skip = plan.offset;
+        for (_, row) in table.scan() {
+            if rows.len() == plan.limit {
+                break;
+            }
+            if let Some(p) = predicate {
+                let ctx = EvalContext::new(&plan.schema, row, params);
+                if !matches!(eval(p, &ctx)?, Value::Bool(true)) {
+                    continue;
+                }
+            }
+            if to_skip > 0 {
+                to_skip -= 1;
+                continue;
+            }
+            rows.push(plan.projection.iter().map(|&i| row[i].clone()).collect());
+        }
+    } else {
+        // Ordered: materialise the projected survivors, stable-sort on
+        // the projected key cells, then window.
+        for (_, row) in table.scan() {
+            if let Some(p) = predicate {
+                let ctx = EvalContext::new(&plan.schema, row, params);
+                if !matches!(eval(p, &ctx)?, Value::Bool(true)) {
+                    continue;
+                }
+            }
+            rows.push(plan.projection.iter().map(|&i| row[i].clone()).collect());
+        }
+        rows.sort_by(|a, b| {
+            for &(ix, ascending) in &plan.order {
+                let ord = a[ix].total_cmp(&b[ix]);
+                let ord = if ascending { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        rows = rows.into_iter().skip(plan.offset).take(plan.limit).collect();
+    }
+    Ok(Rowset { columns: plan.columns.clone(), rows })
+}
+
+/// The generic materialising pipeline (scan → filter → project → …).
+fn run_select_generic(
     select: &Select,
     storage: &Storage,
     params: &[Value],
@@ -1237,4 +1418,158 @@ pub fn run_create_index(
     table.create_index(IndexMeta { name: name.to_string(), column: ordinal, unique })?;
     undo.push(UndoEntry::CreateIndex { table: table_name.to_string(), index: name.to_string() });
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Database;
+    use crate::parser::parse_statement;
+    use dais_util::rng::SplitMix64;
+
+    /// A seeded table exercising every value shape the wire cares about:
+    /// NULLs, escaping-heavy strings, whitespace-edged and empty strings.
+    fn seeded_db(seed: u64, rows: usize) -> Database {
+        let mut rng = SplitMix64::new(seed);
+        let db = Database::new("prop");
+        db.execute(
+            "CREATE TABLE item (id INTEGER PRIMARY KEY, category INTEGER NOT NULL, \
+             price DOUBLE NOT NULL, label VARCHAR)",
+            &[],
+        )
+        .unwrap();
+        for id in 0..rows as i64 {
+            let category = rng.gen_range(0, 10) as i64;
+            let price = (rng.next_f64() * 1000.0 * 100.0).round() / 100.0;
+            let label = match rng.gen_range(0, 5) {
+                0 => Value::Null,
+                1 => Value::Str(format!("item <{id}> & \"co\"")),
+                2 => Value::Str(format!("  padded {id}  ")),
+                3 => Value::Str(String::new()),
+                _ => Value::Str(format!("plain-{id}")),
+            };
+            db.execute(
+                "INSERT INTO item VALUES (?, ?, ?, ?)",
+                &[Value::Int(id), Value::Int(category), Value::Double(price), label],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn select_of(sql: &str) -> Select {
+        match parse_statement(sql).unwrap() {
+            crate::ast::Stmt::Select(s) => s,
+            other => panic!("not a select: {other:?}"),
+        }
+    }
+
+    /// Property: for every pushdown-eligible query shape, the pushdown
+    /// plan returns row-for-row (and column-for-column) identical results
+    /// to the generic executor — across projections, predicates, orders
+    /// and paging windows, on seeded data with NULL-dense and
+    /// escaping-heavy cells.
+    #[test]
+    fn pushdown_matches_generic_executor() {
+        let db = seeded_db(0xDA15_0008, 97);
+        let projections =
+            ["*", "i.*", "id", "id, label", "label AS l, price, id", "category, category, PRICE"];
+        let predicates = [
+            "",
+            " WHERE category = 3",
+            " WHERE price > ? AND category < ?",
+            " WHERE label IS NULL",
+            " WHERE id BETWEEN 10 AND 40 AND label LIKE '%a%'",
+        ];
+        let orders = ["", " ORDER BY 1", " ORDER BY 1 DESC"];
+        let windows = ["", " LIMIT 7", " LIMIT 5 OFFSET 3", " OFFSET 91", " LIMIT 0"];
+        let params = [Value::Double(400.0), Value::Int(7)];
+
+        let mut pushed = 0usize;
+        for proj in projections {
+            for pred in predicates {
+                for order in orders {
+                    for window in windows {
+                        let sql = format!("SELECT {proj} FROM item i{pred}{order}{window}");
+                        let select = select_of(&sql);
+                        let args: &[Value] = if pred.contains('?') { &params } else { &[] };
+                        db.with_storage(|storage| {
+                            let generic = run_select_generic(&select, storage, args).unwrap();
+                            let fast = run_select(&select, storage, args).unwrap();
+                            assert_eq!(fast, generic, "divergence for {sql}");
+                            if plan_pushdown(&select, storage).is_some() {
+                                pushed += 1;
+                            }
+                        });
+                    }
+                }
+            }
+        }
+        // Every combination above is pushdown-eligible by construction.
+        assert_eq!(pushed, projections.len() * predicates.len() * orders.len() * windows.len());
+
+        // Named/aliased ORDER BY keys resolve against output columns.
+        for sql in [
+            "SELECT id, label FROM item ORDER BY label, id LIMIT 9",
+            "SELECT label AS l, price, id FROM item WHERE category = 2 ORDER BY price DESC, id",
+            "SELECT id, category FROM item ORDER BY CATEGORY DESC, 1 OFFSET 2",
+        ] {
+            let select = select_of(sql);
+            db.with_storage(|storage| {
+                assert!(plan_pushdown(&select, storage).is_some(), "not pushed: {sql}");
+                let generic = run_select_generic(&select, storage, &[]).unwrap();
+                let fast = run_select(&select, storage, &[]).unwrap();
+                assert_eq!(fast, generic, "divergence for {sql}");
+            });
+        }
+    }
+
+    /// Shapes the planner must refuse (and the refusal must not change
+    /// results): expressions, aggregates, DISTINCT, joins, source-row
+    /// ORDER BY, unions.
+    #[test]
+    fn ineligible_shapes_fall_back_to_generic() {
+        let db = seeded_db(0xDA15_0009, 31);
+        let ineligible = [
+            "SELECT id + 1 FROM item",
+            "SELECT COUNT(*) FROM item",
+            "SELECT DISTINCT category FROM item",
+            "SELECT category FROM item GROUP BY category",
+            "SELECT a.id FROM item a JOIN item b ON a.id = b.id",
+            "SELECT id FROM item ORDER BY price",
+            "SELECT label FROM item ORDER BY UPPER(label)",
+            "SELECT id FROM item UNION SELECT category FROM item",
+        ];
+        for sql in ineligible {
+            let select = select_of(sql);
+            db.with_storage(|storage| {
+                assert!(plan_pushdown(&select, storage).is_none(), "planner must refuse {sql}");
+                // And the dispatching entry point still answers correctly.
+                let via_dispatch = run_select(&select, storage, &[]).unwrap();
+                let direct = run_select_generic(&select, storage, &[]);
+                // UNION queries never reach run_select_generic whole; for
+                // the rest the two must agree exactly.
+                if select.unions.is_empty() {
+                    assert_eq!(via_dispatch, direct.unwrap(), "divergence for {sql}");
+                }
+            });
+        }
+    }
+
+    /// The planner refuses unresolvable names so the generic path can
+    /// raise its usual diagnostics.
+    #[test]
+    fn unresolvable_names_keep_generic_diagnostics() {
+        let db = seeded_db(0xDA15_000A, 5);
+        db.with_storage(|storage| {
+            let select = select_of("SELECT nope FROM item");
+            assert!(plan_pushdown(&select, storage).is_none());
+            let err = run_select(&select, storage, &[]).unwrap_err();
+            assert_eq!(err.kind, SqlErrorKind::UndefinedColumn);
+            let select = select_of("SELECT id FROM item ORDER BY 9");
+            assert!(plan_pushdown(&select, storage).is_none());
+            let err = run_select(&select, storage, &[]).unwrap_err();
+            assert!(err.message.contains("out of range"));
+        });
+    }
 }

@@ -60,10 +60,12 @@ pub mod parser;
 pub mod rowset;
 pub mod sqlcomm;
 pub mod storage;
+pub mod stream;
 pub mod value;
 
 pub use db::{Database, Session, StatementResult};
 pub use error::{SqlError, SqlErrorKind};
-pub use rowset::{Rowset, RowsetColumn};
+pub use rowset::{Rowset, RowsetColumn, RowsetWriter};
 pub use sqlcomm::SqlCommunicationArea;
+pub use stream::{RowRef, RowStream};
 pub use value::{SqlType, Value};

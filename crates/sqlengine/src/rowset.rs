@@ -7,7 +7,7 @@
 
 use crate::error::{SqlError, SqlErrorKind};
 use crate::value::{SqlType, Value};
-use dais_xml::{ns, QName, XmlElement, XmlSink, XmlWriter};
+use dais_xml::{ns, PullEvent, PullParser, QName, XmlElement, XmlSink, XmlWriter};
 use std::fmt::Write as _;
 
 /// A column of a result set.
@@ -103,74 +103,33 @@ impl Rowset {
     /// Stream the WebRowSet encoding through an [`XmlWriter`] — the wire
     /// fast lane for large `GetTuples` pages. Produces exactly the bytes
     /// the tree path (`to_xml` + serialise) would, but never builds the
-    /// intermediate element tree, and formats every cell through one
-    /// reusable scratch buffer instead of a fresh `String` per cell.
-    /// Element names are interned, so each row costs refcount bumps, not
-    /// name allocations.
+    /// intermediate element tree. Implemented on the incremental
+    /// [`RowsetWriter`], so every cursor-fed encoder shares this byte
+    /// shape by construction.
     pub fn write_into<S: XmlSink>(&self, w: &mut XmlWriter<'_, S>) {
-        let n_root = QName::new(ns::ROWSET, "wrs", "webRowSet");
-        let n_metadata = QName::new(ns::ROWSET, "wrs", "metadata");
-        let n_count = QName::new(ns::ROWSET, "wrs", "column-count");
-        let n_def = QName::new(ns::ROWSET, "wrs", "column-definition");
-        let n_index = QName::new(ns::ROWSET, "wrs", "column-index");
-        let n_name = QName::new(ns::ROWSET, "wrs", "column-name");
-        let n_type = QName::new(ns::ROWSET, "wrs", "column-type");
-        let n_data = QName::new(ns::ROWSET, "wrs", "data");
-        let n_row = QName::new(ns::ROWSET, "wrs", "currentRow");
-        let n_cell = QName::new(ns::ROWSET, "wrs", "columnValue");
-
-        let mut scratch = String::new();
-
-        w.start(&n_root);
-        w.start(&n_metadata);
-        w.start(&n_count);
-        scratch.clear();
-        let _ = write!(scratch, "{}", self.columns.len());
-        w.text(&scratch);
-        w.end();
-        for (i, c) in self.columns.iter().enumerate() {
-            w.start(&n_def);
-            w.start(&n_index);
-            scratch.clear();
-            let _ = write!(scratch, "{}", i + 1);
-            w.text(&scratch);
-            w.end();
-            w.start(&n_name);
-            w.text(&c.name);
-            w.end();
-            w.start(&n_type);
-            w.text(c.ty.name());
-            w.end();
-            w.end();
-        }
-        w.end();
-        w.start(&n_data);
+        let mut rw = RowsetWriter::new();
+        rw.begin(w, &self.columns);
         for row in &self.rows {
-            w.start(&n_row);
-            for value in row {
-                w.start(&n_cell);
-                if value.is_null() {
-                    w.attr("null", "true");
-                } else if let Value::Str(s) = value {
-                    // Values with leading/trailing whitespace (or that are
-                    // entirely whitespace) travel as an attribute, which
-                    // survives whitespace-stripping protocol parsers.
-                    if s.trim() != s || s.is_empty() {
-                        w.attr("value", s);
-                    } else {
-                        w.text(s);
-                    }
-                } else {
-                    scratch.clear();
-                    value.write_display_into(&mut scratch);
-                    w.text(&scratch);
-                }
-                w.end();
-            }
-            w.end();
+            rw.row(w, row);
         }
-        w.end();
-        w.end();
+        rw.finish(w);
+    }
+
+    /// Stream only the `[start, start + count)` row window — a
+    /// `GetTuples` page — without cloning a sub-rowset first. Bytes are
+    /// identical to `self.slice(start, count)` encoded whole.
+    pub fn write_window_into<S: XmlSink>(
+        &self,
+        start: usize,
+        count: usize,
+        w: &mut XmlWriter<'_, S>,
+    ) {
+        let mut rw = RowsetWriter::new();
+        rw.begin(w, &self.columns);
+        for row in self.rows.iter().skip(start).take(count) {
+            rw.row(w, row);
+        }
+        rw.finish(w);
     }
 
     /// Serialise the WebRowSet document straight to wire bytes, appended
@@ -180,6 +139,146 @@ impl Rowset {
         let mut w = XmlWriter::new(out);
         self.write_into(&mut w);
         w.finish();
+    }
+
+    /// Decode a WebRowSet document from a pull parser whose next event
+    /// is the `wrs:webRowSet` start tag — the zero-tree counterpart of
+    /// [`Rowset::from_xml`] for the client wire fast path. Consumes the
+    /// whole `webRowSet` subtree (including its end tag).
+    pub fn read_from_pull(p: &mut PullParser<'_>) -> Result<Rowset, SqlError> {
+        fn xml_err(e: dais_xml::XmlError) -> SqlError {
+            SqlError::new(SqlErrorKind::InvalidCast, format!("malformed webRowSet: {e}"))
+        }
+        match p.next().map_err(xml_err)? {
+            Some(PullEvent::Start { namespace, local })
+                if namespace.as_str() == ns::ROWSET && local == "webRowSet" => {}
+            other => {
+                return Err(SqlError::new(
+                    SqlErrorKind::InvalidCast,
+                    format!("expected wrs:webRowSet, found {other:?}"),
+                ))
+            }
+        }
+        let mut columns: Vec<RowsetColumn> = Vec::new();
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let mut scratch = String::new();
+        loop {
+            match p.next().map_err(xml_err)? {
+                Some(PullEvent::End) => break,
+                Some(PullEvent::Start { local: "metadata", .. }) => loop {
+                    match p.next().map_err(xml_err)? {
+                        Some(PullEvent::End) => break,
+                        Some(PullEvent::Start { local: "column-definition", .. }) => {
+                            let mut name: Option<String> = None;
+                            let mut ty_name = String::new();
+                            loop {
+                                match p.next().map_err(xml_err)? {
+                                    Some(PullEvent::End) => break,
+                                    Some(PullEvent::Start { local: "column-name", .. }) => {
+                                        scratch.clear();
+                                        p.text_content_into(&mut scratch).map_err(xml_err)?;
+                                        name = Some(scratch.clone());
+                                    }
+                                    Some(PullEvent::Start { local: "column-type", .. }) => {
+                                        ty_name.clear();
+                                        p.text_content_into(&mut ty_name).map_err(xml_err)?;
+                                    }
+                                    Some(PullEvent::Start { .. }) => {
+                                        p.skip_element().map_err(xml_err)?
+                                    }
+                                    Some(PullEvent::Text(_)) => {}
+                                    None => {
+                                        return Err(SqlError::new(
+                                            SqlErrorKind::InvalidCast,
+                                            "truncated column-definition",
+                                        ))
+                                    }
+                                }
+                            }
+                            let name = name.ok_or_else(|| {
+                                SqlError::new(SqlErrorKind::InvalidCast, "column without a name")
+                            })?;
+                            let ty = SqlType::parse(&ty_name).ok_or_else(|| {
+                                SqlError::new(
+                                    SqlErrorKind::InvalidCast,
+                                    format!("unknown column type '{ty_name}'"),
+                                )
+                            })?;
+                            columns.push(RowsetColumn { name, ty });
+                        }
+                        Some(PullEvent::Start { .. }) => p.skip_element().map_err(xml_err)?,
+                        Some(PullEvent::Text(_)) => {}
+                        None => {
+                            return Err(SqlError::new(
+                                SqlErrorKind::InvalidCast,
+                                "truncated metadata",
+                            ))
+                        }
+                    }
+                },
+                Some(PullEvent::Start { local: "data", .. }) => loop {
+                    match p.next().map_err(xml_err)? {
+                        Some(PullEvent::End) => break,
+                        Some(PullEvent::Start { local: "currentRow", .. }) => {
+                            let mut row = Vec::with_capacity(columns.len());
+                            loop {
+                                match p.next().map_err(xml_err)? {
+                                    Some(PullEvent::End) => break,
+                                    Some(PullEvent::Start { local: "columnValue", .. }) => {
+                                        let column = columns.get(row.len()).ok_or_else(|| {
+                                            SqlError::new(
+                                                SqlErrorKind::InvalidCast,
+                                                "row wider than metadata",
+                                            )
+                                        })?;
+                                        if p.attr("null") == Some("true") {
+                                            p.skip_element().map_err(xml_err)?;
+                                            row.push(Value::Null);
+                                        } else if let Some(v) = p.attr("value") {
+                                            let v = Value::parse_typed(v, column.ty)?;
+                                            p.skip_element().map_err(xml_err)?;
+                                            row.push(v);
+                                        } else {
+                                            scratch.clear();
+                                            p.text_content_into(&mut scratch).map_err(xml_err)?;
+                                            row.push(Value::parse_typed(&scratch, column.ty)?);
+                                        }
+                                    }
+                                    Some(PullEvent::Start { .. }) => {
+                                        p.skip_element().map_err(xml_err)?
+                                    }
+                                    Some(PullEvent::Text(_)) => {}
+                                    None => {
+                                        return Err(SqlError::new(
+                                            SqlErrorKind::InvalidCast,
+                                            "truncated currentRow",
+                                        ))
+                                    }
+                                }
+                            }
+                            if row.len() != columns.len() {
+                                return Err(SqlError::new(
+                                    SqlErrorKind::InvalidCast,
+                                    "row narrower than metadata",
+                                ));
+                            }
+                            rows.push(row);
+                        }
+                        Some(PullEvent::Start { .. }) => p.skip_element().map_err(xml_err)?,
+                        Some(PullEvent::Text(_)) => {}
+                        None => {
+                            return Err(SqlError::new(SqlErrorKind::InvalidCast, "truncated data"))
+                        }
+                    }
+                },
+                Some(PullEvent::Start { .. }) => p.skip_element().map_err(xml_err)?,
+                Some(PullEvent::Text(_)) => {}
+                None => {
+                    return Err(SqlError::new(SqlErrorKind::InvalidCast, "truncated webRowSet"))
+                }
+            }
+        }
+        Ok(Rowset { columns, rows })
     }
 
     /// Decode a WebRowSet XML document.
@@ -230,6 +329,121 @@ impl Rowset {
             }
         }
         Ok(rowset)
+    }
+}
+
+/// An incremental WebRowSet encoder: metadata up front, then one call
+/// per row, then the trailer. This is the zero-materialisation wire
+/// path — a cursor (or a page window over a held rowset) feeds cells
+/// straight into the sink without ever building `Vec<Vec<Value>>` or an
+/// element tree. Element names are interned once per writer and every
+/// numeric cell is formatted through one reusable scratch buffer, so
+/// the per-row cost is refcount bumps, not allocations.
+///
+/// [`Rowset::write_into`] is implemented on top of this type, which
+/// pins the byte shape: whatever a materialised rowset would serialise
+/// to, the incremental writer produces byte-for-byte.
+pub struct RowsetWriter {
+    n_root: QName,
+    n_metadata: QName,
+    n_count: QName,
+    n_def: QName,
+    n_index: QName,
+    n_name: QName,
+    n_type: QName,
+    n_data: QName,
+    n_row: QName,
+    n_cell: QName,
+    scratch: String,
+}
+
+impl RowsetWriter {
+    pub fn new() -> RowsetWriter {
+        RowsetWriter {
+            n_root: QName::new(ns::ROWSET, "wrs", "webRowSet"),
+            n_metadata: QName::new(ns::ROWSET, "wrs", "metadata"),
+            n_count: QName::new(ns::ROWSET, "wrs", "column-count"),
+            n_def: QName::new(ns::ROWSET, "wrs", "column-definition"),
+            n_index: QName::new(ns::ROWSET, "wrs", "column-index"),
+            n_name: QName::new(ns::ROWSET, "wrs", "column-name"),
+            n_type: QName::new(ns::ROWSET, "wrs", "column-type"),
+            n_data: QName::new(ns::ROWSET, "wrs", "data"),
+            n_row: QName::new(ns::ROWSET, "wrs", "currentRow"),
+            n_cell: QName::new(ns::ROWSET, "wrs", "columnValue"),
+            scratch: String::new(),
+        }
+    }
+
+    /// Open the document: root, the full metadata block, and the `data`
+    /// element, left open for [`row`](Self::row) calls.
+    pub fn begin<S: XmlSink>(&mut self, w: &mut XmlWriter<'_, S>, columns: &[RowsetColumn]) {
+        w.start(&self.n_root);
+        w.start(&self.n_metadata);
+        w.start(&self.n_count);
+        self.scratch.clear();
+        let _ = write!(self.scratch, "{}", columns.len());
+        w.text(&self.scratch);
+        w.end();
+        for (i, c) in columns.iter().enumerate() {
+            w.start(&self.n_def);
+            w.start(&self.n_index);
+            self.scratch.clear();
+            let _ = write!(self.scratch, "{}", i + 1);
+            w.text(&self.scratch);
+            w.end();
+            w.start(&self.n_name);
+            w.text(&c.name);
+            w.end();
+            w.start(&self.n_type);
+            w.text(c.ty.name());
+            w.end();
+            w.end();
+        }
+        w.end();
+        w.start(&self.n_data);
+    }
+
+    /// Encode one `currentRow` from any cell iterator — borrowed cursor
+    /// rows, slices of a held rowset, anything yielding `&Value`.
+    pub fn row<'v, S: XmlSink>(
+        &mut self,
+        w: &mut XmlWriter<'_, S>,
+        cells: impl IntoIterator<Item = &'v Value>,
+    ) {
+        w.start(&self.n_row);
+        for value in cells {
+            w.start(&self.n_cell);
+            if value.is_null() {
+                w.attr("null", "true");
+            } else if let Value::Str(s) = value {
+                // Values with leading/trailing whitespace (or that are
+                // entirely whitespace) travel as an attribute, which
+                // survives whitespace-stripping protocol parsers.
+                if s.trim() != s || s.is_empty() {
+                    w.attr("value", s);
+                } else {
+                    w.text(s);
+                }
+            } else {
+                self.scratch.clear();
+                value.write_display_into(&mut self.scratch);
+                w.text(&self.scratch);
+            }
+            w.end();
+        }
+        w.end();
+    }
+
+    /// Close the `data` element and the document root.
+    pub fn finish<S: XmlSink>(&mut self, w: &mut XmlWriter<'_, S>) {
+        w.end();
+        w.end();
+    }
+}
+
+impl Default for RowsetWriter {
+    fn default() -> Self {
+        RowsetWriter::new()
     }
 }
 
@@ -335,6 +549,60 @@ mod tests {
         rs.write_into(&mut w);
         w.finish();
         assert_eq!(streamed, dais_xml::to_string(&rs.to_xml()));
+    }
+
+    #[test]
+    fn window_writer_matches_sliced_rowset() {
+        let mut rs = Rowset::new(vec![RowsetColumn { name: "n".into(), ty: SqlType::Integer }]);
+        for i in 0..10 {
+            rs.rows.push(vec![Value::Int(i)]);
+        }
+        for (start, count) in [(0, 10), (3, 4), (8, 5), (20, 5), (0, 0)] {
+            let mut windowed = String::new();
+            let mut w = dais_xml::XmlWriter::new(&mut windowed);
+            rs.write_window_into(start, count, &mut w);
+            w.finish();
+            let mut sliced = String::new();
+            let mut w = dais_xml::XmlWriter::new(&mut sliced);
+            rs.slice(start, count).write_into(&mut w);
+            w.finish();
+            assert_eq!(windowed, sliced, "window ({start}, {count})");
+        }
+    }
+
+    #[test]
+    fn pull_decode_roundtrips_wire_bytes() {
+        let mut rs = sample();
+        // Attribute-form and NULL-dense rows exercise every cell shape.
+        rs.rows.push(vec![
+            Value::Int(3),
+            Value::Str("  padded  ".into()),
+            Value::Double(0.25),
+            Value::Bool(true),
+        ]);
+        rs.rows.push(vec![Value::Int(4), Value::Str(String::new()), Value::Null, Value::Null]);
+        let mut bytes = Vec::new();
+        rs.to_wire_bytes_into(&mut bytes);
+        let text = std::str::from_utf8(&bytes).unwrap();
+        let mut p = PullParser::new(text).unwrap();
+        assert_eq!(Rowset::read_from_pull(&mut p).unwrap(), rs);
+        // And it agrees with the tree decoder.
+        let mut p = PullParser::new(text).unwrap();
+        let pulled = Rowset::read_from_pull(&mut p).unwrap();
+        assert_eq!(pulled, Rowset::from_xml(&dais_xml::parse(text).unwrap()).unwrap());
+    }
+
+    #[test]
+    fn pull_decode_rejects_malformed_documents() {
+        for bad in [
+            "<x/>",
+            "<wrs:webRowSet xmlns:wrs='http://java.sun.com/xml/ns/jdbc'>\
+             <wrs:metadata><wrs:column-definition><wrs:column-type>INTEGER\
+             </wrs:column-type></wrs:column-definition></wrs:metadata></wrs:webRowSet>",
+        ] {
+            let mut p = PullParser::new(bad).unwrap();
+            assert!(Rowset::read_from_pull(&mut p).is_err(), "accepted {bad}");
+        }
     }
 
     #[test]

@@ -39,6 +39,7 @@
 pub mod name;
 pub mod node;
 pub mod parser;
+pub mod pull;
 pub mod writer;
 pub mod xpath;
 
@@ -46,6 +47,7 @@ pub use dais_util::intern::IStr;
 pub use name::QName;
 pub use node::{Attribute, XmlElement, XmlNode};
 pub use parser::{parse, parse_preserving, XmlError};
+pub use pull::{PullEvent, PullParser};
 pub use writer::{estimated_size, to_bytes_into, to_pretty_string, to_string, XmlSink, XmlWriter};
 pub use xpath::{XPathContext, XPathError, XPathExpr, XPathValue};
 

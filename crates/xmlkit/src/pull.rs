@@ -1,0 +1,664 @@
+//! A namespace-aware pull (event) parser.
+//!
+//! The tree parser in [`crate::parser`] materialises every element,
+//! attribute and text node before the caller sees any of them — the
+//! right shape for small protocol messages, and exactly the wrong shape
+//! for a 200 KB WebRowSet page whose cells are consumed once and
+//! discarded. [`PullParser`] walks the same grammar with the same
+//! lexing rules (borrowed names and text, entity rewriting only when an
+//! escape actually appears, flat namespace scope with truncation marks,
+//! [`crate::parser::MAX_DEPTH`] nesting cap) but yields a stream of
+//! [`PullEvent`]s instead of a tree: the caller decodes rows as the
+//! bytes stream past and nothing outlives its event.
+//!
+//! Whitespace-only text between elements is skipped, matching
+//! [`crate::parse`]; meaningful whitespace travels in attributes on the
+//! DAIS wire, so nothing is lost.
+
+use crate::parser::{XmlError, MAX_DEPTH};
+use dais_util::intern::{intern, IStr};
+use std::borrow::Cow;
+
+/// One parse event. `Start` carries the resolved namespace and the
+/// local name borrowed from the input; the element's attributes are
+/// available through [`PullParser::attr`] until the next event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PullEvent<'a> {
+    /// An element opened. For an empty element (`<x/>`), the matching
+    /// [`PullEvent::End`] is delivered by the next call.
+    Start { namespace: IStr, local: &'a str },
+    /// Character data (text or CDATA) inside the current element.
+    Text(Cow<'a, str>),
+    /// The most recently opened element closed.
+    End,
+}
+
+/// Namespace scope: flat `(prefix, uri)` bindings with per-element
+/// truncation marks — the same shape the tree parser uses.
+struct NsScope<'a> {
+    bindings: Vec<(&'a str, IStr)>,
+    marks: Vec<usize>,
+}
+
+impl<'a> NsScope<'a> {
+    fn new() -> Self {
+        NsScope {
+            bindings: vec![
+                ("xml", intern("http://www.w3.org/XML/1998/namespace")),
+                ("", IStr::default()),
+            ],
+            marks: Vec::new(),
+        }
+    }
+
+    fn push(&mut self) {
+        self.marks.push(self.bindings.len());
+    }
+
+    fn pop(&mut self) {
+        if let Some(mark) = self.marks.pop() {
+            self.bindings.truncate(mark);
+        }
+    }
+
+    fn declare(&mut self, prefix: &'a str, uri: IStr) {
+        self.bindings.push((prefix, uri));
+    }
+
+    fn resolve(&self, prefix: &str) -> Option<&IStr> {
+        self.bindings.iter().rev().find(|(p, _)| *p == prefix).map(|(_, u)| u)
+    }
+}
+
+/// The pull parser. Create with [`PullParser::new`], then drive with
+/// [`next`](Self::next) until it returns `Ok(None)` (document done).
+pub struct PullParser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    scope: NsScope<'a>,
+    /// Raw (prefixed) names of the open elements, for close-tag checks.
+    open: Vec<&'a str>,
+    /// The just-started element self-closed: deliver `End` next.
+    pending_end: bool,
+    /// The root element has closed; only trailing misc may remain.
+    done: bool,
+    /// Attributes of the most recent `Start`, raw names as written
+    /// (xmlns declarations excluded — they go into the scope).
+    attrs: Vec<(&'a str, Cow<'a, str>)>,
+}
+
+impl<'a> PullParser<'a> {
+    /// Start parsing a document; consumes the prolog immediately.
+    pub fn new(input: &'a str) -> Result<Self, XmlError> {
+        let mut p = PullParser {
+            text: input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            scope: NsScope::new(),
+            open: Vec::new(),
+            pending_end: false,
+            done: false,
+            attrs: Vec::new(),
+        };
+        p.skip_prolog()?;
+        Ok(p)
+    }
+
+    /// The next event, or `None` when the document is fully consumed.
+    /// Not `Iterator::next`: events borrow the input and errors must
+    /// surface per call, which the trait's signature cannot express.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<PullEvent<'a>>, XmlError> {
+        if self.pending_end {
+            self.pending_end = false;
+            self.scope.pop();
+            self.open.pop();
+            if self.open.is_empty() {
+                self.done = true;
+            }
+            return Ok(Some(PullEvent::End));
+        }
+        loop {
+            if self.done {
+                // Trailing misc: whitespace and comments only.
+                self.skip_ws();
+                if self.starts_with("<!--") {
+                    self.skip_comment()?;
+                    continue;
+                }
+                if self.pos != self.bytes.len() {
+                    return self.err("content after document element");
+                }
+                return Ok(None);
+            }
+            if self.starts_with("</") {
+                self.advance(2);
+                let close = self.parse_name()?;
+                let Some(expected) = self.open.pop() else {
+                    return self.err(format!("unmatched close tag </{close}>"));
+                };
+                if close != expected {
+                    return self.err(format!("mismatched close tag </{close}> for <{expected}>"));
+                }
+                self.skip_ws();
+                self.expect(b'>')?;
+                self.scope.pop();
+                if self.open.is_empty() {
+                    self.done = true;
+                }
+                return Ok(Some(PullEvent::End));
+            }
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+                continue;
+            }
+            if self.starts_with("<![CDATA[") {
+                self.advance(9);
+                let start = self.pos;
+                let Some(end) = self.find("]]>") else {
+                    self.pos = self.bytes.len();
+                    return self.err("unterminated CDATA section");
+                };
+                let text = &self.text[start..end];
+                self.pos = end + 3;
+                if self.open.is_empty() {
+                    return self.err("character data outside the document element");
+                }
+                return Ok(Some(PullEvent::Text(Cow::Borrowed(text))));
+            }
+            if self.peek() == Some(b'<') {
+                return self.parse_start_tag().map(Some);
+            }
+            if self.peek().is_none() {
+                return match self.open.last() {
+                    Some(name) => self.err(format!("unexpected end of input inside <{name}>")),
+                    None => self.err("unexpected end of input"),
+                };
+            }
+            let text = self.parse_text()?;
+            if self.open.is_empty() {
+                if text.trim().is_empty() {
+                    continue;
+                }
+                return self.err("character data outside the document element");
+            }
+            if text.trim().is_empty() {
+                continue;
+            }
+            return Ok(Some(PullEvent::Text(text)));
+        }
+    }
+
+    /// Look up an attribute of the most recent `Start` event by its raw
+    /// (as-written) name. Valid until the next call to `next`.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_ref())
+    }
+
+    /// Skip the rest of the current element: consumes events until the
+    /// `End` matching the most recent `Start` has been delivered.
+    pub fn skip_element(&mut self) -> Result<(), XmlError> {
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.next()? {
+                Some(PullEvent::Start { .. }) => depth += 1,
+                Some(PullEvent::End) => depth -= 1,
+                Some(PullEvent::Text(_)) => {}
+                None => return self.err("unexpected end of input while skipping an element"),
+            }
+        }
+        Ok(())
+    }
+
+    /// Accumulate the current element's character data into `out` and
+    /// consume its `End`. Child elements are rejected — this is for leaf
+    /// cells whose content is text only.
+    pub fn text_content_into(&mut self, out: &mut String) -> Result<(), XmlError> {
+        loop {
+            match self.next()? {
+                Some(PullEvent::Text(t)) => out.push_str(&t),
+                Some(PullEvent::End) => return Ok(()),
+                Some(PullEvent::Start { local, .. }) => {
+                    return self.err(format!("unexpected child element <{local}> in a text cell"))
+                }
+                None => return self.err("unexpected end of input in a text cell"),
+            }
+        }
+    }
+
+    // ---- Lexing (mirrors crate::parser's rules). ------------------------
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, XmlError> {
+        let upto = &self.bytes[..self.pos];
+        let line = 1 + upto.iter().filter(|&&b| b == b'\n').count();
+        let column = match upto.iter().rposition(|&b| b == b'\n') {
+            Some(nl) => self.pos - nl,
+            None => self.pos + 1,
+        };
+        Err(XmlError { message: msg.into(), line, column })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn find(&self, delim: &str) -> Option<usize> {
+        let d = delim.as_bytes();
+        self.bytes[self.pos..].windows(d.len()).position(|w| w == d).map(|i| self.pos + i)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), XmlError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn skip_prolog(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?xml") {
+                match self.find("?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => {
+                        self.pos = self.bytes.len();
+                        return self.err("unterminated XML declaration");
+                    }
+                }
+            } else if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<!DOCTYPE") {
+                return self.err("DOCTYPE is not supported");
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<(), XmlError> {
+        self.advance(4); // <!--
+        match self.find("-->") {
+            Some(end) => {
+                self.pos = end + 3;
+                Ok(())
+            }
+            None => {
+                self.pos = self.bytes.len();
+                self.err("unterminated comment")
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<&'a str, XmlError> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            let ok = if self.pos == start {
+                b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+            } else {
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80
+            };
+            if ok {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        Ok(&self.text[start..self.pos])
+    }
+
+    fn split_name(&self, raw: &'a str) -> Result<(&'a str, &'a str), XmlError> {
+        match raw.split_once(':') {
+            None => Ok(("", raw)),
+            Some((p, l)) if !p.is_empty() && !l.is_empty() && !l.contains(':') => Ok((p, l)),
+            _ => self.err(format!("malformed qualified name '{raw}'")),
+        }
+    }
+
+    fn parse_start_tag(&mut self) -> Result<PullEvent<'a>, XmlError> {
+        if self.open.len() >= MAX_DEPTH {
+            return self.err(format!("element nesting exceeds the maximum depth of {MAX_DEPTH}"));
+        }
+        self.expect(b'<')?;
+        let raw_name = self.parse_name()?;
+        self.scope.push();
+        self.attrs.clear();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') | Some(b'/') => break,
+                Some(_) => {
+                    let an = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect(b'=')?;
+                    self.skip_ws();
+                    let av = self.parse_attr_value()?;
+                    if an == "xmlns" {
+                        self.scope.declare("", intern(&av));
+                    } else if let Some(p) = an.strip_prefix("xmlns:") {
+                        if p.is_empty() {
+                            return self.err("empty namespace prefix declaration");
+                        }
+                        if av.is_empty() {
+                            return self.err("cannot bind a prefix to the empty namespace");
+                        }
+                        self.scope.declare(p, intern(&av));
+                    } else {
+                        if self.attrs.iter().any(|(n, _)| *n == an) {
+                            return self.err(format!("duplicate attribute '{an}'"));
+                        }
+                        self.attrs.push((an, av));
+                    }
+                }
+                None => return self.err("unexpected end of input in tag"),
+            }
+        }
+        let (prefix, local) = self.split_name(raw_name)?;
+        let namespace = match self.scope.resolve(prefix) {
+            Some(u) => u.clone(),
+            None => return self.err(format!("undeclared namespace prefix '{prefix}'")),
+        };
+        self.open.push(raw_name);
+        if self.peek() == Some(b'/') {
+            self.pos += 1;
+            self.expect(b'>')?;
+            self.pending_end = true;
+        } else {
+            self.expect(b'>')?;
+        }
+        Ok(PullEvent::Start { namespace, local })
+    }
+
+    fn parse_text(&mut self) -> Result<Cow<'a, str>, XmlError> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'<' => return Ok(Cow::Borrowed(&self.text[start..self.pos])),
+                b'&' => break,
+                _ => self.pos += 1,
+            }
+        }
+        if self.pos >= self.bytes.len() {
+            return Ok(Cow::Borrowed(&self.text[start..self.pos]));
+        }
+        let mut out = String::with_capacity(self.pos - start + 16);
+        out.push_str(&self.text[start..self.pos]);
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'<' => break,
+                b'&' => out.push(self.parse_entity()?),
+                _ => {
+                    let run = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'<' || b == b'&' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(&self.text[run..self.pos]);
+                }
+            }
+        }
+        Ok(Cow::Owned(out))
+    }
+
+    fn parse_attr_value(&mut self) -> Result<Cow<'a, str>, XmlError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.pos += 1;
+                q
+            }
+            _ => return self.err("expected quoted attribute value"),
+        };
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == quote {
+                let v = &self.text[start..self.pos];
+                self.pos += 1;
+                return Ok(Cow::Borrowed(v));
+            }
+            match b {
+                b'&' => break,
+                b'<' => return self.err("'<' is not allowed in attribute values"),
+                _ => self.pos += 1,
+            }
+        }
+        if self.pos >= self.bytes.len() {
+            return self.err("unterminated attribute value");
+        }
+        let mut out = String::with_capacity(self.pos - start + 16);
+        out.push_str(&self.text[start..self.pos]);
+        loop {
+            match self.peek() {
+                Some(b) if b == quote => {
+                    self.pos += 1;
+                    return Ok(Cow::Owned(out));
+                }
+                Some(b'&') => out.push(self.parse_entity()?),
+                Some(b'<') => return self.err("'<' is not allowed in attribute values"),
+                Some(_) => {
+                    let run = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == quote || b == b'&' || b == b'<' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(&self.text[run..self.pos]);
+                }
+                None => return self.err("unterminated attribute value"),
+            }
+        }
+    }
+
+    fn parse_entity(&mut self) -> Result<char, XmlError> {
+        self.expect(b'&')?;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b';' {
+                break;
+            }
+            if self.pos - start > 10 {
+                return self.err("unterminated entity reference");
+            }
+            self.pos += 1;
+        }
+        let name = &self.text[start..self.pos];
+        self.expect(b';')?;
+        match name {
+            "amp" => Ok('&'),
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "quot" => Ok('"'),
+            "apos" => Ok('\''),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                u32::from_str_radix(&name[2..], 16)
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or(())
+                    .or_else(|_| self.err(format!("invalid character reference &{name};")))
+            }
+            _ if name.starts_with('#') => name[1..]
+                .parse::<u32>()
+                .ok()
+                .and_then(char::from_u32)
+                .ok_or(())
+                .or_else(|_| self.err(format!("invalid character reference &{name};"))),
+            _ => self.err(format!("unknown entity &{name};")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(input: &str) -> Vec<String> {
+        let mut p = PullParser::new(input).unwrap();
+        let mut out = Vec::new();
+        while let Some(ev) = p.next().unwrap() {
+            out.push(match ev {
+                PullEvent::Start { namespace, local } => format!("<{namespace}|{local}"),
+                PullEvent::Text(t) => format!("'{t}'"),
+                PullEvent::End => ">".to_string(),
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn simple_event_stream() {
+        assert_eq!(drain("<r><a>1</a><b/></r>"), ["<|r", "<|a", "'1'", ">", "<|b", ">", ">"]);
+    }
+
+    #[test]
+    fn namespaces_resolve_and_scope() {
+        let evs = drain("<p:r xmlns:p='urn:a' xmlns='urn:d'><c/><p:c/></p:r>");
+        assert_eq!(evs, ["<urn:a|r", "<urn:d|c", ">", "<urn:a|c", ">", ">"]);
+    }
+
+    #[test]
+    fn attributes_are_available_after_start() {
+        let mut p = PullParser::new("<r a='1' b='x &amp; y'><c/></r>").unwrap();
+        assert!(matches!(p.next().unwrap(), Some(PullEvent::Start { .. })));
+        assert_eq!(p.attr("a"), Some("1"));
+        assert_eq!(p.attr("b"), Some("x & y"));
+        assert_eq!(p.attr("missing"), None);
+        // Attrs are replaced by the next Start.
+        assert!(matches!(p.next().unwrap(), Some(PullEvent::Start { .. })));
+        assert_eq!(p.attr("a"), None);
+    }
+
+    #[test]
+    fn entities_decode_in_text() {
+        assert_eq!(drain("<r>x &gt; y &#65;&#x42;</r>"), ["<|r", "'x > y AB'", ">"]);
+    }
+
+    #[test]
+    fn whitespace_between_elements_is_skipped() {
+        assert_eq!(drain("<r>\n  <a>x</a>\n</r>"), ["<|r", "<|a", "'x'", ">", ">"]);
+    }
+
+    #[test]
+    fn comments_and_cdata() {
+        assert_eq!(
+            drain("<!-- head --><r><!-- mid --><![CDATA[a<b]]></r><!-- tail -->"),
+            ["<|r", "'a<b'", ">"]
+        );
+    }
+
+    #[test]
+    fn skip_element_consumes_the_subtree() {
+        let mut p = PullParser::new("<r><skip><deep><er/>text</deep></skip><keep/></r>").unwrap();
+        p.next().unwrap(); // <r
+        p.next().unwrap(); // <skip
+        p.skip_element().unwrap();
+        match p.next().unwrap() {
+            Some(PullEvent::Start { local, .. }) => assert_eq!(local, "keep"),
+            other => panic!("expected <keep>, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_content_into_accumulates_across_entities() {
+        let mut p = PullParser::new("<r><c>a&amp;b</c></r>").unwrap();
+        p.next().unwrap(); // <r
+        p.next().unwrap(); // <c
+        let mut s = String::new();
+        p.text_content_into(&mut s).unwrap();
+        assert_eq!(s, "a&b");
+        assert!(matches!(p.next().unwrap(), Some(PullEvent::End))); // </r>
+        assert!(p.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        for bad in [
+            "<r><a></r></a>",
+            "<r a='1' a='2'/>",
+            "<p:r/>",
+            "<r>&nbsp;</r>",
+            "<r/><r/>",
+            "<!DOCTYPE r><r/>",
+            "<r",
+        ] {
+            let mut p = match PullParser::new(bad) {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            let mut errored = false;
+            for _ in 0..64 {
+                match p.next() {
+                    Err(_) => {
+                        errored = true;
+                        break;
+                    }
+                    Ok(None) => break,
+                    Ok(Some(_)) => {}
+                }
+            }
+            assert!(errored, "expected a parse error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_cap_holds() {
+        let mut doc = String::new();
+        for _ in 0..(MAX_DEPTH + 2) {
+            doc.push_str("<d>");
+        }
+        let mut p = PullParser::new(&doc).unwrap();
+        let mut errored = false;
+        for _ in 0..(MAX_DEPTH + 4) {
+            if let Err(e) = p.next() {
+                assert!(e.message.contains("depth"), "{e}");
+                errored = true;
+                break;
+            }
+        }
+        assert!(errored);
+    }
+
+    #[test]
+    fn agrees_with_the_tree_parser_on_wire_shaped_documents() {
+        // The streamed decoder and the tree parser must see the same
+        // logical content for the document shapes the wire produces.
+        let doc = "<w:root xmlns:w='urn:w'><w:row a='1'><w:cell>v &lt; 2</w:cell>\
+                   <w:cell null='true'/></w:row></w:root>";
+        let tree = crate::parse(doc).unwrap();
+        assert_eq!(
+            drain(doc),
+            [
+                "<urn:w|root",
+                "<urn:w|row",
+                "<urn:w|cell",
+                "'v < 2'",
+                ">",
+                "<urn:w|cell",
+                ">",
+                ">",
+                ">"
+            ]
+        );
+        assert_eq!(tree.name.local, "root");
+    }
+}

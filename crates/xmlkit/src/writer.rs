@@ -374,6 +374,20 @@ impl<'s, S: XmlSink> XmlWriter<'s, S> {
         w.write_element(element, &mut self.scope, 0);
     }
 
+    /// Splice pre-serialised markup into the stream verbatim (no
+    /// escaping). The fragment must be well-formed on its own and carry
+    /// its own namespace declarations: the surrounding scope is neither
+    /// consulted nor extended, so a fragment that relies on an outer
+    /// binding — or declares a prefix the enclosing document also uses
+    /// for a *different* URI — would serialise differently than the tree
+    /// writer. Wire-path fragments (WS-DAIR response bodies) are
+    /// self-contained, which is what makes envelope raw-body splicing
+    /// byte-identical.
+    pub fn raw(&mut self, fragment: &str) {
+        self.seal_tag();
+        self.out.push_str(fragment);
+    }
+
     /// Close the current element: `/>` if it had no content, `</name>`
     /// otherwise. Bindings it declared go out of scope.
     pub fn end(&mut self) {
