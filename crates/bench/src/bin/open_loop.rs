@@ -15,16 +15,31 @@
 //! to each tick and polls `Pending::is_ready` between ticks, so a
 //! completion is timestamped within the inter-arrival gap it lands in.
 //!
-//! `DAIS_BENCH_QUICK=1` shrinks the request counts and the rate sweep
-//! for CI smoke runs.
+//! Besides the markdown table, every run persists a machine-readable
+//! `BENCH_OPENLOOP.json` — per-step offered load / completed / shed /
+//! p50 / p99 plus the SLO engine's rolling-window report (each sweep
+//! step is ingested as one SLO "second") — which the CI `slo-gate` job
+//! compares against the checked-in baseline.
+//!
+//! Environment knobs:
+//! * `DAIS_BENCH_QUICK=1` shrinks the request counts and the rate sweep
+//!   for CI smoke runs.
+//! * `DAIS_OPENLOOP_JSON=<path>` redirects the JSON export (the CI gate
+//!   writes a fresh copy next to, not over, the checked-in baseline).
+//! * `DAIS_OPENLOOP_FLIGHT=<path>` turns the flight recorder on for the
+//!   sweep and writes the tail-retained traces plus the event journal
+//!   to `<path>` — the artifact CI uploads when the gate fails.
 
 use dais_bench::workload::populate_items;
 use dais_core::AbstractName;
 use dais_dair::{actions, messages, RelationalService, SqlClient};
+use dais_obs::{SloSample, TailPolicy};
 use dais_soap::envelope::Envelope;
 use dais_soap::{Bus, ExecutorConfig, Pending};
 use dais_sql::Database;
 use std::time::{Duration, Instant};
+
+const ADDR: &str = "bus://open";
 
 fn quick() -> bool {
     std::env::var_os("DAIS_BENCH_QUICK").is_some_and(|v| v != "0")
@@ -59,6 +74,7 @@ fn fmt_us(d: Duration) -> String {
 }
 
 struct RunResult {
+    rate: f64,
     completed: usize,
     shed: usize,
     p50: Duration,
@@ -81,7 +97,7 @@ fn drive(bus: &Bus, env: &Envelope, rate: f64, total: usize) -> RunResult {
             sweep(&mut in_flight, &mut latencies);
             std::hint::spin_loop();
         }
-        match bus.call_async("bus://open", actions::GET_TUPLES, env) {
+        match bus.call_async(ADDR, actions::GET_TUPLES, env) {
             Ok(pending) => in_flight.push((Instant::now(), pending)),
             Err(_) => shed += 1,
         }
@@ -92,11 +108,60 @@ fn drive(bus: &Bus, env: &Envelope, rate: f64, total: usize) -> RunResult {
     }
     latencies.sort_unstable();
     RunResult {
+        rate,
         completed: latencies.len(),
         shed,
         p50: percentile(&latencies, 0.50),
         p99: percentile(&latencies, 0.99),
     }
+}
+
+/// Persist the machine-readable export: the per-step sweep results and
+/// the SLO engine's rolling-window view of the endpoint.
+fn write_export(bus: &Bus, steps: &[RunResult], path: &str) -> std::io::Result<()> {
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"benchmark\": \"open_loop\",\n  \"quick\": {},\n", quick()));
+    json.push_str("  \"steps\": [\n");
+    for (i, r) in steps.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"offeredLoad\": {:.0}, \"completed\": {}, \"shed\": {}, \
+             \"p50Us\": {:.1}, \"p99Us\": {:.1}}}{}\n",
+            r.rate,
+            r.completed,
+            r.shed,
+            r.p50.as_secs_f64() * 1e6,
+            r.p99.as_secs_f64() * 1e6,
+            if i + 1 < steps.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    // The SLO engine's own JSON is a complete object; embed it under one
+    // key so the gate can follow burn rates and window percentiles too.
+    json.push_str("  \"slo\": ");
+    json.push_str(&bus.obs().slo.render_json());
+    json.push_str("}\n");
+    std::fs::write(path, json)?;
+    println!("\nwrote {path}");
+    Ok(())
+}
+
+/// Write the flight-recorder artifact: the tail-retained span trees and
+/// the full event journal, rendered deterministically.
+fn write_flight(bus: &Bus, path: &str) -> std::io::Result<()> {
+    let traces = bus.obs().tracer.take();
+    let journal = bus.obs().journal.take();
+    let mut out = String::from("# Open-loop flight recorder\n\n## Tail-retained traces\n\n```\n");
+    out.push_str(&traces.render_text());
+    out.push_str("```\n\n## Event journal\n\n```\n");
+    out.push_str(&journal.render_text());
+    out.push_str("```\n");
+    std::fs::write(path, out)?;
+    println!(
+        "wrote {path} ({} retained trace(s), {} event(s))",
+        traces.trace_ids().len(),
+        journal.len()
+    );
+    Ok(())
 }
 
 fn main() {
@@ -107,8 +172,8 @@ fn main() {
     let bus = Bus::new();
     let db = Database::new("open");
     populate_items(&db, 1000, 32);
-    let svc = RelationalService::launch(&bus, "bus://open", db, Default::default());
-    let client = SqlClient::new(bus.clone(), "bus://open");
+    let svc = RelationalService::launch(&bus, ADDR, db, Default::default());
+    let client = SqlClient::new(bus.clone(), ADDR);
     let epr = client
         .execute_factory(&svc.db_resource, "SELECT * FROM item ORDER BY id", &[], None, None)
         .expect("factory");
@@ -120,7 +185,20 @@ fn main() {
     bus.install_executor(ExecutorConfig::new(8).shards(1).queue_capacity(64).seed(0x09E7));
     // Warm caches, pools and the executor path before the timed sweeps.
     for _ in 0..8 {
-        bus.call("bus://open", actions::GET_TUPLES, &env).unwrap().unwrap();
+        bus.call(ADDR, actions::GET_TUPLES, &env).unwrap().unwrap();
+    }
+
+    let flight_path = std::env::var("DAIS_OPENLOOP_FLIGHT").ok();
+    if flight_path.is_some() {
+        bus.obs().journal.enable();
+        bus.obs().tracer.enable_tailed(
+            0x09E7,
+            TailPolicy {
+                latency_threshold_ns: 50_000_000,
+                keep_outcomes: true,
+                sample_per_million: 50_000,
+            },
+        );
     }
 
     let (rates, total): (&[f64], usize) = if quick() {
@@ -134,7 +212,9 @@ fn main() {
     );
     println!("| offered load | completed | shed | p50 | p99 |");
     println!("|---:|---:|---:|---:|---:|");
-    for &rate in rates {
+    let endpoint_key = format!("endpoint:{ADDR}");
+    let mut steps = Vec::with_capacity(rates.len());
+    for (i, &rate) in rates.iter().enumerate() {
         let r = drive(&bus, &env, rate, total);
         println!(
             "| {:.0}/s | {} | {} | {} | {} |",
@@ -145,11 +225,31 @@ fn main() {
             fmt_us(r.p99),
         );
         assert_eq!(r.completed + r.shed, total, "lost arrivals at {rate}/s");
+        // One SLO "second" per sweep step: the cumulative endpoint
+        // histogram plus the cumulative fault/shed counters, so the
+        // engine's 1 s window is the latest step and the 60 s window is
+        // the whole sweep — deterministic, wall-clock-free.
+        let stats = bus.endpoint_stats(ADDR);
+        let hist = bus.obs().metrics.snapshot().get(&endpoint_key).copied().unwrap_or_default();
+        bus.obs().slo.ingest(
+            i as u64,
+            &endpoint_key,
+            SloSample { hist, faults: stats.faults, shed: stats.shed },
+        );
+        steps.push(r);
     }
-    let stats = bus.endpoint_stats("bus://open");
+    let stats = bus.endpoint_stats(ADDR);
     println!(
         "\nEndpoint counters agree: {} exchange(s) shed with `Overloaded` across the sweep.",
         stats.shed
     );
+
+    let json_path = std::env::var("DAIS_OPENLOOP_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_OPENLOOP.json").to_string()
+    });
+    write_export(&bus, &steps, &json_path).expect("failed to persist the open-loop export");
+    if let Some(path) = flight_path {
+        write_flight(&bus, &path).expect("failed to persist the flight artifact");
+    }
     bus.shutdown_executor();
 }

@@ -1,0 +1,10 @@
+//! Fixture: a journal event named by a raw literal instead of an
+//! `event_names::` inventory constant.
+
+pub fn journal_a_thing(journal: &Journal, ctx: Option<TraceContext>) {
+    // Trips `event-name-literal`.
+    journal.event("rogue.event", 1, 2, 0);
+    // Constant-named events stay silent, on both emit forms.
+    journal.event(event_names::REQ_ADMIT, 1, 2, 0);
+    journal.event_ctx(event_names::REQ_DISPATCH, ctx, 0);
+}

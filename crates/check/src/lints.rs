@@ -616,6 +616,32 @@ pub fn run_lints<'a>(files: &'a [FileFacts], allowlist: &Allowlist) -> Vec<Viola
         );
     }
 
+    // `Journal::event`/`event_ctx` take `&'static str` names so the
+    // flight recorder's journal renders against the same closed
+    // vocabulary (`dais_obs::names::event_names`); a literal at the call
+    // site bypasses the inventory exactly like a literal span name.
+    // `event-name-literal:<file>` entries ratchet intentional exceptions.
+    const EVENT_LINT: &str = "event-name-literal";
+    for f in files {
+        let sites: Vec<RatchetSite> =
+            f.event_literal_sites.iter().map(|l| (l.line, l.value.clone())).collect();
+        ratchet_file(
+            &mut out,
+            allowlist,
+            EVENT_LINT,
+            "literal event name(s)",
+            consumed.entry(EVENT_LINT).or_default(),
+            f,
+            &sites,
+            &|_, _, name| {
+                format!(
+                    "journal event name `{name}` written as a literal at the call site; add it \
+                     to `dais_obs::names::event_names` and pass the constant"
+                )
+            },
+        );
+    }
+
     // A lock guard live across a `Bus::call`/`dispatch`/transport call
     // or socket I/O: the callee can block on a timeout, a full queue, or
     // a remote peer while every other contender of that lock waits — the

@@ -88,6 +88,9 @@ pub struct FileFacts {
     /// `.span("...")` / `.child_span("...")` calls whose name argument is
     /// a string literal instead of a `span_names::` inventory constant.
     pub span_literal_sites: Vec<Literal>,
+    /// `.event("...")` / `.event_ctx("...")` calls whose name argument is
+    /// a string literal instead of an `event_names::` inventory constant.
+    pub event_literal_sites: Vec<Literal>,
     /// Lines of `.dispatch(` calls (checked outside `crates/soap`, where
     /// every exchange must go through `Bus::call` and the executor path).
     pub dispatch_sites: Vec<usize>,
@@ -296,6 +299,18 @@ pub fn scan_file(root: &Path, rel_path: &Path, src: &str) -> FileFacts {
                         let name_tok = &tokens[i + 2];
                         facts
                             .span_literal_sites
+                            .push(Literal { value: name_tok.text.clone(), line: name_tok.line });
+                    }
+                    // `.event("...")` / `.event_ctx("...")` — a journal
+                    // event named by a literal instead of an inventory
+                    // constant from `event_names::`.
+                    if (tok.is_ident("event") || tok.is_ident("event_ctx"))
+                        && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+                        && tokens.get(i + 2).is_some_and(|t| t.kind == TokenKind::Str)
+                    {
+                        let name_tok = &tokens[i + 2];
+                        facts
+                            .event_literal_sites
                             .push(Literal { value: name_tok.text.clone(), line: name_tok.line });
                     }
                 }
@@ -804,6 +819,23 @@ mod tests {
         let f = scan("crates/alpha/src/tracing.rs", src);
         let names: Vec<&str> = f.span_literal_sites.iter().map(|l| l.value.as_str()).collect();
         assert_eq!(names, ["rogue.span", "rogue.child"]);
+    }
+
+    #[test]
+    fn event_literals_are_recorded_but_inventory_constants_are_not() {
+        let src = r#"
+            fn journaled(j: &Journal, ctx: Option<TraceContext>) {
+                j.event("rogue.event", 1, 2, 0);
+                j.event_ctx("rogue.ctx", ctx, 0);
+                j.event(event_names::REQ_ADMIT, 1, 2, 0);
+                j.event_ctx(event_names::REQ_DISPATCH, ctx, 0);
+            }
+            #[cfg(test)]
+            mod tests { fn t(j: &Journal) { j.event("test.only", 0, 0, 0); } }
+        "#;
+        let f = scan("crates/alpha/src/journal.rs", src);
+        let names: Vec<&str> = f.event_literal_sites.iter().map(|l| l.value.as_str()).collect();
+        assert_eq!(names, ["rogue.event", "rogue.ctx"]);
     }
 
     #[test]

@@ -136,6 +136,15 @@ fn trips_span_name_literal() {
 }
 
 #[test]
+fn trips_event_name_literal() {
+    let hits = assert_fires("event-name-literal", "alpha/src/journal.rs");
+    assert!(hits[0].2.contains("rogue.event"));
+    assert!(hits[0].2.contains("event_names"));
+    // The inventory-constant calls in the same fixture stay silent.
+    assert_eq!(hits.len(), 1);
+}
+
+#[test]
 fn trips_guard_across_dispatch() {
     let hits = assert_fires("guard-across-dispatch", "alpha/src/guards.rs");
     assert!(hits[0].2.contains("guard `guard`"), "{hits:?}");

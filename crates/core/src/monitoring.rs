@@ -12,7 +12,9 @@
 use crate::name::AbstractName;
 use crate::properties::{CoreProperties, ResourceManagementKind};
 use crate::resource::DataResource;
-use dais_obs::HistogramSnapshot;
+use dais_obs::metrics::ENDPOINT_PREFIX;
+use dais_obs::slo::SloReport;
+use dais_obs::{HistogramSnapshot, SloSample};
 use dais_soap::bus::Bus;
 use dais_xml::XmlElement;
 use std::any::Any;
@@ -82,11 +84,56 @@ impl MonitoringResource {
         ledger.set_attr("delays", injected.delays.to_string());
         root.push(ledger);
 
-        for (key, snapshot) in self.bus.obs().metrics.snapshot() {
-            root.push(histogram_element(&key, &snapshot));
+        let snapshots = self.bus.obs().metrics.snapshot();
+        for (key, snapshot) in &snapshots {
+            root.push(histogram_element(key, snapshot));
+        }
+
+        // Service levels: rendering the document IS the sampling tick.
+        // Each metrics key gets one cumulative sample (the SLO engine
+        // turns consecutive samples into per-second delta frames); the
+        // fault and shed counters only exist per endpoint, so only this
+        // resource's endpoint key carries them — action and connection
+        // keys are latency-only.
+        let slo = &self.bus.obs().slo;
+        let endpoint_key = format!("{ENDPOINT_PREFIX}{}", self.address);
+        for (key, snapshot) in &snapshots {
+            let (faults, shed) =
+                if *key == endpoint_key { (stats.faults, stats.shed) } else { (0, 0) };
+            slo.observe(key, SloSample { hist: *snapshot, faults, shed });
+        }
+        for report in slo.reports() {
+            root.push(service_level_element(&report));
         }
         root
     }
+}
+
+/// The `mon:ServiceLevel` element: one per metrics key, carrying the
+/// engine's objective, the multi-window burn-alert verdict, and one
+/// `mon:Window` child per rolling window.
+fn service_level_element(report: &SloReport) -> XmlElement {
+    let mut sl = mon("ServiceLevel");
+    sl.set_attr("key", report.key.clone());
+    sl.set_attr("targetP99Ns", report.objective.target_p99_ns.to_string());
+    sl.set_attr("maxErrorRate", report.objective.max_error_rate.to_string());
+    sl.set_attr("maxShedRate", report.objective.max_shed_rate.to_string());
+    sl.set_attr("burnAlert", report.burn_alert().to_string());
+    for w in &report.windows {
+        let mut win = mon("Window");
+        win.set_attr("seconds", w.window_s.to_string());
+        win.set_attr("completed", w.completed.to_string());
+        win.set_attr("faults", w.faults.to_string());
+        win.set_attr("shed", w.shed.to_string());
+        win.set_attr("p99Ns", w.p99_ns.to_string());
+        win.set_attr("errorRate", format!("{:.6}", w.error_rate));
+        win.set_attr("shedRate", format!("{:.6}", w.shed_rate));
+        win.set_attr("errorBurn", format!("{:.3}", w.error_burn));
+        win.set_attr("shedBurn", format!("{:.3}", w.shed_burn));
+        win.set_attr("p99Breached", w.p99_breached.to_string());
+        sl.push(win);
+    }
+    sl
 }
 
 fn histogram_element(key: &str, snapshot: &HistogramSnapshot) -> XmlElement {
@@ -202,6 +249,30 @@ mod tests {
         let queue = monitoring.children_named(MON_NS, "Queue").next().unwrap();
         assert_eq!(queue.attribute("peakDepth"), Some("1"));
         bus.shutdown_executor();
+    }
+
+    #[test]
+    fn document_reports_service_levels() {
+        let bus = traffic_bus();
+        let resource = make(&bus);
+        // First render primes the engine (cumulative baseline), the
+        // second render turns the traffic into frames.
+        resource.property_document();
+        let doc = resource.property_document();
+        let monitoring = doc.children_named(MON_NS, "BusMonitoring").next().unwrap();
+        let levels: Vec<_> = monitoring.children_named(MON_NS, "ServiceLevel").collect();
+        assert_eq!(levels.len(), 2, "endpoint + action service levels");
+        for level in levels {
+            assert_eq!(level.attribute("burnAlert"), Some("false"));
+            assert_eq!(level.attribute("targetP99Ns"), Some("50000000"));
+            let windows: Vec<_> = level.children_named(MON_NS, "Window").collect();
+            assert_eq!(windows.len(), 3, "1 s / 10 s / 60 s windows");
+            let w60 = windows.last().unwrap();
+            assert_eq!(w60.attribute("seconds"), Some("60"));
+            assert_eq!(w60.attribute("completed"), Some("3"));
+            assert_eq!(w60.attribute("faults"), Some("0"));
+            assert_eq!(w60.attribute("p99Breached"), Some("false"));
+        }
     }
 
     #[test]

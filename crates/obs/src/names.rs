@@ -1,10 +1,13 @@
-//! The span-name inventory.
+//! The span-name and journal-event-name inventories.
 //!
 //! Every span the stack opens is named here, mirroring how SOAP action
 //! URIs live in per-crate `mod actions` inventories. The `dais-check`
 //! lint `span-name-literal` flags span-opening call sites that pass a
 //! raw string literal instead of one of these constants, so the full
-//! vocabulary of a trace is readable in one place.
+//! vocabulary of a trace is readable in one place. The flight-recorder
+//! journal has the same discipline: [`event_names`] is the complete
+//! vocabulary of [`crate::journal::Journal`] records, and the
+//! `event-name-literal` lint rejects ad-hoc literals at emission sites.
 
 pub mod span_names {
     /// Consumer-side root: one logical request through `ServiceClient`,
@@ -46,19 +49,110 @@ pub mod span_names {
     ];
 }
 
+pub mod event_names {
+    //! The journal-event vocabulary: one constant per request-lifecycle
+    //! moment the flight recorder can witness. Each event carries a
+    //! single `u64` argument whose meaning is fixed per name (see
+    //! [`arg_label`]); arguments that measure wall-clock time are elided
+    //! by the deterministic journal renderer ([`arg_is_timing`]).
+
+    /// A request entered `Bus::call` / `call_async` and passed endpoint
+    /// resolution. Argument: execution mode (0 inline, 1 queued).
+    pub const REQ_ADMIT: &str = "req.admit";
+    /// The service-side dispatch ran. Argument: serialised request
+    /// bytes handed to the handler's parser.
+    pub const REQ_DISPATCH: &str = "req.dispatch";
+    /// An exchange ended in an error or SOAP fault. Argument: the
+    /// retry-layer cause code (`dais_soap::retry::cause_code`).
+    pub const REQ_FAULT: &str = "req.fault";
+    /// The client retry loop re-sent a request. Argument: the attempt
+    /// number of the re-send (2 = first retry).
+    pub const REQ_RETRY: &str = "req.retry";
+    /// The executor admitted a request into a work queue. Argument:
+    /// queue depth observed after the enqueue.
+    pub const QUEUE_ENQUEUE: &str = "queue.enqueue";
+    /// A worker picked the request off its queue. Argument: queued wait
+    /// in nanoseconds (timing — elided by the text renderer).
+    pub const QUEUE_DEQUEUE: &str = "queue.dequeue";
+    /// Bounded admission refused the request with `Overloaded`.
+    /// Argument: queue depth observed at refusal.
+    pub const QUEUE_SHED: &str = "queue.shed";
+    /// A serialised request left for a non-local transport, or a
+    /// response frame was written back by the TCP server. Argument:
+    /// payload bytes written.
+    pub const WIRE_WRITE: &str = "wire.write";
+    /// A response arrived from a non-local transport, or a request
+    /// frame reached the TCP server. Argument: payload bytes read.
+    pub const WIRE_READ: &str = "wire.read";
+
+    /// Every name above, for conformance checks.
+    pub const ALL: &[&str] = &[
+        REQ_ADMIT,
+        REQ_DISPATCH,
+        REQ_FAULT,
+        REQ_RETRY,
+        QUEUE_ENQUEUE,
+        QUEUE_DEQUEUE,
+        QUEUE_SHED,
+        WIRE_WRITE,
+        WIRE_READ,
+    ];
+
+    /// The label the renderers print for an event's argument.
+    pub fn arg_label(name: &str) -> &'static str {
+        match name {
+            REQ_ADMIT => "mode",
+            REQ_DISPATCH => "bytes",
+            REQ_FAULT => "cause",
+            REQ_RETRY => "attempt",
+            QUEUE_ENQUEUE => "depth",
+            QUEUE_DEQUEUE => "waitNs",
+            QUEUE_SHED => "depth",
+            WIRE_WRITE => "bytes",
+            WIRE_READ => "bytes",
+            _ => "arg",
+        }
+    }
+
+    /// Does the argument measure wall-clock time? Timing arguments are
+    /// real but nondeterministic, so the deterministic text renderer
+    /// elides their values (the same rule spans apply to durations).
+    pub fn arg_is_timing(name: &str) -> bool {
+        name == QUEUE_DEQUEUE
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::span_names::ALL;
+    use super::{event_names, span_names};
 
     #[test]
     fn inventory_is_unique_and_sorted_per_layer() {
         let mut seen = std::collections::BTreeSet::new();
-        for name in ALL {
+        for name in span_names::ALL {
             assert!(seen.insert(*name), "duplicate span name {name}");
             assert!(
                 name.chars().all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'),
                 "span name '{name}' breaks the lowercase dotted convention"
             );
+        }
+    }
+
+    #[test]
+    fn event_inventory_is_unique_and_fully_described() {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in event_names::ALL {
+            assert!(seen.insert(*name), "duplicate event name {name}");
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'),
+                "event name '{name}' breaks the lowercase dotted convention"
+            );
+            assert_ne!(event_names::arg_label(name), "arg", "event '{name}' has no argument label");
+        }
+        // Span names and event names never collide: a journal line and a
+        // trace node can always be told apart by name alone.
+        for name in span_names::ALL {
+            assert!(!seen.contains(name), "'{name}' is both a span and an event");
         }
     }
 }

@@ -35,6 +35,12 @@ impl TraceSink {
         self.spans.iter().find(|s| s.name == name)
     }
 
+    /// The distinct trace ids present, in ascending id order — under
+    /// tail retention, the set of traces that survived.
+    pub fn trace_ids(&self) -> std::collections::BTreeSet<u64> {
+        self.spans.iter().map(|s| s.trace_id).collect()
+    }
+
     /// Deterministic tree rendering (ids normalised, durations elided).
     pub fn render_text(&self) -> String {
         let mut spans: Vec<&Span> = self.spans.iter().collect();

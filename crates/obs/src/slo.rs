@@ -1,0 +1,462 @@
+//! The SLO engine: rolling-window service-level objectives computed
+//! from the log₂ latency histograms, with burn-rate alerts.
+//!
+//! The metrics registry accumulates *cumulative* histograms and the bus
+//! keeps *cumulative* fault/shed counters; this module turns periodic
+//! samples of those into per-second deltas ("frames") and answers the
+//! operational questions over rolling windows of 1 s, 10 s, and 60 s:
+//! what is the p99, what fraction of exchanges faulted, what fraction
+//! of arrivals were shed — and how fast is each error budget burning.
+//!
+//! # Window math
+//!
+//! Each [`SloEngine::ingest`] call carries a cumulative picture for one
+//! key at one (integer) second. The engine subtracts the previous
+//! cumulative picture to get the delta frame for that second, keeps the
+//! most recent 60 frames per key, and computes a window of width `w` by
+//! merging the frames with `second > latest - w`. Percentiles come from
+//! the merged bucket counts exactly as for a live histogram, so a
+//! window p99 has the same ±2× bucket-width guarantee.
+//!
+//! # Burn rate
+//!
+//! For an objective "error rate ≤ B" the burn rate over a window is
+//! `observed_rate / B`: 1.0 means the budget is being spent exactly as
+//! fast as it accrues, 10 means the budget dies in a tenth of its
+//! period. The classic multi-window alert fires when both a fast and a
+//! slow window burn hot — the fast window proves it is happening *now*,
+//! the slow one proves it is not a blip; [`SloReport::burn_alert`]
+//! implements that over the 1 s and 60 s windows.
+//!
+//! Everything is deterministic given the ingested samples: tests drive
+//! [`SloEngine::ingest`] with explicit seconds, the runtime path
+//! ([`SloEngine::observe`]) stamps samples with elapsed wall-clock
+//! seconds since the engine was created.
+
+use crate::hist::HistogramSnapshot;
+use dais_util::sync::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The rolling windows, in seconds, shortest first.
+pub const WINDOWS_S: [u64; 3] = [1, 10, 60];
+
+/// Per-key service-level objectives. One set per engine: the bus's
+/// promise, not the caller's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloObjective {
+    /// p99 latency promise (ns).
+    pub target_p99_ns: u64,
+    /// Fault budget: tolerated fraction of completed exchanges ending
+    /// in an error or SOAP fault.
+    pub max_error_rate: f64,
+    /// Shed budget: tolerated fraction of arrivals refused by bounded
+    /// admission.
+    pub max_shed_rate: f64,
+}
+
+impl Default for SloObjective {
+    fn default() -> Self {
+        // 50 ms p99, three nines on faults, 1 % shed: loose enough for
+        // CI machines, tight enough that a real regression trips it.
+        SloObjective { target_p99_ns: 50_000_000, max_error_rate: 0.001, max_shed_rate: 0.01 }
+    }
+}
+
+/// One cumulative observation of a key: the histogram plus the outcome
+/// counters that never enter a histogram.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SloSample {
+    pub hist: HistogramSnapshot,
+    pub faults: u64,
+    pub shed: u64,
+}
+
+/// One second's delta for a key.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    second: u64,
+    hist: HistogramSnapshot,
+    faults: u64,
+    shed: u64,
+}
+
+#[derive(Default)]
+struct KeyState {
+    last: Option<SloSample>,
+    frames: VecDeque<Frame>,
+}
+
+impl KeyState {
+    /// Fold a new cumulative sample in as the delta frame for `second`.
+    fn ingest(&mut self, second: u64, sample: SloSample) {
+        let delta = match &self.last {
+            // Counters are monotonic per process; a smaller count means
+            // the source was reset, so the cumulative IS the delta.
+            Some(last) if sample.hist.count >= last.hist.count => {
+                let mut hist = sample.hist;
+                for (b, o) in hist.buckets.iter_mut().zip(last.hist.buckets.iter()) {
+                    *b = b.saturating_sub(*o);
+                }
+                hist.count = sample.hist.count - last.hist.count;
+                hist.sum = sample.hist.sum.saturating_sub(last.hist.sum);
+                Frame {
+                    second,
+                    hist,
+                    faults: sample.faults.saturating_sub(last.faults),
+                    shed: sample.shed.saturating_sub(last.shed),
+                }
+            }
+            _ => Frame { second, hist: sample.hist, faults: sample.faults, shed: sample.shed },
+        };
+        self.last = Some(sample);
+        match self.frames.back_mut() {
+            Some(back) if back.second == second => {
+                back.hist.merge(&delta.hist);
+                back.faults += delta.faults;
+                back.shed += delta.shed;
+            }
+            _ => self.frames.push_back(delta),
+        }
+        let horizon = second.saturating_sub(WINDOWS_S[WINDOWS_S.len() - 1] - 1);
+        while self.frames.front().is_some_and(|f| f.second < horizon) {
+            self.frames.pop_front();
+        }
+    }
+
+    fn window(&self, width_s: u64, objective: &SloObjective) -> WindowReport {
+        let latest = self.frames.back().map(|f| f.second).unwrap_or(0);
+        let from = latest.saturating_sub(width_s - 1);
+        let mut hist = HistogramSnapshot::default();
+        let mut faults = 0u64;
+        let mut shed = 0u64;
+        for f in self.frames.iter().filter(|f| f.second >= from) {
+            hist.merge(&f.hist);
+            faults += f.faults;
+            shed += f.shed;
+        }
+        let completed = hist.count;
+        let arrivals = completed + shed;
+        let error_rate = if completed > 0 { faults as f64 / completed as f64 } else { 0.0 };
+        let shed_rate = if arrivals > 0 { shed as f64 / arrivals as f64 } else { 0.0 };
+        WindowReport {
+            window_s: width_s,
+            completed,
+            faults,
+            shed,
+            p99_ns: hist.percentile(0.99),
+            error_rate,
+            shed_rate,
+            p99_breached: completed > 0 && hist.percentile(0.99) > objective.target_p99_ns,
+            error_burn: burn(error_rate, objective.max_error_rate),
+            shed_burn: burn(shed_rate, objective.max_shed_rate),
+        }
+    }
+}
+
+/// Budget-burn multiple: observed rate over budgeted rate. A zero
+/// budget burns infinitely hot the moment anything goes wrong.
+fn burn(rate: f64, budget: f64) -> f64 {
+    if rate == 0.0 {
+        0.0
+    } else if budget <= 0.0 {
+        f64::INFINITY
+    } else {
+        rate / budget
+    }
+}
+
+/// One rolling window's view of one key.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowReport {
+    pub window_s: u64,
+    pub completed: u64,
+    pub faults: u64,
+    pub shed: u64,
+    pub p99_ns: u64,
+    pub error_rate: f64,
+    pub shed_rate: f64,
+    pub p99_breached: bool,
+    pub error_burn: f64,
+    pub shed_burn: f64,
+}
+
+/// Every window for one key, plus the alert verdicts.
+#[derive(Debug, Clone)]
+pub struct SloReport {
+    pub key: String,
+    pub objective: SloObjective,
+    pub windows: Vec<WindowReport>,
+}
+
+impl SloReport {
+    fn window(&self, width_s: u64) -> Option<&WindowReport> {
+        self.windows.iter().find(|w| w.window_s == width_s)
+    }
+
+    /// The multi-window burn alert: the fast (1 s) *and* slow (60 s)
+    /// windows are both burning budget faster than it accrues, for
+    /// either the fault or the shed budget.
+    pub fn burn_alert(&self) -> bool {
+        let (Some(fast), Some(slow)) =
+            (self.window(WINDOWS_S[0]), self.window(WINDOWS_S[WINDOWS_S.len() - 1]))
+        else {
+            return false;
+        };
+        (fast.error_burn >= 1.0 && slow.error_burn >= 1.0)
+            || (fast.shed_burn >= 1.0 && slow.shed_burn >= 1.0)
+    }
+
+    /// Any objective violated in any window (latency included).
+    pub fn breached(&self) -> bool {
+        self.burn_alert() || self.windows.iter().any(|w| w.p99_breached)
+    }
+}
+
+struct SloEngineInner {
+    objective: Mutex<SloObjective>,
+    created: Instant,
+    keys: Mutex<BTreeMap<String, KeyState>>,
+}
+
+/// The per-bus SLO engine. Cheap to clone (shared state); holds one
+/// objective and a 60-second frame history per key.
+#[derive(Clone)]
+pub struct SloEngine {
+    inner: Arc<SloEngineInner>,
+}
+
+impl Default for SloEngine {
+    fn default() -> Self {
+        SloEngine {
+            inner: Arc::new(SloEngineInner {
+                objective: Mutex::new(SloObjective::default()),
+                created: Instant::now(),
+                keys: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+}
+
+impl SloEngine {
+    pub fn new(objective: SloObjective) -> SloEngine {
+        let engine = SloEngine::default();
+        *engine.inner.objective.lock() = objective;
+        engine
+    }
+
+    pub fn objective(&self) -> SloObjective {
+        *self.inner.objective.lock()
+    }
+
+    pub fn set_objective(&self, objective: SloObjective) {
+        *self.inner.objective.lock() = objective;
+    }
+
+    /// Ingest a cumulative sample for `key` at an explicit second —
+    /// the deterministic entry point tests and the open-loop driver
+    /// use. Seconds must not decrease per key.
+    pub fn ingest(&self, second: u64, key: &str, sample: SloSample) {
+        let mut keys = self.inner.keys.lock();
+        keys.entry(key.to_string()).or_default().ingest(second, sample);
+    }
+
+    /// Ingest a cumulative sample stamped with wall-clock seconds since
+    /// the engine was created — the runtime path the monitoring
+    /// document uses.
+    pub fn observe(&self, key: &str, sample: SloSample) {
+        let second = self.inner.created.elapsed().as_secs();
+        self.ingest(second, key, sample);
+    }
+
+    /// The rolling-window report for one key, if it has any history.
+    pub fn report(&self, key: &str) -> Option<SloReport> {
+        let objective = self.objective();
+        let keys = self.inner.keys.lock();
+        let state = keys.get(key)?;
+        Some(SloReport {
+            key: key.to_string(),
+            objective,
+            windows: WINDOWS_S.iter().map(|w| state.window(*w, &objective)).collect(),
+        })
+    }
+
+    /// Reports for every key with history, in key order.
+    pub fn reports(&self) -> Vec<SloReport> {
+        let objective = self.objective();
+        let keys = self.inner.keys.lock();
+        keys.iter()
+            .map(|(key, state)| SloReport {
+                key: key.clone(),
+                objective,
+                windows: WINDOWS_S.iter().map(|w| state.window(*w, &objective)).collect(),
+            })
+            .collect()
+    }
+
+    /// The whole engine as machine-readable JSON: the objective and one
+    /// entry per key with every rolling window.
+    pub fn render_json(&self) -> String {
+        let objective = self.objective();
+        let mut out = String::from("{\n  \"objective\": ");
+        out.push_str(&format!(
+            "{{\"targetP99Ns\": {}, \"maxErrorRate\": {}, \"maxShedRate\": {}}},\n",
+            objective.target_p99_ns, objective.max_error_rate, objective.max_shed_rate
+        ));
+        out.push_str("  \"serviceLevels\": [");
+        for (i, report) in self.reports().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"key\": \"{}\", \"burnAlert\": {}, \"windows\": [",
+                report.key,
+                report.burn_alert()
+            ));
+            for (j, w) in report.windows.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "\n      {{\"seconds\": {}, \"completed\": {}, \"faults\": {}, \
+                     \"shed\": {}, \"p99Ns\": {}, \"errorRate\": {:.6}, \
+                     \"shedRate\": {:.6}, \"errorBurn\": {:.3}, \"shedBurn\": {:.3}, \
+                     \"p99Breached\": {}}}",
+                    w.window_s,
+                    w.completed,
+                    w.faults,
+                    w.shed,
+                    w.p99_ns,
+                    w.error_rate,
+                    w.shed_rate,
+                    w.error_burn,
+                    w.shed_burn,
+                    w.p99_breached
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    fn sample(latencies_ns: &[u64], faults: u64, shed: u64) -> SloSample {
+        let h = Histogram::new();
+        for l in latencies_ns {
+            h.record(*l);
+        }
+        SloSample { hist: h.snapshot(), faults, shed }
+    }
+
+    #[test]
+    fn windows_merge_the_right_frames() {
+        let e = SloEngine::default();
+        // Second 0: 4 fast exchanges. Second 5: 4 slow ones.
+        e.ingest(0, "endpoint:bus://a", sample(&[1_000, 1_000, 1_000, 1_000], 0, 0));
+        e.ingest(
+            5,
+            "endpoint:bus://a",
+            sample(
+                &[1_000, 1_000, 1_000, 1_000, 80_000_000, 80_000_000, 80_000_000, 80_000_000],
+                0,
+                0,
+            ),
+        );
+        let r = e.report("endpoint:bus://a").unwrap();
+        let w1 = r.window(1).unwrap();
+        assert_eq!(w1.completed, 4, "1 s window sees only the latest second's delta");
+        assert!(w1.p99_ns >= 80_000_000, "the latest second was slow");
+        assert!(w1.p99_breached, "80 ms blows the 50 ms objective");
+        let w60 = r.window(60).unwrap();
+        assert_eq!(w60.completed, 8, "60 s window sees both frames");
+    }
+
+    #[test]
+    fn deltas_come_from_cumulative_counters() {
+        let e = SloEngine::default();
+        e.ingest(0, "k", sample(&[100], 1, 2));
+        // The same histogram again plus one new observation: the frame
+        // for second 1 must hold exactly the new observation.
+        e.ingest(1, "k", sample(&[100, 200], 1, 5));
+        let r = e.report("k").unwrap();
+        assert_eq!(r.window(1).unwrap().completed, 1);
+        assert_eq!(r.window(1).unwrap().faults, 0);
+        assert_eq!(r.window(1).unwrap().shed, 3);
+        assert_eq!(r.window(60).unwrap().completed, 2);
+        assert_eq!(r.window(60).unwrap().shed, 5);
+    }
+
+    #[test]
+    fn counter_reset_is_treated_as_a_fresh_delta() {
+        let e = SloEngine::default();
+        e.ingest(0, "k", sample(&[100, 100, 100], 0, 0));
+        // Source reset: smaller cumulative count than before.
+        e.ingest(1, "k", sample(&[100], 0, 0));
+        let r = e.report("k").unwrap();
+        assert_eq!(r.window(1).unwrap().completed, 1);
+        assert_eq!(r.window(60).unwrap().completed, 4);
+    }
+
+    #[test]
+    fn old_frames_age_out_of_the_horizon() {
+        let e = SloEngine::default();
+        e.ingest(0, "k", sample(&[100], 0, 0));
+        e.ingest(100, "k", sample(&[100, 200], 0, 0));
+        let r = e.report("k").unwrap();
+        assert_eq!(r.window(60).unwrap().completed, 1, "the second-0 frame is gone");
+    }
+
+    #[test]
+    fn burn_alert_needs_fast_and_slow_windows_hot() {
+        let e = SloEngine::new(SloObjective {
+            target_p99_ns: u64::MAX,
+            max_error_rate: 0.01,
+            max_shed_rate: 0.01,
+        });
+        // Seconds 0..59: clean traffic. Second 59 alone is bad.
+        for s in 0..59u64 {
+            e.ingest(s, "k", sample(&vec![1_000; (s as usize + 1) * 10], 0, 0));
+        }
+        // One bad second at the end: fast window burns, slow one barely.
+        e.ingest(59, "k", sample(&vec![1_000; 601], 5, 0));
+        let r = e.report("k").unwrap();
+        assert!(r.window(1).unwrap().error_burn >= 1.0, "fast window is hot");
+        assert!(r.window(60).unwrap().error_burn < 1.0, "slow window absorbed the blip");
+        assert!(!r.burn_alert(), "a blip does not page");
+
+        // A sustained failure: every second faults at 10× budget.
+        let e = SloEngine::new(SloObjective {
+            target_p99_ns: u64::MAX,
+            max_error_rate: 0.01,
+            max_shed_rate: 0.01,
+        });
+        for s in 0..60u64 {
+            let n = (s as usize + 1) * 10;
+            e.ingest(s, "k", sample(&vec![1_000; n], n as u64 / 10, 0));
+        }
+        let r = e.report("k").unwrap();
+        assert!(r.burn_alert(), "sustained 10× burn pages");
+        assert!(r.breached());
+    }
+
+    #[test]
+    fn json_rendering_is_complete_and_ordered() {
+        let e = SloEngine::default();
+        e.ingest(0, "endpoint:bus://b", sample(&[100], 0, 0));
+        e.ingest(0, "action:urn:a", sample(&[100], 0, 0));
+        let json = e.render_json();
+        assert!(json.contains("\"targetP99Ns\": 50000000"));
+        let a = json.find("action:urn:a").unwrap();
+        let b = json.find("endpoint:bus://b").unwrap();
+        assert!(a < b, "keys render in deterministic order");
+        assert_eq!(json.matches("\"seconds\": 1,").count(), 2);
+        assert_eq!(json.matches("\"seconds\": 60,").count(), 2);
+    }
+}

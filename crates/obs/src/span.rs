@@ -12,6 +12,18 @@
 //! atomic load and performs no allocation: [`Tracer::span`] returns an
 //! inert [`SpanHandle`], attribute setters are no-ops, and nothing is
 //! written to the wire.
+//!
+//! # Tail-based retention
+//!
+//! [`Tracer::enable_tailed`] keeps tracing always-on but retains only
+//! the traces worth keeping: the decision is made *after* completion
+//! (at sink-drain time, when the whole tree is visible), per
+//! [`TailPolicy`] — a trace survives when a top-level span exceeded the
+//! latency threshold, when any span recorded a non-`ok` `outcome`
+//! attribute (faults, sheds, retries), or when the seeded deterministic
+//! sampler elects it as a baseline exemplar. Because trace ids come
+//! from the seeded id stream and the sampler hashes the trace id, the
+//! same seeded run retains the same trace ids every time.
 
 use dais_util::rng::SplitMix64;
 use dais_util::sync::Mutex;
@@ -69,11 +81,58 @@ pub struct Span {
     pub duration_ns: u64,
 }
 
+/// When to keep a finished trace under tail-based retention.
+#[derive(Debug, Clone, Copy)]
+pub struct TailPolicy {
+    /// Keep the trace when a top-level span (one whose parent is not in
+    /// the sink — the local root, or the first span joined from the
+    /// wire) ran at least this long.
+    pub latency_threshold_ns: u64,
+    /// Keep the trace when any span carries an `outcome` attribute
+    /// other than `ok` — faults, sheds, retried attempts.
+    pub keep_outcomes: bool,
+    /// Deterministic baseline sampling: keep roughly this many traces
+    /// per million, elected by hashing the trace id with the seed, so
+    /// the healthy fast path stays represented in the sink.
+    pub sample_per_million: u32,
+}
+
+impl Default for TailPolicy {
+    fn default() -> Self {
+        // Keep failures and a 1-in-1000 healthy baseline; the latency
+        // threshold is service-specific, so callers set it explicitly.
+        TailPolicy {
+            latency_threshold_ns: u64::MAX,
+            keep_outcomes: true,
+            sample_per_million: 1_000,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct TailConfig {
+    policy: TailPolicy,
+    salt: u64,
+}
+
+impl TailConfig {
+    /// The sampler: a pure hash of (trace id, seed), so retention is a
+    /// property of the trace, not of evaluation order.
+    fn sampled(&self, trace_id: u64) -> bool {
+        if self.policy.sample_per_million == 0 {
+            return false;
+        }
+        let hash = SplitMix64::new(trace_id ^ self.salt).next_u64();
+        hash % 1_000_000 < self.policy.sample_per_million as u64
+    }
+}
+
 struct TracerInner {
     enabled: AtomicBool,
     seq: AtomicU64,
     ids: Mutex<SplitMix64>,
     finished: Mutex<Vec<Span>>,
+    tail: Mutex<Option<TailConfig>>,
 }
 
 impl Default for TracerInner {
@@ -83,6 +142,7 @@ impl Default for TracerInner {
             seq: AtomicU64::new(0),
             ids: Mutex::new(SplitMix64::new(0)),
             finished: Mutex::new(Vec::new()),
+            tail: Mutex::new(None),
         }
     }
 }
@@ -105,12 +165,24 @@ impl Tracer {
     }
 
     /// Turn tracing on, reseeding the id stream and clearing the sink so
-    /// a run is reproducible from `seed`.
+    /// a run is reproducible from `seed`. Retention is keep-everything.
     pub fn enable(&self, seed: u64) {
+        *self.inner.tail.lock() = None;
         *self.inner.ids.lock() = SplitMix64::new(seed);
         self.inner.seq.store(0, Ordering::Relaxed);
         self.inner.finished.lock().clear();
         self.inner.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Turn tracing on with tail-based retention: spans record exactly
+    /// as under [`enable`](Tracer::enable), but [`sink`](Tracer::sink)
+    /// and [`take`](Tracer::take) keep only the traces `policy` elects —
+    /// slow, failed, or sampled. Same seed, same workload ⇒ same
+    /// retained trace ids.
+    pub fn enable_tailed(&self, seed: u64, policy: TailPolicy) {
+        self.enable(seed);
+        let salt = SplitMix64::new(seed).next_u64();
+        *self.inner.tail.lock() = Some(TailConfig { policy, salt });
     }
 
     /// Turn tracing off. Already-recorded spans stay in the sink.
@@ -159,18 +231,47 @@ impl Tracer {
         }
     }
 
-    /// A copy of the finished spans, sorted by start order.
+    /// A copy of the finished spans, sorted by start order (tail-
+    /// filtered when retention is active).
     pub fn sink(&self) -> TraceSink {
         let mut spans = self.inner.finished.lock().clone();
         spans.sort_by_key(|s| s.seq);
-        TraceSink { spans }
+        self.tail_filter(spans)
     }
 
-    /// Drain the finished spans, sorted by start order.
+    /// Drain the finished spans, sorted by start order (tail-filtered
+    /// when retention is active; discarded traces are gone for good).
     pub fn take(&self) -> TraceSink {
         let mut spans = std::mem::take(&mut *self.inner.finished.lock());
         spans.sort_by_key(|s| s.seq);
-        TraceSink { spans }
+        self.tail_filter(spans)
+    }
+
+    /// Apply tail retention to a complete batch. The decision runs over
+    /// whole traces: by draining after the workload quiesces, every
+    /// span of a trace is present, so "top-level span" and "any span's
+    /// outcome" are well defined even for trees whose root lives on a
+    /// remote bus.
+    fn tail_filter(&self, spans: Vec<Span>) -> TraceSink {
+        let tail = *self.inner.tail.lock();
+        let Some(tail) = tail else {
+            return TraceSink { spans };
+        };
+        let known: std::collections::HashSet<u64> = spans.iter().map(|s| s.span_id).collect();
+        let mut keep: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for s in &spans {
+            if keep.contains(&s.trace_id) {
+                continue;
+            }
+            let top_level = s.parent_id.map(|p| !known.contains(&p)).unwrap_or(true);
+            let slow = top_level && s.duration_ns >= tail.policy.latency_threshold_ns;
+            let bad_outcome = tail.policy.keep_outcomes
+                && s.attrs.iter().any(|(k, v)| *k == "outcome" && v != "ok");
+            if slow || bad_outcome || tail.sampled(s.trace_id) {
+                keep.insert(s.trace_id);
+            }
+        }
+        TraceSink { spans: spans.into_iter().filter(|s| keep.contains(&s.trace_id)).collect() }
     }
 
     fn record(&self, span: Span) {
@@ -298,6 +399,82 @@ mod tests {
         assert!(!orphan.is_recording());
         drop(orphan);
         assert!(t.sink().spans.is_empty());
+    }
+
+    #[test]
+    fn tail_retention_keeps_failed_and_sampled_traces_only() {
+        let t = Tracer::new();
+        t.enable_tailed(
+            0xBEEF,
+            TailPolicy {
+                latency_threshold_ns: u64::MAX,
+                keep_outcomes: true,
+                sample_per_million: 0,
+            },
+        );
+        // A healthy trace: dropped at drain time.
+        let mut ok = t.span(span_names::CLIENT_CALL, None);
+        ok.attr("outcome", "ok");
+        drop(ok);
+        // A faulted trace: retained.
+        let mut bad = t.span(span_names::CLIENT_CALL, None);
+        bad.attr("outcome", "fault");
+        let bad_trace = bad.ctx().unwrap().trace_id;
+        let _child = t.span(span_names::BUS_CALL, bad.ctx());
+        drop(_child);
+        drop(bad);
+        let sink = t.take();
+        assert_eq!(sink.trace_ids().into_iter().collect::<Vec<_>>(), [bad_trace]);
+        assert_eq!(sink.len(), 2, "the whole retained trace survives, children included");
+    }
+
+    #[test]
+    fn tail_latency_threshold_keeps_slow_traces() {
+        let t = Tracer::new();
+        t.enable_tailed(
+            9,
+            TailPolicy { latency_threshold_ns: 0, keep_outcomes: false, sample_per_million: 0 },
+        );
+        // Threshold 0: every top-level span qualifies as slow.
+        let root = t.span(span_names::CLIENT_CALL, None);
+        drop(root);
+        assert_eq!(t.take().len(), 1);
+
+        t.enable_tailed(
+            9,
+            TailPolicy {
+                latency_threshold_ns: u64::MAX,
+                keep_outcomes: false,
+                sample_per_million: 0,
+            },
+        );
+        let root = t.span(span_names::CLIENT_CALL, None);
+        drop(root);
+        assert!(t.take().is_empty(), "nothing is that slow");
+    }
+
+    #[test]
+    fn tail_sampler_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let t = Tracer::new();
+            t.enable_tailed(
+                seed,
+                TailPolicy {
+                    latency_threshold_ns: u64::MAX,
+                    keep_outcomes: false,
+                    sample_per_million: 200_000, // 20 % of traces
+                },
+            );
+            for _ in 0..64 {
+                let root = t.span(span_names::CLIENT_CALL, None);
+                drop(root);
+            }
+            t.take().trace_ids()
+        };
+        let kept = run(0x5EED);
+        assert_eq!(kept, run(0x5EED), "same seed, same retained set");
+        assert!(!kept.is_empty(), "a 20 % sampler keeps something out of 64");
+        assert!(kept.len() < 64, "and drops something");
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::fault::Fault;
 use crate::interceptor::{CallInfo, InjectorSnapshot, Intercept, Interceptor};
 use crate::service::SoapService;
 use crate::transport::Transport;
-use dais_obs::names::span_names;
+use dais_obs::names::{event_names, span_names};
 use dais_obs::{Histogram, Obs, SpanHandle, TraceContext};
 use dais_util::pool::PooledBuf;
 use dais_util::sync::RwLock;
@@ -404,6 +404,19 @@ impl Bus {
                 },
             );
         }
+        match &result {
+            Ok(Ok(())) => {}
+            Ok(Err(_)) => self.inner.obs.journal.event_ctx(
+                event_names::REQ_FAULT,
+                call_span.ctx(),
+                crate::retry::CAUSE_FAULT,
+            ),
+            Err(e) => self.inner.obs.journal.event_ctx(
+                event_names::REQ_FAULT,
+                call_span.ctx(),
+                crate::retry::bus_error_code(e),
+            ),
+        }
         result
     }
 
@@ -505,6 +518,9 @@ impl Bus {
         } else {
             SpanHandle::inert()
         };
+        // Flight recorder: admission in inline mode. One relaxed atomic
+        // load when the journal is off.
+        self.inner.obs.journal.event_ctx(event_names::REQ_ADMIT, call_span.ctx(), 0);
         self.perform(endpoint, chain, to, action, request, &mut call_span)
     }
 
@@ -532,6 +548,9 @@ impl Bus {
         } else {
             SpanHandle::inert()
         };
+        // Flight recorder: admission in queued mode. The executor emits
+        // the matching queue.enqueue / queue.shed event itself.
+        self.inner.obs.journal.event_ctx(event_names::REQ_ADMIT, enqueue_span.ctx(), 1);
         match exec.submit(self, endpoint, chain, to, action, request, enqueue_span.ctx()) {
             Ok((pending, depth)) => {
                 enqueue_span.attr("depth", depth);
@@ -576,6 +595,21 @@ impl Bus {
                     Err(_) => "transport-error",
                 },
             );
+        }
+        // Flight recorder: a failed exchange leaves a req.fault record
+        // with its numeric cause, joinable to the trace by id.
+        match &result {
+            Ok(Ok(_)) => {}
+            Ok(Err(_)) => self.inner.obs.journal.event_ctx(
+                event_names::REQ_FAULT,
+                span.ctx(),
+                crate::retry::CAUSE_FAULT,
+            ),
+            Err(e) => self.inner.obs.journal.event_ctx(
+                event_names::REQ_FAULT,
+                span.ctx(),
+                crate::retry::bus_error_code(e),
+            ),
         }
         result
     }
@@ -656,7 +690,14 @@ impl Bus {
                 // routing failure — local parse error, remote error
                 // frame, dead connection — bills the request leg it
                 // consumed, identically on every transport.
-                if let Err(err) = self.route(endpoint, to, action, &request_bytes, response_bytes) {
+                if let Err(err) = self.route(
+                    endpoint,
+                    to,
+                    action,
+                    &request_bytes,
+                    response_bytes,
+                    call_span.ctx(),
+                ) {
                     record(request_bytes.len() as u64, 0, false);
                     return Err(err);
                 }
@@ -789,6 +830,7 @@ impl Bus {
     /// served from the local registry on the calling thread. This is the
     /// entire per-call cost of the transport seam on the default path:
     /// one `RwLock` read and one `Option<Arc>` clone, no allocation.
+    #[allow(clippy::too_many_arguments)]
     fn route(
         &self,
         endpoint: &Endpoint,
@@ -796,10 +838,21 @@ impl Bus {
         action: &str,
         request: &[u8],
         out: &mut Vec<u8>,
+        ctx: Option<TraceContext>,
     ) -> Result<(), BusError> {
         let transport = self.inner.transport.read().clone();
         match transport {
-            Some(t) if t.routes(to) => t.call(to, action, request, out),
+            Some(t) if t.routes(to) => {
+                // Flight recorder: the two client-side wire legs, with the
+                // byte counts the transport actually carried.
+                let journal = &self.inner.obs.journal;
+                journal.event_ctx(event_names::WIRE_WRITE, ctx, request.len() as u64);
+                let result = t.call(to, action, request, out);
+                if result.is_ok() {
+                    journal.event_ctx(event_names::WIRE_READ, ctx, out.len() as u64);
+                }
+                result
+            }
             _ => self.serve_local(endpoint, action, request, out),
         }
     }
@@ -817,6 +870,7 @@ impl Bus {
         out: &mut Vec<u8>,
     ) -> Result<(), BusError> {
         let tracer = &self.inner.obs.tracer;
+        let journal = &self.inner.obs.journal;
         let parsed_request = match Envelope::from_bytes(request) {
             Ok(env) => env,
             Err(e) => return Err(BusError::MalformedEnvelope(e.to_string())),
@@ -826,18 +880,27 @@ impl Bus {
         // dropped, not tampered beyond recognition) correlates.
         // `child_span` is inert when the header is absent or
         // undecodable, so broken propagation shows up as a
-        // missing dispatch node, never a bogus root.
+        // missing dispatch node, never a bogus root. The journal's
+        // req.dispatch record joins the same way, so a server-side
+        // journal slice correlates with the client's trace even
+        // across a wire — but the `RelatesTo` echo stays gated on
+        // tracing alone, keeping journal-only runs byte-identical
+        // on the wire.
         let mut dispatch_span = SpanHandle::inert();
         let mut relates_to = None;
-        if tracer.enabled() {
+        let mut wire_ctx = None;
+        if tracer.enabled() || journal.enabled() {
             if let Some(id) = parsed_request.header_block(ns::WSA, "MessageID") {
                 let id = id.text().trim().to_string();
-                dispatch_span =
-                    tracer.child_span(span_names::BUS_DISPATCH, TraceContext::decode(&id));
-                dispatch_span.attr("action", action);
-                relates_to = Some(id);
+                wire_ctx = TraceContext::decode(&id);
+                if tracer.enabled() {
+                    dispatch_span = tracer.child_span(span_names::BUS_DISPATCH, wire_ctx);
+                    dispatch_span.attr("action", action);
+                    relates_to = Some(id);
+                }
             }
         }
+        journal.event_ctx(event_names::REQ_DISPATCH, wire_ctx, request.len() as u64);
         let outcome = endpoint.service.handle(action, &parsed_request);
         dispatch_span.attr("outcome", if outcome.is_ok() { "ok" } else { "fault" });
         dispatch_span.finish();

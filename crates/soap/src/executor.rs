@@ -33,7 +33,7 @@ use crate::bus::{Bus, BusError, BusInner, Endpoint};
 use crate::envelope::Envelope;
 use crate::fault::Fault;
 use crate::interceptor::Interceptor;
-use dais_obs::names::span_names;
+use dais_obs::names::{event_names, span_names};
 use dais_obs::TraceContext;
 use dais_util::rng::{mix2, SplitMix64};
 use dais_util::sync::{Condvar, Mutex};
@@ -295,6 +295,11 @@ impl BusExecutor {
         let mut state = shard.state.lock();
         let queue = state.queues.entry(to.to_string()).or_default();
         if queue.jobs.len() >= self.shared.config.queue_capacity {
+            bus.obs().journal.event_ctx(
+                event_names::QUEUE_SHED,
+                enqueue_ctx,
+                queue.jobs.len() as u64,
+            );
             let err = BusError::Overloaded {
                 endpoint: to.to_string(),
                 retry_after: self.shared.config.retry_after,
@@ -317,6 +322,7 @@ impl BusExecutor {
             slot,
         });
         let depth = queue.jobs.len();
+        bus.obs().journal.event_ctx(event_names::QUEUE_ENQUEUE, enqueue_ctx, depth as u64);
         shard.cv.notify_one();
         Ok((pending, depth))
     }
@@ -445,11 +451,13 @@ fn execute(bus: &Weak<BusInner>, shard: &Shard, job: Job) {
         Some(inner) => {
             let bus = Bus::from_inner(inner);
             let tracer = &bus.obs().tracer;
+            let wait_ns = job.enqueued_at.elapsed().as_nanos() as u64;
+            bus.obs().journal.event_ctx(event_names::QUEUE_DEQUEUE, job.enqueue_ctx, wait_ns);
             let mut span = tracer.child_span(span_names::BUS_EXECUTE, job.enqueue_ctx);
             if span.is_recording() {
                 span.attr("to", &job.to);
                 span.attr("action", &job.action);
-                span.attr("queue_wait_ns", job.enqueued_at.elapsed().as_nanos());
+                span.attr("queue_wait_ns", wait_ns);
             }
             bus.perform(&job.endpoint, &job.chain, &job.to, &job.action, &job.request, &mut span)
         }

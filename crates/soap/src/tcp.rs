@@ -42,7 +42,8 @@
 use crate::bus::{Bus, BusError, BusInner};
 use crate::executor;
 use crate::transport::Transport;
-use dais_obs::Metrics;
+use dais_obs::names::event_names;
+use dais_obs::{Journal, Metrics};
 use dais_util::sync::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
@@ -664,6 +665,7 @@ struct ServerShared {
     bus: Weak<BusInner>,
     config: TcpServerConfig,
     metrics: Metrics,
+    journal: Journal,
     shutdown: AtomicBool,
     in_flight: AtomicU64,
     responses: AtomicU64,
@@ -703,6 +705,7 @@ impl TcpServer {
             bus: bus.downgrade(),
             config,
             metrics: bus.obs().metrics.clone(),
+            journal: bus.obs().journal.clone(),
             shutdown: AtomicBool::new(false),
             in_flight: AtomicU64::new(0),
             responses: AtomicU64::new(0),
@@ -876,8 +879,15 @@ fn serve_one(
             let bus = Bus::from_inner(inner);
             let started = Instant::now();
             let mut out = Vec::new();
+            // Server-side wire legs. The frame codec has not parsed the
+            // envelope at this layer, so no trace ids are available yet;
+            // the dispatch event the bus emits below joins the trace.
+            shared.journal.event(event_names::WIRE_READ, 0, 0, envelope.len() as u64);
             let result = bus.serve_wire(to, action, envelope, &mut out);
             shared.metrics.observe_connection(label, started.elapsed().as_nanos() as u64);
+            if result.is_ok() {
+                shared.journal.event(event_names::WIRE_WRITE, 0, 0, out.len() as u64);
+            }
             Some(match result {
                 Ok(()) => Frame { id, body: FrameBody::Response(out) },
                 Err(err) => Frame { id, body: FrameBody::Error(err) },

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""SLO gate for the open-loop driver.
+
+Compares a fresh ``BENCH_OPENLOOP.json`` (quick-mode run on the CI host)
+against the checked-in baseline and fails on a latency or shed-rate
+regression. CI machines vary a lot, so the budgets are deliberately
+loose multiples: the gate is meant to catch a seeded or structural
+regression (an accidental O(n) in the hot path, a queue that stopped
+shedding, a p99 that exploded), not a noisy-neighbour blip.
+
+Usage: check_slo_gate.py <fresh.json> <baseline.json>
+Exit codes: 0 = within budget, 1 = regression, 2 = malformed input.
+"""
+
+import json
+import sys
+
+# A fresh p99 may be at most this multiple of the baseline's (plus an
+# absolute floor so microsecond-scale baselines don't gate on noise).
+P99_BUDGET_MULTIPLE = 5.0
+P99_FLOOR_US = 20_000.0
+# A fresh shed rate may exceed the baseline's by at most this much
+# (absolute, of total arrivals) on any step.
+SHED_RATE_SLACK = 0.25
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for key in ("benchmark", "steps", "slo"):
+        if key not in doc:
+            print(f"{path}: missing top-level key {key!r}", file=sys.stderr)
+            sys.exit(2)
+    for step in doc["steps"]:
+        for key in ("offeredLoad", "completed", "shed", "p50Us", "p99Us"):
+            if key not in step:
+                print(f"{path}: step missing {key!r}: {step}", file=sys.stderr)
+                sys.exit(2)
+        if step["completed"] + step["shed"] <= 0:
+            print(f"{path}: degenerate step: {step}", file=sys.stderr)
+            sys.exit(2)
+    slo = doc["slo"]
+    if "objective" not in slo or not slo.get("serviceLevels"):
+        print(f"{path}: slo export has no objective/serviceLevels", file=sys.stderr)
+        sys.exit(2)
+    for level in slo["serviceLevels"]:
+        seconds = [w["seconds"] for w in level["windows"]]
+        if seconds != [1, 10, 60]:
+            print(f"{path}: {level['key']}: bad window set {seconds}", file=sys.stderr)
+            sys.exit(2)
+    return doc
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    fresh = load(sys.argv[1])
+    baseline = load(sys.argv[2])
+
+    base_steps = {s["offeredLoad"]: s for s in baseline["steps"]}
+    failures = []
+    for step in fresh["steps"]:
+        rate = step["offeredLoad"]
+        base = base_steps.get(rate)
+        if base is None:
+            # The sweep grew a step the baseline predates: informational.
+            print(f"note: no baseline step at {rate:.0f}/s, skipping")
+            continue
+        p99_budget = max(base["p99Us"] * P99_BUDGET_MULTIPLE, P99_FLOOR_US)
+        if step["p99Us"] > p99_budget:
+            failures.append(
+                f"{rate:.0f}/s: p99 {step['p99Us']:.0f} µs exceeds budget "
+                f"{p99_budget:.0f} µs (baseline {base['p99Us']:.0f} µs "
+                f"x {P99_BUDGET_MULTIPLE})"
+            )
+        base_total = base["completed"] + base["shed"]
+        fresh_total = step["completed"] + step["shed"]
+        base_shed_rate = base["shed"] / base_total
+        fresh_shed_rate = step["shed"] / fresh_total
+        if fresh_shed_rate > base_shed_rate + SHED_RATE_SLACK:
+            failures.append(
+                f"{rate:.0f}/s: shed rate {fresh_shed_rate:.2%} exceeds baseline "
+                f"{base_shed_rate:.2%} + {SHED_RATE_SLACK:.0%} slack"
+            )
+
+    if failures:
+        print("SLO gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        sys.exit(1)
+    print(f"SLO gate OK: {len(fresh['steps'])} step(s) within budget")
+
+
+if __name__ == "__main__":
+    main()
