@@ -7,7 +7,7 @@
 use dais_bench::crit::{BenchmarkId, Criterion};
 use dais_bench::workload::populate_items;
 use dais_bench::{criterion_group, criterion_main};
-use dais_core::{AbstractName, ConfigurationDocument, Sensitivity};
+use dais_core::{AbstractName, ConfigurationDocument, DaisClient, Sensitivity};
 use dais_dair::{RelationalService, RelationalServiceOptions, SqlClient};
 use dais_soap::Bus;
 use dais_sql::Database;
@@ -28,7 +28,7 @@ fn bench_wrappers(c: &mut Criterion) {
             Default::default()
         };
         let svc = RelationalService::launch(&bus, "bus://e8", db, options);
-        let client = SqlClient::new(bus, "bus://e8");
+        let client = SqlClient::builder().bus(bus).address("bus://e8").build();
         group.bench_function(label, |b| {
             b.iter(|| {
                 client
@@ -48,7 +48,7 @@ fn bench_sensitivity(c: &mut Criterion) {
         let db = Database::new("e9");
         populate_items(&db, rows, 16);
         let svc = RelationalService::launch(&bus, "bus://e9", db, Default::default());
-        let client = SqlClient::new(bus, "bus://e9");
+        let client = SqlClient::builder().bus(bus).address("bus://e9").build();
         for (label, s) in
             [("insensitive", Sensitivity::Insensitive), ("sensitive", Sensitivity::Sensitive)]
         {

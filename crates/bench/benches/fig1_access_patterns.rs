@@ -7,6 +7,7 @@
 use dais_bench::crit::{BenchmarkId, Criterion};
 use dais_bench::workload::populate_items;
 use dais_bench::{criterion_group, criterion_main};
+use dais_core::DaisClient;
 use dais_dair::{RelationalService, SqlClient};
 use dais_soap::Bus;
 use dais_sql::Database;
@@ -16,7 +17,7 @@ fn setup(rows: usize) -> (Bus, SqlClient, dais_core::AbstractName) {
     let db = Database::new("fig1");
     populate_items(&db, rows, 32);
     let svc = RelationalService::launch(&bus, "bus://fig1", db, Default::default());
-    (bus.clone(), SqlClient::new(bus, "bus://fig1"), svc.db_resource)
+    (bus.clone(), SqlClient::builder().bus(bus).address("bus://fig1").build(), svc.db_resource)
 }
 
 fn bench(c: &mut Criterion) {

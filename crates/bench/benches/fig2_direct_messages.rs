@@ -5,6 +5,7 @@
 use dais_bench::crit::{BenchmarkId, Criterion};
 use dais_bench::workload::populate_items;
 use dais_bench::{criterion_group, criterion_main};
+use dais_core::DaisClient;
 use dais_dair::{messages, RelationalService, SqlClient};
 use dais_soap::Bus;
 use dais_sql::{Database, Value};
@@ -48,7 +49,7 @@ fn bench(c: &mut Criterion) {
         let db = Database::new("fig2");
         populate_items(&db, rows, 32);
         let svc = RelationalService::launch(&bus, "bus://fig2", db, Default::default());
-        let client = SqlClient::new(bus, "bus://fig2");
+        let client = SqlClient::builder().bus(bus).address("bus://fig2").build();
         group.bench_with_input(BenchmarkId::new("round_trip", rows), &rows, |b, _| {
             b.iter(|| client.execute(&svc.db_resource, "SELECT * FROM item", &[]).unwrap());
         });

@@ -6,7 +6,7 @@ use dais_bench::crit::{BenchmarkId, Criterion};
 use dais_bench::workload::populate_items;
 use dais_bench::{criterion_group, criterion_main};
 use dais_core::factory::mint_resource_epr;
-use dais_core::AbstractName;
+use dais_core::{AbstractName, DaisClient};
 use dais_dair::{RelationalService, SqlClient};
 use dais_soap::Bus;
 use dais_sql::Database;
@@ -32,7 +32,7 @@ fn bench(c: &mut Criterion) {
         let db = Database::new("fig3");
         populate_items(&db, rows, 32);
         let svc = RelationalService::launch(&bus, "bus://fig3", db, Default::default());
-        let client = SqlClient::new(bus, "bus://fig3");
+        let client = SqlClient::builder().bus(bus).address("bus://fig3").build();
         group.bench_with_input(BenchmarkId::new("factory_roundtrip", rows), &rows, |b, _| {
             b.iter(|| {
                 let epr = client
@@ -55,7 +55,7 @@ fn bench(c: &mut Criterion) {
     let db = Database::new("fig3r");
     db.execute("CREATE TABLE t (a INTEGER)", &[]).unwrap();
     let svc = RelationalService::launch(&bus, "bus://fig3r", db, Default::default());
-    let client = SqlClient::new(bus, "bus://fig3r");
+    let client = SqlClient::builder().bus(bus).address("bus://fig3r").build();
     group.bench_function("resolve", |b| {
         b.iter(|| client.core().resolve(&svc.db_resource).unwrap());
     });

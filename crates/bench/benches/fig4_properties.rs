@@ -3,6 +3,7 @@
 
 use dais_bench::crit::{BenchmarkId, Criterion};
 use dais_bench::{criterion_group, criterion_main};
+use dais_core::DaisClient;
 use dais_dair::{RelationalService, RelationalServiceOptions, SqlClient};
 use dais_soap::Bus;
 use dais_sql::Database;
@@ -28,7 +29,7 @@ fn service_with_tables(tables: usize) -> (Bus, SqlClient, dais_core::AbstractNam
             ..Default::default()
         },
     );
-    (bus.clone(), SqlClient::new(bus, "bus://fig4"), svc.db_resource)
+    (bus.clone(), SqlClient::builder().bus(bus).address("bus://fig4").build(), svc.db_resource)
 }
 
 fn bench(c: &mut Criterion) {

@@ -4,7 +4,7 @@
 use dais_bench::crit::{BenchmarkId, Criterion};
 use dais_bench::workload::populate_items;
 use dais_bench::{criterion_group, criterion_main};
-use dais_core::AbstractName;
+use dais_core::{AbstractName, DaisClient};
 use dais_dair::{RelationalService, SqlClient};
 use dais_soap::Bus;
 use dais_sql::Database;
@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
     let db = Database::new("fig5");
     populate_items(&db, 1000, 24);
     let svc = RelationalService::launch(&bus, "bus://fig5", db, Default::default());
-    let client = SqlClient::new(bus.clone(), "bus://fig5");
+    let client = SqlClient::builder().bus(bus.clone()).address("bus://fig5").build();
 
     group.bench_function("direct_1000_rows", |b| {
         b.iter(|| client.execute(&svc.db_resource, "SELECT * FROM item", &[]).unwrap());

@@ -4,7 +4,7 @@
 use dais_bench::crit::Criterion;
 use dais_bench::workload::{populate_books, populate_items};
 use dais_bench::{criterion_group, criterion_main};
-use dais_core::AbstractName;
+use dais_core::{AbstractName, DaisClient};
 use dais_dair::{RelationalService, SqlClient};
 use dais_daix::{XmlClient, XmlService, XmlServiceOptions};
 use dais_soap::Bus;
@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
     let db = Database::new("fig6");
     populate_items(&db, 100, 16);
     let svc = RelationalService::launch(&bus, "bus://fig6", db, Default::default());
-    let client = SqlClient::new(bus.clone(), "bus://fig6");
+    let client = SqlClient::builder().bus(bus.clone()).address("bus://fig6").build();
     let epr =
         client.execute_factory(&svc.db_resource, "SELECT id FROM item", &[], None, None).unwrap();
     let response = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
@@ -60,7 +60,7 @@ fn bench(c: &mut Criterion) {
         store,
         "books",
     )));
-    let xclient = XmlClient::new(bus, "bus://fig6x");
+    let xclient = XmlClient::builder().bus(bus).address("bus://fig6x").build();
 
     group.bench_function("daix/XPathExecute", |b| {
         b.iter(|| xclient.xpath(&coll, "/book[price > 60]/title").unwrap());

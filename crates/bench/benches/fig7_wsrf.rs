@@ -4,7 +4,7 @@
 use dais_bench::crit::{BenchmarkId, Criterion};
 use dais_bench::workload::populate_items;
 use dais_bench::{criterion_group, criterion_main};
-use dais_core::AbstractName;
+use dais_core::{AbstractName, DaisClient};
 use dais_dair::{RelationalService, RelationalServiceOptions, SqlClient};
 use dais_soap::Bus;
 use dais_sql::Database;
@@ -24,7 +24,7 @@ fn launch(wsrf: bool) -> (Bus, SqlClient, AbstractName) {
         Default::default()
     };
     let svc = RelationalService::launch(&bus, "bus://fig7", db, options);
-    (bus.clone(), SqlClient::new(bus, "bus://fig7"), svc.db_resource)
+    (bus.clone(), SqlClient::builder().bus(bus).address("bus://fig7").build(), svc.db_resource)
 }
 
 fn bench(c: &mut Criterion) {

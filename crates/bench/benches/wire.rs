@@ -12,7 +12,7 @@
 //! iterations, same benches) and checks both files are well formed.
 
 use dais_bench::workload::populate_items;
-use dais_core::AbstractName;
+use dais_core::{AbstractName, DaisClient};
 use dais_dair::{messages, RelationalService, SqlClient};
 use dais_soap::envelope::Envelope;
 use dais_soap::service::SoapDispatcher;
@@ -267,7 +267,7 @@ fn get_tuples_page(out: &mut Vec<Row>, rows: usize) {
     let db = Database::new("wire");
     populate_items(&db, rows, 32);
     let svc = RelationalService::launch(&bus, "bus://wire", db, Default::default());
-    let client = SqlClient::new(bus.clone(), "bus://wire");
+    let client = SqlClient::builder().bus(bus.clone()).address("bus://wire").build();
     let epr = client
         .execute_factory(&svc.db_resource, "SELECT * FROM item ORDER BY id", &[], None, None)
         .unwrap();
@@ -302,7 +302,7 @@ fn get_tuples_pushdown(out: &mut Vec<Row>, bench: &str, rows: usize, sql: &str) 
     let db = Database::new("wire");
     populate_items(&db, rows, 256);
     let svc = RelationalService::launch(&bus, "bus://wire", db, Default::default());
-    let client = SqlClient::new(bus.clone(), "bus://wire");
+    let client = SqlClient::builder().bus(bus.clone()).address("bus://wire").build();
     let epr = client.execute_factory(&svc.db_resource, sql, &[], None, None).unwrap();
     let response_name = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
     let rowset_epr = client.rowset_factory(&response_name, None, None).unwrap();

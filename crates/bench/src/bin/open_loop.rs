@@ -31,7 +31,7 @@
 //!   to `<path>` — the artifact CI uploads when the gate fails.
 
 use dais_bench::workload::populate_items;
-use dais_core::AbstractName;
+use dais_core::{AbstractName, DaisClient};
 use dais_dair::{actions, messages, RelationalService, SqlClient};
 use dais_obs::{SloSample, TailPolicy};
 use dais_soap::envelope::Envelope;
@@ -173,7 +173,7 @@ fn main() {
     let db = Database::new("open");
     populate_items(&db, 1000, 32);
     let svc = RelationalService::launch(&bus, ADDR, db, Default::default());
-    let client = SqlClient::new(bus.clone(), ADDR);
+    let client = SqlClient::builder().bus(bus.clone()).address(ADDR).build();
     let epr = client
         .execute_factory(&svc.db_resource, "SELECT * FROM item ORDER BY id", &[], None, None)
         .expect("factory");

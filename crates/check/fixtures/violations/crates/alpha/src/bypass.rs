@@ -1,0 +1,8 @@
+//! Fixture: addresses a fleet's backing replica by its literal shard
+//! path instead of resolving it through the federation router.
+
+pub fn sneaky_shard_call() -> String {
+    // federation-bypass: the `/shard/` convention belongs to dais-federation.
+    let endpoint = "bus://fleet/shard/0/r1";
+    endpoint.to_string()
+}

@@ -749,6 +749,36 @@ pub fn run_lints<'a>(files: &'a [FileFacts], allowlist: &Allowlist) -> Vec<Viola
         );
     }
 
+    // The `/shard/` bus-path convention is how a fleet lays out its
+    // backing replica services; it is spelled out exactly once, in
+    // `dais_federation::fleet::shard_address`. Any other crate writing a
+    // literal shard path is addressing a backing replica directly —
+    // bypassing the router's health tracking and failover, and coupling
+    // itself to a topology the federation is free to change.
+    // (The federation crate owns the convention; this crate spells it
+    // out in the pattern and diagnostic below.)
+    for f in files {
+        if f.crate_name == "federation" || f.crate_name == "check" {
+            continue;
+        }
+        for lit in &f.string_literals {
+            if lit.value.contains("/shard/") {
+                out.push(Violation {
+                    lint: "federation-bypass",
+                    severity: Severity::Error,
+                    file: f.path.clone(),
+                    line: lit.line,
+                    message: format!(
+                        "shard endpoint path `{}` addressed directly; resolve replicas through \
+                         `dais_federation::ShardRouter` — the `/shard/` path convention is \
+                         federation-internal",
+                        lit.value
+                    ),
+                });
+            }
+        }
+    }
+
     // ---- Staleness sweep over every `<lint>:<file>` entry: an entry
     // whose lint never consumed it names a file outside the lint's scope
     // (or a lint that does not exist) and must go.

@@ -171,6 +171,13 @@ fn trips_raw_sync_primitive() {
 }
 
 #[test]
+fn trips_federation_bypass() {
+    let hits = assert_fires("federation-bypass", "alpha/src/bypass.rs");
+    assert!(hits[0].2.contains("ShardRouter"), "{hits:?}");
+    assert!(hits[0].2.contains("/shard/"), "{hits:?}");
+}
+
+#[test]
 fn trips_stale_allowlist_both_ways() {
     let report = fixtures_report();
     let hits = find(&report, "stale-allowlist");

@@ -34,8 +34,13 @@ pub struct CoreClient {
 
 impl CoreClient {
     /// Bind to a service address on the bus.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `CoreClient::builder().bus(..).address(..)` \
+                 (or `.resource(&ResourceRef)`) instead"
+    )]
     pub fn new(bus: Bus, address: impl Into<String>) -> CoreClient {
-        CoreClient { inner: ServiceClient::new(bus, address) }
+        CoreClient::from_service(ServiceClient::new(bus, address))
     }
 
     /// Bind through an EPR obtained from a factory or `Resolve`.
@@ -43,18 +48,17 @@ impl CoreClient {
         CoreClient { inner: ServiceClient::from_epr(bus, epr) }
     }
 
-    /// Bind to a service reached over `transport` (installed on `bus`
-    /// before binding): the split-deployment constructor, where the
-    /// service registry lives behind a [`TcpServer`](dais_soap::TcpServer)
-    /// rather than in this process. Everything above the transport seam
-    /// — retries, stats, tracing — behaves identically to a local bind.
+    /// Bind to a service reached over `transport`.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `CoreClient::builder().bus(..).transport(..)` instead"
+    )]
     pub fn with_transport(
         bus: Bus,
         transport: std::sync::Arc<dyn dais_soap::Transport>,
         address: impl Into<String>,
     ) -> CoreClient {
-        bus.set_transport(transport);
-        CoreClient::new(bus, address)
+        CoreClient::builder().bus(bus).transport(transport).address(address).build()
     }
 
     /// The raw SOAP client (realisations layer their own calls over it).
@@ -283,6 +287,10 @@ impl DaisClient for CoreClient {
         &self.inner
     }
 
+    fn from_service(service: ServiceClient) -> CoreClient {
+        CoreClient { inner: service }
+    }
+
     fn service_mut(&mut self) -> &mut ServiceClient {
         &mut self.inner
     }
@@ -322,7 +330,7 @@ mod tests {
             props,
             vec![XmlElement::new_local("row").with_text("1")],
         )));
-        (bus.clone(), CoreClient::new(bus, "bus://svc"), name, clock)
+        (bus.clone(), CoreClient::builder().bus(bus).address("bus://svc").build(), name, clock)
     }
 
     #[test]
@@ -349,7 +357,7 @@ mod tests {
         let epr = client.resolve(&name).unwrap();
         assert_eq!(epr.resource_abstract_name().as_deref(), Some(name.as_str()));
         // A client bound through the EPR works identically.
-        let via_epr = CoreClient::from_epr(bus, epr);
+        let via_epr = CoreClient::builder().bus(bus).epr(epr).build();
         let props = via_epr.get_property_document(&name).unwrap();
         assert_eq!(props.abstract_name, name);
     }
@@ -394,11 +402,11 @@ mod tests {
     #[test]
     fn transport_bound_client_behaves_like_a_local_bind() {
         let (bus, _, name, _) = setup();
-        let client = CoreClient::with_transport(
-            bus.clone(),
-            Arc::new(dais_soap::InProcessTransport::new(&bus)),
-            "bus://svc",
-        );
+        let client = CoreClient::builder()
+            .bus(bus.clone())
+            .transport(Arc::new(dais_soap::InProcessTransport::new(&bus)))
+            .address("bus://svc")
+            .build();
         assert_eq!(bus.transport_name(), Some("in-process"));
         let props = client.get_property_document(&name).unwrap();
         assert_eq!(props.abstract_name, name);

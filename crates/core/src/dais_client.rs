@@ -20,6 +20,18 @@ pub trait DaisClient: Sized {
     /// The raw SOAP client every typed operation goes through.
     fn service(&self) -> &ServiceClient;
 
+    /// Wrap an already-configured raw client. This is the one true
+    /// constructor — [`ClientBuilder`](crate::builder::ClientBuilder)
+    /// terminates here, and the deprecated per-client constructors
+    /// forward through it.
+    fn from_service(service: ServiceClient) -> Self;
+
+    /// Start assembling a client:
+    /// `CoreClient::builder().bus(..).resource(&r).retry(..).build()`.
+    fn builder() -> crate::builder::ClientBuilder<Self> {
+        crate::builder::ClientBuilder::new()
+    }
+
     /// Mutable access to the raw client, for layering retry.
     fn service_mut(&mut self) -> &mut ServiceClient;
 

@@ -33,6 +33,7 @@
 //! these types with model-specific properties and operations, exactly as
 //! the specification family is structured.
 
+pub mod builder;
 pub mod client;
 pub mod dais_client;
 pub mod factory;
@@ -42,8 +43,10 @@ pub mod name;
 pub mod properties;
 pub mod registry;
 pub mod resource;
+pub mod resource_ref;
 pub mod service;
 
+pub use builder::ClientBuilder;
 pub use client::CoreClient;
 pub use dais_client::DaisClient;
 pub use factory::{mint_resource_epr, DerivedResourceConfig};
@@ -55,4 +58,5 @@ pub use properties::{
 };
 pub use registry::ResourceRegistry;
 pub use resource::{DataResource, ResourceManagement};
+pub use resource_ref::{InvalidRef, ResourceRef};
 pub use service::{register_core_ops, register_wsrf_ops, ServiceContext};

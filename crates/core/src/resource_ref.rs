@@ -1,0 +1,206 @@
+//! `ResourceRef`: one value naming both halves of a data resource's
+//! address.
+//!
+//! Consumers used to thread a stringly-typed `(endpoint address,
+//! resource id)` pair through every client they built — the endpoint to
+//! bind the SOAP client to and the abstract name to put in each request
+//! body. A [`ResourceRef`] carries both, parses from and displays as a
+//! single URI, and is the key the federation shard router maps logical
+//! resources with.
+//!
+//! ## Grammar
+//!
+//! ```text
+//! dais://<authority>/<resource>
+//! ```
+//!
+//! `<authority>` is the bus endpoint path (what follows `bus://` in a
+//! service address; it may itself contain `/` segments, e.g. `e13/sql`).
+//! `<resource>` is the data resource's abstract name — a URI, so it
+//! always contains a `:`. The split point is unambiguous because bus
+//! authorities never contain `:`: the resource starts at the first
+//! path segment that does.
+
+use crate::name::{AbstractName, InvalidName};
+use std::fmt;
+use std::str::FromStr;
+
+/// A fully-qualified reference to one data resource behind one service
+/// endpoint: `dais://<authority>/<resource>`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceRef {
+    authority: String,
+    resource: AbstractName,
+}
+
+/// The error for a string that cannot be a [`ResourceRef`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidRef(pub String);
+
+impl fmt::Display for InvalidRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "'{}' is not a valid resource reference (dais://<authority>/<resource>)", self.0)
+    }
+}
+
+impl std::error::Error for InvalidRef {}
+
+impl ResourceRef {
+    /// Pair an authority with a resource name. The authority must be
+    /// non-empty and `:`-free (a `:` would make the grammar ambiguous).
+    pub fn new(
+        authority: impl Into<String>,
+        resource: AbstractName,
+    ) -> Result<ResourceRef, InvalidRef> {
+        let authority = authority.into();
+        if authority.is_empty()
+            || authority.contains(':')
+            || authority.starts_with('/')
+            || authority.ends_with('/')
+        {
+            return Err(InvalidRef(format!("dais://{authority}/{resource}")));
+        }
+        Ok(ResourceRef { authority, resource })
+    }
+
+    /// Build from a bus endpoint address (`bus://orders`) and the
+    /// resource served there.
+    pub fn from_parts(address: &str, resource: &AbstractName) -> Result<ResourceRef, InvalidRef> {
+        let authority = address.strip_prefix("bus://").unwrap_or(address);
+        ResourceRef::new(authority, resource.clone())
+    }
+
+    /// Parse the `dais://<authority>/<resource>` form.
+    pub fn parse(s: &str) -> Result<ResourceRef, InvalidRef> {
+        let err = || InvalidRef(s.to_string());
+        let rest = s.strip_prefix("dais://").ok_or_else(err)?;
+        // The resource starts at the first path segment containing `:`.
+        let mut offset = 0usize;
+        for segment in rest.split('/') {
+            if segment.contains(':') {
+                if offset == 0 {
+                    return Err(err()); // no authority
+                }
+                let authority = &rest[..offset - 1];
+                let resource = AbstractName::new(&rest[offset..]).map_err(|_| err())?;
+                return ResourceRef::new(authority, resource).map_err(|_| err());
+            }
+            offset += segment.len() + 1;
+        }
+        Err(err())
+    }
+
+    /// The bus endpoint path (without the `bus://` scheme).
+    pub fn authority(&self) -> &str {
+        &self.authority
+    }
+
+    /// The abstract name carried in request bodies.
+    pub fn resource(&self) -> &AbstractName {
+        &self.resource
+    }
+
+    /// The service address a client binds to: `bus://<authority>`.
+    pub fn endpoint_address(&self) -> String {
+        format!("bus://{}", self.authority)
+    }
+
+    /// The same authority, naming a different resource — how a consumer
+    /// follows a factory response without re-stating the endpoint.
+    pub fn with_resource(&self, resource: AbstractName) -> ResourceRef {
+        ResourceRef { authority: self.authority.clone(), resource }
+    }
+}
+
+impl fmt::Display for ResourceRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dais://{}/{}", self.authority, self.resource)
+    }
+}
+
+impl FromStr for ResourceRef {
+    type Err = InvalidRef;
+
+    fn from_str(s: &str) -> Result<ResourceRef, InvalidRef> {
+        ResourceRef::parse(s)
+    }
+}
+
+impl From<InvalidName> for InvalidRef {
+    fn from(e: InvalidName) -> InvalidRef {
+        InvalidRef(e.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> AbstractName {
+        AbstractName::new(s).unwrap()
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let r = ResourceRef::new("orders", name("urn:dais:orders:db:0")).unwrap();
+        assert_eq!(r.to_string(), "dais://orders/urn:dais:orders:db:0");
+        assert_eq!(ResourceRef::parse(&r.to_string()).unwrap(), r);
+        assert_eq!(r.endpoint_address(), "bus://orders");
+        assert_eq!(r.resource().as_str(), "urn:dais:orders:db:0");
+    }
+
+    #[test]
+    fn multi_segment_authorities_split_unambiguously() {
+        let r: ResourceRef = "dais://e13/sql/urn:dais:e13-sql:db:0".parse().unwrap();
+        assert_eq!(r.authority(), "e13/sql");
+        assert_eq!(r.resource().as_str(), "urn:dais:e13-sql:db:0");
+        assert_eq!(r.endpoint_address(), "bus://e13/sql");
+        assert_eq!(ResourceRef::parse(&r.to_string()).unwrap(), r);
+    }
+
+    #[test]
+    fn from_parts_strips_the_bus_scheme() {
+        let r =
+            ResourceRef::from_parts("bus://fleet/shard/0/r1", &name("urn:dais:s:db:0")).unwrap();
+        assert_eq!(r.authority(), "fleet/shard/0/r1");
+        let bare = ResourceRef::from_parts("fleet", &name("urn:dais:s:db:0")).unwrap();
+        assert_eq!(bare.endpoint_address(), "bus://fleet");
+    }
+
+    #[test]
+    fn with_resource_keeps_the_authority() {
+        let r = ResourceRef::new("orders", name("urn:dais:orders:db:0")).unwrap();
+        let derived = r.with_resource(name("urn:dais:orders:rowset:3"));
+        assert_eq!(derived.authority(), "orders");
+        assert_eq!(derived.resource().as_str(), "urn:dais:orders:rowset:3");
+    }
+
+    #[test]
+    fn malformed_refs_are_rejected() {
+        for bad in [
+            "orders/urn:dais:x",         // missing scheme
+            "dais://urn:dais:x",         // no authority
+            "dais:///urn:dais:x",        // empty authority
+            "dais://orders",             // no resource
+            "dais://orders/plain-name",  // resource is not a URI
+            "dais://or:ders/urn:dais:x", // `:` in the authority
+        ] {
+            assert!(ResourceRef::parse(bad).is_err(), "accepted {bad}");
+        }
+        assert!(ResourceRef::new("", name("urn:x:y")).is_err());
+        assert!(ResourceRef::new("a:b", name("urn:x:y")).is_err());
+        assert!(ResourceRef::new("/a", name("urn:x:y")).is_err());
+    }
+
+    #[test]
+    fn refs_order_and_hash_for_router_keys() {
+        use std::collections::HashMap;
+        let a = ResourceRef::new("a", name("urn:x:1")).unwrap();
+        let b = ResourceRef::new("b", name("urn:x:1")).unwrap();
+        assert!(a < b);
+        let mut m = HashMap::new();
+        m.insert(a.clone(), 1);
+        assert_eq!(m.get(&a), Some(&1));
+        assert_eq!(m.get(&b), None);
+    }
+}

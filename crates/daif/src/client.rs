@@ -37,8 +37,14 @@ pub struct FileClient {
 }
 
 impl FileClient {
+    /// Bind to a service address on the bus.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `FileClient::builder().bus(..).address(..)` \
+                 (or `.resource(&ResourceRef)`) instead"
+    )]
     pub fn new(bus: Bus, address: impl Into<String>) -> FileClient {
-        FileClient { core: CoreClient::new(bus, address) }
+        FileClient::from_service(ServiceClient::new(bus, address))
     }
 
     /// Bind through an EPR from a factory response.
@@ -46,14 +52,17 @@ impl FileClient {
         FileClient { core: CoreClient::from_epr(bus, epr) }
     }
 
-    /// Bind to a service reached over `transport` (installed on `bus`
-    /// before binding) — see [`CoreClient::with_transport`].
+    /// Bind to a service reached over `transport`.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `FileClient::builder().bus(..).transport(..)` instead"
+    )]
     pub fn with_transport(
         bus: Bus,
         transport: std::sync::Arc<dyn dais_soap::Transport>,
         address: impl Into<String>,
     ) -> FileClient {
-        FileClient { core: CoreClient::with_transport(bus, transport, address) }
+        FileClient::builder().bus(bus).transport(transport).address(address).build()
     }
 
     /// Layer retry over this client for the WS-DAIF read operations
@@ -208,6 +217,10 @@ impl DaisClient for FileClient {
         self.core.service()
     }
 
+    fn from_service(service: ServiceClient) -> FileClient {
+        FileClient { core: CoreClient::from_service(service) }
+    }
+
     fn service_mut(&mut self) -> &mut ServiceClient {
         self.core.service_mut()
     }
@@ -230,7 +243,7 @@ mod tests {
         store.write("data/b.csv", b"4,5".to_vec()).unwrap();
         store.write("readme.txt", b"hello".to_vec()).unwrap();
         let svc = FileService::launch(&bus, "bus://files", store, FileServiceOptions::default());
-        (bus.clone(), FileClient::new(bus, "bus://files"), svc.root)
+        (bus.clone(), FileClient::builder().bus(bus).address("bus://files").build(), svc.root)
     }
 
     #[test]

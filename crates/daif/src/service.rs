@@ -258,7 +258,7 @@ impl FileService {
 mod tests {
     use super::*;
     use dais_core::messages as core_messages;
-    use dais_core::AbstractName;
+    use dais_core::{AbstractName, DaisClient};
     use dais_soap::client::ServiceClient;
 
     fn setup() -> (Bus, ServiceClient, AbstractName) {
@@ -365,7 +365,7 @@ mod tests {
     #[test]
     fn core_operations_work_on_file_resources() {
         let (bus, _, root) = setup();
-        let core = dais_core::CoreClient::new(bus, "bus://files");
+        let core = dais_core::CoreClient::builder().bus(bus).address("bus://files").build();
         let props = core.get_property_document(&root).unwrap();
         assert!(props.writeable);
         let list = core.get_resource_list().unwrap();

@@ -59,8 +59,14 @@ pub struct SqlClient {
 }
 
 impl SqlClient {
+    /// Bind to a service address on the bus.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `SqlClient::builder().bus(..).address(..)` \
+                 (or `.resource(&ResourceRef)`) instead"
+    )]
     pub fn new(bus: Bus, address: impl Into<String>) -> SqlClient {
-        SqlClient { core: CoreClient::new(bus, address) }
+        SqlClient::from_service(ServiceClient::new(bus, address))
     }
 
     /// Bind through an EPR from a factory response.
@@ -68,14 +74,17 @@ impl SqlClient {
         SqlClient { core: CoreClient::from_epr(bus, epr) }
     }
 
-    /// Bind to a service reached over `transport` (installed on `bus`
-    /// before binding) — see [`CoreClient::with_transport`].
+    /// Bind to a service reached over `transport`.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `SqlClient::builder().bus(..).transport(..)` instead"
+    )]
     pub fn with_transport(
         bus: Bus,
         transport: std::sync::Arc<dyn dais_soap::Transport>,
         address: impl Into<String>,
     ) -> SqlClient {
-        SqlClient { core: CoreClient::with_transport(bus, transport, address) }
+        SqlClient::builder().bus(bus).transport(transport).address(address).build()
     }
 
     /// Layer retry over this client for the WS-DAIR read operations
@@ -389,6 +398,10 @@ impl DaisClient for SqlClient {
         self.core.service()
     }
 
+    fn from_service(service: ServiceClient) -> SqlClient {
+        SqlClient { core: CoreClient::from_service(service) }
+    }
+
     fn service_mut(&mut self) -> &mut ServiceClient {
         self.core.service_mut()
     }
@@ -428,7 +441,7 @@ mod tests {
             db,
             RelationalServiceOptions::default(),
         );
-        let client = SqlClient::new(bus.clone(), "bus://orders");
+        let client = SqlClient::builder().bus(bus.clone()).address("bus://orders").build();
         (bus, client, svc.db_resource)
     }
 

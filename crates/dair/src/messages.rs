@@ -4,7 +4,9 @@
 use dais_core::messages as core_messages;
 use dais_core::AbstractName;
 use dais_soap::fault::{DaisFault, Fault};
-use dais_sql::{RowStream, Rowset, RowsetWriter, SqlCommunicationArea, SqlType, Value};
+use dais_sql::{
+    RowStream, Rowset, RowsetCursor, RowsetWriter, SqlCommunicationArea, SqlType, Value,
+};
 use dais_xml::{ns, PullEvent, PullParser, QName, XmlElement, XmlSink, XmlWriter};
 
 /// SOAP action URIs for the WS-DAIR operations (Figure 6).
@@ -333,6 +335,28 @@ pub fn rowset_from_reply_bytes(bytes: &[u8]) -> Result<Rowset, String> {
     descend_to(&mut p, ns::WSDAIR, "SQLResponse")?;
     descend_to(&mut p, ns::WSDAIR, "SQLRowset")?;
     Rowset::read_from_pull(&mut p).map_err(|e| e.to_string())
+}
+
+/// Like [`rowset_from_reply_bytes`], but stop after the metadata block
+/// and hand back a [`RowsetCursor`] yielding rows on demand — the
+/// federation k-way merge holds one of these per shard and never
+/// materialises any shard's page.
+pub fn rowset_cursor_from_reply_bytes(bytes: &[u8]) -> Result<RowsetCursor<'_>, String> {
+    let text = std::str::from_utf8(bytes).map_err(|e| format!("reply is not UTF-8: {e}"))?;
+    let mut p = PullParser::new(text).map_err(|e| e.to_string())?;
+    match p.next().map_err(|e| e.to_string())? {
+        Some(PullEvent::Start { namespace, local })
+            if namespace.as_str() == ns::SOAP_ENV && local == "Envelope" => {}
+        _ => return Err("reply is not a SOAP envelope".into()),
+    }
+    descend_to(&mut p, ns::SOAP_ENV, "Body")?;
+    match p.next().map_err(|e| e.to_string())? {
+        Some(PullEvent::Start { .. }) => {}
+        _ => return Err("reply has an empty SOAP body".into()),
+    }
+    descend_to(&mut p, ns::WSDAIR, "SQLResponse")?;
+    descend_to(&mut p, ns::WSDAIR, "SQLRowset")?;
+    RowsetCursor::new(p).map_err(|e| e.to_string())
 }
 
 /// Build a `GetTuplesRequest` (Figure 5): a rowset page by position.

@@ -37,22 +37,31 @@ pub struct XmlClient {
 }
 
 impl XmlClient {
+    /// Bind to a service address on the bus.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `XmlClient::builder().bus(..).address(..)` \
+                 (or `.resource(&ResourceRef)`) instead"
+    )]
     pub fn new(bus: Bus, address: impl Into<String>) -> XmlClient {
-        XmlClient { core: CoreClient::new(bus, address) }
+        XmlClient::from_service(ServiceClient::new(bus, address))
     }
 
     pub fn from_epr(bus: Bus, epr: Epr) -> XmlClient {
         XmlClient { core: CoreClient::from_epr(bus, epr) }
     }
 
-    /// Bind to a service reached over `transport` (installed on `bus`
-    /// before binding) — see [`CoreClient::with_transport`].
+    /// Bind to a service reached over `transport`.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `XmlClient::builder().bus(..).transport(..)` instead"
+    )]
     pub fn with_transport(
         bus: Bus,
         transport: std::sync::Arc<dyn dais_soap::Transport>,
         address: impl Into<String>,
     ) -> XmlClient {
-        XmlClient { core: CoreClient::with_transport(bus, transport, address) }
+        XmlClient::builder().bus(bus).transport(transport).address(address).build()
     }
 
     /// Layer retry over this client for the WS-DAIX read operations
@@ -299,6 +308,10 @@ impl DaisClient for XmlClient {
         self.core.service()
     }
 
+    fn from_service(service: ServiceClient) -> XmlClient {
+        XmlClient { core: CoreClient::from_service(service) }
+    }
+
     fn service_mut(&mut self) -> &mut ServiceClient {
         self.core.service_mut()
     }
@@ -319,7 +332,7 @@ mod tests {
         let bus = Bus::new();
         let db = XmlDatabase::new("library");
         let svc = XmlService::launch(&bus, "bus://xml", db, XmlServiceOptions::default());
-        let client = XmlClient::new(bus.clone(), "bus://xml");
+        let client = XmlClient::builder().bus(bus.clone()).address("bus://xml").build();
         (bus, client, svc.root_collection)
     }
 

@@ -1,0 +1,304 @@
+//! Streaming k-way merge of WebRowSet pages.
+//!
+//! Scatter-gather answers arrive as one serialised rowset per shard. The
+//! merge consumes a [`RowsetCursor`] per shard — rows decode off the wire
+//! bytes on demand — and re-encodes straight into the caller's
+//! [`XmlWriter`], so no shard page and no merged result is ever
+//! materialised. Steady state holds exactly one decoded row per shard
+//! (buffers reused across rows): O(1) allocations per merged page.
+
+use std::cmp::Ordering;
+
+use dais_sql::{RowsetColumn, RowsetCursor, RowsetWriter, SqlError, Value};
+use dais_xml::{XmlSink, XmlWriter};
+
+/// A total order over [`Value`]s for merging: `NULL < booleans < numbers
+/// < strings`, numbers compared after promotion (exact when both sides
+/// are integers). `Value` deliberately carries no `PartialOrd` — SQL
+/// comparison is three-valued — so the merge defines its own.
+pub fn compare_values(a: &Value, b: &Value) -> Ordering {
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Double(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+    match (a, b) {
+        (Value::Null, Value::Null) => Ordering::Equal,
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::Int(x), Value::Int(y)) => x.cmp(y),
+        (Value::Int(x), Value::Double(y)) => (*x as f64).total_cmp(y),
+        (Value::Double(x), Value::Int(y)) => x.total_cmp(&(*y as f64)),
+        (Value::Double(x), Value::Double(y)) => x.total_cmp(y),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+/// The column an `ORDER BY` sorts on, as far as the merge needs to know.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SortKey {
+    /// Sort column by (unqualified, case-insensitive) name.
+    Column(String),
+    /// Zero-based output-column ordinal.
+    Ordinal(usize),
+}
+
+/// The merge discipline a scattered statement requires: which output
+/// column orders the global result, and in which direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeKey {
+    pub key: SortKey,
+    pub descending: bool,
+}
+
+impl MergeKey {
+    /// Resolve the key against the rowset metadata; `None` if the
+    /// statement ordered by something the output does not carry (the
+    /// merge then degrades to shard-order concatenation).
+    pub fn index_in(&self, columns: &[RowsetColumn]) -> Option<usize> {
+        match &self.key {
+            SortKey::Ordinal(i) => (*i < columns.len()).then_some(*i),
+            SortKey::Column(name) => columns.iter().position(|c| c.name.eq_ignore_ascii_case(name)),
+        }
+    }
+}
+
+/// Extract the merge key from a SQL statement's trailing `ORDER BY`
+/// clause, if any. Only the *first* sort term matters to the k-way
+/// merge: each shard already returns rows fully sorted, and a stable
+/// lowest-shard tie-break keeps equal keys deterministic.
+pub fn merge_key_of(sql: &str) -> Option<MergeKey> {
+    let lower = sql.to_ascii_lowercase();
+    let by = find_order_by(&lower)?;
+    let tail = &sql[by..];
+    let first_term = tail.split(',').next().unwrap_or(tail);
+    let mut tokens = first_term.split_whitespace();
+    let head = tokens.next()?;
+    let mut descending = false;
+    for t in tokens {
+        match t.to_ascii_lowercase().as_str() {
+            "desc" => descending = true,
+            "asc" => descending = false,
+            _ => break, // LIMIT / OFFSET / anything else ends the term
+        }
+    }
+    let head = head.trim_matches(|c: char| c == ',' || c == ';');
+    let key = if let Ok(ordinal) = head.parse::<usize>() {
+        SortKey::Ordinal(ordinal.checked_sub(1)?)
+    } else {
+        // Strip any `table.` qualifier; the rowset carries bare names.
+        let bare = head.rsplit('.').next().unwrap_or(head);
+        if bare.is_empty() || !bare.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return None;
+        }
+        SortKey::Column(bare.to_ascii_lowercase())
+    };
+    Some(MergeKey { key, descending })
+}
+
+/// Byte offset just past the last `ORDER BY` keyword pair in `lower`
+/// (which must be the lowercased statement).
+fn find_order_by(lower: &str) -> Option<usize> {
+    let mut at = None;
+    let mut from = 0;
+    while let Some(i) = lower[from..].find("order") {
+        let start = from + i;
+        let after = &lower[start + 5..];
+        let trimmed = after.trim_start();
+        if trimmed.starts_with("by")
+            && is_boundary(lower.as_bytes(), start)
+            && after.len() > trimmed.len() // whitespace between the keywords
+            && trimmed[2..].starts_with(|c: char| c.is_whitespace())
+        {
+            let by_at = start + 5 + (after.len() - trimmed.len()) + 2;
+            at = Some(by_at);
+        }
+        from = start + 5;
+    }
+    at
+}
+
+fn is_boundary(bytes: &[u8], at: usize) -> bool {
+    at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_')
+}
+
+const NULL: Value = Value::Null;
+
+/// Merge `cursors` (one sorted rowset page per shard) into `w` as a
+/// single WebRowSet document, skipping `skip` merged rows and emitting
+/// at most `take`. Returns the number of rows written.
+///
+/// With an `order` key the merge is a k-way minimum scan (ties broken
+/// towards the lowest shard index); without one, pages concatenate in
+/// shard order. Either way every row streams cursor → writer through
+/// one reused buffer per shard.
+pub fn merge_cursors<S: XmlSink>(
+    w: &mut XmlWriter<'_, S>,
+    mut cursors: Vec<RowsetCursor<'_>>,
+    order: Option<&MergeKey>,
+    skip: usize,
+    take: usize,
+) -> Result<u64, SqlError> {
+    let mut writer = RowsetWriter::new();
+    let columns: Vec<RowsetColumn> = match cursors.first() {
+        Some(c) => c.columns().to_vec(),
+        None => Vec::new(),
+    };
+    writer.begin(w, &columns);
+    let key_index = order.and_then(|o| o.index_in(&columns));
+    let descending = order.map(|o| o.descending).unwrap_or(false);
+
+    // One reusable row buffer per shard; `alive[i]` says buffer i holds
+    // the shard's next undelivered row.
+    let mut rows: Vec<Vec<Value>> = cursors.iter().map(|_| Vec::new()).collect();
+    let mut alive: Vec<bool> = Vec::with_capacity(cursors.len());
+    for (c, buf) in cursors.iter_mut().zip(rows.iter_mut()) {
+        alive.push(c.next_row_into(buf)?);
+    }
+
+    let mut seen = 0usize;
+    let mut written = 0u64;
+    while written < take as u64 {
+        let next = match key_index {
+            Some(k) => {
+                let mut best: Option<usize> = None;
+                for i in 0..cursors.len() {
+                    if !alive[i] {
+                        continue;
+                    }
+                    let cell = rows[i].get(k).unwrap_or(&NULL);
+                    let better = match best {
+                        None => true,
+                        Some(b) => {
+                            let ord = compare_values(cell, rows[b].get(k).unwrap_or(&NULL));
+                            if descending {
+                                ord == Ordering::Greater
+                            } else {
+                                ord == Ordering::Less
+                            }
+                        }
+                    };
+                    if better {
+                        best = Some(i);
+                    }
+                }
+                best
+            }
+            None => (0..cursors.len()).find(|&i| alive[i]),
+        };
+        let Some(i) = next else { break };
+        if seen >= skip {
+            writer.row(w, rows[i].iter());
+            written += 1;
+        }
+        seen += 1;
+        alive[i] = cursors[i].next_row_into(&mut rows[i])?;
+    }
+    writer.finish(w);
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dais_sql::{Rowset, SqlType};
+    use dais_xml::PullParser;
+
+    #[test]
+    fn merge_key_parses_names_ordinals_and_direction() {
+        let k = merge_key_of("SELECT id, v FROM t ORDER BY id").unwrap();
+        assert_eq!(k, MergeKey { key: SortKey::Column("id".into()), descending: false });
+        let k = merge_key_of("select * from t order by t.V desc limit 3").unwrap();
+        assert_eq!(k, MergeKey { key: SortKey::Column("v".into()), descending: true });
+        let k = merge_key_of("select a, b from t order by 2 DESC, 1").unwrap();
+        assert_eq!(k, MergeKey { key: SortKey::Ordinal(1), descending: true });
+        assert_eq!(merge_key_of("select * from t where a = 1"), None);
+        assert_eq!(merge_key_of("select reorder from t"), None);
+    }
+
+    fn page(rows: &[(i64, &str)]) -> String {
+        let columns = vec![
+            RowsetColumn { name: "id".into(), ty: SqlType::Integer },
+            RowsetColumn { name: "v".into(), ty: SqlType::Varchar },
+        ];
+        let mut out = String::new();
+        let mut w = XmlWriter::new(&mut out);
+        let mut rw = RowsetWriter::new();
+        rw.begin(&mut w, &columns);
+        for (id, v) in rows {
+            let cells = [Value::Int(*id), Value::Str((*v).into())];
+            rw.row(&mut w, cells.iter());
+        }
+        rw.finish(&mut w);
+        w.finish();
+        out
+    }
+
+    fn merged(pages: &[String], order: Option<&MergeKey>, skip: usize, take: usize) -> Rowset {
+        let mut parsers: Vec<PullParser<'_>> =
+            pages.iter().map(|p| PullParser::new(p).unwrap()).collect();
+        let cursors: Vec<RowsetCursor<'_>> =
+            parsers.drain(..).map(|p| RowsetCursor::new(p).unwrap()).collect();
+        let mut out = String::new();
+        let mut w = XmlWriter::new(&mut out);
+        merge_cursors(&mut w, cursors, order, skip, take).unwrap();
+        w.finish();
+        let mut p = PullParser::new(&out).unwrap();
+        Rowset::read_from_pull(&mut p).unwrap()
+    }
+
+    fn ids(r: &Rowset) -> Vec<i64> {
+        r.rows
+            .iter()
+            .map(|row| match &row[0] {
+                Value::Int(i) => *i,
+                other => panic!("non-int id {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn k_way_merge_interleaves_sorted_pages() {
+        let pages = [page(&[(1, "a"), (4, "d"), (9, "i")]), page(&[(2, "b"), (3, "c")]), page(&[])];
+        let key = MergeKey { key: SortKey::Column("id".into()), descending: false };
+        let r = merged(&pages, Some(&key), 0, usize::MAX);
+        assert_eq!(ids(&r), vec![1, 2, 3, 4, 9]);
+        assert_eq!(r.columns.len(), 2);
+    }
+
+    #[test]
+    fn descending_merge_and_window() {
+        let pages = [page(&[(9, "i"), (4, "d")]), page(&[(7, "g"), (2, "b")])];
+        let key = MergeKey { key: SortKey::Column("id".into()), descending: true };
+        assert_eq!(ids(&merged(&pages, Some(&key), 0, usize::MAX)), vec![9, 7, 4, 2]);
+        assert_eq!(ids(&merged(&pages, Some(&key), 1, 2)), vec![7, 4]);
+    }
+
+    #[test]
+    fn no_key_concatenates_in_shard_order() {
+        let pages = [page(&[(5, "e")]), page(&[(1, "a"), (3, "c")])];
+        assert_eq!(ids(&merged(&pages, None, 0, usize::MAX)), vec![5, 1, 3]);
+    }
+
+    #[test]
+    fn equal_keys_break_ties_towards_the_lowest_shard() {
+        let pages = [page(&[(1, "from-s0")]), page(&[(1, "from-s1")])];
+        let key = MergeKey { key: SortKey::Column("id".into()), descending: false };
+        let r = merged(&pages, Some(&key), 0, usize::MAX);
+        assert_eq!(r.rows[0][1], Value::Str("from-s0".into()));
+        assert_eq!(r.rows[1][1], Value::Str("from-s1".into()));
+    }
+
+    #[test]
+    fn value_order_ranks_types_then_compares_within() {
+        use Ordering::*;
+        assert_eq!(compare_values(&Value::Null, &Value::Bool(false)), Less);
+        assert_eq!(compare_values(&Value::Bool(true), &Value::Int(0)), Less);
+        assert_eq!(compare_values(&Value::Int(2), &Value::Double(1.5)), Greater);
+        assert_eq!(compare_values(&Value::Double(2.0), &Value::Str("a".into())), Less);
+        assert_eq!(compare_values(&Value::Str("a".into()), &Value::Str("b".into())), Less);
+    }
+}

@@ -1,0 +1,295 @@
+//! Replica-aware scatter calls with failover.
+//!
+//! [`call_shard`] is the one way the federation talks to a shard: it
+//! sweeps the shard's replicas in router-preferred order, fails over
+//! *immediately* (no sleep) when a replica itself reports hot — the
+//! idle sibling answers now — and only backs off between sweeps, by the
+//! max of the server's `retry_after` hint and the policy's own
+//! exponential schedule. Replica health feeds back into the
+//! [`ShardRouter`](crate::router::ShardRouter) so later calls skip known-bad
+//! replicas until their half-open probe budget elapses.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dais_soap::retry::{is_retryable, overload_origin, retry_after_hint, OverloadOrigin, SleepFn};
+use dais_soap::{Bus, BusError, CallError, RetryPolicy, ServiceClient};
+
+use crate::router::ShardRouter;
+
+/// How hard [`call_shard`] tries: the retry schedule governing sweeps
+/// over a shard's replica set, plus the sleeper that waits out backoff
+/// (injectable so tests can prove *no* sleep happened on replica
+/// failover).
+#[derive(Clone)]
+pub struct FailoverPolicy {
+    pub retry: RetryPolicy,
+    sleep: SleepFn,
+}
+
+impl FailoverPolicy {
+    pub fn new(retry: RetryPolicy) -> FailoverPolicy {
+        FailoverPolicy { retry, sleep: Arc::new(std::thread::sleep) }
+    }
+
+    /// Replace the sleeper (tests pass a recorder; production keeps the
+    /// default `thread::sleep`).
+    pub fn with_sleep(mut self, sleep: SleepFn) -> FailoverPolicy {
+        self.sleep = sleep;
+        self
+    }
+}
+
+impl Default for FailoverPolicy {
+    fn default() -> FailoverPolicy {
+        FailoverPolicy::new(RetryPolicy::new(3))
+    }
+}
+
+impl std::fmt::Debug for FailoverPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailoverPolicy").field("retry", &self.retry).finish_non_exhaustive()
+    }
+}
+
+/// Call one shard through whichever replica answers.
+///
+/// `call` receives a [`ServiceClient`] bound to a replica's endpoint and
+/// that replica's index (callers resolve per-replica abstract names with
+/// it). Outcomes per error class:
+///
+/// * **replica-origin `Overloaded`** — that replica is hot: mark it
+///   down, remember the pacing hint, and try the next candidate *now*.
+/// * **upstream-origin `Overloaded`** — no sibling would fare better:
+///   end the sweep and back off.
+/// * **other retryable** (timeout, lost connection, `ServiceBusy`,
+///   `DataResourceUnavailable`) — mark the replica down, next candidate.
+/// * **non-retryable** — returned to the caller unchanged.
+///
+/// Between sweeps the wait is `max(retry_after hint, backoff schedule)`,
+/// exactly like the single-endpoint retry loop.
+pub fn call_shard<T>(
+    bus: &Bus,
+    router: &ShardRouter,
+    shard: usize,
+    policy: &FailoverPolicy,
+    mut call: impl FnMut(&ServiceClient, usize) -> Result<T, CallError>,
+) -> Result<T, CallError> {
+    let attempts = policy.retry.max_attempts.max(1);
+    let mut last_err: Option<CallError> = None;
+    fn note_hint(h: Option<Duration>, hint: &mut Option<Duration>) {
+        if let Some(h) = h {
+            *hint = Some(hint.map_or(h, |cur| cur.max(h)));
+        }
+    }
+    for attempt in 1..=attempts {
+        let mut hint: Option<Duration> = None;
+        for r in router.candidates(shard) {
+            let replica = router.replica(shard, r);
+            let address = replica.endpoint_address();
+            let client = ServiceClient::new(bus.clone(), &*address);
+            match call(&client, r) {
+                Ok(v) => {
+                    router.mark_success(shard, r);
+                    return Ok(v);
+                }
+                Err(e) => match overload_origin(&e, &address) {
+                    Some((OverloadOrigin::Replica, after)) => {
+                        router.mark_failure(shard, r);
+                        note_hint(Some(after), &mut hint);
+                        last_err = Some(e);
+                    }
+                    Some((OverloadOrigin::Upstream, after)) => {
+                        note_hint(Some(after), &mut hint);
+                        last_err = Some(e);
+                        break;
+                    }
+                    None if is_retryable(&e) => {
+                        router.mark_failure(shard, r);
+                        note_hint(retry_after_hint(&e), &mut hint);
+                        last_err = Some(e);
+                    }
+                    None => return Err(e),
+                },
+            }
+        }
+        if attempt < attempts {
+            let delay = hint.unwrap_or(Duration::ZERO).max(policy.retry.backoff_delay(attempt));
+            if delay > Duration::ZERO {
+                (policy.sleep)(delay);
+            }
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        CallError::Transport(BusError::Timeout(router.replica(shard, 0).endpoint_address()))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::ShardScheme;
+    use dais_core::ResourceRef;
+    use dais_soap::envelope::Envelope;
+    use dais_soap::interceptor::{CallInfo, Intercept, Interceptor};
+    use dais_soap::{Fault, SoapDispatcher};
+    use dais_util::sync::Mutex;
+    use dais_xml::XmlElement;
+
+    const ECHO: &str = "urn:test:echo";
+    const TEST_NS: &str = "urn:test:ns";
+
+    fn echo_service(bus: &Bus, address: &str, tag: &str) {
+        let mut d = SoapDispatcher::new();
+        let tag = tag.to_string();
+        d.register(ECHO, move |_req| {
+            Ok(Envelope::with_body(XmlElement::new(TEST_NS, "t", "Echo").with_text(tag.clone())))
+        });
+        bus.register(address, Arc::new(d));
+    }
+
+    /// Synthesises `BusError::Overloaded` for chosen endpoints — the
+    /// executor-admission error the injector's chaos gates cannot
+    /// produce on demand.
+    struct HotReplica {
+        hot: Mutex<Vec<String>>,
+        retry_after: Duration,
+    }
+
+    impl Interceptor for HotReplica {
+        fn on_request(&self, call: &CallInfo<'_>, _bytes: &[u8]) -> Intercept {
+            if self.hot.lock().iter().any(|h| h == call.to) {
+                Intercept::Abort(BusError::Overloaded {
+                    endpoint: call.to.to_string(),
+                    retry_after: self.retry_after,
+                })
+            } else {
+                Intercept::Pass
+            }
+        }
+    }
+
+    fn fed_router(replicas: usize) -> ShardRouter {
+        let set = (0..replicas)
+            .map(|r| ResourceRef::parse(&format!("dais://fleet/r{r}/urn:dais:r{r}:db:0")).unwrap())
+            .collect();
+        ShardRouter::new(
+            ResourceRef::parse("dais://fed/urn:dais:fed:db:0").unwrap(),
+            ShardScheme::Hash { column: "id".into() },
+            vec![set],
+            11,
+            2,
+        )
+    }
+
+    fn echo_through(client: &ServiceClient) -> Result<String, CallError> {
+        let reply = client.request(ECHO, XmlElement::new(TEST_NS, "t", "Echo"))?;
+        Ok(reply.text())
+    }
+
+    /// The satellite-3 regression: one hot replica, one idle replica.
+    /// The hot replica's `Overloaded{retry_after}` must cause an
+    /// *immediate* switch to the idle sibling — zero sleeps — instead of
+    /// the generic retry loop's back-off.
+    #[test]
+    fn hot_replica_fails_over_without_sleeping() {
+        let bus = Bus::new();
+        echo_service(&bus, "bus://fleet/r0", "r0");
+        echo_service(&bus, "bus://fleet/r1", "r1");
+        let hot = Arc::new(HotReplica {
+            hot: Mutex::new(vec!["bus://fleet/r0".into()]),
+            retry_after: Duration::from_millis(40),
+        });
+        bus.add_interceptor(hot.clone());
+
+        let slept: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+        let recorder = slept.clone();
+        let policy = FailoverPolicy::new(RetryPolicy::new(3))
+            .with_sleep(Arc::new(move |d| recorder.lock().push(d)));
+
+        let router = fed_router(2);
+        // Whichever replica the rotation offers first, the answer must
+        // come from the idle one with no sleep in between.
+        for _ in 0..4 {
+            let got = call_shard(&bus, &router, 0, &policy, |c, _r| echo_through(c)).unwrap();
+            assert_eq!(got, "r1");
+        }
+        assert!(slept.lock().is_empty(), "failover must not back off: {:?}", slept.lock());
+        assert!(!router.is_healthy(0, 0), "the hot replica should be marked down");
+    }
+
+    /// When *every* replica is hot the loop has nothing to switch to:
+    /// it must honour the largest `retry_after` hint between sweeps.
+    #[test]
+    fn all_replicas_hot_backs_off_with_the_hint() {
+        let bus = Bus::new();
+        echo_service(&bus, "bus://fleet/r0", "r0");
+        echo_service(&bus, "bus://fleet/r1", "r1");
+        let hot = Arc::new(HotReplica {
+            hot: Mutex::new(vec!["bus://fleet/r0".into(), "bus://fleet/r1".into()]),
+            retry_after: Duration::from_millis(25),
+        });
+        bus.add_interceptor(hot.clone());
+
+        let slept: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+        let recorder = slept.clone();
+        let policy = FailoverPolicy::new(RetryPolicy::new(2))
+            .with_sleep(Arc::new(move |d| recorder.lock().push(d)));
+
+        let router = fed_router(2);
+        let err = call_shard(&bus, &router, 0, &policy, |c, _r| echo_through(c)).unwrap_err();
+        assert!(matches!(err, CallError::Transport(BusError::Overloaded { .. })));
+        let slept = slept.lock();
+        assert_eq!(slept.len(), 1, "one back-off between the two sweeps");
+        assert!(slept[0] >= Duration::from_millis(25), "hint honoured, got {:?}", slept[0]);
+    }
+
+    /// Recovery: once the hot replica cools, its half-open probe brings
+    /// it back into rotation.
+    #[test]
+    fn cooled_replica_rejoins_via_half_open_probe() {
+        let bus = Bus::new();
+        echo_service(&bus, "bus://fleet/r0", "r0");
+        echo_service(&bus, "bus://fleet/r1", "r1");
+        let hot = Arc::new(HotReplica {
+            hot: Mutex::new(vec!["bus://fleet/r0".into()]),
+            retry_after: Duration::from_millis(5),
+        });
+        bus.add_interceptor(hot.clone());
+
+        let policy = FailoverPolicy::new(RetryPolicy::new(2))
+            .with_sleep(Arc::new(|_| panic!("no sleep expected")));
+        let router = fed_router(2);
+        let _ = call_shard(&bus, &router, 0, &policy, |c, _r| echo_through(c)).unwrap();
+        assert!(!router.is_healthy(0, 0));
+
+        hot.hot.lock().clear();
+        let mut seen_r0 = false;
+        for _ in 0..8 {
+            let got = call_shard(&bus, &router, 0, &policy, |c, _r| echo_through(c)).unwrap();
+            seen_r0 |= got == "r0";
+        }
+        assert!(seen_r0, "probed replica should serve again after cooling");
+        assert!(router.is_healthy(0, 0));
+    }
+
+    /// Non-retryable faults pass through unchanged — failover must not
+    /// mask an application error as a busy shard.
+    #[test]
+    fn non_retryable_faults_surface_immediately() {
+        let bus = Bus::new();
+        let mut d = SoapDispatcher::new();
+        d.register(ECHO, |_req| Err(Fault::client("no such thing")));
+        bus.register("bus://fleet/r0", Arc::new(d));
+        echo_service(&bus, "bus://fleet/r1", "r1");
+
+        let policy = FailoverPolicy::new(RetryPolicy::new(3))
+            .with_sleep(Arc::new(|_| panic!("no sleep expected")));
+        let router = fed_router(2);
+        // Pin the sweep at r0 by marking r1 down first.
+        router.mark_failure(0, 1);
+        let err = call_shard(&bus, &router, 0, &policy, |c, _r| echo_through(c)).unwrap_err();
+        assert!(matches!(err, CallError::Fault(_)), "got {err:?}");
+        assert!(router.is_healthy(0, 0), "an application fault is not a health signal");
+    }
+}

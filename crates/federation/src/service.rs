@@ -1,0 +1,771 @@
+//! The federation endpoint: a WS-DAI service in its own right.
+//!
+//! `FederationService` advertises one *logical* data resource and
+//! dispatches the standard WS-DAIR/WS-DAIX action URIs, scattering each
+//! operation over the shard grid and gathering the results — a consumer
+//! cannot tell a federated resource from a plain one. Query results are
+//! gathered with the streaming k-way merge ([`crate::merge`]): shard
+//! pages decode off the wire bytes through [`RowsetCursor`]s and rows
+//! re-encode straight into the outgoing raw body, so no full rowset is
+//! ever materialised on the merge path.
+//!
+//! [`RowsetCursor`]: dais_sql::RowsetCursor
+
+use std::any::Any;
+use std::sync::Arc;
+
+use dais_core::factory::{factory_response, mint_resource_epr, DerivedResourceConfig};
+use dais_core::monitoring::MON_NS;
+use dais_core::properties::ResourceManagementKind;
+use dais_core::{
+    register_core_ops, AbstractName, ConfigurationDocument, ConfigurationMap, CoreProperties,
+    DataResource, DatasetMap, NameGenerator, ResourceRef, ResourceRegistry, Sensitivity,
+    ServiceContext,
+};
+use dais_dair::messages::{self as dair_messages, actions as dair_actions};
+use dais_dair::resources::SqlDataResource;
+use dais_daix::messages::{self as daix_messages, actions as daix_actions};
+use dais_soap::bus::Bus;
+use dais_soap::envelope::Envelope;
+use dais_soap::fault::{DaisFault, Fault};
+use dais_soap::service::SoapDispatcher;
+use dais_soap::{CallError, ServiceClient};
+use dais_sql::SqlCommunicationArea;
+use dais_xml::{ns, QName, XmlElement, XmlWriter};
+
+use crate::merge::{merge_cursors, merge_key_of, MergeKey};
+use crate::router::{ShardRouter, ShardScheme};
+use crate::scatter::{call_shard, FailoverPolicy};
+
+/// Knobs for assembling a federation endpoint.
+#[derive(Debug, Clone)]
+pub struct FederationOptions {
+    /// Seed for the router's replica rotation.
+    pub seed: u64,
+    /// Candidate sweeps a failed replica sits out before its half-open
+    /// probe.
+    pub probe_after: u32,
+    /// Retry schedule and sleeper for shard calls.
+    pub failover: FailoverPolicy,
+}
+
+impl Default for FederationOptions {
+    fn default() -> FederationOptions {
+        FederationOptions { seed: 0xF1EE7, probe_after: 4, failover: FailoverPolicy::default() }
+    }
+}
+
+fn payload(request: &Envelope) -> Result<&XmlElement, Fault> {
+    request.payload().ok_or_else(|| Fault::client("request has an empty SOAP body"))
+}
+
+fn respond(element: XmlElement) -> Result<Envelope, Fault> {
+    Ok(Envelope::with_body(element))
+}
+
+/// Map a failed shard call onto the fault a plain service would raise:
+/// application faults pass through unchanged (the consumer must not be
+/// able to tell the topology from the error), everything else — timeouts,
+/// lost connections, admission rejections after failover exhausted — is
+/// an honest `ServiceBusyFault`.
+fn shard_fault(e: CallError) -> Fault {
+    match e {
+        CallError::Fault(f) => f,
+        other => Fault::dais(DaisFault::ServiceBusy, format!("shard call failed: {other}")),
+    }
+}
+
+/// A shard page that cannot be decoded (or tears mid-merge) must never
+/// surface as a torn rowset: the reply is a well-formed fault instead.
+fn torn_page(detail: impl std::fmt::Display) -> Fault {
+    Fault::dais(DaisFault::ServiceBusy, format!("shard result stream failed: {detail}"))
+}
+
+fn as_federated(resource: &Arc<dyn DataResource>) -> Result<&FederatedResource, Fault> {
+    resource.as_any().downcast_ref::<FederatedResource>().ok_or_else(|| {
+        Fault::dais(DaisFault::InvalidResourceName, "resource is not a federated data resource")
+    })
+}
+
+fn as_fed_response(resource: &Arc<dyn DataResource>) -> Result<&FederatedResponseResource, Fault> {
+    resource.as_any().downcast_ref::<FederatedResponseResource>().ok_or_else(|| {
+        Fault::dais(DaisFault::InvalidResourceName, "resource is not an SQL response resource")
+    })
+}
+
+fn as_fed_rowset(resource: &Arc<dyn DataResource>) -> Result<&FederatedRowsetResource, Fault> {
+    resource.as_any().downcast_ref::<FederatedRowsetResource>().ok_or_else(|| {
+        Fault::dais(DaisFault::InvalidResourceName, "resource is not a rowset resource")
+    })
+}
+
+/// The logical resource the federation endpoint advertises. Immutable
+/// after launch; the live fleet picture renders on demand from the bus's
+/// per-endpoint stats and the router's health table.
+pub struct FederatedResource {
+    properties: CoreProperties,
+    bus: Bus,
+    router: Arc<ShardRouter>,
+}
+
+impl FederatedResource {
+    /// The `mon:Fleet` extension property: one `mon:Member` per
+    /// shard/replica with its routing health and endpoint traffic, so
+    /// the SLO tooling that reads `mon:` documents sees the whole fleet
+    /// behind the logical resource.
+    fn fleet_element(&self) -> XmlElement {
+        let mut fleet = XmlElement::new(MON_NS, "mon", "Fleet");
+        fleet.set_attr("shards", self.router.shards().to_string());
+        for s in 0..self.router.shards() {
+            for r in 0..self.router.replica_count(s) {
+                let member = self.router.replica(s, r);
+                let address = member.endpoint_address();
+                let stats = self.bus.endpoint_stats(&address);
+                let mut el = XmlElement::new(MON_NS, "mon", "Member");
+                el.set_attr("shard", s.to_string());
+                el.set_attr("replica", r.to_string());
+                el.set_attr("endpoint", address);
+                el.set_attr("resource", member.resource().as_str());
+                el.set_attr("healthy", self.router.is_healthy(s, r).to_string());
+                el.set_attr("messages", stats.messages.to_string());
+                el.set_attr("faults", stats.faults.to_string());
+                el.set_attr("retries", stats.retries.to_string());
+                el.set_attr("shed", stats.shed.to_string());
+                el.set_attr("queueDepth", stats.queue_depth.to_string());
+                fleet.push(el);
+            }
+        }
+        fleet
+    }
+}
+
+impl DataResource for FederatedResource {
+    fn abstract_name(&self) -> &AbstractName {
+        &self.properties.abstract_name
+    }
+
+    fn core_properties(&self) -> CoreProperties {
+        self.properties.clone()
+    }
+
+    fn property_document(&self) -> XmlElement {
+        let mut doc = self.properties.to_xml();
+        doc.push(self.fleet_element());
+        doc
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// A derived SQL response resource whose state lives on the shards: each
+/// replica that accepted the factory call holds its own derived response,
+/// recorded here by abstract name so later page reads can address any of
+/// them.
+pub struct FederatedResponseResource {
+    properties: CoreProperties,
+    /// `per_shard[s][r]` is the abstract name of replica `r`'s derived
+    /// response, `None` when that replica missed the fan-out.
+    per_shard: Vec<Vec<Option<AbstractName>>>,
+    /// The merge discipline inherited from the scattered statement.
+    key: Option<MergeKey>,
+}
+
+impl DataResource for FederatedResponseResource {
+    fn abstract_name(&self) -> &AbstractName {
+        &self.properties.abstract_name
+    }
+
+    fn core_properties(&self) -> CoreProperties {
+        self.properties.clone()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// A derived rowset resource backed by one shard-local rowset per
+/// replica; pages merge on read.
+pub struct FederatedRowsetResource {
+    properties: CoreProperties,
+    per_shard: Vec<Vec<Option<AbstractName>>>,
+    key: Option<MergeKey>,
+    /// Global row cap carried over from the factory's `Count`.
+    cap: Option<usize>,
+}
+
+impl DataResource for FederatedRowsetResource {
+    fn abstract_name(&self) -> &AbstractName {
+        &self.properties.abstract_name
+    }
+
+    fn core_properties(&self) -> CoreProperties {
+        self.properties.clone()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Scatter one request per shard over the raw lane and gather the reply
+/// pages. Each shard call runs through [`call_shard`], so replica
+/// failover and health marking apply per shard.
+fn scatter_pages(
+    bus: &Bus,
+    router: &ShardRouter,
+    policy: &FailoverPolicy,
+    action: &'static str,
+    request_for: impl Fn(usize, usize) -> Result<XmlElement, CallError>,
+) -> Result<Vec<Vec<u8>>, Fault> {
+    let mut pages = Vec::with_capacity(router.shards());
+    for s in 0..router.shards() {
+        let page = call_shard(bus, router, s, policy, |client, r| {
+            let req = request_for(s, r)?;
+            let mut buf = Vec::new();
+            client.request_bytes_into(action, &req, &mut buf)?;
+            Ok(buf)
+        })
+        .map_err(shard_fault)?;
+        pages.push(page);
+    }
+    Ok(pages)
+}
+
+/// Merge gathered pages into `wrapper(SQLResponse(SQLRowset(webRowSet),
+/// SQLCommunicationArea))` raw-body form, byte-compatible with the plain
+/// service's streamed replies. `comm_area` sees the merged row count.
+fn merged_response(
+    wrapper: &str,
+    pages: &[Vec<u8>],
+    key: Option<&MergeKey>,
+    skip: usize,
+    take: usize,
+    comm_area: impl Fn(u64) -> SqlCommunicationArea,
+) -> Result<Envelope, Fault> {
+    let mut cursors = Vec::with_capacity(pages.len());
+    for page in pages {
+        cursors.push(dair_messages::rowset_cursor_from_reply_bytes(page).map_err(torn_page)?);
+    }
+    let mut fragment = String::new();
+    let mut w = XmlWriter::new(&mut fragment);
+    w.start(&QName::new(ns::WSDAIR, "wsdair", wrapper));
+    w.start(&QName::new(ns::WSDAIR, "wsdair", "SQLResponse"));
+    w.start(&QName::new(ns::WSDAIR, "wsdair", "SQLRowset"));
+    // A decode error here (a shard died mid-stream) abandons the whole
+    // fragment: the consumer gets a fault envelope, never a torn rowset.
+    let rows = merge_cursors(&mut w, cursors, key, skip, take).map_err(torn_page)?;
+    w.end();
+    w.element(&comm_area(rows).to_xml());
+    w.end();
+    w.end();
+    w.finish();
+    Ok(Envelope::with_raw_body(fragment))
+}
+
+/// Fan a factory request out to *every* replica of every shard (each
+/// replica must hold its own derived resource), recording the derived
+/// abstract name per replica. A shard where no replica succeeded fails
+/// the whole factory with that shard's last error.
+fn fan_out_factory(
+    bus: &Bus,
+    router: &ShardRouter,
+    action: &'static str,
+    request_for: impl Fn(usize, usize) -> XmlElement,
+) -> Result<Vec<Vec<Option<AbstractName>>>, Fault> {
+    let mut per_shard = Vec::with_capacity(router.shards());
+    for s in 0..router.shards() {
+        let mut names: Vec<Option<AbstractName>> = Vec::with_capacity(router.replica_count(s));
+        let mut last_err: Option<CallError> = None;
+        for r in 0..router.replica_count(s) {
+            let client = ServiceClient::new(bus.clone(), router.replica(s, r).endpoint_address());
+            let minted = client.request(action, request_for(s, r)).and_then(|reply| {
+                let epr =
+                    dais_core::factory::parse_factory_response(&reply).map_err(CallError::Fault)?;
+                epr.resource_abstract_name()
+                    .and_then(|text| AbstractName::new(text).ok())
+                    .ok_or_else(|| {
+                        CallError::Fault(Fault::client(
+                            "factory EPR carries no resource abstract name",
+                        ))
+                    })
+            });
+            match minted {
+                Ok(name) => {
+                    router.mark_success(s, r);
+                    names.push(Some(name));
+                }
+                Err(e) => {
+                    router.mark_failure(s, r);
+                    last_err = Some(e);
+                    names.push(None);
+                }
+            }
+        }
+        if names.iter().all(Option::is_none) {
+            return Err(match last_err {
+                Some(e) => shard_fault(e),
+                None => Fault::dais(DaisFault::ServiceBusy, format!("shard {s} has no replicas")),
+            });
+        }
+        per_shard.push(names);
+    }
+    Ok(per_shard)
+}
+
+/// The properties the logical relational resource advertises — the same
+/// maps a plain [`SqlDataResource`] publishes, so factory negotiation is
+/// indistinguishable. Writes are refused: ingest goes through the fleet's
+/// router, not the federation endpoint.
+fn federated_sql_properties(name: AbstractName, shards: usize) -> CoreProperties {
+    let mut props = CoreProperties::new(name, ResourceManagementKind::ExternallyManaged);
+    props.description = format!("federated relational resource over {shards} shard(s)");
+    props.generic_query_languages.push(dais_dair::resources::SQL_LANGUAGE_URI.to_string());
+    props.dataset_maps.push(DatasetMap {
+        message: QName::new(ns::WSDAIR, "wsdair", "SQLExecuteRequest"),
+        dataset_format: ns::ROWSET.to_string(),
+    });
+    props.configuration_maps.push(ConfigurationMap {
+        message: QName::new(ns::WSDAIR, "wsdair", "SQLExecuteFactoryRequest"),
+        port_type: QName::new(ns::WSDAIR, "wsdair", "SQLResponseAccessPT"),
+        defaults: ConfigurationDocument {
+            readable: Some(true),
+            writeable: Some(false),
+            sensitivity: Some(Sensitivity::Insensitive),
+            ..Default::default()
+        },
+    });
+    props
+}
+
+/// The `ConfigurationMap` a derived response must advertise so
+/// `SQLRowsetFactory` can negotiate against it (mirrors
+/// `SqlResponseResource::create`).
+fn rowset_factory_map() -> ConfigurationMap {
+    ConfigurationMap {
+        message: QName::new(ns::WSDAIR, "wsdair", "SQLRowsetFactoryRequest"),
+        port_type: QName::new(ns::WSDAIR, "wsdair", "SQLRowsetAccessPT"),
+        defaults: ConfigurationDocument {
+            readable: Some(true),
+            writeable: Some(false),
+            sensitivity: Some(Sensitivity::Insensitive),
+            ..Default::default()
+        },
+    }
+}
+
+/// A federation endpoint serving one logical resource over a shard grid.
+pub struct FederationService {
+    pub ctx: Arc<ServiceContext>,
+    pub names: Arc<NameGenerator>,
+    pub router: Arc<ShardRouter>,
+    /// The logical resource consumers address.
+    pub resource: ResourceRef,
+    /// The abstract name of the endpoint's monitoring resource.
+    pub monitoring: AbstractName,
+}
+
+impl FederationService {
+    /// Launch a federated **relational** endpoint at `address`:
+    /// `replicas[s][r]` names the backing `db` resource of replica `r`
+    /// of shard `s` (each an ordinary WS-DAIR service on the same bus).
+    pub fn launch_relational(
+        bus: &Bus,
+        address: &str,
+        scheme: ShardScheme,
+        replicas: Vec<Vec<ResourceRef>>,
+        options: FederationOptions,
+    ) -> FederationService {
+        let (ctx, names) = Self::context(address);
+        let logical = names.mint("db");
+        let resource = ResourceRef::from_parts(address, &logical)
+            .expect("federation address must yield a valid resource ref");
+        let router = Arc::new(ShardRouter::new(
+            resource.clone(),
+            scheme,
+            replicas,
+            options.seed,
+            options.probe_after,
+        ));
+
+        let mut dispatcher = SoapDispatcher::new();
+        register_core_ops(&mut dispatcher, ctx.clone());
+        register_federated_sql_ops(
+            &mut dispatcher,
+            ctx.clone(),
+            names.clone(),
+            router.clone(),
+            bus.clone(),
+            options.failover.clone(),
+        );
+        bus.register(address, Arc::new(dispatcher));
+
+        let shards = router.shards();
+        ctx.add_resource(Arc::new(FederatedResource {
+            properties: federated_sql_properties(logical, shards),
+            bus: bus.clone(),
+            router: router.clone(),
+        }));
+
+        let monitoring = names.mint("monitoring");
+        ctx.add_resource(Arc::new(dais_core::MonitoringResource::new(
+            monitoring.clone(),
+            bus.clone(),
+            address,
+        )));
+
+        FederationService { ctx, names, router, resource, monitoring }
+    }
+
+    /// Launch a federated **XML** endpoint at `address`: `replicas[s][r]`
+    /// names the backing root collection of replica `r` of shard `s`.
+    /// Documents route by name hash ([`ShardScheme::Collection`]).
+    pub fn launch_xml(
+        bus: &Bus,
+        address: &str,
+        replicas: Vec<Vec<ResourceRef>>,
+        options: FederationOptions,
+    ) -> FederationService {
+        let (ctx, names) = Self::context(address);
+        let logical = names.mint("collection");
+        let resource = ResourceRef::from_parts(address, &logical)
+            .expect("federation address must yield a valid resource ref");
+        let router = Arc::new(ShardRouter::new(
+            resource.clone(),
+            ShardScheme::Collection,
+            replicas,
+            options.seed,
+            options.probe_after,
+        ));
+
+        let mut dispatcher = SoapDispatcher::new();
+        register_core_ops(&mut dispatcher, ctx.clone());
+        register_federated_xml_ops(
+            &mut dispatcher,
+            ctx.clone(),
+            router.clone(),
+            bus.clone(),
+            options.failover.clone(),
+        );
+        bus.register(address, Arc::new(dispatcher));
+
+        let shards = router.shards();
+        let mut props = CoreProperties::new(logical, ResourceManagementKind::ExternallyManaged);
+        props.description = format!("federated XML collection over {shards} shard(s)");
+        ctx.add_resource(Arc::new(FederatedResource {
+            properties: props,
+            bus: bus.clone(),
+            router: router.clone(),
+        }));
+
+        let monitoring = names.mint("monitoring");
+        ctx.add_resource(Arc::new(dais_core::MonitoringResource::new(
+            monitoring.clone(),
+            bus.clone(),
+            address,
+        )));
+
+        FederationService { ctx, names, router, resource, monitoring }
+    }
+
+    fn context(address: &str) -> (Arc<ServiceContext>, Arc<NameGenerator>) {
+        let ctx = Arc::new(ServiceContext {
+            address: address.to_string(),
+            registry: ResourceRegistry::new(),
+            lifetime: None,
+            query_rewriter: None,
+        });
+        let names =
+            Arc::new(NameGenerator::new(address.trim_start_matches("bus://").replace('/', "-")));
+        (ctx, names)
+    }
+}
+
+/// Register the federated WS-DAIR operations: direct access
+/// (scatter + merge), the factory pipeline (all-replica fan-out), and
+/// paged rowset reads.
+fn register_federated_sql_ops(
+    dispatcher: &mut SoapDispatcher,
+    ctx: Arc<ServiceContext>,
+    names: Arc<NameGenerator>,
+    router: Arc<ShardRouter>,
+    bus: Bus,
+    failover: FailoverPolicy,
+) {
+    let c = ctx.clone();
+    let rt = router.clone();
+    let b = bus.clone();
+    let fo = failover.clone();
+    dispatcher.register(dair_actions::SQL_EXECUTE, move |req: &Envelope| {
+        let body = payload(req)?;
+        let resource = c.resolve_resource(body)?;
+        as_federated(&resource)?;
+        let props = resource.core_properties();
+        if let Some(format) = dais_core::messages::extract_format_uri(body) {
+            let message = QName::new(ns::WSDAIR, "wsdair", "SQLExecuteRequest");
+            if !props.supports_format(&message, &format) {
+                return Err(Fault::dais(
+                    DaisFault::InvalidDatasetFormat,
+                    format!("format '{format}' is not in the DatasetMap for SQLExecuteRequest"),
+                ));
+            }
+        }
+        let (sql, params) = dair_messages::parse_sql_expression(body)?;
+        if !SqlDataResource::is_read_only_statement(&sql) {
+            // Writes go through the fleet's router (every replica of the
+            // owning shard), not the logical resource.
+            return Err(Fault::dais(DaisFault::NotAuthorized, "resource is not writeable"));
+        }
+        let pages = scatter_pages(&b, &rt, &fo, dair_actions::SQL_EXECUTE, |s, r| {
+            Ok(dair_messages::sql_execute_request(
+                rt.replica(s, r).resource(),
+                ns::ROWSET,
+                &sql,
+                &params,
+            ))
+        })?;
+        merged_response(
+            "SQLExecuteResponse",
+            &pages,
+            merge_key_of(&sql).as_ref(),
+            0,
+            usize::MAX,
+            |rows| {
+                if rows == 0 {
+                    SqlCommunicationArea {
+                        sqlstate: "02000".into(),
+                        ..SqlCommunicationArea::success()
+                    }
+                } else {
+                    SqlCommunicationArea::success()
+                }
+            },
+        )
+    });
+
+    let c = ctx.clone();
+    dispatcher.register(dair_actions::GET_SQL_PROPERTY_DOCUMENT, move |req: &Envelope| {
+        let body = payload(req)?;
+        let resource = c.resolve_resource(body)?;
+        as_federated(&resource)?;
+        let mut response = XmlElement::new(ns::WSDAIR, "wsdair", "GetSQLPropertyDocumentResponse");
+        response.push(resource.property_document());
+        respond(response)
+    });
+
+    let c = ctx.clone();
+    let n = names.clone();
+    let rt = router.clone();
+    let b = bus.clone();
+    dispatcher.register(dair_actions::SQL_EXECUTE_FACTORY, move |req: &Envelope| {
+        let body = payload(req)?;
+        let resource = c.resolve_resource(body)?;
+        as_federated(&resource)?;
+        let props = resource.core_properties();
+        if !props.readable {
+            return Err(Fault::dais(DaisFault::NotAuthorized, "resource is not readable"));
+        }
+        let config = DerivedResourceConfig::from_request(body)?;
+        let message = QName::new(ns::WSDAIR, "wsdair", "SQLExecuteFactoryRequest");
+        let (_port, effective) = config.resolve_against(&props.configuration_maps, &message)?;
+        let (sql, params) = dair_messages::parse_sql_expression(body)?;
+        if !SqlDataResource::is_read_only_statement(&sql) {
+            return Err(Fault::dais(
+                DaisFault::InvalidExpression,
+                "SQLExecuteFactory only accepts query statements",
+            ));
+        }
+
+        let forwarded_config = body.child(ns::WSDAI, "ConfigurationDocument").cloned();
+        let per_shard = fan_out_factory(&b, &rt, dair_actions::SQL_EXECUTE_FACTORY, |s, r| {
+            let mut shard_req = dair_messages::sql_execute_request(
+                rt.replica(s, r).resource(),
+                ns::ROWSET,
+                &sql,
+                &params,
+            );
+            shard_req.name = QName::new(ns::WSDAIR, "wsdair", "SQLExecuteFactoryRequest");
+            if let Some(cfg) = &forwarded_config {
+                shard_req.push(cfg.clone());
+            }
+            shard_req
+        })?;
+
+        let name = n.mint("sql-response");
+        let mut derived = config.derived_properties(name.clone(), &effective);
+        derived.configuration_maps.push(rowset_factory_map());
+        c.add_resource(Arc::new(FederatedResponseResource {
+            properties: derived,
+            per_shard,
+            key: merge_key_of(&sql),
+        }));
+        let epr = mint_resource_epr(&c.address, &name);
+        respond(factory_response("SQLExecuteFactoryResponse", ns::WSDAIR, "wsdair", &epr))
+    });
+
+    let c = ctx.clone();
+    dispatcher.register(dair_actions::GET_SQL_RESPONSE_PROPERTY_DOCUMENT, move |req: &Envelope| {
+        let body = payload(req)?;
+        let resource = c.resolve_resource(body)?;
+        as_fed_response(&resource)?;
+        let mut response =
+            XmlElement::new(ns::WSDAIR, "wsdair", "GetSQLResponsePropertyDocumentResponse");
+        response.push(resource.property_document());
+        respond(response)
+    });
+
+    let c = ctx.clone();
+    let n = names;
+    let rt = router.clone();
+    let b = bus.clone();
+    dispatcher.register(dair_actions::SQL_ROWSET_FACTORY, move |req: &Envelope| {
+        let body = payload(req)?;
+        let resource = c.resolve_resource(body)?;
+        let response = as_fed_response(&resource)?;
+        let props = resource.core_properties();
+        let config = DerivedResourceConfig::from_request(body)?;
+        let message = QName::new(ns::WSDAIR, "wsdair", "SQLRowsetFactoryRequest");
+        let (_port, effective) = config.resolve_against(&props.configuration_maps, &message)?;
+        let count: Option<usize> =
+            body.child_text(ns::WSDAIR, "Count").and_then(|t| t.trim().parse().ok());
+
+        let shard_names = &response.per_shard;
+        let per_shard = fan_out_factory(&b, &rt, dair_actions::SQL_ROWSET_FACTORY, |s, r| {
+            match &shard_names[s][r] {
+                Some(backing) => {
+                    let mut shard_req =
+                        dais_core::messages::request("SQLRowsetFactoryRequest", backing);
+                    if let Some(cap) = count {
+                        // A global cap is a safe per-shard over-fetch
+                        // bound: no shard contributes more than the
+                        // whole window.
+                        shard_req.push(
+                            XmlElement::new(ns::WSDAIR, "wsdair", "Count")
+                                .with_text(cap.to_string()),
+                        );
+                    }
+                    shard_req
+                }
+                // The replica missed the response fan-out; addressing the
+                // (unknown there) logical response name makes it fault —
+                // and the sweep record it — rather than silently serving
+                // nothing.
+                None => dais_core::messages::request(
+                    "SQLRowsetFactoryRequest",
+                    &response.properties.abstract_name,
+                ),
+            }
+        })?;
+
+        let name = n.mint("rowset");
+        let derived = config.derived_properties(name.clone(), &effective);
+        c.add_resource(Arc::new(FederatedRowsetResource {
+            properties: derived,
+            per_shard,
+            key: response.key.clone(),
+            cap: count,
+        }));
+        let epr = mint_resource_epr(&c.address, &name);
+        respond(factory_response("SQLRowsetFactoryResponse", ns::WSDAIR, "wsdair", &epr))
+    });
+
+    let c = ctx.clone();
+    let rt = router.clone();
+    let b = bus.clone();
+    let fo = failover.clone();
+    dispatcher.register(dair_actions::GET_TUPLES, move |req: &Envelope| {
+        let body = payload(req)?;
+        let resource = c.resolve_resource(body)?;
+        let rowset = as_fed_rowset(&resource)?;
+        if !resource.core_properties().readable {
+            return Err(Fault::dais(DaisFault::NotAuthorized, "resource is not readable"));
+        }
+        let (start, count) = dair_messages::parse_get_tuples(body)?;
+        let take = match rowset.cap {
+            Some(cap) => count.min(cap.saturating_sub(start)),
+            None => count,
+        };
+        // Every shard may in the worst case own the whole window, so
+        // each page fetch is bounded by start+take — never the shard's
+        // full rowset.
+        let fetch = start.saturating_add(take);
+        let per_shard = &rowset.per_shard;
+        let pages = scatter_pages(&b, &rt, &fo, dair_actions::GET_TUPLES, |s, r| {
+            let name = per_shard[s][r].as_ref().ok_or_else(|| {
+                CallError::Fault(Fault::dais(
+                    DaisFault::DataResourceUnavailable,
+                    "replica holds no derived rowset",
+                ))
+            })?;
+            Ok(dair_messages::get_tuples_request(name, 0, fetch))
+        })?;
+        merged_response("GetTuplesResponse", &pages, rowset.key.as_ref(), start, take, |_| {
+            SqlCommunicationArea::success()
+        })
+    });
+
+    let c = ctx;
+    dispatcher.register(dair_actions::GET_ROWSET_PROPERTY_DOCUMENT, move |req: &Envelope| {
+        let body = payload(req)?;
+        let resource = c.resolve_resource(body)?;
+        as_fed_rowset(&resource)?;
+        let mut response =
+            XmlElement::new(ns::WSDAIR, "wsdair", "GetRowsetPropertyDocumentResponse");
+        response.push(resource.property_document());
+        respond(response)
+    });
+}
+
+/// Register the federated WS-DAIX operations: `XPathExecute` fans out
+/// over the sharded collections and unions the document sets in shard
+/// order.
+fn register_federated_xml_ops(
+    dispatcher: &mut SoapDispatcher,
+    ctx: Arc<ServiceContext>,
+    router: Arc<ShardRouter>,
+    bus: Bus,
+    failover: FailoverPolicy,
+) {
+    let c = ctx.clone();
+    let rt = router.clone();
+    let b = bus.clone();
+    let fo = failover.clone();
+    dispatcher.register(daix_actions::XPATH_EXECUTE, move |req: &Envelope| {
+        let body = payload(req)?;
+        let resource = c.resolve_resource(body)?;
+        as_federated(&resource)?;
+        if !resource.core_properties().readable {
+            return Err(Fault::dais(DaisFault::NotAuthorized, "resource is not readable"));
+        }
+        let expression = daix_messages::parse_expression(body)?;
+        let mut response = XmlElement::new(ns::WSDAIX, "wsdaix", "XPathExecuteResponse");
+        for s in 0..rt.shards() {
+            let reply = call_shard(&b, &rt, s, &fo, |client, r| {
+                let shard_req = daix_messages::query_request(
+                    "XPathExecuteRequest",
+                    rt.replica(s, r).resource(),
+                    &expression,
+                );
+                client.request(daix_actions::XPATH_EXECUTE, shard_req)
+            })
+            .map_err(shard_fault)?;
+            for item in reply.children_named(ns::WSDAIX, "Item") {
+                response.push(item.clone());
+            }
+        }
+        respond(response)
+    });
+
+    let c = ctx;
+    dispatcher.register(daix_actions::GET_COLLECTION_PROPERTY_DOCUMENT, move |req: &Envelope| {
+        let body = payload(req)?;
+        let resource = c.resolve_resource(body)?;
+        as_federated(&resource)?;
+        let mut response =
+            XmlElement::new(ns::WSDAIX, "wsdaix", "GetCollectionPropertyDocumentResponse");
+        response.push(resource.property_document());
+        respond(response)
+    });
+}

@@ -221,6 +221,42 @@ pub fn retry_after_hint(error: &CallError) -> Option<Duration> {
     }
 }
 
+/// Where an `Overloaded{retry_after}` refusal originated relative to
+/// the endpoint the caller addressed. A generic retry loop treats every
+/// overload the same way — back off — but a replica-aware router wants
+/// to distinguish *this replica is hot* (switch to a sibling now, no
+/// sleep) from *admission upstream of the replica shed the request*
+/// (backing off is all there is).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadOrigin {
+    /// The shed names the endpoint the caller addressed: the replica
+    /// itself refused. Prefer failing over to a sibling replica.
+    Replica,
+    /// The shed names some other endpoint — admission upstream of the
+    /// addressed replica (e.g. the federation endpoint's own executor).
+    /// No sibling replica would fare better; honour the pacing hint.
+    Upstream,
+}
+
+/// Classify an `Overloaded` error against the endpoint the caller
+/// addressed; `None` for every other error. This is what lets the
+/// federation failover loop prefer switching replica over backing off
+/// (the "one hot replica, one idle replica" case) while still honouring
+/// `retry_after` when the whole shard is hot.
+pub fn overload_origin(error: &CallError, addressed: &str) -> Option<(OverloadOrigin, Duration)> {
+    match error {
+        CallError::Transport(BusError::Overloaded { endpoint, retry_after }) => {
+            let origin = if endpoint == addressed {
+                OverloadOrigin::Replica
+            } else {
+                OverloadOrigin::Upstream
+            };
+            Some((origin, *retry_after))
+        }
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +335,27 @@ mod tests {
             assert!(seen.insert(*expected), "duplicate cause code {expected}");
             assert_ne!(*expected, 0, "0 is reserved for 'no cause'");
         }
+    }
+
+    #[test]
+    fn overload_origin_distinguishes_replica_from_upstream() {
+        let hot = CallError::Transport(BusError::Overloaded {
+            endpoint: "bus://fleet/shard/0/r0".into(),
+            retry_after: Duration::from_millis(25),
+        });
+        assert_eq!(
+            overload_origin(&hot, "bus://fleet/shard/0/r0"),
+            Some((OverloadOrigin::Replica, Duration::from_millis(25)))
+        );
+        assert_eq!(
+            overload_origin(&hot, "bus://fleet/shard/0/r1"),
+            Some((OverloadOrigin::Upstream, Duration::from_millis(25)))
+        );
+        assert_eq!(
+            overload_origin(&CallError::Transport(BusError::Timeout("t".into())), "bus://x"),
+            None
+        );
+        assert_eq!(overload_origin(&CallError::Fault(Fault::client("c")), "bus://x"), None);
     }
 
     #[test]

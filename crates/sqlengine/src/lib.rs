@@ -65,7 +65,7 @@ pub mod value;
 
 pub use db::{Database, Session, StatementResult};
 pub use error::{SqlError, SqlErrorKind};
-pub use rowset::{Rowset, RowsetColumn, RowsetWriter};
+pub use rowset::{Rowset, RowsetColumn, RowsetCursor, RowsetWriter};
 pub use sqlcomm::SqlCommunicationArea;
 pub use stream::{RowRef, RowStream};
 pub use value::{SqlType, Value};

@@ -447,6 +447,217 @@ impl Default for RowsetWriter {
     }
 }
 
+fn cursor_xml_err(e: dais_xml::XmlError) -> SqlError {
+    SqlError::new(SqlErrorKind::InvalidCast, format!("malformed webRowSet: {e}"))
+}
+
+/// The pull-decoding counterpart of [`RowsetWriter`]: metadata is parsed
+/// eagerly, then rows are decoded one at a time on demand — the
+/// federation merge path consumes k of these at once without ever
+/// materialising any shard's rowset. The caller's row buffer is reused
+/// across [`next_row_into`](Self::next_row_into) calls, so steady-state
+/// decoding allocates only for string cells.
+pub struct RowsetCursor<'a> {
+    parser: PullParser<'a>,
+    columns: Vec<RowsetColumn>,
+    scratch: String,
+    /// True once the `data` element (and the document) is exhausted.
+    done: bool,
+    /// True while positioned inside the `data` element.
+    in_data: bool,
+}
+
+impl<'a> RowsetCursor<'a> {
+    /// Start decoding from a parser whose next event is the
+    /// `wrs:webRowSet` start tag. Consumes the metadata block.
+    pub fn new(mut parser: PullParser<'a>) -> Result<RowsetCursor<'a>, SqlError> {
+        match parser.next().map_err(cursor_xml_err)? {
+            Some(PullEvent::Start { namespace, local })
+                if namespace.as_str() == ns::ROWSET && local == "webRowSet" => {}
+            other => {
+                return Err(SqlError::new(
+                    SqlErrorKind::InvalidCast,
+                    format!("expected wrs:webRowSet, found {other:?}"),
+                ))
+            }
+        }
+        let mut cursor = RowsetCursor {
+            parser,
+            columns: Vec::new(),
+            scratch: String::new(),
+            done: false,
+            in_data: false,
+        };
+        // Consume children up to (and into) `data`; metadata precedes
+        // data in the pinned byte shape, but tolerate reordering.
+        loop {
+            match cursor.parser.next().map_err(cursor_xml_err)? {
+                Some(PullEvent::End) => {
+                    // No data element at all: an empty rowset.
+                    cursor.done = true;
+                    return Ok(cursor);
+                }
+                Some(PullEvent::Start { local: "metadata", .. }) => cursor.read_metadata()?,
+                Some(PullEvent::Start { local: "data", .. }) => {
+                    cursor.in_data = true;
+                    return Ok(cursor);
+                }
+                Some(PullEvent::Start { .. }) => {
+                    cursor.parser.skip_element().map_err(cursor_xml_err)?
+                }
+                Some(PullEvent::Text(_)) => {}
+                None => {
+                    return Err(SqlError::new(SqlErrorKind::InvalidCast, "truncated webRowSet"))
+                }
+            }
+        }
+    }
+
+    fn read_metadata(&mut self) -> Result<(), SqlError> {
+        loop {
+            match self.parser.next().map_err(cursor_xml_err)? {
+                Some(PullEvent::End) => return Ok(()),
+                Some(PullEvent::Start { local: "column-definition", .. }) => {
+                    let mut name: Option<String> = None;
+                    let mut ty_name = String::new();
+                    loop {
+                        match self.parser.next().map_err(cursor_xml_err)? {
+                            Some(PullEvent::End) => break,
+                            Some(PullEvent::Start { local: "column-name", .. }) => {
+                                self.scratch.clear();
+                                self.parser
+                                    .text_content_into(&mut self.scratch)
+                                    .map_err(cursor_xml_err)?;
+                                name = Some(self.scratch.clone());
+                            }
+                            Some(PullEvent::Start { local: "column-type", .. }) => {
+                                ty_name.clear();
+                                self.parser
+                                    .text_content_into(&mut ty_name)
+                                    .map_err(cursor_xml_err)?;
+                            }
+                            Some(PullEvent::Start { .. }) => {
+                                self.parser.skip_element().map_err(cursor_xml_err)?
+                            }
+                            Some(PullEvent::Text(_)) => {}
+                            None => {
+                                return Err(SqlError::new(
+                                    SqlErrorKind::InvalidCast,
+                                    "truncated column-definition",
+                                ))
+                            }
+                        }
+                    }
+                    let name = name.ok_or_else(|| {
+                        SqlError::new(SqlErrorKind::InvalidCast, "column without a name")
+                    })?;
+                    let ty = SqlType::parse(&ty_name).ok_or_else(|| {
+                        SqlError::new(
+                            SqlErrorKind::InvalidCast,
+                            format!("unknown column type '{ty_name}'"),
+                        )
+                    })?;
+                    self.columns.push(RowsetColumn { name, ty });
+                }
+                Some(PullEvent::Start { .. }) => {
+                    self.parser.skip_element().map_err(cursor_xml_err)?
+                }
+                Some(PullEvent::Text(_)) => {}
+                None => return Err(SqlError::new(SqlErrorKind::InvalidCast, "truncated metadata")),
+            }
+        }
+    }
+
+    /// The column definitions from the metadata block.
+    pub fn columns(&self) -> &[RowsetColumn] {
+        &self.columns
+    }
+
+    /// Decode the next row into `row` (cleared first). `Ok(false)` when
+    /// the rowset is exhausted; the buffer is reusable across calls.
+    pub fn next_row_into(&mut self, row: &mut Vec<Value>) -> Result<bool, SqlError> {
+        row.clear();
+        if self.done {
+            return Ok(false);
+        }
+        loop {
+            match self.parser.next().map_err(cursor_xml_err)? {
+                Some(PullEvent::End) if self.in_data => {
+                    // `data` closed; drain to the end of the document.
+                    self.in_data = false;
+                    loop {
+                        match self.parser.next().map_err(cursor_xml_err)? {
+                            Some(PullEvent::End) => {
+                                self.done = true;
+                                return Ok(false);
+                            }
+                            Some(PullEvent::Start { .. }) => {
+                                self.parser.skip_element().map_err(cursor_xml_err)?
+                            }
+                            Some(PullEvent::Text(_)) => {}
+                            None => {
+                                return Err(SqlError::new(
+                                    SqlErrorKind::InvalidCast,
+                                    "truncated webRowSet",
+                                ))
+                            }
+                        }
+                    }
+                }
+                Some(PullEvent::Start { local: "currentRow", .. }) if self.in_data => {
+                    self.read_row(row)?;
+                    return Ok(true);
+                }
+                Some(PullEvent::Start { .. }) => {
+                    self.parser.skip_element().map_err(cursor_xml_err)?
+                }
+                Some(PullEvent::Text(_)) => {}
+                Some(PullEvent::End) => {
+                    self.done = true;
+                    return Ok(false);
+                }
+                None => return Err(SqlError::new(SqlErrorKind::InvalidCast, "truncated data")),
+            }
+        }
+    }
+
+    fn read_row(&mut self, row: &mut Vec<Value>) -> Result<(), SqlError> {
+        loop {
+            match self.parser.next().map_err(cursor_xml_err)? {
+                Some(PullEvent::End) => break,
+                Some(PullEvent::Start { local: "columnValue", .. }) => {
+                    let column = self.columns.get(row.len()).ok_or_else(|| {
+                        SqlError::new(SqlErrorKind::InvalidCast, "row wider than metadata")
+                    })?;
+                    if self.parser.attr("null") == Some("true") {
+                        self.parser.skip_element().map_err(cursor_xml_err)?;
+                        row.push(Value::Null);
+                    } else if let Some(v) = self.parser.attr("value") {
+                        let v = Value::parse_typed(v, column.ty)?;
+                        self.parser.skip_element().map_err(cursor_xml_err)?;
+                        row.push(v);
+                    } else {
+                        self.scratch.clear();
+                        self.parser.text_content_into(&mut self.scratch).map_err(cursor_xml_err)?;
+                        row.push(Value::parse_typed(&self.scratch, column.ty)?);
+                    }
+                }
+                Some(PullEvent::Start { .. }) => {
+                    self.parser.skip_element().map_err(cursor_xml_err)?
+                }
+                Some(PullEvent::Text(_)) => {}
+                None => {
+                    return Err(SqlError::new(SqlErrorKind::InvalidCast, "truncated currentRow"))
+                }
+            }
+        }
+        if row.len() != self.columns.len() {
+            return Err(SqlError::new(SqlErrorKind::InvalidCast, "row narrower than metadata"));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -603,6 +814,66 @@ mod tests {
             let mut p = PullParser::new(bad).unwrap();
             assert!(Rowset::read_from_pull(&mut p).is_err(), "accepted {bad}");
         }
+    }
+
+    #[test]
+    fn cursor_agrees_with_batch_pull_decode() {
+        let mut rs = sample();
+        rs.rows.push(vec![
+            Value::Int(3),
+            Value::Str("  padded  ".into()),
+            Value::Double(0.25),
+            Value::Bool(true),
+        ]);
+        rs.rows.push(vec![Value::Int(4), Value::Str(String::new()), Value::Null, Value::Null]);
+        let mut bytes = Vec::new();
+        rs.to_wire_bytes_into(&mut bytes);
+        let text = std::str::from_utf8(&bytes).unwrap();
+
+        let mut cursor = RowsetCursor::new(PullParser::new(text).unwrap()).unwrap();
+        assert_eq!(cursor.columns(), rs.columns.as_slice());
+        let mut row = Vec::new();
+        let mut seen = Vec::new();
+        while cursor.next_row_into(&mut row).unwrap() {
+            seen.push(row.clone());
+        }
+        assert_eq!(seen, rs.rows);
+        // Exhausted cursors stay exhausted.
+        assert!(!cursor.next_row_into(&mut row).unwrap());
+    }
+
+    #[test]
+    fn cursor_on_empty_rowset() {
+        let rs = Rowset::new(vec![RowsetColumn { name: "n".into(), ty: SqlType::Integer }]);
+        let mut bytes = Vec::new();
+        rs.to_wire_bytes_into(&mut bytes);
+        let text = std::str::from_utf8(&bytes).unwrap();
+        let mut cursor = RowsetCursor::new(PullParser::new(text).unwrap()).unwrap();
+        assert_eq!(cursor.columns().len(), 1);
+        let mut row = Vec::new();
+        assert!(!cursor.next_row_into(&mut row).unwrap());
+    }
+
+    #[test]
+    fn cursor_rejects_truncated_documents() {
+        let mut rs = sample();
+        rs.rows.push(vec![Value::Int(9), Value::Str("x".into()), Value::Null, Value::Null]);
+        let mut bytes = Vec::new();
+        rs.to_wire_bytes_into(&mut bytes);
+        // Chop the document mid-data: decoding must surface an error,
+        // never a silently shorter rowset.
+        let cut = bytes.len() - 40;
+        let text = std::str::from_utf8(&bytes[..cut]).unwrap();
+        let mut cursor = match RowsetCursor::new(PullParser::new(text).unwrap()) {
+            Ok(c) => c,
+            Err(_) => return, // truncation already caught at metadata
+        };
+        let mut row = Vec::new();
+        let mut result = Ok(true);
+        while matches!(result, Ok(true)) {
+            result = cursor.next_row_into(&mut row);
+        }
+        assert!(result.is_err(), "truncated rowset decoded cleanly");
     }
 
     #[test]

@@ -20,15 +20,18 @@ fn main() {
 
     // 1. Corruption at p=1.0, NO retry: the consumer sees the transport error.
     injector.set_default_policy(FaultPolicy::default().corrupt(1.0));
-    let plain = SqlClient::new(bus.clone(), "bus://probe");
+    let plain = SqlClient::builder().bus(bus.clone()).address("bus://probe").build();
     let err = plain.execute(&svc.db_resource, "SELECT * FROM t", &[]).unwrap_err();
     println!("1. corrupt(1.0), no retry  -> {err}");
 
     // 2. Same policy, retrying client: exhausts its budget, then errors.
-    let retrying = SqlClient::new(bus.clone(), "bus://probe").with_retry_config(RetryConfig::new(
-        RetryPolicy::new(4).base_delay(std::time::Duration::from_micros(5)),
-        dais::dair::client::idempotent_actions(),
-    ));
+    let retrying =
+        SqlClient::builder().bus(bus.clone()).address("bus://probe").build().with_retry_config(
+            RetryConfig::new(
+                RetryPolicy::new(4).base_delay(std::time::Duration::from_micros(5)),
+                dais::dair::client::idempotent_actions(),
+            ),
+        );
     let err = retrying.execute(&svc.db_resource, "SELECT * FROM t", &[]).unwrap_err();
     println!("2. corrupt(1.0), retry x4  -> {err} (bus retries: {})", bus.stats().retries);
 
@@ -40,10 +43,13 @@ fn main() {
     // 4. Sustained moderate chaos against a deep retry budget: every
     //    read must converge to the right answer.
     injector.set_default_policy(FaultPolicy::default().corrupt(0.3).drop(0.15));
-    let deep = SqlClient::new(bus.clone(), "bus://probe").with_retry_config(RetryConfig::new(
-        RetryPolicy::new(20).base_delay(std::time::Duration::from_micros(5)),
-        dais::dair::client::idempotent_actions(),
-    ));
+    let deep =
+        SqlClient::builder().bus(bus.clone()).address("bus://probe").build().with_retry_config(
+            RetryConfig::new(
+                RetryPolicy::new(20).base_delay(std::time::Duration::from_micros(5)),
+                dais::dair::client::idempotent_actions(),
+            ),
+        );
     let mut ok = 0;
     for _ in 0..50 {
         let data = deep.execute(&svc.db_resource, "SELECT COUNT(*) FROM t", &[]).unwrap();

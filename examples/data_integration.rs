@@ -38,7 +38,7 @@ fn main() {
     // ---- Service 2: XML sensor registry (WS-DAIX) -------------------------
     let registry = XmlDatabase::new("sensors");
     let xml_svc = XmlService::launch(&bus, "bus://sensors", registry, Default::default());
-    let xml_client = XmlClient::new(bus.clone(), "bus://sensors");
+    let xml_client = XmlClient::builder().bus(bus.clone()).address("bus://sensors").build();
     let sensors = [
         ("s1", "<sensor id='s1'><kind>temperature</kind><unit>C</unit><max>40</max></sensor>"),
         ("s2", "<sensor id='s2'><kind>pressure</kind><unit>kPa</unit><max>110</max></sensor>"),
@@ -56,7 +56,7 @@ fn main() {
 
     // ---- The integrating consumer -----------------------------------------
     // 1. Aggregate the readings relationally (pushed down to the service).
-    let sql_client = SqlClient::new(bus.clone(), "bus://telemetry");
+    let sql_client = SqlClient::builder().bus(bus.clone()).address("bus://telemetry").build();
     let stats = sql_client
         .execute(
             &sql_svc.db_resource,

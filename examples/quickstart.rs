@@ -30,7 +30,7 @@ fn main() {
     let service = RelationalService::launch(&bus, "bus://shop", db, Default::default());
     println!("service up at bus://shop, resource {}", service.db_resource);
 
-    let client = SqlClient::new(bus.clone(), "bus://shop");
+    let client = SqlClient::builder().bus(bus.clone()).address("bus://shop").build();
 
     // -- Property document (paper §4.2) ---------------------------------
     let props = client.core().get_property_document(&service.db_resource).unwrap();
@@ -68,7 +68,7 @@ fn main() {
     println!("\nindirect access: derived resource {response_name}");
 
     // A second consumer (perhaps handed the EPR by the first) pulls the data.
-    let consumer2 = SqlClient::from_epr(bus, epr);
+    let consumer2 = SqlClient::builder().bus(bus).epr(epr).build();
     let rowset = consumer2.get_sql_rowset(&response_name, 1).unwrap();
     println!("consumer 2 pulled {} rows via the EPR", rowset.row_count());
 

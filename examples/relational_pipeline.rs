@@ -77,7 +77,7 @@ fn main() {
     println!("three services up; database resource {db_name} on {}", svc1.address);
 
     // ---- Consumer 1: SQLExecuteFactory on Data Service 1 ----------------
-    let consumer1 = SqlClient::new(bus.clone(), svc1.address.clone());
+    let consumer1 = SqlClient::builder().bus(bus.clone()).address(svc1.address.clone()).build();
     let response_epr = consumer1
         .execute_factory(
             &db_name,
@@ -99,7 +99,7 @@ fn main() {
 
     // ---- Consumer 2: SQLRowsetFactory on Data Service 2 -----------------
     let response_name = AbstractName::new(response_epr.resource_abstract_name().unwrap()).unwrap();
-    let consumer2 = SqlClient::from_epr(bus.clone(), response_epr);
+    let consumer2 = SqlClient::builder().bus(bus.clone()).epr(response_epr).build();
     let props = consumer2.get_response_property_document(&response_name).unwrap();
     println!(
         "consumer 2: response has {} rowset(s)",
@@ -117,7 +117,7 @@ fn main() {
 
     // ---- Consumer 3: GetTuples on Data Service 3 -------------------------
     let rowset_name = AbstractName::new(rowset_epr.resource_abstract_name().unwrap()).unwrap();
-    let consumer3 = SqlClient::from_epr(bus.clone(), rowset_epr);
+    let consumer3 = SqlClient::builder().bus(bus.clone()).epr(rowset_epr).build();
     let mut fetched = 0;
     let mut page_no = 0;
     loop {

@@ -30,7 +30,7 @@ fn main() {
     // ---- Plain (non-WSRF) deployment -------------------------------------
     let plain =
         RelationalService::launch(&bus, "bus://plain", seeded_db("plain"), Default::default());
-    let client = SqlClient::new(bus.clone(), "bus://plain");
+    let client = SqlClient::builder().bus(bus.clone()).address("bus://plain").build();
 
     // Whole-document retrieval is all you get.
     let doc = client.core().get_property_document_xml(&plain.db_resource).unwrap();
@@ -64,7 +64,7 @@ fn main() {
         seeded_db("wsrf"),
         RelationalServiceOptions { wsrf: Some(lifetime), ..Default::default() },
     );
-    let client = SqlClient::new(bus.clone(), "bus://wsrf");
+    let client = SqlClient::builder().bus(bus.clone()).address("bus://wsrf").build();
 
     // Fine-grained property access.
     let readable =

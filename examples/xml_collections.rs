@@ -10,7 +10,7 @@ fn main() {
     let bus = Bus::new();
     let store = XmlDatabase::new("library");
     let service = XmlService::launch(&bus, "bus://library", store, Default::default());
-    let client = XmlClient::new(bus.clone(), "bus://library");
+    let client = XmlClient::builder().bus(bus.clone()).address("bus://library").build();
     let root = service.root_collection.clone();
     println!("XML data service up; root collection resource {root}");
 
@@ -82,7 +82,7 @@ fn main() {
         .unwrap();
     let seq = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
     println!("\nderived sequence resource {seq} at {}", epr.address);
-    let consumer2 = XmlClient::from_epr(bus, epr);
+    let consumer2 = XmlClient::builder().bus(bus).epr(epr).build();
     let page = consumer2.get_items(&seq, 0, 2).unwrap();
     println!("first page of the sequence:");
     for item in &page {

@@ -10,6 +10,7 @@
 //! | WS-DAI core | [`core`] | abstract names, property documents, direct/indirect access, core operations |
 //! | WS-DAIR | [`dair`] | the relational realisation (SQLAccess/SQLFactory/ResponseAccess/ResponseFactory/RowsetAccess) |
 //! | WS-DAIX | [`daix`] | the XML realisation (collections, XPath/XQuery/XUpdate, sequences) |
+//! | federation | [`federation`] | sharded logical resources: scatter-gather, streaming k-way merge, replica failover |
 //! | WSRF | [`wsrf`] | WS-ResourceProperties + WS-ResourceLifetime layering |
 //! | messaging | [`soap`] | SOAP envelopes, WS-Addressing EPRs, the in-process bus |
 //! | observability | [`obs`] | correlated tracing, latency histograms, trace rendering |
@@ -28,15 +29,17 @@
 //! db.execute("INSERT INTO t VALUES (1, 'one'), (2, 'two')", &[]).unwrap();
 //! let service = RelationalService::launch(&bus, "bus://demo", db, Default::default());
 //!
-//! // Direct access (paper Figure 2).
-//! let client = SqlClient::new(bus.clone(), "bus://demo");
-//! let data = client.execute(&service.db_resource, "SELECT name FROM t ORDER BY id", &[]).unwrap();
+//! // Direct access (paper Figure 2). A `dais://` resource ref names the
+//! // endpoint and the data resource in one address.
+//! let r = ResourceRef::from_parts("bus://demo", &service.db_resource).unwrap();
+//! let client = SqlClient::builder().bus(bus.clone()).resource(&r).build();
+//! let data = client.execute(r.resource(), "SELECT name FROM t ORDER BY id", &[]).unwrap();
 //! assert_eq!(data.rowset().unwrap().row_count(), 2);
 //!
 //! // Indirect access (paper Figure 3): factory → EPR → pull.
-//! let epr = client.execute_factory(&service.db_resource, "SELECT * FROM t", &[], None, None).unwrap();
+//! let epr = client.execute_factory(r.resource(), "SELECT * FROM t", &[], None, None).unwrap();
 //! let name = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
-//! let consumer2 = SqlClient::from_epr(bus, epr);
+//! let consumer2 = SqlClient::builder().bus(bus).epr(epr).build();
 //! assert_eq!(consumer2.get_sql_rowset(&name, 1).unwrap().row_count(), 2);
 //! ```
 
@@ -45,6 +48,7 @@ pub use dais_core as core;
 pub use dais_daif as daif;
 pub use dais_dair as dair;
 pub use dais_daix as daix;
+pub use dais_federation as federation;
 pub use dais_obs as obs;
 pub use dais_soap as soap;
 pub use dais_sql as sql;
@@ -55,12 +59,15 @@ pub use dais_xmldb as xmldb;
 /// The most common imports for building and consuming DAIS services.
 pub mod prelude {
     pub use dais_core::{
-        AbstractName, ConfigurationDocument, CoreClient, CoreProperties, DaisClient, DataResource,
-        NameGenerator, ResourceRegistry, Sensitivity, ServiceContext,
+        AbstractName, ClientBuilder, ConfigurationDocument, CoreClient, CoreProperties, DaisClient,
+        DataResource, NameGenerator, ResourceRef, ResourceRegistry, Sensitivity, ServiceContext,
     };
     pub use dais_daif::{FileClient, FileService, FileServiceOptions, FileStore};
     pub use dais_dair::{RelationalService, RelationalServiceOptions, SqlClient};
     pub use dais_daix::{XmlClient, XmlService, XmlServiceOptions};
+    pub use dais_federation::{
+        FederationService, FleetOptions, RelationalFleet, ShardScheme, XmlFleet,
+    };
     pub use dais_soap::{
         Bus, Epr, ExecutorConfig, FaultInjector, FaultPolicy, Pending, PendingReply, RetryPolicy,
     };

@@ -19,7 +19,7 @@ fn service_with_rows(bus: &Bus, address: &str, rows: usize) -> RelationalService
 fn direct_access_returns_data_in_response() {
     let bus = Bus::new();
     let svc = service_with_rows(&bus, "bus://e1a", 200);
-    let client = SqlClient::new(bus.clone(), "bus://e1a");
+    let client = SqlClient::builder().bus(bus.clone()).address("bus://e1a").build();
 
     let m = dais_bench::measure(&bus, || {
         let data = client.execute(&svc.db_resource, "SELECT * FROM item", &[]).unwrap();
@@ -38,7 +38,7 @@ fn direct_access_returns_data_in_response() {
 fn indirect_access_returns_only_an_epr() {
     let bus = Bus::new();
     let svc = service_with_rows(&bus, "bus://e1b", 200);
-    let consumer1 = SqlClient::new(bus.clone(), "bus://e1b");
+    let consumer1 = SqlClient::builder().bus(bus.clone()).address("bus://e1b").build();
 
     // Consumer 1 pays only for the factory exchange.
     let mut epr = None;
@@ -59,7 +59,7 @@ fn indirect_access_returns_only_an_epr() {
     // Consumer 2 pulls the actual rows.
     let epr = epr.unwrap();
     let name = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
-    let consumer2 = SqlClient::from_epr(bus.clone(), epr);
+    let consumer2 = SqlClient::builder().bus(bus.clone()).epr(epr).build();
     let m2 = dais_bench::measure(&bus, || {
         let rowset = consumer2.get_sql_rowset(&name, 1).unwrap();
         assert_eq!(rowset.row_count(), 200);
@@ -76,22 +76,34 @@ fn indirect_cost_at_consumer1_is_size_independent() {
     let large = service_with_rows(&bus, "bus://e1large", 1000);
 
     let direct_small = dais_bench::measure(&bus, || {
-        SqlClient::new(bus.clone(), "bus://e1small")
+        SqlClient::builder()
+            .bus(bus.clone())
+            .address("bus://e1small")
+            .build()
             .execute(&small.db_resource, "SELECT * FROM item", &[])
             .unwrap();
     });
     let direct_large = dais_bench::measure(&bus, || {
-        SqlClient::new(bus.clone(), "bus://e1large")
+        SqlClient::builder()
+            .bus(bus.clone())
+            .address("bus://e1large")
+            .build()
             .execute(&large.db_resource, "SELECT * FROM item", &[])
             .unwrap();
     });
     let factory_small = dais_bench::measure(&bus, || {
-        SqlClient::new(bus.clone(), "bus://e1small")
+        SqlClient::builder()
+            .bus(bus.clone())
+            .address("bus://e1small")
+            .build()
             .execute_factory(&small.db_resource, "SELECT * FROM item", &[], None, None)
             .unwrap();
     });
     let factory_large = dais_bench::measure(&bus, || {
-        SqlClient::new(bus.clone(), "bus://e1large")
+        SqlClient::builder()
+            .bus(bus.clone())
+            .address("bus://e1large")
+            .build()
             .execute_factory(&large.db_resource, "SELECT * FROM item", &[], None, None)
             .unwrap();
     });
@@ -112,7 +124,7 @@ fn indirect_cost_at_consumer1_is_size_independent() {
 fn epr_transfers_between_consumers() {
     let bus = Bus::new();
     let svc = service_with_rows(&bus, "bus://e1c", 50);
-    let consumer1 = SqlClient::new(bus.clone(), "bus://e1c");
+    let consumer1 = SqlClient::builder().bus(bus.clone()).address("bus://e1c").build();
     let epr = consumer1
         .execute_factory(
             &svc.db_resource,
@@ -130,7 +142,7 @@ fn epr_transfers_between_consumers() {
     assert_eq!(revived, epr);
 
     let name = AbstractName::new(revived.resource_abstract_name().unwrap()).unwrap();
-    let consumer2 = SqlClient::from_epr(bus, revived);
+    let consumer2 = SqlClient::builder().bus(bus).epr(revived).build();
     let rowset = consumer2.get_sql_rowset(&name, 1).unwrap();
     assert!(rowset.row_count() > 0);
 }

@@ -161,7 +161,7 @@ fn streamed_page_encoding_allocates_constant_not_per_row() {
 /// well under one reply's size once decode output is accounted for.
 #[test]
 fn get_tuples_many_reuses_its_reply_buffer() {
-    use dais_core::AbstractName;
+    use dais_core::{AbstractName, DaisClient};
     use dais_dair::{RelationalService, RelationalServiceOptions, SqlClient};
     use dais_sql::Database;
 
@@ -181,7 +181,7 @@ fn get_tuples_many_reuses_its_reply_buffer() {
         db,
         RelationalServiceOptions::default(),
     );
-    let client = SqlClient::new(bus.clone(), "bus://alloc-dair");
+    let client = SqlClient::builder().bus(bus.clone()).address("bus://alloc-dair").build();
     let db_name = svc.db_resource.clone();
 
     let epr = client

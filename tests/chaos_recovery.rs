@@ -62,7 +62,7 @@ fn build_stack(retry_seed: Option<u64>) -> Stack {
     let sql_svc = RelationalService::launch(&bus, SQL_ADDR, db, Default::default());
 
     let xml_svc = XmlService::launch(&bus, XML_ADDR, XmlDatabase::new("chaos"), Default::default());
-    let setup_xml = XmlClient::new(bus.clone(), XML_ADDR);
+    let setup_xml = XmlClient::builder().bus(bus.clone()).address(XML_ADDR).build();
     setup_xml
         .add_documents(
             &xml_svc.root_collection,
@@ -80,17 +80,26 @@ fn build_stack(retry_seed: Option<u64>) -> Stack {
 
     let (sql, xml, files) = match retry_seed {
         Some(seed) => (
-            SqlClient::new(bus.clone(), SQL_ADDR)
+            SqlClient::builder()
+                .bus(bus.clone())
+                .address(SQL_ADDR)
+                .build()
                 .with_retry_config(sweep_retry(seed, dais::dair::client::idempotent_actions())),
-            XmlClient::new(bus.clone(), XML_ADDR)
+            XmlClient::builder()
+                .bus(bus.clone())
+                .address(XML_ADDR)
+                .build()
                 .with_retry_config(sweep_retry(seed, dais::daix::client::idempotent_actions())),
-            FileClient::new(bus.clone(), FILE_ADDR)
+            FileClient::builder()
+                .bus(bus.clone())
+                .address(FILE_ADDR)
+                .build()
                 .with_retry_config(sweep_retry(seed, dais::daif::client::idempotent_actions())),
         ),
         None => (
-            SqlClient::new(bus.clone(), SQL_ADDR),
-            XmlClient::new(bus.clone(), XML_ADDR),
-            FileClient::new(bus.clone(), FILE_ADDR),
+            SqlClient::builder().bus(bus.clone()).address(SQL_ADDR).build(),
+            XmlClient::builder().bus(bus.clone()).address(XML_ADDR).build(),
+            FileClient::builder().bus(bus.clone()).address(FILE_ADDR).build(),
         ),
     };
 

@@ -41,7 +41,7 @@ fn mixed_fabric_under_concurrency() {
                 match w % 3 {
                     0 => {
                         // Relational consumer: insert then aggregate.
-                        let c = SqlClient::new(bus, "bus://rel");
+                        let c = SqlClient::builder().bus(bus).address("bus://rel").build();
                         for i in 0..iterations {
                             c.execute(
                                 &rel_name,
@@ -64,7 +64,7 @@ fn mixed_fabric_under_concurrency() {
                     }
                     1 => {
                         // XML consumer: documents + queries.
-                        let c = XmlClient::new(bus, "bus://xml");
+                        let c = XmlClient::builder().bus(bus).address("bus://xml").build();
                         for i in 0..iterations {
                             c.add_documents(
                                 &xml_name,
@@ -126,10 +126,10 @@ fn mixed_fabric_under_concurrency() {
     }
 
     // Fabric-wide invariants.
-    let c = SqlClient::new(bus.clone(), "bus://rel");
+    let c = SqlClient::builder().bus(bus.clone()).address("bus://rel").build();
     let total = c.execute(&rel.db_resource, "SELECT COUNT(*) FROM hits", &[]).unwrap();
     assert_eq!(total.rowset().unwrap().rows[0][0], Value::Int(3 * iterations as i64));
-    let xc = XmlClient::new(bus.clone(), "bus://xml");
+    let xc = XmlClient::builder().bus(bus.clone()).address("bus://xml").build();
     assert_eq!(xc.get_documents(&xml.root_collection, &[]).unwrap().len(), 3 * iterations);
     let stats = bus.stats();
     assert_eq!(stats.faults, 0, "no faults under the mixed workload");
@@ -151,7 +151,7 @@ fn concurrent_derivation_and_destruction() {
             let bus = bus.clone();
             let name = svc.db_resource.clone();
             std::thread::spawn(move || {
-                let c = SqlClient::new(bus, "bus://race");
+                let c = SqlClient::builder().bus(bus).address("bus://race").build();
                 for _ in 0..15 {
                     let epr = c.execute_factory(&name, "SELECT * FROM t", &[], None, None).unwrap();
                     let derived = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();

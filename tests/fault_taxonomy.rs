@@ -13,7 +13,7 @@ fn setup() -> (Bus, SqlClient, AbstractName) {
     let db = Database::new("faults");
     db.execute_script("CREATE TABLE t (a INTEGER PRIMARY KEY); INSERT INTO t VALUES (1);").unwrap();
     let svc = RelationalService::launch(&bus, "bus://faults", db, Default::default());
-    (bus.clone(), SqlClient::new(bus, "bus://faults"), svc.db_resource)
+    (bus.clone(), SqlClient::builder().bus(bus).address("bus://faults").build(), svc.db_resource)
 }
 
 #[test]
@@ -136,7 +136,7 @@ fn transport_vs_application_errors_are_distinct() {
     let err = client.execute(&AbstractName::new("urn:x:y").unwrap(), "SELECT 1", &[]).unwrap_err();
     assert!(matches!(err, dais::soap::client::CallError::Fault(_)));
     // Transport-level: no endpoint at all.
-    let dead = SqlClient::new(bus, "bus://nowhere");
+    let dead = SqlClient::builder().bus(bus).address("bus://nowhere").build();
     let err = dead.execute(&db, "SELECT 1", &[]).unwrap_err();
     assert!(matches!(err, dais::soap::client::CallError::Transport(_)));
 }

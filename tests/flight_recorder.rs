@@ -232,7 +232,7 @@ fn service_levels_and_connection_histograms_travel_the_wire() {
     db.execute("CREATE TABLE t (k INTEGER PRIMARY KEY)", &[]).unwrap();
     db.execute("INSERT INTO t VALUES (1)", &[]).unwrap();
     let svc = RelationalService::launch(&bus, "bus://flight/sql", db, Default::default());
-    let sql = SqlClient::new(bus.clone(), "bus://flight/sql");
+    let sql = SqlClient::builder().bus(bus.clone()).address("bus://flight/sql").build();
 
     let server = TcpServer::bind(&bus, "127.0.0.1:0").unwrap();
     let transport = TcpTransport::default();

@@ -23,7 +23,7 @@ fn relational_bus() -> (Bus, RelationalService) {
 #[test]
 fn core_operations_inventory() {
     let (bus, svc) = relational_bus();
-    let client = SqlClient::new(bus, "bus://conf");
+    let client = SqlClient::builder().bus(bus).address("bus://conf").build();
 
     // GetDataResourcePropertyDocument
     client.core().get_property_document(&svc.db_resource).unwrap();
@@ -146,7 +146,7 @@ fn direct_access_message_pattern_conformance() {
 #[test]
 fn indirect_access_message_pattern_conformance() {
     let (bus, svc) = relational_bus();
-    let client = SqlClient::new(bus, "bus://conf");
+    let client = SqlClient::builder().bus(bus).address("bus://conf").build();
     let config = ConfigurationDocument {
         description: Some("my derived view".into()),
         sensitivity: Some(Sensitivity::Sensitive),
@@ -181,14 +181,14 @@ fn destroy_semantics_by_management_class() {
     let db = Database::new("persist");
     db.execute_script("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (42);").unwrap();
     let svc = RelationalService::launch(&bus, "bus://persist", db.clone(), Default::default());
-    let client = SqlClient::new(bus.clone(), "bus://persist");
+    let client = SqlClient::builder().bus(bus.clone()).address("bus://persist").build();
 
     client.core().destroy(&svc.db_resource).unwrap();
     // The service no longer knows the resource...
     assert!(client.execute(&svc.db_resource, "SELECT * FROM t", &[]).is_err());
     // ...but the externally managed data is intact.
     let again = RelationalService::launch(&bus, "bus://persist2", db, Default::default());
-    let client2 = SqlClient::new(bus, "bus://persist2");
+    let client2 = SqlClient::builder().bus(bus).address("bus://persist2").build();
     let data = client2.execute(&again.db_resource, "SELECT a FROM t", &[]).unwrap();
     assert_eq!(data.rowset().unwrap().rows[0][0], Value::Int(42));
 }
@@ -198,7 +198,7 @@ fn destroy_semantics_by_management_class() {
 #[test]
 fn dataset_map_governs_return_formats() {
     let (bus, svc) = relational_bus();
-    let client = SqlClient::new(bus, "bus://conf");
+    let client = SqlClient::builder().bus(bus).address("bus://conf").build();
     let err = client
         .execute_with_format(&svc.db_resource, "urn:example:csv", "SELECT 1", &[])
         .unwrap_err();
@@ -213,7 +213,7 @@ fn dataset_map_governs_return_formats() {
 #[test]
 fn property_document_field_sets() {
     let (bus, svc) = relational_bus();
-    let client = SqlClient::new(bus, "bus://conf");
+    let client = SqlClient::builder().bus(bus).address("bus://conf").build();
     let xml_doc = client.core().get_property_document_xml(&svc.db_resource).unwrap();
     for p in dais::dair::properties::CORE_PROPERTIES {
         assert!(xml_doc.child(ns::WSDAI, p).is_some(), "missing core property {p}");

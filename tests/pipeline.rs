@@ -69,7 +69,7 @@ fn full_figure5_flow() {
     let p = build_pipeline(300);
 
     // Consumer 1 → Data Service 1: SQLExecuteFactory.
-    let c1 = SqlClient::new(p.bus.clone(), "bus://p1");
+    let c1 = SqlClient::builder().bus(p.bus.clone()).address("bus://p1").build();
     let response_epr = c1
         .execute_factory(
             &p.db_resource,
@@ -85,7 +85,7 @@ fn full_figure5_flow() {
     assert_eq!(p.svc1.registry.len(), 1, "Data Service 1 keeps only the database");
 
     // Consumer 2 → Data Service 2: SQLRowsetFactory.
-    let c2 = SqlClient::from_epr(p.bus.clone(), response_epr);
+    let c2 = SqlClient::builder().bus(p.bus.clone()).epr(response_epr).build();
     let rowset_epr =
         c2.rowset_factory(&response_name, None, Some("wsdair:SQLRowsetAccessPT")).unwrap();
     assert_eq!(rowset_epr.address, "bus://p3", "rowset resource lives on Data Service 3");
@@ -93,7 +93,7 @@ fn full_figure5_flow() {
     assert_eq!(p.svc3.registry.len(), 1);
 
     // Consumer 3 → Data Service 3: GetTuples pages through everything.
-    let c3 = SqlClient::from_epr(p.bus.clone(), rowset_epr);
+    let c3 = SqlClient::builder().bus(p.bus.clone()).epr(rowset_epr).build();
     let mut total = 0;
     let mut last_id = -1i64;
     loop {
@@ -118,14 +118,14 @@ fn full_figure5_flow() {
 #[test]
 fn data_flows_only_where_pulled() {
     let p = build_pipeline(400);
-    let c1 = SqlClient::new(p.bus.clone(), "bus://p1");
+    let c1 = SqlClient::builder().bus(p.bus.clone()).address("bus://p1").build();
     let response_epr =
         c1.execute_factory(&p.db_resource, "SELECT * FROM item", &[], None, None).unwrap();
     let response_name = AbstractName::new(response_epr.resource_abstract_name().unwrap()).unwrap();
-    let c2 = SqlClient::from_epr(p.bus.clone(), response_epr);
+    let c2 = SqlClient::builder().bus(p.bus.clone()).epr(response_epr).build();
     let rowset_epr = c2.rowset_factory(&response_name, None, None).unwrap();
     let rowset_name = AbstractName::new(rowset_epr.resource_abstract_name().unwrap()).unwrap();
-    let c3 = SqlClient::from_epr(p.bus.clone(), rowset_epr);
+    let c3 = SqlClient::builder().bus(p.bus.clone()).epr(rowset_epr).build();
     let mut got = 0;
     while got < 400 {
         got += c3.get_tuples(&rowset_name, got, 100).unwrap().row_count();
@@ -156,7 +156,7 @@ fn shortcut_single_service_deployment_matches() {
     let db = Database::new("single");
     dais_bench::workload::populate_items(&db, 50, 16);
     let svc = RelationalService::launch(&bus, "bus://single", db, Default::default());
-    let client = SqlClient::new(bus.clone(), "bus://single");
+    let client = SqlClient::builder().bus(bus.clone()).address("bus://single").build();
 
     let response_epr =
         client.execute_factory(&svc.db_resource, "SELECT id FROM item", &[], None, None).unwrap();

@@ -16,7 +16,7 @@ fn setup(rows_sql: &str) -> (Bus, SqlClient, AbstractName) {
     .unwrap();
     db.execute(rows_sql, &[]).unwrap();
     let svc = RelationalService::launch(&bus, "bus://s", db, Default::default());
-    (bus.clone(), SqlClient::new(bus, "bus://s"), svc.db_resource)
+    (bus.clone(), SqlClient::builder().bus(bus).address("bus://s").build(), svc.db_resource)
 }
 
 // ---------------------------------------------------------------------------
@@ -115,7 +115,7 @@ fn concurrent_consumers() {
             let bus = bus.clone();
             let db = db.clone();
             std::thread::spawn(move || {
-                let client = SqlClient::new(bus, "bus://s");
+                let client = SqlClient::builder().bus(bus).address("bus://s").build();
                 for _ in 0..25 {
                     if i % 2 == 0 {
                         client
@@ -132,7 +132,7 @@ fn concurrent_consumers() {
     for t in threads {
         t.join().unwrap();
     }
-    let client = SqlClient::new(bus, "bus://s");
+    let client = SqlClient::builder().bus(bus).address("bus://s").build();
     let data = client.execute(&db, "SELECT balance FROM acct", &[]).unwrap();
     assert_eq!(data.rowset().unwrap().rows[0][0], Value::Double(100.0)); // 4 writers × 25
 }
@@ -146,7 +146,7 @@ fn concurrent_factories() {
             let bus = bus.clone();
             let db = db.clone();
             std::thread::spawn(move || {
-                let client = SqlClient::new(bus, "bus://s");
+                let client = SqlClient::builder().bus(bus).address("bus://s").build();
                 let epr =
                     client.execute_factory(&db, "SELECT * FROM acct", &[], None, None).unwrap();
                 AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap()
@@ -161,7 +161,7 @@ fn concurrent_factories() {
     dedup.dedup();
     assert_eq!(dedup.len(), names.len(), "abstract names must be unique");
     // All of them resolve and serve data.
-    let client = SqlClient::new(bus, "bus://s");
+    let client = SqlClient::builder().bus(bus).address("bus://s").build();
     for n in &names {
         assert_eq!(client.get_sql_rowset(n, 1).unwrap().row_count(), 1);
     }
@@ -204,7 +204,7 @@ fn thick_wrapper_rewrites_e2e() {
         db,
         RelationalServiceOptions { query_rewriter: Some(rewriter), ..Default::default() },
     );
-    let client = SqlClient::new(bus, "bus://thick");
+    let client = SqlClient::builder().bus(bus).address("bus://thick").build();
     // Whatever we send, the wrapper's rewrite executes.
     let data = client.execute(&svc.db_resource, "SELECT a FROM t WHERE a = 1", &[]).unwrap();
     assert_eq!(data.rowset().unwrap().rows[0][0], Value::Int(3));

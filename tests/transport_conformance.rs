@@ -69,7 +69,11 @@ fn sql_stack(retry_seed: u64) -> (Bus, SqlClient, AbstractName) {
         db.execute("INSERT INTO t VALUES (?, ?)", &[Value::Int(k), Value::Str(v.into())]).unwrap();
     }
     let svc = RelationalService::launch(&bus, SQL_ADDR, db, Default::default());
-    let sql = SqlClient::new(bus.clone(), SQL_ADDR).with_retry_config(sweep_retry(retry_seed));
+    let sql = SqlClient::builder()
+        .bus(bus.clone())
+        .address(SQL_ADDR)
+        .build()
+        .with_retry_config(sweep_retry(retry_seed));
     (bus, sql, svc.db_resource)
 }
 

@@ -46,8 +46,8 @@ fn core_behaviour_is_identical_across_deployments() {
     let bus = Bus::new();
     let plain = plain_service(&bus, "bus://plain");
     let (wsrf, _) = wsrf_service(&bus, "bus://wsrf");
-    let cp = SqlClient::new(bus.clone(), "bus://plain");
-    let cw = SqlClient::new(bus.clone(), "bus://wsrf");
+    let cp = SqlClient::builder().bus(bus.clone()).address("bus://plain").build();
+    let cw = SqlClient::builder().bus(bus.clone()).address("bus://wsrf").build();
 
     // Same query, same result shape.
     let rp = cp.execute(&plain.db_resource, "SELECT * FROM t ORDER BY a", &[]).unwrap();
@@ -67,8 +67,8 @@ fn fine_grained_properties_require_wsrf() {
     let bus = Bus::new();
     let plain = plain_service(&bus, "bus://plain");
     let (wsrf, _) = wsrf_service(&bus, "bus://wsrf");
-    let cp = SqlClient::new(bus.clone(), "bus://plain");
-    let cw = SqlClient::new(bus.clone(), "bus://wsrf");
+    let cp = SqlClient::builder().bus(bus.clone()).address("bus://plain").build();
+    let cw = SqlClient::builder().bus(bus.clone()).address("bus://wsrf").build();
 
     // Plain: the operation does not exist.
     assert!(cp.core().get_resource_property(&plain.db_resource, "wsdai:Readable").is_err());
@@ -96,7 +96,7 @@ fn fine_grained_properties_require_wsrf() {
 fn soft_state_requires_wsrf() {
     let bus = Bus::new();
     let plain = plain_service(&bus, "bus://plain");
-    let cp = SqlClient::new(bus.clone(), "bus://plain");
+    let cp = SqlClient::builder().bus(bus.clone()).address("bus://plain").build();
     let epr = cp.execute_factory(&plain.db_resource, "SELECT 1", &[], None, None).unwrap();
     let derived = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
     // No lifetime port on the plain service.
@@ -109,7 +109,7 @@ fn soft_state_requires_wsrf() {
 fn soft_state_expiry_and_renewal() {
     let bus = Bus::new();
     let (wsrf, clock) = wsrf_service(&bus, "bus://wsrf");
-    let c = SqlClient::new(bus.clone(), "bus://wsrf");
+    let c = SqlClient::builder().bus(bus.clone()).address("bus://wsrf").build();
 
     let epr = c.execute_factory(&wsrf.db_resource, "SELECT * FROM t", &[], None, None).unwrap();
     let derived = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();
@@ -138,7 +138,7 @@ fn soft_state_expiry_and_renewal() {
 fn sweeper_reaps_in_bulk() {
     let bus = Bus::new();
     let (wsrf, clock) = wsrf_service(&bus, "bus://wsrf");
-    let c = SqlClient::new(bus.clone(), "bus://wsrf");
+    let c = SqlClient::builder().bus(bus.clone()).address("bus://wsrf").build();
 
     let mut names = Vec::new();
     for i in 0..5 {
@@ -164,7 +164,7 @@ fn sweeper_reaps_in_bulk() {
 fn wsrf_destroy_and_core_destroy_interchangeable() {
     let bus = Bus::new();
     let (wsrf, _) = wsrf_service(&bus, "bus://wsrf");
-    let c = SqlClient::new(bus.clone(), "bus://wsrf");
+    let c = SqlClient::builder().bus(bus.clone()).address("bus://wsrf").build();
 
     let epr = c.execute_factory(&wsrf.db_resource, "SELECT 1", &[], None, None).unwrap();
     let a = AbstractName::new(epr.resource_abstract_name().unwrap()).unwrap();

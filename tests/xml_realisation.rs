@@ -35,7 +35,7 @@ fn wsrf_layered_xml_service() {
         XmlDatabase::new("xw"),
         XmlServiceOptions { wsrf: Some(Arc::new(LifetimeRegistry::new(clock.clone()))) },
     );
-    let client = XmlClient::new(bus.clone(), "bus://xw");
+    let client = XmlClient::builder().bus(bus.clone()).address("bus://xw").build();
     client.add_documents(&svc.root_collection, &corpus()).unwrap();
 
     // Fine-grained property access works on XML resources too.
@@ -61,7 +61,7 @@ fn wsrf_layered_xml_service() {
 fn xquery_and_xpath_agree_on_filters() {
     let bus = Bus::new();
     let svc = XmlService::launch(&bus, "bus://xa", XmlDatabase::new("xa"), Default::default());
-    let client = XmlClient::new(bus, "bus://xa");
+    let client = XmlClient::builder().bus(bus).address("bus://xa").build();
     client.add_documents(&svc.root_collection, &corpus()).unwrap();
 
     let via_xpath = client.xpath(&svc.root_collection, "/record[group = 2]").unwrap();
@@ -79,7 +79,7 @@ fn xquery_and_xpath_agree_on_filters() {
 fn xupdate_then_query_consistency() {
     let bus = Bus::new();
     let svc = XmlService::launch(&bus, "bus://xu", XmlDatabase::new("xu"), Default::default());
-    let client = XmlClient::new(bus, "bus://xu");
+    let client = XmlClient::builder().bus(bus).address("bus://xu").build();
     client.add_documents(&svc.root_collection, &corpus()).unwrap();
 
     // Rename group → cohort across every document, then query by the new name.
@@ -105,13 +105,13 @@ fn generic_query_is_uniform_across_realisations() {
     db.execute_script("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1), (2);").unwrap();
     let rel = RelationalService::launch(&bus, "bus://grel", db, Default::default());
     let xsvc = XmlService::launch(&bus, "bus://gxml", XmlDatabase::new("g"), Default::default());
-    let xclient = XmlClient::new(bus.clone(), "bus://gxml");
+    let xclient = XmlClient::builder().bus(bus.clone()).address("bus://gxml").build();
     xclient
         .add_documents(&xsvc.root_collection, &[("d".into(), parse("<r><a>1</a></r>").unwrap())])
         .unwrap();
 
-    let core_rel = dais::core::CoreClient::new(bus.clone(), "bus://grel");
-    let core_xml = dais::core::CoreClient::new(bus.clone(), "bus://gxml");
+    let core_rel = dais::core::CoreClient::builder().bus(bus.clone()).address("bus://grel").build();
+    let core_xml = dais::core::CoreClient::builder().bus(bus.clone()).address("bus://gxml").build();
 
     // Each resource advertises its languages...
     let rel_langs =
@@ -147,7 +147,7 @@ fn daif_realisation_follows_the_family_pattern() {
         store.write(&format!("logs/day{i}.log"), vec![b'x'; 100 * (i + 1)]).unwrap();
     }
     let svc = dais::daif::FileService::launch(&bus, "bus://flog", store, Default::default());
-    let core = dais::core::CoreClient::new(bus.clone(), "bus://flog");
+    let core = dais::core::CoreClient::builder().bus(bus.clone()).address("bus://flog").build();
 
     // Core property document with WS-DAIF extensions.
     let doc = core.get_property_document_xml(&svc.root).unwrap();
