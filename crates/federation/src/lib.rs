@@ -15,6 +15,9 @@
 //! * [`scatter`] — [`scatter::call_shard`], the replica-aware call loop:
 //!   immediate failover to a sibling when a replica reports hot,
 //!   back-off (honouring `retry_after`) only when a whole shard is.
+//! * [`statement`] — scatter admission: a statement is proven
+//!   distributable (or refused, or its `LIMIT`/`OFFSET` rewritten to a
+//!   global merge window) before anything reaches a shard.
 //! * [`merge`] — streaming k-way merge of WebRowSet pages off
 //!   [`RowsetCursor`](dais_sql::RowsetCursor)s: no shard page and no
 //!   merged result is ever materialised.
@@ -27,9 +30,11 @@ pub mod merge;
 pub mod router;
 pub mod scatter;
 pub mod service;
+pub mod statement;
 
 pub use fleet::{shard_address, FleetOptions, RelationalFleet, XmlFleet};
-pub use merge::{compare_values, merge_cursors, merge_key_of, MergeKey, SortKey};
+pub use merge::{compare_values, merge_cursors, MergeKey, SortKey};
 pub use router::{ShardRouter, ShardScheme};
-pub use scatter::{call_shard, FailoverPolicy};
+pub use scatter::{call_replica, call_shard, scatter_shards, FailoverPolicy};
 pub use service::{FederationOptions, FederationService};
+pub use statement::{analyze, AdmissionError, DistributedStatement};

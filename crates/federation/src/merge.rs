@@ -13,8 +13,9 @@ use dais_sql::{RowsetColumn, RowsetCursor, RowsetWriter, SqlError, Value};
 use dais_xml::{XmlSink, XmlWriter};
 
 /// A total order over [`Value`]s for merging: `NULL < booleans < numbers
-/// < strings`, numbers compared after promotion (exact when both sides
-/// are integers). `Value` deliberately carries no `PartialOrd` — SQL
+/// < strings`, numbers compared exactly across `Int`/`Double` (no lossy
+/// promotion — a shard sorting `i64`s past 2^53 must merge in the same
+/// order it sorted). `Value` deliberately carries no `PartialOrd` — SQL
 /// comparison is three-valued — so the merge defines its own.
 pub fn compare_values(a: &Value, b: &Value) -> Ordering {
     fn rank(v: &Value) -> u8 {
@@ -29,15 +30,41 @@ pub fn compare_values(a: &Value, b: &Value) -> Ordering {
         (Value::Null, Value::Null) => Ordering::Equal,
         (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
         (Value::Int(x), Value::Int(y)) => x.cmp(y),
-        (Value::Int(x), Value::Double(y)) => (*x as f64).total_cmp(y),
-        (Value::Double(x), Value::Int(y)) => x.total_cmp(&(*y as f64)),
+        (Value::Int(x), Value::Double(y)) => cmp_int_double(*x, *y),
+        (Value::Double(x), Value::Int(y)) => cmp_int_double(*y, *x).reverse(),
         (Value::Double(x), Value::Double(y)) => x.total_cmp(y),
         (Value::Str(x), Value::Str(y)) => x.cmp(y),
         _ => rank(a).cmp(&rank(b)),
     }
 }
 
-/// The column an `ORDER BY` sorts on, as far as the merge needs to know.
+/// Exact `i64` vs `f64` ordering. `i as f64` rounds for |i| > 2^53 and
+/// would disagree with the shard-local integer sort; instead the double
+/// is decomposed: its integer part compares exactly against `i`, and a
+/// fractional remainder breaks the tie. NaN sorts above every integer
+/// (matching `total_cmp` against positive NaN); negative NaN below.
+fn cmp_int_double(i: i64, d: f64) -> Ordering {
+    if d.is_nan() {
+        return if d.is_sign_negative() { Ordering::Greater } else { Ordering::Less };
+    }
+    let floor = d.floor();
+    // i64::MAX as f64 rounds up to 2^63, so `floor >= 2^63` exactly
+    // captures "integer part above every i64"; -2^63 is representable.
+    if floor >= i64::MAX as f64 {
+        return Ordering::Less;
+    }
+    if floor < i64::MIN as f64 {
+        return Ordering::Greater;
+    }
+    match i.cmp(&(floor as i64)) {
+        // Equal integer parts: a fractional remainder pushes d above i.
+        Ordering::Equal if d > floor => Ordering::Less,
+        ord => ord,
+    }
+}
+
+/// The column an `ORDER BY` term sorts on, as far as the merge needs to
+/// know.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SortKey {
     /// Sort column by (unqualified, case-insensitive) name.
@@ -46,8 +73,9 @@ pub enum SortKey {
     Ordinal(usize),
 }
 
-/// The merge discipline a scattered statement requires: which output
-/// column orders the global result, and in which direction.
+/// One `ORDER BY` term of a scattered statement: which output column it
+/// sorts on, and in which direction. The full term list merges
+/// lexicographically ([`merge_cursors`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MergeKey {
     pub key: SortKey,
@@ -56,8 +84,7 @@ pub struct MergeKey {
 
 impl MergeKey {
     /// Resolve the key against the rowset metadata; `None` if the
-    /// statement ordered by something the output does not carry (the
-    /// merge then degrades to shard-order concatenation).
+    /// statement ordered by something the output does not carry.
     pub fn index_in(&self, columns: &[RowsetColumn]) -> Option<usize> {
         match &self.key {
             SortKey::Ordinal(i) => (*i < columns.len()).then_some(*i),
@@ -66,79 +93,22 @@ impl MergeKey {
     }
 }
 
-/// Extract the merge key from a SQL statement's trailing `ORDER BY`
-/// clause, if any. Only the *first* sort term matters to the k-way
-/// merge: each shard already returns rows fully sorted, and a stable
-/// lowest-shard tie-break keeps equal keys deterministic.
-pub fn merge_key_of(sql: &str) -> Option<MergeKey> {
-    let lower = sql.to_ascii_lowercase();
-    let by = find_order_by(&lower)?;
-    let tail = &sql[by..];
-    let first_term = tail.split(',').next().unwrap_or(tail);
-    let mut tokens = first_term.split_whitespace();
-    let head = tokens.next()?;
-    let mut descending = false;
-    for t in tokens {
-        match t.to_ascii_lowercase().as_str() {
-            "desc" => descending = true,
-            "asc" => descending = false,
-            _ => break, // LIMIT / OFFSET / anything else ends the term
-        }
-    }
-    let head = head.trim_matches(|c: char| c == ',' || c == ';');
-    let key = if let Ok(ordinal) = head.parse::<usize>() {
-        SortKey::Ordinal(ordinal.checked_sub(1)?)
-    } else {
-        // Strip any `table.` qualifier; the rowset carries bare names.
-        let bare = head.rsplit('.').next().unwrap_or(head);
-        if bare.is_empty() || !bare.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
-            return None;
-        }
-        SortKey::Column(bare.to_ascii_lowercase())
-    };
-    Some(MergeKey { key, descending })
-}
-
-/// Byte offset just past the last `ORDER BY` keyword pair in `lower`
-/// (which must be the lowercased statement).
-fn find_order_by(lower: &str) -> Option<usize> {
-    let mut at = None;
-    let mut from = 0;
-    while let Some(i) = lower[from..].find("order") {
-        let start = from + i;
-        let after = &lower[start + 5..];
-        let trimmed = after.trim_start();
-        if trimmed.starts_with("by")
-            && is_boundary(lower.as_bytes(), start)
-            && after.len() > trimmed.len() // whitespace between the keywords
-            && trimmed[2..].starts_with(|c: char| c.is_whitespace())
-        {
-            let by_at = start + 5 + (after.len() - trimmed.len()) + 2;
-            at = Some(by_at);
-        }
-        from = start + 5;
-    }
-    at
-}
-
-fn is_boundary(bytes: &[u8], at: usize) -> bool {
-    at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_')
-}
-
 const NULL: Value = Value::Null;
 
 /// Merge `cursors` (one sorted rowset page per shard) into `w` as a
 /// single WebRowSet document, skipping `skip` merged rows and emitting
 /// at most `take`. Returns the number of rows written.
 ///
-/// With an `order` key the merge is a k-way minimum scan (ties broken
-/// towards the lowest shard index); without one, pages concatenate in
-/// shard order. Either way every row streams cursor → writer through
-/// one reused buffer per shard.
+/// With a non-empty `order` the merge is a k-way minimum scan comparing
+/// the full key list lexicographically — ties on the first key fall to
+/// the second, and so on, exactly as a single service's sort would —
+/// breaking only complete ties towards the lowest shard index. Without
+/// one, pages concatenate in shard order. Either way every row streams
+/// cursor → writer through one reused buffer per shard.
 pub fn merge_cursors<S: XmlSink>(
     w: &mut XmlWriter<'_, S>,
     mut cursors: Vec<RowsetCursor<'_>>,
-    order: Option<&MergeKey>,
+    order: &[MergeKey],
     skip: usize,
     take: usize,
 ) -> Result<u64, SqlError> {
@@ -148,8 +118,22 @@ pub fn merge_cursors<S: XmlSink>(
         None => Vec::new(),
     };
     writer.begin(w, &columns);
-    let key_index = order.and_then(|o| o.index_in(&columns));
-    let descending = order.map(|o| o.descending).unwrap_or(false);
+    // Keys resolve to (column index, descending) pairs. The prefix up
+    // to the first unresolvable key still orders the merge usefully; an
+    // unresolvable *first* key degrades to shard-order concatenation,
+    // as before.
+    let keys: Vec<(usize, bool)> =
+        order.iter().map_while(|k| k.index_in(&columns).map(|i| (i, k.descending))).collect();
+    let compare_rows = |a: &[Value], b: &[Value]| -> Ordering {
+        for &(index, descending) in &keys {
+            let ord = compare_values(a.get(index).unwrap_or(&NULL), b.get(index).unwrap_or(&NULL));
+            let ord = if descending { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    };
 
     // One reusable row buffer per shard; `alive[i]` says buffer i holds
     // the shard's next undelivered row.
@@ -162,32 +146,20 @@ pub fn merge_cursors<S: XmlSink>(
     let mut seen = 0usize;
     let mut written = 0u64;
     while written < take as u64 {
-        let next = match key_index {
-            Some(k) => {
-                let mut best: Option<usize> = None;
-                for i in 0..cursors.len() {
-                    if !alive[i] {
-                        continue;
-                    }
-                    let cell = rows[i].get(k).unwrap_or(&NULL);
-                    let better = match best {
-                        None => true,
-                        Some(b) => {
-                            let ord = compare_values(cell, rows[b].get(k).unwrap_or(&NULL));
-                            if descending {
-                                ord == Ordering::Greater
-                            } else {
-                                ord == Ordering::Less
-                            }
-                        }
-                    };
-                    if better {
-                        best = Some(i);
-                    }
+        let next = if keys.is_empty() {
+            (0..cursors.len()).find(|&i| alive[i])
+        } else {
+            let mut best: Option<usize> = None;
+            for i in 0..cursors.len() {
+                if !alive[i] {
+                    continue;
                 }
-                best
+                // Strictly-less keeps complete ties on the lowest shard.
+                if best.is_none_or(|b| compare_rows(&rows[i], &rows[b]) == Ordering::Less) {
+                    best = Some(i);
+                }
             }
-            None => (0..cursors.len()).find(|&i| alive[i]),
+            best
         };
         let Some(i) = next else { break };
         if seen >= skip {
@@ -207,18 +179,6 @@ mod tests {
     use dais_sql::{Rowset, SqlType};
     use dais_xml::PullParser;
 
-    #[test]
-    fn merge_key_parses_names_ordinals_and_direction() {
-        let k = merge_key_of("SELECT id, v FROM t ORDER BY id").unwrap();
-        assert_eq!(k, MergeKey { key: SortKey::Column("id".into()), descending: false });
-        let k = merge_key_of("select * from t order by t.V desc limit 3").unwrap();
-        assert_eq!(k, MergeKey { key: SortKey::Column("v".into()), descending: true });
-        let k = merge_key_of("select a, b from t order by 2 DESC, 1").unwrap();
-        assert_eq!(k, MergeKey { key: SortKey::Ordinal(1), descending: true });
-        assert_eq!(merge_key_of("select * from t where a = 1"), None);
-        assert_eq!(merge_key_of("select reorder from t"), None);
-    }
-
     fn page(rows: &[(i64, &str)]) -> String {
         let columns = vec![
             RowsetColumn { name: "id".into(), ty: SqlType::Integer },
@@ -237,7 +197,7 @@ mod tests {
         out
     }
 
-    fn merged(pages: &[String], order: Option<&MergeKey>, skip: usize, take: usize) -> Rowset {
+    fn merged(pages: &[String], order: &[MergeKey], skip: usize, take: usize) -> Rowset {
         let mut parsers: Vec<PullParser<'_>> =
             pages.iter().map(|p| PullParser::new(p).unwrap()).collect();
         let cursors: Vec<RowsetCursor<'_>> =
@@ -260,11 +220,18 @@ mod tests {
             .collect()
     }
 
+    fn asc(name: &str) -> MergeKey {
+        MergeKey { key: SortKey::Column(name.into()), descending: false }
+    }
+
+    fn desc(name: &str) -> MergeKey {
+        MergeKey { key: SortKey::Column(name.into()), descending: true }
+    }
+
     #[test]
     fn k_way_merge_interleaves_sorted_pages() {
         let pages = [page(&[(1, "a"), (4, "d"), (9, "i")]), page(&[(2, "b"), (3, "c")]), page(&[])];
-        let key = MergeKey { key: SortKey::Column("id".into()), descending: false };
-        let r = merged(&pages, Some(&key), 0, usize::MAX);
+        let r = merged(&pages, &[asc("id")], 0, usize::MAX);
         assert_eq!(ids(&r), vec![1, 2, 3, 4, 9]);
         assert_eq!(r.columns.len(), 2);
     }
@@ -272,22 +239,52 @@ mod tests {
     #[test]
     fn descending_merge_and_window() {
         let pages = [page(&[(9, "i"), (4, "d")]), page(&[(7, "g"), (2, "b")])];
-        let key = MergeKey { key: SortKey::Column("id".into()), descending: true };
-        assert_eq!(ids(&merged(&pages, Some(&key), 0, usize::MAX)), vec![9, 7, 4, 2]);
-        assert_eq!(ids(&merged(&pages, Some(&key), 1, 2)), vec![7, 4]);
+        assert_eq!(ids(&merged(&pages, &[desc("id")], 0, usize::MAX)), vec![9, 7, 4, 2]);
+        assert_eq!(ids(&merged(&pages, &[desc("id")], 1, 2)), vec![7, 4]);
     }
 
     #[test]
     fn no_key_concatenates_in_shard_order() {
         let pages = [page(&[(5, "e")]), page(&[(1, "a"), (3, "c")])];
-        assert_eq!(ids(&merged(&pages, None, 0, usize::MAX)), vec![5, 1, 3]);
+        assert_eq!(ids(&merged(&pages, &[], 0, usize::MAX)), vec![5, 1, 3]);
+    }
+
+    /// `ORDER BY id, v`: ties on the first key must fall to the second,
+    /// not to the shard index — shard 1 holds the lexicographically
+    /// smaller `v` for both duplicated ids.
+    #[test]
+    fn first_key_ties_fall_to_later_keys() {
+        let pages = [page(&[(1, "bb"), (2, "dd")]), page(&[(1, "aa"), (2, "cc")])];
+        let r = merged(&pages, &[asc("id"), asc("v")], 0, usize::MAX);
+        let vs: Vec<&Value> = r.rows.iter().map(|row| &row[1]).collect();
+        assert_eq!(ids(&r), vec![1, 1, 2, 2]);
+        assert_eq!(
+            vs,
+            [
+                &Value::Str("aa".into()),
+                &Value::Str("bb".into()),
+                &Value::Str("cc".into()),
+                &Value::Str("dd".into())
+            ]
+        );
+        // Mixed directions: same first key, second key reversed.
+        let r = merged(&pages, &[asc("id"), desc("v")], 0, usize::MAX);
+        let vs: Vec<&Value> = r.rows.iter().map(|row| &row[1]).collect();
+        assert_eq!(
+            vs,
+            [
+                &Value::Str("bb".into()),
+                &Value::Str("aa".into()),
+                &Value::Str("dd".into()),
+                &Value::Str("cc".into())
+            ]
+        );
     }
 
     #[test]
     fn equal_keys_break_ties_towards_the_lowest_shard() {
         let pages = [page(&[(1, "from-s0")]), page(&[(1, "from-s1")])];
-        let key = MergeKey { key: SortKey::Column("id".into()), descending: false };
-        let r = merged(&pages, Some(&key), 0, usize::MAX);
+        let r = merged(&pages, &[asc("id")], 0, usize::MAX);
         assert_eq!(r.rows[0][1], Value::Str("from-s0".into()));
         assert_eq!(r.rows[1][1], Value::Str("from-s1".into()));
     }
@@ -300,5 +297,29 @@ mod tests {
         assert_eq!(compare_values(&Value::Int(2), &Value::Double(1.5)), Greater);
         assert_eq!(compare_values(&Value::Double(2.0), &Value::Str("a".into())), Less);
         assert_eq!(compare_values(&Value::Str("a".into()), &Value::Str("b".into())), Less);
+    }
+
+    /// Int/Double comparison is exact past 2^53, where `as f64` rounds:
+    /// 2^53 + 1 renders as exactly 2^53 after promotion and would
+    /// compare Equal, mis-ordering the merge against the shard's own
+    /// integer sort.
+    #[test]
+    fn int_double_comparison_is_exact_beyond_f64_precision() {
+        use Ordering::*;
+        let big = (1_i64 << 53) + 1;
+        assert_eq!(compare_values(&Value::Int(big), &Value::Double((1_i64 << 53) as f64)), Greater);
+        assert_eq!(compare_values(&Value::Double((1_i64 << 53) as f64), &Value::Int(big)), Less);
+        assert_eq!(compare_values(&Value::Int(big), &Value::Double(big as f64 + 2.0)), Less);
+        assert_eq!(compare_values(&Value::Int(3), &Value::Double(3.0)), Equal);
+        assert_eq!(compare_values(&Value::Int(3), &Value::Double(3.5)), Less);
+        assert_eq!(compare_values(&Value::Int(4), &Value::Double(3.5)), Greater);
+        assert_eq!(compare_values(&Value::Int(-4), &Value::Double(-3.5)), Less);
+        assert_eq!(compare_values(&Value::Int(i64::MAX), &Value::Double(f64::INFINITY)), Less);
+        assert_eq!(
+            compare_values(&Value::Int(i64::MIN), &Value::Double(f64::NEG_INFINITY)),
+            Greater
+        );
+        assert_eq!(compare_values(&Value::Int(0), &Value::Double(f64::NAN)), Less);
+        assert_eq!(compare_values(&Value::Int(0), &Value::Double(-f64::NAN)), Greater);
     }
 }

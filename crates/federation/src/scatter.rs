@@ -8,6 +8,14 @@
 //! exponential schedule. Replica health feeds back into the
 //! [`ShardRouter`](crate::router::ShardRouter) so later calls skip known-bad
 //! replicas until their half-open probe budget elapses.
+//!
+//! [`scatter_shards`] runs one such call per shard *concurrently* on
+//! scoped threads, so query latency tracks the slowest shard, not the
+//! sum of all of them — and a single overloaded shard backing off does
+//! not stall the gather of its siblings. [`call_replica`] is the
+//! all-replica fan-out's unit: one fixed replica, transient failures
+//! retried on the policy's schedule (failing over is not an option when
+//! *every* replica must apply the operation).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -123,6 +131,78 @@ pub fn call_shard<T>(
     Err(last_err.unwrap_or_else(|| {
         CallError::Transport(BusError::Timeout(router.replica(shard, 0).endpoint_address()))
     }))
+}
+
+/// Run `work(shard)` for every shard concurrently and gather the
+/// results in shard order.
+///
+/// Each shard runs on a scoped thread adopted into the bus workers'
+/// inline-dispatch discipline ([`dais_soap::executor::adopt_worker_thread`]):
+/// the spawning handler blocks joining the scatter, so letting the
+/// nested shard calls queue behind the same finite executor pool could
+/// deadlock the pool on itself. A single shard short-circuits the
+/// spawning entirely — the 1-shard oracle topology stays truly inline.
+pub fn scatter_shards<T, E>(
+    shards: usize,
+    work: impl Fn(usize) -> Result<T, E> + Sync,
+) -> Vec<Result<T, E>>
+where
+    T: Send,
+    E: Send,
+{
+    if shards <= 1 {
+        return (0..shards).map(&work).collect();
+    }
+    std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = (0..shards)
+            .map(|shard| {
+                scope.spawn(move || {
+                    dais_soap::executor::adopt_worker_thread();
+                    work(shard)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
+            .collect()
+    })
+}
+
+/// Call one *fixed* replica, retrying transient failures on the
+/// policy's schedule (waiting out `max(retry_after hint, backoff)`
+/// between attempts) before giving up.
+///
+/// This is the unit of the all-replica factory fan-out, where failover
+/// is not an answer: every replica must apply the operation itself, so
+/// a transient timeout must be retried against the same replica rather
+/// than permanently costing the derived resource that replica's slot.
+/// Non-retryable errors return immediately.
+pub fn call_replica<T>(
+    bus: &Bus,
+    address: &str,
+    policy: &FailoverPolicy,
+    mut call: impl FnMut(&ServiceClient) -> Result<T, CallError>,
+) -> Result<T, CallError> {
+    let attempts = policy.retry.max_attempts.max(1);
+    let client = ServiceClient::new(bus.clone(), address);
+    let mut attempt = 1;
+    loop {
+        match call(&client) {
+            Ok(v) => return Ok(v),
+            Err(e) if attempt < attempts && is_retryable(&e) => {
+                let delay = retry_after_hint(&e)
+                    .unwrap_or(Duration::ZERO)
+                    .max(policy.retry.backoff_delay(attempt));
+                if delay > Duration::ZERO {
+                    (policy.sleep)(delay);
+                }
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +351,95 @@ mod tests {
         }
         assert!(seen_r0, "probed replica should serve again after cooling");
         assert!(router.is_healthy(0, 0));
+    }
+
+    /// Synthesises a fixed number of dropped sends (timeouts) for one
+    /// endpoint, then lets traffic through — the transient blip a
+    /// replica-pinned retry must ride out.
+    struct FailFirst {
+        endpoint: String,
+        remaining: Mutex<u32>,
+    }
+
+    impl Interceptor for FailFirst {
+        fn on_request(&self, call: &CallInfo<'_>, _bytes: &[u8]) -> Intercept {
+            if call.to == self.endpoint {
+                let mut remaining = self.remaining.lock();
+                if *remaining > 0 {
+                    *remaining -= 1;
+                    return Intercept::Abort(BusError::Timeout(call.to.to_string()));
+                }
+            }
+            Intercept::Pass
+        }
+    }
+
+    /// A transient failure of a *fixed* replica retries against that
+    /// same replica (failover is not an option when every replica must
+    /// apply the operation) and succeeds once the blip passes, pacing
+    /// itself on the backoff schedule.
+    #[test]
+    fn call_replica_rides_out_transient_failures() {
+        let bus = Bus::new();
+        echo_service(&bus, "bus://fleet/r0", "r0");
+        bus.add_interceptor(Arc::new(FailFirst {
+            endpoint: "bus://fleet/r0".into(),
+            remaining: Mutex::new(2),
+        }));
+
+        let slept: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+        let recorder = slept.clone();
+        let policy = FailoverPolicy::new(RetryPolicy::new(3))
+            .with_sleep(Arc::new(move |d| recorder.lock().push(d)));
+
+        let got = call_replica(&bus, "bus://fleet/r0", &policy, echo_through).unwrap();
+        assert_eq!(got, "r0");
+        assert_eq!(slept.lock().len(), 2, "one backoff per failed attempt");
+    }
+
+    /// Non-retryable errors return immediately — no sleeps, no repeats.
+    #[test]
+    fn call_replica_surfaces_application_faults_immediately() {
+        let bus = Bus::new();
+        let mut d = SoapDispatcher::new();
+        d.register(ECHO, |_req| Err(Fault::client("no such thing")));
+        bus.register("bus://fleet/r0", Arc::new(d));
+
+        let policy = FailoverPolicy::new(RetryPolicy::new(3))
+            .with_sleep(Arc::new(|_| panic!("no sleep expected")));
+        let err = call_replica(&bus, "bus://fleet/r0", &policy, echo_through).unwrap_err();
+        assert!(matches!(err, CallError::Fault(_)), "got {err:?}");
+    }
+
+    /// The scatter runs shards concurrently (more than one in flight at
+    /// once) and still gathers results in shard order, with a failed
+    /// shard's error in its own slot.
+    #[test]
+    fn scatter_shards_runs_concurrently_and_gathers_in_order() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let in_flight = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let results = scatter_shards(4, |s| {
+            let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(20));
+            in_flight.fetch_sub(1, Ordering::SeqCst);
+            if s == 2 {
+                Err(format!("shard {s} down"))
+            } else {
+                Ok(s * 10)
+            }
+        });
+        assert_eq!(
+            results,
+            vec![Ok(0), Ok(10), Err("shard 2 down".to_string()), Ok(30)],
+            "shard order must survive the concurrent gather"
+        );
+        assert!(
+            peak.load(Ordering::SeqCst) > 1,
+            "shards must overlap, got peak {}",
+            peak.load(Ordering::SeqCst)
+        );
     }
 
     /// Non-retryable faults pass through unchanged — failover must not

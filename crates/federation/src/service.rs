@@ -23,19 +23,19 @@ use dais_core::{
     ServiceContext,
 };
 use dais_dair::messages::{self as dair_messages, actions as dair_actions};
-use dais_dair::resources::SqlDataResource;
 use dais_daix::messages::{self as daix_messages, actions as daix_actions};
 use dais_soap::bus::Bus;
 use dais_soap::envelope::Envelope;
 use dais_soap::fault::{DaisFault, Fault};
 use dais_soap::service::SoapDispatcher;
-use dais_soap::{CallError, ServiceClient};
+use dais_soap::CallError;
 use dais_sql::SqlCommunicationArea;
 use dais_xml::{ns, QName, XmlElement, XmlWriter};
 
-use crate::merge::{merge_cursors, merge_key_of, MergeKey};
+use crate::merge::{merge_cursors, MergeKey};
 use crate::router::{ShardRouter, ShardScheme};
-use crate::scatter::{call_shard, FailoverPolicy};
+use crate::scatter::{call_replica, call_shard, scatter_shards, FailoverPolicy};
+use crate::statement::{analyze, AdmissionError};
 
 /// Knobs for assembling a federation endpoint.
 #[derive(Debug, Clone)]
@@ -79,6 +79,24 @@ fn shard_fault(e: CallError) -> Fault {
 /// surface as a torn rowset: the reply is a well-formed fault instead.
 fn torn_page(detail: impl std::fmt::Display) -> Fault {
     Fault::dais(DaisFault::ServiceBusy, format!("shard result stream failed: {detail}"))
+}
+
+/// Map a statement refused by [`analyze`] onto the consumer-visible
+/// fault. `writes` is the handler-specific fault for a non-query
+/// statement; a query whose shape scatter-gather cannot answer
+/// correctly (aggregates, `DISTINCT`, `GROUP BY`, `UNION`, …) is an
+/// honest `InvalidExpressionFault` — never a silently wrong answer.
+fn admission_fault(e: AdmissionError, writes: Fault) -> Fault {
+    match e {
+        AdmissionError::NotReadOnly => writes,
+        AdmissionError::NonDistributable(what) => Fault::dais(
+            DaisFault::InvalidExpression,
+            format!(
+                "a federated resource cannot answer {what} by scatter-gather; \
+                 it would require cross-shard recombination"
+            ),
+        ),
+    }
 }
 
 fn as_federated(resource: &Arc<dyn DataResource>) -> Result<&FederatedResource, Fault> {
@@ -168,8 +186,13 @@ pub struct FederatedResponseResource {
     /// `per_shard[s][r]` is the abstract name of replica `r`'s derived
     /// response, `None` when that replica missed the fan-out.
     per_shard: Vec<Vec<Option<AbstractName>>>,
-    /// The merge discipline inherited from the scattered statement.
-    key: Option<MergeKey>,
+    /// The merge discipline inherited from the scattered statement: its
+    /// full `ORDER BY` key list.
+    keys: Vec<MergeKey>,
+    /// The statement's own `OFFSET`/`LIMIT`, applied globally at the
+    /// merge (the shard statements had them stripped).
+    offset: usize,
+    limit: Option<usize>,
 }
 
 impl DataResource for FederatedResponseResource {
@@ -191,8 +214,12 @@ impl DataResource for FederatedResponseResource {
 pub struct FederatedRowsetResource {
     properties: CoreProperties,
     per_shard: Vec<Vec<Option<AbstractName>>>,
-    key: Option<MergeKey>,
-    /// Global row cap carried over from the factory's `Count`.
+    keys: Vec<MergeKey>,
+    /// Merged rows hidden before the rowset's row 0 (the statement's
+    /// `OFFSET`).
+    skip: usize,
+    /// Global row cap: the factory's `Count` and the statement's
+    /// `LIMIT`, whichever is tighter.
     cap: Option<usize>,
 }
 
@@ -210,28 +237,29 @@ impl DataResource for FederatedRowsetResource {
     }
 }
 
-/// Scatter one request per shard over the raw lane and gather the reply
-/// pages. Each shard call runs through [`call_shard`], so replica
+/// Scatter one request per shard over the raw lane — concurrently, via
+/// [`scatter_shards`], so one slow or backing-off shard does not stall
+/// the gather of its siblings — and collect the reply pages in shard
+/// order. Each shard call runs through [`call_shard`], so replica
 /// failover and health marking apply per shard.
 fn scatter_pages(
     bus: &Bus,
     router: &ShardRouter,
     policy: &FailoverPolicy,
     action: &'static str,
-    request_for: impl Fn(usize, usize) -> Result<XmlElement, CallError>,
+    request_for: impl Fn(usize, usize) -> Result<XmlElement, CallError> + Sync,
 ) -> Result<Vec<Vec<u8>>, Fault> {
-    let mut pages = Vec::with_capacity(router.shards());
-    for s in 0..router.shards() {
-        let page = call_shard(bus, router, s, policy, |client, r| {
+    scatter_shards(router.shards(), |s| {
+        call_shard(bus, router, s, policy, |client, r| {
             let req = request_for(s, r)?;
             let mut buf = Vec::new();
             client.request_bytes_into(action, &req, &mut buf)?;
             Ok(buf)
         })
-        .map_err(shard_fault)?;
-        pages.push(page);
-    }
-    Ok(pages)
+    })
+    .into_iter()
+    .map(|page| page.map_err(shard_fault))
+    .collect()
 }
 
 /// Merge gathered pages into `wrapper(SQLResponse(SQLRowset(webRowSet),
@@ -240,7 +268,7 @@ fn scatter_pages(
 fn merged_response(
     wrapper: &str,
     pages: &[Vec<u8>],
-    key: Option<&MergeKey>,
+    keys: &[MergeKey],
     skip: usize,
     take: usize,
     comm_area: impl Fn(u64) -> SqlCommunicationArea,
@@ -256,7 +284,7 @@ fn merged_response(
     w.start(&QName::new(ns::WSDAIR, "wsdair", "SQLRowset"));
     // A decode error here (a shard died mid-stream) abandons the whole
     // fragment: the consumer gets a fault envelope, never a torn rowset.
-    let rows = merge_cursors(&mut w, cursors, key, skip, take).map_err(torn_page)?;
+    let rows = merge_cursors(&mut w, cursors, keys, skip, take).map_err(torn_page)?;
     w.end();
     w.element(&comm_area(rows).to_xml());
     w.end();
@@ -267,21 +295,26 @@ fn merged_response(
 
 /// Fan a factory request out to *every* replica of every shard (each
 /// replica must hold its own derived resource), recording the derived
-/// abstract name per replica. A shard where no replica succeeded fails
-/// the whole factory with that shard's last error.
+/// abstract name per replica. Shards run concurrently; within a shard
+/// each replica is called through [`call_replica`], so a transient
+/// timeout is retried on the failover policy's schedule instead of
+/// permanently costing the derived resource that replica's redundancy.
+/// A shard where no replica succeeded fails the whole factory with that
+/// shard's last error.
 fn fan_out_factory(
     bus: &Bus,
     router: &ShardRouter,
+    policy: &FailoverPolicy,
     action: &'static str,
-    request_for: impl Fn(usize, usize) -> XmlElement,
+    request_for: impl Fn(usize, usize) -> XmlElement + Sync,
 ) -> Result<Vec<Vec<Option<AbstractName>>>, Fault> {
-    let mut per_shard = Vec::with_capacity(router.shards());
-    for s in 0..router.shards() {
+    scatter_shards(router.shards(), |s| {
         let mut names: Vec<Option<AbstractName>> = Vec::with_capacity(router.replica_count(s));
         let mut last_err: Option<CallError> = None;
         for r in 0..router.replica_count(s) {
-            let client = ServiceClient::new(bus.clone(), router.replica(s, r).endpoint_address());
-            let minted = client.request(action, request_for(s, r)).and_then(|reply| {
+            let address = router.replica(s, r).endpoint_address();
+            let minted = call_replica(bus, &address, policy, |client| {
+                let reply = client.request(action, request_for(s, r))?;
                 let epr =
                     dais_core::factory::parse_factory_response(&reply).map_err(CallError::Fault)?;
                 epr.resource_abstract_name()
@@ -310,9 +343,10 @@ fn fan_out_factory(
                 None => Fault::dais(DaisFault::ServiceBusy, format!("shard {s} has no replicas")),
             });
         }
-        per_shard.push(names);
-    }
-    Ok(per_shard)
+        Ok(names)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// The properties the logical relational resource advertises — the same
@@ -513,36 +547,29 @@ fn register_federated_sql_ops(
             }
         }
         let (sql, params) = dair_messages::parse_sql_expression(body)?;
-        if !SqlDataResource::is_read_only_statement(&sql) {
-            // Writes go through the fleet's router (every replica of the
-            // owning shard), not the logical resource.
-            return Err(Fault::dais(DaisFault::NotAuthorized, "resource is not writeable"));
-        }
+        // Writes go through the fleet's router (every replica of the
+        // owning shard), not the logical resource; queries must prove
+        // their shape distributable before anything reaches a shard.
+        let stmt = analyze(&sql).map_err(|e| {
+            admission_fault(e, Fault::dais(DaisFault::NotAuthorized, "resource is not writeable"))
+        })?;
+        let shard_sql = stmt.shard_statement();
         let pages = scatter_pages(&b, &rt, &fo, dair_actions::SQL_EXECUTE, |s, r| {
             Ok(dair_messages::sql_execute_request(
                 rt.replica(s, r).resource(),
                 ns::ROWSET,
-                &sql,
+                &shard_sql,
                 &params,
             ))
         })?;
-        merged_response(
-            "SQLExecuteResponse",
-            &pages,
-            merge_key_of(&sql).as_ref(),
-            0,
-            usize::MAX,
-            |rows| {
-                if rows == 0 {
-                    SqlCommunicationArea {
-                        sqlstate: "02000".into(),
-                        ..SqlCommunicationArea::success()
-                    }
-                } else {
-                    SqlCommunicationArea::success()
-                }
-            },
-        )
+        let (skip, take) = stmt.window();
+        merged_response("SQLExecuteResponse", &pages, &stmt.keys, skip, take, |rows| {
+            if rows == 0 {
+                SqlCommunicationArea { sqlstate: "02000".into(), ..SqlCommunicationArea::success() }
+            } else {
+                SqlCommunicationArea::success()
+            }
+        })
     });
 
     let c = ctx.clone();
@@ -559,6 +586,7 @@ fn register_federated_sql_ops(
     let n = names.clone();
     let rt = router.clone();
     let b = bus.clone();
+    let fo = failover.clone();
     dispatcher.register(dair_actions::SQL_EXECUTE_FACTORY, move |req: &Envelope| {
         let body = payload(req)?;
         let resource = c.resolve_resource(body)?;
@@ -571,27 +599,32 @@ fn register_federated_sql_ops(
         let message = QName::new(ns::WSDAIR, "wsdair", "SQLExecuteFactoryRequest");
         let (_port, effective) = config.resolve_against(&props.configuration_maps, &message)?;
         let (sql, params) = dair_messages::parse_sql_expression(body)?;
-        if !SqlDataResource::is_read_only_statement(&sql) {
-            return Err(Fault::dais(
-                DaisFault::InvalidExpression,
-                "SQLExecuteFactory only accepts query statements",
-            ));
-        }
+        let stmt = analyze(&sql).map_err(|e| {
+            admission_fault(
+                e,
+                Fault::dais(
+                    DaisFault::InvalidExpression,
+                    "SQLExecuteFactory only accepts query statements",
+                ),
+            )
+        })?;
+        let shard_sql = stmt.shard_statement();
 
         let forwarded_config = body.child(ns::WSDAI, "ConfigurationDocument").cloned();
-        let per_shard = fan_out_factory(&b, &rt, dair_actions::SQL_EXECUTE_FACTORY, |s, r| {
-            let mut shard_req = dair_messages::sql_execute_request(
-                rt.replica(s, r).resource(),
-                ns::ROWSET,
-                &sql,
-                &params,
-            );
-            shard_req.name = QName::new(ns::WSDAIR, "wsdair", "SQLExecuteFactoryRequest");
-            if let Some(cfg) = &forwarded_config {
-                shard_req.push(cfg.clone());
-            }
-            shard_req
-        })?;
+        let per_shard =
+            fan_out_factory(&b, &rt, &fo, dair_actions::SQL_EXECUTE_FACTORY, |s, r| {
+                let mut shard_req = dair_messages::sql_execute_request(
+                    rt.replica(s, r).resource(),
+                    ns::ROWSET,
+                    &shard_sql,
+                    &params,
+                );
+                shard_req.name = QName::new(ns::WSDAIR, "wsdair", "SQLExecuteFactoryRequest");
+                if let Some(cfg) = &forwarded_config {
+                    shard_req.push(cfg.clone());
+                }
+                shard_req
+            })?;
 
         let name = n.mint("sql-response");
         let mut derived = config.derived_properties(name.clone(), &effective);
@@ -599,7 +632,9 @@ fn register_federated_sql_ops(
         c.add_resource(Arc::new(FederatedResponseResource {
             properties: derived,
             per_shard,
-            key: merge_key_of(&sql),
+            keys: stmt.keys,
+            offset: stmt.offset,
+            limit: stmt.limit,
         }));
         let epr = mint_resource_epr(&c.address, &name);
         respond(factory_response("SQLExecuteFactoryResponse", ns::WSDAIR, "wsdair", &epr))
@@ -620,6 +655,7 @@ fn register_federated_sql_ops(
     let n = names;
     let rt = router.clone();
     let b = bus.clone();
+    let fo = failover.clone();
     dispatcher.register(dair_actions::SQL_ROWSET_FACTORY, move |req: &Envelope| {
         let body = payload(req)?;
         let resource = c.resolve_resource(body)?;
@@ -630,20 +666,27 @@ fn register_federated_sql_ops(
         let (_port, effective) = config.resolve_against(&props.configuration_maps, &message)?;
         let count: Option<usize> =
             body.child_text(ns::WSDAIR, "Count").and_then(|t| t.trim().parse().ok());
+        // The logical rowset holds min(factory Count, statement LIMIT)
+        // rows, starting after the statement's OFFSET.
+        let cap = match (count, response.limit) {
+            (Some(c), Some(l)) => Some(c.min(l)),
+            (c, l) => c.or(l),
+        };
+        let skip = response.offset;
 
         let shard_names = &response.per_shard;
-        let per_shard = fan_out_factory(&b, &rt, dair_actions::SQL_ROWSET_FACTORY, |s, r| {
+        let per_shard = fan_out_factory(&b, &rt, &fo, dair_actions::SQL_ROWSET_FACTORY, |s, r| {
             match &shard_names[s][r] {
                 Some(backing) => {
                     let mut shard_req =
                         dais_core::messages::request("SQLRowsetFactoryRequest", backing);
-                    if let Some(cap) = count {
-                        // A global cap is a safe per-shard over-fetch
+                    if let Some(cap) = cap {
+                        // skip + cap is a safe per-shard over-fetch
                         // bound: no shard contributes more than the
-                        // whole window.
+                        // whole window, skipped prefix included.
                         shard_req.push(
                             XmlElement::new(ns::WSDAIR, "wsdair", "Count")
-                                .with_text(cap.to_string()),
+                                .with_text(skip.saturating_add(cap).to_string()),
                         );
                     }
                     shard_req
@@ -664,8 +707,9 @@ fn register_federated_sql_ops(
         c.add_resource(Arc::new(FederatedRowsetResource {
             properties: derived,
             per_shard,
-            key: response.key.clone(),
-            cap: count,
+            keys: response.keys.clone(),
+            skip,
+            cap,
         }));
         let epr = mint_resource_epr(&c.address, &name);
         respond(factory_response("SQLRowsetFactoryResponse", ns::WSDAIR, "wsdair", &epr))
@@ -687,10 +731,11 @@ fn register_federated_sql_ops(
             Some(cap) => count.min(cap.saturating_sub(start)),
             None => count,
         };
-        // Every shard may in the worst case own the whole window, so
-        // each page fetch is bounded by start+take — never the shard's
-        // full rowset.
-        let fetch = start.saturating_add(take);
+        // The statement's OFFSET shifts the whole window; every shard
+        // may in the worst case own all of it, so each page fetch is
+        // bounded by skip+start+take — never the shard's full rowset.
+        let skip = rowset.skip.saturating_add(start);
+        let fetch = skip.saturating_add(take);
         let per_shard = &rowset.per_shard;
         let pages = scatter_pages(&b, &rt, &fo, dair_actions::GET_TUPLES, |s, r| {
             let name = per_shard[s][r].as_ref().ok_or_else(|| {
@@ -701,7 +746,7 @@ fn register_federated_sql_ops(
             })?;
             Ok(dair_messages::get_tuples_request(name, 0, fetch))
         })?;
-        merged_response("GetTuplesResponse", &pages, rowset.key.as_ref(), start, take, |_| {
+        merged_response("GetTuplesResponse", &pages, &rowset.keys, skip, take, |_| {
             SqlCommunicationArea::success()
         })
     });
@@ -741,8 +786,10 @@ fn register_federated_xml_ops(
         }
         let expression = daix_messages::parse_expression(body)?;
         let mut response = XmlElement::new(ns::WSDAIX, "wsdaix", "XPathExecuteResponse");
-        for s in 0..rt.shards() {
-            let reply = call_shard(&b, &rt, s, &fo, |client, r| {
+        // Shards answer concurrently; the document-set union still
+        // assembles in shard order.
+        let replies = scatter_shards(rt.shards(), |s| {
+            call_shard(&b, &rt, s, &fo, |client, r| {
                 let shard_req = daix_messages::query_request(
                     "XPathExecuteRequest",
                     rt.replica(s, r).resource(),
@@ -750,7 +797,9 @@ fn register_federated_xml_ops(
                 );
                 client.request(daix_actions::XPATH_EXECUTE, shard_req)
             })
-            .map_err(shard_fault)?;
+        });
+        for reply in replies {
+            let reply = reply.map_err(shard_fault)?;
             for item in reply.children_named(ns::WSDAIX, "Item") {
                 response.push(item.clone());
             }

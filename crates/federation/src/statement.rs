@@ -1,0 +1,277 @@
+//! Admission analysis for scattered SQL statements.
+//!
+//! A scatter-gather answer is only correct for statements whose global
+//! result is the merge of per-shard results. Forwarding anything else
+//! verbatim silently lies — `COUNT(*)` would return one row per shard,
+//! `DISTINCT`/`GROUP BY` would leave cross-shard duplicates, `LIMIT n`
+//! would return up to `n × shards` rows — so the federation endpoint
+//! parses every statement with the engine's own parser and either
+//! proves it distributable, rewrites it (`LIMIT`/`OFFSET` strip off the
+//! shard statement and apply globally at the merge), or refuses it with
+//! an `InvalidExpressionFault`.
+
+use dais_sql::ast::{Expr, OrderItem, Select, SelectItem, Stmt};
+use dais_sql::parser::parse_statement;
+use dais_sql::Value;
+
+use crate::merge::{MergeKey, SortKey};
+
+/// Why a statement was refused admission to the scatter path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// Not a query at all (or unparseable): writes and DDL go through
+    /// the fleet's router, not the logical resource.
+    NotReadOnly,
+    /// A query whose shape a scatter + merge cannot answer correctly;
+    /// the payload names the offending construct.
+    NonDistributable(&'static str),
+}
+
+/// A statement admitted to the scatter path: what each shard runs, and
+/// the global window/ordering the gather applies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistributedStatement {
+    /// The statement scattered to the shards: the consumer's SQL with
+    /// any trailing `LIMIT`/`OFFSET` stripped (each shard must over-
+    /// fetch the whole global window; see [`shard_statement`]).
+    ///
+    /// [`shard_statement`]: DistributedStatement::shard_statement
+    pub shard_sql: String,
+    /// Merged rows to skip before the first delivered row (the
+    /// statement's `OFFSET`).
+    pub offset: usize,
+    /// Global cap on delivered rows (the statement's `LIMIT`).
+    pub limit: Option<usize>,
+    /// The full `ORDER BY` key list the k-way merge compares on.
+    pub keys: Vec<MergeKey>,
+}
+
+impl DistributedStatement {
+    /// The SQL one shard executes. When the statement carries a window,
+    /// each shard is bounded to `offset + limit` rows — in the worst
+    /// case one shard owns the whole global window, never more — so a
+    /// windowed query can never pull a shard's full table through the
+    /// gather.
+    pub fn shard_statement(&self) -> String {
+        match self.limit {
+            Some(limit) => {
+                format!("{} LIMIT {}", self.shard_sql, self.offset.saturating_add(limit))
+            }
+            None => self.shard_sql.clone(),
+        }
+    }
+
+    /// The merge window: rows to skip, then rows to take.
+    pub fn window(&self) -> (usize, usize) {
+        (self.offset, self.limit.unwrap_or(usize::MAX))
+    }
+}
+
+/// Admit `sql` to the scatter path, or refuse it.
+///
+/// Distributable today: single-`SELECT` statements without aggregates,
+/// `DISTINCT`, `GROUP BY`/`HAVING` or `UNION`, whose `ORDER BY` terms
+/// are plain output columns or ordinals (so the gather can re-establish
+/// the global order). `LIMIT`/`OFFSET` are handled by rewrite: stripped
+/// from the shard statement and applied once, globally, at the merge.
+pub fn analyze(sql: &str) -> Result<DistributedStatement, AdmissionError> {
+    let select = match parse_statement(sql) {
+        Ok(Stmt::Select(select)) => select,
+        _ => return Err(AdmissionError::NotReadOnly),
+    };
+    if select.distinct {
+        return Err(AdmissionError::NonDistributable("DISTINCT"));
+    }
+    if !select.group_by.is_empty() {
+        return Err(AdmissionError::NonDistributable("GROUP BY"));
+    }
+    if select.having.is_some() {
+        return Err(AdmissionError::NonDistributable("HAVING"));
+    }
+    if !select.unions.is_empty() {
+        return Err(AdmissionError::NonDistributable("UNION"));
+    }
+    let exprs = select.items.iter().filter_map(|item| match item {
+        SelectItem::Expr { expr, .. } => Some(expr),
+        SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => None,
+    });
+    if exprs.clone().any(Expr::contains_aggregate)
+        || select.order_by.iter().any(|o| o.expr.contains_aggregate())
+    {
+        return Err(AdmissionError::NonDistributable("aggregate function"));
+    }
+
+    let keys = merge_keys(&select)?;
+    let (shard_sql, offset, limit) = strip_window(sql, &select)?;
+    Ok(DistributedStatement { shard_sql, offset, limit, keys })
+}
+
+/// Every `ORDER BY` term as a [`MergeKey`]. A term that is neither a
+/// plain column nor an integer ordinal cannot be located in the output
+/// rowset, so the gather could not re-establish the order a single
+/// service would return — refuse it.
+fn merge_keys(select: &Select) -> Result<Vec<MergeKey>, AdmissionError> {
+    let mut keys = Vec::with_capacity(select.order_by.len());
+    for OrderItem { expr, ascending } in &select.order_by {
+        let key = match expr {
+            // The rowset carries bare (alias-resolved) column names.
+            Expr::Column { name, .. } => SortKey::Column(name.to_ascii_lowercase()),
+            Expr::Literal(Value::Int(ordinal)) => {
+                match usize::try_from(*ordinal).ok().and_then(|o| o.checked_sub(1)) {
+                    Some(zero_based) => SortKey::Ordinal(zero_based),
+                    None => return Err(AdmissionError::NonDistributable("ORDER BY ordinal")),
+                }
+            }
+            _ => return Err(AdmissionError::NonDistributable("ORDER BY expression")),
+        };
+        keys.push(MergeKey { key, descending: !ascending });
+    }
+    Ok(keys)
+}
+
+/// Split the statement's trailing window off: the shard statement keeps
+/// the `ORDER BY` (shard streams must arrive sorted) but loses
+/// `LIMIT`/`OFFSET`, which the merge applies globally. The strip is
+/// verified by re-parsing: the stripped text must yield exactly the
+/// original AST minus the window, else the statement is refused.
+fn strip_window(
+    sql: &str,
+    select: &Select,
+) -> Result<(String, usize, Option<usize>), AdmissionError> {
+    let offset = select.offset.unwrap_or(0) as usize;
+    let limit = select.limit.map(|l| l as usize);
+    if select.limit.is_none() && select.offset.is_none() {
+        return Ok((sql.trim_end_matches([';', ' ', '\t', '\r', '\n']).to_string(), 0, None));
+    }
+    // LIMIT/OFFSET are keywords, never identifiers, and the grammar
+    // puts them only in the statement's tail — so the first keyword
+    // occurrence outside string literals and comments starts the
+    // window clause.
+    let stripped = window_clause_start(sql)
+        .map(|at| sql[..at].trim_end().to_string())
+        .ok_or(AdmissionError::NonDistributable("LIMIT/OFFSET"))?;
+    let mut expected = select.clone();
+    expected.limit = None;
+    expected.offset = None;
+    match parse_statement(&stripped) {
+        Ok(Stmt::Select(reparsed)) if reparsed == expected => Ok((stripped, offset, limit)),
+        _ => Err(AdmissionError::NonDistributable("LIMIT/OFFSET")),
+    }
+}
+
+/// Byte offset of the first top-level `LIMIT` or `OFFSET` keyword in
+/// `sql`, skipping string literals (`'…'` with `''` escapes) and `--`
+/// line comments.
+fn window_clause_start(sql: &str) -> Option<usize> {
+    let bytes = sql.as_bytes();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        match bytes[pos] {
+            b'\'' => {
+                pos += 1;
+                while pos < bytes.len() {
+                    if bytes[pos] == b'\'' {
+                        if bytes.get(pos + 1) == Some(&b'\'') {
+                            pos += 2; // escaped quote inside the literal
+                        } else {
+                            pos += 1;
+                            break;
+                        }
+                    } else {
+                        pos += 1;
+                    }
+                }
+            }
+            b'-' if bytes.get(pos + 1) == Some(&b'-') => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    pos += 1;
+                }
+                let word = &sql[start..pos];
+                if word.eq_ignore_ascii_case("limit") || word.eq_ignore_ascii_case("offset") {
+                    return Some(start);
+                }
+            }
+            _ => pos += 1,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(sql: &str) -> Vec<MergeKey> {
+        analyze(sql).unwrap().keys
+    }
+
+    #[test]
+    fn plain_scans_pass_through_unchanged() {
+        let d = analyze("SELECT k, v FROM t WHERE k >= ? ORDER BY k").unwrap();
+        assert_eq!(d.shard_sql, "SELECT k, v FROM t WHERE k >= ? ORDER BY k");
+        assert_eq!(d.shard_statement(), d.shard_sql);
+        assert_eq!((d.offset, d.limit), (0, None));
+    }
+
+    #[test]
+    fn every_order_by_term_becomes_a_key() {
+        assert_eq!(
+            keys("SELECT a, b FROM t ORDER BY a DESC, t.B, 2 DESC"),
+            vec![
+                MergeKey { key: SortKey::Column("a".into()), descending: true },
+                MergeKey { key: SortKey::Column("b".into()), descending: false },
+                MergeKey { key: SortKey::Ordinal(1), descending: true },
+            ]
+        );
+        assert_eq!(keys("SELECT * FROM t"), Vec::new());
+    }
+
+    #[test]
+    fn non_distributable_shapes_are_refused() {
+        use AdmissionError::NonDistributable;
+        let refused = |sql: &str, what| assert_eq!(analyze(sql), Err(NonDistributable(what)));
+        refused("SELECT COUNT(*) FROM t", "aggregate function");
+        refused("SELECT 1 + SUM(k) FROM t", "aggregate function");
+        refused("SELECT DISTINCT v FROM t", "DISTINCT");
+        refused("SELECT v FROM t GROUP BY v", "GROUP BY");
+        refused("SELECT v FROM t UNION SELECT v FROM t", "UNION");
+        refused("SELECT k FROM t ORDER BY k + 1", "ORDER BY expression");
+        refused("SELECT k FROM t ORDER BY 0", "ORDER BY ordinal");
+    }
+
+    #[test]
+    fn writes_and_nonsense_are_not_read_only() {
+        assert_eq!(analyze("DELETE FROM t"), Err(AdmissionError::NotReadOnly));
+        assert_eq!(analyze("CREATE TABLE x (a INTEGER)"), Err(AdmissionError::NotReadOnly));
+        assert_eq!(analyze("not sql at all"), Err(AdmissionError::NotReadOnly));
+    }
+
+    #[test]
+    fn window_strips_off_the_shard_statement_and_applies_globally() {
+        let d = analyze("SELECT k FROM t ORDER BY k LIMIT 7 OFFSET 5").unwrap();
+        assert_eq!(d.shard_sql, "SELECT k FROM t ORDER BY k");
+        // Each shard over-fetches the whole window, never more.
+        assert_eq!(d.shard_statement(), "SELECT k FROM t ORDER BY k LIMIT 12");
+        assert_eq!(d.window(), (5, 7));
+
+        let d = analyze("SELECT k FROM t OFFSET 3").unwrap();
+        assert_eq!((d.shard_statement(), d.window()), ("SELECT k FROM t".into(), (3, usize::MAX)));
+    }
+
+    #[test]
+    fn window_strip_ignores_string_literals_and_comments() {
+        let d = analyze("SELECT v FROM t WHERE v = 'limit ''10''' LIMIT 2").unwrap();
+        assert_eq!(d.shard_sql, "SELECT v FROM t WHERE v = 'limit ''10'''");
+        assert_eq!(d.limit, Some(2));
+        let d = analyze("SELECT v FROM t -- limit note\n LIMIT 4").unwrap();
+        assert_eq!(d.limit, Some(4));
+    }
+}

@@ -393,6 +393,17 @@ pub(crate) fn mark_worker_thread() {
     ON_WORKER.with(|w| w.set(true));
 }
 
+/// Adopt the calling thread into the workers' inline-dispatch
+/// discipline: bus calls made from it execute on this thread instead of
+/// queueing onto the executor. A service handler that fans work out to
+/// helper threads (e.g. a scatter over shards) must call this at the top
+/// of each helper — the handler blocks joining them, so letting their
+/// nested calls queue behind a finite worker pool could deadlock the
+/// pool on itself.
+pub fn adopt_worker_thread() {
+    mark_worker_thread();
+}
+
 fn worker_loop(shared: Arc<ExecShared>, bus: Weak<BusInner>, worker_idx: usize) {
     ON_WORKER.with(|w| w.set(true));
     let mut rng = SplitMix64::new(mix2(shared.config.seed, worker_idx as u64 + 1));

@@ -202,6 +202,200 @@ fn indirect_access_pages_identically() {
     }
 }
 
+/// The statement's own `LIMIT`/`OFFSET` window applies to the *merged*
+/// result, exactly once — not once per shard, which would return up to
+/// `n × shards` rows and skip `k` rows per shard.
+#[test]
+fn limit_offset_window_applies_globally_across_topologies() {
+    for topology in ALL {
+        let (bus, _server, fleet) = sql_fleet(topology);
+        let client = sql_client(&bus, &fleet);
+        let data =
+            execute(&client, fleet.resource(), "SELECT k, v FROM t ORDER BY k LIMIT 7 OFFSET 5");
+        let expect: Vec<String> = (5..12).map(|k| format!("{k}\u{1f}row{k:02}")).collect();
+        assert_eq!(canon(data.rowset().unwrap()), expect, "{topology:?} window diverged");
+
+        let data = execute(&client, fleet.resource(), "SELECT k FROM t ORDER BY k DESC LIMIT 3");
+        assert_eq!(
+            canon(data.rowset().unwrap()),
+            ["39", "38", "37"],
+            "{topology:?} LIMIT must cap the merged result, not each shard"
+        );
+    }
+}
+
+/// The indirect path honours the statement window too: the derived
+/// response remembers `LIMIT`/`OFFSET`, the rowset caps at the tighter
+/// of the factory `Count` and the statement `LIMIT`, and `GetTuples`
+/// pages within the shifted window.
+#[test]
+fn windowed_factory_rowsets_page_identically() {
+    let mut per_topology = Vec::new();
+    for topology in ALL {
+        let (bus, _server, fleet) = sql_fleet(topology);
+        let client = sql_client(&bus, &fleet);
+        let response_epr = client
+            .execute_factory(
+                fleet.resource().resource(),
+                "SELECT k, v FROM t ORDER BY k LIMIT 20 OFFSET 4",
+                &[],
+                None,
+                None,
+            )
+            .expect("factory must admit a windowed query");
+        let response = AbstractName::new(response_epr.resource_abstract_name().unwrap()).unwrap();
+        let rowset_epr = client.rowset_factory(&response, Some(10), None).expect("rowset factory");
+        let rowset = AbstractName::new(rowset_epr.resource_abstract_name().unwrap()).unwrap();
+
+        let mut rows = Vec::new();
+        for (start, count, expect) in [(0, 6, 6), (6, 10, 4)] {
+            let page = client.get_tuples(&rowset, start, count).expect("page must stream");
+            assert_eq!(page.row_count(), expect, "{topology:?} page [{start}, +{count})");
+            rows.extend(canon(&page));
+        }
+        per_topology.push((topology, rows));
+    }
+    let (_, oracle) = &per_topology[0];
+    let expect: Vec<String> = (4..14).map(|k| format!("{k}\u{1f}row{k:02}")).collect();
+    assert_eq!(oracle, &expect, "Count ∧ LIMIT cap the rowset after the OFFSET");
+    for (topology, rows) in &per_topology[1..] {
+        assert_eq!(rows, oracle, "{topology:?} windowed pages disagree with the oracle");
+    }
+}
+
+/// A query whose global answer is not the merge of per-shard answers —
+/// aggregates, DISTINCT, GROUP BY, UNION, an ORDER BY the output cannot
+/// resolve — must be *refused* with an `InvalidExpressionFault`, never
+/// silently answered wrong (`COUNT(*)` would otherwise return one row
+/// per shard).
+#[test]
+fn non_distributable_queries_are_refused_never_answered_wrong() {
+    let (bus, _server, fleet) = sql_fleet(Topology::InProc4);
+    let client = sql_client(&bus, &fleet);
+    let shapes = [
+        "SELECT COUNT(*) FROM t",
+        "SELECT MAX(k) FROM t",
+        "SELECT DISTINCT v FROM t",
+        "SELECT v FROM t GROUP BY v",
+        "SELECT k FROM t UNION SELECT k FROM t",
+        "SELECT k FROM t ORDER BY k + 1",
+    ];
+    for sql in shapes {
+        let err = client
+            .execute(fleet.resource().resource(), sql, &[])
+            .expect_err("a non-distributable shape must not scatter");
+        match err {
+            CallError::Fault(f) => {
+                assert_eq!(f.dais, Some(DaisFault::InvalidExpression), "{sql}: got {f:?}")
+            }
+            other => panic!("{sql}: expected an InvalidExpressionFault, got {other:?}"),
+        }
+    }
+    let err = client
+        .execute_factory(fleet.resource().resource(), "SELECT COUNT(*) FROM t", &[], None, None)
+        .expect_err("the factory path admits the same shapes as direct access");
+    match err {
+        CallError::Fault(f) => assert_eq!(f.dais, Some(DaisFault::InvalidExpression), "got {f:?}"),
+        other => panic!("expected an InvalidExpressionFault, got {other:?}"),
+    }
+}
+
+/// `ORDER BY a, b` with first-key duplicates spanning shards: ties must
+/// fall to the remaining sort terms — exactly as a single node sorts —
+/// not to the shard index.
+#[test]
+fn secondary_sort_keys_order_like_a_single_node() {
+    let mut per_topology = Vec::new();
+    for topology in ALL {
+        let (bus, _server, fleet) = sql_fleet(topology);
+        // Sixteen extra rows in three duplicate groups, spread over the
+        // shards by the k-hash.
+        for k in 100..116 {
+            fleet
+                .ingest(
+                    &Value::Int(k),
+                    "INSERT INTO t VALUES (?, ?)",
+                    &[Value::Int(k), Value::Str(format!("dup{}", k % 3))],
+                )
+                .expect("duplicate-group row must ingest");
+        }
+        let client = sql_client(&bus, &fleet);
+        let data = execute(
+            &client,
+            fleet.resource(),
+            "SELECT k, v FROM t WHERE k >= 100 ORDER BY v, k DESC",
+        );
+        per_topology.push((topology, canon(data.rowset().unwrap())));
+    }
+    let (_, oracle) = &per_topology[0];
+    // Group dup0 leads (v ascending) with its largest k first (k DESC).
+    assert_eq!(oracle[0], format!("114\u{1f}dup0"));
+    assert_eq!(oracle.len(), 16);
+    for (topology, rows) in &per_topology[1..] {
+        assert_eq!(rows, oracle, "{topology:?} breaks first-key ties away from the oracle order");
+    }
+}
+
+/// A transient failure during the factory fan-out must not permanently
+/// cost the derived resource a replica's redundancy: the fan-out
+/// retries the blip, so even when the shard's *other* replica later
+/// dies outright, the derived rowset still streams complete.
+#[test]
+fn factory_fanout_retries_transient_replica_failures() {
+    use dais::soap::interceptor::{CallInfo, Intercept, Interceptor};
+
+    /// Drops the next `remaining` requests to one endpoint, then passes.
+    struct FailFirst {
+        endpoint: String,
+        remaining: std::sync::Mutex<u32>,
+    }
+
+    impl Interceptor for FailFirst {
+        fn on_request(&self, call: &CallInfo<'_>, _bytes: &[u8]) -> Intercept {
+            if call.to == self.endpoint {
+                let mut remaining = self.remaining.lock().unwrap();
+                if *remaining > 0 {
+                    *remaining -= 1;
+                    return Intercept::Abort(dais::soap::BusError::Timeout(call.to.to_string()));
+                }
+            }
+            Intercept::Pass
+        }
+    }
+
+    let (bus, _server, fleet) = sql_fleet(Topology::InProc4);
+    let client = sql_client(&bus, &fleet);
+    // Replica 0 of shard 1 drops exactly one request: the factory
+    // fan-out's first attempt at it.
+    bus.add_interceptor(Arc::new(FailFirst {
+        endpoint: shard_address("fedconf", 1, 0),
+        remaining: std::sync::Mutex::new(1),
+    }));
+    let response_epr = client
+        .execute_factory(
+            fleet.resource().resource(),
+            "SELECT k, v FROM t ORDER BY k",
+            &[],
+            None,
+            None,
+        )
+        .expect("factory must ride out a transient replica blip");
+    let response = AbstractName::new(response_epr.resource_abstract_name().unwrap()).unwrap();
+    let rowset_epr = client.rowset_factory(&response, None, None).expect("rowset factory");
+    let rowset = AbstractName::new(rowset_epr.resource_abstract_name().unwrap()).unwrap();
+
+    // Now the sibling replica dies for good. Had the fan-out recorded a
+    // permanent miss for replica 0, shard 1 would have no copy left and
+    // the page would fault; the retried fan-out kept both.
+    let injector = FaultInjector::new(7);
+    injector.set_policy(shard_address("fedconf", 1, 1), FaultPolicy::default().drop(1.0));
+    bus.add_interceptor(Arc::new(injector));
+    let page = client
+        .get_tuples(&rowset, 0, ROWS as usize)
+        .expect("the retried replica must hold the derived rowset");
+    assert_eq!(page.row_count() as i64, ROWS, "the surviving replica streams the full window");
+}
+
 #[test]
 fn property_document_aggregates_the_fleet() {
     let (bus, _server, fleet) = sql_fleet(Topology::InProc4);
